@@ -1,0 +1,127 @@
+//! `advantage`: §1/§4 — "how large can we make our circuits before we lose
+//! any advantage over irreversible computing". For each physical rate the
+//! design space gives: the deepest level with O(1) entropy per gate, the
+//! largest reliable module at that level, and the entropy per gate compared
+//! with the 3/2-bit cost of simulating irreversible logic.
+
+use crate::report::{sci, Table};
+use rft_core::entropy::{hl_lower, max_level_constant_entropy};
+use rft_core::threshold::GateBudget;
+use serde::{Deserialize, Serialize};
+
+/// The irreversible baseline: fault-free NAND simulation costs 3/2 bits
+/// per gate (footnote 4).
+pub const IRREVERSIBLE_BITS_PER_GATE: f64 = 1.5;
+
+/// One design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Physical error rate.
+    pub g: f64,
+    /// Margin below threshold (ρ/g, G = 11).
+    pub threshold_margin: f64,
+    /// §4 cap: L ≤ log(1/g)/log(3E) + 1.
+    pub max_entropy_level: f64,
+    /// Deepest integer level within the cap.
+    pub usable_level: u32,
+    /// Entropy lower bound per gate at that level (bits).
+    pub entropy_bits: f64,
+    /// Largest module with ≤ 1 expected failure at that level.
+    pub max_module_gates: f64,
+    /// Whether the reversible machine still beats 3/2 bits per gate.
+    pub beats_irreversible: bool,
+}
+
+/// Results of the advantage analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdvantageResult {
+    /// Design points across rates.
+    pub points: Vec<DesignPoint>,
+}
+
+/// Runs the design-space analysis.
+pub fn run() -> AdvantageResult {
+    let budget = GateBudget::NONLOCAL_WITH_INIT;
+    let rho = budget.threshold();
+    let e_ops = 8.0;
+    let points = [rho / 2.0, rho / 10.0, rho / 100.0, 1e-6, 1e-9]
+        .iter()
+        .map(|&g| {
+            let cap = max_level_constant_entropy(g, e_ops);
+            let usable_level = cap.floor().max(1.0) as u32;
+            let entropy_bits = hl_lower(g, e_ops, usable_level);
+            let g_l = budget.error_at_level(g, usable_level).expect("valid rate");
+            DesignPoint {
+                g,
+                threshold_margin: rho / g,
+                max_entropy_level: cap,
+                usable_level,
+                entropy_bits,
+                max_module_gates: if g_l > 0.0 { 1.0 / g_l } else { f64::INFINITY },
+                beats_irreversible: entropy_bits < IRREVERSIBLE_BITS_PER_GATE,
+            }
+        })
+        .collect();
+    AdvantageResult { points }
+}
+
+impl AdvantageResult {
+    /// Whether cleaner gates strictly widen the advantage window.
+    pub fn monotone_in_g(&self) -> bool {
+        self.points.windows(2).all(|w| {
+            w[1].g < w[0].g
+                && w[1].max_entropy_level >= w[0].max_entropy_level
+                && w[1].max_module_gates >= w[0].max_module_gates
+        })
+    }
+
+    /// Prints the design-space table.
+    pub fn print(&self) {
+        let mut t = Table::new(
+            "§1/§4 — reversible advantage window (G = 11, E = 8)",
+            &["g", "ρ/g", "L cap (entropy)", "L used", "bits/gate ≥", "max module T", "beats 3/2?"],
+        );
+        for p in &self.points {
+            t.row(&[
+                sci(p.g),
+                format!("{:.1}", p.threshold_margin),
+                format!("{:.2}", p.max_entropy_level),
+                p.usable_level.to_string(),
+                sci(p.entropy_bits),
+                if p.max_module_gates.is_finite() {
+                    format!("{:.1e}", p.max_module_gates)
+                } else {
+                    "∞".into()
+                },
+                if p.beats_irreversible { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+        t.print();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cleaner_gates_widen_the_window() {
+        let r = run();
+        assert!(r.monotone_in_g());
+        // At very small g the reversible machine clearly wins.
+        assert!(r.points.last().unwrap().beats_irreversible);
+    }
+
+    #[test]
+    fn near_threshold_advantage_is_marginal() {
+        let r = run();
+        let near = &r.points[0]; // g = ρ/2
+        // Shallow entropy cap near threshold (paper: ~2.3 levels at ρ ~ g).
+        assert!(near.max_entropy_level < 4.0);
+    }
+
+    #[test]
+    fn print_renders() {
+        run().print();
+    }
+}

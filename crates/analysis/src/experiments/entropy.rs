@@ -1,0 +1,220 @@
+//! `entropy`: §4 — entropy dissipated by fault-tolerant reversible
+//! computing. Checks the measured reset entropy of compiled FT cycles
+//! against the analytic bounds `g·(3E)^(L−1) ≤ H_L ≤ G̃^L·κ·√g`, and
+//! reproduces the worked example `L ≤ log(1/g)/log(3E) + 1 ≈ 2.3`.
+
+use super::RunConfig;
+use crate::entropy_meas::measure_reset_entropy;
+use crate::report::{sci, Table};
+use rft_core::concat::FtBuilder;
+use rft_core::entropy::{
+    h1_upper, hl_lower, hl_upper, kappa, landauer_heat_joules, max_level_constant_entropy,
+};
+use rft_revsim::gate::Gate;
+use rft_revsim::noise::UniformNoise;
+use rft_revsim::state::BitState;
+use rft_revsim::wire::w;
+use serde::{Deserialize, Serialize};
+
+/// One measured point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EntropyPoint {
+    /// Physical error rate.
+    pub g: f64,
+    /// Concatenation level.
+    pub level: u8,
+    /// Measured bits per logical gate.
+    pub measured_bits: f64,
+    /// §4 lower bound `g·(3E)^(L−1)`.
+    pub lower: f64,
+    /// §4 upper bound `G̃^L·κ·√g`.
+    pub upper: f64,
+    /// The tighter pre-relaxation upper bound at L = 1.
+    pub h1_tight: f64,
+    /// Landauer heat at 300 K for the measured bits (joules).
+    pub heat_300k: f64,
+}
+
+/// Results of the §4 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntropyResult {
+    /// Measured points across `g` and levels.
+    pub points: Vec<EntropyPoint>,
+    /// κ constant (paper ≈ 4.33).
+    pub kappa: f64,
+    /// Worked example `L ≤ 2.3` (g = 10⁻², E = 11).
+    pub worked_max_level: f64,
+    /// Max levels for a grid of rates (the `O(log 1/g)` growth).
+    pub max_level_series: Vec<(f64, f64)>,
+}
+
+/// Builds an `n`-cycle FT program (repeated gate) at `level`.
+fn program_with_cycles(level: u8, gate: &Gate, cycles: usize) -> rft_core::concat::FtProgram {
+    let mut b = FtBuilder::new(level, 3);
+    for _ in 0..cycles {
+        b.apply(gate);
+    }
+    b.finish()
+}
+
+/// Runs entropy measurements on compiled level-1 and level-2 FT gates.
+///
+/// Entropy is ejected when an `Init` erases the *previous* cycle's
+/// syndromes, so a single cycle from a clean state dissipates nothing. The
+/// steady-state per-gate entropy is measured as a difference estimator
+/// between a 1-cycle and a 3-cycle program: `(H₃ − H₁) / 2`.
+pub fn run(cfg: &RunConfig) -> EntropyResult {
+    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let mut points = Vec::new();
+    let rates: [f64; 4] = [1e-4, 1e-3, 1e-2, 5e-2];
+    for &level in &[1u8, 2] {
+        let short = program_with_cycles(level, &gate, 1);
+        let long = program_with_cycles(level, &gate, 3);
+        let input_short = short.encode(&BitState::zeros(3));
+        let input_long = long.encode(&BitState::zeros(3));
+        let ops = short.circuit().len() as f64;
+        for &g in &rates {
+            let trials = if level >= 2 { cfg.trials / 8 } else { cfg.trials / 2 }.max(200);
+            let seed = cfg.seed ^ g.to_bits() ^ level as u64;
+            let noise = UniformNoise::new(g);
+            let m_short =
+                measure_reset_entropy(short.circuit(), &input_short, &noise, trials, seed);
+            let m_long =
+                measure_reset_entropy(long.circuit(), &input_long, &noise, trials, seed ^ 1);
+            let measured_bits = ((m_long.bits_per_run - m_short.bits_per_run) / 2.0).max(0.0);
+            // G̃: physical ops per next-level gate — 27 for the level-1
+            // cycle; the same multiplier is applied per level in the bound.
+            let g_tilde = 27.0;
+            points.push(EntropyPoint {
+                g,
+                level,
+                measured_bits,
+                lower: hl_lower(g, 8.0, level as u32),
+                upper: hl_upper(g, g_tilde, level as u32),
+                h1_tight: if level == 1 { h1_upper(g, ops) } else { f64::NAN },
+                heat_300k: landauer_heat_joules(measured_bits, 300.0),
+            });
+        }
+    }
+    let max_level_series = [1e-2, 1e-3, 1e-4, 1e-6, 1e-8]
+        .iter()
+        .map(|&g| (g, max_level_constant_entropy(g, 11.0)))
+        .collect();
+    EntropyResult {
+        points,
+        kappa: kappa(),
+        worked_max_level: max_level_constant_entropy(1e-2, 11.0),
+        max_level_series,
+    }
+}
+
+impl EntropyResult {
+    /// Whether every measurement respects the §4 bounds.
+    ///
+    /// The lower-bound check is applied only where the Monte-Carlo budget
+    /// can resolve it (`g ≥ 10⁻³`); below that, a finite histogram cannot
+    /// distinguish the tiny per-site entropies from zero.
+    pub fn within_bounds(&self) -> bool {
+        self.points.iter().all(|p| {
+            let upper_ok = p.measured_bits <= p.upper * 1.05;
+            let lower_ok = p.g < 1e-3 || p.measured_bits >= p.lower * 0.3 - 1e-12;
+            upper_ok && lower_ok
+        })
+    }
+
+    /// Prints the measurement tables.
+    pub fn print(&self) {
+        println!("κ = {:.4} (paper ≈ 4.33)", self.kappa);
+        let mut t = Table::new(
+            "§4 — entropy per FT logical gate: measured vs bounds",
+            &["L", "g", "lower g(3E)^(L−1)", "measured bits", "upper G̃^L·κ·√g", "heat @300K (J)"],
+        );
+        for p in &self.points {
+            t.row(&[
+                p.level.to_string(),
+                sci(p.g),
+                sci(p.lower),
+                sci(p.measured_bits),
+                sci(p.upper),
+                format!("{:.2e}", p.heat_300k),
+            ]);
+        }
+        t.print();
+        println!(
+            "worked example: g = 10⁻², E = 11 ⇒ L ≤ {:.2} (paper 2.3)",
+            self.worked_max_level
+        );
+        let mut s = Table::new(
+            "§4 — max level with O(1) entropy per gate (O(log 1/g) growth)",
+            &["g", "L_max"],
+        );
+        for (g, l) in &self.max_level_series {
+            s.row(&[sci(*g), format!("{l:.2}")]);
+        }
+        s.print();
+    }
+}
+
+/// Measures the steady-state entropy of the *bare recovery* on one
+/// codeword — the second of two consecutive recovery cycles, whose inits
+/// erase the first cycle's syndromes. Used by tests to pin the L = 1
+/// scaling cheaply.
+pub fn recovery_entropy(g: f64, trials: u64, seed: u64) -> f64 {
+    let one = {
+        let mut b = FtBuilder::new(1, 1);
+        b.recover(0);
+        b.finish()
+    };
+    let two = {
+        let mut b = FtBuilder::new(1, 1);
+        b.recover(0).recover(0);
+        b.finish()
+    };
+    let noise = UniformNoise::new(g);
+    let zero = BitState::zeros(1);
+    let h1 = measure_reset_entropy(one.circuit(), &one.encode(&zero), &noise, trials, seed)
+        .bits_per_run;
+    let h2 = measure_reset_entropy(two.circuit(), &two.encode(&zero), &noise, trials, seed ^ 1)
+        .bits_per_run;
+    (h2 - h1).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_entropy_sits_within_bounds() {
+        let r = run(&RunConfig { trials: 8000, seed: 29, threads: 2 });
+        assert!(r.within_bounds(), "points: {:#?}", r.points);
+    }
+
+    #[test]
+    fn worked_example_is_2_3() {
+        let r = run(&RunConfig { trials: 400, seed: 31, threads: 2 });
+        assert!((r.worked_max_level - 2.3).abs() < 0.05);
+    }
+
+    #[test]
+    fn entropy_grows_with_level_at_fixed_g() {
+        let r = run(&RunConfig { trials: 8000, seed: 37, threads: 2 });
+        let l1: Vec<&EntropyPoint> = r.points.iter().filter(|p| p.level == 1).collect();
+        let l2: Vec<&EntropyPoint> = r.points.iter().filter(|p| p.level == 2).collect();
+        // At the largest g, level 2 dissipates more than level 1.
+        let g_max_1 = l1.iter().max_by(|a, b| a.g.total_cmp(&b.g)).unwrap();
+        let g_max_2 = l2.iter().max_by(|a, b| a.g.total_cmp(&b.g)).unwrap();
+        assert!(g_max_2.measured_bits > g_max_1.measured_bits);
+    }
+
+    #[test]
+    fn recovery_entropy_scales_with_g() {
+        let lo = recovery_entropy(1e-3, 20_000, 41);
+        let hi = recovery_entropy(1e-1, 20_000, 41);
+        assert!(hi > lo * 10.0, "lo {lo}, hi {hi}");
+    }
+
+    #[test]
+    fn print_renders() {
+        run(&RunConfig { trials: 400, seed: 43, threads: 2 }).print();
+    }
+}

@@ -1,0 +1,79 @@
+//! Reproductions of every table and figure of the paper.
+//!
+//! One module per experiment, named by the experiment IDs of `DESIGN.md`.
+//! Each module exposes a `run(...)` function returning a typed, printable
+//! result so that integration tests can assert on the numbers and the
+//! `repro` binary can render them.
+//!
+//! | ID | artifact | module |
+//! |----|----------|--------|
+//! | `table1`, `fig1`, `fig5` | Table 1, Figures 1 & 5 | [`table1`] |
+//! | `fig2`, `fig3` | recovery circuit & concatenation structure | [`fig2`] |
+//! | `threshold` | §2.2 thresholds (Eq. 1) | [`threshold`] |
+//! | `suppression` | Eq. 2 | [`suppression`] |
+//! | `blowup` | §2.3 (Γ_L, S_L, worked example) | [`blowup`] |
+//! | `levelreq` | Eq. 3 + poly-log overhead | [`levelreq`] |
+//! | `fig4`, `fig6`, `fig7`, `local2d`, `local1d` | §3 local schemes | [`local`] |
+//! | `table2` | §3.3 mixed concatenation | [`table2`] |
+//! | `entropy` | §4 bounds vs measured | [`entropy`] |
+//! | `nand` | §4 footnote 4 (3/2-bit NAND) | [`nand`] |
+//! | `advantage` | §1/§4 design space | [`advantage`] |
+
+pub mod ablation;
+pub mod advantage;
+pub mod blowup;
+pub mod entropy;
+pub mod fig2;
+pub mod levelreq;
+pub mod local;
+pub mod nand;
+pub mod suppression;
+pub mod table1;
+pub mod table2;
+pub mod threshold;
+
+use serde::{Deserialize, Serialize};
+
+/// Monte-Carlo budget shared by the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Trials per Monte-Carlo point.
+    pub trials: u64,
+    /// Base RNG seed (experiments derive sub-seeds deterministically).
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl RunConfig {
+    /// Full-fidelity budget for the `repro` binary.
+    pub fn full() -> Self {
+        RunConfig { trials: 200_000, seed: 2005, threads: default_threads() }
+    }
+
+    /// Reduced budget for integration tests and smoke runs.
+    pub fn quick() -> Self {
+        RunConfig { trials: 4_000, seed: 2005, threads: default_threads() }
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::full()
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_sane() {
+        assert!(RunConfig::full().trials > RunConfig::quick().trials);
+        assert!(RunConfig::default().threads >= 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! `suppression`: Equation 2 — doubly-exponential error suppression with
+//! concatenation level below threshold, and divergence above it.
+
+use super::RunConfig;
+use crate::montecarlo::ConcatMc;
+use crate::report::{sci, Table};
+use crate::stats::ErrorEstimate;
+use rft_revsim::gate::Gate;
+use rft_revsim::noise::UniformNoise;
+use rft_revsim::wire::w;
+use serde::{Deserialize, Serialize};
+
+/// Measurements for one physical rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuppressionSeries {
+    /// Physical error rate.
+    pub g: f64,
+    /// Ratio to the G = 11 threshold.
+    pub g_over_rho: f64,
+    /// Per-level raw estimates (failure over all cycles of a trial).
+    pub measured: Vec<ErrorEstimate>,
+    /// Per-level measured *per-cycle* logical error rates.
+    pub per_cycle: Vec<f64>,
+    /// Per-level Equation 2 bounds.
+    pub eq2_bound: Vec<f64>,
+}
+
+/// Results of the Equation 2 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuppressionResult {
+    /// Series per physical rate.
+    pub series: Vec<SuppressionSeries>,
+    /// Levels measured.
+    pub levels: Vec<u8>,
+}
+
+/// Runs the level sweep.
+pub fn run(cfg: &RunConfig) -> SuppressionResult {
+    let budget = rft_core::threshold::GateBudget::NONLOCAL_WITH_INIT;
+    let rho = budget.threshold();
+    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let levels: Vec<u8> = vec![0, 1, 2];
+    let cycles = 3usize;
+    // ρ is only a *lower bound* on the true threshold, so moderate
+    // multiples of ρ still suppress; 16ρ sits above the measured
+    // pseudo-threshold and shows the divergence.
+    let rates = [rho / 10.0, rho / 4.0, rho / 2.0, rho * 2.0, rho * 16.0];
+
+    let series = rates
+        .iter()
+        .map(|&g| {
+            let noise = UniformNoise::new(g);
+            let measured: Vec<ErrorEstimate> = levels
+                .iter()
+                .map(|&level| {
+                    // Fewer trials at level 2 (1800 ops per trial).
+                    let trials = if level >= 2 { cfg.trials / 4 } else { cfg.trials }.max(100);
+                    let mc = ConcatMc::new(level, gate, cycles);
+                    mc.estimate(&noise, trials, cfg.seed ^ g.to_bits() ^ level as u64, cfg.threads)
+                })
+                .collect();
+            let per_cycle = measured.iter().map(|m| m.per_cycle(cycles)).collect();
+            let eq2_bound = levels
+                .iter()
+                .map(|&level| budget.error_at_level(g, level as u32).expect("valid rate").min(1.0))
+                .collect();
+            SuppressionSeries { g, g_over_rho: g / rho, measured, per_cycle, eq2_bound }
+        })
+        .collect();
+    SuppressionResult { series, levels }
+}
+
+impl SuppressionResult {
+    /// Whether suppression holds below threshold: each extra level helps
+    /// for `g ≤ ρ/4` (where Monte-Carlo resolution suffices).
+    pub fn below_threshold_suppression(&self) -> bool {
+        self.series
+            .iter()
+            .filter(|s| s.g_over_rho <= 0.26)
+            .all(|s| {
+                s.measured.windows(2).zip(s.per_cycle.windows(2)).all(|(m, p)| {
+                    // Allow level-to-level comparison only when the lower
+                    // level actually observed failures.
+                    m[0].failures == 0 || p[1] <= p[0] * 1.2 + 1e-9
+                })
+            })
+    }
+
+    /// Prints the level table.
+    pub fn print(&self) {
+        let headers: Vec<String> = std::iter::once("g/ρ".to_string())
+            .chain(self.levels.iter().flat_map(|l| {
+                [format!("L={l} per-cycle"), format!("L={l} Eq.2")]
+            }))
+            .collect();
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new("Equation 2 — per-cycle error vs concatenation level", &headers_ref);
+        for s in &self.series {
+            let mut row = vec![format!("{:.2}", s.g_over_rho)];
+            for (p, b) in s.per_cycle.iter().zip(&s.eq2_bound) {
+                row.push(sci(*p));
+                row.push(sci(*b));
+            }
+            t.row(&row);
+        }
+        t.print();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_threshold_levels_help() {
+        let r = run(&RunConfig { trials: 3000, seed: 11, threads: 4 });
+        assert!(r.below_threshold_suppression());
+    }
+
+    #[test]
+    fn far_above_threshold_levels_do_not_help() {
+        let r = run(&RunConfig { trials: 2000, seed: 13, threads: 4 });
+        let above = r.series.iter().find(|s| s.g_over_rho > 10.0).unwrap();
+        // At 16ρ the encoded machine is broken: error rates are large and
+        // concatenating deeper makes things worse, not better.
+        assert!(above.per_cycle[1] > 0.05, "L1 rate {}", above.per_cycle[1]);
+        assert!(
+            above.per_cycle[2] >= above.per_cycle[1] * 0.8,
+            "L2 {} unexpectedly beats L1 {}",
+            above.per_cycle[2],
+            above.per_cycle[1]
+        );
+        assert!(above.per_cycle[1] > above.per_cycle[0]);
+    }
+
+    #[test]
+    fn moderate_g_above_analytic_rho_still_suppresses() {
+        // Reproduction nuance: ρ = 1/165 is a *lower bound*; the measured
+        // scheme still improves at 2ρ (the true pseudo-threshold is
+        // higher). This pins the "thresholds are conservative" claim.
+        let r = run(&RunConfig { trials: 6000, seed: 17, threads: 4 });
+        let two_rho = r
+            .series
+            .iter()
+            .find(|s| (s.g_over_rho - 2.0).abs() < 0.01)
+            .unwrap();
+        assert!(
+            two_rho.per_cycle[1] < two_rho.g,
+            "L1 {} should beat bare g {}",
+            two_rho.per_cycle[1],
+            two_rho.g
+        );
+    }
+
+    #[test]
+    fn print_renders() {
+        run(&RunConfig { trials: 400, seed: 5, threads: 2 }).print();
+    }
+}

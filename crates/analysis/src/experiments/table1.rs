@@ -1,0 +1,109 @@
+//! `table1` / `fig1` / `fig5`: the MAJ gate — Table 1 truth table, the
+//! Figure 1 CNOT/Toffoli decomposition, and the Figure 5 SWAP3 gate.
+
+use crate::report::Table;
+use rft_core::maj::{format_bits, maj_permutation, verify_maj, MajVerification};
+use rft_revsim::circuit::Circuit;
+use rft_revsim::permutation::Permutation;
+use rft_revsim::wire::w;
+use serde::{Deserialize, Serialize};
+
+/// Results of the MAJ-gate reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Result {
+    /// Truth-table rows as `q0q1q2` strings.
+    pub rows: Vec<(String, String)>,
+    /// All structural checks of Table 1 / Figure 1.
+    pub matches_table_1: bool,
+    /// First output bit is the input majority on every row.
+    pub majority_property: bool,
+    /// Figure 1 decomposition equals the primitive gate.
+    pub decomposition_matches: bool,
+    /// MAJ⁻¹ ∘ MAJ is the identity.
+    pub inverse_matches: bool,
+    /// Figure 5: SWAP3 equals two consecutive SWAPs.
+    pub swap3_matches_two_swaps: bool,
+}
+
+/// Runs every Table 1 / Figure 1 / Figure 5 check.
+pub fn run() -> Table1Result {
+    let MajVerification {
+        rows,
+        matches_table_1,
+        majority_property,
+        decomposition_matches,
+        inverse_matches,
+    } = verify_maj();
+
+    // Figure 5: SWAP3 = swap(q0,q1); swap(q1,q2).
+    let mut swap3 = Circuit::new(3);
+    swap3.swap3(w(0), w(1), w(2));
+    let mut two_swaps = Circuit::new(3);
+    two_swaps.swap(w(0), w(1)).swap(w(1), w(2));
+    let swap3_matches_two_swaps = Permutation::of_circuit(&swap3).expect("3 wires")
+        == Permutation::of_circuit(&two_swaps).expect("3 wires");
+
+    Table1Result {
+        rows,
+        matches_table_1,
+        majority_property,
+        decomposition_matches,
+        inverse_matches,
+        swap3_matches_two_swaps,
+    }
+}
+
+impl Table1Result {
+    /// Whether all checks passed.
+    pub fn all_ok(&self) -> bool {
+        self.matches_table_1
+            && self.majority_property
+            && self.decomposition_matches
+            && self.inverse_matches
+            && self.swap3_matches_two_swaps
+    }
+
+    /// Prints the paper-format tables.
+    pub fn print(&self) {
+        let mut t = Table::new("Table 1 — reversible MAJ truth table", &["Input", "Output"]);
+        for (i, o) in &self.rows {
+            t.row(&[i.clone(), o.clone()]);
+        }
+        t.print();
+        let mut checks = Table::new("MAJ structural checks", &["check", "result"]);
+        let yn = |b: bool| if b { "ok" } else { "FAILED" }.to_string();
+        checks
+            .row(&["matches paper Table 1".into(), yn(self.matches_table_1)])
+            .row(&["first output bit = majority".into(), yn(self.majority_property)])
+            .row(&["Figure 1 decomposition exact".into(), yn(self.decomposition_matches)])
+            .row(&["MAJ⁻¹ ∘ MAJ = identity".into(), yn(self.inverse_matches)])
+            .row(&["Figure 5 SWAP3 = two SWAPs".into(), yn(self.swap3_matches_two_swaps)]);
+        checks.print();
+        // Show the MAJ⁻¹ encoder rows too (the property Figure 2 rests on).
+        let p = maj_permutation().inverse();
+        let mut enc = Table::new("MAJ⁻¹ on (b,0,0) — repetition encoding", &["Input", "Output"]);
+        for b in [0u64, 1] {
+            enc.row(&[format_bits(b, 3), format_bits(p.apply(b), 3)]);
+        }
+        enc.print();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_table_1() {
+        let r = run();
+        assert!(r.all_ok());
+        assert_eq!(r.rows.len(), 8);
+        assert_eq!(r.rows[3], ("011".to_string(), "111".to_string()));
+        assert_eq!(r.rows[4], ("100".to_string(), "011".to_string()));
+    }
+
+    #[test]
+    fn print_renders() {
+        run().print();
+    }
+}

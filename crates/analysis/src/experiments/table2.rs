@@ -1,0 +1,95 @@
+//! `table2`: §3.3 — concatenating 2D below 1D schemes. Reproduces the
+//! published Table 2 column exactly and adds a semi-empirical variant using
+//! the other published threshold pairings.
+
+use crate::report::Table;
+use rft_core::mixed::{table2, table2_for, Table2Row, PAPER_TABLE_2};
+use rft_core::threshold::GateBudget;
+use serde::{Deserialize, Serialize};
+
+/// Results of the Table 2 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Result {
+    /// Computed rows with the paper's threshold pair (1/2109, 1/273).
+    pub rows: Vec<Table2Row>,
+    /// Paper's printed column for comparison.
+    pub paper: Vec<(u32, u32, f64)>,
+    /// Alternative pairing with initialization counted (1/2340, 1/360).
+    pub with_init_rows: Vec<Table2Row>,
+    /// Largest |computed − paper| over the column.
+    pub max_deviation: f64,
+}
+
+/// Runs the Table 2 reproduction.
+pub fn run() -> Table2Result {
+    let rows = table2();
+    let paper: Vec<(u32, u32, f64)> = PAPER_TABLE_2.to_vec();
+    let max_deviation = rows
+        .iter()
+        .zip(paper.iter())
+        .map(|(r, &(_, _, ratio))| (r.ratio - ratio).abs())
+        .fold(0.0, f64::max);
+    let with_init_rows = table2_for(
+        GateBudget::LOCAL_1D_WITH_INIT.threshold(),
+        GateBudget::LOCAL_2D_WITH_INIT.threshold(),
+        5,
+    );
+    Table2Result { rows, paper, with_init_rows, max_deviation }
+}
+
+impl Table2Result {
+    /// Whether the computed column matches the paper to printed precision.
+    pub fn matches_paper(&self) -> bool {
+        self.max_deviation < 0.005
+    }
+
+    /// Prints both variants.
+    pub fn print(&self) {
+        let mut t = Table::new(
+            "Table 2 — ρ(k)/ρ₂ for k levels of 2D under 1D (ρ₁ = 1/2109, ρ₂ = 1/273)",
+            &["k", "Width", "ρ(k)/ρ₂ computed", "paper", "ρ(k)"],
+        );
+        for (r, &(_, _, paper)) in self.rows.iter().zip(self.paper.iter()) {
+            t.row(&[
+                r.k.to_string(),
+                r.width.to_string(),
+                format!("{:.4}", r.ratio),
+                format!("{paper:.2}"),
+                format!("1/{:.0}", 1.0 / r.rho_k),
+            ]);
+        }
+        t.print();
+        println!("max |computed − paper| = {:.4} (printed precision 0.005)", self.max_deviation);
+        let mut t2 = Table::new(
+            "Table 2 variant — initialization counted (ρ₁ = 1/2340, ρ₂ = 1/360)",
+            &["k", "Width", "ρ(k)/ρ₂", "ρ(k)"],
+        );
+        for r in &self.with_init_rows {
+            t2.row(&[
+                r.k.to_string(),
+                r.width.to_string(),
+                format!("{:.4}", r.ratio),
+                format!("1/{:.0}", 1.0 / r.rho_k),
+            ]);
+        }
+        t2.print();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table_2_exactly() {
+        let r = run();
+        assert!(r.matches_paper(), "max deviation {}", r.max_deviation);
+        assert_eq!(r.rows.len(), 6);
+        assert_eq!(r.rows[3].width, 27);
+    }
+
+    #[test]
+    fn print_renders() {
+        run().print();
+    }
+}

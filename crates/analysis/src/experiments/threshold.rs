@@ -1,0 +1,187 @@
+//! `threshold`: §2.2 — Monte-Carlo logical error rate of the level-1 FT
+//! cycle versus the analytic Equation 1 bound, and the measured
+//! pseudo-threshold against the published ρ = 1/165 (with init errors) and
+//! ρ = 1/108 (perfect init).
+//!
+//! The analytic ρ is a *lower bound* on the true threshold (the paper:
+//! "the circuits and threshold values presented here represent a lower
+//! bound"), so the measured crossing should sit at or above it.
+
+use super::RunConfig;
+use crate::montecarlo::ConcatMc;
+use crate::report::{rate_ci, sci, Table};
+use crate::stats::ErrorEstimate;
+use crate::sweep::{find_crossing, log_grid, sweep, SweepPoint};
+use rft_core::threshold::GateBudget;
+use rft_revsim::gate::Gate;
+use rft_revsim::noise::{SplitNoise, UniformNoise};
+use rft_revsim::wire::w;
+use serde::{Deserialize, Serialize};
+
+/// One sweep point with its analytic companion values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdPoint {
+    /// Physical error rate.
+    pub g: f64,
+    /// Measured per-cycle logical error rate.
+    pub logical: f64,
+    /// Wilson CI of the raw estimate.
+    pub estimate: ErrorEstimate,
+    /// Equation 1 bound `3·C(G,2)·g²`.
+    pub eq1_bound: f64,
+}
+
+/// Results for one noise accounting (with / without init errors).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdSeries {
+    /// Accounting name.
+    pub name: String,
+    /// Paper gate budget and threshold for this accounting.
+    pub budget_ops: u32,
+    /// The published analytic threshold.
+    pub analytic_threshold: f64,
+    /// Sweep points.
+    pub points: Vec<ThresholdPoint>,
+    /// Measured pseudo-threshold (crossing `g_logical = g`), if bracketed.
+    pub measured_crossing: Option<f64>,
+}
+
+/// Results of the §2.2 threshold reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdResult {
+    /// Series for G = 11 (uniform noise) and G = 9 (perfect init).
+    pub series: Vec<ThresholdSeries>,
+    /// Cycles per trial used to estimate per-cycle rates.
+    pub cycles: usize,
+}
+
+/// Runs the threshold sweep with the given Monte-Carlo budget.
+pub fn run(cfg: &RunConfig) -> ThresholdResult {
+    let cycles = 4usize;
+    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let mc = ConcatMc::new(1, gate, cycles);
+
+    let make_series = |name: &str, budget: GateBudget, perfect_init: bool, seed: u64| {
+        // ρ is a lower bound on the true threshold: the measured crossing
+        // sits several times higher, so sweep well past ρ.
+        let rho = budget.threshold();
+        let grid = log_grid(rho / 8.0, rho * 16.0, 12);
+        let points_raw = sweep(&grid, |g| {
+            if perfect_init {
+                mc.estimate(&SplitNoise::perfect_init(g), cfg.trials, seed ^ g.to_bits(), cfg.threads)
+            } else {
+                mc.estimate(&UniformNoise::new(g), cfg.trials, seed ^ g.to_bits(), cfg.threads)
+            }
+        });
+        let points: Vec<ThresholdPoint> = points_raw
+            .iter()
+            .map(|p| ThresholdPoint {
+                g: p.g,
+                logical: p.estimate.per_cycle(cycles),
+                estimate: p.estimate,
+                eq1_bound: budget.logical_error_bound(p.g).expect("valid rate"),
+            })
+            .collect();
+        // Crossing of the *per-cycle* rate with g.
+        let per_cycle_points: Vec<SweepPoint> = points
+            .iter()
+            .map(|p| SweepPoint {
+                g: p.g,
+                estimate: ErrorEstimate {
+                    failures: p.estimate.failures,
+                    trials: p.estimate.trials,
+                    rate: p.logical.max(1e-12),
+                    low: p.logical,
+                    high: p.logical,
+                },
+            })
+            .collect();
+        let measured_crossing = find_crossing(&per_cycle_points, |g| g);
+        ThresholdSeries {
+            name: name.to_string(),
+            budget_ops: budget.ops(),
+            analytic_threshold: rho,
+            points,
+            measured_crossing,
+        }
+    };
+
+    let series = vec![
+        make_series("uniform noise (init counted, G = 11)", GateBudget::NONLOCAL_WITH_INIT, false, cfg.seed),
+        make_series("perfect init (G = 9)", GateBudget::NONLOCAL_NO_INIT, true, cfg.seed ^ 0xABCD),
+    ];
+    ThresholdResult { series, cycles }
+}
+
+impl ThresholdResult {
+    /// Whether every measured crossing is at or above the analytic lower
+    /// bound (allowing Monte-Carlo slack).
+    pub fn crossings_above_analytic(&self) -> bool {
+        self.series.iter().all(|s| match s.measured_crossing {
+            Some(g) => g >= s.analytic_threshold * 0.8,
+            None => false,
+        })
+    }
+
+    /// Prints the sweep tables.
+    pub fn print(&self) {
+        for s in &self.series {
+            let mut t = Table::new(
+                format!("§2.2 threshold sweep — {} (ρ = 1/{:.0})", s.name, 1.0 / s.analytic_threshold),
+                &["g", "g/ρ", "logical (per cycle)", "raw CI", "Eq.1 bound", "helps?"],
+            );
+            for p in &s.points {
+                t.row(&[
+                    sci(p.g),
+                    format!("{:.2}", p.g / s.analytic_threshold),
+                    sci(p.logical),
+                    rate_ci(p.estimate.rate, p.estimate.low, p.estimate.high),
+                    sci(p.eq1_bound),
+                    if p.logical < p.g { "yes" } else { "no" }.to_string(),
+                ]);
+            }
+            t.print();
+            match s.measured_crossing {
+                Some(g) => println!(
+                    "measured pseudo-threshold ≈ {} = 1/{:.0} (analytic lower bound 1/{:.0})",
+                    sci(g),
+                    1.0 / g,
+                    1.0 / s.analytic_threshold
+                ),
+                None => println!("no crossing bracketed in the sweep range"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_threshold_sweep_is_sane() {
+        let r = run(&RunConfig { trials: 1500, seed: 7, threads: 4 });
+        assert_eq!(r.series.len(), 2);
+        for s in &r.series {
+            // Error rates must be monotone-ish: last point (well above ρ)
+            // worse than first point (well below ρ).
+            let first = s.points.first().unwrap();
+            let last = s.points.last().unwrap();
+            assert!(last.logical > first.logical);
+            // Below threshold the scheme helps.
+            assert!(
+                first.logical < first.g * 1.2,
+                "{}: at g/ρ = 1/8, logical {} should be ≲ g {}",
+                s.name,
+                first.logical,
+                first.g
+            );
+        }
+    }
+
+    #[test]
+    fn print_renders() {
+        let r = run(&RunConfig { trials: 500, seed: 3, threads: 2 });
+        r.print();
+    }
+}

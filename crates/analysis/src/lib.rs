@@ -1,0 +1,34 @@
+//! # rft-analysis — Monte Carlo, statistics and experiment reproductions
+//!
+//! The measurement layer of the *“Reversible Fault-Tolerant Logic”*
+//! reproduction:
+//!
+//! - [`stats`] — binomial estimates with Wilson intervals, slope fits;
+//! - [`montecarlo`] — threaded logical-error-rate estimation for compiled
+//!   concatenated programs and local cycles;
+//! - [`sweep`] — log-grid sweeps and pseudo-threshold crossing detection;
+//! - [`entropy_meas`] — empirical reset-entropy measurement (§4);
+//! - [`report`] — plain-text table rendering;
+//! - [`experiments`] — one module per table/figure of the paper, each with
+//!   a typed result and a printable report. The `repro` binary in
+//!   `rft-bench` drives them.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod entropy_meas;
+pub mod experiments;
+pub mod montecarlo;
+pub mod report;
+pub mod stats;
+pub mod sweep;
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::entropy_meas::{measure_reset_entropy, EntropyMeasurement};
+    pub use crate::experiments::RunConfig;
+    pub use crate::montecarlo::{estimate_cycle_error, parallel_failures, unprotected_error, ConcatMc};
+    pub use crate::report::Table;
+    pub use crate::stats::{linear_slope, wilson_interval, ErrorEstimate};
+    pub use crate::sweep::{find_crossing, log_grid, sweep, SweepPoint};
+}

@@ -1,0 +1,234 @@
+//! Monte-Carlo estimation of logical error rates.
+//!
+//! Two kinds of experiment:
+//!
+//! - [`ConcatMc`] runs the *compiled* fault-tolerant programs of
+//!   [`rft_core::concat`] — the non-local scheme of §2 at any concatenation
+//!   level — for one or more consecutive cycles;
+//! - [`estimate_cycle_error`] runs a single extended rectangle described by
+//!   a [`CycleSpec`] (used for the 2D/1D local cycles of §3).
+//!
+//! Trials are farmed across threads with independently seeded `SmallRng`s,
+//! so results are reproducible for a given `(seed, threads)` pair.
+
+use crate::stats::ErrorEstimate;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rft_core::concat::{FtBuilder, FtProgram};
+use rft_core::ftcheck::CycleSpec;
+use rft_revsim::circuit::Circuit;
+use rft_revsim::exec::run_noisy;
+use rft_revsim::gate::Gate;
+use rft_revsim::noise::NoiseModel;
+use rft_revsim::op::Op;
+use rft_revsim::permutation::Permutation;
+use rft_revsim::state::BitState;
+
+/// Runs `trials` independent boolean trials across `threads` OS threads
+/// and counts `true` outcomes. Each thread gets its own deterministic RNG.
+pub fn parallel_failures<F>(trials: u64, seed: u64, threads: usize, trial: F) -> u64
+where
+    F: Fn(&mut SmallRng) -> bool + Sync,
+{
+    let threads = threads.max(1);
+    let per = trials / threads as u64;
+    let extra = trials % threads as u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let n = per + u64::from((t as u64) < extra);
+            let trial = &trial;
+            handles.push(scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)));
+                let mut failures = 0u64;
+                for _ in 0..n {
+                    if trial(&mut rng) {
+                        failures += 1;
+                    }
+                }
+                failures
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("trial thread panicked")).sum()
+    })
+}
+
+/// Monte-Carlo harness for concatenated (non-local) fault-tolerant gates.
+#[derive(Debug)]
+pub struct ConcatMc {
+    program: FtProgram,
+    ideal: Permutation,
+    cycles: usize,
+}
+
+impl ConcatMc {
+    /// Compiles `cycles` consecutive applications of `gate` (a gate on
+    /// logical wires) at concatenation `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate's wires are invalid for three logical wires or
+    /// the level exceeds [`FtBuilder::MAX_LEVEL`].
+    pub fn new(level: u8, gate: Gate, cycles: usize) -> Self {
+        assert!(cycles > 0, "need at least one cycle");
+        let n_logical = gate.support().max_index() + 1;
+        let mut logical = Circuit::new(n_logical);
+        for _ in 0..cycles {
+            logical.push(Op::Gate(gate));
+        }
+        let ideal = Permutation::of_circuit(&logical).expect("small logical circuit");
+        let program = FtBuilder::compile(level, &logical).expect("gate-only logical circuit");
+        ConcatMc { program, ideal, cycles }
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &FtProgram {
+        &self.program
+    }
+
+    /// Number of cycles per trial.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Estimates the probability that a full trial (all cycles) ends with
+    /// any logical bit decoded incorrectly, over random logical inputs.
+    pub fn estimate<N>(&self, noise: &N, trials: u64, seed: u64, threads: usize) -> ErrorEstimate
+    where
+        N: NoiseModel + Sync,
+    {
+        let n_logical = self.program.n_logical();
+        let failures = parallel_failures(trials, seed, threads, |rng| {
+            let input = rng.random_range(0..(1u64 << n_logical));
+            let logical_in = BitState::from_u64(input, n_logical);
+            let mut state = self.program.encode(&logical_in);
+            run_noisy(self.program.circuit(), &mut state, noise, rng);
+            let decoded = self.program.decode(&state).to_u64();
+            decoded != self.ideal.apply(input)
+        });
+        ErrorEstimate::from_counts(failures, trials)
+    }
+
+    /// Per-cycle logical error rate derived from [`ConcatMc::estimate`].
+    pub fn estimate_per_cycle<N>(
+        &self,
+        noise: &N,
+        trials: u64,
+        seed: u64,
+        threads: usize,
+    ) -> (ErrorEstimate, f64)
+    where
+        N: NoiseModel + Sync,
+    {
+        let est = self.estimate(noise, trials, seed, threads);
+        let per_cycle = est.per_cycle(self.cycles);
+        (est, per_cycle)
+    }
+}
+
+/// Estimates the logical error probability of one extended rectangle (a
+/// [`CycleSpec`]): encode a random input, run the cycle under `noise`,
+/// majority-decode the outputs and compare with the ideal function.
+pub fn estimate_cycle_error<N>(
+    spec: &CycleSpec,
+    noise: &N,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> ErrorEstimate
+where
+    N: NoiseModel + Sync,
+{
+    let k = spec.n_logical();
+    let failures = parallel_failures(trials, seed, threads, |rng| {
+        let input = rng.random_range(0..(1u64 << k));
+        let mut state = spec.encode_input(input);
+        run_noisy(spec.circuit(), &mut state, noise, rng);
+        spec.decode_output(&state) != spec.logical().apply(input)
+    });
+    ErrorEstimate::from_counts(failures, trials)
+}
+
+/// Estimates the *unprotected* error rate of `cycles` physical gates — the
+/// `1 − (1−g)^T ≈ gT` baseline the paper compares against.
+pub fn unprotected_error(g: f64, gates: usize) -> f64 {
+    1.0 - (1.0 - g).powi(gates as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rft_revsim::noise::{NoNoise, UniformNoise};
+    use rft_revsim::wire::w;
+
+    fn toffoli() -> Gate {
+        Gate::Toffoli { controls: [w(0), w(1)], target: w(2) }
+    }
+
+    #[test]
+    fn parallel_failures_is_deterministic() {
+        let f = |rng: &mut SmallRng| rng.random::<f64>() < 0.3;
+        let a = parallel_failures(2000, 42, 4, f);
+        let b = parallel_failures(2000, 42, 4, f);
+        assert_eq!(a, b);
+        // Roughly 30%.
+        assert!((a as f64 - 600.0).abs() < 120.0, "got {a}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let f = |rng: &mut SmallRng| rng.random::<f64>() < 0.5;
+        assert_ne!(parallel_failures(1000, 1, 2, f), parallel_failures(1000, 2, 2, f));
+    }
+
+    #[test]
+    fn noiseless_concat_never_fails() {
+        let mc = ConcatMc::new(1, toffoli(), 3);
+        let est = mc.estimate(&NoNoise, 200, 7, 2);
+        assert_eq!(est.failures, 0);
+    }
+
+    #[test]
+    fn heavy_noise_fails_often() {
+        let mc = ConcatMc::new(1, toffoli(), 1);
+        let est = mc.estimate(&UniformNoise::new(0.25), 400, 7, 2);
+        assert!(est.rate > 0.2, "rate {} too low for heavy noise", est.rate);
+    }
+
+    #[test]
+    fn below_threshold_level_one_beats_unprotected() {
+        // g = ρ/4: the FT cycle should fail far less often than the 27
+        // unprotected gates it replaces.
+        let g = 1.0 / 432.0;
+        let mc = ConcatMc::new(1, toffoli(), 1);
+        let est = mc.estimate(&UniformNoise::new(g), 20_000, 11, 4);
+        let baseline = unprotected_error(g, 27);
+        assert!(
+            est.rate < baseline,
+            "protected {} not below unprotected {}",
+            est.rate,
+            baseline
+        );
+    }
+
+    #[test]
+    fn cycle_spec_mc_runs() {
+        use rft_core::recovery::{recovery_circuit, DATA_IN, DATA_OUT};
+        let spec = CycleSpec::new(
+            recovery_circuit(),
+            vec![DATA_IN],
+            vec![DATA_OUT],
+            Permutation::identity(1),
+        );
+        let est = estimate_cycle_error(&spec, &NoNoise, 100, 3, 2);
+        assert_eq!(est.failures, 0);
+        let noisy = estimate_cycle_error(&spec, &UniformNoise::new(0.3), 400, 3, 2);
+        assert!(noisy.failures > 0);
+    }
+
+    #[test]
+    fn unprotected_error_matches_formula() {
+        assert!((unprotected_error(0.01, 100) - (1.0 - 0.99f64.powi(100))).abs() < 1e-15);
+        assert_eq!(unprotected_error(0.0, 1000), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Parameter sweeps and pseudo-threshold estimation.
+//!
+//! §2.2 defines the threshold as the largest `g` for which error
+//! correction still helps (`g_logical < g`). Monte-Carlo estimates are
+//! noisy, so the crossing is located by sweeping `g` on a log grid and
+//! interpolating the sign change of `log(p̂(g)) − log(target(g))`.
+
+use crate::stats::ErrorEstimate;
+use serde::{Deserialize, Serialize};
+
+/// One point of a `g` sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Physical gate error rate.
+    pub g: f64,
+    /// Estimated logical error rate at `g`.
+    pub estimate: ErrorEstimate,
+}
+
+/// A logarithmically spaced grid of `n` rates from `lo` to `hi` inclusive.
+///
+/// # Panics
+///
+/// Panics unless `0 < lo < hi` and `n >= 2`.
+pub fn log_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo, "need 0 < lo < hi");
+    assert!(n >= 2, "need at least two grid points");
+    let step = (hi / lo).ln() / (n - 1) as f64;
+    (0..n).map(|i| lo * (step * i as f64).exp()).collect()
+}
+
+/// Runs `estimator` over each `g` in `grid`.
+pub fn sweep<F>(grid: &[f64], estimator: F) -> Vec<SweepPoint>
+where
+    F: Fn(f64) -> ErrorEstimate,
+{
+    grid.iter().map(|&g| SweepPoint { g, estimate: estimator(g) }).collect()
+}
+
+/// Locates the crossing `p̂(g) = target(g)` by log-linear interpolation
+/// between the last point with `p̂ < target` and the first with
+/// `p̂ ≥ target`. Returns `None` if the sweep never crosses.
+///
+/// Points with zero failures are skipped (no log estimate).
+pub fn find_crossing<F>(points: &[SweepPoint], target: F) -> Option<f64>
+where
+    F: Fn(f64) -> f64,
+{
+    let usable: Vec<&SweepPoint> = points.iter().filter(|p| p.estimate.failures > 0).collect();
+    for pair in usable.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let fa = a.estimate.rate.ln() - target(a.g).ln();
+        let fb = b.estimate.rate.ln() - target(b.g).ln();
+        if fa <= 0.0 && fb > 0.0 {
+            // Interpolate in ln(g).
+            let la = a.g.ln();
+            let lb = b.g.ln();
+            let t = if (fb - fa).abs() < 1e-30 { 0.5 } else { -fa / (fb - fa) };
+            return Some((la + t * (lb - la)).exp());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_point(g: f64, rate: f64) -> SweepPoint {
+        let trials = 1_000_000u64;
+        let failures = (rate * trials as f64).round() as u64;
+        SweepPoint { g, estimate: ErrorEstimate::from_counts(failures.max(1), trials) }
+    }
+
+    #[test]
+    fn log_grid_endpoints_and_spacing() {
+        let grid = log_grid(1e-4, 1e-2, 3);
+        assert!((grid[0] - 1e-4).abs() < 1e-12);
+        assert!((grid[1] - 1e-3).abs() < 1e-9);
+        assert!((grid[2] - 1e-2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn crossing_of_quadratic_map_is_found() {
+        // p(g) = 108 g²; crossing p = g at g* = 1/108.
+        let grid = log_grid(1e-4, 5e-2, 24);
+        let points: Vec<SweepPoint> =
+            grid.iter().map(|&g| synthetic_point(g, (108.0 * g * g).min(0.9))).collect();
+        let g_star = find_crossing(&points, |g| g).expect("must cross");
+        assert!(
+            (g_star - 1.0 / 108.0).abs() / (1.0 / 108.0) < 0.25,
+            "crossing {g_star} far from 1/108"
+        );
+    }
+
+    #[test]
+    fn no_crossing_returns_none() {
+        let grid = log_grid(1e-4, 1e-2, 5);
+        // Always below target.
+        let points: Vec<SweepPoint> =
+            grid.iter().map(|&g| synthetic_point(g, g * 0.01)).collect();
+        assert!(find_crossing(&points, |g| g).is_none());
+    }
+
+    #[test]
+    fn sweep_applies_estimator() {
+        let grid = [0.1, 0.2];
+        let points = sweep(&grid, |g| ErrorEstimate::from_counts((g * 100.0) as u64, 100));
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].estimate.failures, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < lo < hi")]
+    fn log_grid_rejects_bad_range() {
+        let _ = log_grid(0.1, 0.1, 5);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the statistics and sweep machinery.
+
+use proptest::prelude::*;
+use rft_analysis::prelude::*;
+
+proptest! {
+    /// The Wilson interval always contains the point estimate and stays in
+    /// [0, 1].
+    #[test]
+    fn wilson_contains_estimate(failures in 0u64..1000, extra in 0u64..100_000) {
+        let n = failures + extra.max(1);
+        let (lo, hi) = wilson_interval(failures, n, 1.96);
+        let p = failures as f64 / n as f64;
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!((0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= p + 1e-12 && p <= hi + 1e-12);
+    }
+
+    /// Intervals shrink with more data at the same rate.
+    #[test]
+    fn wilson_shrinks_with_n(failures in 1u64..50, scale in 2u64..50) {
+        let n1 = failures * 10;
+        let n2 = n1 * scale;
+        let (lo1, hi1) = wilson_interval(failures, n1, 1.96);
+        let (lo2, hi2) = wilson_interval(failures * scale, n2, 1.96);
+        prop_assert!(hi2 - lo2 <= hi1 - lo1 + 1e-12);
+    }
+
+    /// Per-cycle conversion inverts compounding for any cycle count, in
+    /// the regime where the compounded rate is well-conditioned (p not so
+    /// close to 1 that `1 − p` loses all its precision).
+    #[test]
+    fn per_cycle_inverts_compounding(q in 1e-6f64..0.5, cycles in 1usize..50) {
+        let p = 1.0 - (1.0 - q).powi(cycles as i32);
+        prop_assume!(p < 0.999);
+        let est = ErrorEstimate { failures: 1, trials: 2, rate: p, low: 0.0, high: 1.0 };
+        let back = est.per_cycle(cycles);
+        prop_assert!((back - q).abs() / q < 1e-6, "q {q} cycles {cycles} -> {back}");
+    }
+
+    /// Log grids are sorted, within range, and hit both endpoints.
+    #[test]
+    fn log_grid_well_formed(lo_exp in -6f64..-1.0, span in 0.5f64..4.0, n in 2usize..30) {
+        let lo = 10f64.powf(lo_exp);
+        let hi = 10f64.powf(lo_exp + span);
+        let grid = log_grid(lo, hi, n);
+        prop_assert_eq!(grid.len(), n);
+        prop_assert!((grid[0] - lo).abs() / lo < 1e-9);
+        prop_assert!((grid[n - 1] - hi).abs() / hi < 1e-9);
+        for pair in grid.windows(2) {
+            prop_assert!(pair[1] > pair[0]);
+        }
+    }
+
+    /// Crossing detection finds the analytic crossing of p(g) = c·g² with
+    /// the diagonal within grid resolution, for any quadratic coefficient.
+    #[test]
+    fn crossing_of_quadratics(c in 10f64..1000.0) {
+        let g_star = 1.0 / c;
+        let grid = log_grid(g_star / 30.0, (g_star * 30.0).min(0.9), 40);
+        let points: Vec<SweepPoint> = grid
+            .iter()
+            .map(|&g| {
+                let rate = (c * g * g).min(0.99);
+                let trials = 1_000_000u64;
+                let failures = ((rate * trials as f64) as u64).max(1);
+                SweepPoint { g, estimate: ErrorEstimate::from_counts(failures, trials) }
+            })
+            .collect();
+        let found = find_crossing(&points, |g| g).expect("crossing must be bracketed");
+        prop_assert!((found - g_star).abs() / g_star < 0.3, "found {found} vs {g_star}");
+    }
+
+    /// The slope fit recovers arbitrary linear coefficients.
+    #[test]
+    fn slope_recovers_lines(a in -10f64..10.0, b in -5f64..5.0) {
+        let x: Vec<f64> = (0..20).map(|i| i as f64 / 3.0).collect();
+        let y: Vec<f64> = x.iter().map(|&v| a * v + b).collect();
+        prop_assert!((linear_slope(&x, &y) - a).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 3 / §2.3: concatenated compilation and execution cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rft_core::prelude::*;
+use rft_revsim::prelude::*;
+use std::hint::black_box;
+
+fn compile_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concat_compile");
+    group.sample_size(10);
+    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    for level in 0..=3u8 {
+        group.bench_with_input(BenchmarkId::new("single_gate", level), &level, |b, &level| {
+            b.iter(|| {
+                let mut builder = FtBuilder::new(level, 3);
+                builder.apply(&gate);
+                black_box(builder.finish().circuit().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn run_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concat_execute");
+    group.sample_size(10);
+    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    for level in 1..=3u8 {
+        let mut builder = FtBuilder::new(level, 3);
+        builder.apply(&gate);
+        let program = builder.finish();
+        let encoded = program.encode(&BitState::from_u64(0b011, 3));
+        group.bench_with_input(BenchmarkId::new("ideal_cycle", level), &level, |b, _| {
+            b.iter(|| {
+                let mut s = encoded.clone();
+                program.circuit().run(&mut s);
+                black_box(program.decode(&s).to_u64())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, compile_levels, run_levels);
+criterion_main!(benches);

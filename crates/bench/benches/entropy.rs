@@ -1,0 +1,34 @@
+//! §4 entropy benchmarks: reset-entropy measurement and the exhaustive
+//! NAND-optimality search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rft_analysis::prelude::*;
+use rft_core::entropy::optimal_nand_dissipation;
+use rft_core::prelude::*;
+use rft_revsim::prelude::*;
+use std::hint::black_box;
+
+fn entropy_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entropy");
+    group.sample_size(10);
+    group.bench_function("nand_exhaustive_search", |b| {
+        b.iter(|| black_box(optimal_nand_dissipation().0));
+    });
+    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let mut builder = FtBuilder::new(1, 3);
+    builder.apply(&gate).apply(&gate);
+    let program = builder.finish();
+    let input = program.encode(&BitState::zeros(3));
+    let noise = UniformNoise::new(1e-2);
+    group.bench_function("reset_entropy_1k_trials", |b| {
+        b.iter(|| {
+            black_box(
+                measure_reset_entropy(program.circuit(), &input, &noise, 1000, 7).bits_per_run,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, entropy_benches);
+criterion_main!(benches);

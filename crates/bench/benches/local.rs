@@ -1,0 +1,46 @@
+//! §3 local-scheme benchmarks: cycle construction, locality checking,
+//! audits, and exhaustive sweeps for 2D and 1D.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rft_locality::prelude::*;
+use rft_revsim::prelude::*;
+use std::hint::black_box;
+
+fn local_cycles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local");
+    group.sample_size(10);
+    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    group.bench_function("build_cycle_2d", |b| {
+        b.iter(|| black_box(build_cycle_2d(&gate, InterleaveScheme::Perpendicular).circuit.len()));
+    });
+    group.bench_function("build_cycle_1d", |b| {
+        b.iter(|| black_box(build_cycle_1d(&gate).circuit.len()));
+    });
+    let cycle2d = build_cycle_2d(&gate, InterleaveScheme::Perpendicular);
+    group.bench_function("locality_check_2d", |b| {
+        b.iter(|| black_box(cycle2d.lattice.check_circuit(&cycle2d.circuit).is_local()));
+    });
+    group.bench_function("audit_2d", |b| {
+        b.iter(|| black_box(cycle2d.audit().worst()));
+    });
+    let spec2d = cycle2d.to_cycle_spec(&gate);
+    group.bench_function("sweep_2d", |b| {
+        b.iter(|| black_box(spec2d.sweep_single_faults().violations));
+    });
+    let cycle1d = build_cycle_1d(&gate);
+    let spec1d = cycle1d.to_cycle_spec(&gate);
+    group.bench_function("sweep_1d", |b| {
+        b.iter(|| black_box(spec1d.sweep_single_faults().violations));
+    });
+    let mut wide = Circuit::new(30);
+    for i in 0..10u32 {
+        wide.toffoli(w(i), w(29 - i), w(15));
+    }
+    group.bench_function("route_line_10_remote_toffolis", |b| {
+        b.iter(|| black_box(route_line(&wide).1.elementary_swaps()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, local_cycles);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! §2.2 Monte-Carlo harness benchmarks (threshold/suppression estimators).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rft_analysis::prelude::*;
+use rft_revsim::prelude::*;
+use std::hint::black_box;
+
+fn mc_trials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("montecarlo");
+    group.sample_size(10);
+    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    for level in [1u8, 2] {
+        let mc = ConcatMc::new(level, gate, 1);
+        let noise = UniformNoise::new(1.0 / 165.0);
+        group.bench_with_input(
+            BenchmarkId::new("level_1k_trials", level),
+            &level,
+            |b, _| {
+                b.iter(|| black_box(mc.estimate(&noise, 1000, 1, 4).failures));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mc_trials);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 2 recovery-circuit benchmarks: execution and exhaustive sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rft_core::prelude::*;
+use rft_revsim::permutation::Permutation;
+use rft_revsim::prelude::*;
+use std::hint::black_box;
+
+fn recovery_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(20);
+    let circuit = recovery_circuit();
+    group.bench_function("ideal_cycle", |b| {
+        b.iter(|| {
+            let mut s = BitState::from_u64(0b111, TILE_WIDTH);
+            circuit.run(&mut s);
+            black_box(s.get(DATA_OUT[0]))
+        });
+    });
+    let spec = CycleSpec::new(
+        circuit.clone(),
+        vec![DATA_IN],
+        vec![DATA_OUT],
+        Permutation::identity(1),
+    );
+    group.bench_function("exhaustive_single_fault_sweep", |b| {
+        b.iter(|| black_box(spec.sweep_single_faults().violations));
+    });
+    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let cycle = transversal_cycle(&gate);
+    group.bench_function("cycle_sweep_33_ops", |b| {
+        b.iter(|| black_box(cycle.sweep_single_faults().violations));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, recovery_cycle);
+criterion_main!(benches);

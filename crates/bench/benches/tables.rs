@@ -1,0 +1,30 @@
+//! Table/figure regeneration benchmarks: the analytic experiments that
+//! print the paper's tables (Table 1, Table 2, Eq. 3 series, Figure 1/5
+//! checks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn table_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+    group.bench_function("table1_maj_checks", |b| {
+        b.iter(|| black_box(rft_analysis::experiments::table1::run().all_ok()));
+    });
+    group.bench_function("table2_mixed_thresholds", |b| {
+        b.iter(|| black_box(rft_analysis::experiments::table2::run().matches_paper()));
+    });
+    group.bench_function("levelreq_series", |b| {
+        b.iter(|| black_box(rft_analysis::experiments::levelreq::run().fitted_gate_exponent));
+    });
+    group.bench_function("blowup_measurements", |b| {
+        b.iter(|| black_box(rft_analysis::experiments::blowup::run().worked_example_ok()));
+    });
+    group.bench_function("fig2_exhaustive_verification", |b| {
+        b.iter(|| black_box(rft_analysis::experiments::fig2::run().all_ok()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table_benches);
+criterion_main!(benches);

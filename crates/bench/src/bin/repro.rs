@@ -1,0 +1,89 @@
+//! `repro` — regenerates every table and figure of
+//! *“Reversible Fault-Tolerant Logic”* (Boykin & Roychowdhury, DSN 2005).
+//!
+//! ```text
+//! repro [--quick] [--trials N] [--seed S] [EXPERIMENT ...]
+//! ```
+//!
+//! With no experiment IDs, everything runs. IDs (see DESIGN.md):
+//! `table1 fig2 threshold suppression blowup levelreq local table2 entropy
+//! nand advantage`.
+
+use rft_analysis::experiments::{
+    ablation, advantage, blowup, entropy, fig2, levelreq, local, nand, suppression, table1,
+    table2, threshold, RunConfig,
+};
+use std::time::Instant;
+
+const ALL: [&str; 12] = [
+    "table1",
+    "fig2",
+    "blowup",
+    "levelreq",
+    "table2",
+    "nand",
+    "advantage",
+    "ablation",
+    "local",
+    "entropy",
+    "threshold",
+    "suppression",
+];
+
+fn main() {
+    let mut cfg = RunConfig::full();
+    let mut chosen: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg = RunConfig::quick(),
+            "--trials" => {
+                let v = args.next().expect("--trials needs a value");
+                cfg.trials = v.parse().expect("--trials must be an integer");
+            }
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                cfg.seed = v.parse().expect("--seed must be an integer");
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--quick] [--trials N] [--seed S] [EXPERIMENT ...]");
+                println!("experiments: {}", ALL.join(" "));
+                return;
+            }
+            id => chosen.push(id.to_string()),
+        }
+    }
+    if chosen.is_empty() {
+        chosen = ALL.iter().map(|s| s.to_string()).collect();
+    }
+
+    println!("Reversible Fault-Tolerant Logic — reproduction harness");
+    println!(
+        "config: trials = {}, seed = {}, threads = {}\n",
+        cfg.trials, cfg.seed, cfg.threads
+    );
+
+    for id in &chosen {
+        let start = Instant::now();
+        println!("━━━ experiment: {id} ━━━");
+        match id.as_str() {
+            "table1" => table1::run().print(),
+            "fig2" => fig2::run().print(),
+            "threshold" => threshold::run(&cfg).print(),
+            "suppression" => suppression::run(&cfg).print(),
+            "blowup" => blowup::run().print(),
+            "levelreq" => levelreq::run().print(),
+            "local" => local::run(&cfg).print(),
+            "table2" => table2::run().print(),
+            "entropy" => entropy::run(&cfg).print(),
+            "nand" => nand::run().print(),
+            "advantage" => advantage::run().print(),
+            "ablation" => ablation::run(&cfg).print(),
+            other => {
+                eprintln!("unknown experiment {other:?}; known: {}", ALL.join(" "));
+                std::process::exit(2);
+            }
+        }
+        println!("({} done in {:.1?})\n", id, start.elapsed());
+    }
+}

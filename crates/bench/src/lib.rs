@@ -1,0 +1,7 @@
+//! # rft-bench — benchmarks and the `repro` table/figure regenerator
+//!
+//! Criterion benchmark groups live in `benches/` (one file per experiment
+//! family); the `repro` binary regenerates every table and figure of the
+//! paper — see `repro --help`.
+
+#![warn(missing_docs)]

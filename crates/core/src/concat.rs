@@ -1,0 +1,735 @@
+//! The concatenated fault-tolerant compiler (Figure 3, §2.1 & §2.3).
+//!
+//! A gate at concatenation level `L` on three level-`L` logical bits is
+//! implemented by applying the gate at level `L−1` transversally to the
+//! three code bits and then running an error-recovery cycle at level `L` on
+//! every touched logical bit. Recoveries at level `L` use gates at level
+//! `L−1`, which recursively carry their own recoveries, bottoming out at
+//! physical operations.
+//!
+//! A level-`L` logical bit occupies a *tile* of `9^L` physical wires: three
+//! sub-tiles hold the code bits and six hold the recovery ancillas, at every
+//! level — exactly the `S_L = 9^L` size blow-up of §2.3.
+//!
+//! The recovery circuit leaves the refreshed codeword on rotated positions
+//! (`q0,q3,q6` of the tile). The compiler tracks these rotations in a
+//! 9-ary position tree per logical wire instead of emitting repair SWAPs,
+//! matching the paper's footnote 3 ("this rotation is uniform throughout
+//! the circuit and can be ignored").
+
+use crate::error::{Error, Result};
+use rft_revsim::circuit::Circuit;
+use rft_revsim::gate::Gate;
+use rft_revsim::op::Op;
+use rft_revsim::state::BitState;
+use rft_revsim::wire::{w, Wire};
+
+/// Arena index of a tile node.
+type NodeId = usize;
+
+/// A node in the tile tree: one logical bit at some level ≥ 1.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Concatenation level of this bit (≥ 1).
+    level: u8,
+    /// First physical wire of this bit's tile (`9^level` wires).
+    base: u32,
+    /// Child node ids (level ≥ 2 only), one per sub-tile 0..9.
+    children: [NodeId; 9],
+    /// Which of the nine sub-tiles currently hold the three code bits.
+    data: [u8; 3],
+}
+
+const NO_CHILD: NodeId = usize::MAX;
+
+/// Recursive data-position tree used to encode and decode logical bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataTree {
+    /// A physical wire holding (a share of) the logical value.
+    Leaf(Wire),
+    /// Three sub-blocks; the logical value is their recursive majority.
+    Block(Box<[DataTree; 3]>),
+}
+
+impl DataTree {
+    /// All physical wires in this tree, left to right (`3^L` leaves).
+    pub fn leaves(&self) -> Vec<Wire> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<Wire>) {
+        match self {
+            DataTree::Leaf(wire) => out.push(*wire),
+            DataTree::Block(children) => {
+                for c in children.iter() {
+                    c.collect_leaves(out);
+                }
+            }
+        }
+    }
+
+    /// Decodes the logical value from `state` by recursive majority.
+    pub fn decode(&self, state: &BitState) -> bool {
+        match self {
+            DataTree::Leaf(wire) => state.get(*wire),
+            DataTree::Block(children) => {
+                let votes =
+                    children.iter().filter(|c| c.decode(state)).count();
+                votes >= 2
+            }
+        }
+    }
+
+    /// Writes the logical value `bit` onto every leaf.
+    pub fn encode(&self, state: &mut BitState, bit: bool) {
+        match self {
+            DataTree::Leaf(wire) => state.set(*wire, bit),
+            DataTree::Block(children) => {
+                for c in children.iter() {
+                    c.encode(state, bit);
+                }
+            }
+        }
+    }
+
+    /// Number of physical errors relative to a clean encoding of `bit`.
+    pub fn error_weight(&self, state: &BitState, bit: bool) -> u32 {
+        self.leaves().iter().filter(|&&w| state.get(w) != bit).count() as u32
+    }
+}
+
+/// Builds fault-tolerant physical circuits by concatenated encoding.
+///
+/// # Examples
+///
+/// Compile a logical Toffoli at level 1 and check the blow-up of §2.3
+/// (`Γ₁ = 3·(1+E) = 27` operations for `E = 8`):
+///
+/// ```
+/// use rft_core::concat::FtBuilder;
+/// use rft_revsim::prelude::*;
+///
+/// let mut b = FtBuilder::new(1, 3);
+/// b.apply(&Gate::Toffoli { controls: [w(0), w(1)], target: w(2) });
+/// let program = b.finish();
+/// assert_eq!(program.circuit().len(), 27);
+/// assert_eq!(program.n_physical(), 3 * 9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FtBuilder {
+    level: u8,
+    n_logical: usize,
+    nodes: Vec<Node>,
+    roots: Vec<NodeId>,
+    circuit: Circuit,
+    initial_trees: Vec<DataTree>,
+    logical_gates: usize,
+}
+
+impl FtBuilder {
+    /// Maximum supported concatenation level (9^4 = 6561 wires per bit).
+    pub const MAX_LEVEL: u8 = 4;
+
+    /// Creates a builder for `n_logical` logical wires encoded at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level > Self::MAX_LEVEL` or `n_logical == 0`.
+    pub fn new(level: u8, n_logical: usize) -> Self {
+        assert!(level <= Self::MAX_LEVEL, "level {level} exceeds maximum {}", Self::MAX_LEVEL);
+        assert!(n_logical > 0, "need at least one logical wire");
+        let tile = 9usize.pow(level as u32);
+        let mut builder = FtBuilder {
+            level,
+            n_logical,
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            circuit: Circuit::new(n_logical * tile),
+            initial_trees: Vec::new(),
+            logical_gates: 0,
+        };
+        for i in 0..n_logical {
+            let root = builder.build_tree(level, (i * tile) as u32);
+            builder.roots.push(root);
+        }
+        builder.initial_trees =
+            (0..n_logical).map(|i| builder.tree_of_wire(i)).collect();
+        builder
+    }
+
+    /// Allocates the node tree for a tile. Returns `NO_CHILD` for level 0
+    /// (physical bits need no node).
+    fn build_tree(&mut self, level: u8, base: u32) -> NodeId {
+        if level == 0 {
+            return NO_CHILD;
+        }
+        let sub = 9u32.pow(level as u32 - 1);
+        let mut children = [NO_CHILD; 9];
+        if level >= 2 {
+            for (k, child) in children.iter_mut().enumerate() {
+                *child = self.build_tree(level - 1, base + k as u32 * sub);
+            }
+        }
+        self.nodes.push(Node { level, base, children, data: [0, 1, 2] });
+        self.nodes.len() - 1
+    }
+
+    /// The concatenation level.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Number of logical wires.
+    pub fn n_logical(&self) -> usize {
+        self.n_logical
+    }
+
+    /// Physical wire of sub-position `k` of a level-1 node.
+    fn phys(&self, node: NodeId, k: u8) -> Wire {
+        w(self.nodes[node].base + k as u32)
+    }
+
+    /// The six sub-tile indices currently holding ancillas, ascending.
+    fn ancilla_slots(&self, node: NodeId) -> [u8; 6] {
+        let data = self.nodes[node].data;
+        let mut out = [0u8; 6];
+        let mut n = 0;
+        for k in 0..9u8 {
+            if !data.contains(&k) {
+                out[n] = k;
+                n += 1;
+            }
+        }
+        debug_assert_eq!(n, 6);
+        out
+    }
+
+    /// Applies `gate` (wires = logical wire indices) fault-tolerantly:
+    /// transversal application plus recovery on every touched logical bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references logical wires beyond `n_logical`, or
+    /// is an `Init` — resets of logical wires are not part of the scheme.
+    pub fn apply(&mut self, gate: &Gate) -> &mut Self {
+        self.apply_inner(gate, true)
+    }
+
+    /// Applies `gate` transversally *without* the trailing recovery cycle —
+    /// the unprotected baseline used for ablation experiments.
+    ///
+    /// # Panics
+    ///
+    /// As for [`FtBuilder::apply`].
+    pub fn apply_bare(&mut self, gate: &Gate) -> &mut Self {
+        self.apply_inner(gate, false)
+    }
+
+    fn apply_inner(&mut self, gate: &Gate, recover: bool) -> &mut Self {
+        let support = gate.support();
+        for wire in support.as_slice() {
+            assert!(
+                wire.index() < self.n_logical,
+                "logical wire {wire} out of range ({} logical wires)",
+                self.n_logical
+            );
+        }
+        self.logical_gates += 1;
+        if self.level == 0 {
+            self.circuit.push(Op::Gate(*gate));
+            return self;
+        }
+        let operands: Vec<NodeId> =
+            support.as_slice().iter().map(|w| self.roots[w.index()]).collect();
+        // Canonicalize: rewrite the gate so wire k refers to operands[k]
+        // (gate_at instantiates it by remapping slot k to a physical wire).
+        let max = support.max_index();
+        let mut slots = vec![w(0); max + 1];
+        for (k, wire) in support.as_slice().iter().enumerate() {
+            slots[wire.index()] = w(k as u32);
+        }
+        let slot_gate = gate.remap(&slots);
+        self.gate_at(&slot_gate, &operands, recover);
+        self
+    }
+
+    /// Runs an error-recovery cycle at the top level on one logical wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is out of range, or at level 0 (nothing to
+    /// recover).
+    pub fn recover(&mut self, logical: usize) -> &mut Self {
+        assert!(logical < self.n_logical, "logical wire {logical} out of range");
+        assert!(self.level > 0, "level-0 circuits have no recovery");
+        let root = self.roots[logical];
+        self.recover_node(root);
+        self
+    }
+
+    /// Recursive FT gate application on nodes of equal level ≥ 1.
+    ///
+    /// `gate`'s wires index into `operands` (wire k → operands[k]).
+    fn gate_at(&mut self, gate: &Gate, operands: &[NodeId], recover: bool) {
+        let level = self.nodes[operands[0]].level;
+        debug_assert!(operands
+            .iter()
+            .all(|&n| self.nodes[n].level == level));
+        if level == 1 {
+            // Transversal physical application on the current code bits.
+            for k in 0..3usize {
+                let map: Vec<Wire> = operands
+                    .iter()
+                    .map(|&n| self.phys(n, self.nodes[n].data[k]))
+                    .collect();
+                self.circuit.push(Op::Gate(gate.remap(&map)));
+            }
+        } else {
+            for k in 0..3usize {
+                let subs: Vec<NodeId> = operands
+                    .iter()
+                    .map(|&n| self.nodes[n].children[self.nodes[n].data[k] as usize])
+                    .collect();
+                self.gate_at(gate, &subs, recover);
+            }
+        }
+        if recover {
+            for &n in operands {
+                self.recover_node(n);
+            }
+        }
+    }
+
+    /// Error recovery at `node`'s level, per Figure 2 / Figure 3.
+    fn recover_node(&mut self, node: NodeId) {
+        let level = self.nodes[node].level;
+        let data = self.nodes[node].data;
+        let anc = self.ancilla_slots(node);
+        if level == 1 {
+            let p = |k: u8| self.phys(node, k);
+            let ops: [Op; 8] = [
+                Op::init(&[p(anc[0]), p(anc[1]), p(anc[2])]),
+                Op::init(&[p(anc[3]), p(anc[4]), p(anc[5])]),
+                Op::Gate(Gate::MajInv(p(data[0]), p(anc[0]), p(anc[3]))),
+                Op::Gate(Gate::MajInv(p(data[1]), p(anc[1]), p(anc[4]))),
+                Op::Gate(Gate::MajInv(p(data[2]), p(anc[2]), p(anc[5]))),
+                Op::Gate(Gate::Maj(p(data[0]), p(data[1]), p(data[2]))),
+                Op::Gate(Gate::Maj(p(anc[0]), p(anc[1]), p(anc[2]))),
+                Op::Gate(Gate::Maj(p(anc[3]), p(anc[4]), p(anc[5]))),
+            ];
+            for op in ops {
+                self.circuit.push(op);
+            }
+        } else {
+            let children = self.nodes[node].children;
+            let child = |k: u8| children[k as usize];
+            // Two init operations at level-1 granularity: reset the six
+            // ancilla sub-bits (their data children, recursively).
+            self.reset_triple([child(anc[0]), child(anc[1]), child(anc[2])]);
+            self.reset_triple([child(anc[3]), child(anc[4]), child(anc[5])]);
+            // Six MAJ-family gates at one level lower, each a full FT gate.
+            let enc = Gate::MajInv(w(0), w(1), w(2));
+            let dec = Gate::Maj(w(0), w(1), w(2));
+            self.gate_at(&enc, &[child(data[0]), child(anc[0]), child(anc[3])], true);
+            self.gate_at(&enc, &[child(data[1]), child(anc[1]), child(anc[4])], true);
+            self.gate_at(&enc, &[child(data[2]), child(anc[2]), child(anc[5])], true);
+            self.gate_at(&dec, &[child(data[0]), child(data[1]), child(data[2])], true);
+            self.gate_at(&dec, &[child(anc[0]), child(anc[1]), child(anc[2])], true);
+            self.gate_at(&dec, &[child(anc[3]), child(anc[4]), child(anc[5])], true);
+        }
+        // Output rotation: the refreshed codeword sits on (q0, q3, q6) —
+        // i.e. first data slot and the first slot of each ancilla group.
+        self.nodes[node].data = [data[0], anc[0], anc[3]];
+    }
+
+    /// Resets three same-level logical bits to |0⟩ (recursively resets
+    /// their data children; stale ancillas below are cleaned by later
+    /// recoveries before use).
+    fn reset_triple(&mut self, bits: [NodeId; 3]) {
+        let level = self.nodes[bits[0]].level;
+        if level == 1 {
+            for b in bits {
+                let data = self.nodes[b].data;
+                let wires = [self.phys(b, data[0]), self.phys(b, data[1]), self.phys(b, data[2])];
+                self.circuit.push(Op::init(&wires));
+            }
+        } else {
+            for b in bits {
+                let data = self.nodes[b].data;
+                let child = |k: u8| self.nodes[b].children[k as usize];
+                self.reset_triple([child(data[0]), child(data[1]), child(data[2])]);
+            }
+        }
+    }
+
+    /// The data-position tree of a logical wire in the builder's current
+    /// state.
+    fn tree_of_wire(&self, logical: usize) -> DataTree {
+        if self.level == 0 {
+            return DataTree::Leaf(w(logical as u32));
+        }
+        self.tree_of_node(self.roots[logical])
+    }
+
+    fn tree_of_node(&self, node: NodeId) -> DataTree {
+        let n = &self.nodes[node];
+        if n.level == 1 {
+            DataTree::Block(Box::new([
+                DataTree::Leaf(self.phys(node, n.data[0])),
+                DataTree::Leaf(self.phys(node, n.data[1])),
+                DataTree::Leaf(self.phys(node, n.data[2])),
+            ]))
+        } else {
+            DataTree::Block(Box::new([
+                self.tree_of_node(n.children[n.data[0] as usize]),
+                self.tree_of_node(n.children[n.data[1] as usize]),
+                self.tree_of_node(n.children[n.data[2] as usize]),
+            ]))
+        }
+    }
+
+    /// Finalizes the builder into an executable program.
+    pub fn finish(self) -> FtProgram {
+        let final_trees: Vec<DataTree> =
+            (0..self.n_logical).map(|i| self.tree_of_wire(i)).collect();
+        FtProgram {
+            level: self.level,
+            n_logical: self.n_logical,
+            circuit: self.circuit,
+            initial_trees: self.initial_trees,
+            final_trees,
+            logical_gates: self.logical_gates,
+        }
+    }
+
+    /// Compiles a whole logical circuit at the given level.
+    ///
+    /// Every gate of `logical` becomes one fault-tolerant cycle
+    /// (transversal gate + recoveries), reproducing Figure 3.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnsupportedLogicalOp`] if `logical` contains `Init`
+    /// operations (logical resets are not part of the paper's scheme).
+    pub fn compile(level: u8, logical: &Circuit) -> Result<FtProgram> {
+        let mut builder = FtBuilder::new(level, logical.n_wires());
+        for op in logical.ops() {
+            match op {
+                Op::Gate(g) => {
+                    builder.apply(g);
+                }
+                Op::Init(_) => return Err(Error::UnsupportedLogicalOp),
+            }
+        }
+        Ok(builder.finish())
+    }
+}
+
+/// A compiled fault-tolerant program: physical circuit plus the data-
+/// position bookkeeping needed to encode inputs and decode outputs.
+#[derive(Debug, Clone)]
+pub struct FtProgram {
+    level: u8,
+    n_logical: usize,
+    circuit: Circuit,
+    initial_trees: Vec<DataTree>,
+    final_trees: Vec<DataTree>,
+    logical_gates: usize,
+}
+
+impl FtProgram {
+    /// The physical circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Concatenation level.
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Number of logical wires.
+    pub fn n_logical(&self) -> usize {
+        self.n_logical
+    }
+
+    /// Number of physical wires: `n_logical × 9^level`.
+    pub fn n_physical(&self) -> usize {
+        self.circuit.n_wires()
+    }
+
+    /// Number of logical gates compiled.
+    pub fn logical_gates(&self) -> usize {
+        self.logical_gates
+    }
+
+    /// Data-position tree of a logical wire before the program runs.
+    pub fn initial_tree(&self, logical: usize) -> &DataTree {
+        &self.initial_trees[logical]
+    }
+
+    /// Data-position tree of a logical wire after the program runs.
+    pub fn final_tree(&self, logical: usize) -> &DataTree {
+        &self.final_trees[logical]
+    }
+
+    /// Encodes a logical state: data leaves take the logical bit values,
+    /// every other physical wire is zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical.len() != self.n_logical()`.
+    pub fn encode(&self, logical: &BitState) -> BitState {
+        assert_eq!(logical.len(), self.n_logical, "logical width mismatch");
+        let mut state = BitState::zeros(self.n_physical());
+        for (i, tree) in self.initial_trees.iter().enumerate() {
+            tree.encode(&mut state, logical.get(w(i as u32)));
+        }
+        state
+    }
+
+    /// Decodes the final physical state into logical bits by recursive
+    /// majority over the final data positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical.len() != self.n_physical()`.
+    pub fn decode(&self, physical: &BitState) -> BitState {
+        assert_eq!(physical.len(), self.n_physical(), "physical width mismatch");
+        let bits: Vec<bool> =
+            self.final_trees.iter().map(|t| t.decode(physical)).collect();
+        BitState::from_bools(&bits)
+    }
+}
+
+/// Measured cost of one fault-tolerant logical gate at a given level —
+/// the empirical counterpart of §2.3's `Γ_L = (3(G−2))^L` and `S_L = 9^L`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateCost {
+    /// Concatenation level.
+    pub level: u8,
+    /// Operations emitted for one logical gate (measured `Γ`).
+    pub ops: usize,
+    /// Reversible gates among them.
+    pub gates: usize,
+    /// `Init` resets among them.
+    pub inits: usize,
+    /// Physical wires per logical bit (measured `S = 9^level`).
+    pub wires_per_bit: usize,
+    /// Circuit depth of the cycle.
+    pub depth: usize,
+}
+
+/// Compiles a single 3-bit gate at `level` and measures its cost.
+///
+/// # Panics
+///
+/// Panics if `level > FtBuilder::MAX_LEVEL`.
+pub fn measure_gate_cost(level: u8) -> GateCost {
+    let mut b = FtBuilder::new(level, 3);
+    b.apply(&Gate::Toffoli { controls: [w(0), w(1)], target: w(2) });
+    let program = b.finish();
+    let stats = program.circuit().stats();
+    GateCost {
+        level,
+        ops: stats.total(),
+        gates: stats.gate_ops(),
+        inits: stats.init_ops(),
+        wires_per_bit: 9usize.pow(level as u32),
+        depth: program.circuit().depth(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rft_revsim::permutation::Permutation;
+    
+
+    fn toffoli() -> Gate {
+        Gate::Toffoli { controls: [w(0), w(1)], target: w(2) }
+    }
+
+    #[test]
+    fn level_zero_is_passthrough() {
+        let mut logical = Circuit::new(3);
+        logical.toffoli(w(0), w(1), w(2));
+        let program = FtBuilder::compile(0, &logical).unwrap();
+        assert_eq!(program.n_physical(), 3);
+        assert_eq!(program.circuit().len(), 1);
+        for input in 0..8u64 {
+            let mut s = program.encode(&BitState::from_u64(input, 3));
+            program.circuit().run(&mut s);
+            let out = program.decode(&s).to_u64();
+            let mut direct = BitState::from_u64(input, 3);
+            logical.run(&mut direct);
+            assert_eq!(out, direct.to_u64());
+        }
+    }
+
+    #[test]
+    fn level_one_gate_cost_matches_gamma_formula_exactly() {
+        // Γ₁ = 3(1+E) with E = 8: 3 transversal + 3 recoveries × 8 ops.
+        let cost = measure_gate_cost(1);
+        assert_eq!(cost.ops, 27);
+        assert_eq!(cost.inits, 3 * 2);
+        assert_eq!(cost.gates, 3 + 3 * 6);
+        assert_eq!(cost.wires_per_bit, 9);
+    }
+
+    #[test]
+    fn level_two_gate_cost_is_below_the_uniform_formula() {
+        // The closed form (3(G−2))² = 729 counts level-1 inits as full
+        // gates; the physical compile is cheaper but of the same order.
+        let cost = measure_gate_cost(2);
+        assert!(cost.ops <= 729, "measured {} > formula 729", cost.ops);
+        assert!(cost.ops >= 400, "measured {} suspiciously small", cost.ops);
+        assert_eq!(cost.wires_per_bit, 81);
+    }
+
+    #[test]
+    fn noiseless_level_one_computes_the_logical_function() {
+        let mut logical = Circuit::new(3);
+        logical.toffoli(w(0), w(1), w(2));
+        let program = FtBuilder::compile(1, &logical).unwrap();
+        let logical_perm = Permutation::of_circuit(&logical).unwrap();
+        for input in 0..8u64 {
+            let mut s = program.encode(&BitState::from_u64(input, 3));
+            program.circuit().run(&mut s);
+            assert_eq!(
+                program.decode(&s).to_u64(),
+                logical_perm.apply(input),
+                "input {input:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn noiseless_level_two_computes_the_logical_function() {
+        let mut logical = Circuit::new(3);
+        logical.toffoli(w(0), w(1), w(2));
+        logical.maj(w(2), w(0), w(1));
+        let program = FtBuilder::compile(2, &logical).unwrap();
+        let logical_perm = Permutation::of_circuit(&logical).unwrap();
+        for input in 0..8u64 {
+            let mut s = program.encode(&BitState::from_u64(input, 3));
+            program.circuit().run(&mut s);
+            assert_eq!(program.decode(&s).to_u64(), logical_perm.apply(input));
+        }
+    }
+
+    #[test]
+    fn multi_cycle_rotation_tracking_stays_consistent() {
+        // Many cycles: the data positions rotate every recovery; encoding/
+        // decoding through the trees must stay exact without noise.
+        let mut b = FtBuilder::new(1, 3);
+        for _ in 0..7 {
+            b.apply(&toffoli());
+        }
+        let program = b.finish();
+        for input in 0..8u64 {
+            let mut s = program.encode(&BitState::from_u64(input, 3));
+            program.circuit().run(&mut s);
+            // Toffoli is self-inverse: 7 applications = 1 application.
+            let mut expect = BitState::from_u64(input, 3);
+            toffoli().apply(&mut expect);
+            assert_eq!(program.decode(&s).to_u64(), expect.to_u64());
+        }
+    }
+
+    #[test]
+    fn rotation_changes_data_positions() {
+        let mut b = FtBuilder::new(1, 1);
+        let before = b.tree_of_wire(0);
+        b.recover(0);
+        let after = b.tree_of_wire(0);
+        assert_ne!(before, after, "recovery must rotate the codeword");
+        assert_eq!(
+            after.leaves(),
+            vec![w(0), w(3), w(6)],
+            "outputs land on q0,q3,q6 (Figure 2)"
+        );
+    }
+
+    #[test]
+    fn recovery_cleans_a_single_physical_error() {
+        let mut b = FtBuilder::new(1, 1);
+        b.recover(0);
+        let program = b.finish();
+        for bit in [false, true] {
+            for flip in 0..3usize {
+                let mut logical = BitState::zeros(1);
+                logical.set(w(0), bit);
+                let mut s = program.encode(&logical);
+                let leaf = program.initial_tree(0).leaves()[flip];
+                s.flip(leaf);
+                program.circuit().run(&mut s);
+                assert_eq!(program.decode(&s).get(w(0)), bit);
+                // The output codeword is *clean*, not just decodable:
+                assert_eq!(program.final_tree(0).error_weight(&s, bit), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn size_blowup_is_nine_per_level() {
+        for level in 0..=3u8 {
+            let b = FtBuilder::new(level, 2);
+            let program = b.finish();
+            assert_eq!(program.n_physical(), 2 * 9usize.pow(level as u32));
+        }
+    }
+
+    #[test]
+    fn gate_cost_ratio_between_levels_tracks_3g_minus_2() {
+        // Γ_k / Γ_{k-1} ≤ 3(1+E) = 27, and ≥ 21 (the no-init count 3(1+6)).
+        let c1 = measure_gate_cost(1).ops as f64;
+        let c2 = measure_gate_cost(2).ops as f64;
+        let ratio = c2 / c1;
+        assert!((21.0..=27.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn compile_rejects_logical_inits() {
+        let mut logical = Circuit::new(3);
+        logical.init(&[w(0)]);
+        assert!(matches!(
+            FtBuilder::compile(1, &logical),
+            Err(crate::Error::UnsupportedLogicalOp)
+        ));
+    }
+
+    #[test]
+    fn bare_application_skips_recovery() {
+        let mut b = FtBuilder::new(1, 3);
+        b.apply_bare(&toffoli());
+        let program = b.finish();
+        assert_eq!(program.circuit().len(), 3, "transversal only");
+        assert_eq!(program.circuit().stats().init_ops(), 0);
+    }
+
+    #[test]
+    fn two_logical_wires_do_not_interfere() {
+        let mut b = FtBuilder::new(1, 2);
+        b.apply(&Gate::Cnot { control: w(0), target: w(1) });
+        let program = b.finish();
+        for input in 0..4u64 {
+            let mut s = program.encode(&BitState::from_u64(input, 2));
+            program.circuit().run(&mut s);
+            let expect = {
+                let mut t = BitState::from_u64(input, 2);
+                Gate::Cnot { control: w(0), target: w(1) }.apply(&mut t);
+                t.to_u64()
+            };
+            assert_eq!(program.decode(&s).to_u64(), expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds maximum")]
+    fn level_cap_enforced() {
+        let _ = FtBuilder::new(5, 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Reversible (algorithmic) cooling with the MAJ gate.
+//!
+//! §4 relies on cooling to price entropy removal fairly: "when n bits have
+//! n×H bits of entropy, it is not necessary to replace them with n
+//! zero-entropy bits; instead, reversible cooling schemes can ensure that
+//! we only need to replace n×H of them with zero-entropy bits". The
+//! scheme referenced (Boykin–Mor–Roychowdhury–Vatan–Vrijen, footnote 2's
+//! "algorithmic cooling") is built from exactly the MAJ gate of Table 1:
+//! applied to three bits of bias `ε`, it concentrates bias onto its first
+//! output (`ε' = (3ε − ε³)/2`) while the other two bits heat up and can be
+//! traded against the environment.
+//!
+//! This module provides the analytic bias ladder, a circuit builder for
+//! the recursive MAJ cooling tree on `3^L` bits, and the entropy
+//! accounting that connects cooling to §4's reset budget.
+
+use crate::entropy::binary_entropy;
+use rft_revsim::circuit::Circuit;
+use rft_revsim::wire::{w, Wire};
+use serde::{Deserialize, Serialize};
+
+/// Bias of the majority of three independent bits of bias `eps`.
+///
+/// A bit has *bias* `ε` when it is 0 with probability `(1+ε)/2`. One MAJ
+/// application boosts `ε → (3ε − ε³)/2` on its first output.
+///
+/// # Panics
+///
+/// Panics unless `-1 ≤ eps ≤ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use rft_core::cooling::maj_bias_boost;
+///
+/// let boosted = maj_bias_boost(0.1);
+/// assert!(boosted > 0.1 && boosted < 0.15);
+/// assert_eq!(maj_bias_boost(1.0), 1.0); // already pure
+/// ```
+pub fn maj_bias_boost(eps: f64) -> f64 {
+    assert!((-1.0..=1.0).contains(&eps), "bias must lie in [-1,1], got {eps}");
+    (3.0 * eps - eps * eps * eps) / 2.0
+}
+
+/// The bias ladder: bias after `levels` recursive MAJ cooling rounds
+/// starting from `eps0` (each round consumes 3 bits of the previous
+/// round's bias to make one colder bit).
+pub fn bias_ladder(eps0: f64, levels: u32) -> Vec<f64> {
+    let mut out = Vec::with_capacity(levels as usize + 1);
+    let mut eps = eps0;
+    out.push(eps);
+    for _ in 0..levels {
+        eps = maj_bias_boost(eps);
+        out.push(eps);
+    }
+    out
+}
+
+/// Entropy (bits) of one bit at bias `eps`: `H((1+ε)/2)`.
+pub fn bias_entropy(eps: f64) -> f64 {
+    binary_entropy((1.0 + eps.clamp(-1.0, 1.0)) / 2.0)
+}
+
+/// §4's accounting: resets needed to refresh `n` bits carrying `n·H(ε)`
+/// bits of entropy, assuming ideal reversible cooling.
+pub fn resets_needed(n: f64, eps: f64) -> f64 {
+    n * bias_entropy(eps)
+}
+
+/// A recursive MAJ cooling tree on `3^levels` wires.
+///
+/// Round `r` applies MAJ to the cold outputs of round `r−1` in groups of
+/// three; after all rounds the coldest bit sits on wire 0.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoolingTree {
+    levels: u32,
+}
+
+impl CoolingTree {
+    /// Maximum supported depth (3^8 = 6561 wires).
+    pub const MAX_LEVELS: u32 = 8;
+
+    /// Creates a cooling tree of the given depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels > Self::MAX_LEVELS`.
+    pub fn new(levels: u32) -> Self {
+        assert!(levels <= Self::MAX_LEVELS, "depth {levels} exceeds {}", Self::MAX_LEVELS);
+        CoolingTree { levels }
+    }
+
+    /// Number of input wires: `3^levels`.
+    pub fn n_wires(&self) -> usize {
+        3usize.pow(self.levels)
+    }
+
+    /// The wire carrying the coldest bit after the circuit runs.
+    pub fn cold_output(&self) -> Wire {
+        w(0)
+    }
+
+    /// Builds the cooling circuit.
+    ///
+    /// Round `r` operates on wires whose index is a multiple of `3^r`;
+    /// group `(k, k+3^r, k+2·3^r)` feeds its majority back onto wire `k`.
+    pub fn circuit(&self) -> Circuit {
+        let mut c = Circuit::new(self.n_wires().max(1));
+        for r in 0..self.levels {
+            let stride = 3usize.pow(r);
+            let groups = 3usize.pow(self.levels - r - 1);
+            for k in 0..groups {
+                let base = k * 3 * stride;
+                c.maj(
+                    w(base as u32),
+                    w((base + stride) as u32),
+                    w((base + 2 * stride) as u32),
+                );
+            }
+        }
+        c
+    }
+
+    /// Analytic bias of the cold output for inputs of bias `eps`.
+    pub fn output_bias(&self, eps: f64) -> f64 {
+        *bias_ladder(eps, self.levels).last().expect("non-empty ladder")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use rft_revsim::state::BitState;
+
+    #[test]
+    fn boost_formula_fixed_points() {
+        assert_eq!(maj_bias_boost(0.0), 0.0);
+        assert_eq!(maj_bias_boost(1.0), 1.0);
+        assert_eq!(maj_bias_boost(-1.0), -1.0);
+        // Strictly improving for 0 < ε < 1.
+        for eps in [0.01, 0.1, 0.5, 0.9] {
+            assert!(maj_bias_boost(eps) > eps, "ε = {eps}");
+            assert!(maj_bias_boost(eps) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn small_bias_boost_is_three_halves() {
+        // ε' ≈ (3/2)ε for small ε — the classic 1.5× per round.
+        let eps = 1e-4;
+        assert!((maj_bias_boost(eps) / eps - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ladder_is_monotone_and_converges_to_one() {
+        let ladder = bias_ladder(0.05, 30);
+        for pair in ladder.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+        assert!(ladder.last().unwrap() > &0.999);
+    }
+
+    #[test]
+    fn circuit_matches_analytic_bias_monte_carlo() {
+        let tree = CoolingTree::new(3); // 27 wires
+        let circuit = tree.circuit();
+        let eps = 0.2;
+        let expect = tree.output_bias(eps);
+        let mut rng = SmallRng::seed_from_u64(77);
+        let trials = 60_000;
+        let mut zeros = 0u64;
+        for _ in 0..trials {
+            let mut s = BitState::zeros(tree.n_wires());
+            for i in 0..tree.n_wires() as u32 {
+                // bit = 0 with probability (1+ε)/2
+                s.set(w(i), rng.random::<f64>() >= (1.0 + eps) / 2.0);
+            }
+            circuit.run(&mut s);
+            if !s.get(tree.cold_output()) {
+                zeros += 1;
+            }
+        }
+        let measured = 2.0 * (zeros as f64 / trials as f64) - 1.0;
+        assert!(
+            (measured - expect).abs() < 0.02,
+            "measured bias {measured} vs analytic {expect}"
+        );
+    }
+
+    #[test]
+    fn cooling_reduces_cold_bit_entropy() {
+        let eps = 0.1;
+        let tree = CoolingTree::new(4);
+        let cold = tree.output_bias(eps);
+        assert!(bias_entropy(cold) < bias_entropy(eps));
+    }
+
+    #[test]
+    fn resets_accounting_matches_section_4() {
+        // n bits at ε = 0 carry n bits of entropy: all must be replaced.
+        assert!((resets_needed(100.0, 0.0) - 100.0).abs() < 1e-12);
+        // Pure bits need no resets.
+        assert_eq!(resets_needed(100.0, 1.0), 0.0);
+        // Intermediate bias: 0 < resets < n.
+        let r = resets_needed(100.0, 0.5);
+        assert!(r > 0.0 && r < 100.0);
+    }
+
+    #[test]
+    fn tree_shapes() {
+        assert_eq!(CoolingTree::new(0).n_wires(), 1);
+        assert_eq!(CoolingTree::new(0).circuit().len(), 0);
+        let t = CoolingTree::new(2);
+        assert_eq!(t.n_wires(), 9);
+        // Rounds: 3 groups of stride 1 + 1 group of stride 3 = 4 MAJ gates.
+        assert_eq!(t.circuit().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn depth_cap() {
+        let _ = CoolingTree::new(9);
+    }
+}

@@ -1,0 +1,418 @@
+//! Entropy dissipation of noisy reversible computing (§4).
+//!
+//! A noisy reversible computer must eject entropy through bit resets
+//! (Aharonov et al.); Landauer prices each ejected bit at `k_B·T·ln 2` of
+//! heat. §4 bounds the entropy generated per level-`L` gate:
+//!
+//! ```text
+//! g·(3E)^(L−1) ≤ H_L ≤ G̃^L · κ · √g ,   κ = 2√(7/8) + (7/8)·log₂7
+//! ```
+//!
+//! and concludes entropy per gate stays `O(1)` only up to
+//! `L ≤ log(1/g)/log(3E) + 1` levels.
+//!
+//! The section also calibrates against irreversible logic: a reversible
+//! gate can simulate NAND while dissipating only **3/2 bits** per cycle,
+//! optimally achieved by `MAJ⁻¹` (footnote 4). [`optimal_nand_dissipation`]
+//! proves that optimum by exhausting all `8!` three-bit reversible gates.
+
+use rft_revsim::circuit::Circuit;
+use rft_revsim::state::BitState;
+use rft_revsim::wire::w;
+use serde::{Deserialize, Serialize};
+
+/// Boltzmann's constant, J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Binary Shannon entropy `H(p)` in bits; `H(0) = H(1) = 0`.
+///
+/// # Panics
+///
+/// Panics if `p` is not a probability.
+pub fn binary_entropy(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability required, got {p}");
+    if p == 0.0 || p == 1.0 {
+        return 0.0;
+    }
+    -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+}
+
+/// Shannon entropy in bits of an empirical distribution given as counts.
+///
+/// Zero-count entries are ignored. Returns 0 for an empty histogram.
+pub fn entropy_of_counts(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// The paper's constant `κ = 2√(7/8) + (7/8)·log₂ 7 ≈ 4.33`.
+pub fn kappa() -> f64 {
+    2.0 * (7.0f64 / 8.0).sqrt() + (7.0 / 8.0) * 7.0f64.log2()
+}
+
+/// Entropy of one noisy gate's output: with probability `1−g` correct, with
+/// probability `g` one of eight equally likely patterns —
+/// `H(7g/8) + (7g/8)·log₂ 7` bits.
+///
+/// # Panics
+///
+/// Panics if `g` is not a probability.
+pub fn gate_output_entropy(g: f64) -> f64 {
+    let q = 7.0 * g / 8.0;
+    binary_entropy(q) + q * 7.0f64.log2()
+}
+
+/// §4 upper bound on the level-1 entropy per gate:
+/// `H₁ ≤ G̃·(H(7g/8) + (7g/8)log₂7)`, where `G̃` is the number of
+/// physical gates per level-1 logical gate.
+pub fn h1_upper(g: f64, g_tilde: f64) -> f64 {
+    g_tilde * gate_output_entropy(g)
+}
+
+/// The √g relaxation of the upper bound: `H_L ≤ G̃^L · κ · √g`.
+///
+/// # Panics
+///
+/// Panics if `g` is negative.
+pub fn hl_upper(g: f64, g_tilde: f64, level: u32) -> f64 {
+    assert!(g >= 0.0, "need a non-negative rate");
+    g_tilde.powi(level as i32) * kappa() * g.sqrt()
+}
+
+/// §4 lower bound: `H_L ≥ g·(3E)^(L−1)` for `L ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `level == 0` (the bound is stated for encoded gates).
+pub fn hl_lower(g: f64, e_ops: f64, level: u32) -> f64 {
+    assert!(level >= 1, "the lower bound applies to encoded levels L >= 1");
+    g * (3.0 * e_ops).powi(level as i32 - 1)
+}
+
+/// §4: the largest concatenation level keeping entropy per gate `O(1)`:
+/// `L ≤ log(1/g)/log(3E) + 1`.
+///
+/// The paper's worked example (`g = 10⁻²`, `E = 11`) gives 2.3.
+///
+/// # Panics
+///
+/// Panics unless `0 < g < 1` and `e_ops > 1/3`.
+pub fn max_level_constant_entropy(g: f64, e_ops: f64) -> f64 {
+    assert!(g > 0.0 && g < 1.0, "need 0 < g < 1");
+    assert!(3.0 * e_ops > 1.0, "need 3E > 1");
+    (1.0 / g).ln() / (3.0 * e_ops).ln() + 1.0
+}
+
+/// Landauer: minimum heat in joules to erase `bits` of entropy at
+/// temperature `kelvin`: `ΔE ≥ k_B·T·ln2·ΔH`.
+///
+/// # Panics
+///
+/// Panics if `kelvin` is negative.
+pub fn landauer_heat_joules(bits: f64, kelvin: f64) -> f64 {
+    assert!(kelvin >= 0.0, "temperature must be non-negative");
+    bits * kelvin * BOLTZMANN * std::f64::consts::LN_2
+}
+
+/// How a three-bit reversible gate simulates NAND, and what it costs.
+///
+/// Two uniform input bits occupy two wires, a constant occupies the third;
+/// after the gate, one output wire carries `NAND(a,b)` and the other two
+/// must be reset for the next cycle. The dissipation is the Shannon entropy
+/// of those two reset bits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NandSimulation {
+    /// Human-readable description of the wiring.
+    pub wiring: String,
+    /// Which output wire carries the NAND result.
+    pub output_wire: usize,
+    /// Joint entropy of the two reset wires (bits dissipated per cycle).
+    pub reset_joint_entropy: f64,
+    /// Sum of marginal entropies of the reset wires (what per-bit resetting
+    /// without reversible pre-concentration would cost).
+    pub reset_marginal_sum: f64,
+    /// Conditional entropy of the reset wires given the kept output — the
+    /// information-theoretic floor if the eraser could exploit the output.
+    pub reset_conditional_entropy: f64,
+}
+
+/// Analyses one gate's NAND simulation for a fixed wiring.
+///
+/// `inputs[i]` gives for each of the 4 `(a,b)` combinations the packed
+/// 3-bit input state; `output_wire` is where NAND must appear.
+fn analyse_nand(
+    circuit: &Circuit,
+    wiring: &str,
+    prepare: impl Fn(bool, bool) -> u64,
+    output_wire: usize,
+) -> Option<NandSimulation> {
+    let mut outputs = [0u64; 4];
+    for (idx, (a, b)) in [(false, false), (false, true), (true, false), (true, true)]
+        .into_iter()
+        .enumerate()
+    {
+        let mut s = BitState::from_u64(prepare(a, b), 3);
+        circuit.run(&mut s);
+        let out = s.to_u64();
+        let nand = !(a && b);
+        if ((out >> output_wire) & 1 == 1) != nand {
+            return None; // this wiring does not compute NAND
+        }
+        outputs[idx] = out;
+    }
+    let reset_wires: Vec<usize> = (0..3).filter(|&i| i != output_wire).collect();
+    // Joint histogram of the reset pair over the 4 equally likely inputs.
+    let mut joint = [0u64; 4];
+    let mut marg = [[0u64; 2]; 2];
+    let mut cond: std::collections::BTreeMap<u64, Vec<u64>> = std::collections::BTreeMap::new();
+    for &out in &outputs {
+        let r0 = (out >> reset_wires[0]) & 1;
+        let r1 = (out >> reset_wires[1]) & 1;
+        joint[(r0 | (r1 << 1)) as usize] += 1;
+        marg[0][r0 as usize] += 1;
+        marg[1][r1 as usize] += 1;
+        let kept = (out >> output_wire) & 1;
+        cond.entry(kept).or_insert_with(|| vec![0; 4])[(r0 | (r1 << 1)) as usize] += 1;
+    }
+    let reset_joint_entropy = entropy_of_counts(&joint);
+    let reset_marginal_sum = entropy_of_counts(&marg[0]) + entropy_of_counts(&marg[1]);
+    // H(reset|kept) = Σ_kept P(kept)·H(reset | kept)
+    let reset_conditional_entropy = cond
+        .values()
+        .map(|counts| {
+            let n: u64 = counts.iter().sum();
+            (n as f64 / 4.0) * entropy_of_counts(counts)
+        })
+        .sum();
+    Some(NandSimulation {
+        wiring: wiring.to_string(),
+        output_wire,
+        reset_joint_entropy,
+        reset_marginal_sum,
+        reset_conditional_entropy,
+    })
+}
+
+/// NAND via a Toffoli gate: inputs on the controls, constant 1 on the
+/// target, output on the target (`c ⊕ a·b = ¬(a·b)`).
+pub fn nand_via_toffoli() -> NandSimulation {
+    let mut c = Circuit::new(3);
+    c.toffoli(w(0), w(1), w(2));
+    analyse_nand(
+        &c,
+        "Toffoli(a,b,1): keep target",
+        |a, b| (a as u64) | ((b as u64) << 1) | (1 << 2),
+        2,
+    )
+    .expect("Toffoli computes NAND on the target")
+}
+
+/// NAND via `MAJ⁻¹` — footnote 4's optimal scheme: constant 1 on `q0`,
+/// inputs on `q1,q2`; the NAND lands on `q0` and the reset pair
+/// concentrates to only 3/2 bits of entropy.
+pub fn nand_via_maj_inv() -> NandSimulation {
+    let mut c = Circuit::new(3);
+    c.maj_inv(w(0), w(1), w(2));
+    analyse_nand(
+        &c,
+        "MAJ⁻¹(1,a,b): keep q0",
+        |a, b| 1 | ((a as u64) << 1) | ((b as u64) << 2),
+        0,
+    )
+    .expect("MAJ⁻¹ computes NAND on q0")
+}
+
+/// Exhaustive optimum over *all* three-bit reversible gates: the minimum
+/// joint reset entropy of any NAND simulation (over all `8!` permutations,
+/// all constant placements/values, all output wires).
+///
+/// Footnote 4 claims this is exactly 3/2 bits; this function proves it by
+/// exhaustion. Returns `(minimum_bits, number_of_optimal_schemes)`.
+pub fn optimal_nand_dissipation() -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut count = 0usize;
+    // Iterate over all permutations of {0..8} via Heap's algorithm.
+    let mut perm: [u64; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+    let mut c = [0usize; 8];
+    let mut consider = |perm: &[u64; 8]| {
+        for const_wire in 0..3usize {
+            for const_val in 0..2u64 {
+                let in_wires: Vec<usize> = (0..3).filter(|&i| i != const_wire).collect();
+                for out_wire in 0..3usize {
+                    // Outputs for the four (a,b) inputs.
+                    let mut joint = [0u64; 4];
+                    let mut ok = true;
+                    let reset: Vec<usize> = (0..3).filter(|&i| i != out_wire).collect();
+                    for (a, b) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
+                        let input = (a << in_wires[0]) | (b << in_wires[1]) | (const_val << const_wire);
+                        let out = perm[input as usize];
+                        let nand = 1 - (a & b);
+                        if (out >> out_wire) & 1 != nand {
+                            ok = false;
+                            break;
+                        }
+                        let r0 = (out >> reset[0]) & 1;
+                        let r1 = (out >> reset[1]) & 1;
+                        joint[(r0 | (r1 << 1)) as usize] += 1;
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    let h = entropy_of_counts(&joint);
+                    if h < best - 1e-12 {
+                        best = h;
+                        count = 1;
+                    } else if (h - best).abs() <= 1e-12 {
+                        count += 1;
+                    }
+                }
+            }
+        }
+    };
+    consider(&perm);
+    let mut i = 0usize;
+    while i < 8 {
+        if c[i] < i {
+            if i.is_multiple_of(2) {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            consider(&perm);
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    (best, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_entropy_shape() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        assert!((binary_entropy(0.25) - 0.811278).abs() < 1e-5);
+        // Symmetric.
+        assert!((binary_entropy(0.3) - binary_entropy(0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_counts_basics() {
+        assert_eq!(entropy_of_counts(&[]), 0.0);
+        assert_eq!(entropy_of_counts(&[5]), 0.0);
+        assert!((entropy_of_counts(&[1, 1]) - 1.0).abs() < 1e-12);
+        assert!((entropy_of_counts(&[2, 1, 1]) - 1.5).abs() < 1e-12);
+        assert!((entropy_of_counts(&[1, 1, 1, 1]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_matches_paper_constant() {
+        // κ = 2√(7/8) + (7/8)log₂7 ≈ 1.8708 + 2.4565 ≈ 4.327
+        assert!((kappa() - 4.3273).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gate_output_entropy_below_sqrt_relaxation() {
+        for &g in &[1e-6, 1e-4, 1e-2, 0.1] {
+            let exact = gate_output_entropy(g);
+            let relaxed = kappa() * g.sqrt();
+            assert!(exact <= relaxed + 1e-12, "g={g}: {exact} > {relaxed}");
+        }
+    }
+
+    #[test]
+    fn h1_bounds_nest() {
+        let g = 1e-3;
+        let g_tilde = 27.0;
+        assert!(h1_upper(g, g_tilde) <= hl_upper(g, g_tilde, 1) + 1e-12);
+        assert!(hl_lower(g, 8.0, 1) <= h1_upper(g, g_tilde));
+    }
+
+    #[test]
+    fn lower_bound_level_one_is_g() {
+        // H_1 ≥ g·(3E)⁰ = g.
+        assert!((hl_lower(1e-3, 11.0, 1) - 1e-3).abs() < 1e-18);
+    }
+
+    #[test]
+    fn bounds_grow_exponentially_with_level() {
+        let g = 1e-4;
+        for level in 1..5u32 {
+            let lo = hl_lower(g, 8.0, level);
+            let hi = hl_upper(g, 27.0, level);
+            assert!(lo <= hi, "level {level}");
+            assert!(hl_lower(g, 8.0, level + 1) / lo - 24.0 < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_worked_example_l_2_3() {
+        // "if g = 10⁻², and E = 11, we have L ≤ 2.3"
+        let l = max_level_constant_entropy(1e-2, 11.0);
+        assert!((l - 2.3).abs() < 0.02, "got {l}");
+    }
+
+    #[test]
+    fn max_level_grows_as_log_inverse_g() {
+        // §4: entropic savings need O(log 1/g) levels of error correction.
+        let l1 = max_level_constant_entropy(1e-2, 8.0);
+        let l2 = max_level_constant_entropy(1e-4, 8.0);
+        let l3 = max_level_constant_entropy(1e-8, 8.0);
+        assert!(((l2 - 1.0) / (l1 - 1.0) - 2.0).abs() < 1e-9);
+        assert!(((l3 - 1.0) / (l1 - 1.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn landauer_at_room_temperature() {
+        // kT·ln2 at 300K ≈ 2.87e-21 J per bit.
+        let j = landauer_heat_joules(1.0, 300.0);
+        assert!((j - 2.871e-21).abs() < 1e-23);
+        assert_eq!(landauer_heat_joules(0.0, 300.0), 0.0);
+    }
+
+    #[test]
+    fn toffoli_nand_costs_two_bits_jointly() {
+        let sim = nand_via_toffoli();
+        assert!((sim.reset_joint_entropy - 2.0).abs() < 1e-12);
+        assert!((sim.reset_marginal_sum - 2.0).abs() < 1e-12);
+        // Information floor: H(a,b|NAND) = 2 − H(1/4) ≈ 1.1887.
+        assert!((sim.reset_conditional_entropy - 1.18872).abs() < 1e-4);
+    }
+
+    #[test]
+    fn maj_inv_nand_achieves_three_halves() {
+        let sim = nand_via_maj_inv();
+        assert!(
+            (sim.reset_joint_entropy - 1.5).abs() < 1e-12,
+            "MAJ⁻¹ should dissipate exactly 3/2 bits, got {}",
+            sim.reset_joint_entropy
+        );
+        // Without joint concentration, per-bit resets would cost more.
+        assert!(sim.reset_marginal_sum > 1.5);
+    }
+
+    #[test]
+    fn exhaustive_search_confirms_three_halves_optimal() {
+        let (best, schemes) = optimal_nand_dissipation();
+        assert!((best - 1.5).abs() < 1e-12, "optimal is {best}");
+        assert!(schemes > 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Crate error type.
+
+use std::fmt;
+
+/// Errors produced by the fault-tolerance layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The logical circuit contains an operation the FT compiler does not
+    /// encode (currently: logical `Init` resets).
+    UnsupportedLogicalOp,
+    /// A gate error rate was outside `[0, 1]` or otherwise meaningless.
+    InvalidRate {
+        /// The offending value.
+        value: f64,
+    },
+    /// A gate budget smaller than 2 operations cannot define a threshold.
+    DegenerateBudget {
+        /// The offending operation count.
+        ops: u32,
+    },
+    /// An error from the underlying simulator.
+    Revsim(rft_revsim::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnsupportedLogicalOp => {
+                write!(f, "logical circuit contains an operation the compiler cannot encode")
+            }
+            Error::InvalidRate { value } => {
+                write!(f, "error rate {value} is not a probability")
+            }
+            Error::DegenerateBudget { ops } => {
+                write!(f, "gate budget of {ops} operations cannot define a threshold")
+            }
+            Error::Revsim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Revsim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rft_revsim::Error> for Error {
+    fn from(e: rft_revsim::Error) -> Self {
+        Error::Revsim(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(Error::UnsupportedLogicalOp.to_string().contains("compiler"));
+        assert!(Error::InvalidRate { value: 2.0 }.to_string().contains("2"));
+        assert!(Error::DegenerateBudget { ops: 1 }.to_string().contains("1"));
+    }
+
+    #[test]
+    fn wraps_revsim_errors_with_source() {
+        use std::error::Error as _;
+        let e = Error::from(rft_revsim::Error::Irreversible);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("simulator error"));
+    }
+}

@@ -1,0 +1,72 @@
+//! # rft-core — reversible fault-tolerant logic
+//!
+//! The primary contribution of *“Reversible Fault-Tolerant Logic”*
+//! (P. O. Boykin & V. P. Roychowdhury, DSN 2005, arXiv:cs/0504010),
+//! implemented on top of the [`rft_revsim`] gate-array simulator:
+//!
+//! - [`maj`] — the reversible majority gate (Table 1) and its CNOT/Toffoli
+//!   decomposition (Figure 1);
+//! - [`code`] — the concatenated three-bit repetition code (§2.1);
+//! - [`recovery`] — the nine-bit fault-tolerant error-recovery circuit
+//!   (Figure 2);
+//! - [`ftcheck`] — exhaustive verification that single faults never leave
+//!   more than one error per output codeword;
+//! - [`concat`](mod@concat) — the recursive fault-tolerant compiler (Figure 3) with the
+//!   `Γ_L`/`S_L` blow-up accounting of §2.3;
+//! - [`threshold`] — the analytic threshold model (Equations 1–3, the
+//!   published thresholds 1/108, 1/165, 1/273, 1/360, 1/2340, 1/2109);
+//! - [`mixed`] — concatenating 2D below 1D schemes (§3.3, Table 2);
+//! - [`entropy`] — entropy/heat bounds for noisy reversible computing (§4)
+//!   and the 3/2-bit NAND optimality proof (footnote 4).
+//!
+//! # Examples
+//!
+//! Encode a bit, corrupt it, and recover it fault-tolerantly:
+//!
+//! ```
+//! use rft_core::recovery::{recovery_circuit, DATA_IN, DATA_OUT, TILE_WIDTH};
+//! use rft_revsim::prelude::*;
+//!
+//! let mut state = BitState::zeros(TILE_WIDTH);
+//! for q in DATA_IN {
+//!     state.set(q, true); // logical 1 = codeword 111
+//! }
+//! state.flip(DATA_IN[1]); // a physical error
+//!
+//! recovery_circuit().run(&mut state);
+//! assert!(DATA_OUT.iter().all(|&q| state.get(q))); // refreshed to 111
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod code;
+pub mod concat;
+pub mod cooling;
+pub mod entropy;
+mod error;
+pub mod ftcheck;
+pub mod maj;
+pub mod mixed;
+pub mod recovery;
+pub mod synth;
+pub mod threshold;
+
+pub use error::{Error, Result};
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::code::RepetitionCode;
+    pub use crate::cooling::{bias_ladder, maj_bias_boost, CoolingTree};
+    pub use crate::concat::{measure_gate_cost, DataTree, FtBuilder, FtProgram, GateCost};
+    pub use crate::ftcheck::{transversal_cycle, CycleSpec, FaultSweep};
+    pub use crate::maj::{verify_maj, MajVerification, TABLE_1};
+    pub use crate::mixed::{mixed_threshold, table2, Table2Row};
+    pub use crate::recovery::{
+        recovery_circuit, recovery_circuit_no_init, DATA_IN, DATA_OUT, E_NO_INIT, E_WITH_INIT,
+        TILE_WIDTH,
+    };
+    pub use crate::synth::Synthesizer;
+    pub use crate::threshold::{GateBudget, ModuleOverhead};
+    pub use crate::{Error, Result};
+}

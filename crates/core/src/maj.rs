@@ -1,0 +1,243 @@
+//! The reversible majority gate: Table 1 and Figure 1 of the paper.
+//!
+//! `MAJ` is obtained "by flipping the second two bits if the first bit is 1,
+//! and then flipping the first bit if the second two bits are 1" — i.e. the
+//! three-gate decomposition `CNOT(q0→q1)`, `CNOT(q0→q2)`,
+//! `Toffoli(q1,q2→q0)` of Figure 1. Its first output bit is the majority of
+//! the inputs, and its inverse maps `(b, 0, 0)` to `(b, b, b)`, encoding the
+//! three-bit repetition code.
+
+use rft_revsim::circuit::Circuit;
+use rft_revsim::permutation::Permutation;
+use rft_revsim::wire::{w, Wire};
+
+/// The paper's Table 1, with rows written as `q0 q1 q2` bit strings.
+///
+/// Each input has a unique output and the first output bit is the majority
+/// of the input bits.
+pub const TABLE_1: [(&str, &str); 8] = [
+    ("000", "000"),
+    ("001", "001"),
+    ("010", "010"),
+    ("011", "111"),
+    ("100", "011"),
+    ("101", "110"),
+    ("110", "101"),
+    ("111", "100"),
+];
+
+/// Parses a `q0 q1 q2` bit string into the little-endian packed value used
+/// by the simulator (`q0` → bit 0).
+///
+/// # Panics
+///
+/// Panics if `s` contains characters other than `0`/`1`.
+pub fn parse_bits(s: &str) -> u64 {
+    s.bytes().enumerate().fold(0u64, |acc, (i, b)| match b {
+        b'0' => acc,
+        b'1' => acc | (1 << i),
+        _ => panic!("invalid bit character in {s:?}"),
+    })
+}
+
+/// Formats a packed value as a `q0 q1 q2 …` bit string of width `n`.
+pub fn format_bits(value: u64, n: usize) -> String {
+    (0..n).map(|i| if (value >> i) & 1 == 1 { '1' } else { '0' }).collect()
+}
+
+/// Boolean majority of three bits.
+pub fn majority(a: bool, b: bool, c: bool) -> bool {
+    (a as u8 + b as u8 + c as u8) >= 2
+}
+
+/// A single-`MAJ` circuit on three wires (the primitive gate).
+pub fn maj_circuit() -> Circuit {
+    let mut c = Circuit::new(3);
+    c.maj(w(0), w(1), w(2));
+    c
+}
+
+/// A single-`MAJ⁻¹` circuit on three wires.
+pub fn maj_inv_circuit() -> Circuit {
+    let mut c = Circuit::new(3);
+    c.maj_inv(w(0), w(1), w(2));
+    c
+}
+
+/// Figure 1: `MAJ` decomposed into two CNOTs and one Toffoli.
+pub fn maj_decomposition() -> Circuit {
+    let mut c = Circuit::new(3);
+    c.cnot(w(0), w(1)).cnot(w(0), w(2)).toffoli(w(1), w(2), w(0));
+    c
+}
+
+/// The inverse of Figure 1: `MAJ⁻¹` as one Toffoli and two CNOTs.
+pub fn maj_inv_decomposition() -> Circuit {
+    maj_decomposition().inverted().expect("gate-only circuit is invertible")
+}
+
+/// Appends `MAJ(a, b, c)` as its Figure 1 decomposition onto `circuit`.
+///
+/// # Panics
+///
+/// Panics if the wires are invalid for `circuit` (see [`Circuit::push`]).
+pub fn push_maj_decomposed(circuit: &mut Circuit, a: Wire, b: Wire, c: Wire) {
+    circuit.cnot(a, b).cnot(a, c).toffoli(b, c, a);
+}
+
+/// The permutation computed by `MAJ` (eight rows of Table 1).
+pub fn maj_permutation() -> Permutation {
+    Permutation::of_circuit(&maj_circuit()).expect("3-wire reversible circuit")
+}
+
+/// Result of checking the MAJ primitive against Table 1 and Figure 1,
+/// consumed by the `table1`/`fig1` experiment reproductions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MajVerification {
+    /// Truth-table rows `(input, output)` as `q0q1q2` strings.
+    pub rows: Vec<(String, String)>,
+    /// Whether the simulated table matches Table 1 exactly.
+    pub matches_table_1: bool,
+    /// Whether the first output bit equals the input majority on all rows.
+    pub majority_property: bool,
+    /// Whether the Figure 1 decomposition computes the same permutation.
+    pub decomposition_matches: bool,
+    /// Whether `MAJ⁻¹` composed with `MAJ` is the identity.
+    pub inverse_matches: bool,
+}
+
+/// Runs every structural check on the MAJ gate.
+pub fn verify_maj() -> MajVerification {
+    let p = maj_permutation();
+    // Rows in the paper's order: inputs sorted as q0 q1 q2 bit strings.
+    let rows: Vec<(String, String)> = (0..8u64)
+        .map(|k| {
+            let s = format!("{k:03b}");
+            let input = parse_bits(&s);
+            (s, format_bits(p.apply(input), 3))
+        })
+        .collect();
+
+    let matches_table_1 = TABLE_1
+        .iter()
+        .all(|&(i, o)| p.apply(parse_bits(i)) == parse_bits(o));
+
+    let majority_property = p.rows().all(|(input, output)| {
+        let maj = majority(input & 1 == 1, (input >> 1) & 1 == 1, (input >> 2) & 1 == 1);
+        (output & 1 == 1) == maj
+    });
+
+    let decomposition =
+        Permutation::of_circuit(&maj_decomposition()).expect("3-wire reversible circuit");
+    let decomposition_matches = decomposition == p;
+
+    let inv = Permutation::of_circuit(&maj_inv_circuit()).expect("3-wire reversible circuit");
+    let inverse_matches = p.compose(&inv).is_identity();
+
+    MajVerification { rows, matches_table_1, majority_property, decomposition_matches, inverse_matches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rft_revsim::prelude::*;
+
+    #[test]
+    fn parse_format_roundtrip() {
+        for s in ["000", "101", "110", "111"] {
+            assert_eq!(format_bits(parse_bits(s), 3), s);
+        }
+        assert_eq!(parse_bits("011"), 0b110); // q1,q2 set
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bit character")]
+    fn parse_rejects_garbage() {
+        let _ = parse_bits("01x");
+    }
+
+    #[test]
+    fn table_1_is_exactly_the_paper() {
+        let v = verify_maj();
+        assert!(v.matches_table_1, "simulated MAJ must reproduce Table 1");
+        assert_eq!(v.rows.len(), 8);
+    }
+
+    #[test]
+    fn majority_property_holds() {
+        assert!(verify_maj().majority_property);
+    }
+
+    #[test]
+    fn figure_1_decomposition_is_exact() {
+        assert!(verify_maj().decomposition_matches);
+    }
+
+    #[test]
+    fn maj_inverse_cancels() {
+        assert!(verify_maj().inverse_matches);
+    }
+
+    #[test]
+    fn maj_inv_decomposition_matches_primitive() {
+        let prim = Permutation::of_circuit(&maj_inv_circuit()).unwrap();
+        let dec = Permutation::of_circuit(&maj_inv_decomposition()).unwrap();
+        assert_eq!(prim, dec);
+    }
+
+    #[test]
+    fn push_maj_decomposed_embeds_anywhere() {
+        let mut c = Circuit::new(5);
+        push_maj_decomposed(&mut c, w(4), w(2), w(0));
+        assert_eq!(c.len(), 3);
+        // (q4,q2,q0) = (1,1,0): majority 1 should land on q4.
+        let mut s = BitState::zeros(5);
+        s.set(w(4), true);
+        s.set(w(2), true);
+        c.run(&mut s);
+        assert!(s.get(w(4)));
+    }
+
+    #[test]
+    fn majority_function() {
+        assert!(!majority(false, false, true));
+        assert!(majority(true, false, true));
+        assert!(majority(true, true, true));
+        assert!(!majority(false, false, false));
+    }
+
+    #[test]
+    fn encoding_property_via_maj_inv() {
+        // MAJ⁻¹(b,0,0) = (b,b,b) — the repetition encoder.
+        for b in [false, true] {
+            let mut s = BitState::zeros(3);
+            s.set(w(0), b);
+            maj_inv_circuit().run(&mut s);
+            assert_eq!(s.iter().collect::<Vec<_>>(), vec![b, b, b]);
+        }
+    }
+
+    #[test]
+    fn decoding_clean_codeword_clears_syndrome() {
+        // MAJ(b,b,b) = (b,0,0).
+        for b in [false, true] {
+            let mut s = BitState::from_bools(&[b, b, b]);
+            maj_circuit().run(&mut s);
+            assert_eq!(s.get(w(0)), b);
+            assert!(!s.get(w(1)));
+            assert!(!s.get(w(2)));
+        }
+    }
+
+    #[test]
+    fn single_flip_still_decodes_to_majority() {
+        for b in [false, true] {
+            for flip in 0..3u32 {
+                let mut s = BitState::from_bools(&[b, b, b]);
+                s.flip(w(flip));
+                maj_circuit().run(&mut s);
+                assert_eq!(s.get(w(0)), b, "bit {flip} flipped on value {b}");
+            }
+        }
+    }
+}

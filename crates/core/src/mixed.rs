@@ -1,0 +1,162 @@
+//! Concatenating different thresholds (§3.3, Table 2).
+//!
+//! Using `k` levels of a high-threshold scheme (2D, `ρ₂`) below `L−k`
+//! levels of a low-threshold scheme (1D, `ρ₁`) gives an effective threshold
+//!
+//! ```text
+//! ρ(k) = ρ₂ · (ρ₁/ρ₂)^(1/2^k)
+//! ```
+//!
+//! which approaches `ρ₂` rapidly: a 1D machine whose lattice is only
+//! `3^k` bits wide recovers most of the 2D threshold.
+
+use crate::threshold::GateBudget;
+use serde::{Deserialize, Serialize};
+
+/// §3.3: effective threshold after `k` levels of a `rho2` scheme under an
+/// outer `rho1` scheme.
+///
+/// # Panics
+///
+/// Panics unless `0 < rho1 <= rho2 <= 1`.
+///
+/// # Examples
+///
+/// ```
+/// use rft_core::mixed::mixed_threshold;
+///
+/// let rho2 = 1.0 / 273.0;  // 2D (no init)
+/// let rho1 = 1.0 / 2109.0; // 1D (no init)
+/// // k = 3 (width-27 lattice): 77% of the full 2D threshold.
+/// let ratio = mixed_threshold(rho1, rho2, 3) / rho2;
+/// assert!((ratio - 0.77).abs() < 0.005);
+/// ```
+pub fn mixed_threshold(rho1: f64, rho2: f64, k: u32) -> f64 {
+    assert!(rho1 > 0.0 && rho2 >= rho1 && rho2 <= 1.0, "need 0 < rho1 <= rho2 <= 1");
+    rho2 * (rho1 / rho2).powf(1.0 / 2f64.powi(k as i32))
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Levels of 2D concatenation at the bottom.
+    pub k: u32,
+    /// Lattice width required: `3^k` bit lines.
+    pub width: u32,
+    /// Effective threshold `ρ(k)`.
+    pub rho_k: f64,
+    /// `ρ(k)/ρ₂` as printed in the paper.
+    pub ratio: f64,
+}
+
+/// The paper's Table 2 values (`k`, width, `ρ(k)/ρ₂`).
+pub const PAPER_TABLE_2: [(u32, u32, f64); 6] = [
+    (0, 1, 0.13),
+    (1, 3, 0.36),
+    (2, 9, 0.60),
+    (3, 27, 0.77),
+    (4, 81, 0.88),
+    (5, 243, 0.94),
+];
+
+/// Regenerates Table 2 from arbitrary 1D/2D thresholds.
+pub fn table2_for(rho1: f64, rho2: f64, max_k: u32) -> Vec<Table2Row> {
+    (0..=max_k)
+        .map(|k| {
+            let rho_k = mixed_threshold(rho1, rho2, k);
+            Table2Row { k, width: 3u32.pow(k), rho_k, ratio: rho_k / rho2 }
+        })
+        .collect()
+}
+
+/// Regenerates Table 2 with the thresholds the paper used:
+/// `ρ₁ = 1/2109` (1D, initialization ignored) and `ρ₂ = 1/273`
+/// (2D, initialization ignored).
+pub fn table2() -> Vec<Table2Row> {
+    table2_for(
+        GateBudget::LOCAL_1D_NO_INIT.threshold(),
+        GateBudget::LOCAL_2D_NO_INIT.threshold(),
+        5,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_table_2_to_printed_precision() {
+        let rows = table2();
+        assert_eq!(rows.len(), PAPER_TABLE_2.len());
+        for (row, &(k, width, ratio)) in rows.iter().zip(PAPER_TABLE_2.iter()) {
+            assert_eq!(row.k, k);
+            assert_eq!(row.width, width);
+            assert!(
+                (row.ratio - ratio).abs() < 0.005,
+                "k={k}: computed {:.4} vs paper {ratio}",
+                row.ratio
+            );
+        }
+    }
+
+    #[test]
+    fn k_zero_is_pure_1d_and_limit_is_2d() {
+        let rho1 = 1.0 / 2109.0;
+        let rho2 = 1.0 / 273.0;
+        assert!((mixed_threshold(rho1, rho2, 0) - rho1).abs() < 1e-15);
+        // Large k converges to ρ₂.
+        let deep = mixed_threshold(rho1, rho2, 30);
+        assert!((deep / rho2 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ratio_is_monotonically_increasing_in_k() {
+        let rows = table2();
+        for pair in rows.windows(2) {
+            assert!(pair[1].ratio > pair[0].ratio);
+        }
+    }
+
+    #[test]
+    fn abstract_claim_27_wide_within_23_percent() {
+        // Abstract: "a 1D lattice that is 27 bits wide … has an error
+        // threshold only 23% less than the full 2D case".
+        let row = &table2()[3];
+        assert_eq!(row.width, 27);
+        assert!((1.0 - row.ratio - 0.23).abs() < 0.01);
+    }
+
+    #[test]
+    fn nine_wide_is_sixty_percent() {
+        // §3.3: "a linear array nine bits wide has a threshold 60% as large
+        // as the full 2D case".
+        let row = &table2()[2];
+        assert_eq!(row.width, 9);
+        assert!((row.ratio - 0.60).abs() < 0.005);
+    }
+
+    #[test]
+    fn equal_thresholds_are_fixed() {
+        for k in 0..6 {
+            assert!((mixed_threshold(0.01, 0.01, k) - 0.01).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rho1 <= rho2")]
+    fn rejects_swapped_arguments() {
+        let _ = mixed_threshold(0.1, 0.01, 1);
+    }
+
+    #[test]
+    fn general_formula_interpolates_geometrically() {
+        // ρ(k+1)² · ρ2⁻¹ = ρ(k) · … — equivalent check: log-ratio halves.
+        let rho1 = 1e-4;
+        let rho2 = 1e-2;
+        for k in 0..5 {
+            let a = (mixed_threshold(rho1, rho2, k) / rho2).ln();
+            let b = (mixed_threshold(rho1, rho2, k + 1) / rho2).ln();
+            assert!((a / b - 2.0).abs() < 1e-9);
+        }
+    }
+}

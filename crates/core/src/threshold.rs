@@ -1,0 +1,446 @@
+//! The analytic threshold model of §2.2–§2.3.
+//!
+//! With `G` operations acting on each encoded bit per fault-tolerant cycle,
+//! a bit fails only if two or more of them fail:
+//!
+//! ```text
+//! P_bit ≤ C(G,2)·g²            (two-fault bound)
+//! g_logical ≤ 3·C(G,2)·g²      (Equation 1)
+//! ```
+//!
+//! so error rates improve whenever `g < ρ = 1 / (3·C(G,2))` — the
+//! *threshold*. Concatenating `k` levels gives the doubly-exponential
+//! suppression of Equation 2, `g_k ≤ ρ·(g/ρ)^(2^k)`, at the poly-log
+//! blow-ups Γ_L = (3(G−2))^L gates and S_L = 9^L bits of §2.3.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// A per-encoded-bit operation budget `G`, defining a threshold.
+///
+/// # Examples
+///
+/// ```
+/// use rft_core::threshold::GateBudget;
+///
+/// // §2.2: G = 9 (init far more accurate than gates) gives ρ = 1/108.
+/// let b = GateBudget::NONLOCAL_NO_INIT;
+/// assert_eq!(b.ops(), 9);
+/// assert!((b.threshold() - 1.0 / 108.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GateBudget {
+    ops: u32,
+}
+
+impl GateBudget {
+    /// §2.2, non-local, counting initialization: `G = 3 + 8 = 11`, ρ = 1/165.
+    pub const NONLOCAL_WITH_INIT: GateBudget = GateBudget { ops: 11 };
+    /// §2.2, non-local, perfect initialization: `G = 3 + 6 = 9`, ρ = 1/108.
+    pub const NONLOCAL_NO_INIT: GateBudget = GateBudget { ops: 9 };
+    /// §3.1, 2D nearest-neighbour, counting initialization: `G = 16`, ρ = 1/360.
+    pub const LOCAL_2D_WITH_INIT: GateBudget = GateBudget { ops: 16 };
+    /// §3.1, 2D nearest-neighbour, perfect initialization: `G = 14`, ρ = 1/273.
+    pub const LOCAL_2D_NO_INIT: GateBudget = GateBudget { ops: 14 };
+    /// §3.2, 1D nearest-neighbour, counting initialization: `G = 40`, ρ = 1/2340.
+    pub const LOCAL_1D_WITH_INIT: GateBudget = GateBudget { ops: 40 };
+    /// §3.2, 1D nearest-neighbour, perfect initialization: `G = 38`, ρ = 1/2109.
+    pub const LOCAL_1D_NO_INIT: GateBudget = GateBudget { ops: 38 };
+
+    /// Creates a budget of `ops` operations per encoded bit per cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DegenerateBudget`] if `ops < 2` (no two operations
+    /// can fail together, so no quadratic bound exists).
+    pub fn new(ops: u32) -> Result<Self> {
+        if ops < 2 {
+            return Err(Error::DegenerateBudget { ops });
+        }
+        Ok(GateBudget { ops })
+    }
+
+    /// The operation count `G`.
+    pub const fn ops(&self) -> u32 {
+        self.ops
+    }
+
+    /// `C(G, 2)` — the number of operation pairs.
+    pub const fn pairs(&self) -> u64 {
+        (self.ops as u64) * (self.ops as u64 - 1) / 2
+    }
+
+    /// The threshold `ρ = 1 / (3·C(G,2))`.
+    pub fn threshold(&self) -> f64 {
+        1.0 / (3.0 * self.pairs() as f64)
+    }
+
+    /// Quadratic bound on the per-bit failure rate: `C(G,2)·g²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRate`] if `g` is not a probability.
+    pub fn bit_error_bound(&self, g: f64) -> Result<f64> {
+        check_rate(g)?;
+        Ok(self.pairs() as f64 * g * g)
+    }
+
+    /// The exact two-or-more-failures probability
+    /// `Σ_{k=2}^{G} C(G,k) g^k (1−g)^{G−k}` (the first line of the paper's
+    /// `P_bit` bound, before the convenience `C(G,2)g²` relaxation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRate`] if `g` is not a probability.
+    pub fn bit_error_exact(&self, g: f64) -> Result<f64> {
+        check_rate(g)?;
+        let n = self.ops as u64;
+        // 1 - P(0 failures) - P(1 failure)
+        let p0 = (1.0 - g).powi(n as i32);
+        let p1 = n as f64 * g * (1.0 - g).powi(n as i32 - 1);
+        Ok((1.0 - p0 - p1).max(0.0))
+    }
+
+    /// Equation 1: `g_logical ≤ 3·C(G,2)·g²`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRate`] if `g` is not a probability.
+    pub fn logical_error_bound(&self, g: f64) -> Result<f64> {
+        Ok(3.0 * self.bit_error_bound(g)?)
+    }
+
+    /// Equation 2: error rate after `k` levels of concatenation,
+    /// `g_k ≤ ρ·(g/ρ)^(2^k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRate`] if `g` is not a probability.
+    pub fn error_at_level(&self, g: f64, level: u32) -> Result<f64> {
+        check_rate(g)?;
+        let rho = self.threshold();
+        // (g/ρ)^(2^k) in log space to dodge overflow for deep levels.
+        let log_ratio = (g / rho).ln();
+        let exponent = 2f64.powi(level as i32);
+        Ok((rho.ln() + exponent * log_ratio).exp())
+    }
+
+    /// Equation 3: the smallest level `L` with `g_L ≤ 1/T`, i.e.
+    /// `L ≥ log₂( ln(Tρ) / ln(ρ/g) )`.
+    ///
+    /// Returns `None` when `g ≥ ρ` (above threshold — no level suffices)
+    /// and `Some(0)` when even the bare gates meet the target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRate`] if `g` is not a probability or
+    /// `module_gates` is zero.
+    pub fn required_level(&self, g: f64, module_gates: f64) -> Result<Option<u32>> {
+        check_rate(g)?;
+        if module_gates <= 0.0 {
+            return Err(Error::InvalidRate { value: module_gates });
+        }
+        let rho = self.threshold();
+        if g >= rho {
+            return Ok(None);
+        }
+        if g <= 1.0 / module_gates {
+            return Ok(Some(0));
+        }
+        let t_rho = (module_gates * rho).ln();
+        let margin = (rho / g).ln();
+        let levels = (t_rho / margin).log2().ceil().max(0.0);
+        Ok(Some(levels as u32))
+    }
+
+    /// §2.3: gate blow-up `Γ_L = (3(G−2))^L`.
+    ///
+    /// `G − 2 = 1 + E`: the logical gate plus the recovery, with the paper's
+    /// uniform-cost counting.
+    pub fn gate_blowup(&self, level: u32) -> f64 {
+        (3.0 * (self.ops as f64 - 2.0)).powi(level as i32)
+    }
+
+    /// §2.3: size blow-up `S_L = 9^L`.
+    pub fn size_blowup(level: u32) -> f64 {
+        9f64.powi(level as i32)
+    }
+
+    /// Exponent of the poly-log gate overhead: `log₂(3(G−2))`
+    /// (≈ 4.75 for `G = 11`).
+    pub fn gate_blowup_exponent(&self) -> f64 {
+        (3.0 * (self.ops as f64 - 2.0)).log2()
+    }
+
+    /// Exponent of the poly-log size overhead: `log₂ 9 ≈ 3.17`.
+    pub fn size_blowup_exponent() -> f64 {
+        9f64.log2()
+    }
+
+    /// Gate overhead for a `T`-gate module: `Γ_{L(T)}`, the paper's
+    /// `O((log T)^{log₂ 3(G−2)})`.
+    ///
+    /// Returns `None` above threshold.
+    ///
+    /// # Errors
+    ///
+    /// As for [`GateBudget::required_level`].
+    pub fn module_overhead(&self, g: f64, module_gates: f64) -> Result<Option<ModuleOverhead>> {
+        let Some(level) = self.required_level(g, module_gates)? else {
+            return Ok(None);
+        };
+        Ok(Some(ModuleOverhead {
+            level,
+            gate_factor: self.gate_blowup(level),
+            size_factor: Self::size_blowup(level),
+            achieved_error: self.error_at_level(g, level)?,
+        }))
+    }
+
+    /// The tighter logical-error bound the paper alludes to ("we note that
+    /// the above bound is a convenient bound, but a tighter bound will
+    /// result in an improved error threshold"): the exact binomial tail
+    /// for `P_bit` and the exact union `1 − (1 − P_bit)³` instead of the
+    /// relaxations `C(G,2)·g²` and `3·P_bit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRate`] if `g` is not a probability.
+    pub fn logical_error_tight(&self, g: f64) -> Result<f64> {
+        let p_bit = self.bit_error_exact(g)?;
+        Ok(1.0 - (1.0 - p_bit).powi(3))
+    }
+
+    /// The improved threshold from [`GateBudget::logical_error_tight`]:
+    /// the fixed point `g*` of `logical_error_tight(g) = g`, located by
+    /// bisection. Always at least as large as [`GateBudget::threshold`].
+    pub fn threshold_tight(&self) -> f64 {
+        // logical_error_tight(g) − g is negative below the fixed point and
+        // positive above it (within (0, ~0.5)); bisect on the sign.
+        let f = |g: f64| self.logical_error_tight(g).expect("valid rate") - g;
+        let mut lo = 1e-9;
+        let mut hi = 0.5;
+        debug_assert!(f(lo) < 0.0);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if f(mid) < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// The cost of protecting a module at the minimum sufficient level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModuleOverhead {
+    /// Minimum concatenation level meeting `g_L ≤ 1/T`.
+    pub level: u32,
+    /// Gate blow-up factor `Γ_L`.
+    pub gate_factor: f64,
+    /// Bit blow-up factor `S_L`.
+    pub size_factor: f64,
+    /// The logical error bound actually achieved at that level.
+    pub achieved_error: f64,
+}
+
+fn check_rate(g: f64) -> Result<()> {
+    if !(0.0..=1.0).contains(&g) || g.is_nan() {
+        return Err(Error::InvalidRate { value: g });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_thresholds_reproduce_exactly() {
+        // §2.2: "we get threshold results of ρ = 1/165 and ρ = 1/108".
+        assert_eq!(GateBudget::NONLOCAL_WITH_INIT.pairs(), 55);
+        assert!((GateBudget::NONLOCAL_WITH_INIT.threshold() - 1.0 / 165.0).abs() < 1e-15);
+        assert!((GateBudget::NONLOCAL_NO_INIT.threshold() - 1.0 / 108.0).abs() < 1e-15);
+        // §3.1: ρ₂ = 1/273 and 1/360.
+        assert!((GateBudget::LOCAL_2D_NO_INIT.threshold() - 1.0 / 273.0).abs() < 1e-15);
+        assert!((GateBudget::LOCAL_2D_WITH_INIT.threshold() - 1.0 / 360.0).abs() < 1e-15);
+        // §3.2: ρ₁ = 1/2340 and 1/2109.
+        assert!((GateBudget::LOCAL_1D_WITH_INIT.threshold() - 1.0 / 2340.0).abs() < 1e-15);
+        assert!((GateBudget::LOCAL_1D_NO_INIT.threshold() - 1.0 / 2109.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn equation_1_scales_quadratically() {
+        let b = GateBudget::NONLOCAL_NO_INIT;
+        let g = 1e-4;
+        let bound = b.logical_error_bound(g).unwrap();
+        assert!((bound - 3.0 * 36.0 * g * g).abs() < 1e-18);
+        // Halving g quarters the bound.
+        let half = b.logical_error_bound(g / 2.0).unwrap();
+        assert!((bound / half - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_bit_error_below_quadratic_bound() {
+        let b = GateBudget::NONLOCAL_WITH_INIT;
+        for &g in &[1e-4, 1e-3, 1e-2, 0.05] {
+            let exact = b.bit_error_exact(g).unwrap();
+            let bound = b.bit_error_bound(g).unwrap();
+            assert!(exact <= bound + 1e-15, "g={g}: exact {exact} > bound {bound}");
+        }
+    }
+
+    #[test]
+    fn below_threshold_improves_above_worsens() {
+        let b = GateBudget::NONLOCAL_NO_INIT;
+        let rho = b.threshold();
+        assert!(b.logical_error_bound(rho / 2.0).unwrap() < rho / 2.0);
+        assert!(b.logical_error_bound(rho * 2.0).unwrap() > rho * 2.0);
+        // At exactly ρ the map is (approximately) the identity.
+        let at = b.logical_error_bound(rho).unwrap();
+        assert!((at - rho).abs() < 1e-15);
+    }
+
+    #[test]
+    fn equation_2_doubly_exponential() {
+        let b = GateBudget::NONLOCAL_NO_INIT;
+        let g = b.threshold() / 10.0;
+        // g_k = ρ·10^(−2^k)
+        for k in 0..5u32 {
+            let expect = b.threshold() * 10f64.powf(-(2f64.powi(k as i32)));
+            let got = b.error_at_level(g, k).unwrap();
+            assert!((got / expect - 1.0).abs() < 1e-9, "level {k}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn equation_2_diverges_above_threshold() {
+        let b = GateBudget::NONLOCAL_NO_INIT;
+        let g = b.threshold() * 2.0;
+        assert!(b.error_at_level(g, 5).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn paper_worked_example_t_one_million() {
+        // §2.3: g = ρ/10, G = 9 (ρ ≈ 10⁻²), T = 10⁶ ⇒ L = 2,
+        // gate blow-up (3·(9−2))² = 441, size blow-up 81.
+        let b = GateBudget::NONLOCAL_NO_INIT;
+        let g = b.threshold() / 10.0;
+        let overhead = b.module_overhead(g, 1e6).unwrap().unwrap();
+        assert_eq!(overhead.level, 2);
+        assert!((overhead.gate_factor - 441.0).abs() < 1e-9);
+        assert!((overhead.size_factor - 81.0).abs() < 1e-9);
+        assert!(overhead.achieved_error <= 1e-6);
+    }
+
+    #[test]
+    fn unprotected_module_of_1000_gates_is_the_paper_limit() {
+        // "Without any error correction, modules larger than 1,000 gates
+        // will almost certainly be faulty" at g = ρ/10 ≈ 10⁻³.
+        let b = GateBudget::NONLOCAL_NO_INIT;
+        let g = b.threshold() / 10.0;
+        // Expected failures in a 1000-gate module: ~1.
+        assert!((1000.0 * g - 0.93).abs() < 0.05);
+    }
+
+    #[test]
+    fn blowup_exponents_match_paper() {
+        // G = 11: (3(G−2))^L = O((log T)^4.75); size O((log T)^3.17).
+        let e = GateBudget::NONLOCAL_WITH_INIT.gate_blowup_exponent();
+        assert!((e - 4.75).abs() < 0.01, "gate exponent {e}");
+        let s = GateBudget::size_blowup_exponent();
+        assert!((s - 3.17).abs() < 0.01, "size exponent {s}");
+    }
+
+    #[test]
+    fn required_level_edge_cases() {
+        let b = GateBudget::NONLOCAL_NO_INIT;
+        // Above threshold: impossible.
+        assert_eq!(b.required_level(0.5, 1e6).unwrap(), None);
+        // Tiny module with tiny g: level 0 suffices.
+        assert_eq!(b.required_level(1e-6, 10.0).unwrap(), Some(0));
+        // Monotone in T.
+        let g = b.threshold() / 10.0;
+        let mut last = 0;
+        for t in [1e3, 1e6, 1e9, 1e12] {
+            let l = b.required_level(g, t).unwrap().unwrap();
+            assert!(l >= last, "levels must not decrease with T");
+            last = l;
+        }
+    }
+
+    #[test]
+    fn required_level_is_sufficient_and_minimal() {
+        let b = GateBudget::NONLOCAL_NO_INIT;
+        let g = b.threshold() / 5.0;
+        for t in [1e4, 1e7, 1e10] {
+            let l = b.required_level(g, t).unwrap().unwrap();
+            assert!(b.error_at_level(g, l).unwrap() <= 1.0 / t, "level {l} insufficient for T={t}");
+            if l > 0 {
+                assert!(
+                    b.error_at_level(g, l - 1).unwrap() > 1.0 / t,
+                    "level {} already sufficed for T={t}",
+                    l - 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn budget_validation() {
+        assert!(GateBudget::new(2).is_ok());
+        assert!(matches!(GateBudget::new(1), Err(Error::DegenerateBudget { ops: 1 })));
+        assert!(matches!(
+            GateBudget::NONLOCAL_NO_INIT.logical_error_bound(1.5),
+            Err(Error::InvalidRate { .. })
+        ));
+        assert!(matches!(
+            GateBudget::NONLOCAL_NO_INIT.error_at_level(-0.1, 1),
+            Err(Error::InvalidRate { .. })
+        ));
+    }
+
+    #[test]
+    fn tight_bound_improves_the_threshold() {
+        for budget in [
+            GateBudget::NONLOCAL_NO_INIT,
+            GateBudget::NONLOCAL_WITH_INIT,
+            GateBudget::LOCAL_2D_NO_INIT,
+            GateBudget::LOCAL_1D_WITH_INIT,
+        ] {
+            let basic = budget.threshold();
+            let tight = budget.threshold_tight();
+            assert!(
+                tight > basic,
+                "G = {}: tight {tight} should beat basic {basic}",
+                budget.ops()
+            );
+            // …but stays the same order of magnitude (the relaxations are
+            // mild): within a factor of 3.
+            assert!(tight < basic * 3.0, "G = {}: tight {tight} vs {basic}", budget.ops());
+            // And it is a genuine fixed point of the tight map.
+            let at = budget.logical_error_tight(tight).unwrap();
+            assert!((at - tight).abs() / tight < 1e-6);
+        }
+    }
+
+    #[test]
+    fn tight_bound_dominated_by_eq1_bound() {
+        let budget = GateBudget::NONLOCAL_NO_INIT;
+        for &g in &[1e-4, 1e-3, 1e-2, 0.05] {
+            let tight = budget.logical_error_tight(g).unwrap();
+            let loose = budget.logical_error_bound(g).unwrap();
+            assert!(tight <= loose + 1e-15, "g = {g}: {tight} > {loose}");
+        }
+    }
+
+    #[test]
+    fn gate_blowup_level_one_matches_cycle_structure() {
+        // Γ₁ = 3(1+E) = 3(G−2): 27 for G=11, 21 for G=9.
+        assert_eq!(GateBudget::NONLOCAL_WITH_INIT.gate_blowup(1), 27.0);
+        assert_eq!(GateBudget::NONLOCAL_NO_INIT.gate_blowup(1), 21.0);
+        assert_eq!(GateBudget::size_blowup(2), 81.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the fault-tolerance core.
+
+use proptest::prelude::*;
+use rft_core::prelude::*;
+use rft_revsim::permutation::Permutation;
+use rft_revsim::prelude::*;
+
+/// Strategy for a random 3-wire logical gate on `n` logical wires.
+fn arb_logical_gate(n: u32) -> impl Strategy<Value = Gate> {
+    let wire = 0..n;
+    let distinct3 = (wire.clone(), wire.clone(), wire.clone())
+        .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c);
+    let distinct2 =
+        (wire.clone(), wire).prop_filter("distinct", |(a, b)| a != b);
+    prop_oneof![
+        distinct3
+            .clone()
+            .prop_map(|(a, b, c)| Gate::Toffoli { controls: [w(a), w(b)], target: w(c) }),
+        distinct3.clone().prop_map(|(a, b, c)| Gate::Maj(w(a), w(b), w(c))),
+        distinct3.clone().prop_map(|(a, b, c)| Gate::MajInv(w(a), w(b), w(c))),
+        distinct3
+            .clone()
+            .prop_map(|(a, b, c)| Gate::Fredkin { control: w(a), targets: [w(b), w(c)] }),
+        distinct2.clone().prop_map(|(a, b)| Gate::Cnot { control: w(a), target: w(b) }),
+        distinct2.prop_map(|(a, b)| Gate::Swap(w(a), w(b))),
+    ]
+}
+
+fn arb_logical_circuit(n: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_logical_gate(n), 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n as usize);
+        for g in gates {
+            c.push(Op::Gate(g));
+        }
+        c
+    })
+}
+
+proptest! {
+    /// End-to-end: compiling any logical circuit at level 1 and running it
+    /// noiselessly computes exactly the logical function.
+    #[test]
+    fn level_one_compilation_is_semantically_exact(
+        logical in arb_logical_circuit(4, 6),
+        input in 0u64..16,
+    ) {
+        let program = FtBuilder::compile(1, &logical).unwrap();
+        let perm = Permutation::of_circuit(&logical).unwrap();
+        let mut s = program.encode(&BitState::from_u64(input, 4));
+        program.circuit().run(&mut s);
+        prop_assert_eq!(program.decode(&s).to_u64(), perm.apply(input));
+    }
+
+    /// Same at level 2 (smaller circuits: 81 wires per logical bit).
+    #[test]
+    fn level_two_compilation_is_semantically_exact(
+        logical in arb_logical_circuit(3, 3),
+        input in 0u64..8,
+    ) {
+        let program = FtBuilder::compile(2, &logical).unwrap();
+        let perm = Permutation::of_circuit(&logical).unwrap();
+        let mut s = program.encode(&BitState::from_u64(input, 3));
+        program.circuit().run(&mut s);
+        prop_assert_eq!(program.decode(&s).to_u64(), perm.apply(input));
+    }
+
+    /// A level-1 program tolerates any single physical bit flip of its
+    /// input codewords.
+    #[test]
+    fn level_one_tolerates_any_single_input_flip(
+        logical in arb_logical_circuit(3, 4),
+        input in 0u64..8,
+        flip_wire in 0usize..27,
+    ) {
+        let program = FtBuilder::compile(1, &logical).unwrap();
+        prop_assume!(flip_wire < program.n_physical());
+        let perm = Permutation::of_circuit(&logical).unwrap();
+        let mut s = program.encode(&BitState::from_u64(input, 3));
+        // Only flip *data* wires: ancilla wires are reset by recovery anyway.
+        let is_data = (0..3).any(|i| program.initial_tree(i).leaves().contains(&w(flip_wire as u32)));
+        prop_assume!(is_data);
+        s.flip(w(flip_wire as u32));
+        program.circuit().run(&mut s);
+        prop_assert_eq!(program.decode(&s).to_u64(), perm.apply(input));
+    }
+
+    /// Threshold model: below threshold, one more level always helps;
+    /// above threshold, it always hurts.
+    #[test]
+    fn concatenation_monotonicity(ops in 3u32..60, frac in 0.01f64..0.99, level in 0u32..6) {
+        let budget = GateBudget::new(ops).unwrap();
+        let below = budget.threshold() * frac;
+        prop_assert!(
+            budget.error_at_level(below, level + 1).unwrap()
+                <= budget.error_at_level(below, level).unwrap()
+        );
+        let above = (budget.threshold() * (1.0 + frac)).min(1.0);
+        prop_assert!(
+            budget.error_at_level(above, level + 1).unwrap()
+                >= budget.error_at_level(above, level).unwrap()
+        );
+    }
+
+    /// Equation 1's quadratic bound dominates the exact binomial tail.
+    #[test]
+    fn quadratic_bound_dominates_exact(ops in 2u32..64, g in 0.0f64..0.2) {
+        let budget = GateBudget::new(ops).unwrap();
+        prop_assert!(
+            budget.bit_error_exact(g).unwrap() <= budget.bit_error_bound(g).unwrap() + 1e-12
+        );
+    }
+
+    /// Mixed thresholds interpolate monotonically between ρ1 and ρ2.
+    #[test]
+    fn mixed_threshold_interpolates(rho1 in 1e-6f64..1e-2, factor in 1.0f64..100.0, k in 0u32..12) {
+        let rho2 = (rho1 * factor).min(1.0);
+        let rho_k = mixed_threshold(rho1, rho2, k);
+        prop_assert!(rho_k >= rho1 - 1e-18);
+        prop_assert!(rho_k <= rho2 + 1e-18);
+        prop_assert!(mixed_threshold(rho1, rho2, k + 1) >= rho_k - 1e-18);
+    }
+
+    /// Repetition decode is majority-stable: flipping up to
+    /// `guaranteed_correctable` arbitrary bits never changes the decode,
+    /// exercised at level 1 where the guarantee is 1 flip.
+    #[test]
+    fn code_decode_stability(bit in any::<bool>(), flip in 0usize..3) {
+        let code = RepetitionCode::new(1);
+        let mut word = code.encode(bit);
+        word[flip] = !word[flip];
+        prop_assert_eq!(code.decode(&word), bit);
+    }
+
+    /// Entropy bounds of §4 hold for any rate and cycle size.
+    #[test]
+    fn entropy_bounds_are_ordered(g in 1e-9f64..0.5, level in 1u32..4) {
+        use rft_core::entropy::{hl_lower, hl_upper};
+        // Physical cycle: G̃ = 27 gates (level-1 FT cycle), E = 8.
+        let lo = hl_lower(g, 8.0, level);
+        let hi = hl_upper(g, 27.0, level);
+        prop_assert!(lo <= hi, "lower {lo} > upper {hi}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Per-codeword operation accounting.
+//!
+//! The threshold analysis of §2.2 counts `G`: the number of operations per
+//! cycle whose failure can corrupt one encoded bit. On a lattice, codeword
+//! bits *move* (SWAP/SWAP3 transport), so the audit tracks cell ownership
+//! through the circuit and counts, for each codeword, the operations that
+//! touch any cell it currently occupies.
+
+use rft_revsim::circuit::Circuit;
+use rft_revsim::gate::Gate;
+use rft_revsim::op::Op;
+use rft_revsim::wire::Wire;
+use serde::{Deserialize, Serialize};
+
+/// Result of tracking codeword transport through a circuit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportAudit {
+    /// Per codeword: number of ops touching a currently-owned cell.
+    pub ops_touching: Vec<usize>,
+    /// Per codeword: SWAP-family ops among those (the transport overhead).
+    pub swaps_touching: Vec<usize>,
+    /// Per codeword: elementary swap count (a SWAP3 counts as two).
+    pub elementary_swaps: Vec<usize>,
+    /// Final cell of each codeword bit (`positions[cw][bit]`).
+    pub final_positions: Vec<Vec<Wire>>,
+}
+
+impl TransportAudit {
+    /// The largest per-codeword op count — the budget `G` contribution of
+    /// the audited phase for the worst codeword.
+    pub fn worst(&self) -> usize {
+        self.ops_touching.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total elementary swaps across all codewords' touches. Note a swap
+    /// touching two codewords is counted once per codeword here.
+    pub fn total_elementary_swaps(&self) -> usize {
+        self.elementary_swaps.iter().sum()
+    }
+}
+
+/// Tracks codeword bits through `circuit`, starting from
+/// `initial[cw][bit] = cell`, and counts per-codeword op touches.
+///
+/// SWAP and SWAP3 move ownership with the values they carry; all other
+/// gates act in place. Two cells owned by the same codeword touched by one
+/// op count once.
+///
+/// # Panics
+///
+/// Panics if initial positions repeat a cell or lie outside the circuit.
+pub fn audit_transport(circuit: &Circuit, initial: &[Vec<Wire>]) -> TransportAudit {
+    let n = circuit.n_wires();
+    let mut owner: Vec<Option<(usize, usize)>> = vec![None; n];
+    for (cw, bits) in initial.iter().enumerate() {
+        for (b, wire) in bits.iter().enumerate() {
+            assert!(wire.index() < n, "initial position {wire} out of range");
+            assert!(owner[wire.index()].is_none(), "cell {wire} assigned twice");
+            owner[wire.index()] = Some((cw, b));
+        }
+    }
+    let mut ops_touching = vec![0usize; initial.len()];
+    let mut swaps_touching = vec![0usize; initial.len()];
+    let mut elementary = vec![0usize; initial.len()];
+
+    for op in circuit.ops() {
+        let support = op.support();
+        // Count each touched codeword once per op.
+        let mut touched = [usize::MAX; 3];
+        let mut n_touched = 0;
+        for wire in support.as_slice() {
+            if let Some((cw, _)) = owner[wire.index()] {
+                if !touched[..n_touched].contains(&cw) {
+                    touched[n_touched] = cw;
+                    n_touched += 1;
+                }
+            }
+        }
+        let is_swap = matches!(op, Op::Gate(Gate::Swap(..)) | Op::Gate(Gate::Swap3(..)));
+        for &cw in &touched[..n_touched] {
+            ops_touching[cw] += 1;
+            if is_swap {
+                swaps_touching[cw] += 1;
+            }
+        }
+        // Move ownership along with values.
+        match op {
+            Op::Gate(Gate::Swap(a, b)) => {
+                owner.swap(a.index(), b.index());
+                for &cw in &touched[..n_touched] {
+                    elementary[cw] += 1;
+                }
+            }
+            Op::Gate(Gate::Swap3(a, b, c)) => {
+                // Values: new[a] = old[b], new[b] = old[c], new[c] = old[a].
+                let oa = owner[a.index()];
+                owner[a.index()] = owner[b.index()];
+                owner[b.index()] = owner[c.index()];
+                owner[c.index()] = oa;
+                for &cw in &touched[..n_touched] {
+                    elementary[cw] += 2;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut final_positions: Vec<Vec<Wire>> =
+        initial.iter().map(|bits| vec![Wire::new(0); bits.len()]).collect();
+    for (cell, o) in owner.iter().enumerate() {
+        if let Some((cw, b)) = o {
+            final_positions[*cw][*b] = Wire::new(cell as u32);
+        }
+    }
+    TransportAudit { ops_touching, swaps_touching, elementary_swaps: elementary, final_positions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rft_revsim::prelude::*;
+
+    #[test]
+    fn swaps_move_ownership() {
+        let mut c = Circuit::new(4);
+        c.swap(w(0), w(1)).swap(w(1), w(2)).swap(w(2), w(3));
+        let audit = audit_transport(&c, &[vec![w(0)]]);
+        assert_eq!(audit.final_positions[0], vec![w(3)]);
+        assert_eq!(audit.ops_touching[0], 3);
+        assert_eq!(audit.elementary_swaps[0], 3);
+    }
+
+    #[test]
+    fn swap3_moves_two_cells() {
+        let mut c = Circuit::new(3);
+        c.swap3(w(0), w(1), w(2));
+        let audit = audit_transport(&c, &[vec![w(0)]]);
+        assert_eq!(audit.final_positions[0], vec![w(2)]);
+        assert_eq!(audit.elementary_swaps[0], 2);
+        assert_eq!(audit.worst(), 1);
+    }
+
+    #[test]
+    fn gates_count_without_moving() {
+        let mut c = Circuit::new(3);
+        c.maj(w(0), w(1), w(2)).not(w(2));
+        let audit = audit_transport(&c, &[vec![w(0)], vec![w(2)]]);
+        assert_eq!(audit.final_positions, vec![vec![w(0)], vec![w(2)]]);
+        assert_eq!(audit.ops_touching, vec![1, 2]);
+        assert_eq!(audit.swaps_touching, vec![0, 0]);
+    }
+
+    #[test]
+    fn one_op_touching_two_bits_of_same_codeword_counts_once() {
+        let mut c = Circuit::new(3);
+        c.maj(w(0), w(1), w(2));
+        let audit = audit_transport(&c, &[vec![w(0), w(1), w(2)]]);
+        assert_eq!(audit.ops_touching, vec![1]);
+    }
+
+    #[test]
+    fn untouched_codeword_counts_zero() {
+        let mut c = Circuit::new(5);
+        c.cnot(w(0), w(1));
+        let audit = audit_transport(&c, &[vec![w(0)], vec![w(3), w(4)]]);
+        assert_eq!(audit.ops_touching, vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn overlapping_initial_positions_rejected() {
+        let c = Circuit::new(3);
+        let _ = audit_transport(&c, &[vec![w(0)], vec![w(0)]]);
+    }
+
+    #[test]
+    fn swap_between_codewords_touches_both() {
+        let mut c = Circuit::new(2);
+        c.swap(w(0), w(1));
+        let audit = audit_transport(&c, &[vec![w(0)], vec![w(1)]]);
+        assert_eq!(audit.ops_touching, vec![1, 1]);
+        assert_eq!(audit.final_positions, vec![vec![w(1)], vec![w(0)]]);
+    }
+}

@@ -1,0 +1,309 @@
+//! Lattices of bits with nearest-neighbour interactions (§3).
+//!
+//! "We assume that we may only operate on at most three neighboring bits at
+//! a time." A [`Lattice`] assigns every wire a cell on a line or grid and
+//! judges whether each circuit operation is *local*: its support must form
+//! a connected set of cells under 4-neighbour adjacency.
+//!
+//! Initializations are exempt: a reset is a single-cell erasure against a
+//! fresh-bit reservoir and needs no neighbour *interaction* — the paper
+//! bundles resets in threes purely for error accounting ("we assume that we
+//! can reset three bits with one initialization operation"). The verdict
+//! still records them so reports can show the exemption explicitly.
+
+use rft_revsim::circuit::Circuit;
+use rft_revsim::op::Op;
+use rft_revsim::wire::{w, Wire};
+use serde::{Deserialize, Serialize};
+
+/// A physical arrangement of wires on a 1D line or 2D grid.
+///
+/// Wires map to cells row-major: wire `y·width + x` sits at `(x, y)`.
+///
+/// # Examples
+///
+/// ```
+/// use rft_locality::lattice::Lattice;
+/// use rft_revsim::prelude::*;
+///
+/// let grid = Lattice::grid(3, 3);
+/// assert!(grid.adjacent(w(0), w(1)));     // (0,0)-(1,0)
+/// assert!(grid.adjacent(w(1), w(4)));     // (1,0)-(1,1)
+/// assert!(!grid.adjacent(w(0), w(4)));    // diagonal
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Lattice {
+    width: usize,
+    height: usize,
+}
+
+impl Lattice {
+    /// A 1D chain of `len` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn line(len: usize) -> Self {
+        assert!(len > 0, "lattice must have at least one cell");
+        Lattice { width: len, height: 1 }
+    }
+
+    /// A `width × height` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn grid(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "lattice must have at least one cell");
+        Lattice { width, height }
+    }
+
+    /// Grid width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Grid height (1 for a line).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of cells (= wires).
+    pub fn n_cells(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Whether this lattice is one-dimensional.
+    pub fn is_line(&self) -> bool {
+        self.height == 1 || self.width == 1
+    }
+
+    /// The wire at grid coordinates `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are outside the lattice.
+    pub fn wire_at(&self, x: usize, y: usize) -> Wire {
+        assert!(x < self.width && y < self.height, "({x},{y}) outside {self:?}");
+        w((y * self.width + x) as u32)
+    }
+
+    /// Grid coordinates of a wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire is outside the lattice.
+    pub fn coords(&self, wire: Wire) -> (usize, usize) {
+        let i = wire.index();
+        assert!(i < self.n_cells(), "wire {wire} outside {self:?}");
+        (i % self.width, i / self.width)
+    }
+
+    /// Whether two wires occupy 4-neighbour adjacent cells.
+    pub fn adjacent(&self, a: Wire, b: Wire) -> bool {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by) == 1
+    }
+
+    /// Classifies the locality of one operation.
+    pub fn classify(&self, op: &Op) -> OpLocality {
+        if matches!(op, Op::Init(_)) {
+            return OpLocality::InitExempt;
+        }
+        let support = op.support();
+        let s = support.as_slice();
+        let connected = match s.len() {
+            1 => true,
+            2 => self.adjacent(s[0], s[1]),
+            3 => {
+                let ab = self.adjacent(s[0], s[1]);
+                let bc = self.adjacent(s[1], s[2]);
+                let ac = self.adjacent(s[0], s[2]);
+                (ab && (bc || ac)) || (bc && ac)
+            }
+            _ => false,
+        };
+        if !connected {
+            return OpLocality::NonLocal;
+        }
+        if s.len() == 3 {
+            let (x0, y0) = self.coords(s[0]);
+            let (x1, y1) = self.coords(s[1]);
+            let (x2, y2) = self.coords(s[2]);
+            let collinear = (x0 == x1 && x1 == x2) || (y0 == y1 && y1 == y2);
+            if collinear {
+                OpLocality::LocalLine
+            } else {
+                OpLocality::LocalBend
+            }
+        } else {
+            OpLocality::LocalLine
+        }
+    }
+
+    /// Validates every operation of a circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more wires than the lattice has cells.
+    pub fn check_circuit(&self, circuit: &Circuit) -> LocalityReport {
+        assert!(
+            circuit.n_wires() <= self.n_cells(),
+            "circuit has {} wires but lattice only {} cells",
+            circuit.n_wires(),
+            self.n_cells()
+        );
+        let mut report = LocalityReport::default();
+        for (i, op) in circuit.ops().iter().enumerate() {
+            match self.classify(op) {
+                OpLocality::LocalLine => report.local_line += 1,
+                OpLocality::LocalBend => report.local_bend += 1,
+                OpLocality::InitExempt => report.init_exempt += 1,
+                OpLocality::NonLocal => report.non_local.push(i),
+            }
+        }
+        report
+    }
+}
+
+/// Locality classification of a single operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpLocality {
+    /// Support is a straight contiguous run of cells (or ≤ 2 adjacent cells).
+    LocalLine,
+    /// Support is a connected L-shaped cell triple.
+    LocalBend,
+    /// Reset — exempt from the interaction-locality requirement.
+    InitExempt,
+    /// Support is not a connected set of cells.
+    NonLocal,
+}
+
+/// Summary of a circuit locality check.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalityReport {
+    /// Gates on straight contiguous cells.
+    pub local_line: usize,
+    /// Gates on L-shaped connected triples.
+    pub local_bend: usize,
+    /// Exempted initializations.
+    pub init_exempt: usize,
+    /// Op indices whose support is not connected.
+    pub non_local: Vec<usize>,
+}
+
+impl LocalityReport {
+    /// Whether every gate (resets aside) is nearest-neighbour local.
+    pub fn is_local(&self) -> bool {
+        self.non_local.is_empty()
+    }
+
+    /// Total gates inspected (excluding exempt resets).
+    pub fn gates(&self) -> usize {
+        self.local_line + self.local_bend + self.non_local.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rft_revsim::gate::Gate;
+
+    #[test]
+    fn line_adjacency() {
+        let line = Lattice::line(5);
+        assert!(line.is_line());
+        assert!(line.adjacent(w(0), w(1)));
+        assert!(line.adjacent(w(3), w(2)));
+        assert!(!line.adjacent(w(0), w(2)));
+        assert_eq!(line.n_cells(), 5);
+    }
+
+    #[test]
+    fn grid_coords_roundtrip() {
+        let g = Lattice::grid(4, 3);
+        for y in 0..3 {
+            for x in 0..4 {
+                assert_eq!(g.coords(g.wire_at(x, y)), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_rejects_wraparound_adjacency() {
+        let g = Lattice::grid(3, 3);
+        // wire 2 = (2,0), wire 3 = (0,1): consecutive indices but not adjacent.
+        assert!(!g.adjacent(w(2), w(3)));
+    }
+
+    #[test]
+    fn classify_line_and_bend_triples() {
+        let g = Lattice::grid(3, 3);
+        // Horizontal line (0,0),(1,0),(2,0) = wires 0,1,2.
+        let line3 = Op::Gate(Gate::Maj(w(0), w(1), w(2)));
+        assert_eq!(g.classify(&line3), OpLocality::LocalLine);
+        // Vertical line wires 1,4,7.
+        let vline = Op::Gate(Gate::Maj(w(1), w(4), w(7)));
+        assert_eq!(g.classify(&vline), OpLocality::LocalLine);
+        // L-shape (0,0),(1,0),(1,1) = wires 0,1,4.
+        let bend = Op::Gate(Gate::Maj(w(0), w(1), w(4)));
+        assert_eq!(g.classify(&bend), OpLocality::LocalBend);
+        // Disconnected (0,0),(2,0),(2,2) = wires 0,2,8.
+        let far = Op::Gate(Gate::Maj(w(0), w(2), w(8)));
+        assert_eq!(g.classify(&far), OpLocality::NonLocal);
+    }
+
+    #[test]
+    fn classify_unordered_triples() {
+        // Connectivity must not depend on argument order.
+        let g = Lattice::line(9);
+        for perm in [[2u32, 0, 1], [1, 2, 0], [0, 2, 1]] {
+            let gate = Op::Gate(Gate::Maj(w(perm[0]), w(perm[1]), w(perm[2])));
+            assert_ne!(g.classify(&gate), OpLocality::NonLocal, "{perm:?}");
+        }
+    }
+
+    #[test]
+    fn inits_are_exempt() {
+        let g = Lattice::line(9);
+        let init = Op::init(&[w(0), w(4), w(8)]);
+        assert_eq!(g.classify(&init), OpLocality::InitExempt);
+    }
+
+    #[test]
+    fn single_bit_gates_always_local() {
+        let g = Lattice::grid(2, 2);
+        assert_eq!(g.classify(&Op::Gate(Gate::Not(w(3)))), OpLocality::LocalLine);
+    }
+
+    #[test]
+    fn report_flags_nonlocal_ops() {
+        let g = Lattice::line(5);
+        let mut c = Circuit::new(5);
+        c.cnot(w(0), w(1)); // local
+        c.cnot(w(0), w(4)); // non-local
+        c.init(&[w(2), w(3), w(4)]);
+        let report = g.check_circuit(&c);
+        assert!(!report.is_local());
+        assert_eq!(report.non_local, vec![1]);
+        assert_eq!(report.local_line, 1);
+        assert_eq!(report.init_exempt, 1);
+        assert_eq!(report.gates(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn check_rejects_oversized_circuits() {
+        let g = Lattice::line(3);
+        let c = Circuit::new(4);
+        let _ = g.check_circuit(&c);
+    }
+
+    #[test]
+    fn swap3_on_a_line_is_local() {
+        let g = Lattice::line(9);
+        let op = Op::Gate(Gate::Swap3(w(3), w(4), w(5)));
+        assert_eq!(g.classify(&op), OpLocality::LocalLine);
+    }
+}

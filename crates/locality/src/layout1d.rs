@@ -1,0 +1,468 @@
+//! The 1D nearest-neighbour scheme (§3.2, Figures 6 and 7).
+//!
+//! Each codeword occupies a nine-cell tile on the line, in the wire order
+//! of Figure 7: `[q0 q3 q6 | q1 q4 q7 | q2 q5 q8]` — data at offsets
+//! 0, 3, 6 and ancillas between them. With that order the three `MAJ⁻¹`
+//! fan-outs act on contiguous cell triples for free; regrouping for the
+//! three decode `MAJ` gates costs nine adjacent SWAPs, bundled as four
+//! SWAP3 gates plus one SWAP. Total recovery cost: 13 operations with
+//! initialization, 11 without — the paper's `E` for 1D.
+//!
+//! Logical gates additionally pay the Figure 6 interleave: bringing the two
+//! outer codewords to the middle one costs `8+7+6` SWAPs for `b0` and
+//! `10+8+6` for `b2` — 45 in total — and the same again to uninterleave,
+//! giving the paper's `G = 40` (12 SWAP3 each way + 3 gate ops + 13
+//! recovery ops).
+
+use crate::cost::{audit_transport, TransportAudit};
+use crate::lattice::Lattice;
+use rft_core::ftcheck::CycleSpec;
+use rft_revsim::circuit::Circuit;
+use rft_revsim::gate::Gate;
+use rft_revsim::op::Op;
+use rft_revsim::permutation::Permutation;
+use rft_revsim::wire::{w, Wire};
+use serde::{Deserialize, Serialize};
+
+/// Cells per codeword tile.
+pub const TILE_LEN: usize = 9;
+
+/// Within-tile offsets of the data bits (code bits 0, 1, 2).
+pub const DATA_OFFSETS: [usize; 3] = [0, 3, 6];
+
+/// Figure 7 wire labels in line order: cell `i` of a tile holds `TILE_ORDER[i]`.
+pub const TILE_ORDER: [usize; 9] = [0, 3, 6, 1, 4, 7, 2, 5, 8];
+
+/// Operations in the 1D recovery with initialization (paper: 13).
+pub const E_LOCAL_1D_WITH_INIT: usize = 13;
+
+/// Operations in the 1D recovery without initialization (paper: 11).
+pub const E_LOCAL_1D_NO_INIT: usize = 11;
+
+/// A codeword tile on the line, starting at cell `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tile1D {
+    start: usize,
+}
+
+impl Tile1D {
+    /// Creates a tile whose first cell is `start`.
+    pub fn new(start: usize) -> Self {
+        Tile1D { start }
+    }
+
+    /// The wire of within-tile cell `offset` (0..9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= 9`.
+    pub fn wire(&self, offset: usize) -> Wire {
+        assert!(offset < TILE_LEN, "tile offset {offset} out of range");
+        w((self.start + offset) as u32)
+    }
+
+    /// Codeword positions at the start of a cycle (offsets 0, 3, 6).
+    pub fn data(&self) -> [Wire; 3] {
+        [self.wire(0), self.wire(3), self.wire(6)]
+    }
+
+    /// Appends the Figure 7 local recovery onto `circuit`.
+    ///
+    /// Sequence: two ancilla resets, three contiguous `MAJ⁻¹`, the nine-swap
+    /// regroup (4 SWAP3 + 1 SWAP), three contiguous `MAJ`. The refreshed
+    /// codeword lands back on offsets 0, 3, 6 — the tile pattern is
+    /// self-similar from cycle to cycle.
+    pub fn push_recovery(&self, circuit: &mut Circuit) {
+        let p = |offset: usize| self.wire(offset);
+        // Ancilla groups in paper labels: (q3,q4,q5) at offsets 1,4,7 and
+        // (q6,q7,q8) at offsets 2,5,8. Resets are single-cell erasures
+        // bundled for accounting; they need no adjacency (see lattice docs).
+        circuit.init(&[p(1), p(4), p(7)]);
+        circuit.init(&[p(2), p(5), p(8)]);
+        // Fan-out on contiguous triples: (q0,q3,q6), (q1,q4,q7), (q2,q5,q8).
+        circuit.maj_inv(p(0), p(1), p(2));
+        circuit.maj_inv(p(3), p(4), p(5));
+        circuit.maj_inv(p(6), p(7), p(8));
+        // Regroup [q0,q3,q6,q1,q4,q7,q2,q5,q8] -> [q0,q1,q2,q3,...,q8]
+        // in nine adjacent swaps = 4 SWAP3 + 1 SWAP.
+        circuit.swap3(p(3), p(2), p(1));
+        circuit.swap3(p(6), p(5), p(4));
+        circuit.swap3(p(4), p(3), p(2));
+        circuit.swap(p(4), p(5));
+        circuit.swap3(p(7), p(6), p(5));
+        // Decode on contiguous triples.
+        circuit.maj(p(0), p(1), p(2));
+        circuit.maj(p(3), p(4), p(5));
+        circuit.maj(p(6), p(7), p(8));
+    }
+}
+
+/// Swap-count bookkeeping for a Figure 6 interleave.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterleaveCost1D {
+    /// Elementary swaps per moved bit, in the paper's order:
+    /// `b0` last/second/first, then `b2` first/second/last.
+    pub per_move: Vec<usize>,
+    /// Total elementary swaps (paper: 45).
+    pub total_swaps: usize,
+    /// SWAP3 operations emitted.
+    pub swap3_ops: usize,
+    /// Bare SWAP operations emitted.
+    pub swap_ops: usize,
+}
+
+/// Moves a bit along the line with adjacent swaps, bundling consecutive
+/// pairs into SWAP3 gates. Returns the number of elementary swaps.
+fn route_bit(circuit: &mut Circuit, from: usize, to: usize, cost: &mut InterleaveCost1D) -> usize {
+    let mut pos = from as isize;
+    let target = to as isize;
+    let step: isize = if target > pos { 1 } else { -1 };
+    let mut swaps = 0usize;
+    while pos != target {
+        let remaining = (target - pos).abs();
+        if remaining >= 2 {
+            // SWAP3 moves the bit two cells: Swap3(a,b,c) sends a's value to c.
+            let a = pos;
+            let b = pos + step;
+            let c = pos + 2 * step;
+            circuit.swap3(w(a as u32), w(b as u32), w(c as u32));
+            cost.swap3_ops += 1;
+            swaps += 2;
+            pos = c;
+        } else {
+            circuit.swap(w(pos as u32), w((pos + step) as u32));
+            cost.swap_ops += 1;
+            swaps += 1;
+            pos += step;
+        }
+    }
+    swaps
+}
+
+/// The Figure 6 interleave: brings the outer codewords `b0` and `b2` next
+/// to the middle codeword `b1`, producing contiguous transversal triples.
+///
+/// Follows the paper's move order exactly: last/second/first bit of `b0`
+/// to just above the corresponding bit of `b1`, then the same for `b2`
+/// below — reproducing the `8+7+6` and `10+8+6` swap counts.
+///
+/// Returns the circuit segment, the cost account, and the positions of the
+/// three transversal triples `(b0_i, b1_i, b2_i)`.
+pub fn interleave_1d(circuit: &mut Circuit, tiles: &[Tile1D; 3]) -> (InterleaveCost1D, [[Wire; 3]; 3]) {
+    let mut cost =
+        InterleaveCost1D { per_move: Vec::new(), total_swaps: 0, swap3_ops: 0, swap_ops: 0 };
+    // Track current cell of every data bit as moves displace bystanders.
+    // b1 never moves on its own but shifts when others pass it... on a
+    // line, moving a bit from `from` to `to` shifts every cell in between
+    // by one in the opposite direction.
+    let mut pos: [[isize; 3]; 3] = [[0; 3]; 3];
+    for (t, tile) in tiles.iter().enumerate() {
+        for (b, offset) in DATA_OFFSETS.iter().enumerate() {
+            pos[t][b] = (tile.start + offset) as isize;
+        }
+    }
+    let do_move = |circuit: &mut Circuit,
+                       cost: &mut InterleaveCost1D,
+                       pos: &mut [[isize; 3]; 3],
+                       cw: usize,
+                       bit: usize,
+                       target: isize| {
+        let from = pos[cw][bit];
+        let swaps = route_bit(circuit, from as usize, target as usize, cost);
+        cost.per_move.push(swaps);
+        cost.total_swaps += swaps;
+        // Shift every bit strictly between from and target one cell back.
+        for p in pos.iter_mut().flat_map(|t| t.iter_mut()) {
+            if from < target && *p > from && *p <= target {
+                *p -= 1;
+            } else if from > target && *p < from && *p >= target {
+                *p += 1;
+            }
+        }
+        pos[cw][bit] = target;
+    };
+    // b0: move its last bit just above (left of) b1's last bit, then the
+    // second, then the first.
+    for bit in [2, 1, 0] {
+        let target = pos[1][bit] - 1;
+        do_move(circuit, &mut cost, &mut pos, 0, bit, target);
+    }
+    // b2: first bit just below (right of) b1's first bit, then second, last.
+    for bit in [0, 1, 2] {
+        let target = pos[1][bit] + 1;
+        do_move(circuit, &mut cost, &mut pos, 2, bit, target);
+    }
+    let triples = [
+        [
+            Wire::new(pos[0][0] as u32),
+            Wire::new(pos[1][0] as u32),
+            Wire::new(pos[2][0] as u32),
+        ],
+        [
+            Wire::new(pos[0][1] as u32),
+            Wire::new(pos[1][1] as u32),
+            Wire::new(pos[2][1] as u32),
+        ],
+        [
+            Wire::new(pos[0][2] as u32),
+            Wire::new(pos[1][2] as u32),
+            Wire::new(pos[2][2] as u32),
+        ],
+    ];
+    (cost, triples)
+}
+
+/// A complete executable 1D fault-tolerant cycle on three codewords.
+#[derive(Debug, Clone)]
+pub struct Cycle1D {
+    /// The physical circuit.
+    pub circuit: Circuit,
+    /// The line lattice.
+    pub lattice: Lattice,
+    /// Input codeword positions per logical bit.
+    pub inputs: Vec<[Wire; 3]>,
+    /// Output codeword positions per logical bit.
+    pub outputs: Vec<[Wire; 3]>,
+    /// Interleave cost (one direction).
+    pub interleave: InterleaveCost1D,
+    /// Recovery ops per codeword (13, Figure 7).
+    pub recovery_ops_per_codeword: usize,
+}
+
+impl Cycle1D {
+    /// Converts to a [`CycleSpec`] for exhaustive fault sweeps.
+    pub fn to_cycle_spec(&self, gate: &Gate) -> CycleSpec {
+        let mut logical = Circuit::new(3);
+        logical.push(Op::Gate(*gate));
+        let perm = Permutation::of_circuit(&logical).expect("3-bit logical gate");
+        CycleSpec::new(self.circuit.clone(), self.inputs.clone(), self.outputs.clone(), perm)
+    }
+
+    /// Transport audit over the full cycle.
+    pub fn audit(&self) -> TransportAudit {
+        let initial: Vec<Vec<Wire>> = self.inputs.iter().map(|b| b.to_vec()).collect();
+        audit_transport(&self.circuit, &initial)
+    }
+}
+
+/// Builds a full 1D cycle applying `gate` (wires = logical indices 0,1,2):
+/// Figure 6 interleave → transversal gate → uninterleave → Figure 7
+/// recovery on each tile.
+///
+/// # Panics
+///
+/// Panics if `gate` does not act on exactly the logical wires `{0,1,2}`.
+pub fn build_cycle_1d(gate: &Gate) -> Cycle1D {
+    let support = gate.support();
+    assert!(
+        support.len() == 3 && (0..3).all(|i| support.contains(Wire::new(i))),
+        "gate must act on logical wires 0,1,2"
+    );
+    let lattice = Lattice::line(3 * TILE_LEN);
+    let tiles = [Tile1D::new(0), Tile1D::new(9), Tile1D::new(18)];
+    let mut c = Circuit::new(lattice.n_cells());
+
+    let interleave_start = c.len();
+    let (cost, triples) = interleave_1d(&mut c, &tiles);
+    // Transversal gate on contiguous triples (b0_i, b1_i, b2_i).
+    for triple in triples {
+        c.push(Op::Gate(gate.remap(&triple)));
+    }
+    // Uninterleave: exact inverse of the interleave segment.
+    let interleave_ops: Vec<Op> = c.ops()[interleave_start..interleave_start + cost.swap3_ops + cost.swap_ops]
+        .to_vec();
+    for op in interleave_ops.iter().rev() {
+        match op {
+            Op::Gate(g) => {
+                c.push(Op::Gate(g.inverse()));
+            }
+            Op::Init(_) => unreachable!("interleave emits only swaps"),
+        }
+    }
+    // Local recovery on each tile.
+    for tile in &tiles {
+        tile.push_recovery(&mut c);
+    }
+    Cycle1D {
+        circuit: c,
+        lattice,
+        inputs: tiles.iter().map(|t| t.data()).collect(),
+        outputs: tiles.iter().map(|t| t.data()).collect(),
+        interleave: cost,
+        recovery_ops_per_codeword: E_LOCAL_1D_WITH_INIT,
+    }
+}
+
+/// Builds the recovery-only circuit for one codeword tile on a 9-cell line.
+pub fn build_recovery_1d() -> (Circuit, Lattice, Tile1D) {
+    let lattice = Lattice::line(TILE_LEN);
+    let tile = Tile1D::new(0);
+    let mut c = Circuit::new(TILE_LEN);
+    tile.push_recovery(&mut c);
+    (c, lattice, tile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rft_revsim::gate::OpKind;
+    use rft_revsim::prelude::*;
+
+    fn toffoli() -> Gate {
+        Gate::Toffoli { controls: [w(0), w(1)], target: w(2) }
+    }
+
+    #[test]
+    fn recovery_op_count_matches_paper() {
+        let (c, _, _) = build_recovery_1d();
+        assert_eq!(c.len(), E_LOCAL_1D_WITH_INIT);
+        let stats = c.stats();
+        assert_eq!(stats.init_ops(), 2);
+        assert_eq!(stats.count(OpKind::Maj), 3);
+        assert_eq!(stats.count(OpKind::MajInv), 3);
+        assert_eq!(stats.count(OpKind::Swap3), 4);
+        assert_eq!(stats.count(OpKind::Swap), 1);
+        assert_eq!(c.len() - stats.init_ops(), E_LOCAL_1D_NO_INIT);
+    }
+
+    #[test]
+    fn recovery_gates_are_all_local() {
+        let (c, lattice, _) = build_recovery_1d();
+        let report = lattice.check_circuit(&c);
+        assert!(report.is_local(), "non-local: {:?}", report.non_local);
+        assert_eq!(report.init_exempt, 2);
+    }
+
+    #[test]
+    fn recovery_refreshes_and_self_similar_layout() {
+        // Data enters at offsets 0,3,6 and must leave at offsets 0,3,6
+        // holding the refreshed codeword.
+        let (c, _, tile) = build_recovery_1d();
+        for bit in [false, true] {
+            for flip in 0..3usize {
+                let mut s = BitState::zeros(TILE_LEN);
+                for q in tile.data() {
+                    s.set(q, bit);
+                }
+                s.flip(tile.data()[flip]);
+                c.run(&mut s);
+                for (i, q) in tile.data().iter().enumerate() {
+                    assert_eq!(s.get(*q), bit, "output bit {i}, flip {flip}, value {bit}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recovery_is_single_fault_tolerant() {
+        let (c, _, tile) = build_recovery_1d();
+        let spec = CycleSpec::new(
+            c,
+            vec![tile.data()],
+            vec![tile.data()],
+            Permutation::identity(1),
+        );
+        spec.verify_ideal().unwrap();
+        let sweep = spec.sweep_single_faults();
+        assert!(sweep.is_fault_tolerant(), "violation: {:?}", sweep.worst);
+        assert_eq!(sweep.max_codeword_error, 1);
+    }
+
+    #[test]
+    fn interleave_reproduces_paper_swap_counts() {
+        // "Interleaving b0 and b1 requires 8+7+6 SWAPs … Interleaving b2
+        // requires 10+8+6 SWAPs. This gives a total of 45 SWAPs."
+        let tiles = [Tile1D::new(0), Tile1D::new(9), Tile1D::new(18)];
+        let mut c = Circuit::new(27);
+        let (cost, triples) = interleave_1d(&mut c, &tiles);
+        assert_eq!(cost.per_move, vec![8, 7, 6, 10, 8, 6]);
+        assert_eq!(cost.total_swaps, 45);
+        // Triples are contiguous and ordered (b0_i, b1_i, b2_i).
+        for triple in triples {
+            assert_eq!(triple[1].index(), triple[0].index() + 1);
+            assert_eq!(triple[2].index(), triple[1].index() + 1);
+        }
+    }
+
+    #[test]
+    fn interleave_is_local() {
+        let tiles = [Tile1D::new(0), Tile1D::new(9), Tile1D::new(18)];
+        let mut c = Circuit::new(27);
+        let _ = interleave_1d(&mut c, &tiles);
+        assert!(Lattice::line(27).check_circuit(&c).is_local());
+    }
+
+    #[test]
+    fn full_cycle_is_local_and_correct() {
+        let cycle = build_cycle_1d(&toffoli());
+        let report = cycle.lattice.check_circuit(&cycle.circuit);
+        assert!(report.is_local(), "non-local: {:?}", report.non_local);
+        let spec = cycle.to_cycle_spec(&toffoli());
+        spec.verify_ideal().unwrap();
+    }
+
+    #[test]
+    fn full_cycle_has_first_order_failures() {
+        // REPRODUCTION FINDING (see DESIGN.md): on a line, interleaving
+        // forces data bits of different codewords to cross at some swap, so
+        // a single fault can corrupt e.g. b0's bit 2 and b1's bit 0 at
+        // once. Both are single errors in their own codewords, but the
+        // transversal 3-bit gate propagates them into *different* bits of
+        // the target codeword — two errors, which majority recovery turns
+        // into a logical flip. The paper's G = 40 counting assumes each
+        // fault yields at most one error per codeword; the literal Figure 6
+        // schedule does not satisfy that. The recovery circuit itself
+        // (Figure 7) is fully fault tolerant — see
+        // `recovery_is_single_fault_tolerant`.
+        let cycle = build_cycle_1d(&toffoli());
+        let spec = cycle.to_cycle_spec(&toffoli());
+        let sweep = spec.sweep_single_faults();
+        assert!(!sweep.is_fault_tolerant(), "expected the known violation");
+        assert!(sweep.first_order_worst > 0.0);
+        // The coefficient is a small number of equivalent ops, far below
+        // the ~40-op budget: the O(g) term matters only at tiny g.
+        assert!(
+            sweep.first_order_worst < 3.0,
+            "first-order coefficient {} unexpectedly large",
+            sweep.first_order_worst
+        );
+    }
+
+    #[test]
+    fn per_codeword_swap3_counts_near_paper_twelve() {
+        // Paper: "only 12 SWAP3 gates acting on each codeword to
+        // interleave" (= 24 elementary swaps on the worst codeword).
+        let cycle = build_cycle_1d(&toffoli());
+        let audit = cycle.audit();
+        // Round trip: at most 24 swap ops touching any codeword each way.
+        for (i, &sw) in audit.swaps_touching.iter().enumerate() {
+            assert!(sw <= 48, "codeword {i}: {sw} swap ops");
+        }
+        let worst = audit.swaps_touching.iter().max().unwrap();
+        assert!(*worst >= 20, "worst codeword only touched by {worst} swap ops");
+    }
+
+    #[test]
+    fn cycle_op_total_is_near_paper_g_40() {
+        // G = 12 SWAP3 + 3 gates + 12 SWAP3 + 13 recovery = 40 per codeword
+        // in the paper's counting. Audit the worst codeword.
+        let cycle = build_cycle_1d(&toffoli());
+        let audit = cycle.audit();
+        let worst_transport = *audit.ops_touching.iter().max().unwrap();
+        // Recovery contributes ops beyond those touching input data cells.
+        // The constructed budget should land within a few ops of 40.
+        assert!(
+            (34..=46).contains(&worst_transport),
+            "worst codeword ops {worst_transport} far from paper G = 40"
+        );
+    }
+
+    #[test]
+    fn tile_order_is_figure_7() {
+        assert_eq!(TILE_ORDER, [0, 3, 6, 1, 4, 7, 2, 5, 8]);
+        // Data labels q0,q1,q2 sit at offsets 0,3,6.
+        assert_eq!(TILE_ORDER[0], 0);
+        assert_eq!(TILE_ORDER[3], 1);
+        assert_eq!(TILE_ORDER[6], 2);
+    }
+}

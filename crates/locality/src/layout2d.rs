@@ -1,0 +1,466 @@
+//! The 2D nearest-neighbour scheme (§3.1, Figures 4 and 5).
+//!
+//! Each codeword lives on a 3×3 *tile* laid out as in Figure 4:
+//!
+//! ```text
+//!        x=0  x=1  x=2
+//!  y=0 [ q8   q2   q5 ]
+//!  y=1 [ q7   q1   q4 ]
+//!  y=2 [ q6   q0   q3 ]
+//! ```
+//!
+//! The logical bit line is the centre column (`q2,q1,q0`). With this
+//! placement *every* operation of the Figure 2 recovery circuit acts on a
+//! straight run of three cells — the recovery needs no SWAPs at all. Only
+//! logical operations pay transport: three codewords are interleaved with
+//! SWAP3 gates (Figure 5), either perpendicular to the bit line (12 SWAPs)
+//! or parallel to it (9 SWAPs), at most six SWAPs = three SWAP3 per
+//! codeword each way.
+
+use crate::cost::{audit_transport, TransportAudit};
+use crate::lattice::Lattice;
+use rft_core::ftcheck::CycleSpec;
+use rft_revsim::circuit::Circuit;
+use rft_revsim::gate::Gate;
+use rft_revsim::op::Op;
+use rft_revsim::permutation::Permutation;
+use rft_revsim::wire::Wire;
+use serde::{Deserialize, Serialize};
+
+/// Within-tile coordinates `(x, y)` of `q0..q8` per Figure 4.
+pub const TILE_COORDS: [(usize, usize); 9] = [
+    (1, 2), // q0
+    (1, 1), // q1
+    (1, 0), // q2
+    (2, 2), // q3
+    (2, 1), // q4
+    (2, 0), // q5
+    (0, 2), // q6
+    (0, 1), // q7
+    (0, 0), // q8
+];
+
+/// Direction in which three codewords are brought together (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InterleaveScheme {
+    /// Move the outer codewords across the ancilla columns between bit
+    /// lines: 12 SWAPs total, 6 per moving codeword.
+    Perpendicular,
+    /// Riffle three codewords stacked along the same bit line: 9 SWAPs.
+    Parallel,
+}
+
+/// A placed tile: maps `q0..q8` to lattice wires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile2D {
+    lattice: Lattice,
+    origin: (usize, usize),
+}
+
+impl Tile2D {
+    /// Creates a tile with its top-left corner at `origin` on `lattice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile does not fit on the lattice.
+    pub fn new(lattice: Lattice, origin: (usize, usize)) -> Self {
+        assert!(
+            origin.0 + 3 <= lattice.width() && origin.1 + 3 <= lattice.height(),
+            "tile at {origin:?} does not fit on {lattice:?}"
+        );
+        Tile2D { lattice, origin }
+    }
+
+    /// The lattice wire of tile bit `q` (0..9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= 9`.
+    pub fn wire(&self, q: usize) -> Wire {
+        let (tx, ty) = TILE_COORDS[q];
+        self.lattice.wire_at(self.origin.0 + tx, self.origin.1 + ty)
+    }
+
+    /// Codeword input positions `(q0, q1, q2)`.
+    pub fn data_in(&self) -> [Wire; 3] {
+        [self.wire(0), self.wire(1), self.wire(2)]
+    }
+
+    /// Codeword output positions after recovery `(q0, q3, q6)`.
+    pub fn data_out(&self) -> [Wire; 3] {
+        [self.wire(0), self.wire(3), self.wire(6)]
+    }
+
+    /// Appends the Figure 2 recovery onto `circuit`, placed on this tile.
+    /// All eight operations are nearest-neighbour straight triples.
+    pub fn push_recovery(&self, circuit: &mut Circuit) {
+        let q = |i: usize| self.wire(i);
+        circuit
+            .init(&[q(3), q(4), q(5)])
+            .init(&[q(6), q(7), q(8)])
+            .maj_inv(q(0), q(3), q(6))
+            .maj_inv(q(1), q(4), q(7))
+            .maj_inv(q(2), q(5), q(8))
+            .maj(q(0), q(1), q(2))
+            .maj(q(3), q(4), q(5))
+            .maj(q(6), q(7), q(8));
+    }
+}
+
+/// A complete executable 2D fault-tolerant cycle on three codewords:
+/// interleave → transversal gate → uninterleave → recovery on each tile.
+#[derive(Debug, Clone)]
+pub struct Cycle2D {
+    /// The physical circuit.
+    pub circuit: Circuit,
+    /// The lattice it is placed on.
+    pub lattice: Lattice,
+    /// Input codeword positions per logical bit.
+    pub inputs: Vec<[Wire; 3]>,
+    /// Output codeword positions per logical bit.
+    pub outputs: Vec<[Wire; 3]>,
+    /// The interleave scheme used.
+    pub scheme: InterleaveScheme,
+    /// Op index range of the transport phases (interleave + uninterleave).
+    pub transport_ops: usize,
+    /// Recovery ops per codeword (8, Figure 2).
+    pub recovery_ops_per_codeword: usize,
+}
+
+impl Cycle2D {
+    /// Converts to a [`CycleSpec`] for exhaustive fault sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate permutation cannot be extracted (never for valid
+    /// 3-bit gates).
+    pub fn to_cycle_spec(&self, gate: &Gate) -> CycleSpec {
+        let mut logical = Circuit::new(3);
+        logical.push(Op::Gate(*gate));
+        let perm = Permutation::of_circuit(&logical).expect("3-bit logical gate");
+        CycleSpec::new(self.circuit.clone(), self.inputs.clone(), self.outputs.clone(), perm)
+    }
+
+    /// Transport audit of the full cycle (per-codeword op touches).
+    pub fn audit(&self) -> TransportAudit {
+        let initial: Vec<Vec<Wire>> = self.inputs.iter().map(|b| b.to_vec()).collect();
+        audit_transport(&self.circuit, &initial)
+    }
+
+    /// Per-codeword operation budget `G`: transport + transversal touches
+    /// (from the audit) plus the recovery operations on the codeword's tile
+    /// whose failure feeds its output (the paper counts all 8).
+    pub fn per_codeword_budget(&self) -> Vec<usize> {
+        // The audit already counts transversal gates and the recovery ops
+        // touching current data cells; recovery init/ancilla-only MAJ ops
+        // feed the output without touching inputs, so add the difference.
+        // Audit counts for recovery phase: MAJ⁻¹(q0,..) + MAJ(q0,q1,q2) = 4
+        // ops touch the input data cells; the other 4 (2 inits + 2 ancilla
+        // MAJs) do not but still belong to the extended rectangle.
+        self.audit()
+            .ops_touching
+            .iter()
+            .map(|&t| t + (self.recovery_ops_per_codeword - 4))
+            .collect()
+    }
+}
+
+/// Builds a full 2D cycle applying `gate` (wires must be logical indices
+/// 0, 1, 2) to three codewords.
+///
+/// # Panics
+///
+/// Panics if `gate` does not act on exactly the logical wires `{0,1,2}`.
+pub fn build_cycle_2d(gate: &Gate, scheme: InterleaveScheme) -> Cycle2D {
+    let support = gate.support();
+    assert!(
+        support.len() == 3 && (0..3).all(|i| support.contains(Wire::new(i))),
+        "gate must act on logical wires 0,1,2"
+    );
+    match scheme {
+        InterleaveScheme::Perpendicular => build_perpendicular(gate),
+        InterleaveScheme::Parallel => build_parallel(gate),
+    }
+}
+
+/// Perpendicular interleave: tiles side by side, outer data columns move
+/// across the ancilla columns to meet the middle one.
+fn build_perpendicular(gate: &Gate) -> Cycle2D {
+    let lattice = Lattice::grid(9, 3);
+    let tiles: Vec<Tile2D> = (0..3).map(|t| Tile2D::new(lattice, (3 * t, 0))).collect();
+    let mut c = Circuit::new(lattice.n_cells());
+    let at = |x: usize, y: usize| lattice.wire_at(x, y);
+
+    // Interleave: A's data column x=1 → x=3; C's x=7 → x=5. 6 SWAP3.
+    for y in 0..3 {
+        c.swap3(at(1, y), at(2, y), at(3, y));
+    }
+    for y in 0..3 {
+        c.swap3(at(7, y), at(6, y), at(5, y));
+    }
+    // Transversal gate on each row: (A,B,C) at x = 3,4,5.
+    for y in 0..3 {
+        let map = [at(3, y), at(4, y), at(5, y)];
+        c.push(Op::Gate(gate.remap(&map)));
+    }
+    // Uninterleave (exact inverses).
+    for y in 0..3 {
+        c.swap3(at(3, y), at(2, y), at(1, y));
+    }
+    for y in 0..3 {
+        c.swap3(at(5, y), at(6, y), at(7, y));
+    }
+    let transport_ops = 12;
+    // Recovery on each tile.
+    for tile in &tiles {
+        tile.push_recovery(&mut c);
+    }
+    Cycle2D {
+        circuit: c,
+        lattice,
+        inputs: tiles.iter().map(|t| t.data_in()).collect(),
+        outputs: tiles.iter().map(|t| t.data_out()).collect(),
+        scheme: InterleaveScheme::Perpendicular,
+        transport_ops,
+        recovery_ops_per_codeword: 8,
+    }
+}
+
+/// Parallel interleave: tiles stacked along the bit line; the nine data
+/// cells form one contiguous column and are riffled with 4 SWAP3 + 1 SWAP.
+fn build_parallel(gate: &Gate) -> Cycle2D {
+    let lattice = Lattice::grid(3, 9);
+    let tiles: Vec<Tile2D> = (0..3).map(|t| Tile2D::new(lattice, (0, 3 * t))).collect();
+    let mut c = Circuit::new(lattice.n_cells());
+    // The data column: x=1, y = 0..9. Position p in the column.
+    let col = |p: usize| lattice.wire_at(1, p);
+
+    // Riffle [a0 a1 a2 b0 b1 b2 c0 c1 c2] -> [a0 b0 c0 a1 b1 c1 a2 b2 c2]:
+    // the involution (0)(4)(8)(1 3)(2 6)(5 7), done in 9 elementary swaps.
+    let riffle: [(usize, usize, Option<usize>); 5] = [
+        (3, 2, Some(1)),
+        (6, 5, Some(4)),
+        (4, 3, Some(2)),
+        (4, 5, None),
+        (7, 6, Some(5)),
+    ];
+    for &(a, b, m) in &riffle {
+        match m {
+            Some(m2) => {
+                c.swap3(col(a), col(b), col(m2));
+            }
+            None => {
+                c.swap(col(a), col(b));
+            }
+        }
+    }
+    // Transversal gates on contiguous vertical triples.
+    for i in 0..3 {
+        let map = [col(3 * i), col(3 * i + 1), col(3 * i + 2)];
+        c.push(Op::Gate(gate.remap(&map)));
+    }
+    // Un-riffle: inverse schedule in reverse order.
+    for &(a, b, m) in riffle.iter().rev() {
+        match m {
+            Some(m2) => {
+                c.swap3(col(m2), col(b), col(a));
+            }
+            None => {
+                c.swap(col(a), col(b));
+            }
+        }
+    }
+    let transport_ops = 10;
+    for tile in &tiles {
+        tile.push_recovery(&mut c);
+    }
+    Cycle2D {
+        circuit: c,
+        lattice,
+        inputs: tiles.iter().map(|t| t.data_in()).collect(),
+        outputs: tiles.iter().map(|t| t.data_out()).collect(),
+        scheme: InterleaveScheme::Parallel,
+        transport_ops,
+        recovery_ops_per_codeword: 8,
+    }
+}
+
+/// Builds the recovery-only circuit for `n_tiles` codewords in a row — the
+/// configuration showing that 2D error recovery needs *no* transport.
+pub fn build_recovery_row(n_tiles: usize) -> (Circuit, Lattice, Vec<Tile2D>) {
+    assert!(n_tiles > 0, "need at least one tile");
+    let lattice = Lattice::grid(3 * n_tiles, 3);
+    let tiles: Vec<Tile2D> = (0..n_tiles).map(|t| Tile2D::new(lattice, (3 * t, 0))).collect();
+    let mut c = Circuit::new(lattice.n_cells());
+    for tile in &tiles {
+        tile.push_recovery(&mut c);
+    }
+    (c, lattice, tiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rft_revsim::gate::OpKind;
+    use rft_revsim::prelude::*;
+
+    fn toffoli() -> Gate {
+        Gate::Toffoli { controls: [w(0), w(1)], target: w(2) }
+    }
+
+    #[test]
+    fn tile_coords_cover_the_tile() {
+        let mut seen = [[false; 3]; 3];
+        for (x, y) in TILE_COORDS {
+            assert!(!seen[y][x], "coordinate ({x},{y}) repeated");
+            seen[y][x] = true;
+        }
+    }
+
+    #[test]
+    fn recovery_on_a_tile_is_fully_local() {
+        let (c, lattice, _) = build_recovery_row(1);
+        let report = lattice.check_circuit(&c);
+        assert!(report.is_local(), "non-local ops: {:?}", report.non_local);
+        // In 2D even the init triples are straight columns.
+        assert_eq!(report.local_bend, 0, "all recovery ops are straight lines");
+        assert_eq!(report.init_exempt, 2);
+        assert_eq!(report.local_line, 6);
+    }
+
+    #[test]
+    fn recovery_row_of_many_tiles_stays_local() {
+        let (c, lattice, tiles) = build_recovery_row(4);
+        assert!(lattice.check_circuit(&c).is_local());
+        assert_eq!(tiles.len(), 4);
+        assert_eq!(c.len(), 4 * 8);
+    }
+
+    #[test]
+    fn perpendicular_cycle_is_fully_local() {
+        let cycle = build_cycle_2d(&toffoli(), InterleaveScheme::Perpendicular);
+        let report = cycle.lattice.check_circuit(&cycle.circuit);
+        assert!(report.is_local(), "non-local ops: {:?}", report.non_local);
+    }
+
+    #[test]
+    fn parallel_cycle_is_fully_local() {
+        let cycle = build_cycle_2d(&toffoli(), InterleaveScheme::Parallel);
+        let report = cycle.lattice.check_circuit(&cycle.circuit);
+        assert!(report.is_local(), "non-local ops: {:?}", report.non_local);
+    }
+
+    #[test]
+    fn perpendicular_swap_counts_match_paper() {
+        // "Interleaving three logical bits perpendicular to the logic line
+        // requires 12 SWAP gates" (= 6 SWAP3), 6 swaps on a moving codeword.
+        let cycle = build_cycle_2d(&toffoli(), InterleaveScheme::Perpendicular);
+        let stats = cycle.circuit.stats();
+        assert_eq!(stats.count(OpKind::Swap3), 12); // 6 in + 6 out
+        let audit = cycle.audit();
+        // Moving codewords (A, C) each see 2×3 SWAP3 = 12 elementary swaps
+        // round trip = 6 each way; B sees none.
+        assert_eq!(audit.elementary_swaps[0], 12);
+        assert_eq!(audit.elementary_swaps[1], 0);
+        assert_eq!(audit.elementary_swaps[2], 12);
+    }
+
+    #[test]
+    fn parallel_swap_counts_match_paper() {
+        // "Interleaving three logical bits parallel to the logical line
+        // requires nine SWAP gates" per direction.
+        let cycle = build_cycle_2d(&toffoli(), InterleaveScheme::Parallel);
+        let stats = cycle.circuit.stats();
+        assert_eq!(stats.count(OpKind::Swap3), 8); // 4 in + 4 out
+        assert_eq!(stats.count(OpKind::Swap), 2); // 1 in + 1 out
+        // 9 elementary swaps per direction in total across codewords; each
+        // codeword participates in at most 3 SWAP3-equivalents per
+        // direction ("at most six SWAPs on a given logical bit").
+        let audit = cycle.audit();
+        for (i, &sw) in audit.swaps_touching.iter().enumerate() {
+            assert!(sw <= 10, "codeword {i} touched by {sw} swap ops round-trip");
+        }
+    }
+
+    #[test]
+    fn cycles_compute_the_logical_gate() {
+        for scheme in [InterleaveScheme::Perpendicular, InterleaveScheme::Parallel] {
+            let cycle = build_cycle_2d(&toffoli(), scheme);
+            let spec = cycle.to_cycle_spec(&toffoli());
+            spec.verify_ideal().unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn perpendicular_cycle_is_single_fault_tolerant() {
+        // The perpendicular interleave moves data only across *ancilla*
+        // columns, so no operation ever touches data bits of two codewords
+        // at misaligned code positions: the full cycle is exactly
+        // single-fault tolerant, as the paper's counting assumes.
+        let cycle = build_cycle_2d(&toffoli(), InterleaveScheme::Perpendicular);
+        let spec = cycle.to_cycle_spec(&toffoli());
+        let sweep = spec.sweep_single_faults();
+        assert!(sweep.is_fault_tolerant(), "violated by {:?}", sweep.worst);
+        assert_eq!(sweep.max_codeword_error, 1);
+        assert_eq!(sweep.first_order_worst, 0.0);
+    }
+
+    #[test]
+    fn parallel_cycle_has_first_order_failures() {
+        // REPRODUCTION FINDING (see DESIGN.md): riffling codewords that are
+        // adjacent *along the bit line* makes some SWAP3 ops span two data
+        // bits of one codeword (e.g. a1,a2 next to b0). A single fault
+        // there leaves two errors in that codeword — the exhaustive sweep
+        // exposes a first-order failure path the paper's per-codeword swap
+        // counting does not model. The coefficient is small (a few bad
+        // (op, pattern) pairs), so the quoted threshold still describes the
+        // practically relevant regime, but strict fault tolerance fails.
+        let cycle = build_cycle_2d(&toffoli(), InterleaveScheme::Parallel);
+        let spec = cycle.to_cycle_spec(&toffoli());
+        let sweep = spec.sweep_single_faults();
+        assert!(!sweep.is_fault_tolerant(), "expected the known violation");
+        assert!(sweep.first_order_worst > 0.0);
+        // Measured: ≈ 2.9 equivalent always-fatal ops for the worst input.
+        assert!(
+            sweep.first_order_worst < 5.0,
+            "first-order coefficient {} unexpectedly large",
+            sweep.first_order_worst
+        );
+    }
+
+    #[test]
+    fn per_codeword_budget_brackets_paper_g() {
+        // The paper quotes G = 14 (16 with init) for a full 2D cycle; our
+        // audited construction gives 15/17 for the moving codewords (see
+        // DESIGN.md "known discrepancies"). Assert we are within one op.
+        let cycle = build_cycle_2d(&toffoli(), InterleaveScheme::Perpendicular);
+        let budget = cycle.per_codeword_budget();
+        let worst = *budget.iter().max().unwrap();
+        assert!(
+            (16..=17).contains(&worst),
+            "worst-codeword budget {worst} not within expected range"
+        );
+        // The middle codeword needs no transport: 3 gate + 8 recovery.
+        assert_eq!(budget[1], 11);
+    }
+
+    #[test]
+    fn tile_wires_are_distinct_across_tiles() {
+        let (_, lattice, tiles) = build_recovery_row(3);
+        let mut seen = std::collections::HashSet::new();
+        for t in &tiles {
+            for q in 0..9 {
+                assert!(seen.insert(t.wire(q)), "wire reused across tiles");
+            }
+        }
+        assert_eq!(seen.len(), 27);
+        assert_eq!(lattice.n_cells(), 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "logical wires 0,1,2")]
+    fn cycle_rejects_wrong_logical_wires() {
+        let bad = Gate::Maj(w(0), w(1), w(3));
+        let _ = build_cycle_2d(&bad, InterleaveScheme::Perpendicular);
+    }
+}

@@ -1,0 +1,54 @@
+//! # rft-locality — nearest-neighbour reversible fault tolerance
+//!
+//! Section 3 of *“Reversible Fault-Tolerant Logic”* (Boykin &
+//! Roychowdhury, DSN 2005) restricted to lattices where gates act only on
+//! adjacent bits:
+//!
+//! - [`lattice`] — 1D/2D cell lattices, adjacency, and a locality validator
+//!   for circuits;
+//! - [`layout2d`] — the Figure 4 tile placement on which the whole recovery
+//!   circuit is nearest-neighbour for free, plus both SWAP3 interleave
+//!   schemes of §3.1 (the `ρ₂ = 1/273` configuration);
+//! - [`layout1d`] — the Figure 7 one-dimensional recovery (13 ops) and the
+//!   Figure 6 interleave reproducing the paper's `8+7+6 / 10+8+6 = 45`
+//!   swap schedule (the `ρ₁ = 1/2340` configuration);
+//! - [`route`] — a generic circuit-to-line compiler (gather, operate,
+//!   restore);
+//! - [`cost`] — per-codeword operation audits that track codeword transport
+//!   through swap networks, yielding the empirical gate budgets `G`.
+//!
+//! # Examples
+//!
+//! Verify that error recovery on the 2D tile needs no transport at all:
+//!
+//! ```
+//! use rft_locality::layout2d::build_recovery_row;
+//!
+//! let (circuit, lattice, _tiles) = build_recovery_row(2);
+//! let report = lattice.check_circuit(&circuit);
+//! assert!(report.is_local());
+//! assert_eq!(report.local_bend, 0); // every gate is a straight triple
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod lattice;
+pub mod layout1d;
+pub mod layout2d;
+pub mod route;
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::cost::{audit_transport, TransportAudit};
+    pub use crate::lattice::{Lattice, LocalityReport, OpLocality};
+    pub use crate::layout1d::{
+        build_cycle_1d, build_recovery_1d, interleave_1d, Cycle1D, InterleaveCost1D, Tile1D,
+        E_LOCAL_1D_NO_INIT, E_LOCAL_1D_WITH_INIT,
+    };
+    pub use crate::layout2d::{
+        build_cycle_2d, build_recovery_row, Cycle2D, InterleaveScheme, Tile2D, TILE_COORDS,
+    };
+    pub use crate::route::{route_line, RouteStats};
+}

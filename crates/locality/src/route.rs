@@ -1,0 +1,225 @@
+//! A generic nearest-neighbour compiler for 1D chains.
+//!
+//! §3 notes that "when it is necessary to operate on pairs of remote bits,
+//! we must first move them close together by a series of SWAP operations
+//! and then operate". This module implements exactly that for arbitrary
+//! circuits: every non-local operation is sandwiched between a swap network
+//! that gathers its operands around the middle one and the inverse network
+//! that restores the placement, so wire `i` always lives at cell `i`
+//! between gates.
+//!
+//! The output circuit computes the same permutation (restoring placement
+//! after every gate keeps the identity layout) and passes the
+//! [`Lattice::line`] locality check; the swap overhead is the price the 1D
+//! threshold of §3.2 pays.
+
+use crate::lattice::Lattice;
+use rft_revsim::circuit::Circuit;
+use rft_revsim::gate::Gate;
+use rft_revsim::op::Op;
+use rft_revsim::wire::{w, Wire};
+use serde::{Deserialize, Serialize};
+
+/// Statistics of a line-routing pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteStats {
+    /// Logical operations routed.
+    pub ops: usize,
+    /// Operations that needed no transport.
+    pub already_local: usize,
+    /// SWAP3 gates inserted (gather + restore).
+    pub swap3_inserted: usize,
+    /// SWAP gates inserted (gather + restore).
+    pub swap_inserted: usize,
+}
+
+impl RouteStats {
+    /// Total elementary swaps inserted.
+    pub fn elementary_swaps(&self) -> usize {
+        2 * self.swap3_inserted + self.swap_inserted
+    }
+}
+
+/// Emits adjacent swaps (bundled into SWAP3s) moving the value at `from`
+/// to `to`; records the moves so they can be undone.
+fn gather(
+    c: &mut Circuit,
+    moves: &mut Vec<Gate>,
+    stats: &mut RouteStats,
+    from: usize,
+    to: usize,
+) {
+    let mut pos = from as isize;
+    let target = to as isize;
+    let step: isize = if target > pos { 1 } else { -1 };
+    while pos != target {
+        let remaining = (target - pos).abs();
+        let gate = if remaining >= 2 {
+            stats.swap3_inserted += 1;
+            let g = Gate::Swap3(
+                w(pos as u32),
+                w((pos + step) as u32),
+                w((pos + 2 * step) as u32),
+            );
+            pos += 2 * step;
+            g
+        } else {
+            stats.swap_inserted += 1;
+            let g = Gate::Swap(w(pos as u32), w((pos + step) as u32));
+            pos += step;
+            g
+        };
+        c.push(Op::Gate(gate));
+        moves.push(gate);
+    }
+}
+
+/// Compiles `circuit` into an equivalent nearest-neighbour circuit on a
+/// line where wire `i` occupies cell `i` before and after every operation.
+///
+/// Returns the routed circuit and insertion statistics.
+///
+/// # Examples
+///
+/// ```
+/// use rft_locality::route::route_line;
+/// use rft_locality::lattice::Lattice;
+/// use rft_revsim::prelude::*;
+///
+/// let mut c = Circuit::new(6);
+/// c.toffoli(w(0), w(5), w(2)); // far-apart operands
+/// let (routed, stats) = route_line(&c);
+/// assert!(Lattice::line(6).check_circuit(&routed).is_local());
+/// assert!(stats.elementary_swaps() > 0);
+/// ```
+pub fn route_line(circuit: &Circuit) -> (Circuit, RouteStats) {
+    let lattice = Lattice::line(circuit.n_wires().max(1));
+    let mut out = Circuit::with_capacity(circuit.n_wires(), circuit.len() * 4);
+    let mut stats = RouteStats::default();
+    for op in circuit.ops() {
+        stats.ops += 1;
+        if !matches!(lattice.classify(op), crate::lattice::OpLocality::NonLocal) {
+            stats.already_local += 1;
+            out.push(*op);
+            continue;
+        }
+        let support = op.support();
+        let s = support.as_slice();
+        let mut moves: Vec<Gate> = Vec::new();
+        // Current cell of each operand (identity placement before gather).
+        let mut cells: Vec<usize> = s.iter().map(|w| w.index()).collect();
+        match cells.len() {
+            2 => {
+                // Bring the second operand next to the first.
+                let a = cells[0];
+                let b = cells[1];
+                let target = if b > a { a + 1 } else { a - 1 };
+                gather(&mut out, &mut moves, &mut stats, b, target);
+                cells[1] = target;
+            }
+            3 => {
+                // Sort operand cells, park outer ones beside the middle.
+                let mut order = [0usize, 1, 2];
+                order.sort_by_key(|&i| cells[i]);
+                let (lo, mid, hi) = (order[0], order[1], order[2]);
+                let mid_cell = cells[mid];
+                if cells[lo] != mid_cell - 1 {
+                    gather(&mut out, &mut moves, &mut stats, cells[lo], mid_cell - 1);
+                    cells[lo] = mid_cell - 1;
+                }
+                if cells[hi] != mid_cell + 1 {
+                    gather(&mut out, &mut moves, &mut stats, cells[hi], mid_cell + 1);
+                    cells[hi] = mid_cell + 1;
+                }
+            }
+            _ => {}
+        }
+        // Apply the op with operands at their gathered cells.
+        let max_wire = s.iter().map(|w| w.index()).max().unwrap_or(0);
+        let mut map: Vec<Wire> = (0..=max_wire as u32).map(w).collect();
+        for (operand, &cell) in s.iter().zip(cells.iter()) {
+            map[operand.index()] = w(cell as u32);
+        }
+        out.push(op.remap(&map));
+        // Restore placement.
+        for g in moves.iter().rev() {
+            out.push(Op::Gate(g.inverse()));
+        }
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rft_revsim::permutation::Permutation;
+    
+
+    #[test]
+    fn local_circuits_pass_through() {
+        let mut c = Circuit::new(4);
+        c.cnot(w(0), w(1)).maj(w(1), w(2), w(3));
+        let (routed, stats) = route_line(&c);
+        assert_eq!(routed.len(), c.len());
+        assert_eq!(stats.already_local, 2);
+        assert_eq!(stats.elementary_swaps(), 0);
+    }
+
+    #[test]
+    fn remote_cnot_is_gathered_and_restored() {
+        let mut c = Circuit::new(5);
+        c.cnot(w(0), w(4));
+        let (routed, _) = route_line(&c);
+        assert!(Lattice::line(5).check_circuit(&routed).is_local());
+        let p = Permutation::of_circuit(&c).unwrap();
+        let pr = Permutation::of_circuit(&routed).unwrap();
+        assert_eq!(p, pr, "routing must preserve semantics");
+    }
+
+    #[test]
+    fn remote_toffoli_preserves_semantics() {
+        let mut c = Circuit::new(7);
+        c.toffoli(w(0), w(6), w(3));
+        let (routed, stats) = route_line(&c);
+        assert!(Lattice::line(7).check_circuit(&routed).is_local());
+        assert_eq!(
+            Permutation::of_circuit(&c).unwrap(),
+            Permutation::of_circuit(&routed).unwrap()
+        );
+        assert!(stats.elementary_swaps() >= 4);
+    }
+
+    #[test]
+    fn mixed_program_routes_correctly() {
+        let mut c = Circuit::new(6);
+        c.maj(w(0), w(3), w(5))
+            .cnot(w(5), w(0))
+            .toffoli(w(1), w(4), w(2))
+            .swap(w(0), w(5))
+            .not(w(3));
+        let (routed, _) = route_line(&c);
+        assert!(Lattice::line(6).check_circuit(&routed).is_local());
+        assert_eq!(
+            Permutation::of_circuit(&c).unwrap(),
+            Permutation::of_circuit(&routed).unwrap()
+        );
+    }
+
+    #[test]
+    fn inits_pass_through_unrouted() {
+        let mut c = Circuit::new(6);
+        c.init(&[w(0), w(3), w(5)]);
+        let (routed, stats) = route_line(&c);
+        assert_eq!(routed.len(), 1);
+        assert_eq!(stats.already_local, 1);
+    }
+
+    #[test]
+    fn adjacent_operands_in_reverse_order_stay_put() {
+        let mut c = Circuit::new(3);
+        c.maj(w(2), w(1), w(0)); // contiguous, just reversed
+        let (routed, stats) = route_line(&c);
+        assert_eq!(stats.elementary_swaps(), 0);
+        assert_eq!(routed.len(), 1);
+    }
+}

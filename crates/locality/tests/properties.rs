@@ -1,0 +1,93 @@
+//! Property-based tests for the locality layer.
+
+use proptest::prelude::*;
+use rft_locality::prelude::*;
+use rft_revsim::permutation::Permutation;
+use rft_revsim::prelude::*;
+
+const N_WIRES: usize = 8;
+
+fn arb_gate() -> impl Strategy<Value = Gate> {
+    let wire = 0..N_WIRES as u32;
+    let d3 = (wire.clone(), wire.clone(), wire.clone())
+        .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c);
+    let d2 = (wire.clone(), wire).prop_filter("distinct", |(a, b)| a != b);
+    prop_oneof![
+        d3.clone().prop_map(|(a, b, c)| Gate::Toffoli { controls: [w(a), w(b)], target: w(c) }),
+        d3.clone().prop_map(|(a, b, c)| Gate::Maj(w(a), w(b), w(c))),
+        d3.clone().prop_map(|(a, b, c)| Gate::MajInv(w(a), w(b), w(c))),
+        d3.prop_map(|(a, b, c)| Gate::Fredkin { control: w(a), targets: [w(b), w(c)] }),
+        d2.clone().prop_map(|(a, b)| Gate::Cnot { control: w(a), target: w(b) }),
+        d2.prop_map(|(a, b)| Gate::Swap(w(a), w(b))),
+    ]
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(), 0..12).prop_map(|gates| {
+        let mut c = Circuit::new(N_WIRES);
+        for g in gates {
+            c.push(Op::Gate(g));
+        }
+        c
+    })
+}
+
+proptest! {
+    /// The line router always produces nearest-neighbour circuits that
+    /// compute the same permutation.
+    #[test]
+    fn route_line_preserves_semantics_and_locality(c in arb_circuit()) {
+        let (routed, _) = route_line(&c);
+        prop_assert!(Lattice::line(N_WIRES).check_circuit(&routed).is_local());
+        prop_assert_eq!(
+            Permutation::of_circuit(&c).unwrap(),
+            Permutation::of_circuit(&routed).unwrap()
+        );
+    }
+
+    /// Routing is idempotent: a local circuit routes to itself.
+    #[test]
+    fn route_line_is_idempotent(c in arb_circuit()) {
+        let (once, _) = route_line(&c);
+        let (twice, stats) = route_line(&once);
+        prop_assert_eq!(once.len(), twice.len());
+        prop_assert_eq!(stats.elementary_swaps(), 0);
+    }
+
+    /// Transport audits conserve codeword bits: final positions are a
+    /// permutation of some cells, one per tracked bit.
+    #[test]
+    fn transport_audit_conserves_bits(c in arb_circuit()) {
+        let initial = vec![vec![w(0), w(1)], vec![w(5), w(7)]];
+        let audit = audit_transport(&c, &initial);
+        let mut all: Vec<Wire> = audit.final_positions.iter().flatten().copied().collect();
+        prop_assert_eq!(all.len(), 4);
+        all.sort();
+        all.dedup();
+        prop_assert_eq!(all.len(), 4, "two bits ended on the same cell");
+    }
+
+    /// Lattice adjacency is symmetric and irreflexive.
+    #[test]
+    fn adjacency_symmetric(width in 1usize..6, height in 1usize..6, a in 0usize..36, b in 0usize..36) {
+        let lat = Lattice::grid(width, height);
+        let wa = w((a % lat.n_cells()) as u32);
+        let wb = w((b % lat.n_cells()) as u32);
+        prop_assert_eq!(lat.adjacent(wa, wb), lat.adjacent(wb, wa));
+        prop_assert!(!lat.adjacent(wa, wa));
+    }
+
+    /// Every op the validator accepts as local on a line has support
+    /// confined to a window of ≤ 3 consecutive cells.
+    #[test]
+    fn local_line_ops_are_windowed(g in arb_gate()) {
+        let lat = Lattice::line(N_WIRES);
+        let op = Op::Gate(g);
+        let s = op.support();
+        let min = s.as_slice().iter().map(|w| w.index()).min().unwrap();
+        let max = s.as_slice().iter().map(|w| w.index()).max().unwrap();
+        if !matches!(lat.classify(&op), OpLocality::NonLocal) {
+            prop_assert!(max - min <= 2, "window {}..{}", min, max);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! ASCII rendering of circuits in the paper's gate-array notation.
+//!
+//! "Space is on the y-axis and time is on the x-axis, and operations are
+//! boxes or symbols that connect the bits they are applied to" (§2).
+//! [`render`] draws exactly that: one row per wire, one column per
+//! time-step (ASAP-scheduled), `●` for controls, `⊕` for targets, `×` for
+//! swapped wires, labelled boxes for the MAJ family and `|0>` for resets.
+//!
+//! # Examples
+//!
+//! Figure 1 — the majority gate from two CNOTs and a Toffoli:
+//!
+//! ```
+//! use rft_revsim::diagram::render;
+//! use rft_revsim::prelude::*;
+//!
+//! let mut c = Circuit::new(3);
+//! c.cnot(w(0), w(1)).cnot(w(0), w(2)).toffoli(w(1), w(2), w(0));
+//! print!("{}", render(&c));
+//! // q0: ──●──●──⊕──
+//! // q1: ──⊕──┼──●──
+//! // q2: ─────⊕──●──
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::op::Op;
+use crate::wire::Wire;
+
+/// The symbol one operation places on one wire.
+fn symbol(op: &Op, wire: Wire) -> Option<String> {
+    let sym = match op {
+        Op::Gate(g) => match *g {
+            Gate::Not(a) if a == wire => "⊕",
+            Gate::Cnot { control, .. } if control == wire => "●",
+            Gate::Cnot { target, .. } if target == wire => "⊕",
+            Gate::Toffoli { controls, .. } if controls.contains(&wire) => "●",
+            Gate::Toffoli { target, .. } if target == wire => "⊕",
+            Gate::Swap(a, b) if a == wire || b == wire => "×",
+            Gate::Swap3(a, b, c) if a == wire || b == wire || c == wire => "×",
+            Gate::Fredkin { control, .. } if control == wire => "●",
+            Gate::Fredkin { targets, .. } if targets.contains(&wire) => "×",
+            Gate::Maj(a, ..) if a == wire => "MAJ",
+            Gate::Maj(_, b, c) if b == wire || c == wire => "●",
+            Gate::MajInv(a, ..) if a == wire => "MAJ'",
+            Gate::MajInv(_, b, c) if b == wire || c == wire => "●",
+            _ => return None,
+        },
+        Op::Init(init) => {
+            if init.wires().contains(&wire) {
+                "|0>"
+            } else {
+                return None;
+            }
+        }
+    };
+    Some(sym.to_string())
+}
+
+/// Renders a circuit as a multi-line gate-array diagram.
+///
+/// Operations on disjoint wires share a column; vertical connectors mark
+/// the span of each multi-wire gate (resets draw no connector — they act
+/// per cell).
+pub fn render(circuit: &Circuit) -> String {
+    // ASAP layering over each op's full *span* (min..max wire), so gates
+    // sharing a column never overlap visually — stricter than
+    // Circuit::depth, which only tracks the touched wires.
+    let n = circuit.n_wires();
+    let mut level = vec![0usize; n];
+    let mut layers: Vec<Vec<&Op>> = Vec::new();
+    for op in circuit.ops() {
+        let support = op.support();
+        let lo = support.as_slice().iter().map(|w| w.index()).min().unwrap_or(0);
+        let hi = support.as_slice().iter().map(|w| w.index()).max().unwrap_or(0);
+        // Resets act per cell: they only block their own wires.
+        let span: Vec<usize> = if matches!(op, Op::Gate(_)) {
+            (lo..=hi).collect()
+        } else {
+            support.as_slice().iter().map(|w| w.index()).collect()
+        };
+        let start = span.iter().map(|&i| level[i]).max().unwrap_or(0);
+        for &i in &span {
+            level[i] = start + 1;
+        }
+        if layers.len() <= start {
+            layers.resize_with(start + 1, Vec::new);
+        }
+        layers[start].push(op);
+    }
+
+    // Per layer: symbol (or connector) for each wire, then column width.
+    let mut cells: Vec<Vec<CellKind>> = vec![Vec::with_capacity(layers.len()); n];
+    for layer in &layers {
+        let mut column: Vec<CellKind> = vec![CellKind::Empty; n];
+        for op in layer {
+            let support = op.support();
+            let lo = support.as_slice().iter().map(|w| w.index()).min().unwrap_or(0);
+            let hi = support.as_slice().iter().map(|w| w.index()).max().unwrap_or(0);
+            let connected = matches!(op, Op::Gate(_));
+            #[allow(clippy::needless_range_loop)] // indexes two structures
+            for wire_idx in lo..=hi {
+                let wire = Wire::new(wire_idx as u32);
+                if let Some(s) = symbol(op, wire) {
+                    column[wire_idx] = CellKind::Symbol(s);
+                } else if connected && wire_idx > lo && wire_idx < hi {
+                    column[wire_idx] = CellKind::Crossing;
+                }
+            }
+        }
+        for (wire_idx, cell) in column.into_iter().enumerate() {
+            cells[wire_idx].push(cell);
+        }
+    }
+    let widths: Vec<usize> = (0..layers.len())
+        .map(|l| {
+            (0..n)
+                .map(|q| match &cells[q][l] {
+                    CellKind::Symbol(s) => s.chars().count(),
+                    _ => 1,
+                })
+                .max()
+                .unwrap_or(1)
+        })
+        .collect();
+
+    let label_width = format!("q{}", n.saturating_sub(1)).len();
+    let mut out = String::new();
+    #[allow(clippy::needless_range_loop)] // q is also the wire label
+    for q in 0..n {
+        let label = format!("q{q}");
+        out.push_str(&format!("{label:>label_width$}: ─"));
+        for (l, width) in widths.iter().enumerate() {
+            let (text, filler) = match &cells[q][l] {
+                CellKind::Symbol(s) => (s.clone(), '─'),
+                CellKind::Crossing => ("┼".to_string(), '─'),
+                CellKind::Empty => (String::new(), '─'),
+            };
+            let pad = width + 2 - text.chars().count();
+            let left = pad / 2;
+            for _ in 0..left {
+                out.push(filler);
+            }
+            out.push_str(&text);
+            for _ in 0..(pad - left) {
+                out.push(filler);
+            }
+        }
+        out.push('─');
+        out.push('\n');
+    }
+    out
+}
+
+#[derive(Clone, PartialEq)]
+enum CellKind {
+    Empty,
+    Symbol(String),
+    Crossing,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::w;
+
+    #[test]
+    fn figure_1_renders_exactly() {
+        let mut c = Circuit::new(3);
+        c.cnot(w(0), w(1)).cnot(w(0), w(2)).toffoli(w(1), w(2), w(0));
+        let expected = "\
+q0: ──●──●──⊕──
+q1: ──⊕──┼──●──
+q2: ─────⊕──●──
+";
+        assert_eq!(render(&c), expected);
+    }
+
+    #[test]
+    fn swap3_renders_three_crosses() {
+        let mut c = Circuit::new(3);
+        c.swap3(w(0), w(1), w(2));
+        let expected = "\
+q0: ──×──
+q1: ──×──
+q2: ──×──
+";
+        assert_eq!(render(&c), expected);
+    }
+
+    #[test]
+    fn maj_renders_with_label_and_controls() {
+        let mut c = Circuit::new(3);
+        c.maj(w(0), w(1), w(2));
+        let text = render(&c);
+        assert!(text.contains("MAJ"));
+        assert!(text.lines().nth(1).unwrap().contains('●'));
+        assert!(text.lines().nth(2).unwrap().contains('●'));
+    }
+
+    #[test]
+    fn init_renders_kets_without_connector() {
+        let mut c = Circuit::new(4);
+        c.init(&[w(0), w(2), w(3)]);
+        let text = render(&c);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("|0>"));
+        assert!(!lines[1].contains('┼'), "resets draw no connector: {}", lines[1]);
+        assert!(lines[2].contains("|0>"));
+    }
+
+    #[test]
+    fn disjoint_gates_share_a_column() {
+        let mut c = Circuit::new(4);
+        c.cnot(w(0), w(1)).cnot(w(2), w(3));
+        let text = render(&c);
+        // Depth 1 ⇒ a single narrow column: every line equally short.
+        let lens: Vec<usize> = text.lines().map(|l| l.chars().count()).collect();
+        assert!(lens.iter().all(|&l| l == lens[0]));
+        assert_eq!(c.depth(), 1);
+    }
+
+    #[test]
+    fn recovery_circuit_renders_all_nine_wires() {
+        use crate::op::Op;
+        let mut c = Circuit::new(9);
+        c.push(Op::init(&[w(3), w(4), w(5)]))
+            .push(Op::init(&[w(6), w(7), w(8)]))
+            .maj_inv(w(0), w(3), w(6))
+            .maj_inv(w(1), w(4), w(7))
+            .maj_inv(w(2), w(5), w(8))
+            .maj(w(0), w(1), w(2))
+            .maj(w(3), w(4), w(5))
+            .maj(w(6), w(7), w(8));
+        let text = render(&c);
+        assert_eq!(text.lines().count(), 9);
+        assert!(text.contains("MAJ'"));
+        assert!(text.contains("|0>"));
+    }
+
+    #[test]
+    fn wide_labels_align() {
+        let mut c = Circuit::new(11);
+        c.not(w(10));
+        let text = render(&c);
+        assert!(text.starts_with(" q0:"));
+        assert!(text.contains("q10:"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Crate error type.
+
+use crate::wire::Wire;
+use std::fmt;
+
+/// Errors produced when constructing or transforming circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An operation references a wire at or beyond the circuit width.
+    WireOutOfRange {
+        /// The offending wire.
+        wire: Wire,
+        /// The circuit width.
+        n_wires: usize,
+    },
+    /// An operation touches the same wire more than once.
+    DuplicateWire {
+        /// The duplicated wire.
+        wire: Wire,
+    },
+    /// The circuit contains an `Init` and therefore has no inverse.
+    Irreversible,
+    /// Too many wires for an exhaustive truth-table/permutation extraction.
+    TooManyWires {
+        /// Requested width.
+        n_wires: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+    /// Two circuits of different widths were combined.
+    WidthMismatch {
+        /// Width of the receiving circuit.
+        expected: usize,
+        /// Width of the other circuit.
+        found: usize,
+    },
+    /// A permutation table was not a bijection.
+    NotBijective,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::WireOutOfRange { wire, n_wires } => {
+                write!(f, "wire {wire} out of range for a {n_wires}-wire circuit")
+            }
+            Error::DuplicateWire { wire } => {
+                write!(f, "operation touches wire {wire} more than once")
+            }
+            Error::Irreversible => {
+                write!(f, "circuit contains an init operation and cannot be inverted")
+            }
+            Error::TooManyWires { n_wires, max } => {
+                write!(f, "exhaustive analysis supports at most {max} wires, got {n_wires}")
+            }
+            Error::WidthMismatch { expected, found } => {
+                write!(f, "circuit width mismatch: expected {expected} wires, found {found}")
+            }
+            Error::NotBijective => write!(f, "permutation table is not a bijection"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::w;
+
+    #[test]
+    fn errors_display_lowercase_messages() {
+        let e = Error::WireOutOfRange { wire: w(9), n_wires: 4 };
+        assert_eq!(e.to_string(), "wire q9 out of range for a 4-wire circuit");
+        assert!(Error::Irreversible.to_string().contains("cannot be inverted"));
+        assert!(Error::NotBijective.to_string().contains("bijection"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+}

@@ -1,0 +1,355 @@
+//! Circuit executors: ideal, noisy (Monte Carlo) and planned-fault runs.
+//!
+//! Fault semantics follow the paper exactly: a failing operation does not
+//! execute; instead every bit in its support is replaced by an independent
+//! uniformly random bit ("the output is one of eight equally likely
+//! outputs", §4). A failing initialization likewise leaves random bits
+//! instead of zeros.
+
+use crate::circuit::Circuit;
+use crate::fault::FaultPlan;
+use crate::noise::NoiseModel;
+use crate::op::Op;
+use crate::state::BitState;
+use crate::wire::Wire;
+use rand::Rng;
+
+/// What happened during one noisy run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Indices of operations that faulted, in execution order.
+    pub faults: Vec<usize>,
+}
+
+impl ExecReport {
+    /// Number of faults that occurred.
+    pub fn fault_count(&self) -> usize {
+        self.faults.len()
+    }
+}
+
+/// Observer hooks for instrumented execution.
+///
+/// The entropy measurements of §4 are implemented as an observer that
+/// inspects ancilla values at the moment they are reset — the precise point
+/// where the scheme ejects entropy.
+pub trait ExecObserver {
+    /// Called before an `Init` executes, with the values currently on its
+    /// wires packed as a pattern (bit `j` → wire `j` of the init's support).
+    fn before_init(&mut self, op_index: usize, wires: &[Wire], values: u8) {
+        let _ = (op_index, wires, values);
+    }
+
+    /// Called when an operation faults.
+    fn on_fault(&mut self, op_index: usize) {
+        let _ = op_index;
+    }
+}
+
+/// An observer that does nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl ExecObserver for NullObserver {}
+
+/// Runs `circuit` on `state` without noise.
+///
+/// # Panics
+///
+/// Panics if the state width does not match the circuit width.
+pub fn run_ideal(circuit: &Circuit, state: &mut BitState) {
+    circuit.run(state);
+}
+
+/// Runs `circuit` on `state`, failing each operation independently per
+/// `noise`. Returns which operations faulted.
+///
+/// # Panics
+///
+/// Panics if the state width does not match the circuit width.
+pub fn run_noisy<N, R>(circuit: &Circuit, state: &mut BitState, noise: &N, rng: &mut R) -> ExecReport
+where
+    N: NoiseModel + ?Sized,
+    R: Rng + ?Sized,
+{
+    let mut observer = NullObserver;
+    run_noisy_observed(circuit, state, noise, rng, &mut observer)
+}
+
+/// [`run_noisy`] with observer hooks.
+///
+/// # Panics
+///
+/// Panics if the state width does not match the circuit width.
+pub fn run_noisy_observed<N, R>(
+    circuit: &Circuit,
+    state: &mut BitState,
+    noise: &N,
+    rng: &mut R,
+    observer: &mut dyn ExecObserver,
+) -> ExecReport
+where
+    N: NoiseModel + ?Sized,
+    R: Rng + ?Sized,
+{
+    assert_eq!(state.len(), circuit.n_wires(), "state width must match circuit width");
+    let mut report = ExecReport::default();
+    for (i, op) in circuit.ops().iter().enumerate() {
+        if let Op::Init(init) = op {
+            let values = state.read_pattern(init.wires());
+            observer.before_init(i, init.wires(), values);
+        }
+        let p = noise.fault_probability(op);
+        let faulted = p > 0.0 && rng.random::<f64>() < p;
+        if faulted {
+            let support = op.support();
+            state.randomize(support.as_slice(), rng);
+            report.faults.push(i);
+            observer.on_fault(i);
+        } else {
+            op.apply(state);
+        }
+    }
+    report
+}
+
+/// Runs `circuit` with a uniform fault rate `g`, skipping fault-free
+/// stretches geometrically. Statistically identical to
+/// [`run_noisy`] with [`UniformNoise`](crate::noise::UniformNoise) but much
+/// faster when `g` is small (the common regime: the paper's thresholds are
+/// `1/108` and below).
+///
+/// # Panics
+///
+/// Panics if `g` is not in `[0, 1)` or the widths mismatch.
+pub fn run_noisy_geometric<R>(
+    circuit: &Circuit,
+    state: &mut BitState,
+    g: f64,
+    rng: &mut R,
+) -> ExecReport
+where
+    R: Rng + ?Sized,
+{
+    assert!((0.0..1.0).contains(&g), "geometric execution requires g in [0,1), got {g}");
+    assert_eq!(state.len(), circuit.n_wires(), "state width must match circuit width");
+    let mut report = ExecReport::default();
+    let ops = circuit.ops();
+    if g == 0.0 {
+        for op in ops {
+            op.apply(state);
+        }
+        return report;
+    }
+    let log1m = (-g).ln_1p(); // ln(1 - g) < 0
+    let mut next_fault = sample_gap(rng, log1m);
+    let mut i = 0usize;
+    while i < ops.len() {
+        if next_fault == 0 {
+            let support = ops[i].support();
+            state.randomize(support.as_slice(), rng);
+            report.faults.push(i);
+            next_fault = sample_gap(rng, log1m);
+        } else {
+            ops[i].apply(state);
+            next_fault -= 1;
+        }
+        i += 1;
+    }
+    report
+}
+
+/// Samples the number of successes before the next failure:
+/// `floor(ln(U) / ln(1-g))`.
+#[inline]
+fn sample_gap<R: Rng + ?Sized>(rng: &mut R, log1m: f64) -> u64 {
+    let u: f64 = rng.random::<f64>();
+    // Guard against u == 0 (ln -> -inf) by resampling the smallest positive.
+    let u = if u > 0.0 { u } else { f64::MIN_POSITIVE };
+    (u.ln() / log1m) as u64
+}
+
+/// Runs `circuit` injecting exactly the faults in `plan`.
+///
+/// A planned fault writes its pattern onto the operation's support instead
+/// of executing the operation — enumerating patterns therefore covers every
+/// outcome the random model could produce.
+///
+/// # Panics
+///
+/// Panics if the widths mismatch or a planned index is out of range.
+pub fn run_with_plan(circuit: &Circuit, state: &mut BitState, plan: &FaultPlan) {
+    assert_eq!(state.len(), circuit.n_wires(), "state width must match circuit width");
+    for fault in plan.faults() {
+        assert!(
+            fault.op_index < circuit.len(),
+            "planned fault targets op {} but circuit has {} ops",
+            fault.op_index,
+            circuit.len()
+        );
+    }
+    for (i, op) in circuit.ops().iter().enumerate() {
+        match plan.pattern_for(i) {
+            Some(pattern) => {
+                let support = op.support();
+                state.write_pattern(support.as_slice(), pattern);
+            }
+            None => op.apply(state),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::{NoNoise, SplitNoise, UniformNoise};
+    use crate::wire::w;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn recovery_like_circuit() -> Circuit {
+        let mut c = Circuit::new(9);
+        c.init(&[w(3), w(4), w(5)])
+            .init(&[w(6), w(7), w(8)])
+            .maj_inv(w(0), w(3), w(6))
+            .maj_inv(w(1), w(4), w(7))
+            .maj_inv(w(2), w(5), w(8))
+            .maj(w(0), w(1), w(2))
+            .maj(w(3), w(4), w(5))
+            .maj(w(6), w(7), w(8));
+        c
+    }
+
+    #[test]
+    fn noiseless_run_reports_no_faults() {
+        let c = recovery_like_circuit();
+        let mut s = BitState::zeros(9);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let report = run_noisy(&c, &mut s, &NoNoise, &mut rng);
+        assert_eq!(report.fault_count(), 0);
+        assert_eq!(s.count_ones(), 0);
+    }
+
+    #[test]
+    fn always_fail_randomizes_every_op() {
+        let c = recovery_like_circuit();
+        let mut s = BitState::zeros(9);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let noise = UniformNoise::new(1.0);
+        let report = run_noisy(&c, &mut s, &noise, &mut rng);
+        assert_eq!(report.fault_count(), c.len());
+    }
+
+    #[test]
+    fn split_noise_spares_inits() {
+        let c = recovery_like_circuit();
+        let noise = SplitNoise::new(1.0, 0.0);
+        let mut s = BitState::zeros(9);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let report = run_noisy(&c, &mut s, &noise, &mut rng);
+        // 6 gates fail, 2 inits never fail.
+        assert_eq!(report.fault_count(), 6);
+        assert!(report.faults.iter().all(|&i| i >= 2));
+    }
+
+    #[test]
+    fn planned_fault_overrides_one_op() {
+        let mut c = Circuit::new(3);
+        c.not(w(0)).not(w(1));
+        let mut s = BitState::zeros(3);
+        // op 0 "fails" leaving 0 on its support; op 1 runs normally.
+        run_with_plan(&c, &mut s, &FaultPlan::single(0, 0));
+        assert!(!s.get(w(0)));
+        assert!(s.get(w(1)));
+    }
+
+    #[test]
+    fn planned_fault_pattern_maps_to_support_order() {
+        let mut c = Circuit::new(3);
+        c.maj(w(2), w(0), w(1)); // support order: q2, q0, q1
+        let mut s = BitState::zeros(3);
+        run_with_plan(&c, &mut s, &FaultPlan::single(0, 0b011));
+        // bit0 of pattern -> q2, bit1 -> q0, bit2 -> q1
+        assert!(s.get(w(2)));
+        assert!(s.get(w(0)));
+        assert!(!s.get(w(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "planned fault targets op")]
+    fn plan_out_of_range_panics() {
+        let c = Circuit::new(1);
+        let mut s = BitState::zeros(1);
+        run_with_plan(&c, &mut s, &FaultPlan::single(0, 0));
+    }
+
+    #[test]
+    fn observer_sees_pre_init_values() {
+        struct Recorder(Vec<(usize, u8)>);
+        impl ExecObserver for Recorder {
+            fn before_init(&mut self, op_index: usize, _wires: &[Wire], values: u8) {
+                self.0.push((op_index, values));
+            }
+        }
+        let mut c = Circuit::new(3);
+        c.not(w(0)).not(w(2)).init(&[w(0), w(1), w(2)]);
+        let mut s = BitState::zeros(3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rec = Recorder(Vec::new());
+        run_noisy_observed(&c, &mut s, &NoNoise, &mut rng, &mut rec);
+        // Before the init, wires held (1,0,1) -> pattern 0b101.
+        assert_eq!(rec.0, vec![(2, 0b101)]);
+        assert_eq!(s.count_ones(), 0);
+    }
+
+    #[test]
+    fn geometric_matches_bernoulli_statistically() {
+        // Mean number of faults over many runs should agree within a few
+        // standard errors for both executors.
+        let c = recovery_like_circuit();
+        let g = 0.05;
+        let trials = 4000;
+        let mut rng = SmallRng::seed_from_u64(42);
+        let noise = UniformNoise::new(g);
+        let mut bernoulli_total = 0usize;
+        let mut geometric_total = 0usize;
+        for _ in 0..trials {
+            let mut s = BitState::zeros(9);
+            bernoulli_total += run_noisy(&c, &mut s, &noise, &mut rng).fault_count();
+            let mut s = BitState::zeros(9);
+            geometric_total += run_noisy_geometric(&c, &mut s, g, &mut rng).fault_count();
+        }
+        let expected = g * c.len() as f64 * trials as f64;
+        let sd = (trials as f64 * c.len() as f64 * g * (1.0 - g)).sqrt();
+        let tol = 5.0 * sd;
+        assert!(
+            ((bernoulli_total as f64) - expected).abs() < tol,
+            "bernoulli {bernoulli_total} vs expected {expected}"
+        );
+        assert!(
+            ((geometric_total as f64) - expected).abs() < tol,
+            "geometric {geometric_total} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn geometric_zero_noise_is_ideal() {
+        let c = recovery_like_circuit();
+        let mut s = BitState::from_u64(0b111, 9);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let report = run_noisy_geometric(&c, &mut s, 0.0, &mut rng);
+        assert!(report.faults.is_empty());
+        let mut s2 = BitState::from_u64(0b111, 9);
+        run_ideal(&c, &mut s2);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    #[should_panic(expected = "state width")]
+    fn width_mismatch_panics() {
+        let c = Circuit::new(3);
+        let mut s = BitState::zeros(4);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = run_noisy(&c, &mut s, &NoNoise, &mut rng);
+    }
+}

@@ -1,0 +1,512 @@
+//! The reversible gate set.
+//!
+//! Every gate here is a bijection on the bits it touches. The set matches
+//! the paper's inventory: NOT, CNOT and Toffoli (Figure 1 building blocks),
+//! SWAP and the three-bit [`Swap3`](Gate::Swap3) of Figure 5, the Fredkin
+//! (controlled-swap) gate of conservative logic, and the reversible majority
+//! gate [`Maj`](Gate::Maj) of Table 1 together with its inverse
+//! [`MajInv`](Gate::MajInv).
+//!
+//! The majority gate is the paper's workhorse: `MAJ(a,b,c)` flips `b` and
+//! `c` when `a` is one, then flips `a` when both `b` and `c` are one — i.e.
+//! `CNOT(a→b)`, `CNOT(a→c)`, `Toffoli(b,c→a)`. Its first output bit is the
+//! majority of the three inputs, and `MAJ⁻¹(b,0,0) = (b,b,b)` encodes the
+//! three-bit repetition code.
+
+use crate::state::BitState;
+use crate::wire::{Support, Wire};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A primitive reversible gate on one, two or three wires.
+///
+/// # Examples
+///
+/// ```
+/// use rft_revsim::prelude::*;
+///
+/// // MAJ⁻¹ fans a bit out into a 3-bit repetition codeword.
+/// let mut s = BitState::from_u64(0b001, 3); // q0 = 1, ancillas 0
+/// Gate::MajInv(w(0), w(1), w(2)).apply(&mut s);
+/// assert_eq!(s.to_u64(), 0b111);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gate {
+    /// Inverts one wire.
+    Not(Wire),
+    /// Flips `target` when `control` is one.
+    Cnot {
+        /// Controlling wire (unchanged).
+        control: Wire,
+        /// Target wire (flipped when the control is one).
+        target: Wire,
+    },
+    /// Flips `target` when both controls are one.
+    Toffoli {
+        /// Controlling wires (unchanged).
+        controls: [Wire; 2],
+        /// Target wire.
+        target: Wire,
+    },
+    /// Exchanges two wires.
+    Swap(Wire, Wire),
+    /// Figure 5's three-bit double swap: `swap(a,b)` then `swap(b,c)`.
+    ///
+    /// Net effect is a cyclic rotation — the value at `a` ends on `c`, which
+    /// is how a bit is moved two lattice sites in one three-bit operation.
+    Swap3(Wire, Wire, Wire),
+    /// Controlled swap (Fredkin): exchanges `targets` when `control` is one.
+    Fredkin {
+        /// Controlling wire (unchanged).
+        control: Wire,
+        /// Swapped pair.
+        targets: [Wire; 2],
+    },
+    /// The reversible majority gate of Table 1.
+    ///
+    /// `Maj(a,b,c)`: `b ^= a; c ^= a; a ^= b & c`. The output on `a` is the
+    /// majority of the inputs.
+    Maj(Wire, Wire, Wire),
+    /// Inverse of [`Gate::Maj`]: `a ^= b & c; b ^= a; c ^= a`.
+    ///
+    /// On `(b, 0, 0)` this produces `(b, b, b)` — the repetition-code
+    /// encoder of Figure 2.
+    MajInv(Wire, Wire, Wire),
+}
+
+/// Discriminant of a [`Gate`] (or ancilla reset), used for op accounting.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum OpKind {
+    /// Single-bit inversion.
+    Not,
+    /// Controlled NOT.
+    Cnot,
+    /// Doubly-controlled NOT.
+    Toffoli,
+    /// Two-bit exchange.
+    Swap,
+    /// Three-bit double swap (Figure 5).
+    Swap3,
+    /// Controlled swap.
+    Fredkin,
+    /// Reversible majority (Table 1).
+    Maj,
+    /// Inverse majority.
+    MajInv,
+    /// Ancilla reset (the only irreversible operation).
+    Init,
+}
+
+impl OpKind {
+    /// All gate kinds plus `Init`, in a stable order.
+    pub const ALL: [OpKind; 9] = [
+        OpKind::Not,
+        OpKind::Cnot,
+        OpKind::Toffoli,
+        OpKind::Swap,
+        OpKind::Swap3,
+        OpKind::Fredkin,
+        OpKind::Maj,
+        OpKind::MajInv,
+        OpKind::Init,
+    ];
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            OpKind::Not => "NOT",
+            OpKind::Cnot => "CNOT",
+            OpKind::Toffoli => "TOFFOLI",
+            OpKind::Swap => "SWAP",
+            OpKind::Swap3 => "SWAP3",
+            OpKind::Fredkin => "FREDKIN",
+            OpKind::Maj => "MAJ",
+            OpKind::MajInv => "MAJ⁻¹",
+            OpKind::Init => "INIT",
+        };
+        f.write_str(name)
+    }
+}
+
+impl Gate {
+    /// Applies the gate to `state` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any touched wire is out of range for `state`.
+    #[inline]
+    pub fn apply(&self, state: &mut BitState) {
+        match *self {
+            Gate::Not(a) => state.flip(a),
+            Gate::Cnot { control, target } => {
+                if state.get(control) {
+                    state.flip(target);
+                }
+            }
+            Gate::Toffoli { controls: [c0, c1], target } => {
+                if state.get(c0) && state.get(c1) {
+                    state.flip(target);
+                }
+            }
+            Gate::Swap(a, b) => state.swap_wires(a, b),
+            Gate::Swap3(a, b, c) => {
+                state.swap_wires(a, b);
+                state.swap_wires(b, c);
+            }
+            Gate::Fredkin { control, targets: [t0, t1] } => {
+                if state.get(control) {
+                    state.swap_wires(t0, t1);
+                }
+            }
+            Gate::Maj(a, b, c) => {
+                if state.get(a) {
+                    state.flip(b);
+                    state.flip(c);
+                }
+                if state.get(b) && state.get(c) {
+                    state.flip(a);
+                }
+            }
+            Gate::MajInv(a, b, c) => {
+                if state.get(b) && state.get(c) {
+                    state.flip(a);
+                }
+                if state.get(a) {
+                    state.flip(b);
+                    state.flip(c);
+                }
+            }
+        }
+    }
+
+    /// The wires this gate touches, in argument order.
+    #[inline]
+    pub fn support(&self) -> Support {
+        match *self {
+            Gate::Not(a) => Support::one(a),
+            Gate::Cnot { control, target } => Support::two(control, target),
+            Gate::Toffoli { controls: [c0, c1], target } => Support::three(c0, c1, target),
+            Gate::Swap(a, b) => Support::two(a, b),
+            Gate::Swap3(a, b, c) => Support::three(a, b, c),
+            Gate::Fredkin { control, targets: [t0, t1] } => Support::three(control, t0, t1),
+            Gate::Maj(a, b, c) => Support::three(a, b, c),
+            Gate::MajInv(a, b, c) => Support::three(a, b, c),
+        }
+    }
+
+    /// Number of wires the gate touches.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.support().len()
+    }
+
+    /// Returns the inverse gate, such that `g.inverse()` undoes `g`.
+    ///
+    /// Every gate in the set is its own inverse except [`Gate::Swap3`]
+    /// (inverted by reversing its arguments) and the MAJ pair (inverses of
+    /// each other).
+    pub fn inverse(&self) -> Gate {
+        match *self {
+            Gate::Swap3(a, b, c) => Gate::Swap3(c, b, a),
+            Gate::Maj(a, b, c) => Gate::MajInv(a, b, c),
+            Gate::MajInv(a, b, c) => Gate::Maj(a, b, c),
+            g => g,
+        }
+    }
+
+    /// The gate's kind, for accounting.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Gate::Not(_) => OpKind::Not,
+            Gate::Cnot { .. } => OpKind::Cnot,
+            Gate::Toffoli { .. } => OpKind::Toffoli,
+            Gate::Swap(..) => OpKind::Swap,
+            Gate::Swap3(..) => OpKind::Swap3,
+            Gate::Fredkin { .. } => OpKind::Fredkin,
+            Gate::Maj(..) => OpKind::Maj,
+            Gate::MajInv(..) => OpKind::MajInv,
+        }
+    }
+
+    /// Returns the gate with every wire shifted by `offset` (sub-circuit
+    /// embedding).
+    pub fn offset(&self, offset: u32) -> Gate {
+        let f = |w: Wire| w.offset(offset);
+        match *self {
+            Gate::Not(a) => Gate::Not(f(a)),
+            Gate::Cnot { control, target } => Gate::Cnot { control: f(control), target: f(target) },
+            Gate::Toffoli { controls: [c0, c1], target } => {
+                Gate::Toffoli { controls: [f(c0), f(c1)], target: f(target) }
+            }
+            Gate::Swap(a, b) => Gate::Swap(f(a), f(b)),
+            Gate::Swap3(a, b, c) => Gate::Swap3(f(a), f(b), f(c)),
+            Gate::Fredkin { control, targets: [t0, t1] } => {
+                Gate::Fredkin { control: f(control), targets: [f(t0), f(t1)] }
+            }
+            Gate::Maj(a, b, c) => Gate::Maj(f(a), f(b), f(c)),
+            Gate::MajInv(a, b, c) => Gate::MajInv(f(a), f(b), f(c)),
+        }
+    }
+
+    /// Returns the gate with wires remapped through `map` (`map[old] = new`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a wire index is outside `map`.
+    pub fn remap(&self, map: &[Wire]) -> Gate {
+        let f = |w: Wire| map[w.index()];
+        match *self {
+            Gate::Not(a) => Gate::Not(f(a)),
+            Gate::Cnot { control, target } => Gate::Cnot { control: f(control), target: f(target) },
+            Gate::Toffoli { controls: [c0, c1], target } => {
+                Gate::Toffoli { controls: [f(c0), f(c1)], target: f(target) }
+            }
+            Gate::Swap(a, b) => Gate::Swap(f(a), f(b)),
+            Gate::Swap3(a, b, c) => Gate::Swap3(f(a), f(b), f(c)),
+            Gate::Fredkin { control, targets: [t0, t1] } => {
+                Gate::Fredkin { control: f(control), targets: [f(t0), f(t1)] }
+            }
+            Gate::Maj(a, b, c) => Gate::Maj(f(a), f(b), f(c)),
+            Gate::MajInv(a, b, c) => Gate::MajInv(f(a), f(b), f(c)),
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let support = self.support();
+        write!(f, "{}(", self.kind())?;
+        for (i, w) in support.as_slice().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{w}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::w;
+
+    /// Applies `gate` to every input of an `n`-bit register and returns the
+    /// output table.
+    fn table(gate: Gate, n: usize) -> Vec<u64> {
+        (0..(1u64 << n))
+            .map(|input| {
+                let mut s = BitState::from_u64(input, n);
+                gate.apply(&mut s);
+                s.to_u64()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn not_flips() {
+        assert_eq!(table(Gate::Not(w(0)), 1), vec![1, 0]);
+    }
+
+    #[test]
+    fn cnot_truth_table() {
+        // wire0 = control, wire1 = target; index = q1 q0 little-endian.
+        let t = table(Gate::Cnot { control: w(0), target: w(1) }, 2);
+        assert_eq!(t, vec![0b00, 0b11, 0b10, 0b01]);
+    }
+
+    #[test]
+    fn toffoli_truth_table() {
+        let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+        let t = table(gate, 3);
+        // Only inputs with q0=q1=1 flip q2.
+        assert_eq!(t[0b011], 0b111);
+        assert_eq!(t[0b111], 0b011);
+        for input in [0b000, 0b001, 0b010, 0b100, 0b101, 0b110] {
+            assert_eq!(t[input], input as u64, "input {input:03b}");
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_wires() {
+        let t = table(Gate::Swap(w(0), w(1)), 2);
+        assert_eq!(t, vec![0b00, 0b10, 0b01, 0b11]);
+    }
+
+    #[test]
+    fn swap3_is_two_swaps() {
+        // Figure 5: swap(q0,q1) then swap(q1,q2).
+        let composed = |input: u64| {
+            let mut s = BitState::from_u64(input, 3);
+            Gate::Swap(w(0), w(1)).apply(&mut s);
+            Gate::Swap(w(1), w(2)).apply(&mut s);
+            s.to_u64()
+        };
+        let t = table(Gate::Swap3(w(0), w(1), w(2)), 3);
+        for input in 0..8u64 {
+            assert_eq!(t[input as usize], composed(input), "input {input:03b}");
+        }
+    }
+
+    #[test]
+    fn swap3_moves_first_wire_two_places() {
+        // The value initially on q0 must end on q2.
+        let mut s = BitState::from_u64(0b001, 3);
+        Gate::Swap3(w(0), w(1), w(2)).apply(&mut s);
+        assert_eq!(s.to_u64(), 0b100);
+    }
+
+    #[test]
+    fn fredkin_swaps_only_when_control_set() {
+        let gate = Gate::Fredkin { control: w(0), targets: [w(1), w(2)] };
+        let t = table(gate, 3);
+        assert_eq!(t[0b010], 0b010); // control 0: unchanged
+        assert_eq!(t[0b011], 0b101); // control 1: targets swap
+        assert_eq!(t[0b101], 0b011);
+        assert_eq!(t[0b111], 0b111);
+    }
+
+    #[test]
+    fn fredkin_conserves_ones() {
+        // Conservative logic (Fredkin & Toffoli 1982): the number of 1s is
+        // preserved.
+        let gate = Gate::Fredkin { control: w(0), targets: [w(1), w(2)] };
+        for (input, output) in table(gate, 3).into_iter().enumerate() {
+            assert_eq!((input as u64).count_ones(), output.count_ones());
+        }
+    }
+
+    #[test]
+    fn maj_matches_paper_table_1() {
+        // Table 1 lists rows as bit-strings q0 q1 q2. Our u64 packing is
+        // little-endian (q0 = bit 0), so the string "011" is value 0b110.
+        let string_to_u64 =
+            |s: &str| s.bytes().enumerate().fold(0u64, |acc, (i, b)| acc | (((b - b'0') as u64) << i));
+        let rows = [
+            ("000", "000"),
+            ("001", "001"),
+            ("010", "010"),
+            ("011", "111"),
+            ("100", "011"),
+            ("101", "110"),
+            ("110", "101"),
+            ("111", "100"),
+        ];
+        let t = table(Gate::Maj(w(0), w(1), w(2)), 3);
+        for (input, output) in rows {
+            let i = string_to_u64(input);
+            let o = string_to_u64(output);
+            assert_eq!(t[i as usize], o, "MAJ({input}) should be {output}");
+        }
+    }
+
+    #[test]
+    fn maj_first_output_is_majority() {
+        let t = table(Gate::Maj(w(0), w(1), w(2)), 3);
+        for input in 0..8u64 {
+            let ones = input.count_ones();
+            let majority = ones >= 2;
+            let out_q0 = t[input as usize] & 1 == 1;
+            assert_eq!(out_q0, majority, "input {input:03b}");
+        }
+    }
+
+    #[test]
+    fn maj_inv_encodes_repetition_code() {
+        for b in [false, true] {
+            let mut s = BitState::zeros(3);
+            s.set(w(0), b);
+            Gate::MajInv(w(0), w(1), w(2)).apply(&mut s);
+            assert_eq!(s.get(w(0)), b);
+            assert_eq!(s.get(w(1)), b);
+            assert_eq!(s.get(w(2)), b);
+        }
+    }
+
+    #[test]
+    fn maj_decodes_clean_codeword_to_flag_bits() {
+        // MAJ(b,b,b) = (b,0,0): majority on q0, syndrome cleared.
+        for b in [0u64, 0b111] {
+            let mut s = BitState::from_u64(b, 3);
+            Gate::Maj(w(0), w(1), w(2)).apply(&mut s);
+            assert_eq!(s.to_u64(), b & 1);
+        }
+    }
+
+    #[test]
+    fn all_gates_are_bijections() {
+        let gates = [
+            Gate::Not(w(0)),
+            Gate::Cnot { control: w(0), target: w(1) },
+            Gate::Toffoli { controls: [w(0), w(1)], target: w(2) },
+            Gate::Swap(w(0), w(1)),
+            Gate::Swap3(w(0), w(1), w(2)),
+            Gate::Fredkin { control: w(0), targets: [w(1), w(2)] },
+            Gate::Maj(w(0), w(1), w(2)),
+            Gate::MajInv(w(0), w(1), w(2)),
+        ];
+        for gate in gates {
+            let n = gate.support().max_index() + 1;
+            let mut seen = vec![false; 1 << n];
+            for output in table(gate, n) {
+                assert!(!seen[output as usize], "{gate} maps two inputs to {output}");
+                seen[output as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn inverses_cancel() {
+        let gates = [
+            Gate::Not(w(0)),
+            Gate::Cnot { control: w(0), target: w(1) },
+            Gate::Toffoli { controls: [w(0), w(1)], target: w(2) },
+            Gate::Swap(w(0), w(1)),
+            Gate::Swap3(w(0), w(1), w(2)),
+            Gate::Fredkin { control: w(0), targets: [w(1), w(2)] },
+            Gate::Maj(w(0), w(1), w(2)),
+            Gate::MajInv(w(0), w(1), w(2)),
+        ];
+        for gate in gates {
+            let n = gate.support().max_index() + 1;
+            for input in 0..(1u64 << n) {
+                let mut s = BitState::from_u64(input, n);
+                gate.apply(&mut s);
+                gate.inverse().apply(&mut s);
+                assert_eq!(s.to_u64(), input, "{gate} then inverse on {input:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn support_orders_match_arguments() {
+        let gate = Gate::Maj(w(5), w(2), w(9));
+        assert_eq!(gate.support().as_slice(), &[w(5), w(2), w(9)]);
+        assert_eq!(gate.arity(), 3);
+    }
+
+    #[test]
+    fn offset_shifts_every_wire() {
+        let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+        let shifted = gate.offset(10);
+        assert_eq!(shifted.support().as_slice(), &[w(10), w(11), w(12)]);
+        assert_eq!(shifted.kind(), OpKind::Toffoli);
+    }
+
+    #[test]
+    fn remap_translates_wires() {
+        let gate = Gate::Cnot { control: w(0), target: w(1) };
+        let remapped = gate.remap(&[w(7), w(3)]);
+        assert_eq!(remapped.support().as_slice(), &[w(7), w(3)]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let gate = Gate::Maj(w(0), w(1), w(2));
+        assert_eq!(gate.to_string(), "MAJ(q0,q1,q2)");
+        assert_eq!(OpKind::MajInv.to_string(), "MAJ⁻¹");
+    }
+}

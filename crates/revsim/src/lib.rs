@@ -1,0 +1,75 @@
+//! # rft-revsim — a noisy reversible-logic simulator
+//!
+//! This crate is the substrate for the reproduction of *“Reversible
+//! Fault-Tolerant Logic”* (Boykin & Roychowdhury, DSN 2005): a gate-array
+//! model of classical reversible computing in which bits sit at fixed
+//! positions and reversible gates of up to three bits are applied in
+//! sequence.
+//!
+//! It provides:
+//!
+//! - the paper's gate set ([`gate::Gate`]): NOT, CNOT, Toffoli, SWAP, the
+//!   SWAP3 of Figure 5, Fredkin, and the reversible majority gate MAJ of
+//!   Table 1 with its inverse;
+//! - ancilla resets ([`op::Op::Init`]) — the one irreversible primitive,
+//!   through which all of §4's entropy leaves the machine;
+//! - validated circuits ([`circuit::Circuit`]) with composition, embedding,
+//!   inversion, op statistics and depth;
+//! - exhaustive permutation extraction ([`permutation::Permutation`]);
+//! - the paper's error model ([`noise`]): each operation independently
+//!   randomizes its support with probability *g*;
+//! - executors ([`exec`]) for ideal, Monte-Carlo and planned-fault runs,
+//!   including a geometric fast path for small *g*;
+//! - exhaustive fault enumeration ([`fault`]) used to *prove* (not sample)
+//!   the single-fault tolerance of recovery circuits.
+//!
+//! # Examples
+//!
+//! Verify on all eight inputs that MAJ's first output bit is the majority:
+//!
+//! ```
+//! use rft_revsim::prelude::*;
+//!
+//! let mut c = Circuit::new(3);
+//! c.maj(w(0), w(1), w(2));
+//!
+//! for input in 0..8u64 {
+//!     let mut s = BitState::from_u64(input, 3);
+//!     c.run(&mut s);
+//!     assert_eq!(s.get(w(0)), input.count_ones() >= 2);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod circuit;
+pub mod diagram;
+mod error;
+pub mod exec;
+pub mod fault;
+pub mod gate;
+pub mod noise;
+pub mod op;
+pub mod permutation;
+pub mod state;
+pub mod wire;
+
+pub use error::{Error, Result};
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::circuit::{Circuit, CircuitStats};
+    pub use crate::diagram::render;
+    pub use crate::exec::{
+        run_ideal, run_noisy, run_noisy_geometric, run_noisy_observed, run_with_plan, ExecObserver,
+        ExecReport,
+    };
+    pub use crate::fault::{double_fault_plans, single_fault_plans, FaultPlan, PlannedFault};
+    pub use crate::gate::{Gate, OpKind};
+    pub use crate::noise::{NoNoise, NoiseModel, SplitNoise, UniformNoise};
+    pub use crate::op::Op;
+    pub use crate::state::BitState;
+    pub use crate::wire::{w, Support, Wire};
+    pub use crate::{Error, Result};
+}

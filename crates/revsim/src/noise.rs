@@ -1,0 +1,182 @@
+//! Noise models.
+//!
+//! The paper's error model (§2): "at each application, a gate will randomize
+//! all the bits it is applied to with probability g". Initializations are
+//! operations too; §2.2 computes thresholds both with initialization errors
+//! (every op fails at rate `g`) and without (perfect resets), so the models
+//! here let the two rates differ.
+
+use crate::op::Op;
+use serde::{Deserialize, Serialize};
+
+/// Assigns a failure probability to each operation.
+///
+/// Implementors must return probabilities in `[0, 1]`.
+pub trait NoiseModel {
+    /// Probability that `op` fails (randomizing its support).
+    fn fault_probability(&self, op: &Op) -> f64;
+
+    /// Whether every operation has the same failure probability.
+    ///
+    /// When uniform, executors may use geometric fault-skipping for speed.
+    fn uniform_rate(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Every operation — gates and initializations alike — fails with the same
+/// probability `g`. This is the paper's default model.
+///
+/// # Examples
+///
+/// ```
+/// use rft_revsim::noise::{NoiseModel, UniformNoise};
+/// use rft_revsim::prelude::*;
+///
+/// let noise = UniformNoise::new(1.0 / 108.0);
+/// let op = Op::from(Gate::Maj(w(0), w(1), w(2)));
+/// assert!((noise.fault_probability(&op) - 1.0 / 108.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UniformNoise {
+    g: f64,
+}
+
+impl UniformNoise {
+    /// Creates a uniform model with per-operation failure probability `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not in `[0, 1]`.
+    pub fn new(g: f64) -> Self {
+        assert!((0.0..=1.0).contains(&g), "failure probability must be in [0,1], got {g}");
+        UniformNoise { g }
+    }
+
+    /// The per-operation failure probability.
+    pub fn rate(&self) -> f64 {
+        self.g
+    }
+}
+
+impl NoiseModel for UniformNoise {
+    fn fault_probability(&self, _op: &Op) -> f64 {
+        self.g
+    }
+
+    fn uniform_rate(&self) -> Option<f64> {
+        Some(self.g)
+    }
+}
+
+/// Gates fail at rate `gate`, resets at rate `init`.
+///
+/// Setting `init = 0` reproduces the paper's "if initialization can be
+/// assumed to be far more accurate than our gates" accounting (G = 9 instead
+/// of 11, §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitNoise {
+    gate: f64,
+    init: f64,
+}
+
+impl SplitNoise {
+    /// Creates a split model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is not in `[0, 1]`.
+    pub fn new(gate: f64, init: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gate), "gate rate must be in [0,1], got {gate}");
+        assert!((0.0..=1.0).contains(&init), "init rate must be in [0,1], got {init}");
+        SplitNoise { gate, init }
+    }
+
+    /// Gate failure rate.
+    pub fn gate_rate(&self) -> f64 {
+        self.gate
+    }
+
+    /// Initialization failure rate.
+    pub fn init_rate(&self) -> f64 {
+        self.init
+    }
+
+    /// A model with perfect initialization.
+    pub fn perfect_init(gate: f64) -> Self {
+        SplitNoise::new(gate, 0.0)
+    }
+}
+
+impl NoiseModel for SplitNoise {
+    fn fault_probability(&self, op: &Op) -> f64 {
+        match op {
+            Op::Gate(_) => self.gate,
+            Op::Init(_) => self.init,
+        }
+    }
+
+    fn uniform_rate(&self) -> Option<f64> {
+        if self.gate == self.init {
+            Some(self.gate)
+        } else {
+            None
+        }
+    }
+}
+
+/// The noiseless model (useful to share code paths in tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoNoise;
+
+impl NoiseModel for NoNoise {
+    fn fault_probability(&self, _op: &Op) -> f64 {
+        0.0
+    }
+
+    fn uniform_rate(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use crate::wire::w;
+
+    #[test]
+    fn uniform_noise_applies_to_all_ops() {
+        let noise = UniformNoise::new(0.25);
+        assert_eq!(noise.fault_probability(&Op::from(Gate::Not(w(0)))), 0.25);
+        assert_eq!(noise.fault_probability(&Op::init(&[w(0)])), 0.25);
+        assert_eq!(noise.uniform_rate(), Some(0.25));
+        assert_eq!(noise.rate(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn uniform_noise_rejects_invalid() {
+        let _ = UniformNoise::new(1.5);
+    }
+
+    #[test]
+    fn split_noise_distinguishes_inits() {
+        let noise = SplitNoise::new(0.1, 0.0);
+        assert_eq!(noise.fault_probability(&Op::from(Gate::Not(w(0)))), 0.1);
+        assert_eq!(noise.fault_probability(&Op::init(&[w(0)])), 0.0);
+        assert_eq!(noise.uniform_rate(), None);
+        assert_eq!(SplitNoise::perfect_init(0.1), noise);
+    }
+
+    #[test]
+    fn split_noise_uniform_when_equal() {
+        assert_eq!(SplitNoise::new(0.2, 0.2).uniform_rate(), Some(0.2));
+    }
+
+    #[test]
+    fn no_noise_is_zero() {
+        assert_eq!(NoNoise.fault_probability(&Op::init(&[w(0)])), 0.0);
+        assert_eq!(NoNoise.uniform_rate(), Some(0.0));
+    }
+}

@@ -1,0 +1,239 @@
+//! Circuit operations: reversible gates plus ancilla resets.
+//!
+//! The paper's fault-tolerant scheme needs exactly one non-reversible
+//! primitive: *initialization*, which resets up to three bits to zero in one
+//! operation ("we assume that we can reset three bits with one
+//! initialization operation", §2.2). All of the entropy accounting of §4
+//! flows through these resets, so they are first-class operations here.
+
+use crate::gate::{Gate, OpKind};
+use crate::state::BitState;
+use crate::wire::{Support, Wire};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One step of a circuit: either a reversible [`Gate`] or an ancilla reset.
+///
+/// # Examples
+///
+/// ```
+/// use rft_revsim::prelude::*;
+///
+/// let init = Op::init(&[w(3), w(4), w(5)]);
+/// assert_eq!(init.kind(), OpKind::Init);
+/// assert!(!init.is_reversible());
+///
+/// let gate = Op::from(Gate::Maj(w(0), w(1), w(2)));
+/// assert!(gate.is_reversible());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// A reversible gate.
+    Gate(Gate),
+    /// Resets 1–3 wires to zero — the only irreversible operation.
+    ///
+    /// In the paper's accounting a three-bit initialization counts as one
+    /// operation with the same failure probability *g* as any other
+    /// three-bit gate.
+    Init(InitOp),
+}
+
+/// An ancilla-reset operation on up to three wires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InitOp {
+    wires: [Wire; 3],
+    len: u8,
+}
+
+impl InitOp {
+    /// Creates a reset of the given wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wires` is empty or longer than three.
+    pub fn new(wires: &[Wire]) -> Self {
+        assert!(
+            (1..=3).contains(&wires.len()),
+            "init must reset 1..=3 wires, got {}",
+            wires.len()
+        );
+        let mut arr = [wires[0]; 3];
+        arr[..wires.len()].copy_from_slice(wires);
+        InitOp { wires: arr, len: wires.len() as u8 }
+    }
+
+    /// The wires that are reset.
+    #[inline]
+    pub fn wires(&self) -> &[Wire] {
+        &self.wires[..self.len as usize]
+    }
+}
+
+impl Op {
+    /// Convenience constructor for an ancilla reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wires` is empty or longer than three.
+    pub fn init(wires: &[Wire]) -> Self {
+        Op::Init(InitOp::new(wires))
+    }
+
+    /// Applies the operation to `state` (gates permute, inits zero).
+    #[inline]
+    pub fn apply(&self, state: &mut BitState) {
+        match self {
+            Op::Gate(g) => g.apply(state),
+            Op::Init(init) => {
+                for &w in init.wires() {
+                    state.set(w, false);
+                }
+            }
+        }
+    }
+
+    /// The wires this operation touches.
+    #[inline]
+    pub fn support(&self) -> Support {
+        match self {
+            Op::Gate(g) => g.support(),
+            Op::Init(init) => Support::from_slice(init.wires()),
+        }
+    }
+
+    /// Number of wires touched.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.support().len()
+    }
+
+    /// The operation's kind, for accounting.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Gate(g) => g.kind(),
+            Op::Init(_) => OpKind::Init,
+        }
+    }
+
+    /// Whether the operation is a reversible gate (i.e. not a reset).
+    pub fn is_reversible(&self) -> bool {
+        matches!(self, Op::Gate(_))
+    }
+
+    /// The inner gate, if this is a gate.
+    pub fn as_gate(&self) -> Option<&Gate> {
+        match self {
+            Op::Gate(g) => Some(g),
+            Op::Init(_) => None,
+        }
+    }
+
+    /// Returns the operation with every wire shifted by `offset`.
+    pub fn offset(&self, offset: u32) -> Op {
+        match self {
+            Op::Gate(g) => Op::Gate(g.offset(offset)),
+            Op::Init(init) => {
+                let shifted: Vec<Wire> = init.wires().iter().map(|w| w.offset(offset)).collect();
+                Op::init(&shifted)
+            }
+        }
+    }
+
+    /// Returns the operation with wires remapped through `map`
+    /// (`map[old.index()] = new`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a wire index is outside `map`.
+    pub fn remap(&self, map: &[Wire]) -> Op {
+        match self {
+            Op::Gate(g) => Op::Gate(g.remap(map)),
+            Op::Init(init) => {
+                let mapped: Vec<Wire> = init.wires().iter().map(|w| map[w.index()]).collect();
+                Op::init(&mapped)
+            }
+        }
+    }
+}
+
+impl From<Gate> for Op {
+    fn from(gate: Gate) -> Self {
+        Op::Gate(gate)
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Gate(g) => g.fmt(f),
+            Op::Init(init) => {
+                write!(f, "INIT(")?;
+                for (i, w) in init.wires().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{w}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::w;
+
+    #[test]
+    fn init_zeroes_its_wires_only() {
+        let mut s = BitState::from_u64(0b11111, 5);
+        Op::init(&[w(1), w(3)]).apply(&mut s);
+        assert_eq!(s.to_u64(), 0b10101);
+    }
+
+    #[test]
+    fn init_arities() {
+        assert_eq!(Op::init(&[w(0)]).arity(), 1);
+        assert_eq!(Op::init(&[w(0), w(1)]).arity(), 2);
+        assert_eq!(Op::init(&[w(0), w(1), w(2)]).arity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=3")]
+    fn init_rejects_empty() {
+        let _ = Op::init(&[]);
+    }
+
+    #[test]
+    fn gate_op_delegates() {
+        let op = Op::from(Gate::Cnot { control: w(0), target: w(1) });
+        assert_eq!(op.kind(), OpKind::Cnot);
+        assert!(op.is_reversible());
+        assert!(op.as_gate().is_some());
+        let mut s = BitState::from_u64(0b01, 2);
+        op.apply(&mut s);
+        assert_eq!(s.to_u64(), 0b11);
+    }
+
+    #[test]
+    fn init_is_not_reversible() {
+        let op = Op::init(&[w(0), w(1), w(2)]);
+        assert!(!op.is_reversible());
+        assert!(op.as_gate().is_none());
+        assert_eq!(op.kind(), OpKind::Init);
+    }
+
+    #[test]
+    fn offset_and_remap_inits() {
+        let op = Op::init(&[w(0), w(2)]);
+        assert_eq!(op.offset(5).support().as_slice(), &[w(5), w(7)]);
+        let remapped = op.remap(&[w(9), w(8), w(7)]);
+        assert_eq!(remapped.support().as_slice(), &[w(9), w(7)]);
+    }
+
+    #[test]
+    fn display_renders_init() {
+        assert_eq!(Op::init(&[w(3), w(4), w(5)]).to_string(), "INIT(q3,q4,q5)");
+    }
+}

@@ -1,0 +1,272 @@
+//! Wire identifiers.
+//!
+//! A [`Wire`] names one bit position in a reversible gate array. In the
+//! paper's model (Boykin & Roychowdhury, DSN 2005, §2) bits sit at fixed
+//! locations and gates are applied to them over time, so a wire is simply an
+//! index into a [`BitState`](crate::state::BitState).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a single bit position in a circuit.
+///
+/// `Wire` is a cheap `Copy` newtype over `u32` used everywhere a gate needs
+/// to say *which* bits it acts on.
+///
+/// # Examples
+///
+/// ```
+/// use rft_revsim::wire::Wire;
+///
+/// let w = Wire::new(3);
+/// assert_eq!(w.index(), 3);
+/// assert_eq!(Wire::from(3u32), w);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Wire(u32);
+
+impl Wire {
+    /// Creates a wire with the given index.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use rft_revsim::wire::Wire;
+    /// assert_eq!(Wire::new(7).index(), 7);
+    /// ```
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Wire(index)
+    }
+
+    /// Returns the index as a `usize`, suitable for indexing a state.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns a wire shifted by `offset` positions (used when embedding a
+    /// sub-circuit into a larger register).
+    ///
+    /// # Panics
+    ///
+    /// Panics on `u32` overflow.
+    #[inline]
+    pub fn offset(self, offset: u32) -> Self {
+        Wire(self.0.checked_add(offset).expect("wire index overflow"))
+    }
+}
+
+impl fmt::Display for Wire {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u32> for Wire {
+    fn from(index: u32) -> Self {
+        Wire(index)
+    }
+}
+
+impl From<Wire> for u32 {
+    fn from(wire: Wire) -> Self {
+        wire.0
+    }
+}
+
+impl From<Wire> for usize {
+    fn from(wire: Wire) -> Self {
+        wire.index()
+    }
+}
+
+/// Convenience constructor used heavily in tests and examples.
+///
+/// # Examples
+///
+/// ```
+/// use rft_revsim::wire::{w, Wire};
+/// assert_eq!(w(2), Wire::new(2));
+/// ```
+#[inline]
+pub const fn w(index: u32) -> Wire {
+    Wire::new(index)
+}
+
+/// A fixed-capacity set of up to three wires: the support of a gate.
+///
+/// Every primitive operation in the paper's model touches at most three bits
+/// (the error model charges a three-bit operation with failure probability
+/// *g*), so supports never exceed three wires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Support {
+    wires: [Wire; 3],
+    len: u8,
+}
+
+impl Support {
+    /// Support of a single-wire operation.
+    #[inline]
+    pub const fn one(a: Wire) -> Self {
+        Support { wires: [a, a, a], len: 1 }
+    }
+
+    /// Support of a two-wire operation.
+    #[inline]
+    pub const fn two(a: Wire, b: Wire) -> Self {
+        Support { wires: [a, b, b], len: 2 }
+    }
+
+    /// Support of a three-wire operation.
+    #[inline]
+    pub const fn three(a: Wire, b: Wire, c: Wire) -> Self {
+        Support { wires: [a, b, c], len: 3 }
+    }
+
+    /// Builds a support from a slice of 1..=3 wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wires` is empty or has more than three elements.
+    pub fn from_slice(wires: &[Wire]) -> Self {
+        match *wires {
+            [a] => Support::one(a),
+            [a, b] => Support::two(a, b),
+            [a, b, c] => Support::three(a, b, c),
+            _ => panic!("support must contain 1..=3 wires, got {}", wires.len()),
+        }
+    }
+
+    /// The wires in this support, in gate-argument order.
+    #[inline]
+    pub fn as_slice(&self) -> &[Wire] {
+        &self.wires[..self.len as usize]
+    }
+
+    /// Number of wires in the support.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the support is empty (never true for valid operations).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the given wire is part of this support.
+    #[inline]
+    pub fn contains(&self, wire: Wire) -> bool {
+        self.as_slice().contains(&wire)
+    }
+
+    /// Whether all wires in the support are distinct.
+    pub fn is_distinct(&self) -> bool {
+        let s = self.as_slice();
+        for i in 0..s.len() {
+            for j in (i + 1)..s.len() {
+                if s[i] == s[j] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Largest wire index in the support.
+    pub fn max_index(&self) -> usize {
+        self.as_slice().iter().map(|w| w.index()).max().unwrap_or(0)
+    }
+}
+
+impl<'a> IntoIterator for &'a Support {
+    type Item = Wire;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Wire>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrips_index() {
+        let wire = Wire::new(42);
+        assert_eq!(wire.index(), 42);
+        assert_eq!(wire.raw(), 42);
+        assert_eq!(u32::from(wire), 42);
+        assert_eq!(usize::from(wire), 42);
+    }
+
+    #[test]
+    fn wire_display_uses_paper_notation() {
+        assert_eq!(Wire::new(5).to_string(), "q5");
+    }
+
+    #[test]
+    fn wire_offset_shifts() {
+        assert_eq!(w(3).offset(9), w(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn wire_offset_overflow_panics() {
+        let _ = w(u32::MAX).offset(1);
+    }
+
+    #[test]
+    fn support_slices_match_arity() {
+        assert_eq!(Support::one(w(1)).as_slice(), &[w(1)]);
+        assert_eq!(Support::two(w(1), w(2)).as_slice(), &[w(1), w(2)]);
+        assert_eq!(Support::three(w(1), w(2), w(3)).as_slice(), &[w(1), w(2), w(3)]);
+    }
+
+    #[test]
+    fn support_distinctness() {
+        assert!(Support::three(w(0), w(1), w(2)).is_distinct());
+        assert!(!Support::three(w(0), w(1), w(0)).is_distinct());
+        assert!(!Support::two(w(4), w(4)).is_distinct());
+        assert!(Support::one(w(9)).is_distinct());
+    }
+
+    #[test]
+    fn support_contains_and_max() {
+        let s = Support::three(w(2), w(9), w(4));
+        assert!(s.contains(w(9)));
+        assert!(!s.contains(w(3)));
+        assert_eq!(s.max_index(), 9);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn support_from_slice_all_arities() {
+        assert_eq!(Support::from_slice(&[w(1)]).len(), 1);
+        assert_eq!(Support::from_slice(&[w(1), w(2)]).len(), 2);
+        assert_eq!(Support::from_slice(&[w(1), w(2), w(3)]).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=3")]
+    fn support_from_slice_rejects_four() {
+        let _ = Support::from_slice(&[w(1), w(2), w(3), w(4)]);
+    }
+
+    #[test]
+    fn support_iterates() {
+        let s = Support::three(w(1), w(2), w(3));
+        let collected: Vec<Wire> = (&s).into_iter().collect();
+        assert_eq!(collected, vec![w(1), w(2), w(3)]);
+    }
+}

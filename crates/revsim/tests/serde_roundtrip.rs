@@ -1,0 +1,87 @@
+//! Serialization round-trips: circuits and results are data structures
+//! (C-SERDE) and must survive JSON faithfully — e.g. for archiving the
+//! exact physical circuits behind an EXPERIMENTS.md run.
+
+use rft_revsim::fault::{FaultPlan, PlannedFault};
+use rft_revsim::prelude::*;
+
+fn recovery_like() -> Circuit {
+    let mut c = Circuit::new(9);
+    c.init(&[w(3), w(4), w(5)])
+        .init(&[w(6), w(7), w(8)])
+        .maj_inv(w(0), w(3), w(6))
+        .maj_inv(w(1), w(4), w(7))
+        .maj_inv(w(2), w(5), w(8))
+        .maj(w(0), w(1), w(2))
+        .maj(w(3), w(4), w(5))
+        .maj(w(6), w(7), w(8));
+    c
+}
+
+#[test]
+fn circuit_roundtrips_through_json() {
+    let c = recovery_like();
+    let json = serde_json::to_string(&c).expect("serialize");
+    let back: Circuit = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(c, back);
+    // Behaviour, not just structure: same outputs.
+    for input in [0u64, 0b111, 0b101] {
+        let mut a = BitState::from_u64(input, 9);
+        let mut b = BitState::from_u64(input, 9);
+        c.run(&mut a);
+        back.run(&mut b);
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn every_gate_kind_roundtrips() {
+    let gates = [
+        Gate::Not(w(0)),
+        Gate::Cnot { control: w(1), target: w(0) },
+        Gate::Toffoli { controls: [w(0), w(2)], target: w(1) },
+        Gate::Swap(w(0), w(1)),
+        Gate::Swap3(w(2), w(1), w(0)),
+        Gate::Fredkin { control: w(2), targets: [w(0), w(1)] },
+        Gate::Maj(w(0), w(1), w(2)),
+        Gate::MajInv(w(2), w(0), w(1)),
+    ];
+    for g in gates {
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Gate = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back, "{json}");
+    }
+}
+
+#[test]
+fn ops_and_plans_roundtrip() {
+    let op = Op::init(&[w(1), w(5)]);
+    let back: Op = serde_json::from_str(&serde_json::to_string(&op).unwrap()).unwrap();
+    assert_eq!(op, back);
+
+    let plan = FaultPlan::new(vec![
+        PlannedFault { op_index: 3, pattern: 0b101 },
+        PlannedFault { op_index: 7, pattern: 0b010 },
+    ]);
+    let back: FaultPlan = serde_json::from_str(&serde_json::to_string(&plan).unwrap()).unwrap();
+    assert_eq!(plan, back);
+}
+
+#[test]
+fn noise_models_roundtrip() {
+    let u = UniformNoise::new(0.01);
+    let back: UniformNoise = serde_json::from_str(&serde_json::to_string(&u).unwrap()).unwrap();
+    assert_eq!(u, back);
+    let s = SplitNoise::new(0.02, 0.0);
+    let back: SplitNoise = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+    assert_eq!(s, back);
+}
+
+#[test]
+fn deserialized_invalid_wire_is_caught_on_use() {
+    // Serde does not validate against a circuit width (the wire is data);
+    // pushing the op into a circuit re-validates.
+    let gate: Gate = serde_json::from_str(r#"{"Not":99}"#).unwrap();
+    let mut c = Circuit::new(3);
+    assert!(c.try_push(Op::Gate(gate)).is_err());
+}

@@ -1,0 +1,56 @@
+//! Render the paper's figures in its own gate-array notation (§2: "space
+//! is on the y-axis and time is on the x-axis").
+//!
+//! Run with: `cargo run --release --example circuit_diagrams`
+
+use reversible_ft::core::prelude::*;
+use reversible_ft::core::synth::Synthesizer;
+use reversible_ft::locality::prelude::*;
+use reversible_ft::revsim::prelude::*;
+
+fn main() {
+    // ── Figure 1: MAJ from two CNOTs and a Toffoli ───────────────────────
+    let mut fig1 = Circuit::new(3);
+    fig1.cnot(w(0), w(1)).cnot(w(0), w(2)).toffoli(w(1), w(2), w(0));
+    println!("Figure 1 — the reversible majority gate:\n{}", render(&fig1));
+
+    // ── Figure 2: the error-recovery circuit ─────────────────────────────
+    println!("Figure 2 — fault-tolerant error recovery (outputs on q0,q3,q6):");
+    println!("{}", render(&recovery_circuit()));
+
+    // ── Figure 5: SWAP3 ──────────────────────────────────────────────────
+    let mut fig5 = Circuit::new(3);
+    fig5.swap(w(0), w(1)).swap(w(1), w(2));
+    println!("Figure 5 — SWAP3 as two SWAPs:\n{}", render(&fig5));
+
+    // ── Figure 7: the one-dimensional local recovery ─────────────────────
+    let (fig7, _, _) = build_recovery_1d();
+    println!("Figure 7 — 1D local recovery (wire order q0,q3,q6,q1,q4,q7,q2,q5,q8):");
+    println!("{}", render(&fig7));
+
+    // ── Bonus: shortest synthesized circuits ─────────────────────────────
+    let synth = Synthesizer::new(&[OpKind::Not, OpKind::Cnot, OpKind::Toffoli]);
+    println!(
+        "synthesizer over {{NOT, CNOT, Toffoli}}: {} of 40320 functions reachable",
+        synth.reachable()
+    );
+    let maj = synth
+        .circuit_for(&reversible_ft::core::maj::maj_permutation())
+        .expect("universal set");
+    println!(
+        "\nshortest MAJ circuit found by BFS ({} gates — Figure 1 is optimal):\n{}",
+        maj.len(),
+        render(&maj)
+    );
+    let swap = {
+        let mut c = Circuit::new(3);
+        c.swap(w(0), w(1));
+        reversible_ft::revsim::permutation::Permutation::of_circuit(&c).expect("3 wires")
+    };
+    let swap_synth = synth.circuit_for(&swap).expect("universal set");
+    println!(
+        "shortest SWAP from CNOTs ({} gates — the classic 3-CNOT trick):\n{}",
+        swap_synth.len(),
+        render(&swap_synth)
+    );
+}

@@ -1,0 +1,104 @@
+//! How much heat does fault-tolerant reversible computing dissipate? (§4)
+//!
+//! Reversible logic can in principle compute for free, but *noisy*
+//! reversible logic must eject entropy through ancilla resets, and
+//! Landauer prices every ejected bit at `k_B·T·ln 2`. This example budgets
+//! a realistic module: pick a gate error rate and a module size, find the
+//! concatenation level, and compare the heat against simply building the
+//! machine from irreversible gates (3/2 bits per NAND, footnote 4).
+//!
+//! Run with: `cargo run --release --example entropy_budget`
+
+use reversible_ft::analysis::prelude::*;
+use reversible_ft::core::entropy::{
+    hl_lower, hl_upper, landauer_heat_joules, max_level_constant_entropy, nand_via_maj_inv,
+};
+use reversible_ft::core::prelude::*;
+use reversible_ft::revsim::prelude::*;
+
+fn main() {
+    let g = 1e-3; // physical gate error rate
+    let module_gates = 1e6; // logical gates we want to run reliably
+    let temp = 300.0; // kelvin
+    let budget = GateBudget::NONLOCAL_WITH_INIT;
+
+    println!("design point: g = {g}, module of {module_gates:.0e} logical gates, T = {temp} K\n");
+
+    // ── 1. How deep must we concatenate? (Eq. 3) ─────────────────────────
+    let overhead = budget
+        .module_overhead(g, module_gates)
+        .expect("valid rate")
+        .expect("g is below threshold");
+    println!(
+        "required level L = {} → ×{:.0} gates, ×{:.0} bits, failure bound {:.1e}",
+        overhead.level, overhead.gate_factor, overhead.size_factor, overhead.achieved_error
+    );
+
+    // ── 2. Entropy per logical gate: bounds and measurement ─────────────
+    let level = overhead.level.max(1);
+    let lo = hl_lower(g, 8.0, level);
+    let hi = hl_upper(g, 27.0, level);
+    println!("\nentropy per FT gate at L = {level}: between {lo:.4} and {hi:.2} bits (§4 bounds)");
+
+    // Measure it on the compiled level-1 cycle (difference of 1- and
+    // 3-cycle programs isolates the steady-state per-cycle entropy).
+    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let program_of = |cycles: usize| {
+        let mut b = FtBuilder::new(1, 3);
+        for _ in 0..cycles {
+            b.apply(&gate);
+        }
+        b.finish()
+    };
+    let short = program_of(1);
+    let long = program_of(3);
+    let noise = UniformNoise::new(g);
+    let h_short = measure_reset_entropy(
+        short.circuit(),
+        &short.encode(&BitState::zeros(3)),
+        &noise,
+        30_000,
+        42,
+    )
+    .bits_per_run;
+    let h_long = measure_reset_entropy(
+        long.circuit(),
+        &long.encode(&BitState::zeros(3)),
+        &noise,
+        30_000,
+        43,
+    )
+    .bits_per_run;
+    let measured = (h_long - h_short) / 2.0;
+    println!("measured at L = 1: {measured:.4} bits per logical gate");
+
+    // ── 3. The heat bill (Landauer) ──────────────────────────────────────
+    let bits_total = measured * module_gates;
+    println!(
+        "\nrunning the whole module once dissipates ≥ {:.3e} J at {temp} K",
+        landauer_heat_joules(bits_total, temp)
+    );
+    let irreversible = nand_via_maj_inv().reset_joint_entropy; // 3/2 bits
+    println!(
+        "an irreversible machine (NAND at {irreversible} bits/gate) would dissipate {:.3e} J",
+        landauer_heat_joules(irreversible * module_gates, temp)
+    );
+    if measured < irreversible {
+        println!(
+            "→ reversible wins by ×{:.1} at this design point",
+            irreversible / measured.max(1e-12)
+        );
+    } else {
+        println!("→ reversible has lost its advantage at this error rate");
+    }
+
+    // ── 4. Where the advantage dies (§4) ─────────────────────────────────
+    println!("\nentropy cap: L ≤ log(1/g)/log(3E) + 1:");
+    for g_probe in [1e-2, 1e-3, 1e-4, 1e-6] {
+        println!(
+            "  g = {g_probe:<8} → L ≤ {:.2}",
+            max_level_constant_entropy(g_probe, 8.0)
+        );
+    }
+    println!("(the paper's example: g = 10⁻², E = 11 ⇒ L ≤ 2.3)");
+}

@@ -1,0 +1,135 @@
+//! A reversible ripple-carry adder (Cuccaro-style, built from the paper's
+//! MAJ gate — see footnote 2: "variants of the MAJ gate have found
+//! application in … reversible addition"), run bare and fault-tolerantly.
+//!
+//! The adder computes `(a, b) → (a, a+b)` in place using MAJ to ripple the
+//! carry up and its inverse block (UMA) to ripple it back down. We verify
+//! it exhaustively, then compare its error rate under noisy gates with and
+//! without the level-1 fault-tolerant encoding of §2.
+//!
+//! Run with: `cargo run --release --example fault_tolerant_adder`
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reversible_ft::analysis::prelude::*;
+use reversible_ft::core::prelude::*;
+use reversible_ft::revsim::prelude::*;
+
+/// Wire layout for an `n`-bit adder: `a_i` at `2i`, `b_i` at `2i+1`,
+/// carry ancilla at `2n`, carry-out `z` at `2n+1`.
+struct Adder {
+    n: usize,
+    circuit: Circuit,
+}
+
+impl Adder {
+    fn new(n: usize) -> Self {
+        let wires = 2 * n + 2;
+        let a = |i: usize| w(2 * i as u32);
+        let b = |i: usize| w(2 * i as u32 + 1);
+        let c0 = w(2 * n as u32);
+        let z = w(2 * n as u32 + 1);
+        let mut circuit = Circuit::new(wires);
+        // MAJ ripple: Maj(a_i, b_i, carry_in) leaves carry_{i+1} on a_i.
+        let carry_in = |i: usize| if i == 0 { c0 } else { a(i - 1) };
+        for i in 0..n {
+            circuit.maj(a(i), b(i), carry_in(i));
+        }
+        // Copy the final carry out.
+        circuit.cnot(a(n - 1), z);
+        // UMA ripple-down: restore a_i and carries, leave sums on b_i.
+        for i in (0..n).rev() {
+            circuit.toffoli(b(i), carry_in(i), a(i));
+            circuit.cnot(a(i), carry_in(i));
+            circuit.cnot(carry_in(i), b(i));
+        }
+        Adder { n, circuit }
+    }
+
+    fn encode_input(&self, a: u64, b: u64) -> BitState {
+        let mut s = BitState::zeros(self.circuit.n_wires());
+        for i in 0..self.n {
+            s.set(w(2 * i as u32), (a >> i) & 1 == 1);
+            s.set(w(2 * i as u32 + 1), (b >> i) & 1 == 1);
+        }
+        s
+    }
+
+    /// Reads `(a, sum_with_carry)` from an output state.
+    fn decode_output(&self, s: &BitState) -> (u64, u64) {
+        let mut a = 0u64;
+        let mut sum = 0u64;
+        for i in 0..self.n {
+            a |= (s.get(w(2 * i as u32)) as u64) << i;
+            sum |= (s.get(w(2 * i as u32 + 1)) as u64) << i;
+        }
+        sum |= (s.get(w(2 * self.n as u32 + 1)) as u64) << self.n;
+        (a, sum)
+    }
+}
+
+fn main() {
+    // ── 1. Exhaustive functional verification ───────────────────────────
+    let adder = Adder::new(3);
+    for a in 0..8u64 {
+        for b in 0..8u64 {
+            let mut s = adder.encode_input(a, b);
+            adder.circuit.run(&mut s);
+            let (a_out, sum) = adder.decode_output(&s);
+            assert_eq!(a_out, a, "a must be restored");
+            assert_eq!(sum, a + b, "{a} + {b}");
+        }
+    }
+    println!("3-bit MAJ/UMA adder verified exhaustively: all 64 sums correct");
+    println!(
+        "adder stats: {} ({} wires, depth {})",
+        adder.circuit.stats(),
+        adder.circuit.n_wires(),
+        adder.circuit.depth()
+    );
+
+    // ── 2. Bare vs fault-tolerant execution under noise ─────────────────
+    let adder2 = Adder::new(2);
+    let program = FtBuilder::compile(1, &adder2.circuit).expect("gate-only circuit");
+    println!(
+        "\nlevel-1 FT compile: {} logical ops → {} physical ops on {} wires",
+        adder2.circuit.len(),
+        program.circuit().len(),
+        program.n_physical()
+    );
+
+    let trials = 20_000u64;
+    let mut rng = SmallRng::seed_from_u64(2005);
+    println!("\n  g        bare adder   FT adder (level 1)");
+    for g in [1.0 / 2000.0, 1.0 / 500.0, 1.0 / 165.0] {
+        let noise = UniformNoise::new(g);
+        let mut bare_fail = 0u64;
+        let mut ft_fail = 0u64;
+        for _ in 0..trials {
+            let a = rng.random_range(0..4u64);
+            let b = rng.random_range(0..4u64);
+            // Bare run.
+            let mut s = adder2.encode_input(a, b);
+            run_noisy(&adder2.circuit, &mut s, &noise, &mut rng);
+            if adder2.decode_output(&s).1 != a + b {
+                bare_fail += 1;
+            }
+            // Fault-tolerant run.
+            let logical_in = adder2.encode_input(a, b);
+            let mut phys = program.encode(&logical_in);
+            run_noisy(program.circuit(), &mut phys, &noise, &mut rng);
+            if adder2.decode_output(&program.decode(&phys)).1 != a + b {
+                ft_fail += 1;
+            }
+        }
+        let bare = ErrorEstimate::from_counts(bare_fail, trials);
+        let ft = ErrorEstimate::from_counts(ft_fail, trials);
+        println!(
+            "  {g:<8.5} {:<12.5} {:<12.5}  ({}x)",
+            bare.rate,
+            ft.rate,
+            if ft.rate > 0.0 { format!("{:.1}", bare.rate / ft.rate) } else { "∞".into() }
+        );
+    }
+    println!("\nbelow threshold, the encoded adder beats the bare one — Section 2 at work.");
+}

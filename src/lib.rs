@@ -1,0 +1,23 @@
+//! # reversible-ft — fault-tolerant reversible logic
+//!
+//! Facade crate for the reproduction of *“Reversible Fault-Tolerant Logic”*
+//! (P. O. Boykin & V. P. Roychowdhury, DSN 2005, arXiv:cs/0504010).
+//!
+//! The implementation lives in four member crates, re-exported here:
+//!
+//! - [`revsim`] — the noisy reversible gate-array simulator (substrate);
+//! - [`core`] — the paper's contribution: MAJ-gate multiplexing, the
+//!   Figure 2 recovery circuit, concatenation, thresholds and entropy;
+//! - [`locality`] — §3's nearest-neighbour 2D and 1D schemes;
+//! - [`analysis`] — Monte-Carlo harness and the experiment reproductions.
+//!
+//! See `examples/` for runnable walkthroughs (start with
+//! `examples/quickstart.rs`) and `crates/bench/src/bin/repro.rs` for the
+//! binary that regenerates every table and figure in the paper.
+
+#![warn(missing_docs)]
+
+pub use rft_analysis as analysis;
+pub use rft_core as core;
+pub use rft_locality as locality;
+pub use rft_revsim as revsim;

@@ -1,0 +1,154 @@
+//! Cross-crate integration: logical circuits through the FT compiler,
+//! local layouts through the exhaustive checker, Monte-Carlo through the
+//! analysis harness — the full pipeline of the reproduction.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use reversible_ft::analysis::prelude::*;
+use reversible_ft::core::prelude::*;
+use reversible_ft::locality::prelude::*;
+use reversible_ft::revsim::permutation::Permutation;
+use reversible_ft::revsim::prelude::*;
+
+fn toffoli() -> Gate {
+    Gate::Toffoli { controls: [w(0), w(1)], target: w(2) }
+}
+
+#[test]
+fn random_logical_programs_compile_and_run_exactly() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    for _ in 0..10 {
+        let n = 4usize;
+        let mut logical = Circuit::new(n);
+        for _ in 0..rng.random_range(1..6) {
+            let mut wires: Vec<u32> = (0..n as u32).collect();
+            for i in (1..wires.len()).rev() {
+                wires.swap(i, rng.random_range(0..=i));
+            }
+            match rng.random_range(0..3) {
+                0 => logical.maj(w(wires[0]), w(wires[1]), w(wires[2])),
+                1 => logical.toffoli(w(wires[0]), w(wires[1]), w(wires[2])),
+                _ => logical.cnot(w(wires[0]), w(wires[1])),
+            };
+        }
+        let perm = Permutation::of_circuit(&logical).unwrap();
+        let program = FtBuilder::compile(1, &logical).unwrap();
+        for input in 0..(1u64 << n) {
+            let mut s = program.encode(&BitState::from_u64(input, n));
+            program.circuit().run(&mut s);
+            assert_eq!(program.decode(&s).to_u64(), perm.apply(input));
+        }
+    }
+}
+
+#[test]
+fn architecture_error_ordering_under_noise() {
+    // At a fixed g, the cycle error rate must order 1D ≥ 2D ≥ non-local
+    // (more ops per codeword = more exposure), matching §3's thresholds.
+    // g is chosen large enough that a few thousand trials resolve the gap.
+    let g = 1.0 / 60.0;
+    let noise = UniformNoise::new(g);
+    let trials = 12_000;
+
+    let nonlocal = transversal_cycle(&toffoli());
+    let d2 = build_cycle_2d(&toffoli(), InterleaveScheme::Perpendicular).to_cycle_spec(&toffoli());
+    let d1 = build_cycle_1d(&toffoli()).to_cycle_spec(&toffoli());
+
+    let e_nl = estimate_cycle_error(&nonlocal, &noise, trials, 1, 4);
+    let e_2d = estimate_cycle_error(&d2, &noise, trials, 2, 4);
+    let e_1d = estimate_cycle_error(&d1, &noise, trials, 3, 4);
+
+    assert!(
+        e_1d.rate > e_2d.rate * 0.9,
+        "1D {} should be ≥ 2D {}",
+        e_1d.rate,
+        e_2d.rate
+    );
+    assert!(
+        e_2d.rate > e_nl.rate * 0.9,
+        "2D {} should be ≥ non-local {}",
+        e_2d.rate,
+        e_nl.rate
+    );
+}
+
+#[test]
+fn below_threshold_protection_beats_bare_execution() {
+    let g = 1.0 / 500.0;
+    let mc = ConcatMc::new(1, toffoli(), 2);
+    let est = mc.estimate(&UniformNoise::new(g), 30_000, 5, 4);
+    let bare = unprotected_error(g, 2);
+    assert!(
+        est.rate < bare,
+        "protected {} should beat bare {}",
+        est.rate,
+        bare
+    );
+}
+
+#[test]
+fn routed_ft_cycle_remains_correct() {
+    // Route the non-local §2.2 cycle onto a line with the generic router:
+    // semantics preserved, all gates local.
+    let spec = transversal_cycle(&toffoli());
+    let (routed, stats) = route_line(spec.circuit());
+    assert!(stats.elementary_swaps() > 0, "the cycle has remote ops to route");
+    assert!(Lattice::line(routed.n_wires()).check_circuit(&routed).is_local());
+    // Noiseless correctness through the routed circuit.
+    for input in 0..8u64 {
+        let mut s = spec.encode_input(input);
+        routed.run(&mut s);
+        assert_eq!(spec.decode_output(&s), spec.logical().apply(input));
+    }
+}
+
+#[test]
+fn level_two_survives_more_noise_than_level_one() {
+    let g = 1.0 / 165.0; // exactly the analytic threshold
+    let noise = UniformNoise::new(g);
+    let l1 = ConcatMc::new(1, toffoli(), 2).estimate(&noise, 20_000, 8, 4);
+    let l2 = ConcatMc::new(2, toffoli(), 2).estimate(&noise, 5_000, 9, 4);
+    assert!(
+        l2.rate < l1.rate,
+        "at ρ, level 2 ({}) should still beat level 1 ({})",
+        l2.rate,
+        l1.rate
+    );
+}
+
+#[test]
+fn entropy_measurement_tracks_fault_rate() {
+    let gate = toffoli();
+    let program = {
+        let mut b = FtBuilder::new(1, 3);
+        b.apply(&gate).apply(&gate);
+        b.finish()
+    };
+    let input = program.encode(&BitState::zeros(3));
+    let h_lo = measure_reset_entropy(program.circuit(), &input, &UniformNoise::new(1e-3), 8_000, 1)
+        .bits_per_run;
+    let h_hi = measure_reset_entropy(program.circuit(), &input, &UniformNoise::new(5e-2), 8_000, 1)
+        .bits_per_run;
+    assert!(h_hi > h_lo * 5.0, "entropy must grow with g: {h_lo} vs {h_hi}");
+}
+
+#[test]
+fn decode_trees_follow_multi_cycle_rotations() {
+    // 5 cycles at level 2: data positions rotate at two levels; the
+    // decode trees must still point at the right wires.
+    let mut b = FtBuilder::new(2, 3);
+    for _ in 0..5 {
+        b.apply(&toffoli());
+    }
+    let program = b.finish();
+    let mut logical = Circuit::new(3);
+    for _ in 0..5 {
+        logical.toffoli(w(0), w(1), w(2));
+    }
+    let perm = Permutation::of_circuit(&logical).unwrap();
+    for input in [0u64, 0b011, 0b111] {
+        let mut s = program.encode(&BitState::from_u64(input, 3));
+        program.circuit().run(&mut s);
+        assert_eq!(program.decode(&s).to_u64(), perm.apply(input));
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration tests for the extension modules: synthesis, cooling and
+//! diagram rendering working together with the FT stack.
+
+use reversible_ft::core::cooling::{bias_ladder, CoolingTree};
+use reversible_ft::core::maj::maj_permutation;
+use reversible_ft::core::prelude::*;
+use reversible_ft::core::synth::Synthesizer;
+use reversible_ft::revsim::permutation::Permutation;
+use reversible_ft::revsim::prelude::*;
+
+#[test]
+fn synthesized_circuits_compile_fault_tolerantly() {
+    // Synthesize a circuit for MAJ∘MAJ from the universal set, then push
+    // it through the level-1 FT compiler and check end-to-end semantics.
+    let synth = Synthesizer::new(&[OpKind::Not, OpKind::Cnot, OpKind::Toffoli]);
+    let target = maj_permutation().compose(&maj_permutation());
+    let logical = synth.circuit_for(&target).expect("universal gate set");
+    let program = FtBuilder::compile(1, &logical).expect("gate-only circuit");
+    for input in 0..8u64 {
+        let mut s = program.encode(&BitState::from_u64(input, 3));
+        program.circuit().run(&mut s);
+        assert_eq!(program.decode(&s).to_u64(), target.apply(input));
+    }
+}
+
+#[test]
+fn synthesis_distances_respect_composition() {
+    // d(p∘q) ≤ d(p) + d(q) — BFS distances form a metric under the
+    // generating set.
+    let synth = Synthesizer::new(&[OpKind::Not, OpKind::Cnot, OpKind::Toffoli]);
+    let p = maj_permutation();
+    let q = p.inverse();
+    let dp = synth.distance(&p).unwrap();
+    let dq = synth.distance(&q).unwrap();
+    let dpq = synth.distance(&p.compose(&q)).unwrap();
+    assert!(dpq <= dp + dq);
+    assert_eq!(dpq, 0, "MAJ ∘ MAJ⁻¹ is the identity");
+}
+
+#[test]
+fn maj_primitive_gate_set_synthesizes_short_recoveries() {
+    // With MAJ/MAJ⁻¹ native, the decode step MAJ is a 1-gate circuit —
+    // the economy the paper's gate choice buys.
+    let synth = Synthesizer::new(&[OpKind::Maj, OpKind::MajInv, OpKind::Not]);
+    assert_eq!(synth.distance(&maj_permutation()), Some(1));
+}
+
+#[test]
+fn cooling_tree_feeds_cold_ancillas() {
+    // The cooling tree's analytic ladder matches the §4 story: bias rises
+    // toward 1 (entropy toward 0), making recycled ancillas usable.
+    let ladder = bias_ladder(0.3, 6);
+    assert!(ladder.last().unwrap() > &0.95);
+    let tree = CoolingTree::new(2);
+    let circuit = tree.circuit();
+    // The circuit is purely reversible — no resets needed to *concentrate*
+    // the cold bits; resets are only paid for the hot remainder.
+    assert!(circuit.is_reversible());
+    assert_eq!(circuit.stats().maj_family(), 4);
+}
+
+#[test]
+fn diagrams_render_every_cycle_we_build() {
+    // Rendering must not panic and must produce one line per wire for all
+    // the major circuits in the repository.
+    let circuits: Vec<Circuit> = vec![
+        recovery_circuit(),
+        reversible_ft::locality::prelude::build_recovery_1d().0,
+        transversal_cycle(&Gate::Toffoli { controls: [w(0), w(1)], target: w(2) })
+            .circuit()
+            .clone(),
+    ];
+    for c in circuits {
+        let text = render(&c);
+        assert_eq!(text.lines().count(), c.n_wires());
+        for line in text.lines() {
+            assert!(line.contains(": "), "wire label missing in {line:?}");
+        }
+    }
+}
+
+#[test]
+fn swap_synthesis_needs_three_cnots() {
+    // The classic result: SWAP = 3 CNOTs, and no shorter circuit exists
+    // over {NOT, CNOT, Toffoli}.
+    let synth = Synthesizer::new(&[OpKind::Not, OpKind::Cnot, OpKind::Toffoli]);
+    let mut c = Circuit::new(3);
+    c.swap(w(0), w(1));
+    let target = Permutation::of_circuit(&c).unwrap();
+    assert_eq!(synth.distance(&target), Some(3));
+}
+
+#[test]
+fn fredkin_from_universal_set_is_short() {
+    let synth = Synthesizer::new(&[OpKind::Not, OpKind::Cnot, OpKind::Toffoli]);
+    let mut c = Circuit::new(3);
+    c.fredkin(w(0), w(1), w(2));
+    let target = Permutation::of_circuit(&c).unwrap();
+    let d = synth.distance(&target).unwrap();
+    // Fredkin = CNOT · Toffoli · CNOT.
+    assert_eq!(d, 3);
+    let found = synth.circuit_for(&target).unwrap();
+    assert_eq!(Permutation::of_circuit(&found).unwrap(), target);
+}

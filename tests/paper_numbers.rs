@@ -1,0 +1,142 @@
+//! Every number printed in the paper, asserted in one place.
+//!
+//! This is the contract of the reproduction: if a refactor changes any of
+//! these, we are no longer building the DSN 2005 system.
+
+use reversible_ft::core::entropy;
+use reversible_ft::core::prelude::*;
+
+#[test]
+fn section_2_thresholds() {
+    // "we get threshold results of ρ = 1/165 and ρ = 1/108, respectively"
+    assert!((GateBudget::NONLOCAL_WITH_INIT.threshold() - 1.0 / 165.0).abs() < 1e-15);
+    assert!((GateBudget::NONLOCAL_NO_INIT.threshold() - 1.0 / 108.0).abs() < 1e-15);
+    // abstract: "work reliably even if each gate has an error probability
+    // as high as 1/10⁸"… the arXiv abstract's 1/108 — G = 9 case.
+    assert_eq!(GateBudget::NONLOCAL_NO_INIT.ops(), 9);
+    assert_eq!(GateBudget::NONLOCAL_WITH_INIT.ops(), 11);
+}
+
+#[test]
+fn section_2_recovery_op_counts() {
+    // "apply three MAJ⁻¹ gates, and three MAJ gates for a total of eight
+    // gate operations (six if initialization can be assumed…)"
+    assert_eq!(E_WITH_INIT, 8);
+    assert_eq!(E_NO_INIT, 6);
+    let c = recovery_circuit();
+    assert_eq!(c.len(), 8);
+    assert_eq!(c.stats().init_ops(), 2);
+}
+
+#[test]
+fn section_23_blowups() {
+    // Γ_k = (3(G−2))^k and S_k = 9^k.
+    assert_eq!(GateBudget::NONLOCAL_WITH_INIT.gate_blowup(1), 27.0);
+    assert_eq!(GateBudget::NONLOCAL_WITH_INIT.gate_blowup(2), 729.0);
+    assert_eq!(GateBudget::size_blowup(1), 9.0);
+    assert_eq!(GateBudget::size_blowup(4), 6561.0);
+    // "(3(G−2))^L = O((log T)^4.75)" and "≈ (log T)^3.17".
+    assert!((GateBudget::NONLOCAL_WITH_INIT.gate_blowup_exponent() - 4.75).abs() < 0.01);
+    assert!((GateBudget::size_blowup_exponent() - 3.17).abs() < 0.01);
+}
+
+#[test]
+fn section_23_worked_example() {
+    // "if we want to make a module of T = 10⁶, we need L = 2 … rather than
+    // using one gate, we will need to replace each with (3(G−2))² = 441
+    // gates and replace each bit with 3² = 81 bits"
+    let budget = GateBudget::NONLOCAL_NO_INIT;
+    let overhead = budget
+        .module_overhead(budget.threshold() / 10.0, 1e6)
+        .unwrap()
+        .unwrap();
+    assert_eq!(overhead.level, 2);
+    assert_eq!(overhead.gate_factor, 441.0);
+    assert_eq!(overhead.size_factor, 81.0);
+}
+
+#[test]
+fn section_3_local_thresholds() {
+    // "ρ₂ = 1/3C(14,2) = 1/273 and ρ₂ = 1/3C(16,2) = 1/360"
+    assert!((GateBudget::LOCAL_2D_NO_INIT.threshold() - 1.0 / 273.0).abs() < 1e-15);
+    assert!((GateBudget::LOCAL_2D_WITH_INIT.threshold() - 1.0 / 360.0).abs() < 1e-15);
+    // "ρ₁ = 1/3C(40,2) = 1/2340 (or ρ₁ = 1/2109 …)"
+    assert!((GateBudget::LOCAL_1D_WITH_INIT.threshold() - 1.0 / 2340.0).abs() < 1e-15);
+    assert!((GateBudget::LOCAL_1D_NO_INIT.threshold() - 1.0 / 2109.0).abs() < 1e-15);
+    // "approximately 0.4%" for the 2D no-init threshold.
+    assert!((GateBudget::LOCAL_2D_NO_INIT.threshold() - 0.004).abs() < 4e-4);
+}
+
+#[test]
+fn section_33_table_2() {
+    let rows = table2();
+    let paper = [(0u32, 1u32, 0.13), (1, 3, 0.36), (2, 9, 0.60), (3, 27, 0.77), (4, 81, 0.88), (5, 243, 0.94)];
+    for (row, (k, width, ratio)) in rows.iter().zip(paper) {
+        assert_eq!(row.k, k);
+        assert_eq!(row.width, width);
+        assert!((row.ratio - ratio).abs() < 0.005, "k={k}: {:.4} vs {ratio}", row.ratio);
+    }
+    // abstract: "an error threshold only 23% less than the full 2D case".
+    assert!((1.0 - rows[3].ratio - 0.23).abs() < 0.005);
+}
+
+#[test]
+fn section_4_entropy_constants() {
+    // κ = 2√(7/8) + (7/8)log₂7.
+    assert!((entropy::kappa() - 4.327).abs() < 1e-3);
+    // "if g = 10⁻², and E = 11, we have L ≤ 2.3".
+    assert!((entropy::max_level_constant_entropy(1e-2, 11.0) - 2.3).abs() < 0.02);
+    // Footnote 4: NAND at 3/2 bits, optimal, achieved by MAJ⁻¹.
+    let (optimal, _) = entropy::optimal_nand_dissipation();
+    assert!((optimal - 1.5).abs() < 1e-12);
+    assert!((entropy::nand_via_maj_inv().reset_joint_entropy - 1.5).abs() < 1e-12);
+}
+
+#[test]
+fn section_32_one_d_counts() {
+    use reversible_ft::locality::prelude::*;
+    use reversible_ft::revsim::prelude::*;
+    // "The error correction circuit requires six MAJ gates, nine SWAPs …
+    // four SWAP3 gates and one SWAP … a total of 11 gates or 13 gates".
+    let (c, _, _) = build_recovery_1d();
+    assert_eq!(c.len(), E_LOCAL_1D_WITH_INIT);
+    assert_eq!(E_LOCAL_1D_WITH_INIT, 13);
+    assert_eq!(E_LOCAL_1D_NO_INIT, 11);
+    let stats = c.stats();
+    assert_eq!(stats.maj_family(), 6);
+    assert_eq!(stats.count(OpKind::Swap3), 4);
+    assert_eq!(stats.count(OpKind::Swap), 1);
+    // "Interleaving b0 and b1 requires 8 + 7 + 6 SWAPs … b2 requires
+    // 10 + 8 + 6 … a total of 45 SWAPs".
+    let tiles = [Tile1D::new(0), Tile1D::new(9), Tile1D::new(18)];
+    let mut scratch = Circuit::new(27);
+    let (cost, _) = interleave_1d(&mut scratch, &tiles);
+    assert_eq!(cost.per_move, vec![8, 7, 6, 10, 8, 6]);
+    assert_eq!(cost.total_swaps, 45);
+}
+
+#[test]
+fn section_31_two_d_swap_counts() {
+    use reversible_ft::locality::prelude::*;
+    use reversible_ft::revsim::prelude::*;
+    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    // "Interleaving three logical bits parallel to the logical line
+    // requires nine SWAP gates" — 4 SWAP3 + 1 SWAP per direction.
+    let par = build_cycle_2d(&gate, InterleaveScheme::Parallel);
+    assert_eq!(par.circuit.stats().count(OpKind::Swap3), 8);
+    assert_eq!(par.circuit.stats().count(OpKind::Swap), 2);
+    // "Interleaving … perpendicular to the logic line requires 12 SWAP
+    // gates" — 6 SWAP3 per direction.
+    let perp = build_cycle_2d(&gate, InterleaveScheme::Perpendicular);
+    assert_eq!(perp.circuit.stats().count(OpKind::Swap3), 12);
+    assert_eq!(perp.circuit.stats().count(OpKind::Swap), 0);
+}
+
+#[test]
+fn unprotected_module_limit() {
+    // "Without any error correction, modules larger than 1,000 gates will
+    // almost certainly be faulty" at g = ρ/10 ≈ 10⁻³.
+    let g = GateBudget::NONLOCAL_NO_INIT.threshold() / 10.0;
+    let p_fail_1000 = 1.0 - (1.0 - g).powi(1000);
+    assert!(p_fail_1000 > 0.6, "1000-gate module failure prob {p_fail_1000}");
+}
