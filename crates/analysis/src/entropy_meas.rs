@@ -44,7 +44,10 @@ impl ResetEntropyObserver {
 
     /// Per-site entropies, keyed by op index.
     pub fn per_site_bits(&self) -> BTreeMap<usize, f64> {
-        self.histograms.iter().map(|(&i, h)| (i, entropy_of_counts(h))).collect()
+        self.histograms
+            .iter()
+            .map(|(&i, h)| (i, entropy_of_counts(h)))
+            .collect()
     }
 }
 
@@ -132,8 +135,7 @@ mod tests {
         // must erase.
         let mut c = Circuit::new(3);
         c.maj(w(0), w(1), w(2)).init(&[w(0), w(1), w(2)]);
-        let m =
-            measure_reset_entropy(&c, &BitState::zeros(3), &UniformNoise::new(0.5), 4000, 2);
+        let m = measure_reset_entropy(&c, &BitState::zeros(3), &UniformNoise::new(0.5), 4000, 2);
         assert!(m.bits_per_run > 0.5, "measured {}", m.bits_per_run);
         assert!(m.bits_per_run <= 3.0);
     }
@@ -145,14 +147,19 @@ mod tests {
         let mut c = Circuit::new(3);
         c.maj(w(0), w(1), w(2)).init(&[w(0), w(1), w(2)]);
         let m = measure_reset_entropy(&c, &BitState::zeros(3), &UniformNoise::new(1.0), 8000, 3);
-        assert!((m.bits_per_run - 3.0).abs() < 0.05, "measured {}", m.bits_per_run);
+        assert!(
+            (m.bits_per_run - 3.0).abs() < 0.05,
+            "measured {}",
+            m.bits_per_run
+        );
     }
 
     #[test]
     fn entropy_grows_with_fault_rate() {
         let mut c = Circuit::new(3);
         c.maj(w(0), w(1), w(2)).init(&[w(0), w(1), w(2)]);
-        let lo = measure_reset_entropy(&c, &BitState::zeros(3), &UniformNoise::new(0.01), 20_000, 4);
+        let lo =
+            measure_reset_entropy(&c, &BitState::zeros(3), &UniformNoise::new(0.01), 20_000, 4);
         let hi = measure_reset_entropy(&c, &BitState::zeros(3), &UniformNoise::new(0.2), 20_000, 4);
         assert!(lo.bits_per_run < hi.bits_per_run);
     }

@@ -68,8 +68,12 @@ pub fn decomposed_cycle(gate: &Gate) -> CycleSpec {
     let mut logical = Circuit::new(3);
     logical.push(Op::Gate(*gate));
     let perm = Permutation::of_circuit(&logical).expect("3-bit gate");
-    let inputs = (0..3).map(|t| [tile_wire(t, 0), tile_wire(t, 1), tile_wire(t, 2)]).collect();
-    let outputs = (0..3).map(|t| [tile_wire(t, 0), tile_wire(t, 3), tile_wire(t, 6)]).collect();
+    let inputs = (0..3)
+        .map(|t| [tile_wire(t, 0), tile_wire(t, 1), tile_wire(t, 2)])
+        .collect();
+    let outputs = (0..3)
+        .map(|t| [tile_wire(t, 0), tile_wire(t, 3), tile_wire(t, 6)])
+        .collect();
     CycleSpec::new(circuit, inputs, outputs, perm)
 }
 
@@ -99,7 +103,10 @@ pub struct AblationResult {
 
 /// Runs the ablations.
 pub fn run(cfg: &RunConfig) -> AblationResult {
-    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let gate = Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    };
     let probe_g = 1.0 / 165.0;
     let noise = UniformNoise::new(probe_g);
 
@@ -110,7 +117,9 @@ pub fn run(cfg: &RunConfig) -> AblationResult {
 
     // Decomposed MAJ ablation.
     let decomposed = decomposed_cycle(&gate);
-    decomposed.verify_ideal().expect("decomposed cycle must be correct");
+    decomposed
+        .verify_ideal()
+        .expect("decomposed cycle must be correct");
     let sweep_d = decomposed.sweep_single_faults();
     let mc_d = estimate_cycle_error(&decomposed, &noise, cfg.trials, cfg.seed ^ 0xD, cfg.threads);
 
@@ -155,8 +164,8 @@ impl AblationResult {
     /// cycle is FT and beats the decomposed one under noise, and the SWAP3
     /// primitive buys a ≈2.8× threshold factor in 1D.
     pub fn confirms_design(&self) -> bool {
-        let ft_ok = self.rows[0].fault_tolerant == Some(true)
-            && self.rows[1].fault_tolerant == Some(true);
+        let ft_ok =
+            self.rows[0].fault_tolerant == Some(true) && self.rows[1].fault_tolerant == Some(true);
         let mc_ok = match (&self.rows[0].mc, &self.rows[1].mc) {
             (Some(p), Some(d)) => d.failures < 10 || d.rate >= p.rate * 0.9,
             _ => false,
@@ -168,8 +177,17 @@ impl AblationResult {
     /// Prints the ablation table.
     pub fn print(&self) {
         let mut t = Table::new(
-            format!("ablations — design-choice costs (MC probe at g = {})", sci(self.probe_g)),
-            &["variant", "G", "threshold", "1-fault FT", "cycle error @probe"],
+            format!(
+                "ablations — design-choice costs (MC probe at g = {})",
+                sci(self.probe_g)
+            ),
+            &[
+                "variant",
+                "G",
+                "threshold",
+                "1-fault FT",
+                "cycle error @probe",
+            ],
         );
         for r in &self.rows {
             t.row(&[
@@ -224,13 +242,21 @@ mod tests {
 
     #[test]
     fn decomposed_cycle_is_fault_tolerant_but_weaker() {
-        let r = run(&RunConfig { trials: 6000, seed: 3, threads: 4 });
+        let r = run(&RunConfig {
+            trials: 6000,
+            seed: 3,
+            threads: 4,
+        });
         assert!(r.confirms_design(), "{r:#?}");
     }
 
     #[test]
     fn thresholds_quantify_the_primitive_advantage() {
-        let r = run(&RunConfig { trials: 500, seed: 5, threads: 2 });
+        let r = run(&RunConfig {
+            trials: 500,
+            seed: 5,
+            threads: 2,
+        });
         // MAJ primitive buys (23·22)/(11·10) = 4.6× threshold.
         let factor = r.rows[0].threshold / r.rows[1].threshold;
         assert!((factor - 4.6).abs() < 0.01, "factor {factor}");
@@ -238,6 +264,11 @@ mod tests {
 
     #[test]
     fn print_renders() {
-        run(&RunConfig { trials: 300, seed: 7, threads: 2 }).print();
+        run(&RunConfig {
+            trials: 300,
+            seed: 7,
+            threads: 2,
+        })
+        .print();
     }
 }

@@ -79,7 +79,15 @@ impl AdvantageResult {
     pub fn print(&self) {
         let mut t = Table::new(
             "§1/§4 — reversible advantage window (G = 11, E = 8)",
-            &["g", "ρ/g", "L cap (entropy)", "L used", "bits/gate ≥", "max module T", "beats 3/2?"],
+            &[
+                "g",
+                "ρ/g",
+                "L cap (entropy)",
+                "L used",
+                "bits/gate ≥",
+                "max module T",
+                "beats 3/2?",
+            ],
         );
         for p in &self.points {
             t.row(&[
@@ -116,7 +124,7 @@ mod tests {
     fn near_threshold_advantage_is_marginal() {
         let r = run();
         let near = &r.points[0]; // g = ρ/2
-        // Shallow entropy cap near threshold (paper: ~2.3 levels at ρ ~ g).
+                                 // Shallow entropy cap near threshold (paper: ~2.3 levels at ρ ~ g).
         assert!(near.max_entropy_level < 4.0);
     }
 

@@ -46,7 +46,12 @@ pub struct BlowupResult {
 pub fn run() -> BlowupResult {
     let rows = (0..=3u8)
         .map(|level| {
-            let GateCost { ops, wires_per_bit, depth, .. } = measure_gate_cost(level);
+            let GateCost {
+                ops,
+                wires_per_bit,
+                depth,
+                ..
+            } = measure_gate_cost(level);
             BlowupRow {
                 level,
                 measured_ops: ops,
@@ -85,7 +90,15 @@ impl BlowupResult {
     pub fn print(&self) {
         let mut t = Table::new(
             "§2.3 — circuit blow-up (measured vs closed form)",
-            &["L", "ops/gate", "(3·9)^L", "(3·7)^L", "wires/bit", "9^L", "depth"],
+            &[
+                "L",
+                "ops/gate",
+                "(3·9)^L",
+                "(3·7)^L",
+                "wires/bit",
+                "9^L",
+                "depth",
+            ],
         );
         for r in &self.rows {
             t.row(&[

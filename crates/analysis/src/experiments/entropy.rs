@@ -64,7 +64,10 @@ fn program_with_cycles(level: u8, gate: &Gate, cycles: usize) -> rft_core::conca
 /// steady-state per-gate entropy is measured as a difference estimator
 /// between a 1-cycle and a 3-cycle program: `(H₃ − H₁) / 2`.
 pub fn run(cfg: &RunConfig) -> EntropyResult {
-    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let gate = Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    };
     let mut points = Vec::new();
     let rates: [f64; 4] = [1e-4, 1e-3, 1e-2, 5e-2];
     for &level in &[1u8, 2] {
@@ -74,7 +77,12 @@ pub fn run(cfg: &RunConfig) -> EntropyResult {
         let input_long = long.encode(&BitState::zeros(3));
         let ops = short.circuit().len() as f64;
         for &g in &rates {
-            let trials = if level >= 2 { cfg.trials / 8 } else { cfg.trials / 2 }.max(200);
+            let trials = if level >= 2 {
+                cfg.trials / 8
+            } else {
+                cfg.trials / 2
+            }
+            .max(200);
             let seed = cfg.seed ^ g.to_bits() ^ level as u64;
             let noise = UniformNoise::new(g);
             let m_short =
@@ -91,7 +99,11 @@ pub fn run(cfg: &RunConfig) -> EntropyResult {
                 measured_bits,
                 lower: hl_lower(g, 8.0, level as u32),
                 upper: hl_upper(g, g_tilde, level as u32),
-                h1_tight: if level == 1 { h1_upper(g, ops) } else { f64::NAN },
+                h1_tight: if level == 1 {
+                    h1_upper(g, ops)
+                } else {
+                    f64::NAN
+                },
                 heat_300k: landauer_heat_joules(measured_bits, 300.0),
             });
         }
@@ -127,7 +139,14 @@ impl EntropyResult {
         println!("κ = {:.4} (paper ≈ 4.33)", self.kappa);
         let mut t = Table::new(
             "§4 — entropy per FT logical gate: measured vs bounds",
-            &["L", "g", "lower g(3E)^(L−1)", "measured bits", "upper G̃^L·κ·√g", "heat @300K (J)"],
+            &[
+                "L",
+                "g",
+                "lower g(3E)^(L−1)",
+                "measured bits",
+                "upper G̃^L·κ·√g",
+                "heat @300K (J)",
+            ],
         );
         for p in &self.points {
             t.row(&[
@@ -172,8 +191,8 @@ pub fn recovery_entropy(g: f64, trials: u64, seed: u64) -> f64 {
     };
     let noise = UniformNoise::new(g);
     let zero = BitState::zeros(1);
-    let h1 = measure_reset_entropy(one.circuit(), &one.encode(&zero), &noise, trials, seed)
-        .bits_per_run;
+    let h1 =
+        measure_reset_entropy(one.circuit(), &one.encode(&zero), &noise, trials, seed).bits_per_run;
     let h2 = measure_reset_entropy(two.circuit(), &two.encode(&zero), &noise, trials, seed ^ 1)
         .bits_per_run;
     (h2 - h1).max(0.0)
@@ -185,19 +204,31 @@ mod tests {
 
     #[test]
     fn measured_entropy_sits_within_bounds() {
-        let r = run(&RunConfig { trials: 8000, seed: 29, threads: 2 });
+        let r = run(&RunConfig {
+            trials: 8000,
+            seed: 29,
+            threads: 2,
+        });
         assert!(r.within_bounds(), "points: {:#?}", r.points);
     }
 
     #[test]
     fn worked_example_is_2_3() {
-        let r = run(&RunConfig { trials: 400, seed: 31, threads: 2 });
+        let r = run(&RunConfig {
+            trials: 400,
+            seed: 31,
+            threads: 2,
+        });
         assert!((r.worked_max_level - 2.3).abs() < 0.05);
     }
 
     #[test]
     fn entropy_grows_with_level_at_fixed_g() {
-        let r = run(&RunConfig { trials: 8000, seed: 37, threads: 2 });
+        let r = run(&RunConfig {
+            trials: 8000,
+            seed: 37,
+            threads: 2,
+        });
         let l1: Vec<&EntropyPoint> = r.points.iter().filter(|p| p.level == 1).collect();
         let l2: Vec<&EntropyPoint> = r.points.iter().filter(|p| p.level == 2).collect();
         // At the largest g, level 2 dissipates more than level 1.
@@ -215,6 +246,11 @@ mod tests {
 
     #[test]
     fn print_renders() {
-        run(&RunConfig { trials: 400, seed: 43, threads: 2 }).print();
+        run(&RunConfig {
+            trials: 400,
+            seed: 43,
+            threads: 2,
+        })
+        .print();
     }
 }

@@ -63,21 +63,33 @@ pub fn run() -> Fig2Result {
         vec![DATA_OUT],
         Permutation::identity(1),
     );
-    let toffoli = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let toffoli = Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    };
     let cycle_spec = transversal_cycle(&toffoli);
 
     let sweeps = vec![
         summarize("Figure 2 recovery (1 codeword)", &recovery_spec),
-        summarize("§2.2 cycle: transversal Toffoli + 3 recoveries", &cycle_spec),
+        summarize(
+            "§2.2 cycle: transversal Toffoli + 3 recoveries",
+            &cycle_spec,
+        ),
     ];
     let gamma_measured = (1..=3).map(|l| (l, measure_gate_cost(l).ops)).collect();
-    Fig2Result { sweeps, e_ops: (E_WITH_INIT, E_NO_INIT), gamma_measured }
+    Fig2Result {
+        sweeps,
+        e_ops: (E_WITH_INIT, E_NO_INIT),
+        gamma_measured,
+    }
 }
 
 impl Fig2Result {
     /// Whether the paper's FT claims all verified.
     pub fn all_ok(&self) -> bool {
-        self.sweeps.iter().all(|s| s.fault_tolerant && s.double_fault_defeats)
+        self.sweeps
+            .iter()
+            .all(|s| s.fault_tolerant && s.double_fault_defeats)
             && self.e_ops == (8, 6)
     }
 
@@ -85,7 +97,15 @@ impl Fig2Result {
     pub fn print(&self) {
         let mut t = Table::new(
             "Figure 2 — exhaustive single-fault verification",
-            &["circuit", "ops", "plans", "runs", "max err", "1-fault FT", "2 faults defeat"],
+            &[
+                "circuit",
+                "ops",
+                "plans",
+                "runs",
+                "max err",
+                "1-fault FT",
+                "2 faults defeat",
+            ],
         );
         for s in &self.sweeps {
             t.row(&[

@@ -92,7 +92,10 @@ impl LevelReqResult {
     /// Prints the series.
     pub fn print(&self) {
         let mut t = Table::new(
-            format!("Equation 3 — required level & overhead (G = {}, g = ρ/10)", self.budget_ops),
+            format!(
+                "Equation 3 — required level & overhead (G = {}, g = ρ/10)",
+                self.budget_ops
+            ),
             &["T (gates)", "L", "gate ×", "bit ×", "g_L bound"],
         );
         for r in &self.rows {

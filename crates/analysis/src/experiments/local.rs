@@ -67,7 +67,10 @@ pub struct LocalResult {
 
 /// Runs the §3 reproduction with the given Monte-Carlo budget.
 pub fn run(cfg: &RunConfig) -> LocalResult {
-    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let gate = Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    };
     // Probe rates: around the 2D threshold so all three architectures show
     // distinguishable error rates.
     let probes = [1.0 / 1000.0, 1.0 / 273.0, 1.0 / 108.0];
@@ -76,7 +79,16 @@ pub fn run(cfg: &RunConfig) -> LocalResult {
         probes
             .iter()
             .map(|&g| {
-                (g, estimate_cycle_error(spec, &UniformNoise::new(g), cfg.trials, seed ^ g.to_bits(), cfg.threads))
+                (
+                    g,
+                    estimate_cycle_error(
+                        spec,
+                        &UniformNoise::new(g),
+                        cfg.trials,
+                        seed ^ g.to_bits(),
+                        cfg.threads,
+                    ),
+                )
             })
             .collect()
     };
@@ -144,12 +156,36 @@ pub fn run(cfg: &RunConfig) -> LocalResult {
         rep.is_local() && rep.local_bend == 0 && rec2d.stats().swap_family() == 0;
 
     let thresholds = vec![
-        ("non-local, no init".into(), 9, GateBudget::NONLOCAL_NO_INIT.threshold()),
-        ("non-local, with init".into(), 11, GateBudget::NONLOCAL_WITH_INIT.threshold()),
-        ("2D, no init".into(), 14, GateBudget::LOCAL_2D_NO_INIT.threshold()),
-        ("2D, with init".into(), 16, GateBudget::LOCAL_2D_WITH_INIT.threshold()),
-        ("1D, no init".into(), 38, GateBudget::LOCAL_1D_NO_INIT.threshold()),
-        ("1D, with init".into(), 40, GateBudget::LOCAL_1D_WITH_INIT.threshold()),
+        (
+            "non-local, no init".into(),
+            9,
+            GateBudget::NONLOCAL_NO_INIT.threshold(),
+        ),
+        (
+            "non-local, with init".into(),
+            11,
+            GateBudget::NONLOCAL_WITH_INIT.threshold(),
+        ),
+        (
+            "2D, no init".into(),
+            14,
+            GateBudget::LOCAL_2D_NO_INIT.threshold(),
+        ),
+        (
+            "2D, with init".into(),
+            16,
+            GateBudget::LOCAL_2D_WITH_INIT.threshold(),
+        ),
+        (
+            "1D, no init".into(),
+            38,
+            GateBudget::LOCAL_1D_NO_INIT.threshold(),
+        ),
+        (
+            "1D, with init".into(),
+            40,
+            GateBudget::LOCAL_1D_WITH_INIT.threshold(),
+        ),
     ];
 
     // Measured pseudo-thresholds: sweep the single-cycle error of each
@@ -157,7 +193,13 @@ pub fn run(cfg: &RunConfig) -> LocalResult {
     let crossing_for = |spec: &rft_core::ftcheck::CycleSpec, lo: f64, seed: u64| {
         let grid = log_grid(lo, 0.25, 10);
         let points = sweep(&grid, |g| {
-            estimate_cycle_error(spec, &UniformNoise::new(g), cfg.trials, seed ^ g.to_bits(), cfg.threads)
+            estimate_cycle_error(
+                spec,
+                &UniformNoise::new(g),
+                cfg.trials,
+                seed ^ g.to_bits(),
+                cfg.threads,
+            )
         });
         find_crossing(&points, |g| g)
     };
@@ -167,9 +209,7 @@ pub fn run(cfg: &RunConfig) -> LocalResult {
         crossing_for(&spec1d, 5e-4, cfg.seed ^ 0xC2),
     ];
     let semi_empirical_ratio_27 = match (measured_thresholds[1], measured_thresholds[2]) {
-        (Some(rho2), Some(rho1)) if rho1 <= rho2 => {
-            Some(mixed_threshold(rho1, rho2, 3) / rho2)
-        }
+        (Some(rho2), Some(rho1)) if rho1 <= rho2 => Some(mixed_threshold(rho1, rho2, 3) / rho2),
         _ => None,
     };
 
@@ -198,12 +238,16 @@ impl LocalResult {
     /// (1D ≥ 2D ≥ non-local at every probe rate with observed failures).
     pub fn mc_ordering_ok(&self) -> bool {
         let get = |i: usize| &self.archs[i].mc;
-        get(0).iter().zip(get(1)).zip(get(2)).all(|(((_, nl), (_, d2)), (_, d1))| {
-            if nl.failures < 5 || d2.failures < 5 || d1.failures < 5 {
-                return true; // not resolvable at this budget
-            }
-            d1.rate >= d2.rate * 0.7 && d2.rate >= nl.rate * 0.7
-        })
+        get(0)
+            .iter()
+            .zip(get(1))
+            .zip(get(2))
+            .all(|(((_, nl), (_, d2)), (_, d1))| {
+                if nl.failures < 5 || d2.failures < 5 || d1.failures < 5 {
+                    return true; // not resolvable at this budget
+                }
+                d1.rate >= d2.rate * 0.7 && d2.rate >= nl.rate * 0.7
+            })
     }
 
     /// Prints all §3 tables.
@@ -213,7 +257,12 @@ impl LocalResult {
             &["scheme", "G", "ρ = 1/(3·C(G,2))", "1/ρ"],
         );
         for (name, g, rho) in &self.thresholds {
-            t.row(&[name.clone(), g.to_string(), sci(*rho), format!("{:.0}", 1.0 / rho)]);
+            t.row(&[
+                name.clone(),
+                g.to_string(),
+                sci(*rho),
+                format!("{:.0}", 1.0 / rho),
+            ]);
         }
         t.print();
 
@@ -229,7 +278,14 @@ impl LocalResult {
 
         let mut a = Table::new(
             "§3 — cycle audits & exhaustive fault sweeps",
-            &["architecture", "cycle ops", "worst-codeword G", "paper G", "local", "1st-order coeff"],
+            &[
+                "architecture",
+                "cycle ops",
+                "worst-codeword G",
+                "paper G",
+                "local",
+                "1st-order coeff",
+            ],
         );
         for arch in &self.archs {
             a.row(&[
@@ -266,8 +322,11 @@ impl LocalResult {
             GateBudget::LOCAL_2D_WITH_INIT.threshold(),
             GateBudget::LOCAL_1D_WITH_INIT.threshold(),
         ];
-        for ((arch, rho), measured) in
-            self.archs.iter().zip(analytic).zip(&self.measured_thresholds)
+        for ((arch, rho), measured) in self
+            .archs
+            .iter()
+            .zip(analytic)
+            .zip(&self.measured_thresholds)
         {
             mt.row(&[
                 arch.name.clone(),
@@ -294,7 +353,11 @@ mod tests {
 
     #[test]
     fn structure_reproduces_paper() {
-        let r = run(&RunConfig { trials: 1000, seed: 17, threads: 4 });
+        let r = run(&RunConfig {
+            trials: 1000,
+            seed: 17,
+            threads: 4,
+        });
         assert!(r.structure_ok());
         // Non-local and 2D are exactly fault tolerant; 1D is the finding.
         assert_eq!(r.archs[0].first_order, 0.0);
@@ -304,12 +367,21 @@ mod tests {
 
     #[test]
     fn mc_ordering_holds() {
-        let r = run(&RunConfig { trials: 4000, seed: 19, threads: 4 });
+        let r = run(&RunConfig {
+            trials: 4000,
+            seed: 19,
+            threads: 4,
+        });
         assert!(r.mc_ordering_ok());
     }
 
     #[test]
     fn print_renders() {
-        run(&RunConfig { trials: 300, seed: 23, threads: 2 }).print();
+        run(&RunConfig {
+            trials: 300,
+            seed: 23,
+            threads: 2,
+        })
+        .print();
     }
 }

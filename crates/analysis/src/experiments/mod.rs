@@ -48,12 +48,20 @@ pub struct RunConfig {
 impl RunConfig {
     /// Full-fidelity budget for the `repro` binary.
     pub fn full() -> Self {
-        RunConfig { trials: 200_000, seed: 2005, threads: default_threads() }
+        RunConfig {
+            trials: 200_000,
+            seed: 2005,
+            threads: default_threads(),
+        }
     }
 
     /// Reduced budget for integration tests and smoke runs.
     pub fn quick() -> Self {
-        RunConfig { trials: 4_000, seed: 2005, threads: default_threads() }
+        RunConfig {
+            trials: 4_000,
+            seed: 2005,
+            threads: default_threads(),
+        }
     }
 }
 
@@ -64,7 +72,9 @@ impl Default for RunConfig {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 #[cfg(test)]

@@ -46,7 +46,12 @@ impl NandResult {
     pub fn print(&self) {
         let mut t = Table::new(
             "§4 footnote 4 — NAND from reversible gates: bits dissipated per cycle",
-            &["scheme", "joint reset entropy", "marginal sum", "conditional floor"],
+            &[
+                "scheme",
+                "joint reset entropy",
+                "marginal sum",
+                "conditional floor",
+            ],
         );
         for sim in [&self.toffoli, &self.maj_inv] {
             t.row(&[

@@ -38,7 +38,10 @@ pub struct SuppressionResult {
 pub fn run(cfg: &RunConfig) -> SuppressionResult {
     let budget = rft_core::threshold::GateBudget::NONLOCAL_WITH_INIT;
     let rho = budget.threshold();
-    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let gate = Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    };
     let levels: Vec<u8> = vec![0, 1, 2];
     let cycles = 3usize;
     // ρ is only a *lower bound* on the true threshold, so moderate
@@ -54,17 +57,38 @@ pub fn run(cfg: &RunConfig) -> SuppressionResult {
                 .iter()
                 .map(|&level| {
                     // Fewer trials at level 2 (1800 ops per trial).
-                    let trials = if level >= 2 { cfg.trials / 4 } else { cfg.trials }.max(100);
+                    let trials = if level >= 2 {
+                        cfg.trials / 4
+                    } else {
+                        cfg.trials
+                    }
+                    .max(100);
                     let mc = ConcatMc::new(level, gate, cycles);
-                    mc.estimate(&noise, trials, cfg.seed ^ g.to_bits() ^ level as u64, cfg.threads)
+                    mc.estimate(
+                        &noise,
+                        trials,
+                        cfg.seed ^ g.to_bits() ^ level as u64,
+                        cfg.threads,
+                    )
                 })
                 .collect();
             let per_cycle = measured.iter().map(|m| m.per_cycle(cycles)).collect();
             let eq2_bound = levels
                 .iter()
-                .map(|&level| budget.error_at_level(g, level as u32).expect("valid rate").min(1.0))
+                .map(|&level| {
+                    budget
+                        .error_at_level(g, level as u32)
+                        .expect("valid rate")
+                        .min(1.0)
+                })
                 .collect();
-            SuppressionSeries { g, g_over_rho: g / rho, measured, per_cycle, eq2_bound }
+            SuppressionSeries {
+                g,
+                g_over_rho: g / rho,
+                measured,
+                per_cycle,
+                eq2_bound,
+            }
         })
         .collect();
     SuppressionResult { series, levels }
@@ -78,23 +102,31 @@ impl SuppressionResult {
             .iter()
             .filter(|s| s.g_over_rho <= 0.26)
             .all(|s| {
-                s.measured.windows(2).zip(s.per_cycle.windows(2)).all(|(m, p)| {
-                    // Allow level-to-level comparison only when the lower
-                    // level actually observed failures.
-                    m[0].failures == 0 || p[1] <= p[0] * 1.2 + 1e-9
-                })
+                s.measured
+                    .windows(2)
+                    .zip(s.per_cycle.windows(2))
+                    .all(|(m, p)| {
+                        // Allow level-to-level comparison only when the lower
+                        // level actually observed failures.
+                        m[0].failures == 0 || p[1] <= p[0] * 1.2 + 1e-9
+                    })
             })
     }
 
     /// Prints the level table.
     pub fn print(&self) {
         let headers: Vec<String> = std::iter::once("g/ρ".to_string())
-            .chain(self.levels.iter().flat_map(|l| {
-                [format!("L={l} per-cycle"), format!("L={l} Eq.2")]
-            }))
+            .chain(
+                self.levels
+                    .iter()
+                    .flat_map(|l| [format!("L={l} per-cycle"), format!("L={l} Eq.2")]),
+            )
             .collect();
         let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-        let mut t = Table::new("Equation 2 — per-cycle error vs concatenation level", &headers_ref);
+        let mut t = Table::new(
+            "Equation 2 — per-cycle error vs concatenation level",
+            &headers_ref,
+        );
         for s in &self.series {
             let mut row = vec![format!("{:.2}", s.g_over_rho)];
             for (p, b) in s.per_cycle.iter().zip(&s.eq2_bound) {
@@ -113,13 +145,21 @@ mod tests {
 
     #[test]
     fn below_threshold_levels_help() {
-        let r = run(&RunConfig { trials: 3000, seed: 11, threads: 4 });
+        let r = run(&RunConfig {
+            trials: 3000,
+            seed: 11,
+            threads: 4,
+        });
         assert!(r.below_threshold_suppression());
     }
 
     #[test]
     fn far_above_threshold_levels_do_not_help() {
-        let r = run(&RunConfig { trials: 2000, seed: 13, threads: 4 });
+        let r = run(&RunConfig {
+            trials: 2000,
+            seed: 13,
+            threads: 4,
+        });
         let above = r.series.iter().find(|s| s.g_over_rho > 10.0).unwrap();
         // At 16ρ the encoded machine is broken: error rates are large and
         // concatenating deeper makes things worse, not better.
@@ -138,7 +178,11 @@ mod tests {
         // Reproduction nuance: ρ = 1/165 is a *lower bound*; the measured
         // scheme still improves at 2ρ (the true pseudo-threshold is
         // higher). This pins the "thresholds are conservative" claim.
-        let r = run(&RunConfig { trials: 6000, seed: 17, threads: 4 });
+        let r = run(&RunConfig {
+            trials: 6000,
+            seed: 17,
+            threads: 4,
+        });
         let two_rho = r
             .series
             .iter()
@@ -154,6 +198,11 @@ mod tests {
 
     #[test]
     fn print_renders() {
-        run(&RunConfig { trials: 400, seed: 5, threads: 2 }).print();
+        run(&RunConfig {
+            trials: 400,
+            seed: 5,
+            threads: 2,
+        })
+        .print();
     }
 }

@@ -74,14 +74,26 @@ impl Table1Result {
         let yn = |b: bool| if b { "ok" } else { "FAILED" }.to_string();
         checks
             .row(&["matches paper Table 1".into(), yn(self.matches_table_1)])
-            .row(&["first output bit = majority".into(), yn(self.majority_property)])
-            .row(&["Figure 1 decomposition exact".into(), yn(self.decomposition_matches)])
+            .row(&[
+                "first output bit = majority".into(),
+                yn(self.majority_property),
+            ])
+            .row(&[
+                "Figure 1 decomposition exact".into(),
+                yn(self.decomposition_matches),
+            ])
             .row(&["MAJ⁻¹ ∘ MAJ = identity".into(), yn(self.inverse_matches)])
-            .row(&["Figure 5 SWAP3 = two SWAPs".into(), yn(self.swap3_matches_two_swaps)]);
+            .row(&[
+                "Figure 5 SWAP3 = two SWAPs".into(),
+                yn(self.swap3_matches_two_swaps),
+            ]);
         checks.print();
         // Show the MAJ⁻¹ encoder rows too (the property Figure 2 rests on).
         let p = maj_permutation().inverse();
-        let mut enc = Table::new("MAJ⁻¹ on (b,0,0) — repetition encoding", &["Input", "Output"]);
+        let mut enc = Table::new(
+            "MAJ⁻¹ on (b,0,0) — repetition encoding",
+            &["Input", "Output"],
+        );
         for b in [0u64, 1] {
             enc.row(&[format_bits(b, 3), format_bits(p.apply(b), 3)]);
         }

@@ -34,7 +34,12 @@ pub fn run() -> Table2Result {
         GateBudget::LOCAL_2D_WITH_INIT.threshold(),
         5,
     );
-    Table2Result { rows, paper, with_init_rows, max_deviation }
+    Table2Result {
+        rows,
+        paper,
+        with_init_rows,
+        max_deviation,
+    }
 }
 
 impl Table2Result {
@@ -59,7 +64,10 @@ impl Table2Result {
             ]);
         }
         t.print();
-        println!("max |computed − paper| = {:.4} (printed precision 0.005)", self.max_deviation);
+        println!(
+            "max |computed − paper| = {:.4} (printed precision 0.005)",
+            self.max_deviation
+        );
         let mut t2 = Table::new(
             "Table 2 variant — initialization counted (ρ₁ = 1/2340, ρ₂ = 1/360)",
             &["k", "Width", "ρ(k)/ρ₂", "ρ(k)"],

@@ -58,7 +58,10 @@ pub struct ThresholdResult {
 /// Runs the threshold sweep with the given Monte-Carlo budget.
 pub fn run(cfg: &RunConfig) -> ThresholdResult {
     let cycles = 4usize;
-    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let gate = Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    };
     let mc = ConcatMc::new(1, gate, cycles);
 
     let make_series = |name: &str, budget: GateBudget, perfect_init: bool, seed: u64| {
@@ -68,9 +71,19 @@ pub fn run(cfg: &RunConfig) -> ThresholdResult {
         let grid = log_grid(rho / 8.0, rho * 16.0, 12);
         let points_raw = sweep(&grid, |g| {
             if perfect_init {
-                mc.estimate(&SplitNoise::perfect_init(g), cfg.trials, seed ^ g.to_bits(), cfg.threads)
+                mc.estimate(
+                    &SplitNoise::perfect_init(g),
+                    cfg.trials,
+                    seed ^ g.to_bits(),
+                    cfg.threads,
+                )
             } else {
-                mc.estimate(&UniformNoise::new(g), cfg.trials, seed ^ g.to_bits(), cfg.threads)
+                mc.estimate(
+                    &UniformNoise::new(g),
+                    cfg.trials,
+                    seed ^ g.to_bits(),
+                    cfg.threads,
+                )
             }
         });
         let points: Vec<ThresholdPoint> = points_raw
@@ -107,8 +120,18 @@ pub fn run(cfg: &RunConfig) -> ThresholdResult {
     };
 
     let series = vec![
-        make_series("uniform noise (init counted, G = 11)", GateBudget::NONLOCAL_WITH_INIT, false, cfg.seed),
-        make_series("perfect init (G = 9)", GateBudget::NONLOCAL_NO_INIT, true, cfg.seed ^ 0xABCD),
+        make_series(
+            "uniform noise (init counted, G = 11)",
+            GateBudget::NONLOCAL_WITH_INIT,
+            false,
+            cfg.seed,
+        ),
+        make_series(
+            "perfect init (G = 9)",
+            GateBudget::NONLOCAL_NO_INIT,
+            true,
+            cfg.seed ^ 0xABCD,
+        ),
     ];
     ThresholdResult { series, cycles }
 }
@@ -127,8 +150,19 @@ impl ThresholdResult {
     pub fn print(&self) {
         for s in &self.series {
             let mut t = Table::new(
-                format!("§2.2 threshold sweep — {} (ρ = 1/{:.0})", s.name, 1.0 / s.analytic_threshold),
-                &["g", "g/ρ", "logical (per cycle)", "raw CI", "Eq.1 bound", "helps?"],
+                format!(
+                    "§2.2 threshold sweep — {} (ρ = 1/{:.0})",
+                    s.name,
+                    1.0 / s.analytic_threshold
+                ),
+                &[
+                    "g",
+                    "g/ρ",
+                    "logical (per cycle)",
+                    "raw CI",
+                    "Eq.1 bound",
+                    "helps?",
+                ],
             );
             for p in &s.points {
                 t.row(&[
@@ -160,7 +194,11 @@ mod tests {
 
     #[test]
     fn quick_threshold_sweep_is_sane() {
-        let r = run(&RunConfig { trials: 1500, seed: 7, threads: 4 });
+        let r = run(&RunConfig {
+            trials: 1500,
+            seed: 7,
+            threads: 4,
+        });
         assert_eq!(r.series.len(), 2);
         for s in &r.series {
             // Error rates must be monotone-ish: last point (well above ρ)
@@ -181,7 +219,11 @@ mod tests {
 
     #[test]
     fn print_renders() {
-        let r = run(&RunConfig { trials: 500, seed: 3, threads: 2 });
+        let r = run(&RunConfig {
+            trials: 500,
+            seed: 3,
+            threads: 2,
+        });
         r.print();
     }
 }

@@ -27,7 +27,11 @@ pub mod sweep;
 pub mod prelude {
     pub use crate::entropy_meas::{measure_reset_entropy, EntropyMeasurement};
     pub use crate::experiments::RunConfig;
-    pub use crate::montecarlo::{estimate_cycle_error, parallel_failures, unprotected_error, ConcatMc};
+    pub use crate::montecarlo::{
+        estimate_cycle_error, estimate_cycle_error_batch, estimate_cycle_error_scalar,
+        parallel_failure_words, parallel_failures, unprotected_error, ConcatMc,
+        BATCH_TRIAL_THRESHOLD,
+    };
     pub use crate::report::Table;
     pub use crate::stats::{linear_slope, wilson_interval, ErrorEstimate};
     pub use crate::sweep::{find_crossing, log_grid, sweep, SweepPoint};

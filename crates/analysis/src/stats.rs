@@ -27,7 +27,13 @@ impl ErrorEstimate {
         assert!(trials > 0, "need at least one trial");
         assert!(failures <= trials, "more failures than trials");
         let (low, high) = wilson_interval(failures, trials, 1.959964);
-        ErrorEstimate { failures, trials, rate: failures as f64 / trials as f64, low, high }
+        ErrorEstimate {
+            failures,
+            trials,
+            rate: failures as f64 / trials as f64,
+            low,
+            high,
+        }
     }
 
     /// Converts a per-`cycles` failure rate into a per-cycle rate via
@@ -67,7 +73,10 @@ pub fn wilson_interval(successes: u64, n: u64, z: f64) -> (f64, f64) {
     let denom = 1.0 + z2 / n_f;
     let centre = p + z2 / (2.0 * n_f);
     let half = z * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
-    (((centre - half) / denom).max(0.0), ((centre + half) / denom).min(1.0))
+    (
+        ((centre - half) / denom).max(0.0),
+        ((centre + half) / denom).min(1.0),
+    )
 }
 
 /// Least-squares slope of `y` against `x` — used to fit poly-log overhead
@@ -134,7 +143,13 @@ mod tests {
 
     #[test]
     fn per_cycle_saturates_at_one() {
-        let e = ErrorEstimate { failures: 1, trials: 1, rate: 1.0, low: 0.0, high: 1.0 };
+        let e = ErrorEstimate {
+            failures: 1,
+            trials: 1,
+            rate: 1.0,
+            low: 0.0,
+            high: 1.0,
+        };
         assert_eq!(e.per_cycle(5), 1.0);
     }
 

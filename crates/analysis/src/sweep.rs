@@ -34,7 +34,12 @@ pub fn sweep<F>(grid: &[f64], estimator: F) -> Vec<SweepPoint>
 where
     F: Fn(f64) -> ErrorEstimate,
 {
-    grid.iter().map(|&g| SweepPoint { g, estimate: estimator(g) }).collect()
+    grid.iter()
+        .map(|&g| SweepPoint {
+            g,
+            estimate: estimator(g),
+        })
+        .collect()
 }
 
 /// Locates the crossing `p̂(g) = target(g)` by log-linear interpolation
@@ -55,7 +60,11 @@ where
             // Interpolate in ln(g).
             let la = a.g.ln();
             let lb = b.g.ln();
-            let t = if (fb - fa).abs() < 1e-30 { 0.5 } else { -fa / (fb - fa) };
+            let t = if (fb - fa).abs() < 1e-30 {
+                0.5
+            } else {
+                -fa / (fb - fa)
+            };
             return Some((la + t * (lb - la)).exp());
         }
     }
@@ -69,7 +78,10 @@ mod tests {
     fn synthetic_point(g: f64, rate: f64) -> SweepPoint {
         let trials = 1_000_000u64;
         let failures = (rate * trials as f64).round() as u64;
-        SweepPoint { g, estimate: ErrorEstimate::from_counts(failures.max(1), trials) }
+        SweepPoint {
+            g,
+            estimate: ErrorEstimate::from_counts(failures.max(1), trials),
+        }
     }
 
     #[test]
@@ -84,8 +96,10 @@ mod tests {
     fn crossing_of_quadratic_map_is_found() {
         // p(g) = 108 g²; crossing p = g at g* = 1/108.
         let grid = log_grid(1e-4, 5e-2, 24);
-        let points: Vec<SweepPoint> =
-            grid.iter().map(|&g| synthetic_point(g, (108.0 * g * g).min(0.9))).collect();
+        let points: Vec<SweepPoint> = grid
+            .iter()
+            .map(|&g| synthetic_point(g, (108.0 * g * g).min(0.9)))
+            .collect();
         let g_star = find_crossing(&points, |g| g).expect("must cross");
         assert!(
             (g_star - 1.0 / 108.0).abs() / (1.0 / 108.0) < 0.25,
@@ -97,15 +111,16 @@ mod tests {
     fn no_crossing_returns_none() {
         let grid = log_grid(1e-4, 1e-2, 5);
         // Always below target.
-        let points: Vec<SweepPoint> =
-            grid.iter().map(|&g| synthetic_point(g, g * 0.01)).collect();
+        let points: Vec<SweepPoint> = grid.iter().map(|&g| synthetic_point(g, g * 0.01)).collect();
         assert!(find_crossing(&points, |g| g).is_none());
     }
 
     #[test]
     fn sweep_applies_estimator() {
         let grid = [0.1, 0.2];
-        let points = sweep(&grid, |g| ErrorEstimate::from_counts((g * 100.0) as u64, 100));
+        let points = sweep(&grid, |g| {
+            ErrorEstimate::from_counts((g * 100.0) as u64, 100)
+        });
         assert_eq!(points.len(), 2);
         assert_eq!(points[1].estimate.failures, 20);
     }

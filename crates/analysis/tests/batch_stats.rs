@@ -1,0 +1,87 @@
+//! Statistical equivalence of the scalar and batch Monte-Carlo paths.
+//!
+//! The two estimators use different RNG streams, so exact equality is not
+//! expected — instead their Wilson intervals must be consistent, and the
+//! batch path must reproduce the paper's qualitative behaviour (noiseless
+//! perfection, below-threshold suppression).
+
+use rft_analysis::prelude::*;
+use rft_core::ftcheck::transversal_cycle;
+use rft_revsim::prelude::*;
+
+fn toffoli() -> Gate {
+    Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    }
+}
+
+#[test]
+fn batch_estimator_is_deterministic_per_seed() {
+    let mc = ConcatMc::new(1, toffoli(), 1);
+    let noise = UniformNoise::new(0.02);
+    let a = mc.estimate_batch(&noise, 4_000, 9, 4);
+    let b = mc.estimate_batch(&noise, 4_000, 9, 4);
+    assert_eq!(a.failures, b.failures);
+    let c = mc.estimate_batch(&noise, 4_000, 10, 4);
+    assert_ne!((a.failures, a.trials), (c.failures, c.trials + 1), "sanity");
+}
+
+#[test]
+fn scalar_and_batch_agree_on_concat_mc_within_wilson() {
+    // Level-1 Toffoli cycle at a paper-scale rate: generous 95% interval
+    // overlap between the two estimators.
+    let mc = ConcatMc::new(1, toffoli(), 1);
+    for g in [1.0 / 60.0, 1.0 / 165.0] {
+        let noise = UniformNoise::new(g);
+        let scalar = mc.estimate_scalar(&noise, 12_000, 21, 4);
+        let batch = mc.estimate_batch(&noise, 12_000, 22, 4);
+        assert!(
+            batch.low <= scalar.high && scalar.low <= batch.high,
+            "g={g}: batch {batch:?} vs scalar {scalar:?}"
+        );
+    }
+}
+
+#[test]
+fn scalar_and_batch_agree_on_cycle_spec_within_wilson() {
+    let spec = transversal_cycle(&toffoli());
+    let g = 1.0 / 100.0;
+    let noise = UniformNoise::new(g);
+    let scalar = estimate_cycle_error_scalar(&spec, &noise, 12_000, 31, 4);
+    let batch = estimate_cycle_error_batch(&spec, &noise, 12_000, 32, 4);
+    assert!(
+        batch.low <= scalar.high && scalar.low <= batch.high,
+        "batch {batch:?} vs scalar {scalar:?}"
+    );
+}
+
+#[test]
+fn batch_below_threshold_beats_unprotected() {
+    // The headline below-threshold claim must survive the batch rewrite:
+    // at g = ρ/4 the protected cycle beats the 27 unprotected gates.
+    let g = 1.0 / 432.0;
+    let mc = ConcatMc::new(1, toffoli(), 1);
+    let est = mc.estimate_batch(&UniformNoise::new(g), 40_000, 11, 4);
+    let baseline = unprotected_error(g, 27);
+    assert!(
+        est.rate < baseline,
+        "protected {} not below unprotected {}",
+        est.rate,
+        baseline
+    );
+}
+
+#[test]
+fn batch_split_noise_matches_perfect_init_semantics() {
+    // With perfect inits and g on gates only, the estimate must not exceed
+    // the all-ops estimate (statistically: compare interval bounds).
+    let mc = ConcatMc::new(1, toffoli(), 1);
+    let g = 1.0 / 40.0;
+    let all = mc.estimate_batch(&UniformNoise::new(g), 20_000, 5, 4);
+    let split = mc.estimate_batch(&SplitNoise::perfect_init(g), 20_000, 6, 4);
+    assert!(
+        split.low <= all.high,
+        "perfect-init {split:?} should not exceed all-ops {all:?}"
+    );
+}

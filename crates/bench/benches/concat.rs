@@ -8,15 +8,22 @@ use std::hint::black_box;
 fn compile_levels(c: &mut Criterion) {
     let mut group = c.benchmark_group("concat_compile");
     group.sample_size(10);
-    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let gate = Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    };
     for level in 0..=3u8 {
-        group.bench_with_input(BenchmarkId::new("single_gate", level), &level, |b, &level| {
-            b.iter(|| {
-                let mut builder = FtBuilder::new(level, 3);
-                builder.apply(&gate);
-                black_box(builder.finish().circuit().len())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("single_gate", level),
+            &level,
+            |b, &level| {
+                b.iter(|| {
+                    let mut builder = FtBuilder::new(level, 3);
+                    builder.apply(&gate);
+                    black_box(builder.finish().circuit().len())
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -24,7 +31,10 @@ fn compile_levels(c: &mut Criterion) {
 fn run_levels(c: &mut Criterion) {
     let mut group = c.benchmark_group("concat_execute");
     group.sample_size(10);
-    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let gate = Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    };
     for level in 1..=3u8 {
         let mut builder = FtBuilder::new(level, 3);
         builder.apply(&gate);

@@ -14,7 +14,10 @@ fn entropy_benches(c: &mut Criterion) {
     group.bench_function("nand_exhaustive_search", |b| {
         b.iter(|| black_box(optimal_nand_dissipation().0));
     });
-    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let gate = Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    };
     let mut builder = FtBuilder::new(1, 3);
     builder.apply(&gate).apply(&gate);
     let program = builder.finish();

@@ -9,8 +9,20 @@ fn gate_application(c: &mut Criterion) {
     group.sample_size(20);
     let gates: [(&str, Gate); 4] = [
         ("not", Gate::Not(w(0))),
-        ("cnot", Gate::Cnot { control: w(0), target: w(1) }),
-        ("toffoli", Gate::Toffoli { controls: [w(0), w(1)], target: w(2) }),
+        (
+            "cnot",
+            Gate::Cnot {
+                control: w(0),
+                target: w(1),
+            },
+        ),
+        (
+            "toffoli",
+            Gate::Toffoli {
+                controls: [w(0), w(1)],
+                target: w(2),
+            },
+        ),
         ("maj", Gate::Maj(w(0), w(1), w(2))),
     ];
     for (name, gate) in gates {

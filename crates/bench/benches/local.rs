@@ -9,9 +9,18 @@ use std::hint::black_box;
 fn local_cycles(c: &mut Criterion) {
     let mut group = c.benchmark_group("local");
     group.sample_size(10);
-    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let gate = Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    };
     group.bench_function("build_cycle_2d", |b| {
-        b.iter(|| black_box(build_cycle_2d(&gate, InterleaveScheme::Perpendicular).circuit.len()));
+        b.iter(|| {
+            black_box(
+                build_cycle_2d(&gate, InterleaveScheme::Perpendicular)
+                    .circuit
+                    .len(),
+            )
+        });
     });
     group.bench_function("build_cycle_1d", |b| {
         b.iter(|| black_box(build_cycle_1d(&gate).circuit.len()));

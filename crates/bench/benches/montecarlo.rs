@@ -8,7 +8,10 @@ use std::hint::black_box;
 fn mc_trials(c: &mut Criterion) {
     let mut group = c.benchmark_group("montecarlo");
     group.sample_size(10);
-    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let gate = Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    };
     for level in [1u8, 2] {
         let mc = ConcatMc::new(level, gate, 1);
         let noise = UniformNoise::new(1.0 / 165.0);

@@ -26,7 +26,10 @@ fn recovery_cycle(c: &mut Criterion) {
     group.bench_function("exhaustive_single_fault_sweep", |b| {
         b.iter(|| black_box(spec.sweep_single_faults().violations));
     });
-    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let gate = Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    };
     let cycle = transversal_cycle(&gate);
     group.bench_function("cycle_sweep_33_ops", |b| {
         b.iter(|| black_box(cycle.sweep_single_faults().violations));

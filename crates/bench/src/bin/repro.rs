@@ -10,8 +10,8 @@
 //! nand advantage`.
 
 use rft_analysis::experiments::{
-    ablation, advantage, blowup, entropy, fig2, levelreq, local, nand, suppression, table1,
-    table2, threshold, RunConfig,
+    ablation, advantage, blowup, entropy, fig2, levelreq, local, nand, suppression, table1, table2,
+    threshold, RunConfig,
 };
 use std::time::Instant;
 

@@ -38,7 +38,11 @@ impl RepetitionCode {
     ///
     /// Panics if `level > Self::MAX_LEVEL`.
     pub fn new(level: u8) -> Self {
-        assert!(level <= Self::MAX_LEVEL, "level {level} exceeds maximum {}", Self::MAX_LEVEL);
+        assert!(
+            level <= Self::MAX_LEVEL,
+            "level {level} exceeds maximum {}",
+            Self::MAX_LEVEL
+        );
         RepetitionCode { level }
     }
 
@@ -133,7 +137,10 @@ mod tests {
     #[test]
     fn block_lengths_are_powers_of_three() {
         for level in 0..=4u8 {
-            assert_eq!(RepetitionCode::new(level).block_len(), 3usize.pow(level as u32));
+            assert_eq!(
+                RepetitionCode::new(level).block_len(),
+                3usize.pow(level as u32)
+            );
         }
     }
 
@@ -194,7 +201,10 @@ mod tests {
         word[1] = true;
         word[3] = true;
         word[4] = true;
-        assert!(code.decode(&word), "4 concentrated errors must flip the logical bit");
+        assert!(
+            code.decode(&word),
+            "4 concentrated errors must flip the logical bit"
+        );
     }
 
     #[test]
@@ -210,7 +220,10 @@ mod tests {
                     word[i] = true;
                     word[j] = true;
                     word[k] = true;
-                    assert!(!code.decode(&word), "errors at {i},{j},{k} defeated the code");
+                    assert!(
+                        !code.decode(&word),
+                        "errors at {i},{j},{k} defeated the code"
+                    );
                 }
             }
         }
@@ -238,7 +251,10 @@ mod tests {
         state.flip(w(5));
         assert!(code.decode_state(&state, &wires), "single flip tolerated");
         state.flip(w(7));
-        assert!(!code.decode_state(&state, &wires), "double flip decodes wrong");
+        assert!(
+            !code.decode_state(&state, &wires),
+            "double flip decodes wrong"
+        );
     }
 
     #[test]

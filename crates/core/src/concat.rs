@@ -18,6 +18,8 @@
 //! the circuit and can be ignored").
 
 use crate::error::{Error, Result};
+use rft_revsim::batch::kernels::majority3;
+use rft_revsim::batch::BatchState;
 use rft_revsim::circuit::Circuit;
 use rft_revsim::gate::Gate;
 use rft_revsim::op::Op;
@@ -75,8 +77,7 @@ impl DataTree {
         match self {
             DataTree::Leaf(wire) => state.get(*wire),
             DataTree::Block(children) => {
-                let votes =
-                    children.iter().filter(|c| c.decode(state)).count();
+                let votes = children.iter().filter(|c| c.decode(state)).count();
                 votes >= 2
             }
         }
@@ -96,7 +97,36 @@ impl DataTree {
 
     /// Number of physical errors relative to a clean encoding of `bit`.
     pub fn error_weight(&self, state: &BitState, bit: bool) -> u32 {
-        self.leaves().iter().filter(|&&w| state.get(w) != bit).count() as u32
+        self.leaves()
+            .iter()
+            .filter(|&&w| state.get(w) != bit)
+            .count() as u32
+    }
+
+    /// Batch analogue of [`DataTree::decode`]: decodes plane word `word`
+    /// for all 64 lanes at once by bitwise recursive majority.
+    pub fn decode_word(&self, state: &BatchState, word: usize) -> u64 {
+        match self {
+            DataTree::Leaf(wire) => state.word(*wire, word),
+            DataTree::Block(children) => majority3(
+                children[0].decode_word(state, word),
+                children[1].decode_word(state, word),
+                children[2].decode_word(state, word),
+            ),
+        }
+    }
+
+    /// Batch analogue of [`DataTree::encode`]: writes the per-lane logical
+    /// bits `bits` onto every leaf's plane word `word`.
+    pub fn encode_word(&self, state: &mut BatchState, word: usize, bits: u64) {
+        match self {
+            DataTree::Leaf(wire) => state.set_word(*wire, word, bits),
+            DataTree::Block(children) => {
+                for c in children.iter() {
+                    c.encode_word(state, word, bits);
+                }
+            }
+        }
     }
 }
 
@@ -138,7 +168,11 @@ impl FtBuilder {
     ///
     /// Panics if `level > Self::MAX_LEVEL` or `n_logical == 0`.
     pub fn new(level: u8, n_logical: usize) -> Self {
-        assert!(level <= Self::MAX_LEVEL, "level {level} exceeds maximum {}", Self::MAX_LEVEL);
+        assert!(
+            level <= Self::MAX_LEVEL,
+            "level {level} exceeds maximum {}",
+            Self::MAX_LEVEL
+        );
         assert!(n_logical > 0, "need at least one logical wire");
         let tile = 9usize.pow(level as u32);
         let mut builder = FtBuilder {
@@ -154,8 +188,7 @@ impl FtBuilder {
             let root = builder.build_tree(level, (i * tile) as u32);
             builder.roots.push(root);
         }
-        builder.initial_trees =
-            (0..n_logical).map(|i| builder.tree_of_wire(i)).collect();
+        builder.initial_trees = (0..n_logical).map(|i| builder.tree_of_wire(i)).collect();
         builder
     }
 
@@ -172,7 +205,12 @@ impl FtBuilder {
                 *child = self.build_tree(level - 1, base + k as u32 * sub);
             }
         }
-        self.nodes.push(Node { level, base, children, data: [0, 1, 2] });
+        self.nodes.push(Node {
+            level,
+            base,
+            children,
+            data: [0, 1, 2],
+        });
         self.nodes.len() - 1
     }
 
@@ -241,8 +279,11 @@ impl FtBuilder {
             self.circuit.push(Op::Gate(*gate));
             return self;
         }
-        let operands: Vec<NodeId> =
-            support.as_slice().iter().map(|w| self.roots[w.index()]).collect();
+        let operands: Vec<NodeId> = support
+            .as_slice()
+            .iter()
+            .map(|w| self.roots[w.index()])
+            .collect();
         // Canonicalize: rewrite the gate so wire k refers to operands[k]
         // (gate_at instantiates it by remapping slot k to a physical wire).
         let max = support.max_index();
@@ -262,7 +303,10 @@ impl FtBuilder {
     /// Panics if `logical` is out of range, or at level 0 (nothing to
     /// recover).
     pub fn recover(&mut self, logical: usize) -> &mut Self {
-        assert!(logical < self.n_logical, "logical wire {logical} out of range");
+        assert!(
+            logical < self.n_logical,
+            "logical wire {logical} out of range"
+        );
         assert!(self.level > 0, "level-0 circuits have no recovery");
         let root = self.roots[logical];
         self.recover_node(root);
@@ -274,9 +318,7 @@ impl FtBuilder {
     /// `gate`'s wires index into `operands` (wire k → operands[k]).
     fn gate_at(&mut self, gate: &Gate, operands: &[NodeId], recover: bool) {
         let level = self.nodes[operands[0]].level;
-        debug_assert!(operands
-            .iter()
-            .all(|&n| self.nodes[n].level == level));
+        debug_assert!(operands.iter().all(|&n| self.nodes[n].level == level));
         if level == 1 {
             // Transversal physical application on the current code bits.
             for k in 0..3usize {
@@ -335,7 +377,11 @@ impl FtBuilder {
             self.gate_at(&enc, &[child(data[0]), child(anc[0]), child(anc[3])], true);
             self.gate_at(&enc, &[child(data[1]), child(anc[1]), child(anc[4])], true);
             self.gate_at(&enc, &[child(data[2]), child(anc[2]), child(anc[5])], true);
-            self.gate_at(&dec, &[child(data[0]), child(data[1]), child(data[2])], true);
+            self.gate_at(
+                &dec,
+                &[child(data[0]), child(data[1]), child(data[2])],
+                true,
+            );
             self.gate_at(&dec, &[child(anc[0]), child(anc[1]), child(anc[2])], true);
             self.gate_at(&dec, &[child(anc[3]), child(anc[4]), child(anc[5])], true);
         }
@@ -352,7 +398,11 @@ impl FtBuilder {
         if level == 1 {
             for b in bits {
                 let data = self.nodes[b].data;
-                let wires = [self.phys(b, data[0]), self.phys(b, data[1]), self.phys(b, data[2])];
+                let wires = [
+                    self.phys(b, data[0]),
+                    self.phys(b, data[1]),
+                    self.phys(b, data[2]),
+                ];
                 self.circuit.push(Op::init(&wires));
             }
         } else {
@@ -498,9 +548,46 @@ impl FtProgram {
     /// Panics if `physical.len() != self.n_physical()`.
     pub fn decode(&self, physical: &BitState) -> BitState {
         assert_eq!(physical.len(), self.n_physical(), "physical width mismatch");
-        let bits: Vec<bool> =
-            self.final_trees.iter().map(|t| t.decode(physical)).collect();
+        let bits: Vec<bool> = self
+            .final_trees
+            .iter()
+            .map(|t| t.decode(physical))
+            .collect();
         BitState::from_bools(&bits)
+    }
+
+    /// Batch analogue of [`FtProgram::encode`]: encodes 64 logical states
+    /// per plane word. `logical[i]` holds logical wire `i`'s value across
+    /// the lanes of plane word `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical.len() != self.n_logical()` or `word` is out of
+    /// range for `batch`.
+    pub fn encode_word(&self, batch: &mut BatchState, word: usize, logical: &[u64]) {
+        assert_eq!(logical.len(), self.n_logical, "logical width mismatch");
+        for (tree, &bits) in self.initial_trees.iter().zip(logical) {
+            tree.encode_word(batch, word, bits);
+        }
+    }
+
+    /// Batch analogue of [`FtProgram::decode`]: recursive bitwise majority
+    /// over the final data positions. Returns one plane word per logical
+    /// wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch width disagrees with [`FtProgram::n_physical`].
+    pub fn decode_word(&self, batch: &BatchState, word: usize) -> Vec<u64> {
+        assert_eq!(
+            batch.n_wires(),
+            self.n_physical(),
+            "physical width mismatch"
+        );
+        self.final_trees
+            .iter()
+            .map(|t| t.decode_word(batch, word))
+            .collect()
     }
 }
 
@@ -529,7 +616,10 @@ pub struct GateCost {
 /// Panics if `level > FtBuilder::MAX_LEVEL`.
 pub fn measure_gate_cost(level: u8) -> GateCost {
     let mut b = FtBuilder::new(level, 3);
-    b.apply(&Gate::Toffoli { controls: [w(0), w(1)], target: w(2) });
+    b.apply(&Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    });
     let program = b.finish();
     let stats = program.circuit().stats();
     GateCost {
@@ -546,10 +636,12 @@ pub fn measure_gate_cost(level: u8) -> GateCost {
 mod tests {
     use super::*;
     use rft_revsim::permutation::Permutation;
-    
 
     fn toffoli() -> Gate {
-        Gate::Toffoli { controls: [w(0), w(1)], target: w(2) }
+        Gate::Toffoli {
+            controls: [w(0), w(1)],
+            target: w(2),
+        }
     }
 
     #[test]
@@ -713,14 +805,21 @@ mod tests {
     #[test]
     fn two_logical_wires_do_not_interfere() {
         let mut b = FtBuilder::new(1, 2);
-        b.apply(&Gate::Cnot { control: w(0), target: w(1) });
+        b.apply(&Gate::Cnot {
+            control: w(0),
+            target: w(1),
+        });
         let program = b.finish();
         for input in 0..4u64 {
             let mut s = program.encode(&BitState::from_u64(input, 2));
             program.circuit().run(&mut s);
             let expect = {
                 let mut t = BitState::from_u64(input, 2);
-                Gate::Cnot { control: w(0), target: w(1) }.apply(&mut t);
+                Gate::Cnot {
+                    control: w(0),
+                    target: w(1),
+                }
+                .apply(&mut t);
                 t.to_u64()
             };
             assert_eq!(program.decode(&s).to_u64(), expect);

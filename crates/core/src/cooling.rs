@@ -38,7 +38,10 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(maj_bias_boost(1.0), 1.0); // already pure
 /// ```
 pub fn maj_bias_boost(eps: f64) -> f64 {
-    assert!((-1.0..=1.0).contains(&eps), "bias must lie in [-1,1], got {eps}");
+    assert!(
+        (-1.0..=1.0).contains(&eps),
+        "bias must lie in [-1,1], got {eps}"
+    );
     (3.0 * eps - eps * eps * eps) / 2.0
 }
 
@@ -86,7 +89,11 @@ impl CoolingTree {
     ///
     /// Panics if `levels > Self::MAX_LEVELS`.
     pub fn new(levels: u32) -> Self {
-        assert!(levels <= Self::MAX_LEVELS, "depth {levels} exceeds {}", Self::MAX_LEVELS);
+        assert!(
+            levels <= Self::MAX_LEVELS,
+            "depth {levels} exceeds {}",
+            Self::MAX_LEVELS
+        );
         CoolingTree { levels }
     }
 
@@ -123,7 +130,9 @@ impl CoolingTree {
 
     /// Analytic bias of the cold output for inputs of bias `eps`.
     pub fn output_bias(&self, eps: f64) -> f64 {
-        *bias_ladder(eps, self.levels).last().expect("non-empty ladder")
+        *bias_ladder(eps, self.levels)
+            .last()
+            .expect("non-empty ladder")
     }
 }
 

@@ -96,7 +96,10 @@ pub fn hl_upper(g: f64, g_tilde: f64, level: u32) -> f64 {
 ///
 /// Panics if `level == 0` (the bound is stated for encoded gates).
 pub fn hl_lower(g: f64, e_ops: f64, level: u32) -> f64 {
-    assert!(level >= 1, "the lower bound applies to encoded levels L >= 1");
+    assert!(
+        level >= 1,
+        "the lower bound applies to encoded levels L >= 1"
+    );
     g * (3.0 * e_ops).powi(level as i32 - 1)
 }
 
@@ -255,7 +258,8 @@ pub fn optimal_nand_dissipation() -> (f64, usize) {
                     let mut ok = true;
                     let reset: Vec<usize> = (0..3).filter(|&i| i != out_wire).collect();
                     for (a, b) in [(0u64, 0u64), (0, 1), (1, 0), (1, 1)] {
-                        let input = (a << in_wires[0]) | (b << in_wires[1]) | (const_val << const_wire);
+                        let input =
+                            (a << in_wires[0]) | (b << in_wires[1]) | (const_val << const_wire);
                         let out = perm[input as usize];
                         let nand = 1 - (a & b);
                         if (out >> out_wire) & 1 != nand {

@@ -27,13 +27,19 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::UnsupportedLogicalOp => {
-                write!(f, "logical circuit contains an operation the compiler cannot encode")
+                write!(
+                    f,
+                    "logical circuit contains an operation the compiler cannot encode"
+                )
             }
             Error::InvalidRate { value } => {
                 write!(f, "error rate {value} is not a probability")
             }
             Error::DegenerateBudget { ops } => {
-                write!(f, "gate budget of {ops} operations cannot define a threshold")
+                write!(
+                    f,
+                    "gate budget of {ops} operations cannot define a threshold"
+                )
             }
             Error::Revsim(e) => write!(f, "simulator error: {e}"),
         }

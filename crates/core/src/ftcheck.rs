@@ -8,6 +8,8 @@
 //! set, which is feasible because supports have at most three bits
 //! (`2^3 = 8` patterns per op).
 
+use rft_revsim::batch::kernels::majority3;
+use rft_revsim::batch::BatchState;
 use rft_revsim::circuit::Circuit;
 use rft_revsim::exec::run_with_plan;
 use rft_revsim::fault::{double_fault_plans, single_fault_plans, FaultPlan};
@@ -82,7 +84,12 @@ impl CycleSpec {
                 );
             }
         }
-        CycleSpec { circuit, inputs, outputs, logical }
+        CycleSpec {
+            circuit,
+            inputs,
+            outputs,
+            logical,
+        }
     }
 
     /// The physical circuit.
@@ -149,6 +156,37 @@ impl CycleSpec {
         value
     }
 
+    /// Batch analogue of [`CycleSpec::encode_input`]: writes 64 logical
+    /// inputs at once onto plane word `word`. `logical[i]` holds logical
+    /// bit `i`'s value across lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical.len() != self.n_logical()`.
+    pub fn encode_input_word(&self, batch: &mut BatchState, word: usize, logical: &[u64]) {
+        assert_eq!(logical.len(), self.n_logical(), "logical width mismatch");
+        for (block, &bits) in self.inputs.iter().zip(logical) {
+            for &wire in block {
+                batch.set_word(wire, word, bits);
+            }
+        }
+    }
+
+    /// Batch analogue of [`CycleSpec::decode_output`]: bitwise majority per
+    /// output codeword. Returns one plane word per logical bit.
+    pub fn decode_output_word(&self, batch: &BatchState, word: usize) -> Vec<u64> {
+        self.outputs
+            .iter()
+            .map(|block| {
+                majority3(
+                    batch.word(block[0], word),
+                    batch.word(block[1], word),
+                    batch.word(block[2], word),
+                )
+            })
+            .collect()
+    }
+
     /// Checks that without faults the cycle maps every encoded input to the
     /// exactly-encoded ideal output (all output codewords clean).
     pub fn verify_ideal(&self) -> Result<(), String> {
@@ -188,8 +226,11 @@ impl CycleSpec {
                 sweep.runs += 1;
                 let mut state = self.encode_input(input);
                 run_with_plan(&self.circuit, &mut state, &plan);
-                let worst_block =
-                    self.output_errors(input, &state).into_iter().max().unwrap_or(0);
+                let worst_block = self
+                    .output_errors(input, &state)
+                    .into_iter()
+                    .max()
+                    .unwrap_or(0);
                 sweep.max_codeword_error = sweep.max_codeword_error.max(worst_block);
                 if worst_block >= 2 {
                     sweep.violations += 1;
@@ -215,7 +256,11 @@ impl CycleSpec {
             for input in 0..(1u64 << self.n_logical()) {
                 let mut state = self.encode_input(input);
                 run_with_plan(&self.circuit, &mut state, &plan);
-                if self.output_errors(input, &state).into_iter().any(|e| e >= 2) {
+                if self
+                    .output_errors(input, &state)
+                    .into_iter()
+                    .any(|e| e >= 2)
+                {
                     return Some((input, plan));
                 }
             }
@@ -293,13 +338,19 @@ mod tests {
         assert!(sweep.is_fault_tolerant(), "violation: {:?}", sweep.worst);
         assert_eq!(sweep.plans, 8 * 8); // 8 ops, all arity 3
         assert_eq!(sweep.runs, 64 * 2);
-        assert_eq!(sweep.max_codeword_error, 1, "some fault must actually hit an output");
+        assert_eq!(
+            sweep.max_codeword_error, 1,
+            "some fault must actually hit an output"
+        );
     }
 
     #[test]
     fn recovery_double_faults_can_defeat_it() {
         let failure = recovery_spec().find_double_fault_failure();
-        assert!(failure.is_some(), "two faults should be able to corrupt the codeword");
+        assert!(
+            failure.is_some(),
+            "two faults should be able to corrupt the codeword"
+        );
     }
 
     #[test]
@@ -331,19 +382,29 @@ mod tests {
 
     #[test]
     fn transversal_cycle_budget_is_paper_g_11() {
-        let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+        let gate = Gate::Toffoli {
+            controls: [w(0), w(1)],
+            target: w(2),
+        };
         let spec = transversal_cycle(&gate);
         // G = 3 transversal + 8 recovery ops act on each encoded bit's tile.
         assert_eq!(spec.circuit().len(), 3 + 3 * 8);
         for tile in 0..3usize {
             let tile_wires: Vec<Wire> = (0..9u32).map(|q| w((tile * 9) as u32 + q)).collect();
-            assert_eq!(spec.circuit().ops_touching_any(&tile_wires), 11, "tile {tile}");
+            assert_eq!(
+                spec.circuit().ops_touching_any(&tile_wires),
+                11,
+                "tile {tile}"
+            );
         }
     }
 
     #[test]
     fn transversal_cycle_is_correct_and_fault_tolerant() {
-        let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+        let gate = Gate::Toffoli {
+            controls: [w(0), w(1)],
+            target: w(2),
+        };
         let spec = transversal_cycle(&gate);
         spec.verify_ideal().unwrap();
         let sweep = spec.sweep_single_faults();
@@ -377,6 +438,9 @@ mod tests {
         );
         spec.verify_ideal().unwrap();
         let sweep = spec.sweep_single_faults();
-        assert!(!sweep.is_fault_tolerant(), "unprotected cycle should fail the sweep");
+        assert!(
+            !sweep.is_fault_tolerant(),
+            "unprotected cycle should fail the sweep"
+        );
     }
 }

@@ -57,8 +57,8 @@ pub use error::{Error, Result};
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::code::RepetitionCode;
-    pub use crate::cooling::{bias_ladder, maj_bias_boost, CoolingTree};
     pub use crate::concat::{measure_gate_cost, DataTree, FtBuilder, FtProgram, GateCost};
+    pub use crate::cooling::{bias_ladder, maj_bias_boost, CoolingTree};
     pub use crate::ftcheck::{transversal_cycle, CycleSpec, FaultSweep};
     pub use crate::maj::{verify_maj, MajVerification, TABLE_1};
     pub use crate::mixed::{mixed_threshold, table2, Table2Row};

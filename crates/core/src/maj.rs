@@ -42,7 +42,9 @@ pub fn parse_bits(s: &str) -> u64 {
 
 /// Formats a packed value as a `q0 q1 q2 …` bit string of width `n`.
 pub fn format_bits(value: u64, n: usize) -> String {
-    (0..n).map(|i| if (value >> i) & 1 == 1 { '1' } else { '0' }).collect()
+    (0..n)
+        .map(|i| if (value >> i) & 1 == 1 { '1' } else { '0' })
+        .collect()
 }
 
 /// Boolean majority of three bits.
@@ -67,13 +69,17 @@ pub fn maj_inv_circuit() -> Circuit {
 /// Figure 1: `MAJ` decomposed into two CNOTs and one Toffoli.
 pub fn maj_decomposition() -> Circuit {
     let mut c = Circuit::new(3);
-    c.cnot(w(0), w(1)).cnot(w(0), w(2)).toffoli(w(1), w(2), w(0));
+    c.cnot(w(0), w(1))
+        .cnot(w(0), w(2))
+        .toffoli(w(1), w(2), w(0));
     c
 }
 
 /// The inverse of Figure 1: `MAJ⁻¹` as one Toffoli and two CNOTs.
 pub fn maj_inv_decomposition() -> Circuit {
-    maj_decomposition().inverted().expect("gate-only circuit is invertible")
+    maj_decomposition()
+        .inverted()
+        .expect("gate-only circuit is invertible")
 }
 
 /// Appends `MAJ(a, b, c)` as its Figure 1 decomposition onto `circuit`.
@@ -134,7 +140,13 @@ pub fn verify_maj() -> MajVerification {
     let inv = Permutation::of_circuit(&maj_inv_circuit()).expect("3-wire reversible circuit");
     let inverse_matches = p.compose(&inv).is_identity();
 
-    MajVerification { rows, matches_table_1, majority_property, decomposition_matches, inverse_matches }
+    MajVerification {
+        rows,
+        matches_table_1,
+        majority_property,
+        decomposition_matches,
+        inverse_matches,
+    }
 }
 
 #[cfg(test)]

@@ -32,7 +32,10 @@ use serde::{Deserialize, Serialize};
 /// assert!((ratio - 0.77).abs() < 0.005);
 /// ```
 pub fn mixed_threshold(rho1: f64, rho2: f64, k: u32) -> f64 {
-    assert!(rho1 > 0.0 && rho2 >= rho1 && rho2 <= 1.0, "need 0 < rho1 <= rho2 <= 1");
+    assert!(
+        rho1 > 0.0 && rho2 >= rho1 && rho2 <= 1.0,
+        "need 0 < rho1 <= rho2 <= 1"
+    );
     rho2 * (rho1 / rho2).powf(1.0 / 2f64.powi(k as i32))
 }
 
@@ -64,7 +67,12 @@ pub fn table2_for(rho1: f64, rho2: f64, max_k: u32) -> Vec<Table2Row> {
     (0..=max_k)
         .map(|k| {
             let rho_k = mixed_threshold(rho1, rho2, k);
-            Table2Row { k, width: 3u32.pow(k), rho_k, ratio: rho_k / rho2 }
+            Table2Row {
+                k,
+                width: 3u32.pow(k),
+                rho_k,
+                ratio: rho_k / rho2,
+            }
         })
         .collect()
 }

@@ -170,7 +170,9 @@ mod tests {
         // After the MAJ⁻¹ fan-out on a clean codeword, all nine bits carry
         // the logical value (the "should all have the same value" phase).
         let mut c = Circuit::new(TILE_WIDTH);
-        c.maj_inv(w(0), w(3), w(6)).maj_inv(w(1), w(4), w(7)).maj_inv(w(2), w(5), w(8));
+        c.maj_inv(w(0), w(3), w(6))
+            .maj_inv(w(1), w(4), w(7))
+            .maj_inv(w(2), w(5), w(8));
         for b in [false, true] {
             let mut s = BitState::zeros(TILE_WIDTH);
             for q in DATA_IN {
@@ -187,6 +189,9 @@ mod tests {
         // Feed (1,1,1); check q1,q2 hold decode syndromes (zeros here).
         let s = run_recovery([true, true, true], false);
         assert!(s.get(w(0)) && s.get(w(3)) && s.get(w(6)));
-        assert!(!s.get(w(1)) && !s.get(w(2)), "syndrome bits clear for a clean word");
+        assert!(
+            !s.get(w(1)) && !s.get(w(2)),
+            "syndrome bits clear for a clean word"
+        );
     }
 }

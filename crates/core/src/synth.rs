@@ -27,7 +27,9 @@ use std::collections::HashMap;
 
 /// Packs a permutation of `{0..8}` into 24 bits (3 bits per image).
 fn pack(perm: &[u8; 8]) -> u32 {
-    perm.iter().enumerate().fold(0u32, |acc, (i, &v)| acc | ((v as u32) << (3 * i)))
+    perm.iter()
+        .enumerate()
+        .fold(0u32, |acc, (i, &v)| acc | ((v as u32) << (3 * i)))
 }
 
 /// Image of `x` under a packed permutation.
@@ -60,7 +62,10 @@ pub fn placements(kinds: &[rft_revsim::gate::OpKind]) -> Vec<Gate> {
                 for a in wires {
                     for b in wires {
                         if a != b {
-                            gates.push(Gate::Cnot { control: a, target: b });
+                            gates.push(Gate::Cnot {
+                                control: a,
+                                target: b,
+                            });
                         }
                     }
                 }
@@ -180,7 +185,10 @@ impl Synthesizer {
             }
             frontier = next;
         }
-        Synthesizer { generators, parents }
+        Synthesizer {
+            generators,
+            parents,
+        }
     }
 
     /// Number of distinct reachable three-bit functions.
@@ -287,7 +295,11 @@ mod tests {
     fn figure_1_is_an_optimal_maj_decomposition() {
         let synth = universal();
         let circuit = synth.circuit_for(&maj_permutation()).unwrap();
-        assert_eq!(circuit.len(), 3, "MAJ needs exactly 3 gates from {{NOT,CNOT,Toffoli}}");
+        assert_eq!(
+            circuit.len(),
+            3,
+            "MAJ needs exactly 3 gates from {{NOT,CNOT,Toffoli}}"
+        );
         assert_eq!(maj_decomposition().len(), 3);
         // And the synthesized circuit actually computes MAJ.
         let p = Permutation::of_circuit(&circuit).unwrap();

@@ -138,7 +138,9 @@ impl GateBudget {
     pub fn required_level(&self, g: f64, module_gates: f64) -> Result<Option<u32>> {
         check_rate(g)?;
         if module_gates <= 0.0 {
-            return Err(Error::InvalidRate { value: module_gates });
+            return Err(Error::InvalidRate {
+                value: module_gates,
+            });
         }
         let rho = self.threshold();
         if g >= rho {
@@ -288,7 +290,10 @@ mod tests {
         for &g in &[1e-4, 1e-3, 1e-2, 0.05] {
             let exact = b.bit_error_exact(g).unwrap();
             let bound = b.bit_error_bound(g).unwrap();
-            assert!(exact <= bound + 1e-15, "g={g}: exact {exact} > bound {bound}");
+            assert!(
+                exact <= bound + 1e-15,
+                "g={g}: exact {exact} > bound {bound}"
+            );
         }
     }
 
@@ -311,7 +316,10 @@ mod tests {
         for k in 0..5u32 {
             let expect = b.threshold() * 10f64.powf(-(2f64.powi(k as i32)));
             let got = b.error_at_level(g, k).unwrap();
-            assert!((got / expect - 1.0).abs() < 1e-9, "level {k}: {got} vs {expect}");
+            assert!(
+                (got / expect - 1.0).abs() < 1e-9,
+                "level {k}: {got} vs {expect}"
+            );
         }
     }
 
@@ -377,7 +385,10 @@ mod tests {
         let g = b.threshold() / 5.0;
         for t in [1e4, 1e7, 1e10] {
             let l = b.required_level(g, t).unwrap().unwrap();
-            assert!(b.error_at_level(g, l).unwrap() <= 1.0 / t, "level {l} insufficient for T={t}");
+            assert!(
+                b.error_at_level(g, l).unwrap() <= 1.0 / t,
+                "level {l} insufficient for T={t}"
+            );
             if l > 0 {
                 assert!(
                     b.error_at_level(g, l - 1).unwrap() > 1.0 / t,
@@ -391,7 +402,10 @@ mod tests {
     #[test]
     fn budget_validation() {
         assert!(GateBudget::new(2).is_ok());
-        assert!(matches!(GateBudget::new(1), Err(Error::DegenerateBudget { ops: 1 })));
+        assert!(matches!(
+            GateBudget::new(1),
+            Err(Error::DegenerateBudget { ops: 1 })
+        ));
         assert!(matches!(
             GateBudget::NONLOCAL_NO_INIT.logical_error_bound(1.5),
             Err(Error::InvalidRate { .. })
@@ -419,7 +433,11 @@ mod tests {
             );
             // …but stays the same order of magnitude (the relaxations are
             // mild): within a factor of 3.
-            assert!(tight < basic * 3.0, "G = {}: tight {tight} vs {basic}", budget.ops());
+            assert!(
+                tight < basic * 3.0,
+                "G = {}: tight {tight} vs {basic}",
+                budget.ops()
+            );
             // And it is a genuine fixed point of the tight map.
             let at = budget.logical_error_tight(tight).unwrap();
             assert!((at - tight).abs() / tight < 1e-6);

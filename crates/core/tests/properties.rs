@@ -10,18 +10,26 @@ fn arb_logical_gate(n: u32) -> impl Strategy<Value = Gate> {
     let wire = 0..n;
     let distinct3 = (wire.clone(), wire.clone(), wire.clone())
         .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c);
-    let distinct2 =
-        (wire.clone(), wire).prop_filter("distinct", |(a, b)| a != b);
+    let distinct2 = (wire.clone(), wire).prop_filter("distinct", |(a, b)| a != b);
     prop_oneof![
+        distinct3.clone().prop_map(|(a, b, c)| Gate::Toffoli {
+            controls: [w(a), w(b)],
+            target: w(c)
+        }),
         distinct3
             .clone()
-            .prop_map(|(a, b, c)| Gate::Toffoli { controls: [w(a), w(b)], target: w(c) }),
-        distinct3.clone().prop_map(|(a, b, c)| Gate::Maj(w(a), w(b), w(c))),
-        distinct3.clone().prop_map(|(a, b, c)| Gate::MajInv(w(a), w(b), w(c))),
+            .prop_map(|(a, b, c)| Gate::Maj(w(a), w(b), w(c))),
         distinct3
             .clone()
-            .prop_map(|(a, b, c)| Gate::Fredkin { control: w(a), targets: [w(b), w(c)] }),
-        distinct2.clone().prop_map(|(a, b)| Gate::Cnot { control: w(a), target: w(b) }),
+            .prop_map(|(a, b, c)| Gate::MajInv(w(a), w(b), w(c))),
+        distinct3.clone().prop_map(|(a, b, c)| Gate::Fredkin {
+            control: w(a),
+            targets: [w(b), w(c)]
+        }),
+        distinct2.clone().prop_map(|(a, b)| Gate::Cnot {
+            control: w(a),
+            target: w(b)
+        }),
         distinct2.prop_map(|(a, b)| Gate::Swap(w(a), w(b))),
     ]
 }

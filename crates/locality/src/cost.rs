@@ -105,14 +105,21 @@ pub fn audit_transport(circuit: &Circuit, initial: &[Vec<Wire>]) -> TransportAud
         }
     }
 
-    let mut final_positions: Vec<Vec<Wire>> =
-        initial.iter().map(|bits| vec![Wire::new(0); bits.len()]).collect();
+    let mut final_positions: Vec<Vec<Wire>> = initial
+        .iter()
+        .map(|bits| vec![Wire::new(0); bits.len()])
+        .collect();
     for (cell, o) in owner.iter().enumerate() {
         if let Some((cw, b)) = o {
             final_positions[*cw][*b] = Wire::new(cell as u32);
         }
     }
-    TransportAudit { ops_touching, swaps_touching, elementary_swaps: elementary, final_positions }
+    TransportAudit {
+        ops_touching,
+        swaps_touching,
+        elementary_swaps: elementary,
+        final_positions,
+    }
 }
 
 #[cfg(test)]

@@ -45,7 +45,10 @@ impl Lattice {
     /// Panics if `len == 0`.
     pub fn line(len: usize) -> Self {
         assert!(len > 0, "lattice must have at least one cell");
-        Lattice { width: len, height: 1 }
+        Lattice {
+            width: len,
+            height: 1,
+        }
     }
 
     /// A `width × height` grid.
@@ -54,7 +57,10 @@ impl Lattice {
     ///
     /// Panics if either dimension is zero.
     pub fn grid(width: usize, height: usize) -> Self {
-        assert!(width > 0 && height > 0, "lattice must have at least one cell");
+        assert!(
+            width > 0 && height > 0,
+            "lattice must have at least one cell"
+        );
         Lattice { width, height }
     }
 
@@ -84,7 +90,10 @@ impl Lattice {
     ///
     /// Panics if the coordinates are outside the lattice.
     pub fn wire_at(&self, x: usize, y: usize) -> Wire {
-        assert!(x < self.width && y < self.height, "({x},{y}) outside {self:?}");
+        assert!(
+            x < self.width && y < self.height,
+            "({x},{y}) outside {self:?}"
+        );
         w((y * self.width + x) as u32)
     }
 
@@ -274,7 +283,10 @@ mod tests {
     #[test]
     fn single_bit_gates_always_local() {
         let g = Lattice::grid(2, 2);
-        assert_eq!(g.classify(&Op::Gate(Gate::Not(w(3)))), OpLocality::LocalLine);
+        assert_eq!(
+            g.classify(&Op::Gate(Gate::Not(w(3)))),
+            OpLocality::LocalLine
+        );
     }
 
     #[test]

@@ -148,9 +148,16 @@ fn route_bit(circuit: &mut Circuit, from: usize, to: usize, cost: &mut Interleav
 ///
 /// Returns the circuit segment, the cost account, and the positions of the
 /// three transversal triples `(b0_i, b1_i, b2_i)`.
-pub fn interleave_1d(circuit: &mut Circuit, tiles: &[Tile1D; 3]) -> (InterleaveCost1D, [[Wire; 3]; 3]) {
-    let mut cost =
-        InterleaveCost1D { per_move: Vec::new(), total_swaps: 0, swap3_ops: 0, swap_ops: 0 };
+pub fn interleave_1d(
+    circuit: &mut Circuit,
+    tiles: &[Tile1D; 3],
+) -> (InterleaveCost1D, [[Wire; 3]; 3]) {
+    let mut cost = InterleaveCost1D {
+        per_move: Vec::new(),
+        total_swaps: 0,
+        swap3_ops: 0,
+        swap_ops: 0,
+    };
     // Track current cell of every data bit as moves displace bystanders.
     // b1 never moves on its own but shifts when others pass it... on a
     // line, moving a bit from `from` to `to` shifts every cell in between
@@ -162,11 +169,11 @@ pub fn interleave_1d(circuit: &mut Circuit, tiles: &[Tile1D; 3]) -> (InterleaveC
         }
     }
     let do_move = |circuit: &mut Circuit,
-                       cost: &mut InterleaveCost1D,
-                       pos: &mut [[isize; 3]; 3],
-                       cw: usize,
-                       bit: usize,
-                       target: isize| {
+                   cost: &mut InterleaveCost1D,
+                   pos: &mut [[isize; 3]; 3],
+                   cw: usize,
+                   bit: usize,
+                   target: isize| {
         let from = pos[cw][bit];
         let swaps = route_bit(circuit, from as usize, target as usize, cost);
         cost.per_move.push(swaps);
@@ -235,7 +242,12 @@ impl Cycle1D {
         let mut logical = Circuit::new(3);
         logical.push(Op::Gate(*gate));
         let perm = Permutation::of_circuit(&logical).expect("3-bit logical gate");
-        CycleSpec::new(self.circuit.clone(), self.inputs.clone(), self.outputs.clone(), perm)
+        CycleSpec::new(
+            self.circuit.clone(),
+            self.inputs.clone(),
+            self.outputs.clone(),
+            perm,
+        )
     }
 
     /// Transport audit over the full cycle.
@@ -269,8 +281,8 @@ pub fn build_cycle_1d(gate: &Gate) -> Cycle1D {
         c.push(Op::Gate(gate.remap(&triple)));
     }
     // Uninterleave: exact inverse of the interleave segment.
-    let interleave_ops: Vec<Op> = c.ops()[interleave_start..interleave_start + cost.swap3_ops + cost.swap_ops]
-        .to_vec();
+    let interleave_ops: Vec<Op> =
+        c.ops()[interleave_start..interleave_start + cost.swap3_ops + cost.swap_ops].to_vec();
     for op in interleave_ops.iter().rev() {
         match op {
             Op::Gate(g) => {
@@ -309,7 +321,10 @@ mod tests {
     use rft_revsim::prelude::*;
 
     fn toffoli() -> Gate {
-        Gate::Toffoli { controls: [w(0), w(1)], target: w(2) }
+        Gate::Toffoli {
+            controls: [w(0), w(1)],
+            target: w(2),
+        }
     }
 
     #[test]
@@ -439,7 +454,10 @@ mod tests {
             assert!(sw <= 48, "codeword {i}: {sw} swap ops");
         }
         let worst = audit.swaps_touching.iter().max().unwrap();
-        assert!(*worst >= 20, "worst codeword only touched by {worst} swap ops");
+        assert!(
+            *worst >= 20,
+            "worst codeword only touched by {worst} swap ops"
+        );
     }
 
     #[test]

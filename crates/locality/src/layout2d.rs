@@ -138,7 +138,12 @@ impl Cycle2D {
         let mut logical = Circuit::new(3);
         logical.push(Op::Gate(*gate));
         let perm = Permutation::of_circuit(&logical).expect("3-bit logical gate");
-        CycleSpec::new(self.circuit.clone(), self.inputs.clone(), self.outputs.clone(), perm)
+        CycleSpec::new(
+            self.circuit.clone(),
+            self.inputs.clone(),
+            self.outputs.clone(),
+            perm,
+        )
     }
 
     /// Transport audit of the full cycle (per-codeword op touches).
@@ -290,7 +295,9 @@ fn build_parallel(gate: &Gate) -> Cycle2D {
 pub fn build_recovery_row(n_tiles: usize) -> (Circuit, Lattice, Vec<Tile2D>) {
     assert!(n_tiles > 0, "need at least one tile");
     let lattice = Lattice::grid(3 * n_tiles, 3);
-    let tiles: Vec<Tile2D> = (0..n_tiles).map(|t| Tile2D::new(lattice, (3 * t, 0))).collect();
+    let tiles: Vec<Tile2D> = (0..n_tiles)
+        .map(|t| Tile2D::new(lattice, (3 * t, 0)))
+        .collect();
     let mut c = Circuit::new(lattice.n_cells());
     for tile in &tiles {
         tile.push_recovery(&mut c);
@@ -305,7 +312,10 @@ mod tests {
     use rft_revsim::prelude::*;
 
     fn toffoli() -> Gate {
-        Gate::Toffoli { controls: [w(0), w(1)], target: w(2) }
+        Gate::Toffoli {
+            controls: [w(0), w(1)],
+            target: w(2),
+        }
     }
 
     #[test]
@@ -373,9 +383,9 @@ mod tests {
         let stats = cycle.circuit.stats();
         assert_eq!(stats.count(OpKind::Swap3), 8); // 4 in + 4 out
         assert_eq!(stats.count(OpKind::Swap), 2); // 1 in + 1 out
-        // 9 elementary swaps per direction in total across codewords; each
-        // codeword participates in at most 3 SWAP3-equivalents per
-        // direction ("at most six SWAPs on a given logical bit").
+                                                  // 9 elementary swaps per direction in total across codewords; each
+                                                  // codeword participates in at most 3 SWAP3-equivalents per
+                                                  // direction ("at most six SWAPs on a given logical bit").
         let audit = cycle.audit();
         for (i, &sw) in audit.swaps_touching.iter().enumerate() {
             assert!(sw <= 10, "codeword {i} touched by {sw} swap ops round-trip");
@@ -387,7 +397,8 @@ mod tests {
         for scheme in [InterleaveScheme::Perpendicular, InterleaveScheme::Parallel] {
             let cycle = build_cycle_2d(&toffoli(), scheme);
             let spec = cycle.to_cycle_spec(&toffoli());
-            spec.verify_ideal().unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+            spec.verify_ideal()
+                .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
         }
     }
 

@@ -42,13 +42,7 @@ impl RouteStats {
 
 /// Emits adjacent swaps (bundled into SWAP3s) moving the value at `from`
 /// to `to`; records the moves so they can be undone.
-fn gather(
-    c: &mut Circuit,
-    moves: &mut Vec<Gate>,
-    stats: &mut RouteStats,
-    from: usize,
-    to: usize,
-) {
+fn gather(c: &mut Circuit, moves: &mut Vec<Gate>, stats: &mut RouteStats, from: usize, to: usize) {
     let mut pos = from as isize;
     let target = to as isize;
     let step: isize = if target > pos { 1 } else { -1 };
@@ -153,7 +147,6 @@ pub fn route_line(circuit: &Circuit) -> (Circuit, RouteStats) {
 mod tests {
     use super::*;
     use rft_revsim::permutation::Permutation;
-    
 
     #[test]
     fn local_circuits_pass_through() {

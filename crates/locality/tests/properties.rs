@@ -13,11 +13,21 @@ fn arb_gate() -> impl Strategy<Value = Gate> {
         .prop_filter("distinct", |(a, b, c)| a != b && b != c && a != c);
     let d2 = (wire.clone(), wire).prop_filter("distinct", |(a, b)| a != b);
     prop_oneof![
-        d3.clone().prop_map(|(a, b, c)| Gate::Toffoli { controls: [w(a), w(b)], target: w(c) }),
+        d3.clone().prop_map(|(a, b, c)| Gate::Toffoli {
+            controls: [w(a), w(b)],
+            target: w(c)
+        }),
         d3.clone().prop_map(|(a, b, c)| Gate::Maj(w(a), w(b), w(c))),
-        d3.clone().prop_map(|(a, b, c)| Gate::MajInv(w(a), w(b), w(c))),
-        d3.prop_map(|(a, b, c)| Gate::Fredkin { control: w(a), targets: [w(b), w(c)] }),
-        d2.clone().prop_map(|(a, b)| Gate::Cnot { control: w(a), target: w(b) }),
+        d3.clone()
+            .prop_map(|(a, b, c)| Gate::MajInv(w(a), w(b), w(c))),
+        d3.prop_map(|(a, b, c)| Gate::Fredkin {
+            control: w(a),
+            targets: [w(b), w(c)]
+        }),
+        d2.clone().prop_map(|(a, b)| Gate::Cnot {
+            control: w(a),
+            target: w(b)
+        }),
         d2.prop_map(|(a, b)| Gate::Swap(w(a), w(b))),
     ]
 }

@@ -42,12 +42,18 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit on `n_wires` wires.
     pub fn new(n_wires: usize) -> Self {
-        Circuit { n_wires, ops: Vec::new() }
+        Circuit {
+            n_wires,
+            ops: Vec::new(),
+        }
     }
 
     /// Creates an empty circuit with pre-allocated op capacity.
     pub fn with_capacity(n_wires: usize, capacity: usize) -> Self {
-        Circuit { n_wires, ops: Vec::with_capacity(capacity) }
+        Circuit {
+            n_wires,
+            ops: Vec::with_capacity(capacity),
+        }
     }
 
     /// Number of wires.
@@ -79,7 +85,10 @@ impl Circuit {
         let support = op.support();
         for wire in support.as_slice() {
             if wire.index() >= self.n_wires {
-                return Err(Error::WireOutOfRange { wire: *wire, n_wires: self.n_wires });
+                return Err(Error::WireOutOfRange {
+                    wire: *wire,
+                    n_wires: self.n_wires,
+                });
             }
         }
         if !support.is_distinct() {
@@ -132,7 +141,10 @@ impl Circuit {
 
     /// Appends a Toffoli gate (`c0`, `c1` controls). See [`Circuit::push`] for panics.
     pub fn toffoli(&mut self, c0: Wire, c1: Wire, target: Wire) -> &mut Self {
-        self.push(Op::Gate(Gate::Toffoli { controls: [c0, c1], target }))
+        self.push(Op::Gate(Gate::Toffoli {
+            controls: [c0, c1],
+            target,
+        }))
     }
 
     /// Appends a SWAP gate. See [`Circuit::push`] for panics.
@@ -147,7 +159,10 @@ impl Circuit {
 
     /// Appends a Fredkin (controlled-swap) gate. See [`Circuit::push`] for panics.
     pub fn fredkin(&mut self, control: Wire, t0: Wire, t1: Wire) -> &mut Self {
-        self.push(Op::Gate(Gate::Fredkin { control, targets: [t0, t1] }))
+        self.push(Op::Gate(Gate::Fredkin {
+            control,
+            targets: [t0, t1],
+        }))
     }
 
     /// Appends the reversible majority gate MAJ (Table 1). See [`Circuit::push`] for panics.
@@ -172,7 +187,10 @@ impl Circuit {
     /// Returns [`Error::WidthMismatch`] if widths differ.
     pub fn try_extend_from(&mut self, other: &Circuit) -> Result<()> {
         if other.n_wires != self.n_wires {
-            return Err(Error::WidthMismatch { expected: self.n_wires, found: other.n_wires });
+            return Err(Error::WidthMismatch {
+                expected: self.n_wires,
+                found: other.n_wires,
+            });
         }
         self.ops.extend_from_slice(&other.ops);
         Ok(())
@@ -190,7 +208,10 @@ impl Circuit {
     /// wires, and propagates validation errors for remapped operations.
     pub fn try_append_mapped(&mut self, other: &Circuit, map: &[Wire]) -> Result<()> {
         if map.len() < other.n_wires {
-            return Err(Error::WidthMismatch { expected: other.n_wires, found: map.len() });
+            return Err(Error::WidthMismatch {
+                expected: other.n_wires,
+                found: map.len(),
+            });
         }
         for op in &other.ops {
             self.try_push(op.remap(map))?;
@@ -216,7 +237,11 @@ impl Circuit {
     ///
     /// Panics if `state.len() != self.n_wires()`.
     pub fn run(&self, state: &mut BitState) {
-        assert_eq!(state.len(), self.n_wires, "state width must match circuit width");
+        assert_eq!(
+            state.len(),
+            self.n_wires,
+            "state width must match circuit width"
+        );
         for op in &self.ops {
             op.apply(state);
         }
@@ -249,7 +274,10 @@ impl Circuit {
         for op in &self.ops {
             *counts.entry(op.kind()).or_insert(0usize) += 1;
         }
-        CircuitStats { counts, total: self.ops.len() }
+        CircuitStats {
+            counts,
+            total: self.ops.len(),
+        }
     }
 
     /// Number of operations whose support includes `wire`.
@@ -258,7 +286,10 @@ impl Circuit {
     /// fault-tolerant cycle: "there are G = 3 + E operations acting on each
     /// encoded bit" (§2.2).
     pub fn ops_touching(&self, wire: Wire) -> usize {
-        self.ops.iter().filter(|op| op.support().contains(wire)).count()
+        self.ops
+            .iter()
+            .filter(|op| op.support().contains(wire))
+            .count()
     }
 
     /// Number of operations touching *any* of `wires`.
@@ -294,7 +325,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit on {} wires, {} ops:", self.n_wires, self.ops.len())?;
+        writeln!(
+            f,
+            "circuit on {} wires, {} ops:",
+            self.n_wires,
+            self.ops.len()
+        )?;
         for (i, op) in self.ops.iter().enumerate() {
             writeln!(f, "  {i:4}: {op}")?;
         }
@@ -376,7 +412,9 @@ mod tests {
 
     fn maj_decomposition() -> Circuit {
         let mut c = Circuit::new(3);
-        c.cnot(w(0), w(1)).cnot(w(0), w(2)).toffoli(w(1), w(2), w(0));
+        c.cnot(w(0), w(1))
+            .cnot(w(0), w(2))
+            .toffoli(w(1), w(2), w(0));
         c
     }
 
@@ -393,13 +431,24 @@ mod tests {
     fn try_push_rejects_out_of_range() {
         let mut c = Circuit::new(2);
         let err = c.try_push(Op::Gate(Gate::Not(w(2)))).unwrap_err();
-        assert_eq!(err, Error::WireOutOfRange { wire: w(2), n_wires: 2 });
+        assert_eq!(
+            err,
+            Error::WireOutOfRange {
+                wire: w(2),
+                n_wires: 2
+            }
+        );
     }
 
     #[test]
     fn try_push_rejects_duplicate_wires() {
         let mut c = Circuit::new(3);
-        let err = c.try_push(Op::Gate(Gate::Cnot { control: w(1), target: w(1) })).unwrap_err();
+        let err = c
+            .try_push(Op::Gate(Gate::Cnot {
+                control: w(1),
+                target: w(1),
+            }))
+            .unwrap_err();
         assert_eq!(err, Error::DuplicateWire { wire: w(1) });
     }
 
@@ -454,7 +503,10 @@ mod tests {
     #[test]
     fn ops_touching_counts_support_membership() {
         let mut c = Circuit::new(4);
-        c.cnot(w(0), w(1)).cnot(w(1), w(2)).swap(w(2), w(3)).not(w(0));
+        c.cnot(w(0), w(1))
+            .cnot(w(1), w(2))
+            .swap(w(2), w(3))
+            .not(w(0));
         assert_eq!(c.ops_touching(w(0)), 2);
         assert_eq!(c.ops_touching(w(1)), 2);
         assert_eq!(c.ops_touching(w(2)), 2);
@@ -494,7 +546,10 @@ mod tests {
         let b = Circuit::new(4);
         assert_eq!(
             a.try_extend_from(&b).unwrap_err(),
-            Error::WidthMismatch { expected: 3, found: 4 }
+            Error::WidthMismatch {
+                expected: 3,
+                found: 4
+            }
         );
         let c = maj_decomposition();
         a.try_extend_from(&c).unwrap();

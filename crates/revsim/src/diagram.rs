@@ -71,8 +71,18 @@ pub fn render(circuit: &Circuit) -> String {
     let mut layers: Vec<Vec<&Op>> = Vec::new();
     for op in circuit.ops() {
         let support = op.support();
-        let lo = support.as_slice().iter().map(|w| w.index()).min().unwrap_or(0);
-        let hi = support.as_slice().iter().map(|w| w.index()).max().unwrap_or(0);
+        let lo = support
+            .as_slice()
+            .iter()
+            .map(|w| w.index())
+            .min()
+            .unwrap_or(0);
+        let hi = support
+            .as_slice()
+            .iter()
+            .map(|w| w.index())
+            .max()
+            .unwrap_or(0);
         // Resets act per cell: they only block their own wires.
         let span: Vec<usize> = if matches!(op, Op::Gate(_)) {
             (lo..=hi).collect()
@@ -95,8 +105,18 @@ pub fn render(circuit: &Circuit) -> String {
         let mut column: Vec<CellKind> = vec![CellKind::Empty; n];
         for op in layer {
             let support = op.support();
-            let lo = support.as_slice().iter().map(|w| w.index()).min().unwrap_or(0);
-            let hi = support.as_slice().iter().map(|w| w.index()).max().unwrap_or(0);
+            let lo = support
+                .as_slice()
+                .iter()
+                .map(|w| w.index())
+                .min()
+                .unwrap_or(0);
+            let hi = support
+                .as_slice()
+                .iter()
+                .map(|w| w.index())
+                .max()
+                .unwrap_or(0);
             let connected = matches!(op, Op::Gate(_));
             #[allow(clippy::needless_range_loop)] // indexes two structures
             for wire_idx in lo..=hi {
@@ -167,7 +187,9 @@ mod tests {
     #[test]
     fn figure_1_renders_exactly() {
         let mut c = Circuit::new(3);
-        c.cnot(w(0), w(1)).cnot(w(0), w(2)).toffoli(w(1), w(2), w(0));
+        c.cnot(w(0), w(1))
+            .cnot(w(0), w(2))
+            .toffoli(w(1), w(2), w(0));
         let expected = "\
 q0: ──●──●──⊕──
 q1: ──⊕──┼──●──
@@ -205,7 +227,11 @@ q2: ──×──
         let text = render(&c);
         let lines: Vec<&str> = text.lines().collect();
         assert!(lines[0].contains("|0>"));
-        assert!(!lines[1].contains('┼'), "resets draw no connector: {}", lines[1]);
+        assert!(
+            !lines[1].contains('┼'),
+            "resets draw no connector: {}",
+            lines[1]
+        );
         assert!(lines[2].contains("|0>"));
     }
 

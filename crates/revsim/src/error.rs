@@ -49,13 +49,22 @@ impl fmt::Display for Error {
                 write!(f, "operation touches wire {wire} more than once")
             }
             Error::Irreversible => {
-                write!(f, "circuit contains an init operation and cannot be inverted")
+                write!(
+                    f,
+                    "circuit contains an init operation and cannot be inverted"
+                )
             }
             Error::TooManyWires { n_wires, max } => {
-                write!(f, "exhaustive analysis supports at most {max} wires, got {n_wires}")
+                write!(
+                    f,
+                    "exhaustive analysis supports at most {max} wires, got {n_wires}"
+                )
             }
             Error::WidthMismatch { expected, found } => {
-                write!(f, "circuit width mismatch: expected {expected} wires, found {found}")
+                write!(
+                    f,
+                    "circuit width mismatch: expected {expected} wires, found {found}"
+                )
             }
             Error::NotBijective => write!(f, "permutation table is not a bijection"),
         }
@@ -74,9 +83,14 @@ mod tests {
 
     #[test]
     fn errors_display_lowercase_messages() {
-        let e = Error::WireOutOfRange { wire: w(9), n_wires: 4 };
+        let e = Error::WireOutOfRange {
+            wire: w(9),
+            n_wires: 4,
+        };
         assert_eq!(e.to_string(), "wire q9 out of range for a 4-wire circuit");
-        assert!(Error::Irreversible.to_string().contains("cannot be inverted"));
+        assert!(Error::Irreversible
+            .to_string()
+            .contains("cannot be inverted"));
         assert!(Error::NotBijective.to_string().contains("bijection"));
     }
 

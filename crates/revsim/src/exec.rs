@@ -67,7 +67,12 @@ pub fn run_ideal(circuit: &Circuit, state: &mut BitState) {
 /// # Panics
 ///
 /// Panics if the state width does not match the circuit width.
-pub fn run_noisy<N, R>(circuit: &Circuit, state: &mut BitState, noise: &N, rng: &mut R) -> ExecReport
+pub fn run_noisy<N, R>(
+    circuit: &Circuit,
+    state: &mut BitState,
+    noise: &N,
+    rng: &mut R,
+) -> ExecReport
 where
     N: NoiseModel + ?Sized,
     R: Rng + ?Sized,
@@ -92,7 +97,11 @@ where
     N: NoiseModel + ?Sized,
     R: Rng + ?Sized,
 {
-    assert_eq!(state.len(), circuit.n_wires(), "state width must match circuit width");
+    assert_eq!(
+        state.len(),
+        circuit.n_wires(),
+        "state width must match circuit width"
+    );
     let mut report = ExecReport::default();
     for (i, op) in circuit.ops().iter().enumerate() {
         if let Op::Init(init) = op {
@@ -131,8 +140,15 @@ pub fn run_noisy_geometric<R>(
 where
     R: Rng + ?Sized,
 {
-    assert!((0.0..1.0).contains(&g), "geometric execution requires g in [0,1), got {g}");
-    assert_eq!(state.len(), circuit.n_wires(), "state width must match circuit width");
+    assert!(
+        (0.0..1.0).contains(&g),
+        "geometric execution requires g in [0,1), got {g}"
+    );
+    assert_eq!(
+        state.len(),
+        circuit.n_wires(),
+        "state width must match circuit width"
+    );
     let mut report = ExecReport::default();
     let ops = circuit.ops();
     if g == 0.0 {
@@ -179,7 +195,11 @@ fn sample_gap<R: Rng + ?Sized>(rng: &mut R, log1m: f64) -> u64 {
 ///
 /// Panics if the widths mismatch or a planned index is out of range.
 pub fn run_with_plan(circuit: &Circuit, state: &mut BitState, plan: &FaultPlan) {
-    assert_eq!(state.len(), circuit.n_wires(), "state width must match circuit width");
+    assert_eq!(
+        state.len(),
+        circuit.n_wires(),
+        "state width must match circuit width"
+    );
     for fault in plan.faults() {
         assert!(
             fault.op_index < circuit.len(),

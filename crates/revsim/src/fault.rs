@@ -35,7 +35,9 @@ impl FaultPlan {
 
     /// A plan with a single fault.
     pub fn single(op_index: usize, pattern: u8) -> Self {
-        FaultPlan { faults: vec![PlannedFault { op_index, pattern }] }
+        FaultPlan {
+            faults: vec![PlannedFault { op_index, pattern }],
+        }
     }
 
     /// A plan from explicit faults.
@@ -74,7 +76,10 @@ impl FaultPlan {
     /// Pattern for `op_index`, if it is planned to fail.
     #[inline]
     pub fn pattern_for(&self, op_index: usize) -> Option<u8> {
-        self.faults.iter().find(|f| f.op_index == op_index).map(|f| f.pattern)
+        self.faults
+            .iter()
+            .find(|f| f.op_index == op_index)
+            .map(|f| f.pattern)
     }
 }
 
@@ -119,8 +124,14 @@ pub fn double_fault_plans(circuit: &Circuit) -> impl Iterator<Item = FaultPlan> 
             (0..pi).flat_map(move |a| {
                 (0..pj).map(move |b| {
                     FaultPlan::new(vec![
-                        PlannedFault { op_index: i, pattern: a as u8 },
-                        PlannedFault { op_index: j, pattern: b as u8 },
+                        PlannedFault {
+                            op_index: i,
+                            pattern: a as u8,
+                        },
+                        PlannedFault {
+                            op_index: j,
+                            pattern: b as u8,
+                        },
                     ])
                 })
             })
@@ -182,17 +193,31 @@ mod tests {
     #[should_panic(expected = "two faults target op")]
     fn plan_rejects_duplicate_targets() {
         let _ = FaultPlan::new(vec![
-            PlannedFault { op_index: 1, pattern: 0 },
-            PlannedFault { op_index: 1, pattern: 1 },
+            PlannedFault {
+                op_index: 1,
+                pattern: 0,
+            },
+            PlannedFault {
+                op_index: 1,
+                pattern: 1,
+            },
         ]);
     }
 
     #[test]
     fn collect_plan_from_iterator() {
-        let plan: FaultPlan =
-            [PlannedFault { op_index: 0, pattern: 1 }, PlannedFault { op_index: 2, pattern: 3 }]
-                .into_iter()
-                .collect();
+        let plan: FaultPlan = [
+            PlannedFault {
+                op_index: 0,
+                pattern: 1,
+            },
+            PlannedFault {
+                op_index: 2,
+                pattern: 3,
+            },
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(plan.len(), 2);
     }
 }

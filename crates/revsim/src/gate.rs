@@ -75,9 +75,7 @@ pub enum Gate {
 }
 
 /// Discriminant of a [`Gate`] (or ancilla reset), used for op accounting.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum OpKind {
     /// Single-bit inversion.
     Not,
@@ -146,7 +144,10 @@ impl Gate {
                     state.flip(target);
                 }
             }
-            Gate::Toffoli { controls: [c0, c1], target } => {
+            Gate::Toffoli {
+                controls: [c0, c1],
+                target,
+            } => {
                 if state.get(c0) && state.get(c1) {
                     state.flip(target);
                 }
@@ -156,7 +157,10 @@ impl Gate {
                 state.swap_wires(a, b);
                 state.swap_wires(b, c);
             }
-            Gate::Fredkin { control, targets: [t0, t1] } => {
+            Gate::Fredkin {
+                control,
+                targets: [t0, t1],
+            } => {
                 if state.get(control) {
                     state.swap_wires(t0, t1);
                 }
@@ -188,10 +192,16 @@ impl Gate {
         match *self {
             Gate::Not(a) => Support::one(a),
             Gate::Cnot { control, target } => Support::two(control, target),
-            Gate::Toffoli { controls: [c0, c1], target } => Support::three(c0, c1, target),
+            Gate::Toffoli {
+                controls: [c0, c1],
+                target,
+            } => Support::three(c0, c1, target),
             Gate::Swap(a, b) => Support::two(a, b),
             Gate::Swap3(a, b, c) => Support::three(a, b, c),
-            Gate::Fredkin { control, targets: [t0, t1] } => Support::three(control, t0, t1),
+            Gate::Fredkin {
+                control,
+                targets: [t0, t1],
+            } => Support::three(control, t0, t1),
             Gate::Maj(a, b, c) => Support::three(a, b, c),
             Gate::MajInv(a, b, c) => Support::three(a, b, c),
         }
@@ -237,15 +247,26 @@ impl Gate {
         let f = |w: Wire| w.offset(offset);
         match *self {
             Gate::Not(a) => Gate::Not(f(a)),
-            Gate::Cnot { control, target } => Gate::Cnot { control: f(control), target: f(target) },
-            Gate::Toffoli { controls: [c0, c1], target } => {
-                Gate::Toffoli { controls: [f(c0), f(c1)], target: f(target) }
-            }
+            Gate::Cnot { control, target } => Gate::Cnot {
+                control: f(control),
+                target: f(target),
+            },
+            Gate::Toffoli {
+                controls: [c0, c1],
+                target,
+            } => Gate::Toffoli {
+                controls: [f(c0), f(c1)],
+                target: f(target),
+            },
             Gate::Swap(a, b) => Gate::Swap(f(a), f(b)),
             Gate::Swap3(a, b, c) => Gate::Swap3(f(a), f(b), f(c)),
-            Gate::Fredkin { control, targets: [t0, t1] } => {
-                Gate::Fredkin { control: f(control), targets: [f(t0), f(t1)] }
-            }
+            Gate::Fredkin {
+                control,
+                targets: [t0, t1],
+            } => Gate::Fredkin {
+                control: f(control),
+                targets: [f(t0), f(t1)],
+            },
             Gate::Maj(a, b, c) => Gate::Maj(f(a), f(b), f(c)),
             Gate::MajInv(a, b, c) => Gate::MajInv(f(a), f(b), f(c)),
         }
@@ -260,15 +281,26 @@ impl Gate {
         let f = |w: Wire| map[w.index()];
         match *self {
             Gate::Not(a) => Gate::Not(f(a)),
-            Gate::Cnot { control, target } => Gate::Cnot { control: f(control), target: f(target) },
-            Gate::Toffoli { controls: [c0, c1], target } => {
-                Gate::Toffoli { controls: [f(c0), f(c1)], target: f(target) }
-            }
+            Gate::Cnot { control, target } => Gate::Cnot {
+                control: f(control),
+                target: f(target),
+            },
+            Gate::Toffoli {
+                controls: [c0, c1],
+                target,
+            } => Gate::Toffoli {
+                controls: [f(c0), f(c1)],
+                target: f(target),
+            },
             Gate::Swap(a, b) => Gate::Swap(f(a), f(b)),
             Gate::Swap3(a, b, c) => Gate::Swap3(f(a), f(b), f(c)),
-            Gate::Fredkin { control, targets: [t0, t1] } => {
-                Gate::Fredkin { control: f(control), targets: [f(t0), f(t1)] }
-            }
+            Gate::Fredkin {
+                control,
+                targets: [t0, t1],
+            } => Gate::Fredkin {
+                control: f(control),
+                targets: [f(t0), f(t1)],
+            },
             Gate::Maj(a, b, c) => Gate::Maj(f(a), f(b), f(c)),
             Gate::MajInv(a, b, c) => Gate::MajInv(f(a), f(b), f(c)),
         }
@@ -314,13 +346,22 @@ mod tests {
     #[test]
     fn cnot_truth_table() {
         // wire0 = control, wire1 = target; index = q1 q0 little-endian.
-        let t = table(Gate::Cnot { control: w(0), target: w(1) }, 2);
+        let t = table(
+            Gate::Cnot {
+                control: w(0),
+                target: w(1),
+            },
+            2,
+        );
         assert_eq!(t, vec![0b00, 0b11, 0b10, 0b01]);
     }
 
     #[test]
     fn toffoli_truth_table() {
-        let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+        let gate = Gate::Toffoli {
+            controls: [w(0), w(1)],
+            target: w(2),
+        };
         let t = table(gate, 3);
         // Only inputs with q0=q1=1 flip q2.
         assert_eq!(t[0b011], 0b111);
@@ -361,7 +402,10 @@ mod tests {
 
     #[test]
     fn fredkin_swaps_only_when_control_set() {
-        let gate = Gate::Fredkin { control: w(0), targets: [w(1), w(2)] };
+        let gate = Gate::Fredkin {
+            control: w(0),
+            targets: [w(1), w(2)],
+        };
         let t = table(gate, 3);
         assert_eq!(t[0b010], 0b010); // control 0: unchanged
         assert_eq!(t[0b011], 0b101); // control 1: targets swap
@@ -373,7 +417,10 @@ mod tests {
     fn fredkin_conserves_ones() {
         // Conservative logic (Fredkin & Toffoli 1982): the number of 1s is
         // preserved.
-        let gate = Gate::Fredkin { control: w(0), targets: [w(1), w(2)] };
+        let gate = Gate::Fredkin {
+            control: w(0),
+            targets: [w(1), w(2)],
+        };
         for (input, output) in table(gate, 3).into_iter().enumerate() {
             assert_eq!((input as u64).count_ones(), output.count_ones());
         }
@@ -383,8 +430,11 @@ mod tests {
     fn maj_matches_paper_table_1() {
         // Table 1 lists rows as bit-strings q0 q1 q2. Our u64 packing is
         // little-endian (q0 = bit 0), so the string "011" is value 0b110.
-        let string_to_u64 =
-            |s: &str| s.bytes().enumerate().fold(0u64, |acc, (i, b)| acc | (((b - b'0') as u64) << i));
+        let string_to_u64 = |s: &str| {
+            s.bytes()
+                .enumerate()
+                .fold(0u64, |acc, (i, b)| acc | (((b - b'0') as u64) << i))
+        };
         let rows = [
             ("000", "000"),
             ("001", "001"),
@@ -440,11 +490,20 @@ mod tests {
     fn all_gates_are_bijections() {
         let gates = [
             Gate::Not(w(0)),
-            Gate::Cnot { control: w(0), target: w(1) },
-            Gate::Toffoli { controls: [w(0), w(1)], target: w(2) },
+            Gate::Cnot {
+                control: w(0),
+                target: w(1),
+            },
+            Gate::Toffoli {
+                controls: [w(0), w(1)],
+                target: w(2),
+            },
             Gate::Swap(w(0), w(1)),
             Gate::Swap3(w(0), w(1), w(2)),
-            Gate::Fredkin { control: w(0), targets: [w(1), w(2)] },
+            Gate::Fredkin {
+                control: w(0),
+                targets: [w(1), w(2)],
+            },
             Gate::Maj(w(0), w(1), w(2)),
             Gate::MajInv(w(0), w(1), w(2)),
         ];
@@ -462,11 +521,20 @@ mod tests {
     fn inverses_cancel() {
         let gates = [
             Gate::Not(w(0)),
-            Gate::Cnot { control: w(0), target: w(1) },
-            Gate::Toffoli { controls: [w(0), w(1)], target: w(2) },
+            Gate::Cnot {
+                control: w(0),
+                target: w(1),
+            },
+            Gate::Toffoli {
+                controls: [w(0), w(1)],
+                target: w(2),
+            },
             Gate::Swap(w(0), w(1)),
             Gate::Swap3(w(0), w(1), w(2)),
-            Gate::Fredkin { control: w(0), targets: [w(1), w(2)] },
+            Gate::Fredkin {
+                control: w(0),
+                targets: [w(1), w(2)],
+            },
             Gate::Maj(w(0), w(1), w(2)),
             Gate::MajInv(w(0), w(1), w(2)),
         ];
@@ -490,7 +558,10 @@ mod tests {
 
     #[test]
     fn offset_shifts_every_wire() {
-        let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+        let gate = Gate::Toffoli {
+            controls: [w(0), w(1)],
+            target: w(2),
+        };
         let shifted = gate.offset(10);
         assert_eq!(shifted.support().as_slice(), &[w(10), w(11), w(12)]);
         assert_eq!(shifted.kind(), OpKind::Toffoli);
@@ -498,7 +569,10 @@ mod tests {
 
     #[test]
     fn remap_translates_wires() {
-        let gate = Gate::Cnot { control: w(0), target: w(1) };
+        let gate = Gate::Cnot {
+            control: w(0),
+            target: w(1),
+        };
         let remapped = gate.remap(&[w(7), w(3)]);
         assert_eq!(remapped.support().as_slice(), &[w(7), w(3)]);
     }

@@ -20,6 +20,9 @@
 //!   randomizes its support with probability *g*;
 //! - executors ([`exec`]) for ideal, Monte-Carlo and planned-fault runs,
 //!   including a geometric fast path for small *g*;
+//! - a bit-parallel batch engine ([`batch`]) running 64 independent trials
+//!   per machine word with branch-free gate kernels and exact batched
+//!   fault sampling — the substrate of the Monte-Carlo measurement layer;
 //! - exhaustive fault enumeration ([`fault`]) used to *prove* (not sample)
 //!   the single-fault tolerance of recovery circuits.
 //!
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod circuit;
 pub mod diagram;
 mod error;
@@ -59,6 +63,10 @@ pub use error::{Error, Result};
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
+    pub use crate::batch::{
+        run_ideal_batch, run_noisy_batch, run_noisy_batch_with, BatchExecReport, BatchState,
+        CompiledNoise,
+    };
     pub use crate::circuit::{Circuit, CircuitStats};
     pub use crate::diagram::render;
     pub use crate::exec::{

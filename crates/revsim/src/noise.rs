@@ -49,7 +49,10 @@ impl UniformNoise {
     ///
     /// Panics if `g` is not in `[0, 1]`.
     pub fn new(g: f64) -> Self {
-        assert!((0.0..=1.0).contains(&g), "failure probability must be in [0,1], got {g}");
+        assert!(
+            (0.0..=1.0).contains(&g),
+            "failure probability must be in [0,1], got {g}"
+        );
         UniformNoise { g }
     }
 
@@ -87,8 +90,14 @@ impl SplitNoise {
     ///
     /// Panics if either rate is not in `[0, 1]`.
     pub fn new(gate: f64, init: f64) -> Self {
-        assert!((0.0..=1.0).contains(&gate), "gate rate must be in [0,1], got {gate}");
-        assert!((0.0..=1.0).contains(&init), "init rate must be in [0,1], got {init}");
+        assert!(
+            (0.0..=1.0).contains(&gate),
+            "gate rate must be in [0,1], got {gate}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&init),
+            "init rate must be in [0,1], got {init}"
+        );
         SplitNoise { gate, init }
     }
 

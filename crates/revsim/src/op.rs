@@ -59,7 +59,10 @@ impl InitOp {
         );
         let mut arr = [wires[0]; 3];
         arr[..wires.len()].copy_from_slice(wires);
-        InitOp { wires: arr, len: wires.len() as u8 }
+        InitOp {
+            wires: arr,
+            len: wires.len() as u8,
+        }
     }
 
     /// The wires that are reset.
@@ -207,7 +210,10 @@ mod tests {
 
     #[test]
     fn gate_op_delegates() {
-        let op = Op::from(Gate::Cnot { control: w(0), target: w(1) });
+        let op = Op::from(Gate::Cnot {
+            control: w(0),
+            target: w(1),
+        });
         assert_eq!(op.kind(), OpKind::Cnot);
         assert!(op.is_reversible());
         assert!(op.as_gate().is_some());

@@ -45,7 +45,10 @@ impl Permutation {
     pub fn of_circuit(circuit: &Circuit) -> Result<Permutation> {
         let n = circuit.n_wires();
         if n > MAX_WIRES {
-            return Err(Error::TooManyWires { n_wires: n, max: MAX_WIRES });
+            return Err(Error::TooManyWires {
+                n_wires: n,
+                max: MAX_WIRES,
+            });
         }
         if !circuit.is_reversible() {
             return Err(Error::Irreversible);
@@ -83,7 +86,10 @@ impl Permutation {
 
     /// The identity permutation on `n_bits` bits.
     pub fn identity(n_bits: usize) -> Permutation {
-        Permutation { n_bits, map: (0..(1u64 << n_bits)).collect() }
+        Permutation {
+            n_bits,
+            map: (0..(1u64 << n_bits)).collect(),
+        }
     }
 
     /// Number of bits.
@@ -111,9 +117,15 @@ impl Permutation {
     ///
     /// Panics if bit widths differ.
     pub fn compose(&self, other: &Permutation) -> Permutation {
-        assert_eq!(self.n_bits, other.n_bits, "composing permutations of different widths");
+        assert_eq!(
+            self.n_bits, other.n_bits,
+            "composing permutations of different widths"
+        );
         let map = self.map.iter().map(|&v| other.map[v as usize]).collect();
-        Permutation { n_bits: self.n_bits, map }
+        Permutation {
+            n_bits: self.n_bits,
+            map,
+        }
     }
 
     /// Returns the inverse permutation.
@@ -122,7 +134,10 @@ impl Permutation {
         for (i, &v) in self.map.iter().enumerate() {
             map[v as usize] = i as u64;
         }
-        Permutation { n_bits: self.n_bits, map }
+        Permutation {
+            n_bits: self.n_bits,
+            map,
+        }
     }
 
     /// Iterates over `(input, output)` rows — a truth table.
@@ -162,7 +177,10 @@ mod tests {
         let c = Circuit::new(MAX_WIRES + 1);
         assert!(matches!(
             Permutation::of_circuit(&c),
-            Err(Error::TooManyWires { n_wires: 21, max: MAX_WIRES })
+            Err(Error::TooManyWires {
+                n_wires: 21,
+                max: MAX_WIRES
+            })
         ));
     }
 
@@ -170,7 +188,10 @@ mod tests {
     fn rejects_irreversible_circuits() {
         let mut c = Circuit::new(3);
         c.init(&[w(0)]);
-        assert_eq!(Permutation::of_circuit(&c).unwrap_err(), Error::Irreversible);
+        assert_eq!(
+            Permutation::of_circuit(&c).unwrap_err(),
+            Error::Irreversible
+        );
     }
 
     #[test]
@@ -190,9 +211,18 @@ mod tests {
 
     #[test]
     fn from_map_rejects_non_bijections() {
-        assert_eq!(Permutation::from_map(2, vec![0, 0, 1, 2]).unwrap_err(), Error::NotBijective);
-        assert_eq!(Permutation::from_map(2, vec![0, 1, 2]).unwrap_err(), Error::NotBijective);
-        assert_eq!(Permutation::from_map(1, vec![0, 2]).unwrap_err(), Error::NotBijective);
+        assert_eq!(
+            Permutation::from_map(2, vec![0, 0, 1, 2]).unwrap_err(),
+            Error::NotBijective
+        );
+        assert_eq!(
+            Permutation::from_map(2, vec![0, 1, 2]).unwrap_err(),
+            Error::NotBijective
+        );
+        assert_eq!(
+            Permutation::from_map(1, vec![0, 2]).unwrap_err(),
+            Error::NotBijective
+        );
     }
 
     #[test]

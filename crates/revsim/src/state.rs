@@ -31,7 +31,10 @@ pub struct BitState {
 impl BitState {
     /// Creates an all-zero state of `len` bits.
     pub fn zeros(len: usize) -> Self {
-        BitState { words: vec![0; len.div_ceil(64)], len }
+        BitState {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Creates a state from a slice of booleans (`bits[i]` → wire `i`).
@@ -84,7 +87,11 @@ impl BitState {
     #[inline]
     pub fn get(&self, wire: Wire) -> bool {
         let i = wire.index();
-        assert!(i < self.len, "wire {wire} out of range for {}-bit state", self.len);
+        assert!(
+            i < self.len,
+            "wire {wire} out of range for {}-bit state",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
@@ -96,7 +103,11 @@ impl BitState {
     #[inline]
     pub fn set(&mut self, wire: Wire, value: bool) {
         let i = wire.index();
-        assert!(i < self.len, "wire {wire} out of range for {}-bit state", self.len);
+        assert!(
+            i < self.len,
+            "wire {wire} out of range for {}-bit state",
+            self.len
+        );
         let mask = 1u64 << (i % 64);
         if value {
             self.words[i / 64] |= mask;
@@ -113,7 +124,11 @@ impl BitState {
     #[inline]
     pub fn flip(&mut self, wire: Wire) {
         let i = wire.index();
-        assert!(i < self.len, "wire {wire} out of range for {}-bit state", self.len);
+        assert!(
+            i < self.len,
+            "wire {wire} out of range for {}-bit state",
+            self.len
+        );
         self.words[i / 64] ^= 1u64 << (i % 64);
     }
 
@@ -167,7 +182,11 @@ impl BitState {
     /// Panics if the state is wider than 64 bits.
     pub fn to_u64(&self) -> u64 {
         assert!(self.len <= 64, "state too wide for u64: {} bits", self.len);
-        if self.len == 0 { 0 } else { self.words[0] }
+        if self.len == 0 {
+            0
+        } else {
+            self.words[0]
+        }
     }
 
     /// Number of set bits.
@@ -181,7 +200,10 @@ impl BitState {
     ///
     /// Panics if the lengths differ.
     pub fn hamming_distance(&self, other: &BitState) -> u32 {
-        assert_eq!(self.len, other.len, "hamming distance requires equal lengths");
+        assert_eq!(
+            self.len, other.len,
+            "hamming distance requires equal lengths"
+        );
         self.words
             .iter()
             .zip(other.words.iter())

@@ -115,19 +115,28 @@ impl Support {
     /// Support of a single-wire operation.
     #[inline]
     pub const fn one(a: Wire) -> Self {
-        Support { wires: [a, a, a], len: 1 }
+        Support {
+            wires: [a, a, a],
+            len: 1,
+        }
     }
 
     /// Support of a two-wire operation.
     #[inline]
     pub const fn two(a: Wire, b: Wire) -> Self {
-        Support { wires: [a, b, b], len: 2 }
+        Support {
+            wires: [a, b, b],
+            len: 2,
+        }
     }
 
     /// Support of a three-wire operation.
     #[inline]
     pub const fn three(a: Wire, b: Wire, c: Wire) -> Self {
-        Support { wires: [a, b, c], len: 3 }
+        Support {
+            wires: [a, b, c],
+            len: 3,
+        }
     }
 
     /// Builds a support from a slice of 1..=3 wires.
@@ -229,7 +238,10 @@ mod tests {
     fn support_slices_match_arity() {
         assert_eq!(Support::one(w(1)).as_slice(), &[w(1)]);
         assert_eq!(Support::two(w(1), w(2)).as_slice(), &[w(1), w(2)]);
-        assert_eq!(Support::three(w(1), w(2), w(3)).as_slice(), &[w(1), w(2), w(3)]);
+        assert_eq!(
+            Support::three(w(1), w(2), w(3)).as_slice(),
+            &[w(1), w(2), w(3)]
+        );
     }
 
     #[test]

@@ -9,24 +9,33 @@ const N_WIRES: usize = 6;
 /// Strategy producing an arbitrary valid gate on `N_WIRES` wires.
 fn arb_gate() -> impl Strategy<Value = Gate> {
     let wire = 0..N_WIRES as u32;
-    let distinct3 = (wire.clone(), wire.clone(), wire.clone()).prop_filter(
-        "wires must be distinct",
-        |(a, b, c)| a != b && b != c && a != c,
-    );
-    let distinct2 = (wire.clone(), wire.clone())
-        .prop_filter("wires must be distinct", |(a, b)| a != b);
+    let distinct3 = (wire.clone(), wire.clone(), wire.clone())
+        .prop_filter("wires must be distinct", |(a, b, c)| {
+            a != b && b != c && a != c
+        });
+    let distinct2 =
+        (wire.clone(), wire.clone()).prop_filter("wires must be distinct", |(a, b)| a != b);
     prop_oneof![
         wire.clone().prop_map(|a| Gate::Not(w(a))),
-        distinct2.clone().prop_map(|(a, b)| Gate::Cnot { control: w(a), target: w(b) }),
-        distinct3
-            .clone()
-            .prop_map(|(a, b, c)| Gate::Toffoli { controls: [w(a), w(b)], target: w(c) }),
+        distinct2.clone().prop_map(|(a, b)| Gate::Cnot {
+            control: w(a),
+            target: w(b)
+        }),
+        distinct3.clone().prop_map(|(a, b, c)| Gate::Toffoli {
+            controls: [w(a), w(b)],
+            target: w(c)
+        }),
         distinct2.prop_map(|(a, b)| Gate::Swap(w(a), w(b))),
-        distinct3.clone().prop_map(|(a, b, c)| Gate::Swap3(w(a), w(b), w(c))),
         distinct3
             .clone()
-            .prop_map(|(a, b, c)| Gate::Fredkin { control: w(a), targets: [w(b), w(c)] }),
-        distinct3.clone().prop_map(|(a, b, c)| Gate::Maj(w(a), w(b), w(c))),
+            .prop_map(|(a, b, c)| Gate::Swap3(w(a), w(b), w(c))),
+        distinct3.clone().prop_map(|(a, b, c)| Gate::Fredkin {
+            control: w(a),
+            targets: [w(b), w(c)]
+        }),
+        distinct3
+            .clone()
+            .prop_map(|(a, b, c)| Gate::Maj(w(a), w(b), w(c))),
         distinct3.prop_map(|(a, b, c)| Gate::MajInv(w(a), w(b), w(c))),
     ]
 }

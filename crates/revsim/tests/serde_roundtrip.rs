@@ -38,11 +38,20 @@ fn circuit_roundtrips_through_json() {
 fn every_gate_kind_roundtrips() {
     let gates = [
         Gate::Not(w(0)),
-        Gate::Cnot { control: w(1), target: w(0) },
-        Gate::Toffoli { controls: [w(0), w(2)], target: w(1) },
+        Gate::Cnot {
+            control: w(1),
+            target: w(0),
+        },
+        Gate::Toffoli {
+            controls: [w(0), w(2)],
+            target: w(1),
+        },
         Gate::Swap(w(0), w(1)),
         Gate::Swap3(w(2), w(1), w(0)),
-        Gate::Fredkin { control: w(2), targets: [w(0), w(1)] },
+        Gate::Fredkin {
+            control: w(2),
+            targets: [w(0), w(1)],
+        },
         Gate::Maj(w(0), w(1), w(2)),
         Gate::MajInv(w(2), w(0), w(1)),
     ];
@@ -60,8 +69,14 @@ fn ops_and_plans_roundtrip() {
     assert_eq!(op, back);
 
     let plan = FaultPlan::new(vec![
-        PlannedFault { op_index: 3, pattern: 0b101 },
-        PlannedFault { op_index: 7, pattern: 0b010 },
+        PlannedFault {
+            op_index: 3,
+            pattern: 0b101,
+        },
+        PlannedFault {
+            op_index: 7,
+            pattern: 0b010,
+        },
     ]);
     let back: FaultPlan = serde_json::from_str(&serde_json::to_string(&plan).unwrap()).unwrap();
     assert_eq!(plan, back);

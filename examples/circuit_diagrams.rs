@@ -11,8 +11,13 @@ use reversible_ft::revsim::prelude::*;
 fn main() {
     // ── Figure 1: MAJ from two CNOTs and a Toffoli ───────────────────────
     let mut fig1 = Circuit::new(3);
-    fig1.cnot(w(0), w(1)).cnot(w(0), w(2)).toffoli(w(1), w(2), w(0));
-    println!("Figure 1 — the reversible majority gate:\n{}", render(&fig1));
+    fig1.cnot(w(0), w(1))
+        .cnot(w(0), w(2))
+        .toffoli(w(1), w(2), w(0));
+    println!(
+        "Figure 1 — the reversible majority gate:\n{}",
+        render(&fig1)
+    );
 
     // ── Figure 2: the error-recovery circuit ─────────────────────────────
     println!("Figure 2 — fault-tolerant error recovery (outputs on q0,q3,q6):");

@@ -11,7 +11,10 @@ use reversible_ft::core::prelude::*;
 use reversible_ft::revsim::prelude::*;
 
 fn main() {
-    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let gate = Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    };
     let budget = GateBudget::NONLOCAL_WITH_INIT;
     let rho = budget.threshold();
     let cycles = 3usize;

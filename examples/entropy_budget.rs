@@ -42,7 +42,10 @@ fn main() {
 
     // Measure it on the compiled level-1 cycle (difference of 1- and
     // 3-cycle programs isolates the steady-state per-cycle entropy).
-    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let gate = Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    };
     let program_of = |cycles: usize| {
         let mut b = FtBuilder::new(1, 3);
         for _ in 0..cycles {

@@ -128,7 +128,11 @@ fn main() {
             "  {g:<8.5} {:<12.5} {:<12.5}  ({}x)",
             bare.rate,
             ft.rate,
-            if ft.rate > 0.0 { format!("{:.1}", bare.rate / ft.rate) } else { "∞".into() }
+            if ft.rate > 0.0 {
+                format!("{:.1}", bare.rate / ft.rate)
+            } else {
+                "∞".into()
+            }
         );
     }
     println!("\nbelow threshold, the encoded adder beats the bare one — Section 2 at work.");

@@ -31,7 +31,10 @@ fn main() {
         }
         s.flip(tile.data()[flip]);
         recovery.run(&mut s);
-        assert!(tile.data().iter().all(|&q| s.get(q)), "flip {flip} corrected");
+        assert!(
+            tile.data().iter().all(|&q| s.get(q)),
+            "flip {flip} corrected"
+        );
     }
     println!("single-bit errors corrected on the line: yes");
 
@@ -47,7 +50,10 @@ fn main() {
     assert!(line_of(27).check_circuit(&interleave).is_local());
 
     // ── 3. A full 1D cycle and its cost ──────────────────────────────────
-    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let gate = Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    };
     let cycle = build_cycle_1d(&gate);
     let audit = cycle.audit();
     println!(
@@ -63,7 +69,11 @@ fn main() {
         ("2D lattice", GateBudget::LOCAL_2D_WITH_INIT),
         ("1D lattice", GateBudget::LOCAL_1D_WITH_INIT),
     ] {
-        println!("  {name:<10} G = {:>2} → ρ = 1/{:.0}", budget.ops(), 1.0 / budget.threshold());
+        println!(
+            "  {name:<10} G = {:>2} → ρ = 1/{:.0}",
+            budget.ops(),
+            1.0 / budget.threshold()
+        );
     }
     println!("\nmixed 1D/2D (§3.3): a lattice only 27 bits wide already has");
     let rho2 = GateBudget::LOCAL_2D_NO_INIT.threshold();
@@ -76,7 +86,10 @@ fn main() {
 
     // ── 5. Routing arbitrary circuits onto the line ──────────────────────
     let mut remote = Circuit::new(12);
-    remote.toffoli(w(0), w(11), w(5)).maj(w(2), w(9), w(6)).cnot(w(1), w(10));
+    remote
+        .toffoli(w(0), w(11), w(5))
+        .maj(w(2), w(9), w(6))
+        .cnot(w(1), w(10));
     let (routed, stats) = route_line(&remote);
     println!(
         "\ngeneric line router: {} remote ops → {} local ops ({} extra elementary swaps)",

@@ -12,7 +12,10 @@ fn main() {
     // ── 1. The reversible majority gate (Table 1) ───────────────────────
     let verification = verify_maj();
     println!("MAJ reproduces Table 1: {}", verification.matches_table_1);
-    println!("MAJ = 2 CNOT + Toffoli (Figure 1): {}", verification.decomposition_matches);
+    println!(
+        "MAJ = 2 CNOT + Toffoli (Figure 1): {}",
+        verification.decomposition_matches
+    );
 
     // ── 2. Encode one logical bit, inject an error, recover ─────────────
     // The recovery tile is 9 wires: codeword on q0,q1,q2, ancillas q3..q8.
@@ -26,7 +29,11 @@ fn main() {
     recovery_circuit().run(&mut state);
     let recovered: Vec<bool> = DATA_OUT.iter().map(|&q| state.get(q)).collect();
     println!("after recovery, output codeword (q0,q3,q6): {recovered:?}");
-    assert_eq!(recovered, vec![true, true, true], "the error must be corrected");
+    assert_eq!(
+        recovered,
+        vec![true, true, true],
+        "the error must be corrected"
+    );
 
     // ── 3. Why it is fault tolerant: exhaustive single-fault sweep ──────
     let spec = CycleSpec::new(
@@ -39,7 +46,9 @@ fn main() {
     println!(
         "\nexhaustive sweep: {} fault plans × 2 inputs, worst output error = {} bit(s), \
          fault tolerant: {}",
-        sweep.plans, sweep.max_codeword_error, sweep.is_fault_tolerant()
+        sweep.plans,
+        sweep.max_codeword_error,
+        sweep.is_fault_tolerant()
     );
 
     // ── 4. The thresholds this buys (§2.2) ──────────────────────────────
@@ -50,7 +59,9 @@ fn main() {
         println!(
             "{name}: threshold ρ = 1/{:.0}; at g = ρ/10 a gate at level 2 fails with p ≤ {:.2e}",
             1.0 / budget.threshold(),
-            budget.error_at_level(budget.threshold() / 10.0, 2).expect("valid rate"),
+            budget
+                .error_at_level(budget.threshold() / 10.0, 2)
+                .expect("valid rate"),
         );
     }
 }

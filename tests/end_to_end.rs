@@ -11,7 +11,10 @@ use reversible_ft::revsim::permutation::Permutation;
 use reversible_ft::revsim::prelude::*;
 
 fn toffoli() -> Gate {
-    Gate::Toffoli { controls: [w(0), w(1)], target: w(2) }
+    Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    }
 }
 
 #[test]
@@ -92,8 +95,13 @@ fn routed_ft_cycle_remains_correct() {
     // semantics preserved, all gates local.
     let spec = transversal_cycle(&toffoli());
     let (routed, stats) = route_line(spec.circuit());
-    assert!(stats.elementary_swaps() > 0, "the cycle has remote ops to route");
-    assert!(Lattice::line(routed.n_wires()).check_circuit(&routed).is_local());
+    assert!(
+        stats.elementary_swaps() > 0,
+        "the cycle has remote ops to route"
+    );
+    assert!(Lattice::line(routed.n_wires())
+        .check_circuit(&routed)
+        .is_local());
     // Noiseless correctness through the routed circuit.
     for input in 0..8u64 {
         let mut s = spec.encode_input(input);
@@ -125,11 +133,26 @@ fn entropy_measurement_tracks_fault_rate() {
         b.finish()
     };
     let input = program.encode(&BitState::zeros(3));
-    let h_lo = measure_reset_entropy(program.circuit(), &input, &UniformNoise::new(1e-3), 8_000, 1)
-        .bits_per_run;
-    let h_hi = measure_reset_entropy(program.circuit(), &input, &UniformNoise::new(5e-2), 8_000, 1)
-        .bits_per_run;
-    assert!(h_hi > h_lo * 5.0, "entropy must grow with g: {h_lo} vs {h_hi}");
+    let h_lo = measure_reset_entropy(
+        program.circuit(),
+        &input,
+        &UniformNoise::new(1e-3),
+        8_000,
+        1,
+    )
+    .bits_per_run;
+    let h_hi = measure_reset_entropy(
+        program.circuit(),
+        &input,
+        &UniformNoise::new(5e-2),
+        8_000,
+        1,
+    )
+    .bits_per_run;
+    assert!(
+        h_hi > h_lo * 5.0,
+        "entropy must grow with g: {h_lo} vs {h_hi}"
+    );
 }
 
 #[test]

@@ -8,7 +8,11 @@ use reversible_ft::analysis::experiments::{
 };
 
 fn quick() -> RunConfig {
-    RunConfig { trials: 2_000, seed: 2005, threads: 4 }
+    RunConfig {
+        trials: 2_000,
+        seed: 2005,
+        threads: 4,
+    }
 }
 
 #[test]
@@ -24,7 +28,14 @@ fn fig2_verifies_fault_tolerance_claims() {
 #[test]
 fn threshold_sweep_brackets_and_beats_the_analytic_bound() {
     let r = threshold::run(&quick());
-    assert!(r.crossings_above_analytic(), "{:?}", r.series.iter().map(|s| s.measured_crossing).collect::<Vec<_>>());
+    assert!(
+        r.crossings_above_analytic(),
+        "{:?}",
+        r.series
+            .iter()
+            .map(|s| s.measured_crossing)
+            .collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -56,7 +67,10 @@ fn table2_matches() {
 
 #[test]
 fn entropy_within_bounds() {
-    let r = entropy::run(&RunConfig { trials: 6_000, ..quick() });
+    let r = entropy::run(&RunConfig {
+        trials: 6_000,
+        ..quick()
+    });
     assert!(r.within_bounds());
 }
 
@@ -73,5 +87,9 @@ fn advantage_window() {
 #[test]
 fn ablation_confirms_design_choices() {
     use reversible_ft::analysis::experiments::ablation;
-    assert!(ablation::run(&RunConfig { trials: 5_000, ..quick() }).confirms_design());
+    assert!(ablation::run(&RunConfig {
+        trials: 5_000,
+        ..quick()
+    })
+    .confirms_design());
 }

@@ -66,9 +66,12 @@ fn diagrams_render_every_cycle_we_build() {
     let circuits: Vec<Circuit> = vec![
         recovery_circuit(),
         reversible_ft::locality::prelude::build_recovery_1d().0,
-        transversal_cycle(&Gate::Toffoli { controls: [w(0), w(1)], target: w(2) })
-            .circuit()
-            .clone(),
+        transversal_cycle(&Gate::Toffoli {
+            controls: [w(0), w(1)],
+            target: w(2),
+        })
+        .circuit()
+        .clone(),
     ];
     for c in circuits {
         let text = render(&c);

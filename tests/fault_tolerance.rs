@@ -8,7 +8,10 @@ use reversible_ft::revsim::permutation::Permutation;
 use reversible_ft::revsim::prelude::*;
 
 fn toffoli() -> Gate {
-    Gate::Toffoli { controls: [w(0), w(1)], target: w(2) }
+    Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    }
 }
 
 #[test]
@@ -26,7 +29,12 @@ fn recovery_circuits_tolerate_any_single_fault() {
     assert_eq!(sweep.plans, 64);
 
     let (c, _, tile) = build_recovery_1d();
-    let fig7 = CycleSpec::new(c, vec![tile.data()], vec![tile.data()], Permutation::identity(1));
+    let fig7 = CycleSpec::new(
+        c,
+        vec![tile.data()],
+        vec![tile.data()],
+        Permutation::identity(1),
+    );
     let sweep = fig7.sweep_single_faults();
     assert!(sweep.is_fault_tolerant());
     assert_eq!(sweep.first_order_worst, 0.0);
@@ -53,7 +61,8 @@ fn full_cycles_nonlocal_and_2d_perpendicular_are_fault_tolerant() {
             build_cycle_2d(&toffoli(), InterleaveScheme::Perpendicular).to_cycle_spec(&toffoli()),
         ),
     ] {
-        spec.verify_ideal().unwrap_or_else(|e| panic!("{name}: {e}"));
+        spec.verify_ideal()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         let sweep = spec.sweep_single_faults();
         assert!(sweep.is_fault_tolerant(), "{name}: {:?}", sweep.worst);
         assert_eq!(sweep.first_order_worst, 0.0, "{name}");
@@ -83,13 +92,17 @@ fn every_gate_kind_cycles_fault_tolerantly_nonlocal() {
     let gates = [
         Gate::Maj(w(0), w(1), w(2)),
         Gate::MajInv(w(2), w(1), w(0)),
-        Gate::Fredkin { control: w(1), targets: [w(0), w(2)] },
+        Gate::Fredkin {
+            control: w(1),
+            targets: [w(0), w(2)],
+        },
         Gate::Swap3(w(2), w(0), w(1)),
         toffoli(),
     ];
     for gate in gates {
         let spec = transversal_cycle(&gate);
-        spec.verify_ideal().unwrap_or_else(|e| panic!("{gate:?}: {e}"));
+        spec.verify_ideal()
+            .unwrap_or_else(|e| panic!("{gate:?}: {e}"));
         let sweep = spec.sweep_single_faults();
         assert!(sweep.is_fault_tolerant(), "{gate:?}: {:?}", sweep.worst);
     }

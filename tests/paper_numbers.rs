@@ -70,11 +70,22 @@ fn section_3_local_thresholds() {
 #[test]
 fn section_33_table_2() {
     let rows = table2();
-    let paper = [(0u32, 1u32, 0.13), (1, 3, 0.36), (2, 9, 0.60), (3, 27, 0.77), (4, 81, 0.88), (5, 243, 0.94)];
+    let paper = [
+        (0u32, 1u32, 0.13),
+        (1, 3, 0.36),
+        (2, 9, 0.60),
+        (3, 27, 0.77),
+        (4, 81, 0.88),
+        (5, 243, 0.94),
+    ];
     for (row, (k, width, ratio)) in rows.iter().zip(paper) {
         assert_eq!(row.k, k);
         assert_eq!(row.width, width);
-        assert!((row.ratio - ratio).abs() < 0.005, "k={k}: {:.4} vs {ratio}", row.ratio);
+        assert!(
+            (row.ratio - ratio).abs() < 0.005,
+            "k={k}: {:.4} vs {ratio}",
+            row.ratio
+        );
     }
     // abstract: "an error threshold only 23% less than the full 2D case".
     assert!((1.0 - rows[3].ratio - 0.23).abs() < 0.005);
@@ -119,7 +130,10 @@ fn section_32_one_d_counts() {
 fn section_31_two_d_swap_counts() {
     use reversible_ft::locality::prelude::*;
     use reversible_ft::revsim::prelude::*;
-    let gate = Gate::Toffoli { controls: [w(0), w(1)], target: w(2) };
+    let gate = Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    };
     // "Interleaving three logical bits parallel to the logical line
     // requires nine SWAP gates" — 4 SWAP3 + 1 SWAP per direction.
     let par = build_cycle_2d(&gate, InterleaveScheme::Parallel);
@@ -138,5 +152,8 @@ fn unprotected_module_limit() {
     // almost certainly be faulty" at g = ρ/10 ≈ 10⁻³.
     let g = GateBudget::NONLOCAL_NO_INIT.threshold() / 10.0;
     let p_fail_1000 = 1.0 - (1.0 - g).powi(1000);
-    assert!(p_fail_1000 > 0.6, "1000-gate module failure prob {p_fail_1000}");
+    assert!(
+        p_fail_1000 > 0.6,
+        "1000-gate module failure prob {p_fail_1000}"
+    );
 }

@@ -1,0 +1,446 @@
+//! Vendored, dependency-free subset of the `proptest` API.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the surface the workspace's property tests use: the [`proptest!`] macro,
+//! [`strategy::Strategy`] with `prop_map` / `prop_filter` / `boxed`,
+//! range and tuple strategies, [`prop_oneof!`], `prop::collection::vec`,
+//! [`any`], and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream: no shrinking (failing inputs are reported
+//! verbatim), and the case count defaults to 96 (override with the
+//! `PROPTEST_CASES` environment variable).
+
+#![warn(missing_docs)]
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A generator of random values of type `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Attempts to draw one value; `None` means a filter rejected it.
+        fn try_sample(&self, rng: &mut SmallRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects values for which `pred` returns false.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                _whence: whence,
+                pred,
+            }
+        }
+
+        /// Erases the strategy's concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(move |rng| self.try_sample(rng)))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn try_sample(&self, rng: &mut SmallRng) -> Option<U> {
+            self.inner.try_sample(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        _whence: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn try_sample(&self, rng: &mut SmallRng) -> Option<S::Value> {
+            self.inner.try_sample(rng).filter(|v| (self.pred)(v))
+        }
+    }
+
+    /// A type-erased strategy (see [`Strategy::boxed`]).
+    #[allow(clippy::type_complexity)]
+    pub struct BoxedStrategy<T>(std::rc::Rc<dyn Fn(&mut SmallRng) -> Option<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn try_sample(&self, rng: &mut SmallRng) -> Option<T> {
+            (self.0)(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (the [`prop_oneof!`]
+    /// backend).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    #[derive(Clone)]
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union of alternatives; each is picked with equal
+        /// probability.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn try_sample(&self, rng: &mut SmallRng) -> Option<T> {
+            let arm = rng.random_range(0..self.arms.len());
+            self.arms[arm].try_sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn try_sample(&self, rng: &mut SmallRng) -> Option<$t> {
+                    Some(rng.random_range(self.clone()))
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn try_sample(&self, rng: &mut SmallRng) -> Option<Self::Value> {
+                    Some(($(self.$idx.try_sample(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+    }
+
+    /// Strategy for types with a canonical "any value" distribution
+    /// (see [`any`](crate::any)).
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    /// Types usable with [`any`](crate::any).
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut SmallRng) -> Self {
+            rng.random()
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut SmallRng) -> Self {
+            rng.random::<u8>()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut SmallRng) -> Self {
+            rng.random::<u32>()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut SmallRng) -> Self {
+            rng.random::<u64>()
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn try_sample(&self, rng: &mut SmallRng) -> Option<T> {
+            Some(T::arbitrary(rng))
+        }
+    }
+}
+
+/// Collection strategies, re-exported as `prop::collection`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy producing `Vec`s with lengths drawn from `len`.
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Generates vectors of values from `element` with a length in
+        /// `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn try_sample(&self, rng: &mut SmallRng) -> Option<Vec<S::Value>> {
+                let n = rng.random_range(self.len.clone());
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    // Give each element a few retries before rejecting the
+                    // whole collection.
+                    let mut value = None;
+                    for _ in 0..16 {
+                        if let Some(v) = self.element.try_sample(rng) {
+                            value = Some(v);
+                            break;
+                        }
+                    }
+                    out.push(value?);
+                }
+                Some(out)
+            }
+        }
+    }
+}
+
+/// Returns the canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+/// Test-runner plumbing used by the macros.
+pub mod runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Outcome of one generated test case.
+    pub enum CaseResult {
+        /// The case passed.
+        Pass,
+        /// A `prop_assume!` or strategy filter rejected the case.
+        Reject,
+        /// The case failed with a message.
+        Fail(String),
+    }
+
+    /// Number of cases to run per property (from `PROPTEST_CASES`, default
+    /// 96).
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(96)
+    }
+
+    /// Runs `case` up to the configured number of passing cases,
+    /// with a bounded rejection budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails or too many cases are rejected.
+    pub fn run<F: FnMut(&mut SmallRng) -> CaseResult>(name: &str, mut case: F) {
+        // Deterministic per-test seed (FNV-1a over the test name).
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(x) = extra.parse::<u64>() {
+                seed ^= x;
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let cases = case_count();
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = cases.saturating_mul(64).max(4096);
+        while passed < cases {
+            match case(&mut rng) {
+                CaseResult::Pass => passed += 1,
+                CaseResult::Reject => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "proptest {name}: too many rejected cases ({rejected})"
+                    );
+                }
+                CaseResult::Fail(message) => {
+                    panic!("proptest {name} failed after {passed} passing cases: {message}")
+                }
+            }
+        }
+    }
+}
+
+/// Glob-import surface matching `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::runner::run(stringify!($name), |__rng| {
+                    $(
+                        let $arg = match $crate::strategy::Strategy::try_sample(
+                            &($strat), __rng) {
+                            ::std::option::Option::Some(v) => v,
+                            ::std::option::Option::None =>
+                                return $crate::runner::CaseResult::Reject,
+                        };
+                    )*
+                    let __case_desc = ::std::format!(
+                        ::std::concat!($(::std::stringify!($arg), " = {:?}; ",)*),
+                        $(&$arg,)*
+                    );
+                    let __case = move || -> $crate::runner::CaseResult {
+                        $body
+                        $crate::runner::CaseResult::Pass
+                    };
+                    match __case() {
+                        $crate::runner::CaseResult::Fail(msg) => $crate::runner::CaseResult::Fail(
+                            ::std::format!("{msg}\n  case: {}", __case_desc)
+                        ),
+                        other => other,
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::runner::CaseResult::Fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return $crate::runner::CaseResult::Fail(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return $crate::runner::CaseResult::Fail(
+                ::std::format!("assertion failed: `{:?}` == `{:?}`", l, r),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return $crate::runner::CaseResult::Fail(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`: {}", l, r, ::std::format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return $crate::runner::CaseResult::Fail(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::runner::CaseResult::Reject;
+        }
+    };
+}

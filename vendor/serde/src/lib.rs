@@ -1,0 +1,423 @@
+//! Vendored, dependency-free serde shim.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! self-describing value model ([`Value`]) plus [`Serialize`] /
+//! [`Deserialize`] traits and `#[derive(Serialize, Deserialize)]` macros
+//! (re-exported from the sibling `serde_derive` shim). The derive emits
+//! serde's externally-tagged enum representation, so JSON produced by the
+//! companion `serde_json` shim matches upstream serde's default layout
+//! (e.g. `{"Not":99}` for a newtype variant).
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the shim's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Null / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Ordered map with string keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// A free-form error.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// "expected X, found Y".
+    pub fn expected(expected: &str, found: &str) -> Self {
+        DeError {
+            message: format!("expected {expected}, found {found}"),
+        }
+    }
+
+    /// An unknown externally-tagged enum variant.
+    pub fn unknown_variant(variant: &str, enum_name: &str) -> Self {
+        DeError {
+            message: format!("unknown variant `{variant}` of {enum_name}"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the shim's data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs a value from the shim's data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when `v` has the wrong shape.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// -- helpers used by the generated derive code ------------------------------
+
+/// Wraps a value in serde's externally-tagged variant map.
+pub fn variant(name: &str, value: Value) -> Value {
+    Value::Map(vec![(name.to_string(), value)])
+}
+
+/// Views `v` as a map (derive helper).
+///
+/// # Errors
+///
+/// Returns [`DeError`] if `v` is not a map.
+pub fn as_map<'v>(v: &'v Value, what: &str) -> Result<&'v [(String, Value)], DeError> {
+    match v {
+        Value::Map(m) => Ok(m),
+        other => Err(DeError::expected(&format!("map for {what}"), other.kind())),
+    }
+}
+
+/// Views `v` as a sequence of exactly `len` items (derive helper).
+///
+/// # Errors
+///
+/// Returns [`DeError`] on a non-sequence or wrong length.
+pub fn as_seq<'v>(v: &'v Value, len: usize, what: &str) -> Result<&'v [Value], DeError> {
+    match v {
+        Value::Seq(s) if s.len() == len => Ok(s),
+        Value::Seq(s) => Err(DeError::custom(format!(
+            "expected {len} elements for {what}, found {}",
+            s.len()
+        ))),
+        other => Err(DeError::expected(
+            &format!("sequence for {what}"),
+            other.kind(),
+        )),
+    }
+}
+
+/// Looks up a struct field in a map (derive helper).
+///
+/// # Errors
+///
+/// Returns [`DeError`] if the field is missing.
+pub fn map_get<'m>(m: &'m [(String, Value)], key: &str, what: &str) -> Result<&'m Value, DeError> {
+    m.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{key}` of {what}")))
+}
+
+// -- primitive impls --------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other.kind())),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range"))),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range"))),
+                    other => Err(DeError::expected("unsigned integer", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::UInt(n as u64) } else { Value::Int(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range"))),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("{n} out of range"))),
+                    other => Err(DeError::expected("integer", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Float(x) => Ok(*x as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    other => Err(DeError::expected("number", other.kind())),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", other.kind())),
+        }
+    }
+}
+
+// -- container impls --------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(s) => s.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("sequence", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = as_seq(v, N, "array")?;
+        let items: Result<Vec<T>, DeError> = s.iter().map(T::from_value).collect();
+        items?
+            .try_into()
+            .map_err(|_| DeError::custom("array length mismatch"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+) with $len:expr;)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = as_seq(v, $len, "tuple")?;
+                Ok(($($t::from_value(&s[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0, B.1) with 2;
+    (A.0, B.1, C.2) with 3;
+    (A.0, B.1, C.2, D.3) with 4;
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    /// Map keys must serialize to strings (e.g. unit enum variants), as in
+    /// JSON-targeting serde.
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = match k.to_value() {
+                        Value::Str(s) => s,
+                        other => panic!("map key must serialize to a string, got {}", other.kind()),
+                    };
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = as_map(v, "map")?;
+        m.iter()
+            .map(|(k, v)| {
+                let key = K::from_value(&Value::Str(k.clone()))?;
+                Ok((key, V::from_value(v)?))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let a = [4u8, 5, 6];
+        assert_eq!(<[u8; 3]>::from_value(&a.to_value()).unwrap(), a);
+        let t = (1u32, 2u64);
+        assert_eq!(<(u32, u64)>::from_value(&t.to_value()).unwrap(), t);
+        let o: Option<u8> = Some(9);
+        assert_eq!(Option::<u8>::from_value(&o.to_value()).unwrap(), o);
+        let n: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&n.to_value()).unwrap(), n);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let err = u32::from_value(&Value::Str("x".into())).unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+}

@@ -1,0 +1,392 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim.
+//!
+//! The build environment has no crates.io access, so this derive is written
+//! directly against `proc_macro` (no `syn`/`quote`). It supports the shapes
+//! the workspace actually uses: non-generic structs (named, tuple, unit)
+//! and enums whose variants are unit, newtype, tuple or struct-like —
+//! serialized in serde's externally-tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of one parsed field list.
+enum Fields {
+    /// Named fields `{ a: T, b: U }`.
+    Named(Vec<String>),
+    /// Tuple fields `(T, U)`, by count.
+    Tuple(usize),
+    /// No fields at all.
+    Unit,
+}
+
+/// A parsed `struct` or `enum` item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = serialize_fields_expr(fields, &FieldAccess::SelfDot);
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (variant, fields) in variants {
+                arms.push_str(&serialize_variant_arm(name, variant, fields));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("derive(Serialize) generated invalid Rust")
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = deserialize_fields_expr(name, "", fields, "v");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (variant, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{variant}\" => ::std::result::Result::Ok({name}::{variant}),"
+                    )),
+                    _ => {
+                        let body = deserialize_fields_expr(name, variant, fields, "inner");
+                        data_arms.push_str(&format!("\"{variant}\" => {{ {body} }},"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                             }},\n\
+                             ::serde::Value::Map(m) if m.len() == 1 => {{\n\
+                                 let (tag, inner) = &m[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, \"{name}\")),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::expected(\"variant of {name}\", v.kind())),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("derive(Deserialize) generated invalid Rust")
+}
+
+/// How serialization code reaches the fields of the value.
+enum FieldAccess {
+    /// `&self.<field>` (structs).
+    SelfDot,
+    /// Bound pattern identifiers (enum match arms).
+    Bound,
+}
+
+/// Expression serializing `fields` into a `::serde::Value`.
+fn serialize_fields_expr(fields: &Fields, access: &FieldAccess) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(names) => {
+            let mut pairs = String::new();
+            for n in names {
+                let expr = match access {
+                    FieldAccess::SelfDot => format!("&self.{n}"),
+                    FieldAccess::Bound => n.clone(),
+                };
+                pairs.push_str(&format!(
+                    "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({expr})),"
+                ));
+            }
+            format!("::serde::Value::Map(::std::vec![{pairs}])")
+        }
+        Fields::Tuple(n) => {
+            let expr_for = |i: usize| match access {
+                FieldAccess::SelfDot => format!("&self.{i}"),
+                FieldAccess::Bound => format!("f{i}"),
+            };
+            if *n == 1 {
+                format!("::serde::Serialize::to_value({})", expr_for(0))
+            } else {
+                let mut items = String::new();
+                for i in 0..*n {
+                    items.push_str(&format!("::serde::Serialize::to_value({}),", expr_for(i)));
+                }
+                format!("::serde::Value::Seq(::std::vec![{items}])")
+            }
+        }
+    }
+}
+
+/// One `match self` arm serializing an enum variant (externally tagged).
+fn serialize_variant_arm(name: &str, variant: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "{name}::{variant} => ::serde::Value::Str(::std::string::String::from(\"{variant}\")),"
+        ),
+        Fields::Named(names) => {
+            let pattern = names.join(", ");
+            let body = serialize_fields_expr(fields, &FieldAccess::Bound);
+            format!("{name}::{variant} {{ {pattern} }} => ::serde::variant(\"{variant}\", {body}),")
+        }
+        Fields::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let pattern = binders.join(", ");
+            let body = serialize_fields_expr(fields, &FieldAccess::Bound);
+            format!("{name}::{variant}({pattern}) => ::serde::variant(\"{variant}\", {body}),")
+        }
+    }
+}
+
+/// Expression deserializing `fields` from the `::serde::Value` named by
+/// `source` into `name::variant` (or plain `name` when `variant` is empty).
+fn deserialize_fields_expr(name: &str, variant: &str, fields: &Fields, source: &str) -> String {
+    let ctor = if variant.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}::{variant}")
+    };
+    let what = if variant.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}::{variant}")
+    };
+    match fields {
+        Fields::Unit => format!("{{ let _ = {source}; ::std::result::Result::Ok({ctor}) }}"),
+        Fields::Named(names) => {
+            let mut inits = String::new();
+            for n in names {
+                inits.push_str(&format!(
+                    "{n}: ::serde::Deserialize::from_value(::serde::map_get(m, \"{n}\", \"{what}\")?)?,"
+                ));
+            }
+            format!(
+                "{{ let m = ::serde::as_map({source}, \"{what}\")?;\n\
+                    ::std::result::Result::Ok({ctor} {{ {inits} }}) }}"
+            )
+        }
+        Fields::Tuple(n) => {
+            if *n == 1 {
+                format!(
+                    "::std::result::Result::Ok({ctor}(::serde::Deserialize::from_value({source})?))"
+                )
+            } else {
+                let mut items = String::new();
+                for i in 0..*n {
+                    items.push_str(&format!("::serde::Deserialize::from_value(&s[{i}])?,"));
+                }
+                format!(
+                    "{{ let s = ::serde::as_seq({source}, {n}, \"{what}\")?;\n\
+                        ::std::result::Result::Ok({ctor}({items})) }}"
+                )
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        assert!(
+            p.as_char() != '<',
+            "serde shim derive does not support generic type `{name}`"
+        );
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for `{name}`, found {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde shim derive supports struct/enum, found `{other}`"),
+    }
+}
+
+/// Advances `i` past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Field names of `{ a: T, b: U }`, skipping attributes, visibility and the
+/// type tokens (commas inside `<...>` generic arguments are ignored).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        names.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Number of fields in a tuple-struct/tuple-variant parenthesis group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle_depth = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => fields += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        fields -= 1;
+    }
+    fields
+}
+
+/// Variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
