@@ -12,7 +12,8 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rft_core::entropy::entropy_of_counts;
 use rft_revsim::circuit::Circuit;
-use rft_revsim::exec::{run_noisy_observed, ExecObserver};
+use rft_revsim::engine::Engine;
+use rft_revsim::exec::ExecObserver;
 use rft_revsim::noise::NoiseModel;
 use rft_revsim::state::BitState;
 use rft_revsim::wire::Wire;
@@ -88,9 +89,12 @@ where
     assert!(trials > 0, "need at least one trial");
     let mut observer = ResetEntropyObserver::new();
     let mut rng = SmallRng::seed_from_u64(seed);
+    // Compile once, observe many: fault probabilities are derived a single
+    // time instead of once per trial.
+    let engine = Engine::compile(circuit, noise);
     for _ in 0..trials {
         let mut state = input.clone();
-        run_noisy_observed(circuit, &mut state, noise, &mut rng, &mut observer);
+        engine.run_scalar_observed(&mut state, &mut rng, &mut observer);
     }
     EntropyMeasurement {
         trials,

@@ -113,7 +113,7 @@ pub fn run(cfg: &RunConfig) -> AblationResult {
     // Primitive MAJ (the paper's design).
     let primitive = transversal_cycle(&gate);
     let sweep_p = primitive.sweep_single_faults();
-    let mc_p = estimate_cycle_error(&primitive, &noise, cfg.trials, cfg.seed, cfg.threads);
+    let mc_p = estimate_cycle_error(&primitive, &noise, &cfg.options());
 
     // Decomposed MAJ ablation.
     let decomposed = decomposed_cycle(&gate);
@@ -121,7 +121,7 @@ pub fn run(cfg: &RunConfig) -> AblationResult {
         .verify_ideal()
         .expect("decomposed cycle must be correct");
     let sweep_d = decomposed.sweep_single_faults();
-    let mc_d = estimate_cycle_error(&decomposed, &noise, cfg.trials, cfg.seed ^ 0xD, cfg.threads);
+    let mc_d = estimate_cycle_error(&decomposed, &noise, &cfg.options().salt(0xD));
 
     let budget_decomposed = GateBudget::new(23).expect("valid budget");
     let budget_1d_swaps = GateBudget::new(67).expect("valid budget");
@@ -246,6 +246,7 @@ mod tests {
             trials: 6000,
             seed: 3,
             threads: 4,
+            ..RunConfig::quick()
         });
         assert!(r.confirms_design(), "{r:#?}");
     }
@@ -256,6 +257,7 @@ mod tests {
             trials: 500,
             seed: 5,
             threads: 2,
+            ..RunConfig::quick()
         });
         // MAJ primitive buys (23·22)/(11·10) = 4.6× threshold.
         let factor = r.rows[0].threshold / r.rows[1].threshold;
@@ -268,6 +270,7 @@ mod tests {
             trials: 300,
             seed: 7,
             threads: 2,
+            ..RunConfig::quick()
         })
         .print();
     }

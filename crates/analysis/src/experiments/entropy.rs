@@ -208,6 +208,7 @@ mod tests {
             trials: 8000,
             seed: 29,
             threads: 2,
+            ..RunConfig::quick()
         });
         assert!(r.within_bounds(), "points: {:#?}", r.points);
     }
@@ -218,6 +219,7 @@ mod tests {
             trials: 400,
             seed: 31,
             threads: 2,
+            ..RunConfig::quick()
         });
         assert!((r.worked_max_level - 2.3).abs() < 0.05);
     }
@@ -228,6 +230,7 @@ mod tests {
             trials: 8000,
             seed: 37,
             threads: 2,
+            ..RunConfig::quick()
         });
         let l1: Vec<&EntropyPoint> = r.points.iter().filter(|p| p.level == 1).collect();
         let l2: Vec<&EntropyPoint> = r.points.iter().filter(|p| p.level == 2).collect();
@@ -250,6 +253,7 @@ mod tests {
             trials: 400,
             seed: 43,
             threads: 2,
+            ..RunConfig::quick()
         })
         .print();
     }

@@ -75,7 +75,7 @@ pub fn run(cfg: &RunConfig) -> LocalResult {
     // distinguishable error rates.
     let probes = [1.0 / 1000.0, 1.0 / 273.0, 1.0 / 108.0];
 
-    let mc_for = |spec: &rft_core::ftcheck::CycleSpec, seed: u64| -> Vec<(f64, ErrorEstimate)> {
+    let mc_for = |spec: &rft_core::ftcheck::CycleSpec, salt: u64| -> Vec<(f64, ErrorEstimate)> {
         probes
             .iter()
             .map(|&g| {
@@ -84,9 +84,7 @@ pub fn run(cfg: &RunConfig) -> LocalResult {
                     estimate_cycle_error(
                         spec,
                         &UniformNoise::new(g),
-                        cfg.trials,
-                        seed ^ g.to_bits(),
-                        cfg.threads,
+                        &cfg.options().salt(salt ^ g.to_bits()),
                     ),
                 )
             })
@@ -104,7 +102,7 @@ pub fn run(cfg: &RunConfig) -> LocalResult {
         paper_threshold: GateBudget::NONLOCAL_WITH_INIT.threshold(),
         local: false,
         first_order: nonlocal_sweep.first_order_worst,
-        mc: mc_for(&nonlocal_spec, cfg.seed),
+        mc: mc_for(&nonlocal_spec, 0),
     };
 
     // 2D perpendicular (§3.1).
@@ -121,7 +119,7 @@ pub fn run(cfg: &RunConfig) -> LocalResult {
         paper_threshold: GateBudget::LOCAL_2D_WITH_INIT.threshold(),
         local: report2d.is_local(),
         first_order: sweep2d.first_order_worst,
-        mc: mc_for(&spec2d, cfg.seed ^ 0x2D),
+        mc: mc_for(&spec2d, 0x2D),
     };
 
     // 1D (§3.2).
@@ -138,7 +136,7 @@ pub fn run(cfg: &RunConfig) -> LocalResult {
         paper_threshold: GateBudget::LOCAL_1D_WITH_INIT.threshold(),
         local: report1d.is_local(),
         first_order: sweep1d.first_order_worst,
-        mc: mc_for(&spec1d, cfg.seed ^ 0x1D),
+        mc: mc_for(&spec1d, 0x1D),
     };
 
     // Figure 6 interleave counts.
@@ -190,23 +188,21 @@ pub fn run(cfg: &RunConfig) -> LocalResult {
 
     // Measured pseudo-thresholds: sweep the single-cycle error of each
     // architecture and find its crossing with g.
-    let crossing_for = |spec: &rft_core::ftcheck::CycleSpec, lo: f64, seed: u64| {
+    let crossing_for = |spec: &rft_core::ftcheck::CycleSpec, lo: f64, salt: u64| {
         let grid = log_grid(lo, 0.25, 10);
         let points = sweep(&grid, |g| {
             estimate_cycle_error(
                 spec,
                 &UniformNoise::new(g),
-                cfg.trials,
-                seed ^ g.to_bits(),
-                cfg.threads,
+                &cfg.options().salt(salt ^ g.to_bits()),
             )
         });
         find_crossing(&points, |g| g)
     };
     let measured_thresholds = vec![
-        crossing_for(&nonlocal_spec, 2e-3, cfg.seed ^ 0xC0),
-        crossing_for(&spec2d, 2e-3, cfg.seed ^ 0xC1),
-        crossing_for(&spec1d, 5e-4, cfg.seed ^ 0xC2),
+        crossing_for(&nonlocal_spec, 2e-3, 0xC0),
+        crossing_for(&spec2d, 2e-3, 0xC1),
+        crossing_for(&spec1d, 5e-4, 0xC2),
     ];
     let semi_empirical_ratio_27 = match (measured_thresholds[1], measured_thresholds[2]) {
         (Some(rho2), Some(rho1)) if rho1 <= rho2 => Some(mixed_threshold(rho1, rho2, 3) / rho2),
@@ -357,6 +353,7 @@ mod tests {
             trials: 1000,
             seed: 17,
             threads: 4,
+            ..RunConfig::quick()
         });
         assert!(r.structure_ok());
         // Non-local and 2D are exactly fault tolerant; 1D is the finding.
@@ -371,6 +368,7 @@ mod tests {
             trials: 4000,
             seed: 19,
             threads: 4,
+            ..RunConfig::quick()
         });
         assert!(r.mc_ordering_ok());
     }
@@ -381,6 +379,7 @@ mod tests {
             trials: 300,
             seed: 23,
             threads: 2,
+            ..RunConfig::quick()
         })
         .print();
     }

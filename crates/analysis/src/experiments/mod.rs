@@ -32,10 +32,14 @@ pub mod table1;
 pub mod table2;
 pub mod threshold;
 
+use rft_revsim::engine::{BackendKind, McOptions};
 use serde::{Deserialize, Serialize};
 
-/// Monte-Carlo budget shared by the experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Monte-Carlo budget shared by the experiments — the experiment-facing
+/// face of [`McOptions`]: every Monte-Carlo call site derives its options
+/// from a `RunConfig` via [`RunConfig::options`], so the `repro` binary's
+/// `--backend` and `--rel-error` flags reach all experiments uniformly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RunConfig {
     /// Trials per Monte-Carlo point.
     pub trials: u64,
@@ -43,6 +47,10 @@ pub struct RunConfig {
     pub seed: u64,
     /// Worker threads.
     pub threads: usize,
+    /// Backend selection policy (auto routes by trial count).
+    pub backend: BackendKind,
+    /// Optional adaptive early stopping at this target relative error.
+    pub target_rel_error: Option<f64>,
 }
 
 impl RunConfig {
@@ -52,6 +60,8 @@ impl RunConfig {
             trials: 200_000,
             seed: 2005,
             threads: default_threads(),
+            backend: BackendKind::Auto,
+            target_rel_error: None,
         }
     }
 
@@ -59,8 +69,20 @@ impl RunConfig {
     pub fn quick() -> Self {
         RunConfig {
             trials: 4_000,
-            seed: 2005,
-            threads: default_threads(),
+            ..RunConfig::full()
+        }
+    }
+
+    /// Lowers this budget into engine [`McOptions`]. Experiments salt the
+    /// seed per point with [`McOptions::salt`].
+    pub fn options(&self) -> McOptions {
+        let opts = McOptions::new(self.trials)
+            .seed(self.seed)
+            .threads(self.threads)
+            .backend(self.backend);
+        match self.target_rel_error {
+            Some(target) => opts.target_rel_error(target),
+            None => opts,
         }
     }
 }

@@ -66,9 +66,9 @@ pub fn run(cfg: &RunConfig) -> SuppressionResult {
                     let mc = ConcatMc::new(level, gate, cycles);
                     mc.estimate(
                         &noise,
-                        trials,
-                        cfg.seed ^ g.to_bits() ^ level as u64,
-                        cfg.threads,
+                        &cfg.options()
+                            .trials(trials)
+                            .salt(g.to_bits() ^ level as u64),
                     )
                 })
                 .collect();
@@ -149,6 +149,7 @@ mod tests {
             trials: 3000,
             seed: 11,
             threads: 4,
+            ..RunConfig::quick()
         });
         assert!(r.below_threshold_suppression());
     }
@@ -159,6 +160,7 @@ mod tests {
             trials: 2000,
             seed: 13,
             threads: 4,
+            ..RunConfig::quick()
         });
         let above = r.series.iter().find(|s| s.g_over_rho > 10.0).unwrap();
         // At 16ρ the encoded machine is broken: error rates are large and
@@ -182,6 +184,7 @@ mod tests {
             trials: 6000,
             seed: 17,
             threads: 4,
+            ..RunConfig::quick()
         });
         let two_rho = r
             .series
@@ -202,6 +205,7 @@ mod tests {
             trials: 400,
             seed: 5,
             threads: 2,
+            ..RunConfig::quick()
         })
         .print();
     }

@@ -70,20 +70,11 @@ pub fn run(cfg: &RunConfig) -> ThresholdResult {
         let rho = budget.threshold();
         let grid = log_grid(rho / 8.0, rho * 16.0, 12);
         let points_raw = sweep(&grid, |g| {
+            let opts = cfg.options().seed(seed).salt(g.to_bits());
             if perfect_init {
-                mc.estimate(
-                    &SplitNoise::perfect_init(g),
-                    cfg.trials,
-                    seed ^ g.to_bits(),
-                    cfg.threads,
-                )
+                mc.estimate(&SplitNoise::perfect_init(g), &opts)
             } else {
-                mc.estimate(
-                    &UniformNoise::new(g),
-                    cfg.trials,
-                    seed ^ g.to_bits(),
-                    cfg.threads,
-                )
+                mc.estimate(&UniformNoise::new(g), &opts)
             }
         });
         let points: Vec<ThresholdPoint> = points_raw
@@ -198,6 +189,7 @@ mod tests {
             trials: 1500,
             seed: 7,
             threads: 4,
+            ..RunConfig::quick()
         });
         assert_eq!(r.series.len(), 2);
         for s in &r.series {
@@ -223,6 +215,7 @@ mod tests {
             trials: 500,
             seed: 3,
             threads: 2,
+            ..RunConfig::quick()
         });
         r.print();
     }

@@ -4,8 +4,12 @@
 //! reproduction:
 //!
 //! - [`stats`] — binomial estimates with Wilson intervals, slope fits;
-//! - [`montecarlo`] — threaded logical-error-rate estimation for compiled
-//!   concatenated programs and local cycles;
+//! - [`montecarlo`] — logical-error-rate estimation for compiled
+//!   concatenated programs and local cycles, expressed on the unified
+//!   [`Engine`](rft_revsim::engine::Engine) facade: compile once, run
+//!   many through auto-routed scalar/batch backends with typed
+//!   [`McOptions`](rft_revsim::engine::McOptions) (trials, seed, threads,
+//!   optional adaptive early stopping);
 //! - [`sweep`] — log-grid sweeps and pseudo-threshold crossing detection;
 //! - [`entropy_meas`] — empirical reset-entropy measurement (§4);
 //! - [`report`] — plain-text table rendering;
@@ -28,11 +32,11 @@ pub mod prelude {
     pub use crate::entropy_meas::{measure_reset_entropy, EntropyMeasurement};
     pub use crate::experiments::RunConfig;
     pub use crate::montecarlo::{
-        estimate_cycle_error, estimate_cycle_error_batch, estimate_cycle_error_scalar,
-        parallel_failure_words, parallel_failures, unprotected_error, ConcatMc,
-        BATCH_TRIAL_THRESHOLD,
+        estimate_cycle_error, estimate_cycle_error_outcome, unprotected_error, ConcatMc,
+        ConcatTrial, BATCH_TRIAL_THRESHOLD,
     };
     pub use crate::report::Table;
     pub use crate::stats::{linear_slope, wilson_interval, ErrorEstimate};
     pub use crate::sweep::{find_crossing, log_grid, sweep, SweepPoint};
+    pub use rft_revsim::engine::{BackendKind, Engine, McOptions, McOutcome};
 }

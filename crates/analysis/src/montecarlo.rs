@@ -1,4 +1,5 @@
-//! Monte-Carlo estimation of logical error rates.
+//! Monte-Carlo estimation of logical error rates, on the unified
+//! [`Engine`](rft_revsim::engine) facade.
 //!
 //! Two kinds of experiment:
 //!
@@ -8,40 +9,39 @@
 //! - [`estimate_cycle_error`] runs a single extended rectangle described by
 //!   a [`CycleSpec`] (used for the 2D/1D local cycles of §3).
 //!
-//! Trials are farmed across threads with independently seeded `SmallRng`s,
-//! so results are reproducible for a given `(seed, threads)` pair.
-//!
-//! Both experiments have a **batch fast path** built on
-//! [`rft_revsim::batch`]: trials are packed 64 per machine word
-//! ([`parallel_failure_words`]), gates execute as branch-free bit-plane
-//! kernels, and decoding is a bitwise majority — a 10–50× throughput gain
-//! over the scalar path. [`ConcatMc::estimate`] and
-//! [`estimate_cycle_error`] route large runs through it automatically
-//! (above [`BATCH_TRIAL_THRESHOLD`] trials); the scalar path stays
-//! available as [`ConcatMc::estimate_scalar`] /
-//! [`estimate_cycle_error_scalar`] and is held equivalent by the tests in
+//! Both are thin layers over [`Engine::estimate`]: the circuit and noise
+//! model are compiled once into an [`Engine`] (flattened op stream,
+//! per-op fault probabilities, exact binomial fault-mask samplers), and a
+//! [`WordTrial`] supplies the encode/judge logic per 64-trial word. Runs
+//! are configured by typed [`McOptions`] — trials, seed, threads, an
+//! explicit or auto-routed backend, and optional adaptive early stopping
+//! at a target relative error. Results are deterministic per seed and
+//! identical across the scalar and batch backends (they share one RNG
+//! schedule); the statistical equivalence tests live in
 //! `tests/batch_stats.rs`.
 
 use crate::stats::ErrorEstimate;
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use rft_core::concat::{FtBuilder, FtProgram};
 use rft_core::ftcheck::CycleSpec;
-use rft_revsim::batch::{run_noisy_batch_with, BatchState, CompiledNoise};
+use rft_revsim::batch::BatchState;
 use rft_revsim::circuit::Circuit;
-use rft_revsim::exec::run_noisy;
+use rft_revsim::engine::{failure_mask, Engine, McOptions, McOutcome, WordTrial};
 use rft_revsim::gate::Gate;
 use rft_revsim::noise::NoiseModel;
 use rft_revsim::op::Op;
 use rft_revsim::permutation::Permutation;
 use rft_revsim::state::BitState;
 
-/// Minimum trial count for which the batch (64-lanes-per-word) fast path
-/// is used by the auto-dispatching estimators.
-pub const BATCH_TRIAL_THRESHOLD: u64 = 256;
+pub use rft_revsim::engine::DEFAULT_BATCH_THRESHOLD as BATCH_TRIAL_THRESHOLD;
 
 /// Runs `trials` independent boolean trials across `threads` OS threads
 /// and counts `true` outcomes. Each thread gets its own deterministic RNG.
+#[deprecated(
+    since = "0.2.0",
+    note = "use rft_revsim::engine::Engine::estimate with a WordTrial"
+)]
 pub fn parallel_failures<F>(trials: u64, seed: u64, threads: usize, trial: F) -> u64
 where
     F: Fn(&mut SmallRng) -> bool + Sync,
@@ -78,9 +78,10 @@ where
 /// 64 per word across `threads` OS threads. `word_trial` executes one
 /// 64-lane word and returns the mask of *failed* lanes; lanes beyond
 /// `trials` in the final word are ignored.
-///
-/// Deterministic for a given `(seed, threads)` pair, like the scalar
-/// version (the streams differ between the two).
+#[deprecated(
+    since = "0.2.0",
+    note = "use rft_revsim::engine::Engine::estimate with a WordTrial"
+)]
 pub fn parallel_failure_words<F>(trials: u64, seed: u64, threads: usize, word_trial: F) -> u64
 where
     F: Fn(&mut SmallRng) -> u64 + Sync,
@@ -123,17 +124,44 @@ where
     })
 }
 
-/// Reads lane `lane`'s logical value out of per-wire plane words
-/// (bit `i` of the result = bit `lane` of `planes[i]`).
-#[inline]
-fn lane_value(planes: &[u64], lane: usize) -> u64 {
-    planes
-        .iter()
-        .enumerate()
-        .fold(0u64, |acc, (i, &plane)| acc | (((plane >> lane) & 1) << i))
+/// The [`WordTrial`] of a compiled concatenated program: each lane draws
+/// an independent uniform logical input, encodes it through the program's
+/// data-position trees, and fails when the recursive-majority decode of
+/// the final state disagrees with the ideal permutation.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcatTrial<'a> {
+    program: &'a FtProgram,
+    ideal: &'a Permutation,
+}
+
+impl<'a> ConcatTrial<'a> {
+    /// A trial for `program` judged against `ideal`.
+    pub fn new(program: &'a FtProgram, ideal: &'a Permutation) -> Self {
+        ConcatTrial { program, ideal }
+    }
+}
+
+impl WordTrial for ConcatTrial<'_> {
+    fn n_wires(&self) -> usize {
+        self.program.n_physical()
+    }
+
+    fn prepare(&self, batch: &mut BatchState, rng: &mut dyn RngCore) -> Vec<u64> {
+        let logical: Vec<u64> = (0..self.program.n_logical())
+            .map(|_| rng.random())
+            .collect();
+        self.program.encode_word(batch, 0, &logical);
+        logical
+    }
+
+    fn judge(&self, batch: &BatchState, inputs: &[u64]) -> u64 {
+        let decoded = self.program.decode_word(batch, 0);
+        failure_mask(inputs, &decoded, |input| self.ideal.apply(input))
+    }
 }
 
 /// Monte-Carlo harness for concatenated (non-local) fault-tolerant gates.
+#[must_use = "a ConcatMc is a compiled program awaiting estimation runs"]
 #[derive(Debug)]
 pub struct ConcatMc {
     program: FtProgram,
@@ -175,97 +203,48 @@ impl ConcatMc {
         self.cycles
     }
 
+    /// Compiles this program against `noise` into a reusable [`Engine`]
+    /// (the compile-once artifact behind [`ConcatMc::estimate`]).
+    pub fn engine<N: NoiseModel + ?Sized>(&self, noise: &N) -> Engine {
+        Engine::compile(self.program.circuit(), noise)
+    }
+
+    /// The [`WordTrial`] driving [`ConcatMc::estimate`], for use with a
+    /// hand-built [`Engine`] or
+    /// [`Simulation`](rft_revsim::engine::Simulation).
+    pub fn trial(&self) -> ConcatTrial<'_> {
+        ConcatTrial::new(&self.program, &self.ideal)
+    }
+
     /// Estimates the probability that a full trial (all cycles) ends with
     /// any logical bit decoded incorrectly, over random logical inputs.
     ///
-    /// Dispatches to the bit-parallel [`ConcatMc::estimate_batch`] path
-    /// when `trials ≥` [`BATCH_TRIAL_THRESHOLD`], and to the scalar
-    /// [`ConcatMc::estimate_scalar`] path otherwise.
-    pub fn estimate<N>(&self, noise: &N, trials: u64, seed: u64, threads: usize) -> ErrorEstimate
+    /// Routes through the [`Engine`] facade: the backend is chosen by
+    /// `opts` ([`BackendKind::Auto`](rft_revsim::engine::BackendKind)
+    /// batches at ≥ [`BATCH_TRIAL_THRESHOLD`] trials), and setting
+    /// [`McOptions::target_rel_error`] enables adaptive early stopping.
+    pub fn estimate<N>(&self, noise: &N, opts: &McOptions) -> ErrorEstimate
     where
-        N: NoiseModel + Sync,
+        N: NoiseModel + ?Sized,
     {
-        if trials >= BATCH_TRIAL_THRESHOLD {
-            self.estimate_batch(noise, trials, seed, threads)
-        } else {
-            self.estimate_scalar(noise, trials, seed, threads)
-        }
+        self.estimate_outcome(noise, opts).into()
     }
 
-    /// Scalar (one-trial-at-a-time) estimator — the original Monte-Carlo
-    /// path, kept as the semantic reference for the batch engine.
-    pub fn estimate_scalar<N>(
-        &self,
-        noise: &N,
-        trials: u64,
-        seed: u64,
-        threads: usize,
-    ) -> ErrorEstimate
+    /// [`ConcatMc::estimate`] returning the raw [`McOutcome`] (executed
+    /// trials, early-stop flag and backend name included).
+    pub fn estimate_outcome<N>(&self, noise: &N, opts: &McOptions) -> McOutcome
     where
-        N: NoiseModel + Sync,
+        N: NoiseModel + ?Sized,
     {
-        let n_logical = self.program.n_logical();
-        let failures = parallel_failures(trials, seed, threads, |rng| {
-            let input = rng.random_range(0..(1u64 << n_logical));
-            let logical_in = BitState::from_u64(input, n_logical);
-            let mut state = self.program.encode(&logical_in);
-            run_noisy(self.program.circuit(), &mut state, noise, rng);
-            let decoded = self.program.decode(&state).to_u64();
-            decoded != self.ideal.apply(input)
-        });
-        ErrorEstimate::from_counts(failures, trials)
-    }
-
-    /// Bit-parallel estimator: 64 trials per word per thread, on the
-    /// [`rft_revsim::batch`] engine. Statistically equivalent to
-    /// [`ConcatMc::estimate_scalar`] (different RNG streams).
-    pub fn estimate_batch<N>(
-        &self,
-        noise: &N,
-        trials: u64,
-        seed: u64,
-        threads: usize,
-    ) -> ErrorEstimate
-    where
-        N: NoiseModel + Sync,
-    {
-        let circuit = self.program.circuit();
-        let compiled = CompiledNoise::compile(circuit, noise);
-        let n_logical = self.program.n_logical();
-        let n_physical = self.program.n_physical();
-        let failures = parallel_failure_words(trials, seed, threads, |rng| {
-            // One random plane word per logical wire: every lane gets an
-            // independent uniform logical input.
-            let logical: Vec<u64> = (0..n_logical).map(|_| rng.random::<u64>()).collect();
-            let mut batch = BatchState::zeros(n_physical, 1);
-            self.program.encode_word(&mut batch, 0, &logical);
-            run_noisy_batch_with(circuit, &mut batch, &compiled, rng);
-            let decoded = self.program.decode_word(&batch, 0);
-            let mut failed = 0u64;
-            for lane in 0..64 {
-                let input = lane_value(&logical, lane);
-                let output = lane_value(&decoded, lane);
-                if output != self.ideal.apply(input) {
-                    failed |= 1u64 << lane;
-                }
-            }
-            failed
-        });
-        ErrorEstimate::from_counts(failures, trials)
+        self.engine(noise).estimate(&self.trial(), opts)
     }
 
     /// Per-cycle logical error rate derived from [`ConcatMc::estimate`].
-    pub fn estimate_per_cycle<N>(
-        &self,
-        noise: &N,
-        trials: u64,
-        seed: u64,
-        threads: usize,
-    ) -> (ErrorEstimate, f64)
+    pub fn estimate_per_cycle<N>(&self, noise: &N, opts: &McOptions) -> (ErrorEstimate, f64)
     where
-        N: NoiseModel + Sync,
+        N: NoiseModel + ?Sized,
     {
-        let est = self.estimate(noise, trials, seed, threads);
+        let est = self.estimate(noise, opts);
         let per_cycle = est.per_cycle(self.cycles);
         (est, per_cycle)
     }
@@ -275,93 +254,58 @@ impl ConcatMc {
 /// [`CycleSpec`]): encode a random input, run the cycle under `noise`,
 /// majority-decode the outputs and compare with the ideal function.
 ///
-/// Dispatches to [`estimate_cycle_error_batch`] when `trials ≥`
-/// [`BATCH_TRIAL_THRESHOLD`], and to [`estimate_cycle_error_scalar`]
-/// otherwise.
-pub fn estimate_cycle_error<N>(
-    spec: &CycleSpec,
-    noise: &N,
-    trials: u64,
-    seed: u64,
-    threads: usize,
-) -> ErrorEstimate
+/// Routes through the [`Engine`] facade with `opts` selecting the
+/// backend, threads and stopping rule.
+pub fn estimate_cycle_error<N>(spec: &CycleSpec, noise: &N, opts: &McOptions) -> ErrorEstimate
 where
-    N: NoiseModel + Sync,
+    N: NoiseModel + ?Sized,
 {
-    if trials >= BATCH_TRIAL_THRESHOLD {
-        estimate_cycle_error_batch(spec, noise, trials, seed, threads)
-    } else {
-        estimate_cycle_error_scalar(spec, noise, trials, seed, threads)
-    }
+    estimate_cycle_error_outcome(spec, noise, opts).into()
 }
 
-/// Scalar (one-trial-at-a-time) cycle estimator — the original path, kept
-/// as the semantic reference for the batch engine.
-pub fn estimate_cycle_error_scalar<N>(
-    spec: &CycleSpec,
-    noise: &N,
-    trials: u64,
-    seed: u64,
-    threads: usize,
-) -> ErrorEstimate
+/// [`estimate_cycle_error`] returning the raw [`McOutcome`].
+pub fn estimate_cycle_error_outcome<N>(spec: &CycleSpec, noise: &N, opts: &McOptions) -> McOutcome
 where
-    N: NoiseModel + Sync,
+    N: NoiseModel + ?Sized,
 {
-    let k = spec.n_logical();
-    let failures = parallel_failures(trials, seed, threads, |rng| {
-        let input = rng.random_range(0..(1u64 << k));
-        let mut state = spec.encode_input(input);
-        run_noisy(spec.circuit(), &mut state, noise, rng);
-        spec.decode_output(&state) != spec.logical().apply(input)
-    });
-    ErrorEstimate::from_counts(failures, trials)
-}
-
-/// Bit-parallel cycle estimator: 64 trials per word per thread.
-/// Statistically equivalent to [`estimate_cycle_error_scalar`] (different
-/// RNG streams).
-pub fn estimate_cycle_error_batch<N>(
-    spec: &CycleSpec,
-    noise: &N,
-    trials: u64,
-    seed: u64,
-    threads: usize,
-) -> ErrorEstimate
-where
-    N: NoiseModel + Sync,
-{
-    let circuit = spec.circuit();
-    let compiled = CompiledNoise::compile(circuit, noise);
-    let k = spec.n_logical();
-    let n_wires = circuit.n_wires();
-    let failures = parallel_failure_words(trials, seed, threads, |rng| {
-        let logical: Vec<u64> = (0..k).map(|_| rng.random::<u64>()).collect();
-        let mut batch = BatchState::zeros(n_wires, 1);
-        spec.encode_input_word(&mut batch, 0, &logical);
-        run_noisy_batch_with(circuit, &mut batch, &compiled, rng);
-        let decoded = spec.decode_output_word(&batch, 0);
-        let mut failed = 0u64;
-        for lane in 0..64 {
-            let input = lane_value(&logical, lane);
-            let output = lane_value(&decoded, lane);
-            if output != spec.logical().apply(input) {
-                failed |= 1u64 << lane;
-            }
-        }
-        failed
-    });
-    ErrorEstimate::from_counts(failures, trials)
+    Engine::compile(spec.circuit(), noise).estimate(spec, opts)
 }
 
 /// Estimates the *unprotected* error rate of `cycles` physical gates — the
 /// `1 − (1−g)^T ≈ gT` baseline the paper compares against.
+#[must_use]
 pub fn unprotected_error(g: f64, gates: usize) -> f64 {
     1.0 - (1.0 - g).powi(gates as i32)
+}
+
+/// Scalar reference trial used by tests and docs: encodes one logical
+/// input, runs the engine's scalar path once, decodes.
+///
+/// Exists mainly to document the per-trial semantics the word-based
+/// estimators vectorize; not used on any hot path.
+pub fn scalar_reference_trial<R: Rng + ?Sized>(
+    mc: &ConcatMc,
+    engine: &Engine,
+    rng: &mut R,
+) -> bool {
+    let n_logical = mc.program().n_logical();
+    // `1u64 << 64` would overflow; a full-width register takes any u64.
+    let input = if n_logical >= 64 {
+        rng.random()
+    } else {
+        rng.random_range(0..(1u64 << n_logical))
+    };
+    let logical_in = BitState::from_u64(input, n_logical);
+    let mut state = mc.program().encode(&logical_in);
+    engine.run_scalar(&mut state, rng);
+    let decoded = mc.program().decode(&state).to_u64();
+    decoded != mc.ideal.apply(input)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rft_revsim::engine::BackendKind;
     use rft_revsim::noise::{NoNoise, UniformNoise};
     use rft_revsim::wire::w;
 
@@ -373,35 +317,19 @@ mod tests {
     }
 
     #[test]
-    fn parallel_failures_is_deterministic() {
-        let f = |rng: &mut SmallRng| rng.random::<f64>() < 0.3;
-        let a = parallel_failures(2000, 42, 4, f);
-        let b = parallel_failures(2000, 42, 4, f);
-        assert_eq!(a, b);
-        // Roughly 30%.
-        assert!((a as f64 - 600.0).abs() < 120.0, "got {a}");
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let f = |rng: &mut SmallRng| rng.random::<f64>() < 0.5;
-        assert_ne!(
-            parallel_failures(1000, 1, 2, f),
-            parallel_failures(1000, 2, 2, f)
-        );
-    }
-
-    #[test]
     fn noiseless_concat_never_fails() {
         let mc = ConcatMc::new(1, toffoli(), 3);
-        let est = mc.estimate(&NoNoise, 200, 7, 2);
+        let est = mc.estimate(&NoNoise, &McOptions::new(200).seed(7).threads(2));
         assert_eq!(est.failures, 0);
     }
 
     #[test]
     fn heavy_noise_fails_often() {
         let mc = ConcatMc::new(1, toffoli(), 1);
-        let est = mc.estimate(&UniformNoise::new(0.25), 400, 7, 2);
+        let est = mc.estimate(
+            &UniformNoise::new(0.25),
+            &McOptions::new(400).seed(7).threads(2),
+        );
         assert!(est.rate > 0.2, "rate {} too low for heavy noise", est.rate);
     }
 
@@ -411,7 +339,10 @@ mod tests {
         // unprotected gates it replaces.
         let g = 1.0 / 432.0;
         let mc = ConcatMc::new(1, toffoli(), 1);
-        let est = mc.estimate(&UniformNoise::new(g), 20_000, 11, 4);
+        let est = mc.estimate(
+            &UniformNoise::new(g),
+            &McOptions::new(20_000).seed(11).threads(4),
+        );
         let baseline = unprotected_error(g, 27);
         assert!(
             est.rate < baseline,
@@ -430,87 +361,96 @@ mod tests {
             vec![DATA_OUT],
             Permutation::identity(1),
         );
-        let est = estimate_cycle_error(&spec, &NoNoise, 100, 3, 2);
+        let est = estimate_cycle_error(&spec, &NoNoise, &McOptions::new(100).seed(3).threads(2));
         assert_eq!(est.failures, 0);
-        let noisy = estimate_cycle_error(&spec, &UniformNoise::new(0.3), 400, 3, 2);
+        let noisy = estimate_cycle_error(
+            &spec,
+            &UniformNoise::new(0.3),
+            &McOptions::new(400).seed(3).threads(2),
+        );
         assert!(noisy.failures > 0);
     }
 
     #[test]
-    fn parallel_failure_words_counts_partial_final_word() {
-        // Every lane "fails": the count must equal the exact trial count,
-        // not the rounded-up word count.
-        let all_fail = |_rng: &mut SmallRng| u64::MAX;
-        assert_eq!(parallel_failure_words(100, 1, 3, all_fail), 100);
-        assert_eq!(parallel_failure_words(64, 1, 2, all_fail), 64);
-        assert_eq!(parallel_failure_words(65, 1, 2, all_fail), 65);
-    }
-
-    #[test]
-    fn parallel_failure_words_is_deterministic() {
-        let f = |rng: &mut SmallRng| rng.random::<u64>() & rng.random::<u64>();
-        let a = parallel_failure_words(10_000, 7, 4, f);
-        let b = parallel_failure_words(10_000, 7, 4, f);
-        assert_eq!(a, b);
-        // Each lane fails with probability 1/4.
-        assert!((a as f64 - 2_500.0).abs() < 300.0, "got {a}");
-    }
-
-    #[test]
-    fn batch_noiseless_concat_never_fails() {
-        let mc = ConcatMc::new(1, toffoli(), 2);
-        let est = mc.estimate_batch(&NoNoise, 1_000, 7, 2);
-        assert_eq!(est.failures, 0);
-    }
-
-    #[test]
-    fn batch_and_scalar_estimates_agree_statistically() {
-        // Same model, disjoint RNG streams: the two estimators must land
-        // within each other's 95% Wilson intervals (generous overlap
-        // check).
+    fn estimates_are_deterministic_and_backend_independent() {
         let mc = ConcatMc::new(1, toffoli(), 1);
-        let noise = UniformNoise::new(1.0 / 80.0);
-        let scalar = mc.estimate_scalar(&noise, 6_000, 11, 4);
-        let batch = mc.estimate_batch(&noise, 6_000, 13, 4);
-        assert!(
-            batch.low <= scalar.high && scalar.low <= batch.high,
-            "batch {:?} vs scalar {:?}",
-            batch,
-            scalar
-        );
+        let noise = UniformNoise::new(0.02);
+        let base = McOptions::new(4_000).seed(9);
+        let a = mc.estimate_outcome(&noise, &base.threads(4));
+        let b = mc.estimate_outcome(&noise, &base.threads(1));
+        assert_eq!(a.failures, b.failures, "thread-count independent");
+        let scalar = mc.estimate_outcome(&noise, &base.backend(BackendKind::Scalar));
+        assert_eq!(a.failures, scalar.failures, "backend independent");
+        assert_eq!(a.backend, "batch");
+        assert_eq!(scalar.backend, "scalar");
     }
 
     #[test]
     fn estimate_dispatches_by_trial_count() {
-        // Both branches must produce sane estimates; the dispatch itself
-        // is an implementation detail, so just exercise the two regimes.
         let mc = ConcatMc::new(1, toffoli(), 1);
         let noise = UniformNoise::new(0.2);
-        let small = mc.estimate(&noise, BATCH_TRIAL_THRESHOLD - 1, 3, 2);
-        let large = mc.estimate(&noise, BATCH_TRIAL_THRESHOLD * 4, 3, 2);
-        assert!(small.rate > 0.0 && large.rate > 0.0);
+        let small = mc.estimate_outcome(&noise, &McOptions::new(BATCH_TRIAL_THRESHOLD - 1).seed(3));
+        let large = mc.estimate_outcome(&noise, &McOptions::new(BATCH_TRIAL_THRESHOLD * 4).seed(3));
+        assert_eq!(small.backend, "scalar");
+        assert_eq!(large.backend, "batch");
+        assert!(small.failures > 0 && large.failures > 0);
     }
 
     #[test]
-    fn batch_cycle_spec_mc_runs() {
-        use rft_core::recovery::{recovery_circuit, DATA_IN, DATA_OUT};
-        let spec = CycleSpec::new(
-            recovery_circuit(),
-            vec![DATA_IN],
-            vec![DATA_OUT],
-            Permutation::identity(1),
-        );
-        let est = estimate_cycle_error_batch(&spec, &NoNoise, 500, 3, 2);
-        assert_eq!(est.failures, 0);
-        let noisy = estimate_cycle_error_batch(&spec, &UniformNoise::new(0.3), 1_000, 3, 2);
-        assert!(noisy.failures > 0);
-        let scalar = estimate_cycle_error_scalar(&spec, &UniformNoise::new(0.3), 1_000, 5, 2);
+    fn scalar_reference_trial_agrees_statistically() {
+        // The documented per-trial semantics vs the word estimator: same
+        // model, disjoint streams, overlapping Wilson intervals.
+        let mc = ConcatMc::new(1, toffoli(), 1);
+        let noise = UniformNoise::new(1.0 / 80.0);
+        let engine = mc.engine(&noise);
+        let trials = 4_000u64;
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut failures = 0u64;
+        for _ in 0..trials {
+            if scalar_reference_trial(&mc, &engine, &mut rng) {
+                failures += 1;
+            }
+        }
+        let reference = ErrorEstimate::from_counts(failures, trials);
+        let word = mc.estimate(&noise, &McOptions::new(trials).seed(6).threads(2));
         assert!(
-            noisy.low <= scalar.high && scalar.low <= noisy.high,
-            "batch {:?} vs scalar {:?}",
-            noisy,
-            scalar
+            word.low <= reference.high && reference.low <= word.high,
+            "word {word:?} vs reference {reference:?}"
         );
+    }
+
+    #[test]
+    fn adaptive_early_stopping_spends_less() {
+        let mc = ConcatMc::new(1, toffoli(), 1);
+        let noise = UniformNoise::new(0.1);
+        let full = mc.estimate_outcome(&noise, &McOptions::new(100_000).seed(3).threads(2));
+        let adaptive = mc.estimate_outcome(
+            &noise,
+            &McOptions::new(100_000)
+                .seed(3)
+                .threads(2)
+                .target_rel_error(0.15),
+        );
+        assert!(adaptive.early_stopped);
+        assert!(
+            adaptive.trials < full.trials / 10,
+            "adaptive {} vs full {}",
+            adaptive.trials,
+            full.trials
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parallel_runners_still_work() {
+        let f = |rng: &mut SmallRng| rng.random::<f64>() < 0.3;
+        let a = parallel_failures(2000, 42, 4, f);
+        let b = parallel_failures(2000, 42, 4, f);
+        assert_eq!(a, b);
+        assert!((a as f64 - 600.0).abs() < 120.0, "got {a}");
+        let all_fail = |_rng: &mut SmallRng| u64::MAX;
+        assert_eq!(parallel_failure_words(100, 1, 3, all_fail), 100);
+        assert_eq!(parallel_failure_words(65, 1, 2, all_fail), 65);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Estimation statistics for Monte-Carlo experiments.
 
+use rft_revsim::engine::McOutcome;
 use serde::{Deserialize, Serialize};
 
 /// A binomial error-rate estimate with a Wilson confidence interval.
+#[must_use = "an estimate should be inspected or reported"]
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ErrorEstimate {
     /// Observed failures.
@@ -51,8 +53,18 @@ impl ErrorEstimate {
     }
 
     /// Whether the interval excludes a given rate.
+    #[must_use]
     pub fn excludes(&self, rate: f64) -> bool {
         rate < self.low || rate > self.high
+    }
+}
+
+/// An [`Engine`](rft_revsim::engine::Engine) estimation outcome wraps
+/// directly into a Wilson-interval estimate over the trials actually
+/// executed (which is what adaptive early stopping leaves behind).
+impl From<McOutcome> for ErrorEstimate {
+    fn from(outcome: McOutcome) -> Self {
+        ErrorEstimate::from_counts(outcome.failures, outcome.trials)
     }
 }
 

@@ -1,13 +1,14 @@
-//! Scalar vs bit-parallel batch Monte-Carlo throughput.
+//! Scalar vs bit-parallel batch Monte-Carlo throughput, through the
+//! unified engine facade.
 //!
 //! The headline comparison of the batch engine: noisy trials of the
 //! Figure-2 recovery cycle (the §2.2 transversal-Toffoli extended
 //! rectangle) and of the compiled level-1/level-2 concatenated programs,
-//! scalar path vs 64-lanes-per-word batch path. Throughput is reported in
+//! scalar backend vs 64-lanes-per-word batch backend — selected purely via
+//! [`McOptions::backend`], same trial budget. Throughput is reported in
 //! trials per second (`Throughput::Elements` = trials per iteration).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rft_analysis::montecarlo::{estimate_cycle_error_batch, estimate_cycle_error_scalar};
 use rft_analysis::prelude::*;
 use rft_core::ftcheck::transversal_cycle;
 use rft_revsim::prelude::*;
@@ -20,8 +21,12 @@ fn toffoli() -> Gate {
     }
 }
 
-/// Figure-2 recovery cycle (27 wires, 27 ops): scalar vs batch, single
-/// thread, identical trial budget.
+fn opts(trials: u64, backend: BackendKind) -> McOptions {
+    McOptions::new(trials).seed(1).threads(1).backend(backend)
+}
+
+/// Figure-2 recovery cycle (27 wires, 27 ops): scalar vs batch backend,
+/// single thread, identical trial budget.
 fn fig2_cycle_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("batch_fig2_cycle");
     group.sample_size(10);
@@ -30,10 +35,12 @@ fn fig2_cycle_throughput(c: &mut Criterion) {
     const TRIALS: u64 = 4_096;
     group.throughput(Throughput::Elements(TRIALS));
     group.bench_function("scalar_4k_trials", |b| {
-        b.iter(|| black_box(estimate_cycle_error_scalar(&spec, &noise, TRIALS, 1, 1).failures));
+        let o = opts(TRIALS, BackendKind::Scalar);
+        b.iter(|| black_box(estimate_cycle_error(&spec, &noise, &o).failures));
     });
     group.bench_function("batch_4k_trials", |b| {
-        b.iter(|| black_box(estimate_cycle_error_batch(&spec, &noise, TRIALS, 1, 1).failures));
+        let o = opts(TRIALS, BackendKind::Batch);
+        b.iter(|| black_box(estimate_cycle_error(&spec, &noise, &o).failures));
     });
     group.finish();
 }
@@ -48,24 +55,26 @@ fn concat_mc_throughput(c: &mut Criterion) {
         let trials: u64 = if level == 1 { 4_096 } else { 512 };
         group.throughput(Throughput::Elements(trials));
         group.bench_with_input(BenchmarkId::new("scalar", level), &level, |b, _| {
-            b.iter(|| black_box(mc.estimate_scalar(&noise, trials, 1, 1).failures));
+            let o = opts(trials, BackendKind::Scalar);
+            b.iter(|| black_box(mc.estimate(&noise, &o).failures));
         });
         group.bench_with_input(BenchmarkId::new("batch", level), &level, |b, _| {
-            b.iter(|| black_box(mc.estimate_batch(&noise, trials, 1, 1).failures));
+            let o = opts(trials, BackendKind::Batch);
+            b.iter(|| black_box(mc.estimate(&noise, &o).failures));
         });
     }
     group.finish();
 }
 
 /// Raw executor throughput on the recovery cycle, without encode/decode:
-/// 64 scalar runs vs one 64-lane batch run (same trial count).
+/// 64 scalar runs vs one 64-lane batch run (same trial count), on one
+/// pre-compiled engine.
 fn raw_executor_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("batch_raw_exec");
     group.sample_size(10);
     let spec = transversal_cycle(&toffoli());
-    let circuit = spec.circuit().clone();
     let noise = UniformNoise::new(1.0 / 165.0);
-    let compiled = CompiledNoise::compile(&circuit, &noise);
+    let engine = Engine::compile(spec.circuit(), &noise);
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
@@ -75,8 +84,8 @@ fn raw_executor_throughput(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0usize;
             for _ in 0..64 {
-                let mut s = BitState::zeros(circuit.n_wires());
-                acc += run_noisy(&circuit, &mut s, &noise, &mut rng).fault_count();
+                let mut s = BitState::zeros(engine.n_wires());
+                acc += engine.run_scalar(&mut s, &mut rng).fault_count();
             }
             black_box(acc)
         });
@@ -84,8 +93,8 @@ fn raw_executor_throughput(c: &mut Criterion) {
     group.bench_function("batch_64_lanes", |b| {
         let mut rng = SmallRng::seed_from_u64(3);
         b.iter(|| {
-            let mut batch = BatchState::zeros(circuit.n_wires(), 1);
-            black_box(run_noisy_batch_with(&circuit, &mut batch, &compiled, &mut rng).fault_events)
+            let mut batch = BatchState::zeros(engine.n_wires(), 1);
+            black_box(engine.run_batch(&mut batch, &mut rng).fault_events)
         });
     });
     group.finish();

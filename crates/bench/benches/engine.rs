@@ -1,0 +1,71 @@
+//! Engine facade overhead: what compile-once costs, and what the facade
+//! adds on top of raw backend execution.
+//!
+//! `engine_compile` measures [`Engine::compile`] alone — a single pass
+//! over the op stream building the fault table — for the three circuit
+//! scales the reproduction actually runs (27-op Figure-2 cycle, level-1
+//! and level-2 concatenated programs). `engine_estimate` measures a full
+//! facade round trip (compile + auto-routed batch estimation + adaptive
+//! variant) so regressions in dispatch or the word runner show up next to
+//! the raw numbers in BENCH_batch.json.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rft_analysis::prelude::*;
+use rft_core::ftcheck::transversal_cycle;
+use rft_revsim::prelude::*;
+use std::hint::black_box;
+
+fn toffoli() -> Gate {
+    Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    }
+}
+
+/// Compile-once cost across circuit scales.
+fn engine_compile_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_compile");
+    group.sample_size(20);
+    let noise = UniformNoise::new(1.0 / 165.0);
+
+    let spec = transversal_cycle(&toffoli());
+    group.throughput(Throughput::Elements(spec.circuit().len() as u64));
+    group.bench_function("fig2_cycle_27_ops", |b| {
+        b.iter(|| black_box(Engine::compile(spec.circuit(), &noise).n_ops()));
+    });
+
+    for level in [1u8, 2] {
+        let mc = ConcatMc::new(level, toffoli(), 1);
+        let ops = mc.program().circuit().len() as u64;
+        group.throughput(Throughput::Elements(ops));
+        group.bench_with_input(BenchmarkId::new("concat_level", level), &level, |b, _| {
+            b.iter(|| black_box(mc.engine(&noise).n_ops()));
+        });
+    }
+    group.finish();
+}
+
+/// Full facade round trips: compile + estimate.
+fn engine_estimate_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_estimate");
+    group.sample_size(10);
+    let spec = transversal_cycle(&toffoli());
+    let noise = UniformNoise::new(1.0 / 165.0);
+    const TRIALS: u64 = 4_096;
+    group.throughput(Throughput::Elements(TRIALS));
+    group.bench_function("auto_4k_trials", |b| {
+        let opts = McOptions::new(TRIALS).seed(1).threads(1);
+        b.iter(|| black_box(estimate_cycle_error(&spec, &noise, &opts).failures));
+    });
+    group.bench_function("adaptive_rel20_4k_cap", |b| {
+        let opts = McOptions::new(TRIALS)
+            .seed(1)
+            .threads(1)
+            .target_rel_error(0.2);
+        b.iter(|| black_box(estimate_cycle_error(&spec, &noise, &opts).failures));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_compile_overhead, engine_estimate_roundtrip);
+criterion_main!(benches);

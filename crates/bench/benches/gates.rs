@@ -63,11 +63,11 @@ fn circuit_execution(c: &mut Criterion) {
     group.bench_function("noisy_bernoulli_g1e-3", |b| {
         use rand::rngs::SmallRng;
         use rand::SeedableRng;
-        let noise = UniformNoise::new(1e-3);
+        let engine = Engine::compile(&circuit, &UniformNoise::new(1e-3));
         let mut rng = SmallRng::seed_from_u64(1);
         b.iter(|| {
             let mut s = BitState::zeros(n);
-            black_box(run_noisy(&circuit, &mut s, &noise, &mut rng).fault_count())
+            black_box(engine.run_scalar(&mut s, &mut rng).fault_count())
         });
     });
     group.bench_function("noisy_geometric_g1e-3", |b| {

@@ -1,4 +1,5 @@
-//! §2.2 Monte-Carlo harness benchmarks (threshold/suppression estimators).
+//! §2.2 Monte-Carlo harness benchmarks (threshold/suppression estimators),
+//! through the engine facade with auto backend routing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rft_analysis::prelude::*;
@@ -12,6 +13,7 @@ fn mc_trials(c: &mut Criterion) {
         controls: [w(0), w(1)],
         target: w(2),
     };
+    let opts = McOptions::new(1000).seed(1).threads(4);
     for level in [1u8, 2] {
         let mc = ConcatMc::new(level, gate, 1);
         let noise = UniformNoise::new(1.0 / 165.0);
@@ -19,7 +21,7 @@ fn mc_trials(c: &mut Criterion) {
             BenchmarkId::new("level_1k_trials", level),
             &level,
             |b, _| {
-                b.iter(|| black_box(mc.estimate(&noise, 1000, 1, 4).failures));
+                b.iter(|| black_box(mc.estimate(&noise, &opts).failures));
             },
         );
     }

@@ -2,12 +2,17 @@
 //! *“Reversible Fault-Tolerant Logic”* (Boykin & Roychowdhury, DSN 2005).
 //!
 //! ```text
-//! repro [--quick] [--trials N] [--seed S] [EXPERIMENT ...]
+//! repro [--quick] [--trials N] [--seed S] [--backend auto|scalar|batch]
+//!       [--rel-error E] [EXPERIMENT ...]
 //! ```
 //!
 //! With no experiment IDs, everything runs. IDs (see DESIGN.md):
 //! `table1 fig2 threshold suppression blowup levelreq local table2 entropy
 //! nand advantage`.
+//!
+//! `--backend` selects the engine execution backend at runtime (the
+//! default auto-routes by trial count); `--rel-error` enables adaptive
+//! early stopping at the given target relative standard error.
 
 use rft_analysis::experiments::{
     ablation, advantage, blowup, entropy, fig2, levelreq, local, nand, suppression, table1, table2,
@@ -45,8 +50,24 @@ fn main() {
                 let v = args.next().expect("--seed needs a value");
                 cfg.seed = v.parse().expect("--seed must be an integer");
             }
+            "--backend" => {
+                let v = args.next().expect("--backend needs a value");
+                cfg.backend = v.parse().unwrap_or_else(|e| panic!("{e}"));
+            }
+            "--rel-error" => {
+                let v = args.next().expect("--rel-error needs a value");
+                let target: f64 = v.parse().expect("--rel-error must be a number");
+                assert!(
+                    target > 0.0 && target.is_finite(),
+                    "--rel-error must be positive"
+                );
+                cfg.target_rel_error = Some(target);
+            }
             "--help" | "-h" => {
-                println!("usage: repro [--quick] [--trials N] [--seed S] [EXPERIMENT ...]");
+                println!(
+                    "usage: repro [--quick] [--trials N] [--seed S] \
+                     [--backend auto|scalar|batch] [--rel-error E] [EXPERIMENT ...]"
+                );
                 println!("experiments: {}", ALL.join(" "));
                 return;
             }
@@ -59,8 +80,15 @@ fn main() {
 
     println!("Reversible Fault-Tolerant Logic — reproduction harness");
     println!(
-        "config: trials = {}, seed = {}, threads = {}\n",
-        cfg.trials, cfg.seed, cfg.threads
+        "config: trials = {}, seed = {}, threads = {}, backend = {}{}\n",
+        cfg.trials,
+        cfg.seed,
+        cfg.threads,
+        cfg.backend,
+        match cfg.target_rel_error {
+            Some(t) => format!(", adaptive rel-error target = {t}"),
+            None => String::new(),
+        }
     );
 
     for id in &chosen {

@@ -147,6 +147,7 @@ impl DataTree {
 /// assert_eq!(program.circuit().len(), 27);
 /// assert_eq!(program.n_physical(), 3 * 9);
 /// ```
+#[must_use = "an FtBuilder emits nothing until finished into an FtProgram"]
 #[derive(Debug, Clone)]
 pub struct FtBuilder {
     level: u8,
@@ -441,6 +442,7 @@ impl FtBuilder {
     }
 
     /// Finalizes the builder into an executable program.
+    #[must_use = "finishing produces the program; the builder is consumed"]
     pub fn finish(self) -> FtProgram {
         let final_trees: Vec<DataTree> =
             (0..self.n_logical).map(|i| self.tree_of_wire(i)).collect();
@@ -479,6 +481,7 @@ impl FtBuilder {
 
 /// A compiled fault-tolerant program: physical circuit plus the data-
 /// position bookkeeping needed to encode inputs and decode outputs.
+#[must_use = "a compiled program does nothing until executed"]
 #[derive(Debug, Clone)]
 pub struct FtProgram {
     level: u8,
@@ -614,6 +617,7 @@ pub struct GateCost {
 /// # Panics
 ///
 /// Panics if `level > FtBuilder::MAX_LEVEL`.
+#[must_use = "the measured cost is the result"]
 pub fn measure_gate_cost(level: u8) -> GateCost {
     let mut b = FtBuilder::new(level, 3);
     b.apply(&Gate::Toffoli {

@@ -8,10 +8,11 @@
 //! set, which is feasible because supports have at most three bits
 //! (`2^3 = 8` patterns per op).
 
+use rand::{Rng, RngCore};
 use rft_revsim::batch::kernels::majority3;
 use rft_revsim::batch::BatchState;
 use rft_revsim::circuit::Circuit;
-use rft_revsim::exec::run_with_plan;
+use rft_revsim::engine::{failure_mask, PlannedFaultBackend, WordTrial};
 use rft_revsim::fault::{double_fault_plans, single_fault_plans, FaultPlan};
 use rft_revsim::permutation::Permutation;
 use rft_revsim::state::BitState;
@@ -225,7 +226,7 @@ impl CycleSpec {
             for input in 0..n_inputs {
                 sweep.runs += 1;
                 let mut state = self.encode_input(input);
-                run_with_plan(&self.circuit, &mut state, &plan);
+                PlannedFaultBackend::new(&plan).run_state(&self.circuit, &mut state);
                 let worst_block = self
                     .output_errors(input, &state)
                     .into_iter()
@@ -255,7 +256,7 @@ impl CycleSpec {
         for plan in double_fault_plans(&self.circuit) {
             for input in 0..(1u64 << self.n_logical()) {
                 let mut state = self.encode_input(input);
-                run_with_plan(&self.circuit, &mut state, &plan);
+                PlannedFaultBackend::new(&plan).run_state(&self.circuit, &mut state);
                 if self
                     .output_errors(input, &state)
                     .into_iter()
@@ -266,6 +267,27 @@ impl CycleSpec {
             }
         }
         None
+    }
+}
+
+/// A `CycleSpec` is directly usable as a Monte-Carlo trial: each lane
+/// draws an independent uniform logical input, the input codewords are
+/// encoded onto the plane word, and a lane fails when the majority-decoded
+/// output disagrees with the intended logical function.
+impl WordTrial for CycleSpec {
+    fn n_wires(&self) -> usize {
+        self.circuit.n_wires()
+    }
+
+    fn prepare(&self, batch: &mut BatchState, rng: &mut dyn RngCore) -> Vec<u64> {
+        let logical: Vec<u64> = (0..self.n_logical()).map(|_| rng.random()).collect();
+        self.encode_input_word(batch, 0, &logical);
+        logical
+    }
+
+    fn judge(&self, batch: &BatchState, inputs: &[u64]) -> u64 {
+        let decoded = self.decode_output_word(batch, 0);
+        failure_mask(inputs, &decoded, |input| self.logical.apply(input))
     }
 }
 

@@ -1,19 +1,17 @@
-//! Batch executors: ideal and noisy bit-parallel runs.
+//! Batch executors: ideal bit-parallel runs, plus deprecated shims for
+//! the noisy free-function API that predates [`crate::engine`].
 //!
-//! Fault semantics match [`crate::exec::run_noisy`] lane-for-lane: every
+//! Fault semantics match the scalar executors lane-for-lane: every
 //! operation fails independently with its [`NoiseModel`] probability in
 //! each lane; a failing operation skips execution and replaces its support
-//! bits with independent uniform random bits.
-//!
-//! Fault masks are sampled exactly: the number of faulting lanes in a
-//! 64-lane word is drawn from `Binomial(64, p)` via the precomputed CDF in
-//! [`CompiledNoise`], and the faulting lane positions are then chosen
-//! uniformly — which together reproduce 64 i.i.d. Bernoulli(p) draws at the
-//! cost of one `f64` sample in the (overwhelmingly common) zero-fault case.
+//! bits with independent uniform random bits. The implementation lives in
+//! [`crate::engine`] — compile an [`Engine`] and
+//! call [`Engine::run_batch`](crate::engine::Engine::run_batch) instead of
+//! the deprecated functions here.
 
-use super::kernels;
 use super::BatchState;
 use crate::circuit::Circuit;
+use crate::engine::{self, Engine, FaultTable};
 use crate::noise::NoiseModel;
 use rand::Rng;
 
@@ -47,93 +45,25 @@ pub fn run_ideal_batch(circuit: &Circuit, batch: &mut BatchState) {
     );
     for op in circuit.ops() {
         for word in 0..batch.words_per_wire() {
-            kernels::apply_word(batch, op, word);
+            super::kernels::apply_word(batch, op, word);
         }
     }
 }
 
-/// Per-operation fault-mask sampler: the CDF of `Binomial(64, p)`.
-#[derive(Debug, Clone)]
-struct MaskSampler {
-    /// `cdf[k]` = P(number of faulting lanes ≤ k); `cdf[64] = 1`.
-    cdf: Vec<f64>,
-}
-
-impl MaskSampler {
-    fn new(p: f64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&p),
-            "fault probability must be in [0,1], got {p}"
-        );
-        let mut cdf = vec![1.0; 65];
-        if p == 0.0 {
-            return MaskSampler { cdf };
-        }
-        if p == 1.0 {
-            for c in cdf.iter_mut().take(64) {
-                *c = 0.0;
-            }
-            return MaskSampler { cdf };
-        }
-        let ratio = p / (1.0 - p);
-        let mut pmf = (1.0 - p).powi(64);
-        let mut acc = 0.0;
-        for (k, c) in cdf.iter_mut().enumerate().take(64) {
-            acc += pmf;
-            *c = acc.min(1.0);
-            pmf *= ratio * (64 - k) as f64 / (k + 1) as f64;
-        }
-        MaskSampler { cdf }
-    }
-
-    /// Draws a 64-lane fault mask distributed as 64 i.i.d. Bernoulli(p)
-    /// bits.
-    #[inline]
-    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.random();
-        // Fast path: no faults in this word.
-        if u < self.cdf[0] {
-            return 0;
-        }
-        let mut k = 1usize;
-        while k < 64 && u >= self.cdf[k] {
-            k += 1;
-        }
-        // Choose k distinct lane positions uniformly. For k > 32 place the
-        // complement instead (fewer rejections).
-        let (count, invert) = if k <= 32 { (k, false) } else { (64 - k, true) };
-        let mut mask = 0u64;
-        let mut placed = 0usize;
-        while placed < count {
-            let bit = 1u64 << rng.random_range(0..64u32);
-            if mask & bit == 0 {
-                mask |= bit;
-                placed += 1;
-            }
-        }
-        if invert {
-            !mask
-        } else {
-            mask
-        }
-    }
-}
-
-/// A [`NoiseModel`] pre-compiled against one circuit for batch execution:
-/// one binomial-CDF sampler per distinct per-op fault probability.
+/// A [`NoiseModel`] pre-compiled against one circuit for batch execution.
 ///
-/// Compile once and reuse across runs (it is cheap to build but sits on the
-/// hot path of every word).
+/// Subsumed by [`Engine`], which owns the same fault table *and* the
+/// circuit, so it cannot go stale against the wrong op stream.
+#[deprecated(
+    since = "0.2.0",
+    note = "use rft_revsim::engine::Engine::compile, which owns the fault table"
+)]
 #[derive(Debug, Clone)]
 pub struct CompiledNoise {
-    /// Sampler index per operation (`usize::MAX` = never faults).
-    per_op: Vec<usize>,
-    samplers: Vec<MaskSampler>,
+    pub(crate) table: FaultTable,
 }
 
-/// Marker for operations with zero fault probability.
-const NEVER: usize = usize::MAX;
-
+#[allow(deprecated)]
 impl CompiledNoise {
     /// Compiles `noise` for `circuit`.
     ///
@@ -141,46 +71,28 @@ impl CompiledNoise {
     ///
     /// Panics if the model reports a probability outside `[0, 1]`.
     pub fn compile<N: NoiseModel + ?Sized>(circuit: &Circuit, noise: &N) -> Self {
-        let mut rates: Vec<u64> = Vec::new();
-        let mut samplers = Vec::new();
-        let per_op = circuit
-            .ops()
-            .iter()
-            .map(|op| {
-                let p = noise.fault_probability(op);
-                if p <= 0.0 {
-                    return NEVER;
-                }
-                let bits = p.to_bits();
-                match rates.iter().position(|&r| r == bits) {
-                    Some(i) => i,
-                    None => {
-                        rates.push(bits);
-                        samplers.push(MaskSampler::new(p));
-                        samplers.len() - 1
-                    }
-                }
-            })
-            .collect();
-        CompiledNoise { per_op, samplers }
+        CompiledNoise {
+            table: FaultTable::compile(circuit, noise),
+        }
     }
 
     /// Number of operations this noise was compiled for.
     pub fn n_ops(&self) -> usize {
-        self.per_op.len()
+        self.table.n_ops()
     }
 }
 
 /// Runs `circuit` on every lane of `batch` under pre-compiled noise.
 ///
-/// Statistically identical, lane for lane, to running
-/// [`crate::exec::run_noisy`] on each lane with independent RNGs (the
-/// actual random streams differ).
-///
 /// # Panics
 ///
 /// Panics if the batch width, circuit width or compiled-noise op count
 /// disagree.
+#[deprecated(
+    since = "0.2.0",
+    note = "use rft_revsim::engine::Engine::{compile, run_batch}"
+)]
+#[allow(deprecated)]
 pub fn run_noisy_batch_with<R>(
     circuit: &Circuit,
     batch: &mut BatchState,
@@ -190,54 +102,19 @@ pub fn run_noisy_batch_with<R>(
 where
     R: Rng + ?Sized,
 {
-    assert_eq!(
-        batch.n_wires(),
-        circuit.n_wires(),
-        "batch width must match circuit width"
-    );
-    assert_eq!(
-        noise.n_ops(),
-        circuit.len(),
-        "compiled noise does not match this circuit"
-    );
-    let words = batch.words_per_wire();
-    let mut report = BatchExecReport {
-        fault_events: 0,
-        faulted_lanes: vec![0; words],
-    };
-    for (op, &sampler_idx) in circuit.ops().iter().zip(&noise.per_op) {
-        if sampler_idx == NEVER {
-            for word in 0..words {
-                kernels::apply_word(batch, op, word);
-            }
-            continue;
-        }
-        let sampler = &noise.samplers[sampler_idx];
-        for word in 0..words {
-            let fault = sampler.sample(rng);
-            if fault == 0 {
-                kernels::apply_word(batch, op, word);
-            } else {
-                let mut rand_planes = [0u64; 3];
-                for plane in rand_planes.iter_mut().take(op.arity()) {
-                    *plane = rng.random::<u64>();
-                }
-                kernels::apply_word_masked(batch, op, word, fault, &rand_planes);
-                report.fault_events += fault.count_ones() as u64;
-                report.faulted_lanes[word] |= fault;
-            }
-        }
-    }
-    report
+    engine::run_batch_words(circuit, &noise.table, batch, rng)
 }
 
 /// Runs `circuit` on every lane of `batch`, failing each operation
-/// independently per `noise` (compiles the noise on the fly; prefer
-/// [`CompiledNoise`] + [`run_noisy_batch_with`] in loops).
+/// independently per `noise` (compiles the noise on the fly).
 ///
 /// # Panics
 ///
 /// Panics if the batch width does not match the circuit width.
+#[deprecated(
+    since = "0.2.0",
+    note = "use rft_revsim::engine::Engine::{compile, run_batch}"
+)]
 pub fn run_noisy_batch<N, R>(
     circuit: &Circuit,
     batch: &mut BatchState,
@@ -248,14 +125,13 @@ where
     N: NoiseModel + ?Sized,
     R: Rng + ?Sized,
 {
-    let compiled = CompiledNoise::compile(circuit, noise);
-    run_noisy_batch_with(circuit, batch, &compiled, rng)
+    Engine::compile(circuit, noise).run_batch(batch, rng)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::noise::{NoNoise, SplitNoise, UniformNoise};
+    use crate::noise::{NoNoise, UniformNoise};
     use crate::state::BitState;
     use crate::wire::w;
     use rand::rngs::SmallRng;
@@ -288,37 +164,6 @@ mod tests {
     }
 
     #[test]
-    fn no_noise_reports_no_faults() {
-        let c = recovery_like_circuit();
-        let mut batch = BatchState::zeros(9, 2);
-        let mut rng = SmallRng::seed_from_u64(0);
-        let report = run_noisy_batch(&c, &mut batch, &NoNoise, &mut rng);
-        assert_eq!(report.fault_events, 0);
-        assert_eq!(report.faulted_lanes, vec![0, 0]);
-        assert_eq!(batch.count_ones(), 0);
-    }
-
-    #[test]
-    fn always_fail_faults_every_op_in_every_lane() {
-        let c = recovery_like_circuit();
-        let mut batch = BatchState::zeros(9, 1);
-        let mut rng = SmallRng::seed_from_u64(1);
-        let report = run_noisy_batch(&c, &mut batch, &UniformNoise::new(1.0), &mut rng);
-        assert_eq!(report.fault_events, (c.len() * 64) as u64);
-        assert_eq!(report.faulted_lanes, vec![u64::MAX]);
-    }
-
-    #[test]
-    fn split_noise_spares_inits() {
-        let c = recovery_like_circuit();
-        let mut batch = BatchState::zeros(9, 1);
-        let mut rng = SmallRng::seed_from_u64(2);
-        let report = run_noisy_batch(&c, &mut batch, &SplitNoise::new(1.0, 0.0), &mut rng);
-        // 6 gates fail in all 64 lanes; the 2 inits never fail.
-        assert_eq!(report.fault_events, 6 * 64);
-    }
-
-    #[test]
     fn clean_lanes_match_the_ideal_run() {
         let c = recovery_like_circuit();
         let states: Vec<BitState> = (0..64u64)
@@ -328,7 +173,8 @@ mod tests {
         let mut ideal = BatchState::from_states(&states);
         run_ideal_batch(&c, &mut ideal);
         let mut rng = SmallRng::seed_from_u64(3);
-        let report = run_noisy_batch(&c, &mut noisy, &UniformNoise::new(0.05), &mut rng);
+        let engine = Engine::compile(&c, &UniformNoise::new(0.05));
+        let report = engine.run_batch(&mut noisy, &mut rng);
         let clean = report.clean_lanes(0);
         assert_ne!(clean, 0, "some lane should be fault-free at g=0.05");
         for lane in 0..64 {
@@ -339,49 +185,29 @@ mod tests {
     }
 
     #[test]
-    fn fault_rate_matches_noise_model() {
-        // Mean fault count over many words ≈ ops × lanes × g, within 5σ.
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_engine() {
+        // The legacy free functions and the engine must share one
+        // implementation: identical streams, identical results.
         let c = recovery_like_circuit();
-        let g = 0.03;
-        let compiled = CompiledNoise::compile(&c, &UniformNoise::new(g));
-        let mut rng = SmallRng::seed_from_u64(42);
-        let words = 200usize;
-        let mut events = 0u64;
-        for _ in 0..words {
-            let mut batch = BatchState::zeros(9, 1);
-            events += run_noisy_batch_with(&c, &mut batch, &compiled, &mut rng).fault_events;
-        }
-        let n = (c.len() * 64 * words) as f64;
-        let expected = g * n;
-        let sd = (n * g * (1.0 - g)).sqrt();
-        assert!(
-            ((events as f64) - expected).abs() < 5.0 * sd,
-            "events {events} vs expected {expected} ± {sd}"
-        );
-    }
+        let noise = UniformNoise::new(0.1);
+        let engine = Engine::compile(&c, &noise);
+        let compiled = CompiledNoise::compile(&c, &noise);
+        assert_eq!(compiled.n_ops(), c.len());
 
-    #[test]
-    fn mask_sampler_is_binomial() {
-        // Lane-occupancy check: each of the 64 lanes faults with the same
-        // marginal probability.
-        let sampler = MaskSampler::new(0.2);
-        let mut rng = SmallRng::seed_from_u64(9);
-        let draws = 20_000usize;
-        let mut per_lane = [0u32; 64];
-        for _ in 0..draws {
-            let mask = sampler.sample(&mut rng);
-            for (lane, count) in per_lane.iter_mut().enumerate() {
-                *count += ((mask >> lane) & 1) as u32;
-            }
-        }
-        let expected = 0.2 * draws as f64;
-        let sd = (draws as f64 * 0.2 * 0.8).sqrt();
-        for (lane, &count) in per_lane.iter().enumerate() {
-            assert!(
-                ((count as f64) - expected).abs() < 6.0 * sd,
-                "lane {lane}: {count} vs {expected} ± {sd}"
-            );
-        }
+        let mut via_engine = BatchState::zeros(9, 2);
+        let mut via_shim = BatchState::zeros(9, 2);
+        let mut via_oneshot = BatchState::zeros(9, 2);
+        let mut rng_a = SmallRng::seed_from_u64(11);
+        let mut rng_b = SmallRng::seed_from_u64(11);
+        let mut rng_c = SmallRng::seed_from_u64(11);
+        let a = engine.run_batch(&mut via_engine, &mut rng_a);
+        let b = run_noisy_batch_with(&c, &mut via_shim, &compiled, &mut rng_b);
+        let d = run_noisy_batch(&c, &mut via_oneshot, &noise, &mut rng_c);
+        assert_eq!(a, b);
+        assert_eq!(a, d);
+        assert_eq!(via_engine, via_shim);
+        assert_eq!(via_engine, via_oneshot);
     }
 
     #[test]
@@ -393,6 +219,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "compiled noise")]
     fn stale_compiled_noise_panics() {
         let mut c = Circuit::new(2);

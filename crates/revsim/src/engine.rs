@@ -1,0 +1,1379 @@
+//! The unified execution engine: compile once, run many.
+//!
+//! Every consumer of the simulator — the Monte-Carlo estimators, the
+//! experiment harness, benches and examples — funnels through this module
+//! instead of choosing between the scalar executors ([`crate::exec`]) and
+//! the bit-parallel batch executors ([`crate::batch`]) by hand.
+//!
+//! The pieces:
+//!
+//! - [`Engine`] — the compile-once artifact: the flattened operation
+//!   stream plus the per-operation fault probabilities and the exact
+//!   binomial fault-mask samplers derived from a bound [`NoiseModel`].
+//!   Compiling is one pass over the circuit; an `Engine` is then reused
+//!   across as many runs as needed.
+//! - [`Backend`] — an object-safe execution strategy over 64-lane words:
+//!   [`ScalarBackend`] (the semantic reference: one [`BitState`] per lane,
+//!   ops applied scalarly), [`BatchBackend`] (branch-free bit-plane
+//!   kernels), and [`PlannedFaultBackend`] (deterministic fault injection
+//!   from a [`FaultPlan`], the exhaustive-proof path).
+//! - [`McOptions`] — the typed Monte-Carlo run configuration: `trials`,
+//!   `seed`, `threads`, an explicit or [`BackendKind::Auto`] backend with
+//!   a batch-routing threshold, and an optional target relative error
+//!   that enables adaptive early stopping.
+//! - [`WordTrial`] — how a caller prepares 64 trial inputs and judges 64
+//!   outcomes; [`Engine::estimate`] drives it through the selected
+//!   backend, threaded and deterministically seeded.
+//! - [`Simulation`] — an `Engine` bound to its `McOptions`: the
+//!   compile-once/run-many handle for repeated estimates.
+//!
+//! # Backend selection policy
+//!
+//! [`BackendKind::Auto`] routes a run to [`BatchBackend`] when the trial
+//! budget reaches [`McOptions::batch_threshold`] (default
+//! [`DEFAULT_BATCH_THRESHOLD`] = 256 trials: four 64-lane words, enough to
+//! amortize plane packing) and to [`ScalarBackend`] below it.
+//!
+//! Both Monte-Carlo backends consume the *same* random stream in the same
+//! order — one fault mask per operation per word, then one random plane
+//! per support wire of faulting words — so for a given seed they produce
+//! **bit-identical lanes**, not merely statistically equivalent ones. The
+//! property tests in `tests/batch_equivalence.rs` pin this down.
+//!
+//! # Examples
+//!
+//! ```
+//! use rft_revsim::prelude::*;
+//!
+//! // The Figure-2-style recovery circuit under uniform noise.
+//! let mut c = Circuit::new(9);
+//! c.init(&[w(3), w(4), w(5)])
+//!     .init(&[w(6), w(7), w(8)])
+//!     .maj_inv(w(0), w(3), w(6))
+//!     .maj_inv(w(1), w(4), w(7))
+//!     .maj_inv(w(2), w(5), w(8))
+//!     .maj(w(0), w(1), w(2))
+//!     .maj(w(3), w(4), w(5))
+//!     .maj(w(6), w(7), w(8));
+//!
+//! // Compile once...
+//! let engine = Engine::compile(&c, &UniformNoise::new(0.01));
+//!
+//! // ...run many: scalar one-shot,
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let mut state = BitState::zeros(9);
+//! let report = engine.run_scalar(&mut state, &mut rng);
+//!
+//! // ...or 64 lanes at a time on the batch backend.
+//! let mut batch = BatchState::zeros(9, 1);
+//! let batch_report = engine.run_batch(&mut batch, &mut rng);
+//! assert_eq!(batch_report.faulted_lanes.len(), 1);
+//! # let _ = report;
+//! ```
+
+use crate::batch::{kernels, BatchExecReport, BatchState};
+use crate::circuit::Circuit;
+use crate::exec::{ExecObserver, ExecReport, NullObserver};
+use crate::fault::FaultPlan;
+use crate::noise::NoiseModel;
+use crate::op::Op;
+use crate::state::BitState;
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Trial count at which [`BackendKind::Auto`] switches from the scalar to
+/// the batch backend (four 64-lane words).
+pub const DEFAULT_BATCH_THRESHOLD: u64 = 256;
+
+/// Failures required before adaptive early stopping may trigger (below
+/// this the relative-error estimate itself is too noisy to act on).
+const MIN_FAILURES_FOR_STOP: u64 = 16;
+
+/// Words per adaptive round (stopping checks happen at round boundaries).
+/// Fixed — independent of the thread count — so an early-stopped result
+/// is exactly as deterministic as a full run: a function of the seed
+/// alone.
+const ADAPTIVE_ROUND_WORDS: u64 = 32;
+
+/// Per-word seed stride (golden-ratio odd constant, as in SplitMix64).
+const WORD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Marker for operations that never fault.
+const NEVER: usize = usize::MAX;
+
+// ---------------------------------------------------------------------------
+// Fault table: per-op probabilities + exact binomial mask samplers
+// ---------------------------------------------------------------------------
+
+/// Per-operation fault-mask sampler: the CDF of `Binomial(64, p)`.
+#[derive(Debug, Clone)]
+pub(crate) struct MaskSampler {
+    /// `cdf[k]` = P(number of faulting lanes ≤ k); `cdf[64] = 1`.
+    cdf: Vec<f64>,
+}
+
+impl MaskSampler {
+    pub(crate) fn new(p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "fault probability must be in [0,1], got {p}"
+        );
+        let mut cdf = vec![1.0; 65];
+        if p == 0.0 {
+            return MaskSampler { cdf };
+        }
+        if p == 1.0 {
+            for c in cdf.iter_mut().take(64) {
+                *c = 0.0;
+            }
+            return MaskSampler { cdf };
+        }
+        let ratio = p / (1.0 - p);
+        let mut pmf = (1.0 - p).powi(64);
+        let mut acc = 0.0;
+        for (k, c) in cdf.iter_mut().enumerate().take(64) {
+            acc += pmf;
+            *c = acc.min(1.0);
+            pmf *= ratio * (64 - k) as f64 / (k + 1) as f64;
+        }
+        MaskSampler { cdf }
+    }
+
+    /// Draws a 64-lane fault mask distributed as 64 i.i.d. Bernoulli(p)
+    /// bits: one exact binomial draw for the fault count, then uniform
+    /// placement — one `f64` sample in the common zero-fault case.
+    #[inline]
+    pub(crate) fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        // Fast path: no faults in this word.
+        if u < self.cdf[0] {
+            return 0;
+        }
+        let mut k = 1usize;
+        while k < 64 && u >= self.cdf[k] {
+            k += 1;
+        }
+        // Choose k distinct lane positions uniformly. For k > 32 place the
+        // complement instead (fewer rejections).
+        let (count, invert) = if k <= 32 { (k, false) } else { (64 - k, true) };
+        let mut mask = 0u64;
+        let mut placed = 0usize;
+        while placed < count {
+            let bit = 1u64 << rng.random_range(0..64u32);
+            if mask & bit == 0 {
+                mask |= bit;
+                placed += 1;
+            }
+        }
+        if invert {
+            !mask
+        } else {
+            mask
+        }
+    }
+}
+
+/// A [`NoiseModel`] lowered against one circuit: per-op fault
+/// probabilities plus one mask sampler per distinct probability.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultTable {
+    /// Fault probability per operation.
+    probs: Vec<f64>,
+    /// Sampler index per operation ([`NEVER`] = never faults).
+    sampler_of: Vec<usize>,
+    samplers: Vec<MaskSampler>,
+}
+
+impl FaultTable {
+    pub(crate) fn compile<N: NoiseModel + ?Sized>(circuit: &Circuit, noise: &N) -> Self {
+        let mut rates: Vec<u64> = Vec::new();
+        let mut samplers = Vec::new();
+        let mut probs = Vec::with_capacity(circuit.len());
+        let sampler_of = circuit
+            .ops()
+            .iter()
+            .map(|op| {
+                let p = noise.fault_probability(op);
+                assert!(
+                    (0.0..=1.0).contains(&p),
+                    "noise model returned probability {p} outside [0,1]"
+                );
+                probs.push(p);
+                if p <= 0.0 {
+                    return NEVER;
+                }
+                let bits = p.to_bits();
+                match rates.iter().position(|&r| r == bits) {
+                    Some(i) => i,
+                    None => {
+                        rates.push(bits);
+                        samplers.push(MaskSampler::new(p));
+                        samplers.len() - 1
+                    }
+                }
+            })
+            .collect();
+        FaultTable {
+            probs,
+            sampler_of,
+            samplers,
+        }
+    }
+
+    pub(crate) fn n_ops(&self) -> usize {
+        self.sampler_of.len()
+    }
+}
+
+/// Executes the batch word loop for `circuit` under `table` — the single
+/// implementation behind [`Engine::run_batch`], [`BatchBackend`] and the
+/// deprecated [`crate::batch::run_noisy_batch_with`] shim.
+pub(crate) fn run_batch_words<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    table: &FaultTable,
+    batch: &mut BatchState,
+    rng: &mut R,
+) -> BatchExecReport {
+    assert_eq!(
+        batch.n_wires(),
+        circuit.n_wires(),
+        "batch width must match circuit width"
+    );
+    assert_eq!(
+        table.n_ops(),
+        circuit.len(),
+        "compiled noise does not match this circuit"
+    );
+    let words = batch.words_per_wire();
+    let mut report = BatchExecReport {
+        fault_events: 0,
+        faulted_lanes: vec![0; words],
+    };
+    for (op, &sampler_idx) in circuit.ops().iter().zip(&table.sampler_of) {
+        if sampler_idx == NEVER {
+            for word in 0..words {
+                kernels::apply_word(batch, op, word);
+            }
+            continue;
+        }
+        let sampler = &table.samplers[sampler_idx];
+        for word in 0..words {
+            let fault = sampler.sample(rng);
+            if fault == 0 {
+                kernels::apply_word(batch, op, word);
+            } else {
+                let mut rand_planes = [0u64; 3];
+                for plane in rand_planes.iter_mut().take(op.arity()) {
+                    *plane = rng.random::<u64>();
+                }
+                kernels::apply_word_masked(batch, op, word, fault, &rand_planes);
+                report.fault_events += fault.count_ones() as u64;
+                report.faulted_lanes[word] |= fault;
+            }
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// A circuit compiled against a noise model: the compile-once artifact
+/// shared by every backend.
+///
+/// Owns the flattened op stream and the lowered fault table; build one
+/// with [`Engine::compile`] and reuse it for any number of runs.
+#[must_use = "an Engine does nothing until it runs"]
+#[derive(Debug, Clone)]
+pub struct Engine {
+    circuit: Circuit,
+    table: FaultTable,
+}
+
+impl Engine {
+    /// Compiles `circuit` bound to `noise`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model reports a probability outside `[0, 1]`.
+    pub fn compile<N: NoiseModel + ?Sized>(circuit: &Circuit, noise: &N) -> Self {
+        Engine {
+            circuit: circuit.clone(),
+            table: FaultTable::compile(circuit, noise),
+        }
+    }
+
+    /// The compiled circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Number of operations in the compiled stream.
+    pub fn n_ops(&self) -> usize {
+        self.circuit.len()
+    }
+
+    /// Width of the compiled circuit in wires.
+    pub fn n_wires(&self) -> usize {
+        self.circuit.n_wires()
+    }
+
+    /// The precomputed fault probability of operation `op_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op_index` is out of range.
+    pub fn fault_probability(&self, op_index: usize) -> f64 {
+        self.table.probs[op_index]
+    }
+
+    /// Binds Monte-Carlo options, producing the run-many [`Simulation`]
+    /// handle.
+    pub fn with_options(self, options: McOptions) -> Simulation {
+        Simulation {
+            engine: self,
+            options,
+        }
+    }
+
+    /// Runs one noisy scalar trial on `state` (classic per-trial
+    /// semantics: one uniform draw per fallible operation; a faulting
+    /// operation randomizes its support instead of executing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state width does not match the circuit width.
+    pub fn run_scalar<R: Rng + ?Sized>(&self, state: &mut BitState, rng: &mut R) -> ExecReport {
+        let mut observer = NullObserver;
+        self.run_scalar_observed(state, rng, &mut observer)
+    }
+
+    /// [`Engine::run_scalar`] with [`ExecObserver`] hooks (used by the
+    /// entropy measurements of §4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state width does not match the circuit width.
+    pub fn run_scalar_observed<R: Rng + ?Sized>(
+        &self,
+        state: &mut BitState,
+        rng: &mut R,
+        observer: &mut dyn ExecObserver,
+    ) -> ExecReport {
+        assert_eq!(
+            state.len(),
+            self.circuit.n_wires(),
+            "state width must match circuit width"
+        );
+        let mut report = ExecReport::default();
+        for (i, op) in self.circuit.ops().iter().enumerate() {
+            if let Op::Init(init) = op {
+                let values = state.read_pattern(init.wires());
+                observer.before_init(i, init.wires(), values);
+            }
+            let p = self.table.probs[i];
+            let faulted = p > 0.0 && rng.random::<f64>() < p;
+            if faulted {
+                let support = op.support();
+                state.randomize(support.as_slice(), rng);
+                report.faults.push(i);
+                observer.on_fault(i);
+            } else {
+                op.apply(state);
+            }
+        }
+        report
+    }
+
+    /// Runs the compiled circuit over every lane of `batch` on the
+    /// bit-parallel backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch width does not match the circuit width.
+    pub fn run_batch<R: Rng + ?Sized>(
+        &self,
+        batch: &mut BatchState,
+        rng: &mut R,
+    ) -> BatchExecReport {
+        run_batch_words(&self.circuit, &self.table, batch, rng)
+    }
+
+    /// Runs the compiled circuit injecting exactly the faults in `plan`
+    /// (the noise binding is ignored; see [`PlannedFaultBackend`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths mismatch or a planned index is out of range.
+    pub fn run_planned(&self, state: &mut BitState, plan: &FaultPlan) {
+        PlannedFaultBackend::new(plan).run_state(&self.circuit, state);
+    }
+
+    /// Monte-Carlo estimation: runs `opts.trials` independent trials of
+    /// `trial` through the backend selected by `opts`, threaded across
+    /// `opts.threads` workers, and counts failing lanes.
+    ///
+    /// Trials are packed 64 per word; each word derives its RNG from
+    /// `opts.seed` and the word index, so results are **deterministic per
+    /// seed and backend-independent** (scalar and batch consume identical
+    /// streams). With [`McOptions::target_rel_error`] set, estimation
+    /// stops early once the estimated relative standard error of the
+    /// failure rate reaches the target; stopping happens at fixed
+    /// thread-independent round boundaries, so even early-stopped results
+    /// are a function of the seed alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.trials == 0` or the trial's width disagrees with
+    /// the compiled circuit.
+    pub fn estimate<T: WordTrial + ?Sized>(&self, trial: &T, opts: &McOptions) -> McOutcome {
+        assert!(opts.trials > 0, "need at least one trial");
+        assert_eq!(
+            trial.n_wires(),
+            self.circuit.n_wires(),
+            "trial width must match circuit width"
+        );
+        let kind = opts.backend.resolve(opts.trials, opts.batch_threshold);
+        let backend: &dyn Backend = match kind {
+            BackendKind::Batch => &BatchBackend,
+            _ => &ScalarBackend,
+        };
+        let threads = opts.threads.max(1);
+        let total_words = opts.trials.div_ceil(64);
+        let round_words = match opts.target_rel_error {
+            Some(_) => ADAPTIVE_ROUND_WORDS.min(total_words),
+            None => total_words,
+        };
+        let mut done = 0u64;
+        let mut failures = 0u64;
+        let mut executed = 0u64;
+        let mut early_stopped = false;
+        while done < total_words {
+            let n = round_words.min(total_words - done);
+            let (f, e) = self.run_word_span(backend, trial, opts, done, done + n, threads);
+            failures += f;
+            executed += e;
+            done += n;
+            if done >= total_words {
+                break;
+            }
+            if let Some(target) = opts.target_rel_error {
+                if converged(failures, executed, target) {
+                    early_stopped = true;
+                    break;
+                }
+            }
+        }
+        McOutcome {
+            failures,
+            trials: executed,
+            requested: opts.trials,
+            early_stopped,
+            backend: backend.name(),
+        }
+    }
+
+    /// Runs words `[start, end)` split contiguously across `threads`,
+    /// returning `(failures, executed_trials)`.
+    fn run_word_span<T: WordTrial + ?Sized>(
+        &self,
+        backend: &dyn Backend,
+        trial: &T,
+        opts: &McOptions,
+        start: u64,
+        end: u64,
+        threads: usize,
+    ) -> (u64, u64) {
+        let span = end - start;
+        if threads <= 1 || span <= 1 {
+            return self.run_word_range(backend, trial, opts, start, end);
+        }
+        let threads = (threads as u64).min(span);
+        let per = span / threads;
+        let extra = span % threads;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut first = start;
+            for t in 0..threads {
+                let n = per + u64::from(t < extra);
+                let lo = first;
+                first += n;
+                handles.push(
+                    scope.spawn(move || self.run_word_range(backend, trial, opts, lo, lo + n)),
+                );
+            }
+            handles.into_iter().fold((0, 0), |(f, e), h| {
+                let (df, de) = h.join().expect("trial thread panicked");
+                (f + df, e + de)
+            })
+        })
+    }
+
+    /// Runs words `[start, end)` sequentially.
+    fn run_word_range<T: WordTrial + ?Sized>(
+        &self,
+        backend: &dyn Backend,
+        trial: &T,
+        opts: &McOptions,
+        start: u64,
+        end: u64,
+    ) -> (u64, u64) {
+        let n_wires = self.circuit.n_wires();
+        let mut failures = 0u64;
+        let mut executed = 0u64;
+        for word in start..end {
+            let mut rng =
+                SmallRng::seed_from_u64(opts.seed ^ WORD_SEED_STRIDE.wrapping_mul(word + 1));
+            let mut batch = BatchState::zeros(n_wires, 1);
+            let inputs = trial.prepare(&mut batch, &mut rng);
+            backend.run(self, &mut batch, &mut rng);
+            let failed = trial.judge(&batch, &inputs);
+            // The final word may cover fewer than 64 real trials.
+            let live = opts.trials - word * 64;
+            let valid = if live >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << live) - 1
+            };
+            failures += (failed & valid).count_ones() as u64;
+            executed += valid.count_ones() as u64;
+        }
+        (failures, executed)
+    }
+}
+
+/// Whether the failure-rate estimate has reached the target relative
+/// standard error: `sqrt((1-p̂)/failures) ≤ target`, once enough failures
+/// accumulated for the check itself to be trustworthy.
+fn converged(failures: u64, executed: u64, target: f64) -> bool {
+    if failures < MIN_FAILURES_FOR_STOP || executed == 0 {
+        return false;
+    }
+    let p = failures as f64 / executed as f64;
+    ((1.0 - p) / failures as f64).sqrt() <= target
+}
+
+// ---------------------------------------------------------------------------
+// Backends
+// ---------------------------------------------------------------------------
+
+/// An execution strategy over 64-lane words.
+///
+/// Implementations run the engine's compiled circuit over every lane of a
+/// [`BatchState`] and report which lanes saw at least one fault. The two
+/// Monte-Carlo backends draw from `rng` in an identical order, so a given
+/// seed yields bit-identical lanes on either.
+pub trait Backend: Sync {
+    /// Short stable name (reported in [`McOutcome::backend`]).
+    fn name(&self) -> &'static str;
+
+    /// Runs `engine`'s circuit over every lane of `batch`.
+    fn run(
+        &self,
+        engine: &Engine,
+        batch: &mut BatchState,
+        rng: &mut dyn RngCore,
+    ) -> BatchExecReport;
+}
+
+/// The scalar reference backend: every lane is unpacked into its own
+/// [`BitState`] and ops are applied one lane at a time, replaying the
+/// batch backend's word-level fault schedule exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarBackend;
+
+impl Backend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn run(
+        &self,
+        engine: &Engine,
+        batch: &mut BatchState,
+        rng: &mut dyn RngCore,
+    ) -> BatchExecReport {
+        let circuit = &engine.circuit;
+        assert_eq!(
+            batch.n_wires(),
+            circuit.n_wires(),
+            "batch width must match circuit width"
+        );
+        let words = batch.words_per_wire();
+        let mut lanes: Vec<BitState> = (0..batch.lanes()).map(|l| batch.lane(l)).collect();
+        let mut report = BatchExecReport {
+            fault_events: 0,
+            faulted_lanes: vec![0; words],
+        };
+        for (i, op) in circuit.ops().iter().enumerate() {
+            let sampler_idx = engine.table.sampler_of[i];
+            if sampler_idx == NEVER {
+                for state in &mut lanes {
+                    op.apply(state);
+                }
+                continue;
+            }
+            let sampler = &engine.table.samplers[sampler_idx];
+            let support = op.support();
+            let wires = support.as_slice();
+            for word in 0..words {
+                let fault = sampler.sample(rng);
+                if fault == 0 {
+                    for state in &mut lanes[word * 64..(word + 1) * 64] {
+                        op.apply(state);
+                    }
+                    continue;
+                }
+                let mut rand_planes = [0u64; 3];
+                for plane in rand_planes.iter_mut().take(op.arity()) {
+                    *plane = rng.random::<u64>();
+                }
+                for (lane, state) in lanes[word * 64..(word + 1) * 64].iter_mut().enumerate() {
+                    if (fault >> lane) & 1 == 1 {
+                        let mut pattern = 0u8;
+                        for (k, _) in wires.iter().enumerate() {
+                            pattern |= (((rand_planes[k] >> lane) & 1) as u8) << k;
+                        }
+                        state.write_pattern(wires, pattern);
+                    } else {
+                        op.apply(state);
+                    }
+                }
+                report.fault_events += fault.count_ones() as u64;
+                report.faulted_lanes[word] |= fault;
+            }
+        }
+        for (lane, state) in lanes.iter().enumerate() {
+            batch.set_lane(lane, state);
+        }
+        report
+    }
+}
+
+/// The bit-parallel backend: branch-free plane kernels, 64 lanes per
+/// machine word — the fast path for large trial budgets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchBackend;
+
+impl Backend for BatchBackend {
+    fn name(&self) -> &'static str {
+        "batch"
+    }
+
+    fn run(
+        &self,
+        engine: &Engine,
+        batch: &mut BatchState,
+        rng: &mut dyn RngCore,
+    ) -> BatchExecReport {
+        run_batch_words(&engine.circuit, &engine.table, batch, rng)
+    }
+}
+
+/// Deterministic fault injection: every lane takes exactly the faults of
+/// one [`FaultPlan`] (a planned fault writes its pattern onto the
+/// operation's support instead of executing it). Randomness is never
+/// consumed; the exhaustive single/double-fault proofs are built on this.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannedFaultBackend<'p> {
+    plan: &'p FaultPlan,
+}
+
+impl<'p> PlannedFaultBackend<'p> {
+    /// A backend injecting exactly `plan`.
+    pub fn new(plan: &'p FaultPlan) -> Self {
+        PlannedFaultBackend { plan }
+    }
+
+    /// The bound plan.
+    pub fn plan(&self) -> &FaultPlan {
+        self.plan
+    }
+
+    /// Runs `circuit` on a single scalar `state` with the planned faults —
+    /// the workhorse of the exhaustive fault sweeps, where one `(input,
+    /// plan)` pair is one run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths mismatch or a planned index is out of range.
+    pub fn run_state(&self, circuit: &Circuit, state: &mut BitState) {
+        assert_eq!(
+            state.len(),
+            circuit.n_wires(),
+            "state width must match circuit width"
+        );
+        self.check_plan(circuit);
+        for (i, op) in circuit.ops().iter().enumerate() {
+            match self.plan.pattern_for(i) {
+                Some(pattern) => {
+                    let support = op.support();
+                    state.write_pattern(support.as_slice(), pattern);
+                }
+                None => op.apply(state),
+            }
+        }
+    }
+
+    fn check_plan(&self, circuit: &Circuit) {
+        for fault in self.plan.faults() {
+            assert!(
+                fault.op_index < circuit.len(),
+                "planned fault targets op {} but circuit has {} ops",
+                fault.op_index,
+                circuit.len()
+            );
+        }
+    }
+}
+
+impl Backend for PlannedFaultBackend<'_> {
+    fn name(&self) -> &'static str {
+        "planned"
+    }
+
+    fn run(
+        &self,
+        engine: &Engine,
+        batch: &mut BatchState,
+        _rng: &mut dyn RngCore,
+    ) -> BatchExecReport {
+        let circuit = &engine.circuit;
+        assert_eq!(
+            batch.n_wires(),
+            circuit.n_wires(),
+            "batch width must match circuit width"
+        );
+        self.check_plan(circuit);
+        let words = batch.words_per_wire();
+        let mut report = BatchExecReport {
+            fault_events: 0,
+            faulted_lanes: vec![0; words],
+        };
+        for (i, op) in circuit.ops().iter().enumerate() {
+            match self.plan.pattern_for(i) {
+                Some(pattern) => {
+                    let support = op.support();
+                    for (k, &wire) in support.as_slice().iter().enumerate() {
+                        let plane = if (pattern >> k) & 1 == 1 { u64::MAX } else { 0 };
+                        for word in 0..words {
+                            batch.set_word(wire, word, plane);
+                        }
+                    }
+                    report.fault_events += batch.lanes() as u64;
+                    for mask in report.faulted_lanes.iter_mut() {
+                        *mask = u64::MAX;
+                    }
+                }
+                None => {
+                    for word in 0..words {
+                        kernels::apply_word(batch, op, word);
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Options / outcome
+// ---------------------------------------------------------------------------
+
+/// Which backend an estimation run should use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// Route by trial count: batch at or above the threshold, scalar
+    /// below it.
+    #[default]
+    Auto,
+    /// Always the scalar reference backend.
+    Scalar,
+    /// Always the bit-parallel batch backend.
+    Batch,
+}
+
+impl BackendKind {
+    /// Resolves `Auto` against a trial budget; explicit kinds pass
+    /// through.
+    pub fn resolve(self, trials: u64, batch_threshold: u64) -> BackendKind {
+        match self {
+            BackendKind::Auto => {
+                if trials >= batch_threshold {
+                    BackendKind::Batch
+                } else {
+                    BackendKind::Scalar
+                }
+            }
+            explicit => explicit,
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendKind::Auto => "auto",
+            BackendKind::Scalar => "scalar",
+            BackendKind::Batch => "batch",
+        })
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(BackendKind::Auto),
+            "scalar" => Ok(BackendKind::Scalar),
+            "batch" => Ok(BackendKind::Batch),
+            other => Err(format!(
+                "unknown backend {other:?} (expected auto, scalar or batch)"
+            )),
+        }
+    }
+}
+
+/// Typed Monte-Carlo run options for [`Engine::estimate`].
+///
+/// Fields are public for direct construction; the consuming builder
+/// methods read better in call sites:
+///
+/// ```
+/// use rft_revsim::engine::{BackendKind, McOptions};
+///
+/// let opts = McOptions::new(10_000)
+///     .seed(2005)
+///     .threads(4)
+///     .backend(BackendKind::Auto)
+///     .target_rel_error(0.1);
+/// assert_eq!(opts.trials, 10_000);
+/// ```
+#[must_use = "McOptions configure a run but do not start one"]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct McOptions {
+    /// Trial budget (an upper bound when early stopping is enabled).
+    pub trials: u64,
+    /// Base RNG seed; every 64-trial word derives its own stream from it.
+    pub seed: u64,
+    /// Worker threads (`0` is treated as `1`).
+    pub threads: usize,
+    /// Backend selection policy.
+    pub backend: BackendKind,
+    /// Trial count at which [`BackendKind::Auto`] routes to the batch
+    /// backend.
+    pub batch_threshold: u64,
+    /// Target relative standard error of the failure-rate estimate; when
+    /// set, estimation stops early once reached (adaptive sampling).
+    pub target_rel_error: Option<f64>,
+}
+
+impl McOptions {
+    /// Options for `trials` trials with defaults: seed 0, one thread,
+    /// auto backend at [`DEFAULT_BATCH_THRESHOLD`], no early stopping.
+    pub fn new(trials: u64) -> Self {
+        McOptions {
+            trials,
+            seed: 0,
+            threads: 1,
+            backend: BackendKind::Auto,
+            batch_threshold: DEFAULT_BATCH_THRESHOLD,
+            target_rel_error: None,
+        }
+    }
+
+    /// Sets the trial budget.
+    pub fn trials(mut self, trials: u64) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// XORs `salt` into the seed (for deriving per-point sub-seeds in
+    /// sweeps).
+    pub fn salt(mut self, salt: u64) -> Self {
+        self.seed ^= salt;
+        self
+    }
+
+    /// Sets the worker thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the backend selection policy.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the auto-routing threshold.
+    pub fn batch_threshold(mut self, threshold: u64) -> Self {
+        self.batch_threshold = threshold;
+        self
+    }
+
+    /// Enables adaptive early stopping at the given target relative
+    /// standard error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not positive and finite.
+    pub fn target_rel_error(mut self, target: f64) -> Self {
+        assert!(
+            target > 0.0 && target.is_finite(),
+            "target relative error must be positive and finite, got {target}"
+        );
+        self.target_rel_error = Some(target);
+        self
+    }
+}
+
+impl Default for McOptions {
+    fn default() -> Self {
+        McOptions::new(4096)
+    }
+}
+
+/// Raw result of an [`Engine::estimate`] run.
+#[must_use = "an estimation outcome should be inspected or converted"]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McOutcome {
+    /// Failing trials observed.
+    pub failures: u64,
+    /// Trials actually executed (less than requested after an early
+    /// stop).
+    pub trials: u64,
+    /// Trials requested.
+    pub requested: u64,
+    /// Whether adaptive early stopping cut the run short.
+    pub early_stopped: bool,
+    /// Name of the backend that executed the run.
+    pub backend: &'static str,
+}
+
+impl McOutcome {
+    /// Point estimate `failures / trials`.
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.failures as f64 / self.trials as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Word trials
+// ---------------------------------------------------------------------------
+
+/// One 64-lane word of Monte-Carlo trials: how to prepare inputs and
+/// judge failures. [`Engine::estimate`] supplies a single-word
+/// [`BatchState`] (64 lanes) zeroed before `prepare`.
+pub trait WordTrial: Sync {
+    /// Physical width the trial expects (must match the engine's
+    /// circuit).
+    fn n_wires(&self) -> usize;
+
+    /// Draws per-lane inputs from `rng`, encodes them into plane word 0
+    /// of `batch`, and returns them (one plane per logical wire, bit `l`
+    /// = lane `l`'s value) for [`WordTrial::judge`].
+    fn prepare(&self, batch: &mut BatchState, rng: &mut dyn RngCore) -> Vec<u64>;
+
+    /// Mask of lanes whose final state counts as a logical failure.
+    fn judge(&self, batch: &BatchState, inputs: &[u64]) -> u64;
+}
+
+/// Reads lane `lane`'s value out of per-wire plane words (bit `i` of the
+/// result = bit `lane` of `planes[i]`).
+#[inline]
+pub fn lane_value(planes: &[u64], lane: usize) -> u64 {
+    planes
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &plane)| acc | (((plane >> lane) & 1) << i))
+}
+
+/// Mask of lanes where `ideal(input) != output`, comparing per-lane
+/// values assembled from input and output plane words.
+pub fn failure_mask(inputs: &[u64], outputs: &[u64], ideal: impl Fn(u64) -> u64) -> u64 {
+    let mut failed = 0u64;
+    for lane in 0..64 {
+        let input = lane_value(inputs, lane);
+        let output = lane_value(outputs, lane);
+        if ideal(input) != output {
+            failed |= 1u64 << lane;
+        }
+    }
+    failed
+}
+
+// ---------------------------------------------------------------------------
+// Simulation: engine + options
+// ---------------------------------------------------------------------------
+
+/// An [`Engine`] bound to its [`McOptions`]: the compile-once/run-many
+/// handle. Build with [`Engine::with_options`], then call
+/// [`Simulation::run`] as often as needed.
+#[must_use = "a Simulation does nothing until run"]
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    engine: Engine,
+    options: McOptions,
+}
+
+impl Simulation {
+    /// The compiled engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The bound options.
+    pub fn options(&self) -> &McOptions {
+        &self.options
+    }
+
+    /// Replaces the bound options.
+    pub fn reconfigure(mut self, options: McOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Runs one estimation with the bound options.
+    pub fn run<T: WordTrial + ?Sized>(&self, trial: &T) -> McOutcome {
+        self.engine.estimate(trial, &self.options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::{NoNoise, SplitNoise, UniformNoise};
+    use crate::wire::w;
+
+    fn recovery_like_circuit() -> Circuit {
+        let mut c = Circuit::new(9);
+        c.init(&[w(3), w(4), w(5)])
+            .init(&[w(6), w(7), w(8)])
+            .maj_inv(w(0), w(3), w(6))
+            .maj_inv(w(1), w(4), w(7))
+            .maj_inv(w(2), w(5), w(8))
+            .maj(w(0), w(1), w(2))
+            .maj(w(3), w(4), w(5))
+            .maj(w(6), w(7), w(8));
+        c
+    }
+
+    /// A trivial trial: lanes fail when wire 0 ends up set.
+    struct Wire0Trial {
+        n_wires: usize,
+    }
+
+    impl WordTrial for Wire0Trial {
+        fn n_wires(&self) -> usize {
+            self.n_wires
+        }
+
+        fn prepare(&self, _batch: &mut BatchState, _rng: &mut dyn RngCore) -> Vec<u64> {
+            Vec::new()
+        }
+
+        fn judge(&self, batch: &BatchState, _inputs: &[u64]) -> u64 {
+            batch.word(w(0), 0)
+        }
+    }
+
+    #[test]
+    fn noiseless_scalar_run_reports_no_faults() {
+        let c = recovery_like_circuit();
+        let engine = Engine::compile(&c, &NoNoise);
+        let mut s = BitState::zeros(9);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let report = engine.run_scalar(&mut s, &mut rng);
+        assert_eq!(report.fault_count(), 0);
+        assert_eq!(s.count_ones(), 0);
+    }
+
+    #[test]
+    fn always_fail_randomizes_every_op() {
+        let c = recovery_like_circuit();
+        let engine = Engine::compile(&c, &UniformNoise::new(1.0));
+        let mut s = BitState::zeros(9);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let report = engine.run_scalar(&mut s, &mut rng);
+        assert_eq!(report.fault_count(), c.len());
+    }
+
+    #[test]
+    fn split_noise_spares_inits() {
+        let c = recovery_like_circuit();
+        let engine = Engine::compile(&c, &SplitNoise::new(1.0, 0.0));
+        let mut s = BitState::zeros(9);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let report = engine.run_scalar(&mut s, &mut rng);
+        // 6 gates fail, 2 inits never fail.
+        assert_eq!(report.fault_count(), 6);
+        assert!(report.faults.iter().all(|&i| i >= 2));
+        assert_eq!(engine.fault_probability(0), 0.0);
+        assert_eq!(engine.fault_probability(2), 1.0);
+    }
+
+    #[test]
+    fn batch_always_fail_faults_every_lane() {
+        let c = recovery_like_circuit();
+        let engine = Engine::compile(&c, &UniformNoise::new(1.0));
+        let mut batch = BatchState::zeros(9, 1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let report = engine.run_batch(&mut batch, &mut rng);
+        assert_eq!(report.fault_events, (c.len() * 64) as u64);
+        assert_eq!(report.faulted_lanes, vec![u64::MAX]);
+    }
+
+    #[test]
+    fn scalar_and_batch_backends_agree_lane_by_lane() {
+        // Identical seeds ⇒ bit-identical final states *and* reports —
+        // the backends share one fault schedule by construction.
+        let c = recovery_like_circuit();
+        let engine = Engine::compile(&c, &UniformNoise::new(0.07));
+        for seed in 0..20u64 {
+            let mut scalar = BatchState::zeros(9, 2);
+            let mut batch = BatchState::zeros(9, 2);
+            let mut rng_s = SmallRng::seed_from_u64(seed);
+            let mut rng_b = SmallRng::seed_from_u64(seed);
+            let rs = ScalarBackend.run(&engine, &mut scalar, &mut rng_s);
+            let rb = BatchBackend.run(&engine, &mut batch, &mut rng_b);
+            assert_eq!(rs, rb, "seed {seed}: reports differ");
+            assert_eq!(scalar, batch, "seed {seed}: states differ");
+        }
+    }
+
+    #[test]
+    fn planned_backend_matches_scalar_plan_run() {
+        let c = recovery_like_circuit();
+        let engine = Engine::compile(&c, &NoNoise);
+        let plan = FaultPlan::single(3, 0b101);
+        let backend = PlannedFaultBackend::new(&plan);
+        // Scalar reference.
+        let mut state = BitState::zeros(9);
+        backend.run_state(&c, &mut state);
+        // Batch run on zeroed lanes.
+        let mut batch = BatchState::zeros(9, 1);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let report = backend.run(&engine, &mut batch, &mut rng);
+        assert_eq!(report.faulted_lanes, vec![u64::MAX]);
+        for lane in [0usize, 17, 63] {
+            assert_eq!(batch.lane(lane), state, "lane {lane}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "planned fault targets op")]
+    fn planned_out_of_range_panics() {
+        let c = Circuit::new(1);
+        let mut s = BitState::zeros(1);
+        let plan = FaultPlan::single(0, 0);
+        PlannedFaultBackend::new(&plan).run_state(&c, &mut s);
+    }
+
+    #[test]
+    fn estimate_is_deterministic_and_backend_independent() {
+        let c = recovery_like_circuit();
+        let engine = Engine::compile(&c, &UniformNoise::new(0.2));
+        let trial = Wire0Trial { n_wires: 9 };
+        let base = McOptions::new(1000).seed(42);
+        let scalar = engine.estimate(&trial, &base.backend(BackendKind::Scalar).threads(3));
+        let batch = engine.estimate(&trial, &base.backend(BackendKind::Batch).threads(1));
+        let auto = engine.estimate(&trial, &base.backend(BackendKind::Auto).threads(2));
+        assert_eq!(scalar.failures, batch.failures);
+        assert_eq!(batch.failures, auto.failures);
+        assert_eq!(batch.trials, 1000);
+        assert_eq!(auto.backend, "batch");
+        assert_eq!(scalar.backend, "scalar");
+        assert!(batch.failures > 0, "heavy noise must produce failures");
+    }
+
+    #[test]
+    fn estimate_counts_partial_final_word() {
+        struct AllFail;
+        impl WordTrial for AllFail {
+            fn n_wires(&self) -> usize {
+                9
+            }
+            fn prepare(&self, _batch: &mut BatchState, _rng: &mut dyn RngCore) -> Vec<u64> {
+                Vec::new()
+            }
+            fn judge(&self, _batch: &BatchState, _inputs: &[u64]) -> u64 {
+                u64::MAX
+            }
+        }
+        let c = recovery_like_circuit();
+        let engine = Engine::compile(&c, &NoNoise);
+        for trials in [1u64, 64, 65, 100, 130] {
+            let out = engine.estimate(&AllFail, &McOptions::new(trials).threads(2));
+            assert_eq!(out.failures, trials);
+            assert_eq!(out.trials, trials);
+        }
+    }
+
+    #[test]
+    fn adaptive_early_stopping_cuts_the_budget() {
+        let c = recovery_like_circuit();
+        let engine = Engine::compile(&c, &UniformNoise::new(0.3));
+        let trial = Wire0Trial { n_wires: 9 };
+        // Rate ≈ 0.5: a loose 20% relative error needs only a few dozen
+        // failures, far below the 200k budget.
+        let opts = McOptions::new(200_000)
+            .seed(9)
+            .threads(2)
+            .target_rel_error(0.2);
+        let out = engine.estimate(&trial, &opts);
+        assert!(out.early_stopped, "should stop early: {out:?}");
+        assert!(out.trials < out.requested);
+        assert!(out.failures >= MIN_FAILURES_FOR_STOP);
+        // Even the early-stopped result is a function of the seed alone:
+        // rounds are fixed-size, so the thread count cannot move the
+        // stopping point.
+        let again = engine.estimate(&trial, &opts);
+        assert_eq!(out, again);
+        let single_threaded = engine.estimate(&trial, &opts.threads(1));
+        assert_eq!(out, single_threaded);
+    }
+
+    #[test]
+    fn adaptive_runs_to_completion_when_target_unreachable() {
+        let c = recovery_like_circuit();
+        let engine = Engine::compile(&c, &NoNoise);
+        let trial = Wire0Trial { n_wires: 9 };
+        // No failures ever: the run must exhaust its budget.
+        let out = engine.estimate(&trial, &McOptions::new(500).target_rel_error(0.1));
+        assert!(!out.early_stopped);
+        assert_eq!(out.trials, 500);
+        assert_eq!(out.failures, 0);
+    }
+
+    #[test]
+    fn backend_kind_parses_and_resolves() {
+        assert_eq!("auto".parse::<BackendKind>().unwrap(), BackendKind::Auto);
+        assert_eq!(
+            "scalar".parse::<BackendKind>().unwrap(),
+            BackendKind::Scalar
+        );
+        assert_eq!("batch".parse::<BackendKind>().unwrap(), BackendKind::Batch);
+        assert!("simd".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::Auto.resolve(256, 256), BackendKind::Batch);
+        assert_eq!(BackendKind::Auto.resolve(255, 256), BackendKind::Scalar);
+        assert_eq!(
+            BackendKind::Scalar.resolve(1 << 20, 256),
+            BackendKind::Scalar
+        );
+        assert_eq!(BackendKind::Batch.resolve(1, 256), BackendKind::Batch);
+    }
+
+    #[test]
+    fn simulation_binds_options() {
+        let c = recovery_like_circuit();
+        let sim =
+            Engine::compile(&c, &UniformNoise::new(0.25)).with_options(McOptions::new(640).seed(5));
+        let trial = Wire0Trial { n_wires: 9 };
+        let a = sim.run(&trial);
+        let b = sim.run(&trial);
+        assert_eq!(a, b);
+        assert_eq!(sim.options().trials, 640);
+        let sim = sim.reconfigure(McOptions::new(64).seed(5));
+        assert_eq!(sim.run(&trial).trials, 64);
+    }
+
+    #[test]
+    fn mask_sampler_is_binomial() {
+        // Lane-occupancy check: each of the 64 lanes faults with the same
+        // marginal probability.
+        let sampler = MaskSampler::new(0.2);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let draws = 20_000usize;
+        let mut per_lane = [0u32; 64];
+        for _ in 0..draws {
+            let mask = sampler.sample(&mut rng);
+            for (lane, count) in per_lane.iter_mut().enumerate() {
+                *count += ((mask >> lane) & 1) as u32;
+            }
+        }
+        let expected = 0.2 * draws as f64;
+        let sd = (draws as f64 * 0.2 * 0.8).sqrt();
+        for (lane, &count) in per_lane.iter().enumerate() {
+            assert!(
+                ((count as f64) - expected).abs() < 6.0 * sd,
+                "lane {lane}: {count} vs {expected} ± {sd}"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_rate_matches_noise_model() {
+        // Mean fault count over many words ≈ ops × lanes × g, within 5σ.
+        let c = recovery_like_circuit();
+        let g = 0.03;
+        let engine = Engine::compile(&c, &UniformNoise::new(g));
+        let mut rng = SmallRng::seed_from_u64(42);
+        let words = 200usize;
+        let mut events = 0u64;
+        for _ in 0..words {
+            let mut batch = BatchState::zeros(9, 1);
+            events += engine.run_batch(&mut batch, &mut rng).fault_events;
+        }
+        let n = (c.len() * 64 * words) as f64;
+        let expected = g * n;
+        let sd = (n * g * (1.0 - g)).sqrt();
+        assert!(
+            ((events as f64) - expected).abs() < 5.0 * sd,
+            "events {events} vs expected {expected} ± {sd}"
+        );
+    }
+
+    #[test]
+    fn lane_value_assembles_bits() {
+        let planes = [0b1u64 << 5, 0b0, 0b1 << 5];
+        assert_eq!(lane_value(&planes, 5), 0b101);
+        assert_eq!(lane_value(&planes, 4), 0);
+    }
+
+    #[test]
+    fn failure_mask_flags_mismatched_lanes() {
+        // One logical wire; ideal = identity. Output differs on lane 3.
+        let inputs = [0b1000u64];
+        let outputs = [0b0000u64];
+        assert_eq!(failure_mask(&inputs, &outputs, |x| x), 0b1000);
+        assert_eq!(failure_mask(&inputs, &inputs, |x| x), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "state width")]
+    fn scalar_width_mismatch_panics() {
+        let c = Circuit::new(3);
+        let engine = Engine::compile(&c, &NoNoise);
+        let mut s = BitState::zeros(4);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = engine.run_scalar(&mut s, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch width")]
+    fn batch_width_mismatch_panics() {
+        let c = Circuit::new(3);
+        let engine = Engine::compile(&c, &NoNoise);
+        let mut batch = BatchState::zeros(4, 1);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = engine.run_batch(&mut batch, &mut rng);
+    }
+}

@@ -1,15 +1,21 @@
-//! Circuit executors: ideal, noisy (Monte Carlo) and planned-fault runs.
+//! Scalar circuit executors: ideal runs, the geometric fast path, and the
+//! observer hooks shared with [`crate::engine`].
 //!
 //! Fault semantics follow the paper exactly: a failing operation does not
 //! execute; instead every bit in its support is replaced by an independent
 //! uniformly random bit ("the output is one of eight equally likely
 //! outputs", §4). A failing initialization likewise leaves random bits
 //! instead of zeros.
+//!
+//! The noisy and planned-fault free functions here are deprecated shims:
+//! compile an [`Engine`] (or use
+//! [`PlannedFaultBackend`]) and reuse
+//! it across runs instead of re-deriving fault probabilities per call.
 
 use crate::circuit::Circuit;
+use crate::engine::{Engine, PlannedFaultBackend};
 use crate::fault::FaultPlan;
 use crate::noise::NoiseModel;
-use crate::op::Op;
 use crate::state::BitState;
 use crate::wire::Wire;
 use rand::Rng;
@@ -67,6 +73,10 @@ pub fn run_ideal(circuit: &Circuit, state: &mut BitState) {
 /// # Panics
 ///
 /// Panics if the state width does not match the circuit width.
+#[deprecated(
+    since = "0.2.0",
+    note = "use rft_revsim::engine::Engine::{compile, run_scalar}"
+)]
 pub fn run_noisy<N, R>(
     circuit: &Circuit,
     state: &mut BitState,
@@ -77,15 +87,18 @@ where
     N: NoiseModel + ?Sized,
     R: Rng + ?Sized,
 {
-    let mut observer = NullObserver;
-    run_noisy_observed(circuit, state, noise, rng, &mut observer)
+    Engine::compile(circuit, noise).run_scalar(state, rng)
 }
 
-/// [`run_noisy`] with observer hooks.
+/// Noisy scalar run with observer hooks.
 ///
 /// # Panics
 ///
 /// Panics if the state width does not match the circuit width.
+#[deprecated(
+    since = "0.2.0",
+    note = "use rft_revsim::engine::Engine::{compile, run_scalar_observed}"
+)]
 pub fn run_noisy_observed<N, R>(
     circuit: &Circuit,
     state: &mut BitState,
@@ -97,36 +110,15 @@ where
     N: NoiseModel + ?Sized,
     R: Rng + ?Sized,
 {
-    assert_eq!(
-        state.len(),
-        circuit.n_wires(),
-        "state width must match circuit width"
-    );
-    let mut report = ExecReport::default();
-    for (i, op) in circuit.ops().iter().enumerate() {
-        if let Op::Init(init) = op {
-            let values = state.read_pattern(init.wires());
-            observer.before_init(i, init.wires(), values);
-        }
-        let p = noise.fault_probability(op);
-        let faulted = p > 0.0 && rng.random::<f64>() < p;
-        if faulted {
-            let support = op.support();
-            state.randomize(support.as_slice(), rng);
-            report.faults.push(i);
-            observer.on_fault(i);
-        } else {
-            op.apply(state);
-        }
-    }
-    report
+    Engine::compile(circuit, noise).run_scalar_observed(state, rng, observer)
 }
 
 /// Runs `circuit` with a uniform fault rate `g`, skipping fault-free
 /// stretches geometrically. Statistically identical to
-/// [`run_noisy`] with [`UniformNoise`](crate::noise::UniformNoise) but much
-/// faster when `g` is small (the common regime: the paper's thresholds are
-/// `1/108` and below).
+/// [`Engine::run_scalar`] under
+/// [`UniformNoise`](crate::noise::UniformNoise) but much faster when `g`
+/// is small (the common regime: the paper's thresholds are `1/108` and
+/// below).
 ///
 /// # Panics
 ///
@@ -194,35 +186,18 @@ fn sample_gap<R: Rng + ?Sized>(rng: &mut R, log1m: f64) -> u64 {
 /// # Panics
 ///
 /// Panics if the widths mismatch or a planned index is out of range.
+#[deprecated(
+    since = "0.2.0",
+    note = "use rft_revsim::engine::PlannedFaultBackend::run_state"
+)]
 pub fn run_with_plan(circuit: &Circuit, state: &mut BitState, plan: &FaultPlan) {
-    assert_eq!(
-        state.len(),
-        circuit.n_wires(),
-        "state width must match circuit width"
-    );
-    for fault in plan.faults() {
-        assert!(
-            fault.op_index < circuit.len(),
-            "planned fault targets op {} but circuit has {} ops",
-            fault.op_index,
-            circuit.len()
-        );
-    }
-    for (i, op) in circuit.ops().iter().enumerate() {
-        match plan.pattern_for(i) {
-            Some(pattern) => {
-                let support = op.support();
-                state.write_pattern(support.as_slice(), pattern);
-            }
-            None => op.apply(state),
-        }
-    }
+    PlannedFaultBackend::new(plan).run_state(circuit, state);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::noise::{NoNoise, SplitNoise, UniformNoise};
+    use crate::noise::{NoNoise, UniformNoise};
     use crate::wire::w;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
@@ -241,38 +216,25 @@ mod tests {
     }
 
     #[test]
-    fn noiseless_run_reports_no_faults() {
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_engine() {
+        // Same seed ⇒ identical fault sequences: the shims and the engine
+        // share one scalar implementation and RNG schedule.
         let c = recovery_like_circuit();
-        let mut s = BitState::zeros(9);
-        let mut rng = SmallRng::seed_from_u64(0);
-        let report = run_noisy(&c, &mut s, &NoNoise, &mut rng);
-        assert_eq!(report.fault_count(), 0);
-        assert_eq!(s.count_ones(), 0);
+        let noise = UniformNoise::new(0.2);
+        let engine = Engine::compile(&c, &noise);
+        let mut s_shim = BitState::zeros(9);
+        let mut s_engine = BitState::zeros(9);
+        let mut rng_a = SmallRng::seed_from_u64(17);
+        let mut rng_b = SmallRng::seed_from_u64(17);
+        let a = run_noisy(&c, &mut s_shim, &noise, &mut rng_a);
+        let b = engine.run_scalar(&mut s_engine, &mut rng_b);
+        assert_eq!(a, b);
+        assert_eq!(s_shim, s_engine);
     }
 
     #[test]
-    fn always_fail_randomizes_every_op() {
-        let c = recovery_like_circuit();
-        let mut s = BitState::zeros(9);
-        let mut rng = SmallRng::seed_from_u64(1);
-        let noise = UniformNoise::new(1.0);
-        let report = run_noisy(&c, &mut s, &noise, &mut rng);
-        assert_eq!(report.fault_count(), c.len());
-    }
-
-    #[test]
-    fn split_noise_spares_inits() {
-        let c = recovery_like_circuit();
-        let noise = SplitNoise::new(1.0, 0.0);
-        let mut s = BitState::zeros(9);
-        let mut rng = SmallRng::seed_from_u64(2);
-        let report = run_noisy(&c, &mut s, &noise, &mut rng);
-        // 6 gates fail, 2 inits never fail.
-        assert_eq!(report.fault_count(), 6);
-        assert!(report.faults.iter().all(|&i| i >= 2));
-    }
-
-    #[test]
+    #[allow(deprecated)]
     fn planned_fault_overrides_one_op() {
         let mut c = Circuit::new(3);
         c.not(w(0)).not(w(1));
@@ -284,6 +246,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn planned_fault_pattern_maps_to_support_order() {
         let mut c = Circuit::new(3);
         c.maj(w(2), w(0), w(1)); // support order: q2, q0, q1
@@ -293,14 +256,6 @@ mod tests {
         assert!(s.get(w(2)));
         assert!(s.get(w(0)));
         assert!(!s.get(w(1)));
-    }
-
-    #[test]
-    #[should_panic(expected = "planned fault targets op")]
-    fn plan_out_of_range_panics() {
-        let c = Circuit::new(1);
-        let mut s = BitState::zeros(1);
-        run_with_plan(&c, &mut s, &FaultPlan::single(0, 0));
     }
 
     #[test]
@@ -316,7 +271,7 @@ mod tests {
         let mut s = BitState::zeros(3);
         let mut rng = SmallRng::seed_from_u64(3);
         let mut rec = Recorder(Vec::new());
-        run_noisy_observed(&c, &mut s, &NoNoise, &mut rng, &mut rec);
+        Engine::compile(&c, &NoNoise).run_scalar_observed(&mut s, &mut rng, &mut rec);
         // Before the init, wires held (1,0,1) -> pattern 0b101.
         assert_eq!(rec.0, vec![(2, 0b101)]);
         assert_eq!(s.count_ones(), 0);
@@ -330,12 +285,12 @@ mod tests {
         let g = 0.05;
         let trials = 4000;
         let mut rng = SmallRng::seed_from_u64(42);
-        let noise = UniformNoise::new(g);
+        let engine = Engine::compile(&c, &UniformNoise::new(g));
         let mut bernoulli_total = 0usize;
         let mut geometric_total = 0usize;
         for _ in 0..trials {
             let mut s = BitState::zeros(9);
-            bernoulli_total += run_noisy(&c, &mut s, &noise, &mut rng).fault_count();
+            bernoulli_total += engine.run_scalar(&mut s, &mut rng).fault_count();
             let mut s = BitState::zeros(9);
             geometric_total += run_noisy_geometric(&c, &mut s, g, &mut rng).fault_count();
         }
@@ -365,6 +320,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "state width")]
     fn width_mismatch_panics() {
         let c = Circuit::new(3);

@@ -18,11 +18,22 @@
 //! - exhaustive permutation extraction ([`permutation::Permutation`]);
 //! - the paper's error model ([`noise`]): each operation independently
 //!   randomizes its support with probability *g*;
-//! - executors ([`exec`]) for ideal, Monte-Carlo and planned-fault runs,
-//!   including a geometric fast path for small *g*;
-//! - a bit-parallel batch engine ([`batch`]) running 64 independent trials
-//!   per machine word with branch-free gate kernels and exact batched
-//!   fault sampling — the substrate of the Monte-Carlo measurement layer;
+//! - **the unified execution engine ([`engine`])** — the single entry
+//!   point for noisy simulation: [`engine::Engine`] compiles a circuit
+//!   against a noise model once (flattened op stream + per-op fault
+//!   probabilities + exact binomial fault-mask samplers) and then runs it
+//!   many times through interchangeable [`engine::Backend`]s —
+//!   [`engine::ScalarBackend`] (per-lane reference),
+//!   [`engine::BatchBackend`] (64 lanes per machine word, branch-free
+//!   plane kernels) and [`engine::PlannedFaultBackend`] (deterministic
+//!   fault injection). Monte-Carlo runs take typed
+//!   [`engine::McOptions`] (`trials`/`seed`/`threads`, auto backend
+//!   routing above a trial threshold, optional adaptive early stopping at
+//!   a target relative error); both Monte-Carlo backends share one RNG
+//!   schedule, so a seed reproduces bit-identical lanes on either;
+//! - scalar executors ([`exec`]) for ideal runs and the geometric
+//!   fast path, plus the low-level batch substrate ([`batch`]): wire-major
+//!   bit planes and kernels the engine executes on;
 //! - exhaustive fault enumeration ([`fault`]) used to *prove* (not sample)
 //!   the single-fault tolerance of recovery circuits.
 //!
@@ -49,6 +60,7 @@
 pub mod batch;
 pub mod circuit;
 pub mod diagram;
+pub mod engine;
 mod error;
 pub mod exec;
 pub mod fault;
@@ -63,16 +75,14 @@ pub use error::{Error, Result};
 
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use crate::batch::{
-        run_ideal_batch, run_noisy_batch, run_noisy_batch_with, BatchExecReport, BatchState,
-        CompiledNoise,
-    };
+    pub use crate::batch::{run_ideal_batch, BatchExecReport, BatchState};
     pub use crate::circuit::{Circuit, CircuitStats};
     pub use crate::diagram::render;
-    pub use crate::exec::{
-        run_ideal, run_noisy, run_noisy_geometric, run_noisy_observed, run_with_plan, ExecObserver,
-        ExecReport,
+    pub use crate::engine::{
+        Backend, BackendKind, BatchBackend, Engine, McOptions, McOutcome, PlannedFaultBackend,
+        ScalarBackend, Simulation, WordTrial, DEFAULT_BATCH_THRESHOLD,
     };
+    pub use crate::exec::{run_ideal, run_noisy_geometric, ExecObserver, ExecReport};
     pub use crate::fault::{double_fault_plans, single_fault_plans, FaultPlan, PlannedFault};
     pub use crate::gate::{Gate, OpKind};
     pub use crate::noise::{NoNoise, NoiseModel, SplitNoise, UniformNoise};

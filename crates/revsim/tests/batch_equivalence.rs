@@ -1,6 +1,8 @@
-//! Scalar/batch equivalence: the bit-parallel engine must agree with the
-//! scalar executor lane by lane on ideal runs, and statistically on noisy
-//! runs.
+//! Scalar/batch equivalence through the unified engine: the bit-parallel
+//! backend must agree with the scalar reference **lane by lane** — exactly,
+//! not just statistically — because both backends consume one shared fault
+//! schedule. Ideal runs are checked against the scalar executor, and noisy
+//! runs across every backend on identical seeds.
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -65,6 +67,28 @@ fn arb_circuit(max_len: usize) -> impl Strategy<Value = Circuit> {
     })
 }
 
+/// A trial whose failure criterion is simply "wire 0 ended up set" —
+/// enough to compare backend routing end to end.
+struct Wire0Trial;
+
+impl WordTrial for Wire0Trial {
+    fn n_wires(&self) -> usize {
+        N_WIRES
+    }
+
+    fn prepare(&self, batch: &mut BatchState, rng: &mut dyn rand::RngCore) -> Vec<u64> {
+        let inputs: Vec<u64> = (0..N_WIRES).map(|_| rng.random()).collect();
+        for (i, &bits) in inputs.iter().enumerate() {
+            batch.set_word(w(i as u32), 0, bits);
+        }
+        inputs
+    }
+
+    fn judge(&self, batch: &BatchState, _inputs: &[u64]) -> u64 {
+        batch.word(w(0), 0)
+    }
+}
+
 proptest! {
     /// `run_ideal` on every lane's `BitState` and one batch execution of
     /// the same circuit agree lane by lane, on arbitrary circuits
@@ -101,6 +125,47 @@ proptest! {
         }
     }
 
+    /// THE engine invariant: on identical seeds, the scalar and batch
+    /// backends produce bit-identical final states and reports for
+    /// arbitrary noisy circuits — the fault schedule is shared, so the
+    /// agreement is exact, lane by lane, not merely statistical.
+    #[test]
+    fn noisy_backends_agree_lane_by_lane(
+        c in arb_circuit(25),
+        seed in 0u64..1_000_000,
+        g in 0.0f64..0.5,
+    ) {
+        let engine = Engine::compile(&c, &UniformNoise::new(g));
+        let mut scalar = BatchState::zeros(N_WIRES, 2);
+        let mut batch = BatchState::zeros(N_WIRES, 2);
+        let mut rng_s = SmallRng::seed_from_u64(seed);
+        let mut rng_b = SmallRng::seed_from_u64(seed);
+        let rs = ScalarBackend.run(&engine, &mut scalar, &mut rng_s);
+        let rb = BatchBackend.run(&engine, &mut batch, &mut rng_b);
+        prop_assert_eq!(rs, rb, "reports differ");
+        prop_assert_eq!(scalar, batch, "states differ");
+    }
+
+    /// The same invariant one layer up: `Engine::estimate` returns the
+    /// same failure count whichever backend `McOptions` forces (and
+    /// whatever the auto route picks), for the same seed.
+    #[test]
+    fn estimate_backends_agree_on_identical_seeds(
+        c in arb_circuit(25),
+        seed in 0u64..1_000_000,
+        trials in 1u64..400,
+    ) {
+        let engine = Engine::compile(&c, &UniformNoise::new(0.1));
+        let base = McOptions::new(trials).seed(seed);
+        let scalar = engine.estimate(&Wire0Trial, &base.backend(BackendKind::Scalar));
+        let batch = engine.estimate(&Wire0Trial, &base.backend(BackendKind::Batch));
+        let auto = engine.estimate(&Wire0Trial, &base.backend(BackendKind::Auto));
+        prop_assert_eq!(scalar.failures, batch.failures);
+        prop_assert_eq!(batch.failures, auto.failures);
+        prop_assert_eq!(scalar.trials, trials);
+        prop_assert_eq!(batch.trials, trials);
+    }
+
     /// In a noisy batch run, every lane the report declares fault-free
     /// must finish in exactly the ideal-run state.
     #[test]
@@ -112,7 +177,8 @@ proptest! {
         let mut noisy = BatchState::from_states(&states);
         let mut ideal = BatchState::from_states(&states);
         run_ideal_batch(&c, &mut ideal);
-        let report = run_noisy_batch(&c, &mut noisy, &UniformNoise::new(0.08), &mut rng);
+        let engine = Engine::compile(&c, &UniformNoise::new(0.08));
+        let report = engine.run_batch(&mut noisy, &mut rng);
         let clean = report.clean_lanes(0);
         for lane in 0..64 {
             if (clean >> lane) & 1 == 1 {
@@ -140,13 +206,12 @@ fn batched_fault_rates_match_noise_model() {
 
     // Uniform model.
     let g = 1.0 / 108.0;
-    let noise = UniformNoise::new(g);
-    let compiled = CompiledNoise::compile(&c, &noise);
+    let engine = Engine::compile(&c, &UniformNoise::new(g));
     let words = 2_000u64;
     let mut events = 0u64;
     for _ in 0..words {
         let mut batch = BatchState::zeros(9, 1);
-        events += run_noisy_batch_with(&c, &mut batch, &compiled, &mut rng).fault_events;
+        events += engine.run_batch(&mut batch, &mut rng).fault_events;
     }
     let n = (c.len() as u64 * 64 * words) as f64;
     let sd = (n * g * (1.0 - g)).sqrt();
@@ -157,12 +222,11 @@ fn batched_fault_rates_match_noise_model() {
     );
 
     // Split model with perfect inits: only the 6 gates may fault.
-    let split = SplitNoise::perfect_init(0.05);
-    let compiled = CompiledNoise::compile(&c, &split);
+    let engine = Engine::compile(&c, &SplitNoise::perfect_init(0.05));
     let mut events = 0u64;
     for _ in 0..words {
         let mut batch = BatchState::zeros(9, 1);
-        events += run_noisy_batch_with(&c, &mut batch, &compiled, &mut rng).fault_events;
+        events += engine.run_batch(&mut batch, &mut rng).fault_events;
     }
     let n = (6 * 64 * words) as f64;
     let sd = (n * 0.05 * 0.95).sqrt();

@@ -99,7 +99,7 @@ proptest! {
         let mut ideal = BitState::from_u64(input, N_WIRES);
         c.run(&mut ideal);
         let mut faulted = BitState::from_u64(input, N_WIRES);
-        run_with_plan(&c, &mut faulted, &FaultPlan::single(idx, pattern));
+        PlannedFaultBackend::new(&FaultPlan::single(idx, pattern)).run_state(&c, &mut faulted);
         prop_assert_eq!(ideal, faulted);
     }
 
@@ -126,7 +126,7 @@ proptest! {
         let mut a = BitState::from_u64(input, N_WIRES);
         let mut b = BitState::from_u64(input, N_WIRES);
         c.run(&mut a);
-        run_with_plan(&c, &mut b, &FaultPlan::none());
+        PlannedFaultBackend::new(&FaultPlan::none()).run_state(&c, &mut b);
         prop_assert_eq!(a, b);
     }
 }

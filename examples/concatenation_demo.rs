@@ -40,7 +40,10 @@ fn main() {
         for level in 0..=2u8 {
             let mc = ConcatMc::new(level, gate, cycles);
             let t = if level == 2 { trials / 4 } else { trials };
-            let (est, per_cycle) = mc.estimate_per_cycle(&noise, t, 7 ^ g.to_bits(), 8);
+            // One typed options value per point: the engine facade routes
+            // to the batch backend automatically at these budgets.
+            let opts = McOptions::new(t).seed(7).salt(g.to_bits()).threads(8);
+            let (est, per_cycle) = mc.estimate_per_cycle(&noise, &opts);
             let _ = est;
             rates.push(per_cycle);
         }

@@ -103,6 +103,9 @@ fn main() {
     println!("\n  g        bare adder   FT adder (level 1)");
     for g in [1.0 / 2000.0, 1.0 / 500.0, 1.0 / 165.0] {
         let noise = UniformNoise::new(g);
+        // Compile each circuit against the noise model once, run 20k times.
+        let bare_engine = Engine::compile(&adder2.circuit, &noise);
+        let ft_engine = Engine::compile(program.circuit(), &noise);
         let mut bare_fail = 0u64;
         let mut ft_fail = 0u64;
         for _ in 0..trials {
@@ -110,14 +113,14 @@ fn main() {
             let b = rng.random_range(0..4u64);
             // Bare run.
             let mut s = adder2.encode_input(a, b);
-            run_noisy(&adder2.circuit, &mut s, &noise, &mut rng);
+            bare_engine.run_scalar(&mut s, &mut rng);
             if adder2.decode_output(&s).1 != a + b {
                 bare_fail += 1;
             }
             // Fault-tolerant run.
             let logical_in = adder2.encode_input(a, b);
             let mut phys = program.encode(&logical_in);
-            run_noisy(program.circuit(), &mut phys, &noise, &mut rng);
+            ft_engine.run_scalar(&mut phys, &mut rng);
             if adder2.decode_output(&program.decode(&phys)).1 != a + b {
                 ft_fail += 1;
             }

@@ -57,9 +57,13 @@ fn architecture_error_ordering_under_noise() {
     let d2 = build_cycle_2d(&toffoli(), InterleaveScheme::Perpendicular).to_cycle_spec(&toffoli());
     let d1 = build_cycle_1d(&toffoli()).to_cycle_spec(&toffoli());
 
-    let e_nl = estimate_cycle_error(&nonlocal, &noise, trials, 1, 4);
-    let e_2d = estimate_cycle_error(&d2, &noise, trials, 2, 4);
-    let e_1d = estimate_cycle_error(&d1, &noise, trials, 3, 4);
+    let e_nl = estimate_cycle_error(
+        &nonlocal,
+        &noise,
+        &McOptions::new(trials).seed(1).threads(4),
+    );
+    let e_2d = estimate_cycle_error(&d2, &noise, &McOptions::new(trials).seed(2).threads(4));
+    let e_1d = estimate_cycle_error(&d1, &noise, &McOptions::new(trials).seed(3).threads(4));
 
     assert!(
         e_1d.rate > e_2d.rate * 0.9,
@@ -79,7 +83,10 @@ fn architecture_error_ordering_under_noise() {
 fn below_threshold_protection_beats_bare_execution() {
     let g = 1.0 / 500.0;
     let mc = ConcatMc::new(1, toffoli(), 2);
-    let est = mc.estimate(&UniformNoise::new(g), 30_000, 5, 4);
+    let est = mc.estimate(
+        &UniformNoise::new(g),
+        &McOptions::new(30_000).seed(5).threads(4),
+    );
     let bare = unprotected_error(g, 2);
     assert!(
         est.rate < bare,
@@ -114,8 +121,10 @@ fn routed_ft_cycle_remains_correct() {
 fn level_two_survives_more_noise_than_level_one() {
     let g = 1.0 / 165.0; // exactly the analytic threshold
     let noise = UniformNoise::new(g);
-    let l1 = ConcatMc::new(1, toffoli(), 2).estimate(&noise, 20_000, 8, 4);
-    let l2 = ConcatMc::new(2, toffoli(), 2).estimate(&noise, 5_000, 9, 4);
+    let l1 =
+        ConcatMc::new(1, toffoli(), 2).estimate(&noise, &McOptions::new(20_000).seed(8).threads(4));
+    let l2 =
+        ConcatMc::new(2, toffoli(), 2).estimate(&noise, &McOptions::new(5_000).seed(9).threads(4));
     assert!(
         l2.rate < l1.rate,
         "at ρ, level 2 ({}) should still beat level 1 ({})",

@@ -12,6 +12,7 @@ fn quick() -> RunConfig {
         trials: 2_000,
         seed: 2005,
         threads: 4,
+        ..RunConfig::quick()
     }
 }
 
