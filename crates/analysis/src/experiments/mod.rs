@@ -32,13 +32,14 @@ pub mod table1;
 pub mod table2;
 pub mod threshold;
 
-use rft_revsim::engine::{BackendKind, McOptions};
+use rft_revsim::engine::{BackendKind, Estimator, McOptions};
 use serde::{Deserialize, Serialize};
 
 /// Monte-Carlo budget shared by the experiments — the experiment-facing
 /// face of [`McOptions`]: every Monte-Carlo call site derives its options
 /// from a `RunConfig` via [`RunConfig::options`], so the `repro` binary's
-/// `--backend` and `--rel-error` flags reach all experiments uniformly.
+/// `--backend`, `--estimator` and `--rel-error` flags reach all
+/// experiments uniformly.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RunConfig {
     /// Trials per Monte-Carlo point.
@@ -49,6 +50,9 @@ pub struct RunConfig {
     pub threads: usize,
     /// Backend selection policy (auto routes by trial count).
     pub backend: BackendKind,
+    /// Estimator selection policy (auto routes deep-sub-threshold points
+    /// to the fault-count-stratified rare-event estimator).
+    pub estimator: Estimator,
     /// Optional adaptive early stopping at this target relative error.
     pub target_rel_error: Option<f64>,
 }
@@ -61,6 +65,7 @@ impl RunConfig {
             seed: 2005,
             threads: default_threads(),
             backend: BackendKind::Auto,
+            estimator: Estimator::Auto,
             target_rel_error: None,
         }
     }
@@ -79,7 +84,8 @@ impl RunConfig {
         let opts = McOptions::new(self.trials)
             .seed(self.seed)
             .threads(self.threads)
-            .backend(self.backend);
+            .backend(self.backend)
+            .estimator(self.estimator);
         match self.target_rel_error {
             Some(target) => opts.target_rel_error(target),
             None => opts,

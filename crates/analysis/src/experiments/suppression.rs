@@ -1,5 +1,14 @@
 //! `suppression`: Equation 2 — doubly-exponential error suppression with
 //! concatenation level below threshold, and divergence above it.
+//!
+//! Runs under [`RunConfig`]'s estimator policy (default
+//! [`Estimator::Auto`](rft_revsim::engine::Estimator)): the deep
+//! below-threshold points — exactly where level-1/level-2 logical rates
+//! become too rare for plain Monte-Carlo — route to the
+//! fault-count-stratified estimator with the concatenation-distance
+//! elision (`ConcatTrial::min_failing_faults` = `2^L`), which conditions
+//! every executed word on carrying at least `2^L` faults and re-weights
+//! by the exact Poisson-binomial fault-count masses.
 
 use super::RunConfig;
 use crate::montecarlo::ConcatMc;

@@ -6,6 +6,12 @@
 //! The analytic ρ is a *lower bound* on the true threshold (the paper:
 //! "the circuits and threshold values presented here represent a lower
 //! bound"), so the measured crossing should sit at or above it.
+//!
+//! The sweep runs under [`RunConfig`]'s estimator policy (default
+//! [`Estimator::Auto`](rft_revsim::engine::Estimator)): the deep points
+//! `g ≪ ρ`, where almost every plain-MC trial would execute fault-free,
+//! route to the fault-count-stratified rare-event estimator and resolve
+//! rates far below what the raw trial budget could otherwise bracket.
 
 use super::RunConfig;
 use crate::montecarlo::ConcatMc;

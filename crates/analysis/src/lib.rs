@@ -3,13 +3,17 @@
 //! The measurement layer of the *“Reversible Fault-Tolerant Logic”*
 //! reproduction:
 //!
-//! - [`stats`] — binomial estimates with Wilson intervals, slope fits;
+//! - [`stats`] — binomial estimates with Wilson intervals, their
+//!   stratified (weighted) generalization, and slope fits;
 //! - [`montecarlo`] — logical-error-rate estimation for compiled
 //!   concatenated programs and local cycles, expressed on the unified
 //!   [`Engine`](rft_revsim::engine::Engine) facade: compile once, run
 //!   many through auto-routed scalar/batch backends with typed
 //!   [`McOptions`](rft_revsim::engine::McOptions) (trials, seed, threads,
-//!   optional adaptive early stopping);
+//!   optional adaptive early stopping, and an
+//!   [`Estimator`](rft_revsim::engine::Estimator) policy that routes
+//!   deep-sub-threshold points to fault-count-stratified rare-event
+//!   sampling);
 //! - [`sweep`] — log-grid sweeps and pseudo-threshold crossing detection;
 //! - [`entropy_meas`] — empirical reset-entropy measurement (§4);
 //! - [`report`] — plain-text table rendering;
@@ -36,7 +40,7 @@ pub mod prelude {
         ConcatTrial, BATCH_TRIAL_THRESHOLD,
     };
     pub use crate::report::Table;
-    pub use crate::stats::{linear_slope, wilson_interval, ErrorEstimate};
+    pub use crate::stats::{linear_slope, stratified_estimate, wilson_interval, ErrorEstimate};
     pub use crate::sweep::{find_crossing, log_grid, sweep, SweepPoint};
-    pub use rft_revsim::engine::{BackendKind, Engine, McOptions, McOutcome};
+    pub use rft_revsim::engine::{BackendKind, Engine, Estimator, McOptions, McOutcome};
 }

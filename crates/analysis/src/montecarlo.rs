@@ -11,14 +11,19 @@
 //!
 //! Both are thin layers over [`Engine::estimate`]: the circuit and noise
 //! model are compiled once into an [`Engine`] (flattened op stream,
-//! per-op fault probabilities, exact binomial fault-mask samplers), and a
+//! per-op fault probabilities, exact binomial fault-mask samplers, and —
+//! lazily — the Poisson-binomial fault-count distribution), and a
 //! [`WordTrial`] supplies the encode/judge logic per 64-trial word. Runs
 //! are configured by typed [`McOptions`] — trials, seed, threads, an
-//! explicit or auto-routed backend, and optional adaptive early stopping
-//! at a target relative error. Results are deterministic per seed and
-//! identical across the scalar and batch backends (they share one RNG
-//! schedule); the statistical equivalence tests live in
-//! `tests/batch_stats.rs`.
+//! explicit or auto-routed backend, an
+//! [`Estimator`](rft_revsim::engine::Estimator) policy (whose default
+//! `Auto` routes deep-sub-threshold points to the fault-count-stratified
+//! rare-event estimator; both trials here opt into zero-fault elision
+//! since a fault-free encode → run → decode lane cannot fail), and
+//! optional adaptive early stopping at a target relative error. Results
+//! are deterministic per seed and identical across the scalar and batch
+//! backends (they share one RNG schedule); the statistical equivalence
+//! tests live in `tests/batch_stats.rs`.
 
 use crate::stats::ErrorEstimate;
 use rand::rngs::SmallRng;
@@ -27,7 +32,7 @@ use rft_core::concat::{FtBuilder, FtProgram};
 use rft_core::ftcheck::CycleSpec;
 use rft_revsim::batch::BatchState;
 use rft_revsim::circuit::Circuit;
-use rft_revsim::engine::{failure_mask, Engine, McOptions, McOutcome, WordTrial};
+use rft_revsim::engine::{failure_mask_in, Engine, McOptions, McOutcome, WordTrial};
 use rft_revsim::gate::Gate;
 use rft_revsim::noise::NoiseModel;
 use rft_revsim::op::Op;
@@ -147,16 +152,47 @@ impl WordTrial for ConcatTrial<'_> {
     }
 
     fn prepare(&self, batch: &mut BatchState, rng: &mut dyn RngCore) -> Vec<u64> {
-        let logical: Vec<u64> = (0..self.program.n_logical())
-            .map(|_| rng.random())
-            .collect();
-        self.program.encode_word(batch, 0, &logical);
+        let mut logical = Vec::new();
+        self.prepare_into(batch, rng, &mut logical);
         logical
     }
 
+    fn prepare_into(&self, batch: &mut BatchState, rng: &mut dyn RngCore, inputs: &mut Vec<u64>) {
+        inputs.clear();
+        inputs.extend((0..self.program.n_logical()).map(|_| rng.random::<u64>()));
+        self.program.encode_word(batch, 0, inputs);
+    }
+
     fn judge(&self, batch: &BatchState, inputs: &[u64]) -> u64 {
+        self.judge_masked(batch, inputs, u64::MAX)
+    }
+
+    fn judge_masked(&self, batch: &BatchState, inputs: &[u64], candidates: u64) -> u64 {
+        if candidates == 0 {
+            return 0;
+        }
         let decoded = self.program.decode_word(batch, 0);
-        failure_mask(inputs, &decoded, |input| self.ideal.apply(input))
+        failure_mask_in(candidates, inputs, &decoded, |input| {
+            self.ideal.apply(input)
+        })
+    }
+
+    /// Encode → run → decode against the ideal permutation: a fault-free
+    /// lane decodes exactly, so zero-fault elision is sound.
+    fn fault_free_can_fail(&self) -> bool {
+        false
+    }
+
+    /// The concatenation-distance elision: a level-`L` program compiled
+    /// by [`FtBuilder`] fails only under at least `2^L` physical faults
+    /// (each level-1 block corrects any single fault — proven
+    /// exhaustively by `rft_core::ftcheck` — and each outer level
+    /// corrects any single corrupted block), so [`Estimator::Auto`] may
+    /// elide the lighter strata.
+    ///
+    /// [`Estimator::Auto`]: rft_revsim::engine::Estimator::Auto
+    fn min_failing_faults(&self) -> u32 {
+        1u32 << self.program.level().min(31)
     }
 }
 

@@ -46,12 +46,15 @@ where
 /// between the last point with `p̂ < target` and the first with
 /// `p̂ ≥ target`. Returns `None` if the sweep never crosses.
 ///
-/// Points with zero failures are skipped (no log estimate).
+/// Points with a zero rate are skipped (no log estimate). The filter is
+/// on the rate, not the failure count, because stratified rare-event
+/// estimates report *conditional* failures whose weighted rate is the
+/// meaningful quantity.
 pub fn find_crossing<F>(points: &[SweepPoint], target: F) -> Option<f64>
 where
     F: Fn(f64) -> f64,
 {
-    let usable: Vec<&SweepPoint> = points.iter().filter(|p| p.estimate.failures > 0).collect();
+    let usable: Vec<&SweepPoint> = points.iter().filter(|p| p.estimate.rate > 0.0).collect();
     for pair in usable.windows(2) {
         let (a, b) = (pair[0], pair[1]);
         let fa = a.estimate.rate.ln() - target(a.g).ln();

@@ -149,6 +149,69 @@ fn adaptive_early_stopping_meets_its_wilson_bound() {
 }
 
 #[test]
+fn stratified_agrees_with_plain_on_concat_mc() {
+    // Moderate paper-scale rate where both estimators resolve: forced
+    // plain vs forced stratified on disjoint seeds must overlap at 95%.
+    let mc = ConcatMc::new(1, toffoli(), 1);
+    let noise = UniformNoise::new(1.0 / 165.0);
+    let plain = mc.estimate(&noise, &batch_opts(60_000, 51).estimator(Estimator::Plain));
+    let strat = mc.estimate(
+        &noise,
+        &batch_opts(60_000, 52).estimator(Estimator::DEFAULT_STRATIFIED),
+    );
+    assert!(
+        strat.low <= plain.high && plain.low <= strat.high,
+        "stratified {strat:?} vs plain {plain:?}"
+    );
+    // The stratified interval is the tighter of the two at equal budget.
+    assert!(
+        strat.high - strat.low < plain.high - plain.low,
+        "stratified {strat:?} should beat plain {plain:?} in width"
+    );
+}
+
+#[test]
+fn stratified_min_faults_two_is_sound_for_the_ft_cycle() {
+    // The level-1 cycle provably corrects any single fault (ftcheck's
+    // exhaustive sweep), so eliding the k ≤ 1 strata must not bias the
+    // estimate: compare min_faults = 2 against plain at a rate where
+    // plain resolves well.
+    let mc = ConcatMc::new(1, toffoli(), 1);
+    let noise = UniformNoise::new(1.0 / 60.0);
+    let plain = mc.estimate(&noise, &batch_opts(60_000, 61).estimator(Estimator::Plain));
+    let strat = mc.estimate(&noise, &batch_opts(60_000, 62).stratified(2, 4));
+    assert!(
+        strat.low <= plain.high && plain.low <= strat.high,
+        "min_faults=2 {strat:?} vs plain {plain:?}"
+    );
+}
+
+#[test]
+fn auto_routes_deep_points_to_the_stratified_estimator() {
+    // g = 10⁻³ on the level-1 cycle: plain MC at this budget would
+    // usually see zero failures; the auto-routed stratified estimator
+    // resolves a positive rate with a finite interval.
+    let mc = ConcatMc::new(1, toffoli(), 1);
+    let noise = UniformNoise::new(1e-3);
+    let outcome = mc.estimate_outcome(&noise, &batch_opts(30_000, 71));
+    assert_eq!(outcome.estimator, "stratified");
+    let est = ErrorEstimate::from(outcome.clone());
+    assert!(est.rate > 0.0, "deep rate resolved: {est:?}");
+    assert!(est.rate < 1e-3, "level-1 must suppress below g: {est:?}");
+    // The Equation-1 bound 3·C(11,2)·g² per encoded bit is a sanity
+    // ceiling for the whole-cycle rate at 3 encoded bits.
+    assert!(
+        est.rate < 3.0 * 3.0 * 55.0 * 1e-6,
+        "rate {} too high",
+        est.rate
+    );
+    // Determinism across thread counts survives the stratified path.
+    let again = mc.estimate_outcome(&noise, &batch_opts(30_000, 71).threads(1));
+    assert_eq!(outcome.failures, again.failures);
+    assert_eq!(outcome.strata, again.strata);
+}
+
+#[test]
 fn adaptive_stopping_is_noop_when_failures_are_scarce() {
     // Deep below threshold almost nothing fails: the adaptive run must
     // quietly fall back to the full budget rather than stop on noise.

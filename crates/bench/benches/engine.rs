@@ -46,6 +46,11 @@ fn engine_compile_overhead(c: &mut Criterion) {
 }
 
 /// Full facade round trips: compile + estimate.
+///
+/// These pin [`Estimator::Plain`] so the numbers stay comparable with the
+/// checked-in BENCH_engine.json baseline (and with `batch_raw_exec` in
+/// BENCH_batch.json); the stratified estimator has its own bench in
+/// `benches/rare_event.rs`.
 fn engine_estimate_roundtrip(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_estimate");
     group.sample_size(10);
@@ -54,13 +59,17 @@ fn engine_estimate_roundtrip(c: &mut Criterion) {
     const TRIALS: u64 = 4_096;
     group.throughput(Throughput::Elements(TRIALS));
     group.bench_function("auto_4k_trials", |b| {
-        let opts = McOptions::new(TRIALS).seed(1).threads(1);
+        let opts = McOptions::new(TRIALS)
+            .seed(1)
+            .threads(1)
+            .estimator(Estimator::Plain);
         b.iter(|| black_box(estimate_cycle_error(&spec, &noise, &opts).failures));
     });
     group.bench_function("adaptive_rel20_4k_cap", |b| {
         let opts = McOptions::new(TRIALS)
             .seed(1)
             .threads(1)
+            .estimator(Estimator::Plain)
             .target_rel_error(0.2);
         b.iter(|| black_box(estimate_cycle_error(&spec, &noise, &opts).failures));
     });

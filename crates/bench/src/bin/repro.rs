@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! repro [--quick] [--trials N] [--seed S] [--backend auto|scalar|batch]
-//!       [--rel-error E] [EXPERIMENT ...]
+//!       [--estimator plain|stratified|auto] [--rel-error E]
+//!       [EXPERIMENT ...]
 //! ```
 //!
 //! With no experiment IDs, everything runs. IDs (see DESIGN.md):
@@ -11,8 +12,13 @@
 //! nand advantage`.
 //!
 //! `--backend` selects the engine execution backend at runtime (the
-//! default auto-routes by trial count); `--rel-error` enables adaptive
-//! early stopping at the given target relative standard error.
+//! default auto-routes by trial count); `--estimator` selects the
+//! Monte-Carlo estimator — `plain` executes every trial, `stratified`
+//! (also `stratified:<min_faults>` or `stratified:<min_faults>:<strata>`)
+//! uses fault-count-stratified rare-event sampling with zero-fault
+//! elision, and the default `auto` picks stratified whenever a point is
+//! deep enough below threshold for it to pay; `--rel-error` enables
+//! adaptive early stopping at the given target relative standard error.
 
 use rft_analysis::experiments::{
     ablation, advantage, blowup, entropy, fig2, levelreq, local, nand, suppression, table1, table2,
@@ -54,6 +60,10 @@ fn main() {
                 let v = args.next().expect("--backend needs a value");
                 cfg.backend = v.parse().unwrap_or_else(|e| panic!("{e}"));
             }
+            "--estimator" => {
+                let v = args.next().expect("--estimator needs a value");
+                cfg.estimator = v.parse().unwrap_or_else(|e| panic!("{e}"));
+            }
             "--rel-error" => {
                 let v = args.next().expect("--rel-error needs a value");
                 let target: f64 = v.parse().expect("--rel-error must be a number");
@@ -66,9 +76,17 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick] [--trials N] [--seed S] \
-                     [--backend auto|scalar|batch] [--rel-error E] [EXPERIMENT ...]"
+                     [--backend auto|scalar|batch] \
+                     [--estimator plain|stratified[:MIN[:STRATA]]|auto] \
+                     [--rel-error E] [EXPERIMENT ...]"
                 );
                 println!("experiments: {}", ALL.join(" "));
+                println!(
+                    "estimators: plain executes every trial; stratified uses \
+                     fault-count-stratified\nrare-event sampling (zero-fault words resolved \
+                     analytically); auto (default)\npicks stratified for deep-sub-threshold \
+                     points"
+                );
                 return;
             }
             id => chosen.push(id.to_string()),
@@ -80,11 +98,12 @@ fn main() {
 
     println!("Reversible Fault-Tolerant Logic — reproduction harness");
     println!(
-        "config: trials = {}, seed = {}, threads = {}, backend = {}{}\n",
+        "config: trials = {}, seed = {}, threads = {}, backend = {}, estimator = {}{}\n",
         cfg.trials,
         cfg.seed,
         cfg.threads,
         cfg.backend,
+        cfg.estimator,
         match cfg.target_rel_error {
             Some(t) => format!(", adaptive rel-error target = {t}"),
             None => String::new(),

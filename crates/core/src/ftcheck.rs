@@ -12,7 +12,7 @@ use rand::{Rng, RngCore};
 use rft_revsim::batch::kernels::majority3;
 use rft_revsim::batch::BatchState;
 use rft_revsim::circuit::Circuit;
-use rft_revsim::engine::{failure_mask, PlannedFaultBackend, WordTrial};
+use rft_revsim::engine::{failure_mask_in, PlannedFaultBackend, WordTrial};
 use rft_revsim::fault::{double_fault_plans, single_fault_plans, FaultPlan};
 use rft_revsim::permutation::Permutation;
 use rft_revsim::state::BitState;
@@ -280,14 +280,35 @@ impl WordTrial for CycleSpec {
     }
 
     fn prepare(&self, batch: &mut BatchState, rng: &mut dyn RngCore) -> Vec<u64> {
-        let logical: Vec<u64> = (0..self.n_logical()).map(|_| rng.random()).collect();
-        self.encode_input_word(batch, 0, &logical);
+        let mut logical = Vec::new();
+        self.prepare_into(batch, rng, &mut logical);
         logical
     }
 
+    fn prepare_into(&self, batch: &mut BatchState, rng: &mut dyn RngCore, inputs: &mut Vec<u64>) {
+        inputs.clear();
+        inputs.extend((0..self.n_logical()).map(|_| rng.random::<u64>()));
+        self.encode_input_word(batch, 0, inputs);
+    }
+
     fn judge(&self, batch: &BatchState, inputs: &[u64]) -> u64 {
+        self.judge_masked(batch, inputs, u64::MAX)
+    }
+
+    fn judge_masked(&self, batch: &BatchState, inputs: &[u64], candidates: u64) -> u64 {
+        if candidates == 0 {
+            return 0;
+        }
         let decoded = self.decode_output_word(batch, 0);
-        failure_mask(inputs, &decoded, |input| self.logical.apply(input))
+        failure_mask_in(candidates, inputs, &decoded, |input| {
+            self.logical.apply(input)
+        })
+    }
+
+    /// Encode → run → decode against the ideal function: a fault-free
+    /// lane decodes exactly, so zero-fault elision is sound.
+    fn fault_free_can_fail(&self) -> bool {
+        false
     }
 }
 

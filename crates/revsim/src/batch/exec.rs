@@ -15,7 +15,13 @@ use crate::engine::{self, Engine, FaultTable};
 use crate::noise::NoiseModel;
 use rand::Rng;
 
-/// What happened during one noisy batch run.
+/// What happened during one noisy batch run (sampled faults via
+/// [`Engine::run_batch`] or a precomputed conditional schedule via
+/// [`Backend::run_masked`](crate::engine::Backend::run_masked)).
+///
+/// The `faulted_lanes` masks drive two elisions in the engine's hot
+/// loops: elision-eligible trials judge only faulted lanes, and the
+/// stratified rare-event estimator skips fault-free words entirely.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchExecReport {
     /// Total `(operation, lane)` fault events across the whole run.
@@ -27,6 +33,7 @@ pub struct BatchExecReport {
 impl BatchExecReport {
     /// Lanes (within plane word `word`) that executed the entire circuit
     /// fault-free.
+    #[must_use]
     pub fn clean_lanes(&self, word: usize) -> u64 {
         !self.faulted_lanes[word]
     }

@@ -89,6 +89,9 @@ pub fn apply_gate_word(state: &mut BatchState, gate: &Gate, word: usize) {
 /// Applies `op` to plane word `word` with per-lane faults: lanes in `fault`
 /// skip the operation and take the random bits `rand[k]` on the k-th
 /// support wire (support order matches [`crate::op::Op::support`]).
+///
+/// Driven both by the engine's sampled fault masks and by the stratified
+/// estimator's precomputed conditional schedules.
 #[inline]
 pub fn apply_word_masked(
     state: &mut BatchState,
@@ -103,6 +106,14 @@ pub fn apply_word_masked(
     }
     let support = op.support();
     let wires = support.as_slice();
+    if fault == u64::MAX {
+        // Every lane faults: the ideal kernel's output would be fully
+        // discarded, so skip it and write the random planes directly.
+        for (k, &wire) in wires.iter().enumerate() {
+            state.set_w(wire, word, rand[k]);
+        }
+        return;
+    }
     // Save pre-op values, run the ideal kernel, then blend per lane:
     // healthy lanes keep the kernel output, faulted lanes take the random
     // plane (the op "does not execute" there, so its old value is simply

@@ -40,6 +40,60 @@
 //! **bit-identical lanes**, not merely statistically equivalent ones. The
 //! property tests in `tests/batch_equivalence.rs` pin this down.
 //!
+//! # Rare-event estimation
+//!
+//! Deep below threshold (`g ≪ ρ`) almost every trial executes fault-free,
+//! and a fault-free trial of an encode → run → decode experiment cannot
+//! fail: plain Monte-Carlo spends essentially its whole budget confirming
+//! an outcome that is known analytically. The [`Estimator::Stratified`]
+//! mode in [`McOptions`] instead *stratifies by the per-trial fault count*
+//! `K` — a Poisson-binomial random variable whose distribution the engine
+//! derives once from the compiled per-op fault probabilities
+//! ([`Engine::fault_count_pmf`]).
+//!
+//! Writing `w_k = P(K = k)` and `q_k = P(trial fails | K = k)`, the
+//! logical failure rate decomposes exactly as
+//!
+//! ```text
+//! p  =  Σ_k w_k · q_k  =  Σ_{k ≥ m} w_k · q_k        (q_k = 0 for k < m)
+//! ```
+//!
+//! where the *elided* strata `k < m` (`m =` `min_faults`, default 1)
+//! contribute nothing: a fault-free word never fails, so the `k = 0`
+//! stratum — weight `P(K = 0) =` [`Engine::fault_free_probability`] — is
+//! resolved analytically with **zero variance and zero executed words**.
+//! Each executed stratum conditions word generation on its fault count
+//! (sample the count, then place the faults via the exact conditional
+//! distribution), so the estimator
+//!
+//! ```text
+//! p̂  =  Σ_{k ≥ m} w_k · q̂_k ,    q̂_k = failures_k / trials_k
+//! ```
+//!
+//! is unbiased (`E q̂_k = q_k`), with variance
+//! `Σ_k w_k² q_k (1 − q_k) / n_k` — smaller than plain MC's
+//! `p(1 − p)/n` by roughly the fault-free mass, and far smaller once the
+//! per-round Neyman reallocation concentrates trials in the strata that
+//! actually produce failures. `rft_analysis::stats::stratified_estimate`
+//! turns the per-stratum tallies into a Wilson-style confidence interval.
+//!
+//! **Worked level-2 example.** A level-2 concatenated Toffoli cycle has
+//! ~1800 fallible ops; at `g = 10⁻³` its logical failure rate is ~10⁻⁶
+//! (Equation 2 bound `ρ(g/ρ)⁴ ≈ 4.5·10⁻⁶`). Plain MC at 10⁶ trials
+//! expects a handful of failures — an interval spanning a decade. The
+//! stratified estimator elides the `K ≤ 1` mass (~46%; single faults are
+//! provably corrected, so `min_faults = 2` is sound once the single-fault
+//! sweep of `rft_core::ftcheck` has passed), spends its words on the
+//! `K = 2, 3, …` strata in Neyman proportion, and resolves the same rate
+//! to ~10% relative error in seconds — see `benches/rare_event.rs`.
+//!
+//! The scheme preserves the engine's determinism contract: strata
+//! allocation is a pure function of the seed-deterministic tallies, every
+//! word still derives its RNG stream from `(seed, global word index)`,
+//! and both Monte-Carlo backends execute one shared conditional mask
+//! schedule, so stratified results are bit-identical across backends and
+//! thread counts for a given seed.
+//!
 //! # Examples
 //!
 //! ```
@@ -85,10 +139,30 @@ use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
+use std::sync::OnceLock;
 
 /// Trial count at which [`BackendKind::Auto`] switches from the scalar to
 /// the batch backend (four 64-lane words).
 pub const DEFAULT_BATCH_THRESHOLD: u64 = 256;
+
+/// Default number of fault-count strata for [`Estimator::Stratified`]
+/// (explicit counts `m, m+1, …` plus one unbounded tail stratum).
+pub const DEFAULT_STRATA_CAP: u32 = 4;
+
+/// Executable probability mass (`P(K ≥ min_failing_faults)`) below which
+/// [`Estimator::Auto`] routes an eligible trial to the stratified
+/// estimator: once ≥ 80% of plain-MC words would resolve analytically,
+/// conditioning pays for its bookkeeping many times over.
+pub const STRATIFIED_ROUTING_THRESHOLD: f64 = 0.2;
+
+/// Tail mass below which the fault-count PMF is truncated. The stratified
+/// estimator is exactly unbiased for the truncated distribution, which is
+/// within this absolute mass of the true Poisson binomial.
+const PMF_TAIL_EPS: f64 = 1e-12;
+
+/// Upper bound on the doubling round size of the stratified word loop
+/// (bounds thread-spawn overhead without starving reallocation).
+const MAX_ROUND_WORDS: u64 = 8192;
 
 /// Failures required before adaptive early stopping may trigger (below
 /// this the relative-error estimate itself is too noisy to act on).
@@ -187,13 +261,19 @@ pub(crate) struct FaultTable {
     /// Sampler index per operation ([`NEVER`] = never faults).
     sampler_of: Vec<usize>,
     samplers: Vec<MaskSampler>,
+    /// Fault probability per sampler (one per distinct nonzero rate).
+    sampler_rates: Vec<f64>,
+    /// `Π (1 − p_i)`: probability that one trial executes fault-free.
+    p_fault_free: f64,
 }
 
 impl FaultTable {
     pub(crate) fn compile<N: NoiseModel + ?Sized>(circuit: &Circuit, noise: &N) -> Self {
         let mut rates: Vec<u64> = Vec::new();
         let mut samplers = Vec::new();
+        let mut sampler_rates = Vec::new();
         let mut probs = Vec::with_capacity(circuit.len());
+        let mut p_fault_free = 1.0f64;
         let sampler_of = circuit
             .ops()
             .iter()
@@ -204,6 +284,7 @@ impl FaultTable {
                     "noise model returned probability {p} outside [0,1]"
                 );
                 probs.push(p);
+                p_fault_free *= 1.0 - p;
                 if p <= 0.0 {
                     return NEVER;
                 }
@@ -213,6 +294,7 @@ impl FaultTable {
                     None => {
                         rates.push(bits);
                         samplers.push(MaskSampler::new(p));
+                        sampler_rates.push(p);
                         samplers.len() - 1
                     }
                 }
@@ -222,11 +304,240 @@ impl FaultTable {
             probs,
             sampler_of,
             samplers,
+            sampler_rates,
+            p_fault_free,
         }
     }
 
     pub(crate) fn n_ops(&self) -> usize {
         self.sampler_of.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-count distribution: Poisson binomial over the rate groups
+// ---------------------------------------------------------------------------
+
+/// The per-trial fault-count distribution of a compiled circuit — a
+/// Poisson binomial over the per-op Bernoulli fault indicators, factored
+/// through the engine's *rate groups* (ops sharing one probability, i.e.
+/// one [`MaskSampler`]), so a group's contribution is an exact
+/// `Binomial(n_j, p_j)`.
+///
+/// Built lazily (once per [`Engine`]) by [`Engine::fault_dist`]; powers
+/// the [`Estimator::Stratified`] weights and the conditional fault
+/// placement. PMFs are truncated where the remaining tail mass drops
+/// below [`PMF_TAIL_EPS`]; the stratified estimator is exactly unbiased
+/// for the truncated distribution.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultCountDist {
+    /// Rate groups in sampler order.
+    groups: Vec<FaultGroup>,
+    /// `suffix[j][k]` = P(groups `j..` contribute exactly `k` faults);
+    /// `suffix[0]` is the full fault-count PMF. `suffix[m]` = `[1.0]`.
+    suffix: Vec<Vec<f64>>,
+    /// Mass beyond the PMF truncation point (`P(K ≥ pmf len)`), folded
+    /// into the top bin when the tail stratum samples a count.
+    tail_beyond: f64,
+}
+
+#[derive(Debug, Clone)]
+struct FaultGroup {
+    /// Global op indices sharing this rate (placement is uniform here).
+    ops: Vec<u32>,
+    /// `Binomial(ops.len(), rate)` PMF, truncated like the total PMF.
+    pmf: Vec<f64>,
+}
+
+/// `Binomial(n, p)` PMF by the stable multiplicative recurrence, truncated
+/// once the accumulated mass reaches `1 − PMF_TAIL_EPS / 4`.
+fn binomial_pmf(n: usize, p: f64) -> Vec<f64> {
+    if p >= 1.0 {
+        let mut pmf = vec![0.0; n + 1];
+        pmf[n] = 1.0;
+        return pmf;
+    }
+    let ratio = p / (1.0 - p);
+    let mut pmf = Vec::with_capacity(n + 1);
+    let mut term = (1.0 - p).powi(n as i32);
+    let mut acc = 0.0;
+    for k in 0..=n {
+        pmf.push(term);
+        acc += term;
+        if acc >= 1.0 - PMF_TAIL_EPS / 4.0 {
+            break;
+        }
+        term *= ratio * (n - k) as f64 / (k + 1) as f64;
+    }
+    pmf
+}
+
+/// Convolution of two truncated PMFs, re-truncated at the same tail mass.
+fn convolve_pmf(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0.0 {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    // Trim the tail once the retained mass is within tolerance.
+    let mut acc = 0.0;
+    let mut keep = out.len();
+    for (k, &v) in out.iter().enumerate() {
+        acc += v;
+        if acc >= 1.0 - PMF_TAIL_EPS / 4.0 {
+            keep = k + 1;
+            break;
+        }
+    }
+    out.truncate(keep);
+    out
+}
+
+impl FaultCountDist {
+    fn build(table: &FaultTable) -> Self {
+        let mut groups: Vec<FaultGroup> = table
+            .sampler_rates
+            .iter()
+            .map(|_| FaultGroup {
+                ops: Vec::new(),
+                pmf: Vec::new(),
+            })
+            .collect();
+        for (i, &s) in table.sampler_of.iter().enumerate() {
+            if s != NEVER {
+                groups[s].ops.push(i as u32);
+            }
+        }
+        for (group, &rate) in groups.iter_mut().zip(&table.sampler_rates) {
+            group.pmf = binomial_pmf(group.ops.len(), rate);
+        }
+        let m = groups.len();
+        let mut suffix = vec![Vec::new(); m + 1];
+        suffix[m] = vec![1.0];
+        for j in (0..m).rev() {
+            suffix[j] = convolve_pmf(&groups[j].pmf, &suffix[j + 1]);
+        }
+        let tail_beyond = (1.0 - suffix[0].iter().sum::<f64>()).max(0.0);
+        FaultCountDist {
+            groups,
+            suffix,
+            tail_beyond,
+        }
+    }
+
+    /// The (truncated) fault-count PMF.
+    pub(crate) fn pmf(&self) -> &[f64] {
+        &self.suffix[0]
+    }
+
+    /// `P(K = k)` (zero beyond the truncation point).
+    pub(crate) fn pmf_at(&self, k: usize) -> f64 {
+        self.pmf().get(k).copied().unwrap_or(0.0)
+    }
+
+    /// `P(K ≥ k)`, including the truncated tail mass.
+    pub(crate) fn mass_at_least(&self, k: usize) -> f64 {
+        let below: f64 = self.pmf().iter().take(k).sum();
+        (1.0 - below).max(0.0)
+    }
+
+    /// Largest fault count the truncated PMF represents.
+    pub(crate) fn max_k(&self) -> usize {
+        self.pmf().len() - 1
+    }
+
+    /// Samples the fault set of one lane conditioned on **exactly** `k`
+    /// faults, appending global op indices to `out` (cleared first).
+    ///
+    /// Sequential conditional sampling over the rate groups: group `j`
+    /// takes `t` faults with probability `B_j[t] · S_{j+1}[rem − t] /
+    /// S_j[rem]`, then `t` distinct ops are placed uniformly within the
+    /// group (exact, since all its ops share one rate).
+    fn sample_exact<R: Rng + ?Sized>(
+        &self,
+        k: usize,
+        rng: &mut R,
+        out: &mut Vec<u32>,
+        scratch: &mut Vec<usize>,
+    ) {
+        out.clear();
+        let mut rem = k;
+        let m = self.groups.len();
+        for j in 0..m {
+            if rem == 0 {
+                break;
+            }
+            let group = &self.groups[j];
+            let t = if j + 1 == m {
+                rem.min(group.ops.len())
+            } else {
+                let total = self.suffix[j].get(rem).copied().unwrap_or(0.0);
+                let hi = rem.min(group.pmf.len() - 1);
+                let mut chosen = hi.min(group.ops.len());
+                if total > 0.0 {
+                    let mut u = rng.random::<f64>() * total;
+                    let next = &self.suffix[j + 1];
+                    for t in 0..=hi {
+                        let w = group.pmf[t] * next.get(rem - t).copied().unwrap_or(0.0);
+                        if u < w {
+                            chosen = t;
+                            break;
+                        }
+                        u -= w;
+                    }
+                }
+                chosen
+            };
+            place_uniform(&group.ops, t, rng, out, scratch);
+            rem -= t;
+        }
+    }
+}
+
+/// Appends `t` distinct elements of `ops`, chosen uniformly, to `out`.
+/// Rejection sampling on the smaller of the set and its complement;
+/// `scratch` is a caller-owned buffer reused across calls.
+fn place_uniform<R: Rng + ?Sized>(
+    ops: &[u32],
+    t: usize,
+    rng: &mut R,
+    out: &mut Vec<u32>,
+    scratch: &mut Vec<usize>,
+) {
+    let n = ops.len();
+    debug_assert!(t <= n);
+    if t == 0 {
+        return;
+    }
+    if t == n {
+        out.extend_from_slice(ops);
+        return;
+    }
+    let (count, invert) = if 2 * t <= n {
+        (t, false)
+    } else {
+        (n - t, true)
+    };
+    scratch.clear();
+    while scratch.len() < count {
+        let i = rng.random_range(0..n);
+        if !scratch.contains(&i) {
+            scratch.push(i);
+        }
+    }
+    if invert {
+        out.extend(
+            ops.iter()
+                .enumerate()
+                .filter(|(i, _)| !scratch.contains(i))
+                .map(|(_, &op)| op),
+        );
+    } else {
+        out.extend(scratch.iter().map(|&i| ops[i]));
     }
 }
 
@@ -280,6 +591,132 @@ pub(crate) fn run_batch_words<R: Rng + ?Sized>(
     report
 }
 
+/// Executes one 64-lane word under a **precomputed** per-op fault-mask
+/// schedule on the bit-plane kernels — the stratified estimator's batch
+/// execution path. Fault randomness is drawn from the **concrete**
+/// `SmallRng` (one plane per support wire of each masked op, in op
+/// order, fully inlinable — dynamic RNG dispatch costs ~30% here);
+/// the draw order matches [`run_masked_word_scalar`] exactly, so the two
+/// backends stay bit-identical under shared schedules.
+pub(crate) fn run_masked_word_batch(
+    circuit: &Circuit,
+    batch: &mut BatchState,
+    masks: &[u64],
+    rng: &mut SmallRng,
+) -> BatchExecReport {
+    assert_eq!(
+        batch.words_per_wire(),
+        1,
+        "masked execution drives single-word batches"
+    );
+    assert_eq!(
+        batch.n_wires(),
+        circuit.n_wires(),
+        "batch width must match circuit width"
+    );
+    assert_eq!(
+        masks.len(),
+        circuit.len(),
+        "mask schedule does not match this circuit"
+    );
+    let mut report = BatchExecReport {
+        fault_events: 0,
+        faulted_lanes: vec![0; 1],
+    };
+    for (op, &fault) in circuit.ops().iter().zip(masks) {
+        if fault == 0 {
+            kernels::apply_word(batch, op, 0);
+            continue;
+        }
+        let mut rand_planes = [0u64; 3];
+        fill_fault_planes(op.arity(), fault, rng, &mut rand_planes);
+        kernels::apply_word_masked(batch, op, 0, fault, &rand_planes);
+        report.fault_events += fault.count_ones() as u64;
+        report.faulted_lanes[0] |= fault;
+    }
+    report
+}
+
+/// Fills the per-support-wire random planes a masked op consumes. In the
+/// common sparse case — a single faulted lane — only `arity` random
+/// *bits* are needed, so one `u64` draw covers them; otherwise one full
+/// plane per support wire is drawn. Part of the shared backend schedule:
+/// both masked runners call this in the same op order.
+#[inline]
+fn fill_fault_planes(arity: usize, fault: u64, rng: &mut SmallRng, rand_planes: &mut [u64; 3]) {
+    if fault.count_ones() == 1 {
+        let lane = fault.trailing_zeros();
+        let bits = rng.random::<u64>();
+        for (k, plane) in rand_planes.iter_mut().enumerate().take(arity) {
+            *plane = ((bits >> k) & 1) << lane;
+        }
+        return;
+    }
+    for plane in rand_planes.iter_mut().take(arity) {
+        *plane = rng.random::<u64>();
+    }
+}
+
+/// Scalar twin of [`run_masked_word_batch`]: unpacks every lane into a
+/// [`BitState`] and replays the identical fault schedule and random-plane
+/// stream one lane at a time.
+pub(crate) fn run_masked_word_scalar(
+    circuit: &Circuit,
+    batch: &mut BatchState,
+    masks: &[u64],
+    rng: &mut SmallRng,
+) -> BatchExecReport {
+    assert_eq!(
+        batch.words_per_wire(),
+        1,
+        "masked execution drives single-word batches"
+    );
+    assert_eq!(
+        batch.n_wires(),
+        circuit.n_wires(),
+        "batch width must match circuit width"
+    );
+    assert_eq!(
+        masks.len(),
+        circuit.len(),
+        "mask schedule does not match this circuit"
+    );
+    let mut lanes: Vec<BitState> = (0..64).map(|l| batch.lane(l)).collect();
+    let mut report = BatchExecReport {
+        fault_events: 0,
+        faulted_lanes: vec![0; 1],
+    };
+    for (op, &fault) in circuit.ops().iter().zip(masks) {
+        if fault == 0 {
+            for state in &mut lanes {
+                op.apply(state);
+            }
+            continue;
+        }
+        let mut rand_planes = [0u64; 3];
+        fill_fault_planes(op.arity(), fault, rng, &mut rand_planes);
+        let support = op.support();
+        let wires = support.as_slice();
+        for (lane, state) in lanes.iter_mut().enumerate() {
+            if (fault >> lane) & 1 == 1 {
+                let mut pattern = 0u8;
+                for (k, _) in wires.iter().enumerate() {
+                    pattern |= (((rand_planes[k] >> lane) & 1) as u8) << k;
+                }
+                state.write_pattern(wires, pattern);
+            } else {
+                op.apply(state);
+            }
+        }
+        report.fault_events += fault.count_ones() as u64;
+        report.faulted_lanes[0] |= fault;
+    }
+    for (lane, state) in lanes.iter().enumerate() {
+        batch.set_lane(lane, state);
+    }
+    report
+}
+
 // ---------------------------------------------------------------------------
 // Engine
 // ---------------------------------------------------------------------------
@@ -290,10 +727,27 @@ pub(crate) fn run_batch_words<R: Rng + ?Sized>(
 /// Owns the flattened op stream and the lowered fault table; build one
 /// with [`Engine::compile`] and reuse it for any number of runs.
 #[must_use = "an Engine does nothing until it runs"]
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Engine {
     circuit: Circuit,
     table: FaultTable,
+    /// Fault-count distribution, built on first stratified use (compiling
+    /// stays a single cheap pass for plain-only consumers).
+    dist: OnceLock<FaultCountDist>,
+}
+
+impl Clone for Engine {
+    fn clone(&self) -> Self {
+        let dist = OnceLock::new();
+        if let Some(d) = self.dist.get() {
+            let _ = dist.set(d.clone());
+        }
+        Engine {
+            circuit: self.circuit.clone(),
+            table: self.table.clone(),
+            dist,
+        }
+    }
 }
 
 impl Engine {
@@ -306,6 +760,7 @@ impl Engine {
         Engine {
             circuit: circuit.clone(),
             table: FaultTable::compile(circuit, noise),
+            dist: OnceLock::new(),
         }
     }
 
@@ -331,6 +786,32 @@ impl Engine {
     /// Panics if `op_index` is out of range.
     pub fn fault_probability(&self, op_index: usize) -> f64 {
         self.table.probs[op_index]
+    }
+
+    /// `P(K = 0)`: the probability that one trial executes entirely
+    /// fault-free, `Π (1 − pᵢ)` over the compiled op stream — the mass the
+    /// stratified estimator resolves analytically (zero-fault elision).
+    pub fn fault_free_probability(&self) -> f64 {
+        self.table.p_fault_free
+    }
+
+    /// The lazily built fault-count distribution.
+    pub(crate) fn fault_dist(&self) -> &FaultCountDist {
+        self.dist.get_or_init(|| FaultCountDist::build(&self.table))
+    }
+
+    /// The PMF of the per-trial fault count `K` — a Poisson binomial over
+    /// the per-op fault probabilities, computed once per engine (entry `k`
+    /// is `P(K = k)`; the vector is truncated where the remaining tail
+    /// mass drops below ~10⁻¹²). These are the stratified estimator's
+    /// stratum weights.
+    pub fn fault_count_pmf(&self) -> &[f64] {
+        self.fault_dist().pmf()
+    }
+
+    /// `P(K ≥ k)` under the compiled fault-count distribution.
+    pub fn fault_count_at_least(&self, k: u32) -> f64 {
+        self.fault_dist().mass_at_least(k as usize)
     }
 
     /// Binds Monte-Carlo options, producing the run-many [`Simulation`]
@@ -444,6 +925,49 @@ impl Engine {
             BackendKind::Batch => &BatchBackend,
             _ => &ScalarBackend,
         };
+        let resolved = match opts.estimator {
+            Estimator::Auto => {
+                let m = trial.min_failing_faults();
+                assert!(
+                    m == 0 || !trial.fault_free_can_fail(),
+                    "a trial whose fault-free lanes can fail must report \
+                     min_failing_faults() == 0"
+                );
+                // P(K ≥ m): the cheap product for m ≤ 1, the lazily built
+                // fault-count distribution beyond.
+                let mass = match m {
+                    0 => 1.0,
+                    1 => 1.0 - self.fault_free_probability(),
+                    _ => self.fault_dist().mass_at_least(m as usize),
+                };
+                Estimator::Auto.resolve(mass, m)
+            }
+            explicit => explicit,
+        };
+        match resolved {
+            Estimator::Stratified {
+                min_faults,
+                strata_cap,
+            } => {
+                assert!(
+                    min_faults == 0 || !trial.fault_free_can_fail(),
+                    "the stratified estimator elides words with fewer than {min_faults} \
+                     faults, but this trial reports that fault-free words can fail \
+                     (WordTrial::fault_free_can_fail); use min_faults = 0 or Estimator::Plain"
+                );
+                self.estimate_stratified(backend, trial, opts, min_faults, strata_cap)
+            }
+            _ => self.estimate_plain(backend, trial, opts),
+        }
+    }
+
+    /// The classic estimator: every requested trial is executed.
+    fn estimate_plain<T: WordTrial + ?Sized>(
+        &self,
+        backend: &dyn Backend,
+        trial: &T,
+        opts: &McOptions,
+    ) -> McOutcome {
         let threads = opts.threads.max(1);
         let total_words = opts.trials.div_ceil(64);
         let round_words = match opts.target_rel_error {
@@ -476,6 +1000,10 @@ impl Engine {
             requested: opts.trials,
             early_stopped,
             backend: backend.name(),
+            estimator: "plain",
+            sample_weight: 1.0,
+            executed_words: done,
+            strata: Vec::new(),
         }
     }
 
@@ -515,7 +1043,9 @@ impl Engine {
         })
     }
 
-    /// Runs words `[start, end)` sequentially.
+    /// Runs words `[start, end)` sequentially. The word batch and the
+    /// input buffer are allocated once and reused across the loop (the
+    /// per-word cost is then dominated by the kernels, not setup).
     fn run_word_range<T: WordTrial + ?Sized>(
         &self,
         backend: &dyn Backend,
@@ -525,27 +1055,430 @@ impl Engine {
         end: u64,
     ) -> (u64, u64) {
         let n_wires = self.circuit.n_wires();
+        let mut batch = BatchState::zeros(n_wires, 1);
+        let mut inputs: Vec<u64> = Vec::new();
+        // Fault-free lanes of an elision-eligible trial can never fail:
+        // judging then only needs to decode the faulted lanes.
+        let judge_faulted_only = !trial.fault_free_can_fail();
         let mut failures = 0u64;
         let mut executed = 0u64;
         for word in start..end {
             let mut rng =
                 SmallRng::seed_from_u64(opts.seed ^ WORD_SEED_STRIDE.wrapping_mul(word + 1));
-            let mut batch = BatchState::zeros(n_wires, 1);
-            let inputs = trial.prepare(&mut batch, &mut rng);
-            backend.run(self, &mut batch, &mut rng);
-            let failed = trial.judge(&batch, &inputs);
-            // The final word may cover fewer than 64 real trials.
-            let live = opts.trials - word * 64;
-            let valid = if live >= 64 {
-                u64::MAX
+            batch.clear();
+            trial.prepare_into(&mut batch, &mut rng, &mut inputs);
+            let report = backend.run(self, &mut batch, &mut rng);
+            let valid = valid_lanes(opts.trials, word);
+            let candidates = if judge_faulted_only {
+                report.faulted_lanes[0] & valid
             } else {
-                (1u64 << live) - 1
+                valid
             };
-            failures += (failed & valid).count_ones() as u64;
+            failures += trial.judge_masked(&batch, &inputs, candidates).count_ones() as u64;
             executed += valid.count_ones() as u64;
         }
         (failures, executed)
     }
+
+    /// The fault-count-stratified rare-event estimator (see the module
+    /// docs for the derivation). Words are generated *conditioned on their
+    /// stratum's fault count*; strata below `min_faults` contribute
+    /// analytically as exact zeros.
+    fn estimate_stratified<T: WordTrial + ?Sized>(
+        &self,
+        backend: &dyn Backend,
+        trial: &T,
+        opts: &McOptions,
+        min_faults: u32,
+        strata_cap: u32,
+    ) -> McOutcome {
+        let strata_cap = strata_cap.max(1) as usize;
+        let min_faults = min_faults as usize;
+        let dist = self.fault_dist();
+
+        // Stratum layout: explicit counts m, m+1, … plus an unbounded
+        // tail; weights come straight off the Poisson-binomial PMF.
+        let mut strata: Vec<StratumOutcome> = (0..strata_cap)
+            .map(|i| {
+                let k = min_faults + i;
+                let (k_hi, weight) = if i + 1 == strata_cap {
+                    (None, dist.mass_at_least(k))
+                } else {
+                    (Some(k as u32), dist.pmf_at(k))
+                };
+                StratumOutcome {
+                    k_lo: k as u32,
+                    k_hi,
+                    weight,
+                    failures: 0,
+                    trials: 0,
+                }
+            })
+            .collect();
+        let sample_weight: f64 = strata.iter().map(|s| s.weight).sum();
+        if strata.iter().all(|s| s.weight <= 0.0) {
+            // Everything below `min_faults`: the whole budget resolves
+            // analytically (e.g. a noiseless model) — nothing to execute.
+            return McOutcome {
+                failures: 0,
+                trials: opts.trials,
+                requested: opts.trials,
+                early_stopped: false,
+                backend: backend.name(),
+                estimator: "stratified",
+                sample_weight,
+                executed_words: 0,
+                strata,
+            };
+        }
+
+        // Conditional CDF of the tail stratum's fault count (top bin
+        // absorbs the truncated mass).
+        let tail_lo = min_faults + strata_cap - 1;
+        let tail_cdf: Vec<f64> = {
+            let mut acc = 0.0;
+            let mut cdf: Vec<f64> = (tail_lo..=dist.max_k().max(tail_lo))
+                .map(|k| {
+                    acc += dist.pmf_at(k);
+                    acc
+                })
+                .collect();
+            if let Some(last) = cdf.last_mut() {
+                *last += dist.tail_beyond;
+            }
+            cdf
+        };
+
+        let threads = opts.threads.max(1);
+        let total_words = opts.trials.div_ceil(64);
+        let mut next_word = 0u64;
+        let mut round_size = ADAPTIVE_ROUND_WORDS;
+        let mut early_stopped = false;
+        let mut assignment: Vec<u32> = Vec::new();
+        while next_word < total_words {
+            let round = round_size.min(total_words - next_word);
+            // Neyman scores from the *observed* per-stratum variance
+            // `wₖ·√(q̂ₖ(1−q̂ₖ))`. A stratum that has never failed is
+            // scored by its rule-of-three uncertainty `wₖ·√(1.5/nₖ)` —
+            // the term the stopping rule must drive down — capped at
+            // twice the best failing score so it cannot starve failure
+            // accumulation. Before any failure exists anywhere, all
+            // scores are zero and the round splits uniformly (discovery).
+            let max_failing = strata
+                .iter()
+                .filter(|s| s.weight > 0.0 && s.trials > 0 && s.failures > 0)
+                .map(|s| {
+                    let q = s.failures as f64 / s.trials as f64;
+                    s.weight * (q * (1.0 - q)).sqrt()
+                })
+                .fold(0.0f64, f64::max);
+            let scores: Vec<f64> = strata
+                .iter()
+                .map(|s| {
+                    if s.weight <= 0.0 || s.trials == 0 || max_failing <= 0.0 {
+                        return 0.0;
+                    }
+                    if s.failures == 0 {
+                        let n = s.trials as f64;
+                        return (s.weight * (1.5 / n).sqrt()).min(2.0 * max_failing);
+                    }
+                    let q = s.failures as f64 / s.trials as f64;
+                    s.weight * (q * (1.0 - q)).sqrt()
+                })
+                .collect();
+            let weights: Vec<f64> = strata.iter().map(|s| s.weight).collect();
+            let alloc = apportion_words(&scores, &weights, round);
+            assignment.clear();
+            for (si, &n) in alloc.iter().enumerate() {
+                assignment.extend(std::iter::repeat_n(si as u32, n as usize));
+            }
+            let tallies = self.run_stratified_span(
+                backend,
+                trial,
+                opts,
+                &strata,
+                &tail_cdf,
+                tail_lo,
+                next_word,
+                &assignment,
+                threads,
+            );
+            for (s, (f, n)) in strata.iter_mut().zip(&tallies) {
+                s.failures += f;
+                s.trials += n;
+            }
+            next_word += round;
+            round_size = (round_size * 2).min(MAX_ROUND_WORDS);
+            if next_word >= total_words {
+                break;
+            }
+            if let Some(target) = opts.target_rel_error {
+                if stratified_converged(&strata, target) {
+                    early_stopped = true;
+                    break;
+                }
+            }
+        }
+
+        McOutcome {
+            failures: strata.iter().map(|s| s.failures).sum(),
+            trials: strata.iter().map(|s| s.trials).sum(),
+            requested: opts.trials,
+            early_stopped,
+            backend: backend.name(),
+            estimator: "stratified",
+            sample_weight,
+            executed_words: next_word,
+            strata,
+        }
+    }
+
+    /// Runs one stratified round: `assignment[i]` names the stratum of
+    /// global word `base_word + i`; the slice is split contiguously across
+    /// `threads`. Returns per-stratum `(failures, trials)`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_stratified_span<T: WordTrial + ?Sized>(
+        &self,
+        backend: &dyn Backend,
+        trial: &T,
+        opts: &McOptions,
+        strata: &[StratumOutcome],
+        tail_cdf: &[f64],
+        tail_lo: usize,
+        base_word: u64,
+        assignment: &[u32],
+        threads: usize,
+    ) -> Vec<(u64, u64)> {
+        let span = assignment.len();
+        if threads <= 1 || span <= 1 {
+            return self.run_stratified_range(
+                backend, trial, opts, strata, tail_cdf, tail_lo, base_word, assignment,
+            );
+        }
+        let threads = threads.min(span);
+        let per = span / threads;
+        let extra = span % threads;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut first = 0usize;
+            for t in 0..threads {
+                let n = per + usize::from(t < extra);
+                let lo = first;
+                first += n;
+                let slice = &assignment[lo..lo + n];
+                handles.push(scope.spawn(move || {
+                    self.run_stratified_range(
+                        backend,
+                        trial,
+                        opts,
+                        strata,
+                        tail_cdf,
+                        tail_lo,
+                        base_word + lo as u64,
+                        slice,
+                    )
+                }));
+            }
+            handles
+                .into_iter()
+                .fold(vec![(0u64, 0u64); strata.len()], |mut acc, h| {
+                    let part = h.join().expect("trial thread panicked");
+                    for (a, p) in acc.iter_mut().zip(&part) {
+                        a.0 += p.0;
+                        a.1 += p.1;
+                    }
+                    acc
+                })
+        })
+    }
+
+    /// Sequential stratified word loop with per-thread scratch buffers.
+    #[allow(clippy::too_many_arguments)]
+    fn run_stratified_range<T: WordTrial + ?Sized>(
+        &self,
+        backend: &dyn Backend,
+        trial: &T,
+        opts: &McOptions,
+        strata: &[StratumOutcome],
+        tail_cdf: &[f64],
+        tail_lo: usize,
+        base_word: u64,
+        assignment: &[u32],
+    ) -> Vec<(u64, u64)> {
+        let dist = self.fault_dist();
+        let n_wires = self.circuit.n_wires();
+        let mut batch = BatchState::zeros(n_wires, 1);
+        let mut inputs: Vec<u64> = Vec::new();
+        let mut masks: Vec<u64> = vec![0; self.circuit.len()];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut chosen: Vec<u32> = Vec::new();
+        let mut scratch: Vec<usize> = Vec::new();
+        let mut tallies = vec![(0u64, 0u64); strata.len()];
+        for (i, &si) in assignment.iter().enumerate() {
+            let word = base_word + i as u64;
+            let mut rng =
+                SmallRng::seed_from_u64(opts.seed ^ WORD_SEED_STRIDE.wrapping_mul(word + 1));
+            batch.clear();
+            trial.prepare_into(&mut batch, &mut rng, &mut inputs);
+            // Conditional mask schedule: per lane, draw the fault count
+            // (fixed for explicit strata, CDF draw in the tail) and place
+            // the faults via the exact conditional distribution.
+            for &t in &touched {
+                masks[t as usize] = 0;
+            }
+            touched.clear();
+            let stratum = &strata[si as usize];
+            for lane in 0..64u32 {
+                let k = match stratum.k_hi {
+                    Some(k) => k as usize,
+                    None => {
+                        let total = tail_cdf.last().copied().unwrap_or(0.0);
+                        let u = rng.random::<f64>() * total;
+                        let pos = tail_cdf.partition_point(|&c| c <= u);
+                        tail_lo + pos.min(tail_cdf.len() - 1)
+                    }
+                };
+                dist.sample_exact(k, &mut rng, &mut chosen, &mut scratch);
+                for &op in &chosen {
+                    if masks[op as usize] == 0 {
+                        touched.push(op);
+                    }
+                    masks[op as usize] |= 1u64 << lane;
+                }
+            }
+            let report = backend.run_masked(self, &mut batch, &masks, &mut rng);
+            let valid = valid_lanes(opts.trials, word);
+            // With `min_faults = 0` on an elision-ineligible trial, clean
+            // lanes can still fail and must be judged.
+            let candidates = if trial.fault_free_can_fail() {
+                valid
+            } else {
+                report.faulted_lanes[0] & valid
+            };
+            let failed = trial.judge_masked(&batch, &inputs, candidates);
+            tallies[si as usize].0 += failed.count_ones() as u64;
+            tallies[si as usize].1 += valid.count_ones() as u64;
+        }
+        tallies
+    }
+}
+
+/// Lanes of global word `word` that lie inside the trial budget (the
+/// final word may cover fewer than 64 real trials).
+#[inline]
+fn valid_lanes(trials: u64, word: u64) -> u64 {
+    let live = trials - word * 64;
+    if live >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << live) - 1
+    }
+}
+
+/// Splits `total` round words across strata by largest-remainder
+/// apportionment over `scores` (deterministic; ties break toward lower
+/// indices).
+///
+/// With no positive score anywhere (nothing has failed yet) the round is
+/// split **uniformly** across live strata — uniform discovery finds the
+/// failure-bearing strata orders of magnitude sooner than weight-
+/// proportional splitting when the heavy strata provably never fail.
+/// Every live stratum keeps a one-word floor so a mistakenly written-off
+/// stratum can resurface.
+fn apportion_words(scores: &[f64], weights: &[f64], total: u64) -> Vec<u64> {
+    let n = scores.len();
+    let mut alloc = vec![0u64; n];
+    if total == 0 {
+        return alloc;
+    }
+    let live: Vec<bool> = weights.iter().map(|&w| w > 0.0).collect();
+    let sum: f64 = scores.iter().sum();
+    if sum <= 0.0 {
+        // Discovery mode: uniform over live strata; when there are fewer
+        // words than strata, the heaviest strata are served first (a
+        // one-word budget should probe where the mass is).
+        let n_live = live.iter().filter(|&&l| l).count().max(1) as u64;
+        let base = total / n_live;
+        let mut extra = total % n_live;
+        let mut order: Vec<usize> = (0..n).filter(|&i| live[i]).collect();
+        order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).unwrap().then(a.cmp(&b)));
+        let mut given = 0u64;
+        for &i in &order {
+            let take = base + u64::from(extra > 0);
+            extra = extra.saturating_sub(1);
+            alloc[i] += take;
+            given += take;
+        }
+        if given < total {
+            alloc[0] += total - given;
+        }
+        return alloc;
+    }
+    let mut assigned = 0u64;
+    let mut fracs: Vec<(f64, usize)> = Vec::with_capacity(n);
+    for (i, &s) in scores.iter().enumerate() {
+        let quota = total as f64 * s / sum;
+        let floor = quota.floor() as u64;
+        alloc[i] += floor;
+        assigned += floor;
+        fracs.push((quota - floor as f64, i));
+    }
+    fracs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    let mut rest = total.saturating_sub(assigned);
+    for &(_, i) in &fracs {
+        if rest == 0 {
+            break;
+        }
+        alloc[i] += 1;
+        rest -= 1;
+    }
+    // One-word floor for live strata, taken from the largest allocation.
+    for i in 0..n {
+        if live[i] && alloc[i] == 0 {
+            if let Some(donor) = (0..n).filter(|&j| alloc[j] > 1).max_by_key(|&j| alloc[j]) {
+                alloc[donor] -= 1;
+                alloc[i] += 1;
+            }
+        }
+    }
+    alloc
+}
+
+/// Stratified analogue of [`converged`]: the estimated relative standard
+/// error of `Σ w_k q̂_k` against the target, gated on enough pooled
+/// failures for the check itself to be trustworthy.
+///
+/// A stratum that has never failed contributes nothing to the empirical
+/// variance, yet its rate could still hide below the detection floor —
+/// stopping must not be blind to that. Each zero-failure stratum adds an
+/// uncertainty term from the rule of three (`q ≲ 3/n` at 95%, treated as
+/// a ~`1.5/n` standard-error equivalent), so the run keeps sampling heavy
+/// strata until their undetected mass is small against the estimate.
+fn stratified_converged(strata: &[StratumOutcome], target: f64) -> bool {
+    let failures: u64 = strata.iter().map(|s| s.failures).sum();
+    if failures < MIN_FAILURES_FOR_STOP {
+        return false;
+    }
+    let mut rate = 0.0;
+    let mut var = 0.0;
+    for s in strata {
+        if s.weight <= 0.0 {
+            continue;
+        }
+        if s.trials == 0 {
+            return false;
+        }
+        let n = s.trials as f64;
+        if s.failures == 0 {
+            let u = s.weight * 1.5 / n;
+            var += u * u;
+            continue;
+        }
+        let q = s.failures as f64 / n;
+        rate += s.weight * q;
+        var += s.weight * s.weight * q * (1.0 - q) / n;
+    }
+    rate > 0.0 && var.sqrt() / rate <= target
 }
 
 /// Whether the failure-rate estimate has reached the target relative
@@ -580,6 +1513,31 @@ pub trait Backend: Sync {
         batch: &mut BatchState,
         rng: &mut dyn RngCore,
     ) -> BatchExecReport;
+
+    /// Runs `engine`'s circuit over the single plane word of `batch`
+    /// under a **precomputed** per-op fault-mask schedule (`masks[i]` =
+    /// lanes in which op `i` faults) — the stratified estimator's
+    /// conditional execution path. Implementations draw exactly one
+    /// random plane per support wire of each masked op, in op order, so
+    /// the Monte-Carlo backends stay bit-identical under shared
+    /// schedules. The RNG is the concrete [`SmallRng`]: this loop is hot
+    /// enough that dynamic RNG dispatch costs ~30%.
+    ///
+    /// The default panics: backends that sample their own faults (e.g.
+    /// [`PlannedFaultBackend`]) do not take external schedules.
+    fn run_masked(
+        &self,
+        engine: &Engine,
+        batch: &mut BatchState,
+        masks: &[u64],
+        rng: &mut SmallRng,
+    ) -> BatchExecReport {
+        let _ = (engine, batch, masks, rng);
+        unimplemented!(
+            "the {} backend does not support masked fault schedules",
+            self.name()
+        )
+    }
 }
 
 /// The scalar reference backend: every lane is unpacked into its own
@@ -654,6 +1612,16 @@ impl Backend for ScalarBackend {
         }
         report
     }
+
+    fn run_masked(
+        &self,
+        engine: &Engine,
+        batch: &mut BatchState,
+        masks: &[u64],
+        rng: &mut SmallRng,
+    ) -> BatchExecReport {
+        run_masked_word_scalar(&engine.circuit, batch, masks, rng)
+    }
 }
 
 /// The bit-parallel backend: branch-free plane kernels, 64 lanes per
@@ -673,6 +1641,16 @@ impl Backend for BatchBackend {
         rng: &mut dyn RngCore,
     ) -> BatchExecReport {
         run_batch_words(&engine.circuit, &engine.table, batch, rng)
+    }
+
+    fn run_masked(
+        &self,
+        engine: &Engine,
+        batch: &mut BatchState,
+        masks: &[u64],
+        rng: &mut SmallRng,
+    ) -> BatchExecReport {
+        run_masked_word_batch(&engine.circuit, batch, masks, rng)
     }
 }
 
@@ -786,6 +1764,119 @@ impl Backend for PlannedFaultBackend<'_> {
 // Options / outcome
 // ---------------------------------------------------------------------------
 
+/// Which Monte-Carlo estimator an estimation run should use (see the
+/// module-level *Rare-event estimation* section for the derivation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Estimator {
+    /// Execute every requested trial (the classic estimator).
+    Plain,
+    /// Fault-count-stratified sampling with analytic elision of
+    /// low-fault-count words.
+    Stratified {
+        /// Words with fewer than this many faults contribute exactly zero
+        /// failures analytically and are never executed. `1` (the
+        /// default) is sound whenever a fault-free run cannot fail
+        /// ([`WordTrial::fault_free_can_fail`] is `false`); larger values
+        /// assert that the circuit provably corrects `min_faults − 1`
+        /// faults (e.g. `2` once `rft_core::ftcheck`'s exhaustive
+        /// single-fault sweep has passed). `0` disables elision and
+        /// stratifies only.
+        min_faults: u32,
+        /// Number of fault-count strata: explicit counts `min_faults,
+        /// min_faults+1, …` plus one unbounded tail stratum (so the
+        /// explicit strata number `strata_cap − 1`). Clamped to ≥ 1.
+        strata_cap: u32,
+    },
+    /// Choose per run: stratified — with the trial's declared
+    /// [`WordTrial::min_failing_faults`] elision — when the executable
+    /// mass `P(K ≥ min_failing_faults)` is below
+    /// [`STRATIFIED_ROUTING_THRESHOLD`], plain otherwise.
+    #[default]
+    Auto,
+}
+
+impl Estimator {
+    /// The stratified estimator with default parameters (zero-fault
+    /// elision, [`DEFAULT_STRATA_CAP`] strata).
+    pub const DEFAULT_STRATIFIED: Estimator = Estimator::Stratified {
+        min_faults: 1,
+        strata_cap: DEFAULT_STRATA_CAP,
+    };
+
+    /// Resolves `Auto` against the probability mass the stratified
+    /// estimator would have to execute (`P(K ≥ min_failing_faults)` under
+    /// the compiled fault-count distribution) and the trial's declared
+    /// minimum failing fault count; explicit choices pass through.
+    ///
+    /// `Auto` picks the stratified estimator — with the trial's declared
+    /// elision — whenever the executable mass is below
+    /// [`STRATIFIED_ROUTING_THRESHOLD`], i.e. when most plain-MC words
+    /// would be spent on outcomes that are known analytically.
+    pub fn resolve(self, executable_mass: f64, min_failing_faults: u32) -> Estimator {
+        match self {
+            Estimator::Auto => {
+                if min_failing_faults > 0 && executable_mass < STRATIFIED_ROUTING_THRESHOLD {
+                    Estimator::Stratified {
+                        min_faults: min_failing_faults,
+                        strata_cap: DEFAULT_STRATA_CAP,
+                    }
+                } else {
+                    Estimator::Plain
+                }
+            }
+            explicit => explicit,
+        }
+    }
+}
+
+impl fmt::Display for Estimator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Estimator::Plain => f.write_str("plain"),
+            Estimator::Auto => f.write_str("auto"),
+            Estimator::Stratified {
+                min_faults,
+                strata_cap,
+            } => write!(f, "stratified:{min_faults}:{strata_cap}"),
+        }
+    }
+}
+
+impl FromStr for Estimator {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "plain" => return Ok(Estimator::Plain),
+            "auto" => return Ok(Estimator::Auto),
+            "stratified" => return Ok(Estimator::DEFAULT_STRATIFIED),
+            _ => {}
+        }
+        if let Some(rest) = s.strip_prefix("stratified:") {
+            let mut parts = rest.splitn(2, ':');
+            let min: u32 = parts
+                .next()
+                .unwrap_or_default()
+                .parse()
+                .map_err(|_| format!("bad min_faults in estimator {s:?}"))?;
+            let cap: u32 = match parts.next() {
+                Some(c) => c
+                    .parse()
+                    .map_err(|_| format!("bad strata_cap in estimator {s:?}"))?,
+                None => DEFAULT_STRATA_CAP,
+            };
+            return Ok(Estimator::Stratified {
+                min_faults: min,
+                strata_cap: cap.max(1),
+            });
+        }
+        Err(format!(
+            "unknown estimator {s:?} (expected plain, auto, stratified, \
+             stratified:<min_faults> or stratified:<min_faults>:<strata_cap>)"
+        ))
+    }
+}
+
 /// Which backend an estimation run should use.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BackendKind {
@@ -870,6 +1961,9 @@ pub struct McOptions {
     /// Trial count at which [`BackendKind::Auto`] routes to the batch
     /// backend.
     pub batch_threshold: u64,
+    /// Estimator selection policy ([`Estimator::Auto`] routes eligible
+    /// deep-sub-threshold runs to the stratified rare-event estimator).
+    pub estimator: Estimator,
     /// Target relative standard error of the failure-rate estimate; when
     /// set, estimation stops early once reached (adaptive sampling).
     pub target_rel_error: Option<f64>,
@@ -877,7 +1971,8 @@ pub struct McOptions {
 
 impl McOptions {
     /// Options for `trials` trials with defaults: seed 0, one thread,
-    /// auto backend at [`DEFAULT_BATCH_THRESHOLD`], no early stopping.
+    /// auto backend at [`DEFAULT_BATCH_THRESHOLD`], auto estimator, no
+    /// early stopping.
     pub fn new(trials: u64) -> Self {
         McOptions {
             trials,
@@ -885,6 +1980,7 @@ impl McOptions {
             threads: 1,
             backend: BackendKind::Auto,
             batch_threshold: DEFAULT_BATCH_THRESHOLD,
+            estimator: Estimator::Auto,
             target_rel_error: None,
         }
     }
@@ -926,6 +2022,20 @@ impl McOptions {
         self
     }
 
+    /// Sets the estimator selection policy.
+    pub fn estimator(mut self, estimator: Estimator) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Shorthand for [`Estimator::Stratified`] with explicit parameters.
+    pub fn stratified(self, min_faults: u32, strata_cap: u32) -> Self {
+        self.estimator(Estimator::Stratified {
+            min_faults,
+            strata_cap,
+        })
+    }
+
     /// Enables adaptive early stopping at the given target relative
     /// standard error.
     ///
@@ -950,12 +2060,16 @@ impl Default for McOptions {
 
 /// Raw result of an [`Engine::estimate`] run.
 #[must_use = "an estimation outcome should be inspected or converted"]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct McOutcome {
-    /// Failing trials observed.
+    /// Failing trials observed. For the stratified estimator these are
+    /// *conditional* failures (pooled over strata); weight them via
+    /// [`McOutcome::rate`] or the per-stratum tallies in
+    /// [`McOutcome::strata`].
     pub failures: u64,
-    /// Trials actually executed (less than requested after an early
-    /// stop).
+    /// Trials actually executed (less than requested after an early stop;
+    /// for a fully analytic stratified run — zero executable mass — the
+    /// requested count, since every trial was resolved exactly).
     pub trials: u64,
     /// Trials requested.
     pub requested: u64,
@@ -963,15 +2077,51 @@ pub struct McOutcome {
     pub early_stopped: bool,
     /// Name of the backend that executed the run.
     pub backend: &'static str,
+    /// Name of the estimator that produced the run (`"plain"` or
+    /// `"stratified"`; [`Estimator::Auto`] reports its resolution).
+    pub estimator: &'static str,
+    /// Total probability mass of the executed strata (`1.0` for plain;
+    /// `P(K ≥ min_faults)` for stratified — the complement was elided
+    /// analytically).
+    pub sample_weight: f64,
+    /// 64-lane circuit words actually executed — the cost metric the
+    /// rare-event benches compare across estimators.
+    pub executed_words: u64,
+    /// Per-stratum tallies (empty for the plain estimator).
+    pub strata: Vec<StratumOutcome>,
+}
+
+/// One fault-count stratum's tally in a stratified [`McOutcome`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StratumOutcome {
+    /// Smallest fault count in the stratum.
+    pub k_lo: u32,
+    /// Largest fault count (`None` = unbounded tail).
+    pub k_hi: Option<u32>,
+    /// `P(K ∈ stratum)` — the stratum's exact weight.
+    pub weight: f64,
+    /// Conditional failures observed in the stratum.
+    pub failures: u64,
+    /// Conditional trials executed in the stratum.
+    pub trials: u64,
 }
 
 impl McOutcome {
-    /// Point estimate `failures / trials`.
+    /// Point estimate of the failure rate: `failures / trials` for the
+    /// plain estimator, the exactly weighted `Σ wₖ · q̂ₖ` for the
+    /// stratified one.
     pub fn rate(&self) -> f64 {
-        if self.trials == 0 {
-            return 0.0;
+        if self.strata.is_empty() {
+            if self.trials == 0 {
+                return 0.0;
+            }
+            return self.failures as f64 / self.trials as f64;
         }
-        self.failures as f64 / self.trials as f64
+        self.strata
+            .iter()
+            .filter(|s| s.trials > 0)
+            .map(|s| s.weight * s.failures as f64 / s.trials as f64)
+            .sum()
     }
 }
 
@@ -992,8 +2142,52 @@ pub trait WordTrial: Sync {
     /// = lane `l`'s value) for [`WordTrial::judge`].
     fn prepare(&self, batch: &mut BatchState, rng: &mut dyn RngCore) -> Vec<u64>;
 
+    /// Buffer-reusing variant of [`WordTrial::prepare`]: writes the lane
+    /// inputs into `inputs` (cleared first) instead of allocating. The
+    /// hot word loops call this; override it alongside `prepare` to keep
+    /// the per-word cost allocation-free.
+    fn prepare_into(&self, batch: &mut BatchState, rng: &mut dyn RngCore, inputs: &mut Vec<u64>) {
+        inputs.clear();
+        inputs.extend(self.prepare(batch, rng));
+    }
+
     /// Mask of lanes whose final state counts as a logical failure.
     fn judge(&self, batch: &BatchState, inputs: &[u64]) -> u64;
+
+    /// [`WordTrial::judge`] restricted to `candidates`: only lanes in the
+    /// mask can be flagged (the result is implicitly ANDed with it). The
+    /// word loops call this with the mask of *faulted* lanes whenever the
+    /// trial declares fault-free lanes safe — skipping the per-lane
+    /// decode of the (often vast) clean majority. Override together with
+    /// `judge` to exploit the restriction.
+    fn judge_masked(&self, batch: &BatchState, inputs: &[u64], candidates: u64) -> u64 {
+        if candidates == 0 {
+            return 0;
+        }
+        self.judge(batch, inputs) & candidates
+    }
+
+    /// Whether a lane that experienced **zero** faults can still be
+    /// judged a failure. The stratified estimator's zero-fault elision is
+    /// only sound when this is `false`; the conservative default keeps
+    /// arbitrary trials on the plain estimator under [`Estimator::Auto`].
+    /// Encode → run → decode trials (whose ideal execution is exact by
+    /// construction) should override this to return `false`.
+    fn fault_free_can_fail(&self) -> bool {
+        true
+    }
+
+    /// Smallest number of faults that can possibly fail this trial — the
+    /// `min_faults` elision [`Estimator::Auto`] may apply. `0` (required
+    /// when [`WordTrial::fault_free_can_fail`] is `true`) disables
+    /// elision; the default `1` for elision-eligible trials claims only
+    /// the always-sound zero-fault elision. Trials with a *proven* fault
+    /// distance may return more — e.g. a level-`L` concatenated program
+    /// returns `2^L` (each level-1 block corrects any single fault and
+    /// each outer level any single corrupted block).
+    fn min_failing_faults(&self) -> u32 {
+        u32::from(!self.fault_free_can_fail())
+    }
 }
 
 /// Reads lane `lane`'s value out of per-wire plane words (bit `i` of the
@@ -1009,8 +2203,54 @@ pub fn lane_value(planes: &[u64], lane: usize) -> u64 {
 /// Mask of lanes where `ideal(input) != output`, comparing per-lane
 /// values assembled from input and output plane words.
 pub fn failure_mask(inputs: &[u64], outputs: &[u64], ideal: impl Fn(u64) -> u64) -> u64 {
+    failure_mask_in(u64::MAX, inputs, outputs, ideal)
+}
+
+/// [`failure_mask`] restricted to the lanes of `candidates`: only those
+/// lanes are assembled and compared (the hot loops pass the mask of
+/// faulted lanes — deep below threshold almost every lane is clean and
+/// skipped). For ≤ 4 logical wires the comparison is done bitwise across
+/// all 64 lanes at once by enumerating the (at most 16) input patterns —
+/// no per-lane assembly at all.
+pub fn failure_mask_in(
+    candidates: u64,
+    inputs: &[u64],
+    outputs: &[u64],
+    ideal: impl Fn(u64) -> u64,
+) -> u64 {
+    if candidates == 0 {
+        return 0;
+    }
+    let n = inputs.len();
+    debug_assert_eq!(n, outputs.len());
+    if n <= 4 {
+        // Truth-table evaluation: build each ideal output plane from the
+        // input planes, then diff whole planes.
+        let mut diff = 0u64;
+        for (k, &out_plane) in outputs.iter().enumerate() {
+            let mut ideal_plane = 0u64;
+            for pattern in 0..(1u64 << n) {
+                if (ideal(pattern) >> k) & 1 == 1 {
+                    let mut sel = u64::MAX;
+                    for (i, &in_plane) in inputs.iter().enumerate() {
+                        sel &= if (pattern >> i) & 1 == 1 {
+                            in_plane
+                        } else {
+                            !in_plane
+                        };
+                    }
+                    ideal_plane |= sel;
+                }
+            }
+            diff |= ideal_plane ^ out_plane;
+        }
+        return diff & candidates;
+    }
     let mut failed = 0u64;
-    for lane in 0..64 {
+    let mut rest = candidates;
+    while rest != 0 {
+        let lane = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
         let input = lane_value(inputs, lane);
         let output = lane_value(outputs, lane);
         if ideal(input) != output {
@@ -1293,6 +2533,349 @@ mod tests {
         assert_eq!(sim.options().trials, 640);
         let sim = sim.reconfigure(McOptions::new(64).seed(5));
         assert_eq!(sim.run(&trial).trials, 64);
+    }
+
+    /// A sound stratified trial: random full-width inputs, failure = the
+    /// final state differs from the ideal permutation of the input. A
+    /// fault-free lane computes the permutation exactly, so elision is
+    /// valid.
+    struct PermTrial {
+        circuit: Circuit,
+        ideal: crate::permutation::Permutation,
+    }
+
+    impl PermTrial {
+        fn new(circuit: &Circuit) -> Self {
+            PermTrial {
+                circuit: circuit.clone(),
+                ideal: crate::permutation::Permutation::of_circuit(circuit)
+                    .expect("small test circuit"),
+            }
+        }
+    }
+
+    impl WordTrial for PermTrial {
+        fn n_wires(&self) -> usize {
+            self.circuit.n_wires()
+        }
+
+        fn prepare(&self, batch: &mut BatchState, rng: &mut dyn RngCore) -> Vec<u64> {
+            let planes: Vec<u64> = (0..self.circuit.n_wires()).map(|_| rng.random()).collect();
+            for (i, &plane) in planes.iter().enumerate() {
+                batch.set_word(crate::wire::w(i as u32), 0, plane);
+            }
+            planes
+        }
+
+        fn judge(&self, batch: &BatchState, inputs: &[u64]) -> u64 {
+            let outputs: Vec<u64> = (0..self.circuit.n_wires())
+                .map(|i| batch.word(crate::wire::w(i as u32), 0))
+                .collect();
+            failure_mask(inputs, &outputs, |x| self.ideal.apply(x))
+        }
+
+        fn fault_free_can_fail(&self) -> bool {
+            false
+        }
+    }
+
+    /// A MAJ-encode/decode circuit with no inits (a permutation, so
+    /// `PermTrial` applies).
+    fn permutation_circuit() -> Circuit {
+        let mut c = Circuit::new(6);
+        c.maj_inv(w(0), w(1), w(2))
+            .maj_inv(w(3), w(4), w(5))
+            .maj(w(0), w(1), w(2))
+            .maj(w(3), w(4), w(5));
+        c
+    }
+
+    #[test]
+    fn fault_count_pmf_matches_brute_force_enumeration() {
+        // Exactness check: enumerate all 2^n fault subsets of a small
+        // mixed-rate circuit and compare the Poisson-binomial PMF.
+        let c = recovery_like_circuit();
+        let noise = SplitNoise::new(0.3, 0.1);
+        let engine = Engine::compile(&c, &noise);
+        let probs: Vec<f64> = (0..c.len()).map(|i| engine.fault_probability(i)).collect();
+        let n = probs.len();
+        let mut expect = vec![0.0f64; n + 1];
+        for subset in 0..(1u64 << n) {
+            let mut p = 1.0;
+            for (i, &pi) in probs.iter().enumerate() {
+                p *= if (subset >> i) & 1 == 1 { pi } else { 1.0 - pi };
+            }
+            expect[subset.count_ones() as usize] += p;
+        }
+        let pmf = engine.fault_count_pmf();
+        for (k, &e) in expect.iter().enumerate() {
+            let got = pmf.get(k).copied().unwrap_or(0.0);
+            assert!(
+                (got - e).abs() < 1e-12,
+                "k={k}: pmf {got} vs brute force {e}"
+            );
+        }
+        assert!((engine.fault_free_probability() - expect[0]).abs() < 1e-15);
+        assert!((engine.fault_count_at_least(1) - (1.0 - expect[0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_count_pmf_uniform_is_binomial() {
+        let c = recovery_like_circuit();
+        let g = 0.01;
+        let engine = Engine::compile(&c, &UniformNoise::new(g));
+        let n = c.len();
+        let pmf = engine.fault_count_pmf();
+        let mut binom = 1.0f64 * (1.0 - g).powi(n as i32);
+        let ratio = g / (1.0 - g);
+        for (k, &v) in pmf.iter().enumerate() {
+            assert!((v - binom).abs() < 1e-12, "k={k}: {v} vs {binom}");
+            binom *= ratio * (n - k) as f64 / (k + 1) as f64;
+        }
+    }
+
+    #[test]
+    fn stratified_matches_plain_within_wilson() {
+        // Statistical equivalence at a moderate rate where both
+        // estimators resolve comfortably: disjoint seeds, overlapping
+        // nominal ±3σ intervals.
+        let c = permutation_circuit();
+        let engine = Engine::compile(&c, &UniformNoise::new(0.02));
+        let trial = PermTrial::new(&c);
+        let trials = 60_000u64;
+        let plain = engine.estimate(
+            &trial,
+            &McOptions::new(trials).seed(1).estimator(Estimator::Plain),
+        );
+        let strat = engine.estimate(
+            &trial,
+            &McOptions::new(trials)
+                .seed(2)
+                .estimator(Estimator::DEFAULT_STRATIFIED),
+        );
+        assert_eq!(strat.estimator, "stratified");
+        let p = plain.rate();
+        let s = strat.rate();
+        assert!(p > 0.0 && s > 0.0);
+        // Combined-σ band (conservative: plain σ on both).
+        let sd = (p * (1.0 - p) / trials as f64).sqrt();
+        assert!(
+            (p - s).abs() < 6.0 * sd,
+            "plain {p} vs stratified {s} (sd {sd})"
+        );
+        assert!(strat.sample_weight < 0.2);
+
+        // At a common precision *target*, elision pays in executed words:
+        // conditional failures arrive ~1/P(any fault) times faster. Use a
+        // deep rate so plain actually needs many 32-word rounds.
+        let deep = Engine::compile(&c, &UniformNoise::new(0.002));
+        let target = McOptions::new(4_000_000).target_rel_error(0.1).threads(2);
+        let plain_t = deep.estimate(&trial, &target.seed(3).estimator(Estimator::Plain));
+        let strat_t = deep.estimate(
+            &trial,
+            &target.seed(4).estimator(Estimator::DEFAULT_STRATIFIED),
+        );
+        assert!(plain_t.early_stopped && strat_t.early_stopped);
+        assert!(
+            strat_t.executed_words * 4 < plain_t.executed_words,
+            "stratified {} words vs plain {} words to the same target",
+            strat_t.executed_words,
+            plain_t.executed_words
+        );
+    }
+
+    #[test]
+    fn stratified_min_faults_two_matches_plain_when_singles_cannot_fail() {
+        // In this circuit a single fault *can* fail a lane, so rather
+        // than elide k=1 we pin the opposite: min_faults = 2 must
+        // under-count exactly by the single-fault stratum. Compare
+        // min_faults = 1 (sound) against plain instead, and check the
+        // k = 1 stratum carries most of the mass.
+        let c = permutation_circuit();
+        let engine = Engine::compile(&c, &UniformNoise::new(0.005));
+        let trial = PermTrial::new(&c);
+        let strat = engine.estimate(&trial, &McOptions::new(40_000).seed(7).stratified(1, 4));
+        let k1 = &strat.strata[0];
+        assert_eq!(k1.k_lo, 1);
+        assert!(k1.weight > strat.strata[1].weight * 10.0);
+        assert!(k1.trials > 0);
+    }
+
+    #[test]
+    fn stratified_is_seed_deterministic_and_backend_identical() {
+        let c = permutation_circuit();
+        let engine = Engine::compile(&c, &UniformNoise::new(0.01));
+        let trial = PermTrial::new(&c);
+        let base = McOptions::new(8_000)
+            .seed(11)
+            .estimator(Estimator::DEFAULT_STRATIFIED);
+        let a = engine.estimate(&trial, &base.threads(4));
+        let b = engine.estimate(&trial, &base.threads(1));
+        assert_eq!(a, b, "thread-count independent");
+        let scalar = engine.estimate(&trial, &base.backend(BackendKind::Scalar).threads(2));
+        assert_eq!(a.failures, scalar.failures, "backend identical");
+        assert_eq!(a.strata, scalar.strata);
+    }
+
+    #[test]
+    fn stratified_elides_noiseless_runs_entirely() {
+        let c = permutation_circuit();
+        let engine = Engine::compile(&c, &NoNoise);
+        let trial = PermTrial::new(&c);
+        let out = engine.estimate(
+            &trial,
+            &McOptions::new(10_000).estimator(Estimator::DEFAULT_STRATIFIED),
+        );
+        assert_eq!(out.failures, 0);
+        assert_eq!(out.trials, 10_000);
+        assert_eq!(out.executed_words, 0, "nothing to execute");
+        assert_eq!(out.rate(), 0.0);
+        // Auto reaches the same analytic shortcut.
+        let auto = engine.estimate(&trial, &McOptions::new(10_000));
+        assert_eq!(auto.estimator, "stratified");
+        assert_eq!(auto.executed_words, 0);
+    }
+
+    #[test]
+    fn stratified_counts_partial_final_word() {
+        let c = permutation_circuit();
+        let engine = Engine::compile(&c, &UniformNoise::new(0.02));
+        let trial = PermTrial::new(&c);
+        for trials in [65u64, 100, 130] {
+            let out = engine.estimate(
+                &trial,
+                &McOptions::new(trials).estimator(Estimator::DEFAULT_STRATIFIED),
+            );
+            assert_eq!(out.trials, trials, "stratified respects the budget");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fault_free_can_fail")]
+    fn stratified_rejects_ineligible_trials() {
+        let c = recovery_like_circuit();
+        let engine = Engine::compile(&c, &UniformNoise::new(0.01));
+        let trial = Wire0Trial { n_wires: 9 };
+        let _ = engine.estimate(
+            &trial,
+            &McOptions::new(1000).estimator(Estimator::DEFAULT_STRATIFIED),
+        );
+    }
+
+    #[test]
+    fn auto_estimator_routes_by_executable_mass_and_eligibility() {
+        assert_eq!(
+            Estimator::Auto.resolve(0.05, 1),
+            Estimator::DEFAULT_STRATIFIED
+        );
+        // A declared fault distance flows into the elision.
+        assert_eq!(
+            Estimator::Auto.resolve(0.01, 4),
+            Estimator::Stratified {
+                min_faults: 4,
+                strata_cap: DEFAULT_STRATA_CAP
+            }
+        );
+        // Ineligible trials (min 0) and heavy executable mass stay plain.
+        assert_eq!(Estimator::Auto.resolve(0.05, 0), Estimator::Plain);
+        assert_eq!(Estimator::Auto.resolve(0.5, 1), Estimator::Plain);
+        assert_eq!(Estimator::Plain.resolve(0.0, 1), Estimator::Plain);
+        let explicit = Estimator::Stratified {
+            min_faults: 2,
+            strata_cap: 3,
+        };
+        assert_eq!(explicit.resolve(0.1, 0), explicit);
+    }
+
+    #[test]
+    fn estimator_parses_and_displays() {
+        assert_eq!("plain".parse::<Estimator>().unwrap(), Estimator::Plain);
+        assert_eq!("auto".parse::<Estimator>().unwrap(), Estimator::Auto);
+        assert_eq!(
+            "stratified".parse::<Estimator>().unwrap(),
+            Estimator::DEFAULT_STRATIFIED
+        );
+        assert_eq!(
+            "stratified:2".parse::<Estimator>().unwrap(),
+            Estimator::Stratified {
+                min_faults: 2,
+                strata_cap: DEFAULT_STRATA_CAP
+            }
+        );
+        assert_eq!(
+            "stratified:2:6".parse::<Estimator>().unwrap(),
+            Estimator::Stratified {
+                min_faults: 2,
+                strata_cap: 6
+            }
+        );
+        assert!("nope".parse::<Estimator>().is_err());
+        assert!("stratified:x".parse::<Estimator>().is_err());
+        for e in [
+            Estimator::Plain,
+            Estimator::Auto,
+            Estimator::DEFAULT_STRATIFIED,
+        ] {
+            assert_eq!(e.to_string().parse::<Estimator>().unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn stratified_weights_account_for_all_mass() {
+        let c = permutation_circuit();
+        let engine = Engine::compile(&c, &UniformNoise::new(0.01));
+        let trial = PermTrial::new(&c);
+        let out = engine.estimate(&trial, &McOptions::new(1000).stratified(1, 4));
+        let elided = engine.fault_free_probability();
+        assert!(
+            (out.sample_weight + elided - 1.0).abs() < 1e-9,
+            "weights {} + elided {} should cover all mass",
+            out.sample_weight,
+            elided
+        );
+        let strata_sum: f64 = out.strata.iter().map(|s| s.weight).sum();
+        assert!((strata_sum - out.sample_weight).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apportion_words_is_proportional_and_covering() {
+        assert_eq!(apportion_words(&[3.0, 1.0], &[0.5, 0.5], 4), vec![3, 1]);
+        // One-word floor: a zero-score live stratum still gets seeded.
+        assert_eq!(apportion_words(&[1.0, 0.0], &[0.5, 0.5], 8), vec![7, 1]);
+        // Discovery with fewer words than strata: heaviest strata first.
+        assert_eq!(
+            apportion_words(&[0.0, 0.0, 0.0], &[0.1, 0.02, 0.8], 1),
+            vec![0, 0, 1]
+        );
+        // Discovery mode: no failures anywhere → uniform over live strata.
+        assert_eq!(
+            apportion_words(&[0.0, 0.0, 0.0], &[0.5, 0.0, 0.5], 5),
+            vec![3, 0, 2]
+        );
+        // Dead strata get nothing.
+        assert_eq!(apportion_words(&[1.0, 0.0], &[1.0, 0.0], 7), vec![7, 0]);
+    }
+
+    #[test]
+    fn masked_backends_agree_on_shared_schedules() {
+        let c = recovery_like_circuit();
+        let engine = Engine::compile(&c, &UniformNoise::new(0.05));
+        for seed in 0..10u64 {
+            let mut masks = vec![0u64; c.len()];
+            let mut seeder = SmallRng::seed_from_u64(seed.wrapping_mul(77));
+            for m in masks.iter_mut() {
+                // Sparse random schedule.
+                *m = seeder.random::<u64>() & seeder.random::<u64>() & seeder.random::<u64>();
+            }
+            let mut scalar = BatchState::zeros(9, 1);
+            let mut batch = BatchState::zeros(9, 1);
+            let mut rng_s = SmallRng::seed_from_u64(seed);
+            let mut rng_b = SmallRng::seed_from_u64(seed);
+            let rs = ScalarBackend.run_masked(&engine, &mut scalar, &masks, &mut rng_s);
+            let rb = BatchBackend.run_masked(&engine, &mut batch, &masks, &mut rng_b);
+            assert_eq!(rs, rb, "seed {seed}: reports differ");
+            assert_eq!(scalar, batch, "seed {seed}: states differ");
+        }
     }
 
     #[test]

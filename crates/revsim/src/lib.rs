@@ -29,8 +29,11 @@
 //!   fault injection). Monte-Carlo runs take typed
 //!   [`engine::McOptions`] (`trials`/`seed`/`threads`, auto backend
 //!   routing above a trial threshold, optional adaptive early stopping at
-//!   a target relative error); both Monte-Carlo backends share one RNG
-//!   schedule, so a seed reproduces bit-identical lanes on either;
+//!   a target relative error, and an [`engine::Estimator`] policy whose
+//!   fault-count-stratified mode makes deep-sub-threshold rare-event
+//!   rates tractable by eliding fault-free words analytically); both
+//!   Monte-Carlo backends share one RNG schedule, so a seed reproduces
+//!   bit-identical lanes on either;
 //! - scalar executors ([`exec`]) for ideal runs and the geometric
 //!   fast path, plus the low-level batch substrate ([`batch`]): wire-major
 //!   bit planes and kernels the engine executes on;
@@ -79,13 +82,14 @@ pub mod prelude {
     pub use crate::circuit::{Circuit, CircuitStats};
     pub use crate::diagram::render;
     pub use crate::engine::{
-        Backend, BackendKind, BatchBackend, Engine, McOptions, McOutcome, PlannedFaultBackend,
-        ScalarBackend, Simulation, WordTrial, DEFAULT_BATCH_THRESHOLD,
+        Backend, BackendKind, BatchBackend, Engine, Estimator, McOptions, McOutcome,
+        PlannedFaultBackend, ScalarBackend, Simulation, StratumOutcome, WordTrial,
+        DEFAULT_BATCH_THRESHOLD, DEFAULT_STRATA_CAP, STRATIFIED_ROUTING_THRESHOLD,
     };
     pub use crate::exec::{run_ideal, run_noisy_geometric, ExecObserver, ExecReport};
     pub use crate::fault::{double_fault_plans, single_fault_plans, FaultPlan, PlannedFault};
     pub use crate::gate::{Gate, OpKind};
-    pub use crate::noise::{NoNoise, NoiseModel, SplitNoise, UniformNoise};
+    pub use crate::noise::{fault_free_probability, NoNoise, NoiseModel, SplitNoise, UniformNoise};
     pub use crate::op::Op;
     pub use crate::state::BitState;
     pub use crate::wire::{w, Support, Wire};

@@ -134,6 +134,36 @@ impl NoiseModel for SplitNoise {
     }
 }
 
+/// Probability that one full pass of `circuit` executes fault-free under
+/// `noise`: `Π (1 − pᵢ)` over the op stream.
+///
+/// This is the mass the engine's stratified rare-event estimator resolves
+/// analytically (zero-fault elision); deep below threshold it approaches
+/// 1 and quantifies how much of a plain Monte-Carlo budget is spent
+/// confirming a foregone conclusion. The compiled equivalent is
+/// [`Engine::fault_free_probability`](crate::engine::Engine::fault_free_probability).
+///
+/// # Panics
+///
+/// Panics if the model reports a probability outside `[0, 1]`.
+pub fn fault_free_probability<N: NoiseModel + ?Sized>(
+    circuit: &crate::circuit::Circuit,
+    noise: &N,
+) -> f64 {
+    circuit
+        .ops()
+        .iter()
+        .map(|op| {
+            let p = noise.fault_probability(op);
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "noise model returned probability {p} outside [0,1]"
+            );
+            1.0 - p
+        })
+        .product()
+}
+
 /// The noiseless model (useful to share code paths in tests).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NoNoise;
@@ -187,5 +217,18 @@ mod tests {
     fn no_noise_is_zero() {
         assert_eq!(NoNoise.fault_probability(&Op::init(&[w(0)])), 0.0);
         assert_eq!(NoNoise.uniform_rate(), Some(0.0));
+    }
+
+    #[test]
+    fn fault_free_probability_is_the_product() {
+        use crate::circuit::Circuit;
+        let mut c = Circuit::new(3);
+        c.not(w(0)).cnot(w(0), w(1)).init(&[w(2)]);
+        let g = 0.01;
+        let p0 = fault_free_probability(&c, &UniformNoise::new(g));
+        assert!((p0 - (1.0 - g).powi(3)).abs() < 1e-15);
+        let split = fault_free_probability(&c, &SplitNoise::perfect_init(g));
+        assert!((split - (1.0 - g).powi(2)).abs() < 1e-15);
+        assert_eq!(fault_free_probability(&c, &NoNoise), 1.0);
     }
 }

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Fail CI when a benchmark group regresses against its checked-in baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json FRESH.json \
+        --group engine_estimate [--max-ratio 1.25] \
+        [--normalize-group engine_compile]
+
+Both files are JSON-lines as written by the vendored criterion shim's
+``CRITERION_JSON`` hook: one object per line with at least ``group``,
+``bench`` and ``ns_per_iter`` fields (lines without these — e.g. the
+rare-event summary lines — are ignored).
+
+Raw nanoseconds are not comparable across machines, so when
+``--normalize-group`` is given the script first estimates the machine
+speed factor as the **median** fresh/baseline ratio over that group's
+benches (compile-only benches make a good yardstick: tiny, allocation
+light, insensitive to the changes under test). Each gated bench's ratio
+is divided by that factor before comparison, so "25% regression" means
+25% relative to what this machine would have scored on the baseline
+commit.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path):
+    """Parse a JSON-lines bench file into {(group, bench): ns_per_iter}."""
+    out = {}
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                group = obj.get("group")
+                bench = obj.get("bench")
+                ns = obj.get("ns_per_iter")
+                if group is None or bench is None or not isinstance(ns, (int, float)):
+                    continue
+                out[(group, bench)] = float(ns)
+    except OSError as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--group", required=True, help="bench group to gate on")
+    ap.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.25,
+        help="fail if normalized fresh/baseline exceeds this (default 1.25)",
+    )
+    ap.add_argument(
+        "--normalize-group",
+        default=None,
+        help="group whose median fresh/baseline ratio estimates machine speed",
+    )
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    factor = 1.0
+    if args.normalize_group:
+        ratios = [
+            fresh[k] / baseline[k]
+            for k in baseline
+            if k[0] == args.normalize_group and k in fresh and baseline[k] > 0
+        ]
+        if ratios:
+            factor = statistics.median(ratios)
+            print(
+                f"machine speed factor from {args.normalize_group!r}: "
+                f"{factor:.3f} (median of {len(ratios)} benches)"
+            )
+        else:
+            print(
+                f"warning: no common benches in normalize group "
+                f"{args.normalize_group!r}; comparing raw nanoseconds",
+                file=sys.stderr,
+            )
+
+    gated = [k for k in baseline if k[0] == args.group]
+    if not gated:
+        sys.exit(f"error: baseline has no benches in group {args.group!r}")
+
+    failed = False
+    for key in sorted(gated):
+        if key not in fresh:
+            print(f"warning: {key[0]}/{key[1]} missing from fresh run", file=sys.stderr)
+            continue
+        ratio = fresh[key] / baseline[key] / factor
+        status = "OK " if ratio <= args.max_ratio else "FAIL"
+        print(
+            f"{status} {key[0]}/{key[1]}: baseline {baseline[key]:.1f} ns, "
+            f"fresh {fresh[key]:.1f} ns, normalized ratio {ratio:.3f} "
+            f"(limit {args.max_ratio})"
+        )
+        if ratio > args.max_ratio:
+            failed = True
+
+    if failed:
+        sys.exit(f"bench regression: group {args.group!r} exceeded {args.max_ratio}x")
+    print("no regression detected")
+
+
+if __name__ == "__main__":
+    main()
