@@ -1,0 +1,578 @@
+//! The first-class experiment API: trait, registry, shared compile cache
+//! and the cross-point parallel runner.
+//!
+//! Every reproduction (one per table/figure of the paper) implements
+//! [`Experiment`]: a named, tagged unit that consumes an
+//! [`ExperimentContext`] and returns a schema-versioned
+//! [`Report`] artifact. The [`registry`] replaces ad-hoc dispatch — the
+//! `repro` binary, tests and library consumers all discover experiments
+//! through it, so adding a workload is: implement the trait, add one line
+//! to [`REGISTRY`].
+//!
+//! The context carries three things:
+//!
+//! - the [`RunConfig`] budget (trials, seed, threads, backend/estimator
+//!   policy) every Monte-Carlo call site derives its options from;
+//! - a keyed [`CompileCache`] so compile-once artifacts — concatenated
+//!   [`ConcatMc`] programs and [`Engine`]s — are built once per process
+//!   even when several experiments (or several sweep points) need the
+//!   same one;
+//! - the cross-point scheduler ([`ExperimentContext::run_parallel`] /
+//!   [`ExperimentContext::sweep`]): independent work items are pulled
+//!   from a shared queue by a small worker pool, splitting the global
+//!   thread budget between outer (cross-point) and inner (within-point)
+//!   parallelism.
+//!
+//! **Determinism.** Reports are bit-identical for a fixed seed regardless
+//! of the thread budget or schedule: every Monte-Carlo word derives its
+//! RNG stream from `(seed, global word index)` (see
+//! [`rft_revsim::engine`]), the scheduler only reorders *execution*, and
+//! results are collected by item index. The
+//! `tests/experiment_api.rs` suite pins this.
+
+use crate::experiments::RunConfig;
+use crate::montecarlo::ConcatMc;
+use crate::report::{Report, SCHEMA_VERSION};
+use crate::stats::ErrorEstimate;
+use crate::sweep::SweepPoint;
+use rft_core::ftcheck::CycleSpec;
+use rft_revsim::circuit::Circuit;
+use rft_revsim::engine::{Engine, McOptions};
+use rft_revsim::gate::Gate;
+use rft_revsim::noise::NoiseModel;
+use rft_revsim::op::Op;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One reproduction of a table, figure or analysis of the paper.
+///
+/// Implementations are stateless unit structs registered in [`REGISTRY`];
+/// all run state flows through the [`ExperimentContext`].
+pub trait Experiment: Sync {
+    /// Stable registry id (the CLI name, e.g. `"threshold"`).
+    fn id(&self) -> &'static str;
+
+    /// One-line human-readable title.
+    fn title(&self) -> &'static str;
+
+    /// Classification tags (e.g. `"mc"`, `"exact"`, `"sweep"`).
+    fn tags(&self) -> &'static [&'static str];
+
+    /// Runs the experiment under `ctx`'s budget, returning the artifact.
+    fn run(&self, ctx: &mut ExperimentContext) -> Report;
+}
+
+// ---------------------------------------------------------------------------
+// Compile cache
+// ---------------------------------------------------------------------------
+
+/// Keyed cache of compile-once artifacts, shared across experiments and
+/// sweep points.
+///
+/// Two maps: concatenated programs ([`ConcatMc`], keyed by
+/// `(level, gate, cycles)`) and [`Engine`]s (keyed by the circuit
+/// contents plus the per-op fault probabilities the noise model assigns
+/// to it — the two inputs that fully determine an engine). Both
+/// are behind mutexes taken only around map lookup/insert; the artifacts
+/// themselves are shared via [`Arc`] and used lock-free.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    programs: Mutex<HashMap<(u8, Gate, usize), Arc<ConcatMc>>>,
+    engines: Mutex<HashMap<EngineKey, Arc<Engine>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Cache key of an engine: the circuit contents and the per-op fault
+/// probabilities `noise` assigns to it — the two inputs that fully
+/// determine the compiled artifact, held verbatim so a lookup can never
+/// alias two different engines (a fingerprint-only key could collide
+/// undetectably). A few kilobytes per cached engine, of which there are
+/// dozens per process.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct EngineKey {
+    n_wires: usize,
+    ops: Vec<Op>,
+    prob_bits: Vec<u64>,
+}
+
+impl EngineKey {
+    fn new<N: NoiseModel + ?Sized>(circuit: &Circuit, noise: &N) -> Self {
+        EngineKey {
+            n_wires: circuit.n_wires(),
+            ops: circuit.ops().to_vec(),
+            prob_bits: circuit
+                .ops()
+                .iter()
+                .map(|op| noise.fault_probability(op).to_bits())
+                .collect(),
+        }
+    }
+}
+
+impl CompileCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        CompileCache::default()
+    }
+
+    /// The compiled `cycles`-cycle program of `gate` at concatenation
+    /// `level`, building it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid inputs as [`ConcatMc::new`].
+    pub fn concat(&self, level: u8, gate: Gate, cycles: usize) -> Arc<ConcatMc> {
+        let key = (level, gate, cycles);
+        if let Some(mc) = self.programs.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(mc);
+        }
+        // Compile outside the lock (level-2 programs are thousands of ops);
+        // a racing duplicate compile is tolerated — the first insert wins
+        // and the loser's artifact is dropped.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mc = Arc::new(ConcatMc::new(level, gate, cycles));
+        self.programs
+            .lock()
+            .expect("cache poisoned")
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&mc))
+            .clone()
+    }
+
+    /// The [`Engine`] of `circuit` bound to `noise`, compiling on first
+    /// use. Cached engines also share their lazily built fault-count
+    /// distribution (the stratified estimator's Poisson-binomial tables),
+    /// so repeated rare-event estimates on one circuit pay for it once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model reports a probability outside `[0, 1]`.
+    pub fn engine<N: NoiseModel + ?Sized>(&self, circuit: &Circuit, noise: &N) -> Arc<Engine> {
+        let key = EngineKey::new(circuit, noise);
+        if let Some(e) = self.engines.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(e);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let engine = Arc::new(Engine::compile(circuit, noise));
+        self.engines
+            .lock()
+            .expect("cache poisoned")
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&engine))
+            .clone()
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (i.e. compiles) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct compiled programs currently cached.
+    pub fn programs_cached(&self) -> usize {
+        self.programs.lock().expect("cache poisoned").len()
+    }
+
+    /// Number of distinct compiled engines currently cached.
+    pub fn engines_cached(&self) -> usize {
+        self.engines.lock().expect("cache poisoned").len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Context
+// ---------------------------------------------------------------------------
+
+/// Everything an [`Experiment`] needs at run time: the budget, the shared
+/// compile cache, and the cross-point scheduler.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    cfg: RunConfig,
+    cache: Arc<CompileCache>,
+}
+
+impl ExperimentContext {
+    /// A context over `cfg` with its own fresh compile cache.
+    pub fn new(cfg: RunConfig) -> Self {
+        ExperimentContext {
+            cfg,
+            cache: Arc::new(CompileCache::new()),
+        }
+    }
+
+    /// A context over `cfg` sharing an existing `cache` (how the runner
+    /// lets concurrent experiments reuse each other's artifacts).
+    pub fn with_cache(cfg: RunConfig, cache: Arc<CompileCache>) -> Self {
+        ExperimentContext { cfg, cache }
+    }
+
+    /// The Monte-Carlo budget.
+    pub fn cfg(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    /// Engine options lowered from the budget (see [`RunConfig::options`]).
+    pub fn options(&self) -> McOptions {
+        self.cfg.options()
+    }
+
+    /// The shared compile cache.
+    pub fn cache(&self) -> &CompileCache {
+        &self.cache
+    }
+
+    /// Cached [`CompileCache::concat`].
+    pub fn concat(&self, level: u8, gate: Gate, cycles: usize) -> Arc<ConcatMc> {
+        self.cache.concat(level, gate, cycles)
+    }
+
+    /// [`ConcatMc::estimate`] through the cached engine.
+    pub fn estimate_concat<N: NoiseModel + ?Sized>(
+        &self,
+        mc: &ConcatMc,
+        noise: &N,
+        opts: &McOptions,
+    ) -> ErrorEstimate {
+        self.cache
+            .engine(mc.program().circuit(), noise)
+            .estimate(&mc.trial(), opts)
+            .into()
+    }
+
+    /// [`crate::montecarlo::estimate_cycle_error`] through the cached
+    /// engine.
+    pub fn estimate_cycle<N: NoiseModel + ?Sized>(
+        &self,
+        spec: &CycleSpec,
+        noise: &N,
+        opts: &McOptions,
+    ) -> ErrorEstimate {
+        self.cache
+            .engine(spec.circuit(), noise)
+            .estimate(spec, opts)
+            .into()
+    }
+
+    /// Runs `n` independent work items through the cross-point scheduler,
+    /// returning `f`'s results **in item order**.
+    ///
+    /// Workers pull the next unstarted index from a shared queue (a
+    /// finishing worker immediately steals the next item, so uneven
+    /// per-item cost — the norm under adaptive/stratified Monte Carlo —
+    /// cannot idle the pool). The global thread budget `cfg.threads` is
+    /// split: `min(threads, n)` outer workers, each handing `f` a
+    /// [`RunConfig`] whose `threads` is the per-item share — recomputed
+    /// from the *live* worker count as each item starts, so when the
+    /// queue drains and workers retire, the threads they free flow back
+    /// to the items still running instead of idling through the tail.
+    /// `f` must derive any randomness from its index (per-point seed
+    /// salting), so results are schedule-independent; the scheduler only
+    /// reorders execution.
+    pub fn run_parallel<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &RunConfig) -> T + Sync,
+    {
+        let threads = self.cfg.threads.max(1);
+        let outer = threads.min(n.max(1));
+        if outer <= 1 || n <= 1 {
+            let inner = self.cfg;
+            return (0..n).map(|i| f(i, &inner)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let live = AtomicUsize::new(outer);
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..outer {
+                scope.spawn(|| {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let share = RunConfig {
+                            threads: (threads / live.load(Ordering::Relaxed).max(1)).max(1),
+                            ..self.cfg
+                        };
+                        let out = f(i, &share);
+                        *results[i].lock().expect("result slot poisoned") = Some(out);
+                    }
+                    live.fetch_sub(1, Ordering::Relaxed);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker filled every slot")
+            })
+            .collect()
+    }
+
+    /// Cross-point parallel sweep: like [`crate::sweep::sweep`] but the
+    /// grid points run concurrently under the scheduler. `f` receives the
+    /// rate and the per-point [`RunConfig`] share; results come back in
+    /// grid order and are bit-identical to a serial sweep at the same
+    /// seed.
+    pub fn sweep<F>(&self, grid: &[f64], f: F) -> Vec<SweepPoint>
+    where
+        F: Fn(f64, &RunConfig) -> ErrorEstimate + Sync,
+    {
+        self.run_parallel(grid.len(), |i, cfg| SweepPoint {
+            g: grid[i],
+            estimate: f(grid[i], cfg),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Every registered experiment, in the order `repro` runs them by
+/// default: structural/exact reproductions first, Monte-Carlo sweeps last.
+pub static REGISTRY: [&dyn Experiment; 12] = [
+    &crate::experiments::table1::Table1Experiment,
+    &crate::experiments::fig2::Fig2Experiment,
+    &crate::experiments::blowup::BlowupExperiment,
+    &crate::experiments::levelreq::LevelReqExperiment,
+    &crate::experiments::table2::Table2Experiment,
+    &crate::experiments::nand::NandExperiment,
+    &crate::experiments::advantage::AdvantageExperiment,
+    &crate::experiments::ablation::AblationExperiment,
+    &crate::experiments::local::LocalExperiment,
+    &crate::experiments::entropy::EntropyExperiment,
+    &crate::experiments::threshold::ThresholdExperiment,
+    &crate::experiments::suppression::SuppressionExperiment,
+];
+
+/// The experiment registry.
+pub fn registry() -> &'static [&'static dyn Experiment] {
+    &REGISTRY
+}
+
+/// Looks an experiment up by id.
+pub fn find(id: &str) -> Option<&'static dyn Experiment> {
+    REGISTRY.iter().copied().find(|e| e.id() == id)
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// One experiment's outcome under [`run_experiments`]: the deterministic
+/// [`Report`] plus per-run facts (wall time) that stay out of the
+/// artifact.
+#[derive(Debug)]
+pub struct ExperimentRun {
+    /// The experiment's registry id.
+    pub id: &'static str,
+    /// The experiment's title.
+    pub title: &'static str,
+    /// The deterministic report artifact.
+    pub report: Report,
+    /// Wall-clock time this experiment took.
+    pub wall: Duration,
+}
+
+/// Runs `experiments` under one shared compile cache, concurrently up to
+/// the thread budget, returning outcomes **in input order**.
+///
+/// The scheduler is the same work-stealing queue as
+/// [`ExperimentContext::run_parallel`]: `min(threads, n)` workers each
+/// pull the next unstarted experiment and run it with a proportional
+/// share of the thread budget (so a machine-wide budget of `t` threads is
+/// never oversubscribed by more than the rounding of `t / workers`).
+/// Reports are bit-identical to a serial run at the same seed.
+pub fn run_experiments(
+    experiments: &[&'static dyn Experiment],
+    cfg: &RunConfig,
+) -> Vec<ExperimentRun> {
+    let cache = Arc::new(CompileCache::new());
+    let outer_ctx = ExperimentContext::with_cache(*cfg, Arc::clone(&cache));
+    outer_ctx.run_parallel(experiments.len(), |i, share| {
+        let exp = experiments[i];
+        let mut ctx = ExperimentContext::with_cache(*share, Arc::clone(&cache));
+        let start = Instant::now();
+        let report = exp.run(&mut ctx);
+        ExperimentRun {
+            id: exp.id(),
+            title: exp.title(),
+            report,
+            wall: start.elapsed(),
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Run manifest
+// ---------------------------------------------------------------------------
+
+/// Per-experiment entry of a [`RunManifest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    /// Experiment id.
+    pub id: String,
+    /// Experiment title.
+    pub title: String,
+    /// File name of the report artifact (relative to the manifest).
+    pub file: String,
+    /// Whether every self-check passed.
+    pub passed: bool,
+    /// Number of self-checks in the report.
+    pub checks: usize,
+    /// Wall-clock milliseconds this experiment took.
+    pub wall_ms: f64,
+}
+
+/// The `manifest.json` written next to the per-experiment reports by
+/// `repro --json`: the run configuration, provenance and timing that are
+/// deliberately **not** part of the deterministic [`Report`] artifacts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// JSON schema version (shared with [`Report`]).
+    pub schema_version: u32,
+    /// The Monte-Carlo budget the run used.
+    pub config: RunConfig,
+    /// `git describe --always --dirty` of the source tree, if available.
+    pub git: Option<String>,
+    /// Total wall-clock milliseconds across the whole run.
+    pub wall_ms: f64,
+    /// One entry per experiment, in run order.
+    pub experiments: Vec<ManifestEntry>,
+}
+
+impl RunManifest {
+    /// Builds a manifest over the runner's outcomes.
+    pub fn new(config: RunConfig, git: Option<String>, wall: Duration) -> Self {
+        RunManifest {
+            schema_version: SCHEMA_VERSION,
+            config,
+            git,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            experiments: Vec::new(),
+        }
+    }
+
+    /// Appends one experiment outcome.
+    pub fn push(&mut self, run: &ExperimentRun, file: impl Into<String>) {
+        self.experiments.push(ManifestEntry {
+            id: run.id.to_string(),
+            title: run.title.to_string(),
+            file: file.into(),
+            passed: run.report.passed(),
+            checks: run.report.checks.len(),
+            wall_ms: run.wall.as_secs_f64() * 1e3,
+        });
+    }
+
+    /// Serializes the manifest to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serialization is infallible")
+    }
+
+    /// Parses a manifest back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error on malformed JSON or a shape
+    /// mismatch.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rft_revsim::noise::UniformNoise;
+    use rft_revsim::wire::w;
+
+    fn toffoli() -> Gate {
+        Gate::Toffoli {
+            controls: [w(0), w(1)],
+            target: w(2),
+        }
+    }
+
+    #[test]
+    fn compile_cache_dedupes_programs_and_engines() {
+        let cache = CompileCache::new();
+        let a = cache.concat(1, toffoli(), 3);
+        let b = cache.concat(1, toffoli(), 3);
+        assert!(Arc::ptr_eq(&a, &b), "same key must share one program");
+        let c = cache.concat(1, toffoli(), 4);
+        assert!(!Arc::ptr_eq(&a, &c), "different cycles, different program");
+
+        let noise = UniformNoise::new(0.01);
+        let e1 = cache.engine(a.program().circuit(), &noise);
+        let e2 = cache.engine(b.program().circuit(), &noise);
+        assert!(Arc::ptr_eq(&e1, &e2), "same circuit+noise shares an engine");
+        let e3 = cache.engine(a.program().circuit(), &UniformNoise::new(0.02));
+        assert!(!Arc::ptr_eq(&e1, &e3), "different rate, different engine");
+
+        assert_eq!(cache.programs_cached(), 2);
+        assert_eq!(cache.engines_cached(), 2);
+        assert!(cache.hits() >= 2);
+        assert!(cache.misses() >= 4);
+    }
+
+    #[test]
+    fn run_parallel_preserves_order_and_results() {
+        let ctx = ExperimentContext::new(RunConfig {
+            threads: 4,
+            ..RunConfig::quick()
+        });
+        let out = ctx.run_parallel(17, |i, share| {
+            assert!(share.threads >= 1);
+            i * i
+        });
+        assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_matches_serial() {
+        let grid: Vec<f64> = (1..20).map(|i| i as f64 * 1e-3).collect();
+        let serial = ExperimentContext::new(RunConfig {
+            threads: 1,
+            ..RunConfig::quick()
+        });
+        let parallel = ExperimentContext::new(RunConfig {
+            threads: 8,
+            ..RunConfig::quick()
+        });
+        let f = |g: f64, _cfg: &RunConfig| ErrorEstimate::from_counts((g * 1e4) as u64, 10_000);
+        let a = serial.sweep(&grid, f);
+        let b = parallel.sweep(&grid, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let mut m = RunManifest::new(RunConfig::quick(), Some("abc123".into()), Duration::ZERO);
+        m.push(
+            &ExperimentRun {
+                id: "demo",
+                title: "Demo",
+                report: Report::new("demo", "Demo", &[]),
+                wall: Duration::from_millis(5),
+            },
+            "demo.json",
+        );
+        let back = RunManifest::from_json(&m.to_json()).expect("round trip");
+        assert_eq!(back, m);
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+    }
+}

@@ -14,8 +14,8 @@
 //! recovery is still single-fault tolerant) and measured.
 
 use super::RunConfig;
-use crate::montecarlo::estimate_cycle_error;
-use crate::report::{sci, Table};
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::report::{sci, Check, Report, Table};
 use crate::stats::ErrorEstimate;
 use rft_core::ftcheck::{transversal_cycle, CycleSpec};
 use rft_core::threshold::GateBudget;
@@ -101,8 +101,35 @@ pub struct AblationResult {
     pub rows: Vec<AblationRow>,
 }
 
+/// Registry entry: the `ablation` experiment.
+pub struct AblationExperiment;
+
+impl Experiment for AblationExperiment {
+    fn id(&self) -> &'static str {
+        "ablation"
+    }
+
+    fn title(&self) -> &'static str {
+        "Ablations — what the MAJ and SWAP3 primitives buy"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["mc", "exact", "ablation"]
+    }
+
+    fn run(&self, ctx: &mut ExperimentContext) -> Report {
+        run_ctx(ctx).to_report()
+    }
+}
+
 /// Runs the ablations.
 pub fn run(cfg: &RunConfig) -> AblationResult {
+    run_ctx(&mut ExperimentContext::new(*cfg))
+}
+
+/// [`run`] on an explicit context: the two Monte-Carlo probes run
+/// concurrently through the cached engines.
+pub fn run_ctx(ctx: &mut ExperimentContext) -> AblationResult {
     let gate = Gate::Toffoli {
         controls: [w(0), w(1)],
         target: w(2),
@@ -113,7 +140,6 @@ pub fn run(cfg: &RunConfig) -> AblationResult {
     // Primitive MAJ (the paper's design).
     let primitive = transversal_cycle(&gate);
     let sweep_p = primitive.sweep_single_faults();
-    let mc_p = estimate_cycle_error(&primitive, &noise, &cfg.options());
 
     // Decomposed MAJ ablation.
     let decomposed = decomposed_cycle(&gate);
@@ -121,7 +147,17 @@ pub fn run(cfg: &RunConfig) -> AblationResult {
         .verify_ideal()
         .expect("decomposed cycle must be correct");
     let sweep_d = decomposed.sweep_single_faults();
-    let mc_d = estimate_cycle_error(&decomposed, &noise, &cfg.options().salt(0xD));
+
+    let specs = [&primitive, &decomposed];
+    let estimates = ctx.run_parallel(specs.len(), |i, share| {
+        let opts = if i == 0 {
+            share.options()
+        } else {
+            share.options().salt(0xD)
+        };
+        ctx.estimate_cycle(specs[i], &noise, &opts)
+    });
+    let (mc_p, mc_d) = (estimates[0], estimates[1]);
 
     let budget_decomposed = GateBudget::new(23).expect("valid budget");
     let budget_1d_swaps = GateBudget::new(67).expect("valid budget");
@@ -174,8 +210,11 @@ impl AblationResult {
         ft_ok && mc_ok && (2.0..4.0).contains(&swap3_factor)
     }
 
-    /// Prints the ablation table.
-    pub fn print(&self) {
+    /// The [`Report`] artifact: the ablation table plus the
+    /// design-confirmation checks.
+    pub fn to_report(&self) -> Report {
+        let exp = &AblationExperiment;
+        let mut r = Report::new(exp.id(), exp.title(), exp.tags());
         let mut t = Table::new(
             format!(
                 "ablations — design-choice costs (MC probe at g = {})",
@@ -189,23 +228,46 @@ impl AblationResult {
                 "cycle error @probe",
             ],
         );
-        for r in &self.rows {
+        for row in &self.rows {
             t.row(&[
-                r.name.clone(),
-                r.g_ops.to_string(),
-                format!("1/{:.0}", 1.0 / r.threshold),
-                match r.fault_tolerant {
+                row.name.clone(),
+                row.g_ops.to_string(),
+                format!("1/{:.0}", 1.0 / row.threshold),
+                match row.fault_tolerant {
                     Some(true) => "yes".into(),
                     Some(false) => "NO".into(),
                     None => "-".into(),
                 },
-                match &r.mc {
+                match &row.mc {
                     Some(e) => sci(e.rate),
                     None => "-".into(),
                 },
             ]);
         }
-        t.print();
+        r.table(t);
+        r.check(Check::bool(
+            "primitive and decomposed cycles are both single-fault tolerant",
+            self.rows[0].fault_tolerant == Some(true) && self.rows[1].fault_tolerant == Some(true),
+        ))
+        .check(Check::bool(
+            "primitive MAJ beats the decomposed cycle under noise",
+            matches!(
+                (&self.rows[0].mc, &self.rows[1].mc),
+                (Some(p), Some(d)) if d.failures < 10 || d.rate >= p.rate * 0.9
+            ),
+        ))
+        .check(Check::approx(
+            "SWAP3 primitive threshold factor in 1D",
+            self.rows[2].threshold / self.rows[3].threshold,
+            2.8,
+            1.0,
+        ));
+        r
+    }
+
+    /// Prints the rendered report.
+    pub fn print(&self) {
+        self.to_report().print();
     }
 }
 

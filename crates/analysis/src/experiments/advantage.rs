@@ -4,7 +4,8 @@
 //! largest reliable module at that level, and the entropy per gate compared
 //! with the 3/2-bit cost of simulating irreversible logic.
 
-use crate::report::{sci, Table};
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::report::{sci, Check, Report, Series, Table};
 use rft_core::entropy::{hl_lower, max_level_constant_entropy};
 use rft_core::threshold::GateBudget;
 use serde::{Deserialize, Serialize};
@@ -37,6 +38,27 @@ pub struct DesignPoint {
 pub struct AdvantageResult {
     /// Design points across rates.
     pub points: Vec<DesignPoint>,
+}
+
+/// Registry entry: the `advantage` experiment.
+pub struct AdvantageExperiment;
+
+impl Experiment for AdvantageExperiment {
+    fn id(&self) -> &'static str {
+        "advantage"
+    }
+
+    fn title(&self) -> &'static str {
+        "§1/§4 — the reversible-advantage design space"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["exact", "entropy", "design-space"]
+    }
+
+    fn run(&self, _ctx: &mut ExperimentContext) -> Report {
+        run().to_report()
+    }
 }
 
 /// Runs the design-space analysis.
@@ -75,8 +97,11 @@ impl AdvantageResult {
         })
     }
 
-    /// Prints the design-space table.
-    pub fn print(&self) {
+    /// The [`Report`] artifact: the design-space table, entropy series
+    /// and monotonicity checks.
+    pub fn to_report(&self) -> Report {
+        let exp = &AdvantageExperiment;
+        let mut r = Report::new(exp.id(), exp.title(), exp.tags());
         let mut t = Table::new(
             "§1/§4 — reversible advantage window (G = 11, E = 8)",
             &[
@@ -104,7 +129,27 @@ impl AdvantageResult {
                 if p.beats_irreversible { "yes" } else { "no" }.to_string(),
             ]);
         }
-        t.print();
+        r.table(t);
+        r.series(Series::new(
+            "entropy lower bound per gate",
+            "g",
+            "bits",
+            self.points.iter().map(|p| (p.g, p.entropy_bits)).collect(),
+        ));
+        r.check(Check::bool(
+            "cleaner gates strictly widen the advantage window",
+            self.monotone_in_g(),
+        ))
+        .check(Check::bool(
+            "smallest-g point beats the 3/2-bit irreversible baseline",
+            self.points.last().is_some_and(|p| p.beats_irreversible),
+        ));
+        r
+    }
+
+    /// Prints the rendered report.
+    pub fn print(&self) {
+        self.to_report().print();
     }
 }
 

@@ -3,7 +3,8 @@
 //! plus the paper's worked example (g = ρ/10, T = 10⁶ ⇒ L = 2, 441 gates,
 //! 81 bits).
 
-use crate::report::Table;
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::report::{Check, Report, Series, Table};
 use rft_core::concat::{measure_gate_cost, GateCost};
 use rft_core::threshold::GateBudget;
 use serde::{Deserialize, Serialize};
@@ -40,6 +41,27 @@ pub struct BlowupResult {
     pub worked_size_factor: f64,
     /// Unprotected module size limit at the same g (paper: ~1000 gates).
     pub unprotected_limit: f64,
+}
+
+/// Registry entry: the `blowup` experiment.
+pub struct BlowupExperiment;
+
+impl Experiment for BlowupExperiment {
+    fn id(&self) -> &'static str {
+        "blowup"
+    }
+
+    fn title(&self) -> &'static str {
+        "§2.3 — gate/bit blow-up of concatenation vs closed forms"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["exact", "overhead"]
+    }
+
+    fn run(&self, _ctx: &mut ExperimentContext) -> Report {
+        run().to_report()
+    }
 }
 
 /// Runs the blow-up measurements.
@@ -86,8 +108,11 @@ impl BlowupResult {
             && (self.worked_size_factor - 81.0).abs() < 1e-9
     }
 
-    /// Prints the blow-up tables.
-    pub fn print(&self) {
+    /// The [`Report`] artifact: the blow-up table, machine-readable
+    /// series and worked-example checks.
+    pub fn to_report(&self) -> Report {
+        let exp = &BlowupExperiment;
+        let mut r = Report::new(exp.id(), exp.title(), exp.tags());
         let mut t = Table::new(
             "§2.3 — circuit blow-up (measured vs closed form)",
             &[
@@ -100,26 +125,69 @@ impl BlowupResult {
                 "depth",
             ],
         );
-        for r in &self.rows {
+        for row in &self.rows {
             t.row(&[
-                r.level.to_string(),
-                r.measured_ops.to_string(),
-                format!("{:.0}", r.formula_g11),
-                format!("{:.0}", r.formula_g9),
-                r.measured_wires.to_string(),
-                format!("{:.0}", r.formula_wires),
-                r.depth.to_string(),
+                row.level.to_string(),
+                row.measured_ops.to_string(),
+                format!("{:.0}", row.formula_g11),
+                format!("{:.0}", row.formula_g9),
+                row.measured_wires.to_string(),
+                format!("{:.0}", row.formula_wires),
+                row.depth.to_string(),
             ]);
         }
-        t.print();
-        println!(
+        r.table(t);
+        r.series(Series::new(
+            "measured ops per FT gate",
+            "level",
+            "ops",
+            self.rows
+                .iter()
+                .map(|row| (row.level as f64, row.measured_ops as f64))
+                .collect(),
+        ));
+        r.series(Series::new(
+            "measured wires per logical bit",
+            "level",
+            "wires",
+            self.rows
+                .iter()
+                .map(|row| (row.level as f64, row.measured_wires as f64))
+                .collect(),
+        ));
+        r.note(format!(
             "worked example (g = ρ/10, T = 10⁶): L = {} (paper 2), gate ×{:.0} (paper 441), \
              bits ×{:.0} (paper 81); unprotected limit ≈ {:.0} gates (paper ~1000)",
             self.worked_level,
             self.worked_gate_factor,
             self.worked_size_factor,
             self.unprotected_limit
-        );
+        ));
+        r.check(Check::eq("worked-example level", self.worked_level, 2))
+            .check(Check::approx(
+                "worked-example gate factor",
+                self.worked_gate_factor,
+                441.0,
+                1e-9,
+            ))
+            .check(Check::approx(
+                "worked-example size factor",
+                self.worked_size_factor,
+                81.0,
+                1e-9,
+            ))
+            .check(Check::bool(
+                "measured ops never exceed the uniform formula",
+                self.rows
+                    .iter()
+                    .all(|row| row.measured_ops as f64 <= row.formula_g11 + 1e-9),
+            ));
+        r
+    }
+
+    /// Prints the rendered report.
+    pub fn print(&self) {
+        self.to_report().print();
     }
 }
 

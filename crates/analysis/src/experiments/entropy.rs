@@ -5,7 +5,8 @@
 
 use super::RunConfig;
 use crate::entropy_meas::measure_reset_entropy;
-use crate::report::{sci, Table};
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::report::{sci, Check, Report, Series, Table};
 use rft_core::concat::FtBuilder;
 use rft_core::entropy::{
     h1_upper, hl_lower, hl_upper, kappa, landauer_heat_joules, max_level_constant_entropy,
@@ -57,6 +58,27 @@ fn program_with_cycles(level: u8, gate: &Gate, cycles: usize) -> rft_core::conca
     b.finish()
 }
 
+/// Registry entry: the `entropy` experiment.
+pub struct EntropyExperiment;
+
+impl Experiment for EntropyExperiment {
+    fn id(&self) -> &'static str {
+        "entropy"
+    }
+
+    fn title(&self) -> &'static str {
+        "§4 — measured reset entropy vs the analytic bounds"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["mc", "entropy"]
+    }
+
+    fn run(&self, ctx: &mut ExperimentContext) -> Report {
+        run_ctx(ctx).to_report()
+    }
+}
+
 /// Runs entropy measurements on compiled level-1 and level-2 FT gates.
 ///
 /// Entropy is ejected when an `Init` erases the *previous* cycle's
@@ -64,50 +86,82 @@ fn program_with_cycles(level: u8, gate: &Gate, cycles: usize) -> rft_core::conca
 /// steady-state per-gate entropy is measured as a difference estimator
 /// between a 1-cycle and a 3-cycle program: `(H₃ − H₁) / 2`.
 pub fn run(cfg: &RunConfig) -> EntropyResult {
+    run_ctx(&mut ExperimentContext::new(*cfg))
+}
+
+/// [`run`] on an explicit context: the `(level, g)` measurement grid runs
+/// cross-point parallel (each point derives its seed from `(g, level)`,
+/// so the schedule cannot change the histograms).
+pub fn run_ctx(ctx: &mut ExperimentContext) -> EntropyResult {
     let gate = Gate::Toffoli {
         controls: [w(0), w(1)],
         target: w(2),
     };
-    let mut points = Vec::new();
     let rates: [f64; 4] = [1e-4, 1e-3, 1e-2, 5e-2];
-    for &level in &[1u8, 2] {
-        let short = program_with_cycles(level, &gate, 1);
-        let long = program_with_cycles(level, &gate, 3);
-        let input_short = short.encode(&BitState::zeros(3));
-        let input_long = long.encode(&BitState::zeros(3));
-        let ops = short.circuit().len() as f64;
-        for &g in &rates {
-            let trials = if level >= 2 {
-                cfg.trials / 8
-            } else {
-                cfg.trials / 2
-            }
-            .max(200);
-            let seed = cfg.seed ^ g.to_bits() ^ level as u64;
-            let noise = UniformNoise::new(g);
-            let m_short =
-                measure_reset_entropy(short.circuit(), &input_short, &noise, trials, seed);
-            let m_long =
-                measure_reset_entropy(long.circuit(), &input_long, &noise, trials, seed ^ 1);
-            let measured_bits = ((m_long.bits_per_run - m_short.bits_per_run) / 2.0).max(0.0);
-            // G̃: physical ops per next-level gate — 27 for the level-1
-            // cycle; the same multiplier is applied per level in the bound.
-            let g_tilde = 27.0;
-            points.push(EntropyPoint {
-                g,
-                level,
-                measured_bits,
-                lower: hl_lower(g, 8.0, level as u32),
-                upper: hl_upper(g, g_tilde, level as u32),
-                h1_tight: if level == 1 {
-                    h1_upper(g, ops)
-                } else {
-                    f64::NAN
-                },
-                heat_300k: landauer_heat_joules(measured_bits, 300.0),
-            });
-        }
+    let levels = [1u8, 2];
+    struct LevelPrograms {
+        level: u8,
+        short: rft_core::concat::FtProgram,
+        long: rft_core::concat::FtProgram,
+        input_short: BitState,
+        input_long: BitState,
+        ops: f64,
     }
+    let programs: Vec<LevelPrograms> = levels
+        .iter()
+        .map(|&level| {
+            let short = program_with_cycles(level, &gate, 1);
+            let long = program_with_cycles(level, &gate, 3);
+            let input_short = short.encode(&BitState::zeros(3));
+            let input_long = long.encode(&BitState::zeros(3));
+            let ops = short.circuit().len() as f64;
+            LevelPrograms {
+                level,
+                short,
+                long,
+                input_short,
+                input_long,
+                ops,
+            }
+        })
+        .collect();
+    let grid: Vec<(usize, usize)> = (0..levels.len())
+        .flat_map(|li| (0..rates.len()).map(move |ri| (li, ri)))
+        .collect();
+    let points = ctx.run_parallel(grid.len(), |i, share| {
+        let (li, ri) = grid[i];
+        let p = &programs[li];
+        let (level, g) = (p.level, rates[ri]);
+        let trials = if level >= 2 {
+            share.trials / 8
+        } else {
+            share.trials / 2
+        }
+        .max(200);
+        let seed = share.seed ^ g.to_bits() ^ level as u64;
+        let noise = UniformNoise::new(g);
+        let m_short =
+            measure_reset_entropy(p.short.circuit(), &p.input_short, &noise, trials, seed);
+        let m_long =
+            measure_reset_entropy(p.long.circuit(), &p.input_long, &noise, trials, seed ^ 1);
+        let measured_bits = ((m_long.bits_per_run - m_short.bits_per_run) / 2.0).max(0.0);
+        // G̃: physical ops per next-level gate — 27 for the level-1
+        // cycle; the same multiplier is applied per level in the bound.
+        let g_tilde = 27.0;
+        EntropyPoint {
+            g,
+            level,
+            measured_bits,
+            lower: hl_lower(g, 8.0, level as u32),
+            upper: hl_upper(g, g_tilde, level as u32),
+            h1_tight: if level == 1 {
+                h1_upper(g, p.ops)
+            } else {
+                f64::NAN
+            },
+            heat_300k: landauer_heat_joules(measured_bits, 300.0),
+        }
+    });
     let max_level_series = [1e-2, 1e-3, 1e-4, 1e-6, 1e-8]
         .iter()
         .map(|&g| (g, max_level_constant_entropy(g, 11.0)))
@@ -134,9 +188,12 @@ impl EntropyResult {
         })
     }
 
-    /// Prints the measurement tables.
-    pub fn print(&self) {
-        println!("κ = {:.4} (paper ≈ 4.33)", self.kappa);
+    /// The [`Report`] artifact: measurement tables, per-level series and
+    /// the bounds checks.
+    pub fn to_report(&self) -> Report {
+        let exp = &EntropyExperiment;
+        let mut r = Report::new(exp.id(), exp.title(), exp.tags());
+        r.note(format!("κ = {:.4} (paper ≈ 4.33)", self.kappa));
         let mut t = Table::new(
             "§4 — entropy per FT logical gate: measured vs bounds",
             &[
@@ -158,11 +215,11 @@ impl EntropyResult {
                 format!("{:.2e}", p.heat_300k),
             ]);
         }
-        t.print();
-        println!(
+        r.table(t);
+        r.note(format!(
             "worked example: g = 10⁻², E = 11 ⇒ L ≤ {:.2} (paper 2.3)",
             self.worked_max_level
-        );
+        ));
         let mut s = Table::new(
             "§4 — max level with O(1) entropy per gate (O(log 1/g) growth)",
             &["g", "L_max"],
@@ -170,7 +227,36 @@ impl EntropyResult {
         for (g, l) in &self.max_level_series {
             s.row(&[sci(*g), format!("{l:.2}")]);
         }
-        s.print();
+        r.table(s);
+        for &level in &[1u8, 2] {
+            r.series(Series::new(
+                format!("measured bits per gate, L = {level}"),
+                "g",
+                "bits",
+                self.points
+                    .iter()
+                    .filter(|p| p.level == level)
+                    .map(|p| (p.g, p.measured_bits))
+                    .collect(),
+            ));
+        }
+        r.check(Check::bool(
+            "every measurement respects the §4 bounds",
+            self.within_bounds(),
+        ))
+        .check(Check::approx(
+            "worked example L ≤ 2.3",
+            self.worked_max_level,
+            2.3,
+            0.05,
+        ))
+        .check(Check::approx("κ vs paper 4.33", self.kappa, 4.33, 0.01));
+        r
+    }
+
+    /// Prints the rendered report.
+    pub fn print(&self) {
+        self.to_report().print();
     }
 }
 

@@ -2,7 +2,8 @@
 //! structure — the paper's central fault-tolerance claims, verified by
 //! exhaustion rather than sampling.
 
-use crate::report::Table;
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::report::{Check, Report, Series, Table};
 use rft_core::concat::measure_gate_cost;
 use rft_core::ftcheck::{transversal_cycle, CycleSpec};
 use rft_core::recovery::{recovery_circuit, DATA_IN, DATA_OUT, E_NO_INIT, E_WITH_INIT};
@@ -55,6 +56,27 @@ fn summarize(name: &str, spec: &CycleSpec) -> SweepSummary {
     }
 }
 
+/// Registry entry: the `fig2` experiment.
+pub struct Fig2Experiment;
+
+impl Experiment for Fig2Experiment {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Figures 2 & 3 — recovery circuit and concatenation, verified by exhaustion"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["exact", "fault-tolerance"]
+    }
+
+    fn run(&self, _ctx: &mut ExperimentContext) -> Report {
+        run().to_report()
+    }
+}
+
 /// Runs the exhaustive verification of Figure 2 (and the §2.2 cycle).
 pub fn run() -> Fig2Result {
     let recovery_spec = CycleSpec::new(
@@ -93,8 +115,11 @@ impl Fig2Result {
             && self.e_ops == (8, 6)
     }
 
-    /// Prints the verification tables.
-    pub fn print(&self) {
+    /// The [`Report`] artifact: verification tables plus one check per
+    /// fault-tolerance claim.
+    pub fn to_report(&self) -> Report {
+        let exp = &Fig2Experiment;
+        let mut r = Report::new(exp.id(), exp.title(), exp.tags());
         let mut t = Table::new(
             "Figure 2 — exhaustive single-fault verification",
             &[
@@ -118,11 +143,7 @@ impl Fig2Result {
                 if s.double_fault_defeats { "yes" } else { "no" }.to_string(),
             ]);
         }
-        t.print();
-        println!(
-            "recovery op count E = {} with init, {} without (paper: 8 / 6)",
-            self.e_ops.0, self.e_ops.1
-        );
+        r.table(t);
         let mut g = Table::new(
             "Figure 3 — ops per FT gate (measured vs (3(G−2))^L)",
             &["level", "measured Γ", "formula (G=11)", "formula (G=9)"],
@@ -135,7 +156,37 @@ impl Fig2Result {
                 (21f64.powi(level as i32)).to_string(),
             ]);
         }
-        g.print();
+        r.table(g);
+        r.series(Series::new(
+            "measured ops per FT gate",
+            "level",
+            "ops",
+            self.gamma_measured
+                .iter()
+                .map(|&(l, ops)| (l as f64, ops as f64))
+                .collect(),
+        ));
+        for s in &self.sweeps {
+            r.check(Check::bool(
+                format!("{}: exactly single-fault tolerant", s.name),
+                s.fault_tolerant,
+            ))
+            .check(Check::bool(
+                format!("{}: some double fault defeats it (tightness)", s.name),
+                s.double_fault_defeats,
+            ));
+        }
+        r.check(Check::eq(
+            "recovery op count E (with init, without)",
+            format!("{:?}", self.e_ops),
+            format!("{:?}", (8, 6)),
+        ));
+        r
+    }
+
+    /// Prints the rendered report.
+    pub fn print(&self) {
+        self.to_report().print();
     }
 }
 

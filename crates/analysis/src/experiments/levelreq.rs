@@ -2,7 +2,8 @@
 //! module and the resulting poly-log overhead `O((log T)^{4.75})` /
 //! `O((log T)^{3.17})`.
 
-use crate::report::Table;
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::report::{Check, Report, Series, Table};
 use crate::stats::linear_slope;
 use rft_core::threshold::GateBudget;
 use serde::{Deserialize, Serialize};
@@ -37,6 +38,27 @@ pub struct LevelReqResult {
     pub theory_gate_exponent: f64,
     /// Theoretical size exponent `log₂ 9 ≈ 3.17`.
     pub theory_size_exponent: f64,
+}
+
+/// Registry entry: the `levelreq` experiment.
+pub struct LevelReqExperiment;
+
+impl Experiment for LevelReqExperiment {
+    fn id(&self) -> &'static str {
+        "levelreq"
+    }
+
+    fn title(&self) -> &'static str {
+        "Equation 3 — required level and poly-log overhead"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["exact", "overhead"]
+    }
+
+    fn run(&self, _ctx: &mut ExperimentContext) -> Report {
+        run().to_report()
+    }
 }
 
 /// Runs the Equation 3 series.
@@ -89,8 +111,10 @@ impl LevelReqResult {
         (self.fitted_gate_exponent - self.theory_gate_exponent).abs() < 0.05
     }
 
-    /// Prints the series.
-    pub fn print(&self) {
+    /// The [`Report`] artifact: the overhead series and exponent checks.
+    pub fn to_report(&self) -> Report {
+        let exp = &LevelReqExperiment;
+        let mut r = Report::new(exp.id(), exp.title(), exp.tags());
         let mut t = Table::new(
             format!(
                 "Equation 3 — required level & overhead (G = {}, g = ρ/10)",
@@ -98,21 +122,62 @@ impl LevelReqResult {
             ),
             &["T (gates)", "L", "gate ×", "bit ×", "g_L bound"],
         );
-        for r in &self.rows {
+        for row in &self.rows {
             t.row(&[
-                format!("{:.0e}", r.module_gates),
-                r.level.to_string(),
-                format!("{:.0}", r.gate_factor),
-                format!("{:.0}", r.size_factor),
-                format!("{:.2e}", r.achieved),
+                format!("{:.0e}", row.module_gates),
+                row.level.to_string(),
+                format!("{:.0}", row.gate_factor),
+                format!("{:.0}", row.size_factor),
+                format!("{:.2e}", row.achieved),
             ]);
         }
-        t.print();
-        println!(
+        r.table(t);
+        r.series(Series::new(
+            "gate overhead vs module size",
+            "T (gates)",
+            "gate factor",
+            self.rows
+                .iter()
+                .map(|row| (row.module_gates, row.gate_factor))
+                .collect(),
+        ));
+        r.note(format!(
             "gate-overhead exponent: fitted {:.2}, theory log₂(3(G−2)) = {:.2} (paper 4.75); \
              size exponent theory {:.2} (paper 3.17)",
             self.fitted_gate_exponent, self.theory_gate_exponent, self.theory_size_exponent
-        );
+        ));
+        r.check(Check::approx(
+            "fitted gate-overhead exponent vs theory",
+            self.fitted_gate_exponent,
+            self.theory_gate_exponent,
+            0.05,
+        ))
+        .check(Check::approx(
+            "theory gate exponent vs paper 4.75",
+            self.theory_gate_exponent,
+            4.75,
+            0.01,
+        ))
+        .check(Check::approx(
+            "theory size exponent vs paper 3.17",
+            self.theory_size_exponent,
+            3.17,
+            0.01,
+        ))
+        .check(Check::bool(
+            "levels are monotone and sufficient",
+            self.rows.windows(2).all(|w| w[1].level >= w[0].level)
+                && self
+                    .rows
+                    .iter()
+                    .all(|row| row.achieved <= (1.0 + 1e-9) / row.module_gates),
+        ));
+        r
+    }
+
+    /// Prints the rendered report.
+    pub fn print(&self) {
+        self.to_report().print();
     }
 }
 

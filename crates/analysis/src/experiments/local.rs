@@ -5,10 +5,10 @@
 //! non-local vs 2D vs 1D cycle error rates.
 
 use super::RunConfig;
-use crate::montecarlo::estimate_cycle_error;
-use crate::report::{sci, Table};
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::report::{sci, Check, Report, Series, Table};
 use crate::stats::ErrorEstimate;
-use crate::sweep::{find_crossing, log_grid, sweep};
+use crate::sweep::{find_crossing, log_grid};
 use rft_core::ftcheck::transversal_cycle;
 use rft_core::mixed::mixed_threshold;
 use rft_core::threshold::GateBudget;
@@ -65,8 +65,36 @@ pub struct LocalResult {
     pub semi_empirical_ratio_27: Option<f64>,
 }
 
+/// Registry entry: the `local` experiment.
+pub struct LocalExperiment;
+
+impl Experiment for LocalExperiment {
+    fn id(&self) -> &'static str {
+        "local"
+    }
+
+    fn title(&self) -> &'static str {
+        "§3 — nearest-neighbour schemes: locality, budgets, measured thresholds"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["mc", "sweep", "exact", "locality"]
+    }
+
+    fn run(&self, ctx: &mut ExperimentContext) -> Report {
+        run_ctx(ctx).to_report()
+    }
+}
+
 /// Runs the §3 reproduction with the given Monte-Carlo budget.
 pub fn run(cfg: &RunConfig) -> LocalResult {
+    run_ctx(&mut ExperimentContext::new(*cfg))
+}
+
+/// [`run`] on an explicit context: probe estimates and the three
+/// pseudo-threshold sweeps run cross-point parallel through the cached
+/// engines.
+pub fn run_ctx(ctx: &mut ExperimentContext) -> LocalResult {
     let gate = Gate::Toffoli {
         controls: [w(0), w(1)],
         target: w(2),
@@ -76,19 +104,15 @@ pub fn run(cfg: &RunConfig) -> LocalResult {
     let probes = [1.0 / 1000.0, 1.0 / 273.0, 1.0 / 108.0];
 
     let mc_for = |spec: &rft_core::ftcheck::CycleSpec, salt: u64| -> Vec<(f64, ErrorEstimate)> {
-        probes
-            .iter()
-            .map(|&g| {
-                (
-                    g,
-                    estimate_cycle_error(
-                        spec,
-                        &UniformNoise::new(g),
-                        &cfg.options().salt(salt ^ g.to_bits()),
-                    ),
-                )
-            })
-            .collect()
+        let estimates = ctx.run_parallel(probes.len(), |i, share| {
+            let g = probes[i];
+            ctx.estimate_cycle(
+                spec,
+                &UniformNoise::new(g),
+                &share.options().salt(salt ^ g.to_bits()),
+            )
+        });
+        probes.iter().copied().zip(estimates).collect()
     };
 
     // Non-local (§2.2).
@@ -190,11 +214,11 @@ pub fn run(cfg: &RunConfig) -> LocalResult {
     // architecture and find its crossing with g.
     let crossing_for = |spec: &rft_core::ftcheck::CycleSpec, lo: f64, salt: u64| {
         let grid = log_grid(lo, 0.25, 10);
-        let points = sweep(&grid, |g| {
-            estimate_cycle_error(
+        let points = ctx.sweep(&grid, |g, share| {
+            ctx.estimate_cycle(
                 spec,
                 &UniformNoise::new(g),
-                &cfg.options().salt(salt ^ g.to_bits()),
+                &share.options().salt(salt ^ g.to_bits()),
             )
         });
         find_crossing(&points, |g| g)
@@ -246,8 +270,11 @@ impl LocalResult {
             })
     }
 
-    /// Prints all §3 tables.
-    pub fn print(&self) {
+    /// The [`Report`] artifact: all §3 tables, the probe series and the
+    /// structural/ordering checks.
+    pub fn to_report(&self) -> Report {
+        let exp = &LocalExperiment;
+        let mut r = Report::new(exp.id(), exp.title(), exp.tags());
         let mut t = Table::new(
             "§3 — analytic thresholds (paper values reproduced)",
             &["scheme", "G", "ρ = 1/(3·C(G,2))", "1/ρ"],
@@ -260,17 +287,20 @@ impl LocalResult {
                 format!("{:.0}", 1.0 / rho),
             ]);
         }
-        t.print();
+        r.table(t);
 
-        println!(
+        r.note(format!(
             "Figure 4: 2D tile recovery fully local, straight lines only, zero SWAPs: {}",
             self.fig4_recovery_local
-        );
-        println!(
+        ));
+        r.note(format!(
             "Figure 6: interleave swaps per move {:?} (paper 8,7,6,10,8,6), total {} (paper 45)",
             self.fig6_per_move, self.fig6_total
-        );
-        println!("Figure 7: 1D recovery ops = {} (paper 13)", self.fig7_ops);
+        ));
+        r.note(format!(
+            "Figure 7: 1D recovery ops = {} (paper 13)",
+            self.fig7_ops
+        ));
 
         let mut a = Table::new(
             "§3 — cycle audits & exhaustive fault sweeps",
@@ -293,7 +323,7 @@ impl LocalResult {
                 format!("{:.3}", arch.first_order),
             ]);
         }
-        a.print();
+        r.table(a);
 
         let mut m = Table::new(
             "§3 — Monte-Carlo cycle error rates (lower is better)",
@@ -307,7 +337,15 @@ impl LocalResult {
                 sci(self.archs[2].mc[i].1.rate),
             ]);
         }
-        m.print();
+        r.table(m);
+        for arch in &self.archs {
+            r.series(Series::new(
+                format!("cycle error — {}", arch.name),
+                "g",
+                "cycle error rate",
+                arch.mc.iter().map(|&(g, e)| (g, e.rate)).collect(),
+            ));
+        }
 
         let mut mt = Table::new(
             "§3 — measured single-cycle pseudo-thresholds (analytic ρ is a lower bound)",
@@ -333,13 +371,35 @@ impl LocalResult {
                 },
             ]);
         }
-        mt.print();
+        r.table(mt);
         if let Some(ratio) = self.semi_empirical_ratio_27 {
-            println!(
+            r.note(format!(
                 "semi-empirical §3.3: ρ(k=3)/ρ₂ from *measured* thresholds = {ratio:.2} \
                  (analytic Table 2 value 0.77)"
-            );
+            ));
         }
+        r.check(Check::bool(
+            "published structural counts reproduce (Figs 4, 6, 7)",
+            self.structure_ok(),
+        ))
+        .check(Check::bool(
+            "MC error rates order as thresholds predict (1D ≥ 2D ≥ non-local)",
+            self.mc_ordering_ok(),
+        ))
+        .check(Check::bool(
+            "non-local and 2D cycles are exactly single-fault tolerant",
+            self.archs[0].first_order == 0.0 && self.archs[1].first_order == 0.0,
+        ))
+        .check(Check::bool(
+            "1D cycle has a nonzero first-order coefficient (reproduction finding)",
+            self.archs[2].first_order > 0.0,
+        ));
+        r
+    }
+
+    /// Prints the rendered report.
+    pub fn print(&self) {
+        self.to_report().print();
     }
 }
 

@@ -1,9 +1,13 @@
 //! Reproductions of every table and figure of the paper.
 //!
 //! One module per experiment, named by the experiment IDs of `DESIGN.md`.
-//! Each module exposes a `run(...)` function returning a typed, printable
-//! result so that integration tests can assert on the numbers and the
-//! `repro` binary can render them.
+//! Each module registers a unit struct implementing
+//! [`Experiment`](crate::experiment::Experiment) (see
+//! [`registry`](crate::experiment::registry)) whose `run` returns a
+//! schema-versioned [`Report`](crate::report::Report); each also keeps a
+//! `run(...)` function returning a typed result so integration tests can
+//! assert on the numbers directly. The `repro` binary drives everything
+//! through the registry and the cross-point parallel runner.
 //!
 //! | ID | artifact | module |
 //! |----|----------|--------|

@@ -3,7 +3,8 @@
 //! achieves the optimum. Verified by exhausting all `8!` three-bit
 //! reversible gates.
 
-use crate::report::Table;
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::report::{Check, Report, Table};
 use rft_core::entropy::{
     nand_via_maj_inv, nand_via_toffoli, optimal_nand_dissipation, NandSimulation,
 };
@@ -20,6 +21,27 @@ pub struct NandResult {
     pub optimal_bits: f64,
     /// Number of optimal schemes found.
     pub optimal_schemes: usize,
+}
+
+/// Registry entry: the `nand` experiment.
+pub struct NandExperiment;
+
+impl Experiment for NandExperiment {
+    fn id(&self) -> &'static str {
+        "nand"
+    }
+
+    fn title(&self) -> &'static str {
+        "§4 footnote 4 — 3/2-bit NAND dissipation optimum, by exhaustion"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["exact", "entropy"]
+    }
+
+    fn run(&self, _ctx: &mut ExperimentContext) -> Report {
+        run().to_report()
+    }
 }
 
 /// Runs the dissipation comparison and exhaustive optimality search.
@@ -42,8 +64,11 @@ impl NandResult {
             && self.toffoli.reset_joint_entropy > 1.5
     }
 
-    /// Prints the comparison.
-    pub fn print(&self) {
+    /// The [`Report`] artifact: the dissipation comparison plus the
+    /// footnote-4 optimality checks.
+    pub fn to_report(&self) -> Report {
+        let exp = &NandExperiment;
+        let mut r = Report::new(exp.id(), exp.title(), exp.tags());
         let mut t = Table::new(
             "§4 footnote 4 — NAND from reversible gates: bits dissipated per cycle",
             &[
@@ -61,12 +86,34 @@ impl NandResult {
                 format!("{:.4}", sim.reset_conditional_entropy),
             ]);
         }
-        t.print();
-        println!(
+        r.table(t);
+        r.note(format!(
             "exhaustive optimum over all 8! three-bit reversible gates: {:.4} bits \
              (paper: 3/2), achieved by {} (gate, wiring, output) schemes",
             self.optimal_bits, self.optimal_schemes
-        );
+        ));
+        r.check(Check::approx(
+            "exhaustive optimum is 3/2 bits",
+            self.optimal_bits,
+            1.5,
+            1e-12,
+        ))
+        .check(Check::approx(
+            "MAJ⁻¹ wiring achieves the optimum",
+            self.maj_inv.reset_joint_entropy,
+            1.5,
+            1e-12,
+        ))
+        .check(Check::bool(
+            "plain Toffoli wiring dissipates more than 3/2",
+            self.toffoli.reset_joint_entropy > 1.5,
+        ));
+        r
+    }
+
+    /// Prints the rendered report.
+    pub fn print(&self) {
+        self.to_report().print();
     }
 }
 

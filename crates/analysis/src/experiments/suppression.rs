@@ -11,8 +11,8 @@
 //! by the exact Poisson-binomial fault-count masses.
 
 use super::RunConfig;
-use crate::montecarlo::ConcatMc;
-use crate::report::{sci, Table};
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::report::{sci, Check, Report, Series, Table};
 use crate::stats::ErrorEstimate;
 use rft_revsim::gate::Gate;
 use rft_revsim::noise::UniformNoise;
@@ -43,8 +43,36 @@ pub struct SuppressionResult {
     pub levels: Vec<u8>,
 }
 
+/// Registry entry: the `suppression` experiment.
+pub struct SuppressionExperiment;
+
+impl Experiment for SuppressionExperiment {
+    fn id(&self) -> &'static str {
+        "suppression"
+    }
+
+    fn title(&self) -> &'static str {
+        "Equation 2 — doubly-exponential suppression with concatenation level"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["mc", "sweep", "eq2", "rare-event"]
+    }
+
+    fn run(&self, ctx: &mut ExperimentContext) -> Report {
+        run_ctx(ctx).to_report()
+    }
+}
+
 /// Runs the level sweep.
 pub fn run(cfg: &RunConfig) -> SuppressionResult {
+    run_ctx(&mut ExperimentContext::new(*cfg))
+}
+
+/// [`run`] on an explicit context: the three concatenated programs come
+/// from the shared compile cache (instead of one compile per
+/// rate × level), and the `(rate, level)` grid runs cross-point parallel.
+pub fn run_ctx(ctx: &mut ExperimentContext) -> SuppressionResult {
     let budget = rft_core::threshold::GateBudget::NONLOCAL_WITH_INIT;
     let rho = budget.threshold();
     let gate = Gate::Toffoli {
@@ -58,28 +86,44 @@ pub fn run(cfg: &RunConfig) -> SuppressionResult {
     // pseudo-threshold and shows the divergence.
     let rates = [rho / 10.0, rho / 4.0, rho / 2.0, rho * 2.0, rho * 16.0];
 
+    // Compile each level's program once, shared by every rate.
+    let programs: Vec<_> = levels
+        .iter()
+        .map(|&level| ctx.concat(level, gate, cycles))
+        .collect();
+
+    // One work item per (rate, level) pair: per-point cost is wildly
+    // uneven (level 2 is ~65× the ops of level 1), exactly what the
+    // work-stealing scheduler is for.
+    let grid: Vec<(usize, usize)> = (0..rates.len())
+        .flat_map(|ri| (0..levels.len()).map(move |li| (ri, li)))
+        .collect();
+    let estimates = ctx.run_parallel(grid.len(), |i, share| {
+        let (ri, li) = grid[i];
+        let (g, level) = (rates[ri], levels[li]);
+        // Fewer trials at level 2 (1800 ops per trial).
+        let trials = if level >= 2 {
+            share.trials / 4
+        } else {
+            share.trials
+        }
+        .max(100);
+        ctx.estimate_concat(
+            &programs[li],
+            &UniformNoise::new(g),
+            &share
+                .options()
+                .trials(trials)
+                .salt(g.to_bits() ^ level as u64),
+        )
+    });
+
     let series = rates
         .iter()
-        .map(|&g| {
-            let noise = UniformNoise::new(g);
-            let measured: Vec<ErrorEstimate> = levels
-                .iter()
-                .map(|&level| {
-                    // Fewer trials at level 2 (1800 ops per trial).
-                    let trials = if level >= 2 {
-                        cfg.trials / 4
-                    } else {
-                        cfg.trials
-                    }
-                    .max(100);
-                    let mc = ConcatMc::new(level, gate, cycles);
-                    mc.estimate(
-                        &noise,
-                        &cfg.options()
-                            .trials(trials)
-                            .salt(g.to_bits() ^ level as u64),
-                    )
-                })
+        .enumerate()
+        .map(|(ri, &g)| {
+            let measured: Vec<ErrorEstimate> = (0..levels.len())
+                .map(|li| estimates[ri * levels.len() + li])
                 .collect();
             let per_cycle = measured.iter().map(|m| m.per_cycle(cycles)).collect();
             let eq2_bound = levels
@@ -122,8 +166,11 @@ impl SuppressionResult {
             })
     }
 
-    /// Prints the level table.
-    pub fn print(&self) {
+    /// The [`Report`] artifact: the level table, per-level series and the
+    /// below/above-threshold behaviour checks.
+    pub fn to_report(&self) -> Report {
+        let exp = &SuppressionExperiment;
+        let mut r = Report::new(exp.id(), exp.title(), exp.tags());
         let headers: Vec<String> = std::iter::once("g/ρ".to_string())
             .chain(
                 self.levels
@@ -144,7 +191,34 @@ impl SuppressionResult {
             }
             t.row(&row);
         }
-        t.print();
+        r.table(t);
+        for (i, &level) in self.levels.iter().enumerate() {
+            r.series(Series::new(
+                format!("per-cycle logical rate, L = {level}"),
+                "g/ρ",
+                "logical error rate",
+                self.series
+                    .iter()
+                    .map(|s| (s.g_over_rho, s.per_cycle[i]))
+                    .collect(),
+            ));
+        }
+        r.check(Check::bool(
+            "each extra level suppresses below threshold (g ≤ ρ/4)",
+            self.below_threshold_suppression(),
+        ));
+        if let Some(above) = self.series.iter().find(|s| s.g_over_rho > 10.0) {
+            r.check(Check::bool(
+                "far above threshold concatenation stops helping",
+                above.per_cycle[1] > 0.05 && above.per_cycle[1] > above.per_cycle[0],
+            ));
+        }
+        r
+    }
+
+    /// Prints the rendered report.
+    pub fn print(&self) {
+        self.to_report().print();
     }
 }
 

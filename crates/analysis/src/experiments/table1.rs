@@ -1,7 +1,8 @@
 //! `table1` / `fig1` / `fig5`: the MAJ gate — Table 1 truth table, the
 //! Figure 1 CNOT/Toffoli decomposition, and the Figure 5 SWAP3 gate.
 
-use crate::report::Table;
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::report::{Check, Report, Table};
 use rft_core::maj::{format_bits, maj_permutation, verify_maj, MajVerification};
 use rft_revsim::circuit::Circuit;
 use rft_revsim::permutation::Permutation;
@@ -23,6 +24,27 @@ pub struct Table1Result {
     pub inverse_matches: bool,
     /// Figure 5: SWAP3 equals two consecutive SWAPs.
     pub swap3_matches_two_swaps: bool,
+}
+
+/// Registry entry: the `table1` experiment.
+pub struct Table1Experiment;
+
+impl Experiment for Table1Experiment {
+    fn id(&self) -> &'static str {
+        "table1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 1 / Figures 1 & 5 — the MAJ gate, exhaustively verified"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["exact", "structure"]
+    }
+
+    fn run(&self, _ctx: &mut ExperimentContext) -> Report {
+        run().to_report()
+    }
 }
 
 /// Runs every Table 1 / Figure 1 / Figure 5 check.
@@ -63,32 +85,17 @@ impl Table1Result {
             && self.swap3_matches_two_swaps
     }
 
-    /// Prints the paper-format tables.
-    pub fn print(&self) {
+    /// The [`Report`] artifact: the paper-format tables plus one check
+    /// per structural claim.
+    pub fn to_report(&self) -> Report {
+        let exp = &Table1Experiment;
+        let mut r = Report::new(exp.id(), exp.title(), exp.tags());
         let mut t = Table::new("Table 1 — reversible MAJ truth table", &["Input", "Output"]);
         for (i, o) in &self.rows {
             t.row(&[i.clone(), o.clone()]);
         }
-        t.print();
-        let mut checks = Table::new("MAJ structural checks", &["check", "result"]);
-        let yn = |b: bool| if b { "ok" } else { "FAILED" }.to_string();
-        checks
-            .row(&["matches paper Table 1".into(), yn(self.matches_table_1)])
-            .row(&[
-                "first output bit = majority".into(),
-                yn(self.majority_property),
-            ])
-            .row(&[
-                "Figure 1 decomposition exact".into(),
-                yn(self.decomposition_matches),
-            ])
-            .row(&["MAJ⁻¹ ∘ MAJ = identity".into(), yn(self.inverse_matches)])
-            .row(&[
-                "Figure 5 SWAP3 = two SWAPs".into(),
-                yn(self.swap3_matches_two_swaps),
-            ]);
-        checks.print();
-        // Show the MAJ⁻¹ encoder rows too (the property Figure 2 rests on).
+        r.table(t);
+        // The MAJ⁻¹ encoder rows (the property Figure 2 rests on).
         let p = maj_permutation().inverse();
         let mut enc = Table::new(
             "MAJ⁻¹ on (b,0,0) — repetition encoding",
@@ -97,7 +104,27 @@ impl Table1Result {
         for b in [0u64, 1] {
             enc.row(&[format_bits(b, 3), format_bits(p.apply(b), 3)]);
         }
-        enc.print();
+        r.table(enc);
+        r.check(Check::bool("matches paper Table 1", self.matches_table_1))
+            .check(Check::bool(
+                "first output bit = majority",
+                self.majority_property,
+            ))
+            .check(Check::bool(
+                "Figure 1 decomposition exact",
+                self.decomposition_matches,
+            ))
+            .check(Check::bool("MAJ⁻¹ ∘ MAJ = identity", self.inverse_matches))
+            .check(Check::bool(
+                "Figure 5 SWAP3 = two SWAPs",
+                self.swap3_matches_two_swaps,
+            ));
+        r
+    }
+
+    /// Prints the rendered report.
+    pub fn print(&self) {
+        self.to_report().print();
     }
 }
 

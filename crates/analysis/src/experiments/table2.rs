@@ -2,7 +2,8 @@
 //! published Table 2 column exactly and adds a semi-empirical variant using
 //! the other published threshold pairings.
 
-use crate::report::Table;
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::report::{Check, Report, Series, Table};
 use rft_core::mixed::{table2, table2_for, Table2Row, PAPER_TABLE_2};
 use rft_core::threshold::GateBudget;
 use serde::{Deserialize, Serialize};
@@ -18,6 +19,27 @@ pub struct Table2Result {
     pub with_init_rows: Vec<Table2Row>,
     /// Largest |computed − paper| over the column.
     pub max_deviation: f64,
+}
+
+/// Registry entry: the `table2` experiment.
+pub struct Table2Experiment;
+
+impl Experiment for Table2Experiment {
+    fn id(&self) -> &'static str {
+        "table2"
+    }
+
+    fn title(&self) -> &'static str {
+        "Table 2 — §3.3 mixed 2D-under-1D concatenation thresholds"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["exact", "locality"]
+    }
+
+    fn run(&self, _ctx: &mut ExperimentContext) -> Report {
+        run().to_report()
+    }
 }
 
 /// Runs the Table 2 reproduction.
@@ -48,39 +70,59 @@ impl Table2Result {
         self.max_deviation < 0.005
     }
 
-    /// Prints both variants.
-    pub fn print(&self) {
+    /// The [`Report`] artifact: both table variants plus the
+    /// printed-precision check against the published column.
+    pub fn to_report(&self) -> Report {
+        let exp = &Table2Experiment;
+        let mut r = Report::new(exp.id(), exp.title(), exp.tags());
         let mut t = Table::new(
             "Table 2 — ρ(k)/ρ₂ for k levels of 2D under 1D (ρ₁ = 1/2109, ρ₂ = 1/273)",
             &["k", "Width", "ρ(k)/ρ₂ computed", "paper", "ρ(k)"],
         );
-        for (r, &(_, _, paper)) in self.rows.iter().zip(self.paper.iter()) {
+        for (row, &(_, _, paper)) in self.rows.iter().zip(self.paper.iter()) {
             t.row(&[
-                r.k.to_string(),
-                r.width.to_string(),
-                format!("{:.4}", r.ratio),
+                row.k.to_string(),
+                row.width.to_string(),
+                format!("{:.4}", row.ratio),
                 format!("{paper:.2}"),
-                format!("1/{:.0}", 1.0 / r.rho_k),
+                format!("1/{:.0}", 1.0 / row.rho_k),
             ]);
         }
-        t.print();
-        println!(
-            "max |computed − paper| = {:.4} (printed precision 0.005)",
-            self.max_deviation
-        );
+        r.table(t);
         let mut t2 = Table::new(
             "Table 2 variant — initialization counted (ρ₁ = 1/2340, ρ₂ = 1/360)",
             &["k", "Width", "ρ(k)/ρ₂", "ρ(k)"],
         );
-        for r in &self.with_init_rows {
+        for row in &self.with_init_rows {
             t2.row(&[
-                r.k.to_string(),
-                r.width.to_string(),
-                format!("{:.4}", r.ratio),
-                format!("1/{:.0}", 1.0 / r.rho_k),
+                row.k.to_string(),
+                row.width.to_string(),
+                format!("{:.4}", row.ratio),
+                format!("1/{:.0}", 1.0 / row.rho_k),
             ]);
         }
-        t2.print();
+        r.table(t2);
+        r.series(Series::new(
+            "ρ(k)/ρ₂ computed",
+            "k",
+            "ratio",
+            self.rows
+                .iter()
+                .map(|row| (row.k as f64, row.ratio))
+                .collect(),
+        ));
+        r.check(Check::approx(
+            "max |computed − paper| within printed precision",
+            self.max_deviation,
+            0.0,
+            0.005,
+        ));
+        r
+    }
+
+    /// Prints the rendered report.
+    pub fn print(&self) {
+        self.to_report().print();
     }
 }
 

@@ -14,10 +14,10 @@
 //! rates far below what the raw trial budget could otherwise bracket.
 
 use super::RunConfig;
-use crate::montecarlo::ConcatMc;
-use crate::report::{rate_ci, sci, Table};
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::report::{rate_ci, sci, Check, Report, Series, Table};
 use crate::stats::ErrorEstimate;
-use crate::sweep::{find_crossing, log_grid, sweep, SweepPoint};
+use crate::sweep::{find_crossing, log_grid, SweepPoint};
 use rft_core::threshold::GateBudget;
 use rft_revsim::gate::Gate;
 use rft_revsim::noise::{SplitNoise, UniformNoise};
@@ -61,26 +61,54 @@ pub struct ThresholdResult {
     pub cycles: usize,
 }
 
+/// Registry entry: the `threshold` experiment.
+pub struct ThresholdExperiment;
+
+impl Experiment for ThresholdExperiment {
+    fn id(&self) -> &'static str {
+        "threshold"
+    }
+
+    fn title(&self) -> &'static str {
+        "§2.2 — measured pseudo-thresholds vs the Equation 1 bound"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["mc", "sweep", "eq1"]
+    }
+
+    fn run(&self, ctx: &mut ExperimentContext) -> Report {
+        run_ctx(ctx).to_report()
+    }
+}
+
 /// Runs the threshold sweep with the given Monte-Carlo budget.
 pub fn run(cfg: &RunConfig) -> ThresholdResult {
+    run_ctx(&mut ExperimentContext::new(*cfg))
+}
+
+/// [`run`] on an explicit context: the level-1 program comes from the
+/// shared compile cache and the two 12-point sweeps run cross-point
+/// parallel under the context's scheduler.
+pub fn run_ctx(ctx: &mut ExperimentContext) -> ThresholdResult {
     let cycles = 4usize;
     let gate = Gate::Toffoli {
         controls: [w(0), w(1)],
         target: w(2),
     };
-    let mc = ConcatMc::new(1, gate, cycles);
+    let mc = ctx.concat(1, gate, cycles);
 
     let make_series = |name: &str, budget: GateBudget, perfect_init: bool, seed: u64| {
         // ρ is a lower bound on the true threshold: the measured crossing
         // sits several times higher, so sweep well past ρ.
         let rho = budget.threshold();
         let grid = log_grid(rho / 8.0, rho * 16.0, 12);
-        let points_raw = sweep(&grid, |g| {
-            let opts = cfg.options().seed(seed).salt(g.to_bits());
+        let points_raw = ctx.sweep(&grid, |g, share| {
+            let opts = share.options().seed(seed).salt(g.to_bits());
             if perfect_init {
-                mc.estimate(&SplitNoise::perfect_init(g), &opts)
+                ctx.estimate_concat(&mc, &SplitNoise::perfect_init(g), &opts)
             } else {
-                mc.estimate(&UniformNoise::new(g), &opts)
+                ctx.estimate_concat(&mc, &UniformNoise::new(g), &opts)
             }
         });
         let points: Vec<ThresholdPoint> = points_raw
@@ -116,18 +144,19 @@ pub fn run(cfg: &RunConfig) -> ThresholdResult {
         }
     };
 
+    let seed = ctx.cfg().seed;
     let series = vec![
         make_series(
             "uniform noise (init counted, G = 11)",
             GateBudget::NONLOCAL_WITH_INIT,
             false,
-            cfg.seed,
+            seed,
         ),
         make_series(
             "perfect init (G = 9)",
             GateBudget::NONLOCAL_NO_INIT,
             true,
-            cfg.seed ^ 0xABCD,
+            seed ^ 0xABCD,
         ),
     ];
     ThresholdResult { series, cycles }
@@ -143,8 +172,11 @@ impl ThresholdResult {
         })
     }
 
-    /// Prints the sweep tables.
-    pub fn print(&self) {
+    /// The [`Report`] artifact: one sweep table and logical-rate series
+    /// per noise accounting, plus the crossing-above-bound checks.
+    pub fn to_report(&self) -> Report {
+        let exp = &ThresholdExperiment;
+        let mut r = Report::new(exp.id(), exp.title(), exp.tags());
         for s in &self.series {
             let mut t = Table::new(
                 format!(
@@ -171,17 +203,41 @@ impl ThresholdResult {
                     if p.logical < p.g { "yes" } else { "no" }.to_string(),
                 ]);
             }
-            t.print();
+            r.table(t);
+            r.series(Series::new(
+                format!("per-cycle logical rate — {}", s.name),
+                "g",
+                "logical error rate",
+                s.points.iter().map(|p| (p.g, p.logical)).collect(),
+            ));
             match s.measured_crossing {
-                Some(g) => println!(
-                    "measured pseudo-threshold ≈ {} = 1/{:.0} (analytic lower bound 1/{:.0})",
+                Some(g) => r.note(format!(
+                    "{}: measured pseudo-threshold ≈ {} = 1/{:.0} (analytic lower bound 1/{:.0})",
+                    s.name,
                     sci(g),
                     1.0 / g,
                     1.0 / s.analytic_threshold
+                )),
+                None => r.note(format!(
+                    "{}: no crossing bracketed in the sweep range",
+                    s.name
+                )),
+            };
+            r.check(Check::bool(
+                format!(
+                    "{}: measured crossing ≥ 0.8× the analytic lower bound (MC slack)",
+                    s.name
                 ),
-                None => println!("no crossing bracketed in the sweep range"),
-            }
+                s.measured_crossing
+                    .is_some_and(|g| g >= s.analytic_threshold * 0.8),
+            ));
         }
+        r
+    }
+
+    /// Prints the rendered report.
+    pub fn print(&self) {
+        self.to_report().print();
     }
 }
 

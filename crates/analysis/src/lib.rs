@@ -16,15 +16,24 @@
 //!   sampling);
 //! - [`sweep`] — log-grid sweeps and pseudo-threshold crossing detection;
 //! - [`entropy_meas`] — empirical reset-entropy measurement (§4);
-//! - [`report`] — plain-text table rendering;
-//! - [`experiments`] — one module per table/figure of the paper, each with
-//!   a typed result and a printable report. The `repro` binary in
-//!   `rft-bench` drives them.
+//! - [`report`] — the schema-versioned [`Report`](report::Report)
+//!   artifact (tables + numeric series + self-[`Check`](report::Check)s)
+//!   and its pure renderers to aligned text, CSV and JSON;
+//! - [`experiment`] — the first-class [`Experiment`](experiment::Experiment)
+//!   trait, the [`registry`](experiment::registry) of all reproductions,
+//!   the shared [`CompileCache`](experiment::CompileCache), and the
+//!   cross-point parallel runner
+//!   ([`run_experiments`](experiment::run_experiments));
+//! - [`experiments`] — one module per table/figure of the paper, each a
+//!   registered [`Experiment`](experiment::Experiment) with a typed
+//!   result convertible to a [`Report`](report::Report). The `repro`
+//!   binary in `rft-bench` drives them through the registry.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod entropy_meas;
+pub mod experiment;
 pub mod experiments;
 pub mod montecarlo;
 pub mod report;
@@ -34,12 +43,16 @@ pub mod sweep;
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::entropy_meas::{measure_reset_entropy, EntropyMeasurement};
+    pub use crate::experiment::{
+        find, registry, run_experiments, CompileCache, Experiment, ExperimentContext,
+        ExperimentRun, ManifestEntry, RunManifest,
+    };
     pub use crate::experiments::RunConfig;
     pub use crate::montecarlo::{
         estimate_cycle_error, estimate_cycle_error_outcome, unprotected_error, ConcatMc,
         ConcatTrial, BATCH_TRIAL_THRESHOLD,
     };
-    pub use crate::report::Table;
+    pub use crate::report::{Check, Report, Series, Table, SCHEMA_VERSION};
     pub use crate::stats::{linear_slope, stratified_estimate, wilson_interval, ErrorEstimate};
     pub use crate::sweep::{find_crossing, log_grid, sweep, SweepPoint};
     pub use rft_revsim::engine::{BackendKind, Engine, Estimator, McOptions, McOutcome};

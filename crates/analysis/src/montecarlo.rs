@@ -26,8 +26,7 @@
 //! tests live in `tests/batch_stats.rs`.
 
 use crate::stats::ErrorEstimate;
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+use rand::{Rng, RngCore};
 use rft_core::concat::{FtBuilder, FtProgram};
 use rft_core::ftcheck::CycleSpec;
 use rft_revsim::batch::BatchState;
@@ -40,94 +39,6 @@ use rft_revsim::permutation::Permutation;
 use rft_revsim::state::BitState;
 
 pub use rft_revsim::engine::DEFAULT_BATCH_THRESHOLD as BATCH_TRIAL_THRESHOLD;
-
-/// Runs `trials` independent boolean trials across `threads` OS threads
-/// and counts `true` outcomes. Each thread gets its own deterministic RNG.
-#[deprecated(
-    since = "0.2.0",
-    note = "use rft_revsim::engine::Engine::estimate with a WordTrial"
-)]
-pub fn parallel_failures<F>(trials: u64, seed: u64, threads: usize, trial: F) -> u64
-where
-    F: Fn(&mut SmallRng) -> bool + Sync,
-{
-    let threads = threads.max(1);
-    let per = trials / threads as u64;
-    let extra = trials % threads as u64;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let n = per + u64::from((t as u64) < extra);
-            let trial = &trial;
-            handles.push(scope.spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(
-                    seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)),
-                );
-                let mut failures = 0u64;
-                for _ in 0..n {
-                    if trial(&mut rng) {
-                        failures += 1;
-                    }
-                }
-                failures
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("trial thread panicked"))
-            .sum()
-    })
-}
-
-/// Batch counterpart of [`parallel_failures`]: runs `trials` trials packed
-/// 64 per word across `threads` OS threads. `word_trial` executes one
-/// 64-lane word and returns the mask of *failed* lanes; lanes beyond
-/// `trials` in the final word are ignored.
-#[deprecated(
-    since = "0.2.0",
-    note = "use rft_revsim::engine::Engine::estimate with a WordTrial"
-)]
-pub fn parallel_failure_words<F>(trials: u64, seed: u64, threads: usize, word_trial: F) -> u64
-where
-    F: Fn(&mut SmallRng) -> u64 + Sync,
-{
-    let threads = threads.max(1);
-    let total_words = trials.div_ceil(64);
-    let per = total_words / threads as u64;
-    let extra = total_words % threads as u64;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        let mut first_word = 0u64;
-        for t in 0..threads {
-            let n_words = per + u64::from((t as u64) < extra);
-            let start = first_word;
-            first_word += n_words;
-            let word_trial = &word_trial;
-            handles.push(scope.spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(
-                    seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1)),
-                );
-                let mut failures = 0u64;
-                for w in start..start + n_words {
-                    let mask = word_trial(&mut rng);
-                    // The final word may cover fewer than 64 real trials.
-                    let live = trials - w * 64;
-                    let valid = if live >= 64 {
-                        u64::MAX
-                    } else {
-                        (1u64 << live) - 1
-                    };
-                    failures += (mask & valid).count_ones() as u64;
-                }
-                failures
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("trial thread panicked"))
-            .sum()
-    })
-}
 
 /// The [`WordTrial`] of a compiled concatenated program: each lane draws
 /// an independent uniform logical input, encodes it through the program's
@@ -341,6 +252,8 @@ pub fn scalar_reference_trial<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
     use rft_revsim::engine::BackendKind;
     use rft_revsim::noise::{NoNoise, UniformNoise};
     use rft_revsim::wire::w;
@@ -474,19 +387,6 @@ mod tests {
             adaptive.trials,
             full.trials
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_parallel_runners_still_work() {
-        let f = |rng: &mut SmallRng| rng.random::<f64>() < 0.3;
-        let a = parallel_failures(2000, 42, 4, f);
-        let b = parallel_failures(2000, 42, 4, f);
-        assert_eq!(a, b);
-        assert!((a as f64 - 600.0).abs() < 120.0, "got {a}");
-        let all_fail = |_rng: &mut SmallRng| u64::MAX;
-        assert_eq!(parallel_failure_words(100, 1, 3, all_fail), 100);
-        assert_eq!(parallel_failure_words(65, 1, 2, all_fail), 65);
     }
 
     #[test]

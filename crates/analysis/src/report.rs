@@ -1,12 +1,26 @@
-//! Plain-text table rendering for experiment reports.
+//! The `Report` artifact and its renderers.
 //!
-//! Every experiment prints its results as aligned text tables mirroring
-//! the rows the paper reports, plus optional CSV for downstream plotting.
+//! Every experiment returns a [`Report`]: a schema-versioned, serdeable
+//! bundle of aligned-text-renderable [`Table`]s, numeric [`Series`] (the
+//! figure data), [`Check`] assertions (the experiment's self-verdict on
+//! the paper's claims), and free-form notes. This module is a *pure
+//! renderer*: it holds no experiment logic, only the artifact type and its
+//! projections to aligned text, CSV and JSON.
+//!
+//! The JSON layout is stable and documented in `BENCH_NOTES.md`; bump
+//! [`SCHEMA_VERSION`] on any breaking change so downstream consumers can
+//! dispatch on it.
 
+use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
+/// Version of the `Report`/manifest JSON schema emitted by `--json`.
+///
+/// History: 1 — initial schema (id/title/tags/tables/series/checks/notes).
+pub const SCHEMA_VERSION: u32 = 1;
+
 /// A simple aligned text table.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Table {
     title: String,
     headers: Vec<String>,
@@ -32,6 +46,16 @@ impl Table {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
         self.rows.push(cells.to_vec());
         self
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
     }
 
     /// Number of data rows.
@@ -108,6 +132,225 @@ impl Table {
     }
 }
 
+/// A named numeric series — the raw data behind one curve of a figure,
+/// kept in machine-readable form alongside the stringified [`Table`]s.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series name (e.g. `"logical per-cycle, G = 11"`).
+    pub name: String,
+    /// Label of the x values (e.g. `"g"`).
+    pub x_label: String,
+    /// Label of the y values (e.g. `"logical error rate"`).
+    pub y_label: String,
+    /// `(x, y)` points in sweep order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series from `(x, y)` points.
+    pub fn new(
+        name: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+    ) -> Self {
+        Series {
+            name: name.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            points,
+        }
+    }
+}
+
+/// One self-check assertion of an experiment: the reproduced value, the
+/// published (or structural) expectation, and the verdict.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Check {
+    /// What is being checked (e.g. `"Table 1 truth table matches paper"`).
+    pub name: String,
+    /// The value this run produced, stringified.
+    pub got: String,
+    /// The expected value, stringified.
+    pub want: String,
+    /// Whether the check passed.
+    pub pass: bool,
+}
+
+impl Check {
+    /// A check with explicit got/want strings and verdict.
+    pub fn new(
+        name: impl Into<String>,
+        got: impl Into<String>,
+        want: impl Into<String>,
+        pass: bool,
+    ) -> Self {
+        Check {
+            name: name.into(),
+            got: got.into(),
+            want: want.into(),
+            pass,
+        }
+    }
+
+    /// A check that passes iff `ok` (got/want are the booleans).
+    pub fn bool(name: impl Into<String>, ok: bool) -> Self {
+        Check::new(name, ok.to_string(), "true", ok)
+    }
+
+    /// A check that `got` and `want` are equal (by `PartialEq` +
+    /// `Display`).
+    pub fn eq<T: PartialEq + std::fmt::Display>(name: impl Into<String>, got: T, want: T) -> Self {
+        let pass = got == want;
+        Check::new(name, got.to_string(), want.to_string(), pass)
+    }
+
+    /// A check that `got` lies within `±tol` of `want`.
+    pub fn approx(name: impl Into<String>, got: f64, want: f64, tol: f64) -> Self {
+        Check::new(
+            name,
+            sci(got),
+            format!("{} ± {}", sci(want), sci(tol)),
+            (got - want).abs() <= tol,
+        )
+    }
+}
+
+/// The schema-versioned result artifact of one experiment run.
+///
+/// A `Report` is pure data: deterministic for a given [`RunConfig`]
+/// (wall-clock and host facts live in the run manifest, not here), so a
+/// fixed seed produces bit-identical reports regardless of thread count
+/// or experiment schedule.
+///
+/// [`RunConfig`]: crate::experiments::RunConfig
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// JSON schema version ([`SCHEMA_VERSION`] at creation).
+    pub schema_version: u32,
+    /// Experiment id (registry key, e.g. `"threshold"`).
+    pub id: String,
+    /// Human-readable experiment title.
+    pub title: String,
+    /// Registry tags (e.g. `"mc"`, `"exact"`, `"sweep"`).
+    pub tags: Vec<String>,
+    /// Rendered result tables, in print order.
+    pub tables: Vec<Table>,
+    /// Machine-readable numeric series (figure data).
+    pub series: Vec<Series>,
+    /// Self-check assertions.
+    pub checks: Vec<Check>,
+    /// Free-form notes printed after the tables.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report for experiment `id`.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, tags: &[&str]) -> Self {
+        Report {
+            schema_version: SCHEMA_VERSION,
+            id: id.into(),
+            title: title.into(),
+            tags: tags.iter().map(|t| t.to_string()).collect(),
+            tables: Vec::new(),
+            series: Vec::new(),
+            checks: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a table.
+    pub fn table(&mut self, table: Table) -> &mut Self {
+        self.tables.push(table);
+        self
+    }
+
+    /// Appends a numeric series.
+    pub fn series(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Appends a check.
+    pub fn check(&mut self, check: Check) -> &mut Self {
+        self.checks.push(check);
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Whether every check passed (vacuously true with no checks).
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// The checks that failed.
+    pub fn failed_checks(&self) -> Vec<&Check> {
+        self.checks.iter().filter(|c| !c.pass).collect()
+    }
+
+    /// Renders the whole report as aligned text: tables, notes, then the
+    /// check verdicts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tables {
+            out.push_str(&t.render());
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "{n}");
+        }
+        if !self.checks.is_empty() {
+            let mut t = Table::new(
+                format!("{} — self-checks", self.id),
+                &["check", "got", "want", "verdict"],
+            );
+            for c in &self.checks {
+                t.row(&[
+                    c.name.clone(),
+                    c.got.clone(),
+                    c.want.clone(),
+                    if c.pass { "ok" } else { "FAILED" }.to_string(),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+        out
+    }
+
+    /// Prints the rendered report to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Concatenates every table's CSV (blank line between tables).
+    pub fn to_csv(&self) -> String {
+        self.tables
+            .iter()
+            .map(Table::to_csv)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Serializes the report to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization is infallible")
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error on malformed JSON or a shape
+    /// mismatch.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
 /// Formats a rate in compact scientific notation.
 pub fn sci(x: f64) -> String {
     if x == 0.0 {
@@ -139,6 +382,8 @@ mod tests {
         assert!(text.lines().count() >= 5);
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());
+        assert_eq!(t.title(), "demo");
+        assert_eq!(t.headers().len(), 2);
     }
 
     #[test]
@@ -163,5 +408,49 @@ mod tests {
         assert!(sci(0.005).starts_with("0.005"));
         assert!(sci(1e-7).contains('e'));
         assert!(rate_ci(0.1, 0.05, 0.2).contains('['));
+    }
+
+    #[test]
+    fn report_accumulates_and_renders() {
+        let mut r = Report::new("demo", "Demo experiment", &["exact"]);
+        let mut t = Table::new("numbers", &["k"]);
+        t.row(&["1".into()]);
+        r.table(t)
+            .series(Series::new("s", "g", "rate", vec![(1.0, 2.0)]))
+            .check(Check::bool("sanity", true))
+            .note("a note");
+        assert!(r.passed());
+        assert!(r.failed_checks().is_empty());
+        let text = r.render();
+        assert!(text.contains("numbers"));
+        assert!(text.contains("a note"));
+        assert!(text.contains("self-checks"));
+        assert!(r.to_csv().starts_with("k"));
+    }
+
+    #[test]
+    fn failed_checks_are_reported() {
+        let mut r = Report::new("demo", "Demo", &[]);
+        r.check(Check::eq("count", 3u32, 4u32));
+        assert!(!r.passed());
+        assert_eq!(r.failed_checks().len(), 1);
+        assert!(r.render().contains("FAILED"));
+        let approx = Check::approx("ratio", 0.77, 0.8, 0.05);
+        assert!(approx.pass);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let mut r = Report::new("demo", "Demo experiment", &["mc", "sweep"]);
+        let mut t = Table::new("numbers", &["k", "v"]);
+        t.row(&["1".into(), "x,y".into()]);
+        r.table(t)
+            .series(Series::new("s", "g", "rate", vec![(1e-3, 2.5e-7)]))
+            .check(Check::new("c", "got", "want", false))
+            .note("line \"quoted\"");
+        let json = r.to_json();
+        let back = Report::from_json(&json).expect("round trip");
+        assert_eq!(back, r);
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
     }
 }

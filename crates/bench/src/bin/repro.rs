@@ -2,135 +2,278 @@
 //! *“Reversible Fault-Tolerant Logic”* (Boykin & Roychowdhury, DSN 2005).
 //!
 //! ```text
-//! repro [--quick] [--trials N] [--seed S] [--backend auto|scalar|batch]
-//!       [--estimator plain|stratified|auto] [--rel-error E]
-//!       [EXPERIMENT ...]
+//! repro [list] [--quick] [--trials N] [--seed S] [--threads N]
+//!       [--backend auto|scalar|batch]
+//!       [--estimator plain|stratified[:MIN[:STRATA]]|auto]
+//!       [--rel-error E] [--json DIR] [--check] [EXPERIMENT ...]
 //! ```
 //!
-//! With no experiment IDs, everything runs. IDs (see DESIGN.md):
-//! `table1 fig2 threshold suppression blowup levelreq local table2 entropy
-//! nand advantage`.
+//! Experiments are discovered through the
+//! [`rft_analysis::experiment::registry`] (run `repro list` to print it)
+//! and executed by the cross-point parallel runner under one shared
+//! compile cache; with no experiment IDs, everything runs. Reports are
+//! deterministic per seed regardless of `--threads`.
 //!
-//! `--backend` selects the engine execution backend at runtime (the
-//! default auto-routes by trial count); `--estimator` selects the
-//! Monte-Carlo estimator — `plain` executes every trial, `stratified`
-//! (also `stratified:<min_faults>` or `stratified:<min_faults>:<strata>`)
-//! uses fault-count-stratified rare-event sampling with zero-fault
-//! elision, and the default `auto` picks stratified whenever a point is
-//! deep enough below threshold for it to pay; `--rel-error` enables
-//! adaptive early stopping at the given target relative standard error.
+//! `--json DIR` writes one schema-versioned `<id>.json` report per
+//! experiment plus a `manifest.json` (config, git describe, wall times);
+//! `--check` exits nonzero if any experiment self-check fails;
+//! `--backend` selects the engine execution backend (the default
+//! auto-routes by trial count); `--estimator` selects the Monte-Carlo
+//! estimator (`auto` routes deep-sub-threshold points to fault-count-
+//! stratified rare-event sampling); `--rel-error` enables adaptive early
+//! stopping at the given target relative standard error.
+//!
+//! Exit codes: 0 success, 1 failed self-check under `--check` (or an I/O
+//! failure), 2 usage error.
 
-use rft_analysis::experiments::{
-    ablation, advantage, blowup, entropy, fig2, levelreq, local, nand, suppression, table1, table2,
-    threshold, RunConfig,
-};
+use rft_analysis::experiment::{find, registry, run_experiments, Experiment, RunManifest};
+use rft_analysis::experiments::RunConfig;
+use std::process::ExitCode;
 use std::time::Instant;
 
-const ALL: [&str; 12] = [
-    "table1",
-    "fig2",
-    "blowup",
-    "levelreq",
-    "table2",
-    "nand",
-    "advantage",
-    "ablation",
-    "local",
-    "entropy",
-    "threshold",
-    "suppression",
-];
+struct Cli {
+    cfg: RunConfig,
+    chosen: Vec<&'static dyn Experiment>,
+    json_dir: Option<String>,
+    check: bool,
+    list: bool,
+}
 
-fn main() {
-    let mut cfg = RunConfig::full();
-    let mut chosen: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => cfg = RunConfig::quick(),
+fn usage() -> String {
+    let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+    format!(
+        "usage: repro [list] [--quick] [--trials N] [--seed S] [--threads N]\n\
+         \x20            [--backend auto|scalar|batch]\n\
+         \x20            [--estimator plain|stratified[:MIN[:STRATA]]|auto]\n\
+         \x20            [--rel-error E] [--json DIR] [--check] [EXPERIMENT ...]\n\
+         experiments: {}\n\
+         `repro list` prints the registry (id, title, tags); `--json DIR` writes\n\
+         one <id>.json report per experiment plus manifest.json; `--check` exits\n\
+         nonzero if any experiment self-check fails.",
+        ids.join(" ")
+    )
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        cfg: RunConfig::full(),
+        chosen: Vec::new(),
+        json_dir: None,
+        check: false,
+        list: false,
+    };
+    let raw: Vec<String> = args.collect();
+    let mut i = 0usize;
+    let mut quick = false;
+    let mut explicit_trials: Option<u64> = None;
+    let next_value = |i: &mut usize, flag: &str, raw: &[String]| -> Result<String, String> {
+        *i += 1;
+        raw.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < raw.len() {
+        let arg = raw[i].as_str();
+        match arg {
+            "list" => cli.list = true,
+            "--quick" => quick = true,
             "--trials" => {
-                let v = args.next().expect("--trials needs a value");
-                cfg.trials = v.parse().expect("--trials must be an integer");
+                let v = next_value(&mut i, "--trials", &raw)?;
+                let trials: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--trials must be a positive integer, got {v:?}"))?;
+                if trials == 0 {
+                    return Err("--trials must be at least 1".into());
+                }
+                explicit_trials = Some(trials);
             }
             "--seed" => {
-                let v = args.next().expect("--seed needs a value");
-                cfg.seed = v.parse().expect("--seed must be an integer");
+                let v = next_value(&mut i, "--seed", &raw)?;
+                cli.cfg.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed must be an integer, got {v:?}"))?;
+            }
+            "--threads" => {
+                let v = next_value(&mut i, "--threads", &raw)?;
+                cli.cfg.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads must be a positive integer, got {v:?}"))?;
+                if cli.cfg.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
             }
             "--backend" => {
-                let v = args.next().expect("--backend needs a value");
-                cfg.backend = v.parse().unwrap_or_else(|e| panic!("{e}"));
+                let v = next_value(&mut i, "--backend", &raw)?;
+                cli.cfg.backend = v.parse()?;
             }
             "--estimator" => {
-                let v = args.next().expect("--estimator needs a value");
-                cfg.estimator = v.parse().unwrap_or_else(|e| panic!("{e}"));
+                let v = next_value(&mut i, "--estimator", &raw)?;
+                cli.cfg.estimator = v.parse()?;
             }
             "--rel-error" => {
-                let v = args.next().expect("--rel-error needs a value");
-                let target: f64 = v.parse().expect("--rel-error must be a number");
-                assert!(
-                    target > 0.0 && target.is_finite(),
-                    "--rel-error must be positive"
-                );
-                cfg.target_rel_error = Some(target);
+                let v = next_value(&mut i, "--rel-error", &raw)?;
+                let target: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--rel-error must be a number, got {v:?}"))?;
+                if !(target > 0.0 && target.is_finite()) {
+                    return Err(format!("--rel-error must be positive and finite, got {v}"));
+                }
+                cli.cfg.target_rel_error = Some(target);
             }
-            "--help" | "-h" => {
-                println!(
-                    "usage: repro [--quick] [--trials N] [--seed S] \
-                     [--backend auto|scalar|batch] \
-                     [--estimator plain|stratified[:MIN[:STRATA]]|auto] \
-                     [--rel-error E] [EXPERIMENT ...]"
-                );
-                println!("experiments: {}", ALL.join(" "));
-                println!(
-                    "estimators: plain executes every trial; stratified uses \
-                     fault-count-stratified\nrare-event sampling (zero-fault words resolved \
-                     analytically); auto (default)\npicks stratified for deep-sub-threshold \
-                     points"
-                );
-                return;
+            "--json" => {
+                let v = next_value(&mut i, "--json", &raw)?;
+                cli.json_dir = Some(v);
             }
-            id => chosen.push(id.to_string()),
+            "--check" => cli.check = true,
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag:?}"));
+            }
+            id => match find(id) {
+                // Dedup repeats: running an experiment twice would double
+                // its wall-clock and put ambiguous entries in the manifest.
+                Some(exp) => {
+                    if !cli.chosen.iter().any(|e| e.id() == id) {
+                        cli.chosen.push(exp);
+                    }
+                }
+                None => {
+                    let ids: Vec<&str> = registry().iter().map(|e| e.id()).collect();
+                    return Err(format!(
+                        "unknown experiment {id:?}; known: {}",
+                        ids.join(" ")
+                    ));
+                }
+            },
         }
+        i += 1;
     }
-    if chosen.is_empty() {
-        chosen = ALL.iter().map(|s| s.to_string()).collect();
+    // Resolve the budget after parsing so flag order never matters: an
+    // explicit --trials always wins over --quick's reduced budget (only
+    // the trial count differs between quick() and full()).
+    cli.cfg.trials = explicit_trials.unwrap_or(if quick {
+        RunConfig::quick().trials
+    } else {
+        cli.cfg.trials
+    });
+    if cli.chosen.is_empty() {
+        cli.chosen = registry().to_vec();
+    }
+    Ok(cli)
+}
+
+fn print_registry() {
+    let mut table =
+        rft_analysis::report::Table::new("experiment registry", &["id", "title", "tags"]);
+    for exp in registry() {
+        table.row(&[
+            exp.id().to_string(),
+            exp.title().to_string(),
+            exp.tags().join(", "),
+        ]);
+    }
+    table.print();
+}
+
+fn git_describe() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8(out.stdout).ok()?;
+    let s = s.trim();
+    (!s.is_empty()).then(|| s.to_string())
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) if msg.is_empty() => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if cli.list {
+        print_registry();
+        return ExitCode::SUCCESS;
+    }
+    // Probe the output directory before spending minutes of Monte-Carlo:
+    // a typo'd or unwritable --json path should fail in milliseconds.
+    if let Some(dir) = &cli.json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("repro: cannot create --json directory {dir:?}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
 
     println!("Reversible Fault-Tolerant Logic — reproduction harness");
     println!(
         "config: trials = {}, seed = {}, threads = {}, backend = {}, estimator = {}{}\n",
-        cfg.trials,
-        cfg.seed,
-        cfg.threads,
-        cfg.backend,
-        cfg.estimator,
-        match cfg.target_rel_error {
+        cli.cfg.trials,
+        cli.cfg.seed,
+        cli.cfg.threads,
+        cli.cfg.backend,
+        cli.cfg.estimator,
+        match cli.cfg.target_rel_error {
             Some(t) => format!(", adaptive rel-error target = {t}"),
             None => String::new(),
         }
     );
 
-    for id in &chosen {
-        let start = Instant::now();
-        println!("━━━ experiment: {id} ━━━");
-        match id.as_str() {
-            "table1" => table1::run().print(),
-            "fig2" => fig2::run().print(),
-            "threshold" => threshold::run(&cfg).print(),
-            "suppression" => suppression::run(&cfg).print(),
-            "blowup" => blowup::run().print(),
-            "levelreq" => levelreq::run().print(),
-            "local" => local::run(&cfg).print(),
-            "table2" => table2::run().print(),
-            "entropy" => entropy::run(&cfg).print(),
-            "nand" => nand::run().print(),
-            "advantage" => advantage::run().print(),
-            "ablation" => ablation::run(&cfg).print(),
-            other => {
-                eprintln!("unknown experiment {other:?}; known: {}", ALL.join(" "));
-                std::process::exit(2);
-            }
+    let start = Instant::now();
+    let runs = run_experiments(&cli.chosen, &cli.cfg);
+    let total = start.elapsed();
+
+    let mut all_passed = true;
+    for run in &runs {
+        println!("━━━ experiment: {} ━━━", run.id);
+        run.report.print();
+        println!("({} done in {:.1?})\n", run.id, run.wall);
+        for check in run.report.failed_checks() {
+            all_passed = false;
+            eprintln!(
+                "repro: CHECK FAILED [{}] {}: got {}, want {}",
+                run.id, check.name, check.got, check.want
+            );
         }
-        println!("({} done in {:.1?})\n", id, start.elapsed());
     }
+    println!(
+        "{} experiment(s) in {:.1?} (threads = {})",
+        runs.len(),
+        total,
+        cli.cfg.threads
+    );
+
+    if let Some(dir) = &cli.json_dir {
+        let mut manifest = RunManifest::new(cli.cfg, git_describe(), total);
+        for run in &runs {
+            let file = format!("{}.json", run.id);
+            let path = std::path::Path::new(dir).join(&file);
+            if let Err(e) = std::fs::write(&path, run.report.to_json()) {
+                eprintln!("repro: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            manifest.push(run, file);
+        }
+        let path = std::path::Path::new(dir).join("manifest.json");
+        if let Err(e) = std::fs::write(&path, manifest.to_json()) {
+            eprintln!("repro: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} report(s) + manifest.json to {dir}/", runs.len());
+    }
+
+    if cli.check && !all_passed {
+        eprintln!("repro: some self-checks failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -1,22 +1,20 @@
-//! Batch executors: ideal bit-parallel runs, plus deprecated shims for
-//! the noisy free-function API that predates [`crate::engine`].
+//! Batch executors: ideal bit-parallel runs and the [`BatchExecReport`]
+//! shared with the engine's noisy word loops.
 //!
 //! Fault semantics match the scalar executors lane-for-lane: every
-//! operation fails independently with its [`NoiseModel`] probability in
-//! each lane; a failing operation skips execution and replaces its support
-//! bits with independent uniform random bits. The implementation lives in
-//! [`crate::engine`] — compile an [`Engine`] and
-//! call [`Engine::run_batch`](crate::engine::Engine::run_batch) instead of
-//! the deprecated functions here.
+//! operation fails independently with its
+//! [`NoiseModel`](crate::noise::NoiseModel) probability in each lane; a
+//! failing operation skips execution and replaces its support bits with
+//! independent uniform random bits. The noisy implementation lives in
+//! [`crate::engine`] — compile an [`Engine`](crate::engine::Engine) and
+//! call [`Engine::run_batch`](crate::engine::Engine::run_batch).
 
 use super::BatchState;
 use crate::circuit::Circuit;
-use crate::engine::{self, Engine, FaultTable};
-use crate::noise::NoiseModel;
-use rand::Rng;
 
 /// What happened during one noisy batch run (sampled faults via
-/// [`Engine::run_batch`] or a precomputed conditional schedule via
+/// [`Engine::run_batch`](crate::engine::Engine::run_batch) or a
+/// precomputed conditional schedule via
 /// [`Backend::run_masked`](crate::engine::Backend::run_masked)).
 ///
 /// The `faulted_lanes` masks drive two elisions in the engine's hot
@@ -57,88 +55,11 @@ pub fn run_ideal_batch(circuit: &Circuit, batch: &mut BatchState) {
     }
 }
 
-/// A [`NoiseModel`] pre-compiled against one circuit for batch execution.
-///
-/// Subsumed by [`Engine`], which owns the same fault table *and* the
-/// circuit, so it cannot go stale against the wrong op stream.
-#[deprecated(
-    since = "0.2.0",
-    note = "use rft_revsim::engine::Engine::compile, which owns the fault table"
-)]
-#[derive(Debug, Clone)]
-pub struct CompiledNoise {
-    pub(crate) table: FaultTable,
-}
-
-#[allow(deprecated)]
-impl CompiledNoise {
-    /// Compiles `noise` for `circuit`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the model reports a probability outside `[0, 1]`.
-    pub fn compile<N: NoiseModel + ?Sized>(circuit: &Circuit, noise: &N) -> Self {
-        CompiledNoise {
-            table: FaultTable::compile(circuit, noise),
-        }
-    }
-
-    /// Number of operations this noise was compiled for.
-    pub fn n_ops(&self) -> usize {
-        self.table.n_ops()
-    }
-}
-
-/// Runs `circuit` on every lane of `batch` under pre-compiled noise.
-///
-/// # Panics
-///
-/// Panics if the batch width, circuit width or compiled-noise op count
-/// disagree.
-#[deprecated(
-    since = "0.2.0",
-    note = "use rft_revsim::engine::Engine::{compile, run_batch}"
-)]
-#[allow(deprecated)]
-pub fn run_noisy_batch_with<R>(
-    circuit: &Circuit,
-    batch: &mut BatchState,
-    noise: &CompiledNoise,
-    rng: &mut R,
-) -> BatchExecReport
-where
-    R: Rng + ?Sized,
-{
-    engine::run_batch_words(circuit, &noise.table, batch, rng)
-}
-
-/// Runs `circuit` on every lane of `batch`, failing each operation
-/// independently per `noise` (compiles the noise on the fly).
-///
-/// # Panics
-///
-/// Panics if the batch width does not match the circuit width.
-#[deprecated(
-    since = "0.2.0",
-    note = "use rft_revsim::engine::Engine::{compile, run_batch}"
-)]
-pub fn run_noisy_batch<N, R>(
-    circuit: &Circuit,
-    batch: &mut BatchState,
-    noise: &N,
-    rng: &mut R,
-) -> BatchExecReport
-where
-    N: NoiseModel + ?Sized,
-    R: Rng + ?Sized,
-{
-    Engine::compile(circuit, noise).run_batch(batch, rng)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::noise::{NoNoise, UniformNoise};
+    use crate::engine::Engine;
+    use crate::noise::UniformNoise;
     use crate::state::BitState;
     use crate::wire::w;
     use rand::rngs::SmallRng;
@@ -192,29 +113,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_engine() {
-        // The legacy free functions and the engine must share one
-        // implementation: identical streams, identical results.
+    fn engine_batch_run_is_seed_deterministic() {
+        // One shared implementation behind the engine: identical seeds,
+        // identical streams, identical results.
         let c = recovery_like_circuit();
         let noise = UniformNoise::new(0.1);
         let engine = Engine::compile(&c, &noise);
-        let compiled = CompiledNoise::compile(&c, &noise);
-        assert_eq!(compiled.n_ops(), c.len());
-
-        let mut via_engine = BatchState::zeros(9, 2);
-        let mut via_shim = BatchState::zeros(9, 2);
-        let mut via_oneshot = BatchState::zeros(9, 2);
+        let mut batch_a = BatchState::zeros(9, 2);
+        let mut batch_b = BatchState::zeros(9, 2);
         let mut rng_a = SmallRng::seed_from_u64(11);
         let mut rng_b = SmallRng::seed_from_u64(11);
-        let mut rng_c = SmallRng::seed_from_u64(11);
-        let a = engine.run_batch(&mut via_engine, &mut rng_a);
-        let b = run_noisy_batch_with(&c, &mut via_shim, &compiled, &mut rng_b);
-        let d = run_noisy_batch(&c, &mut via_oneshot, &noise, &mut rng_c);
+        let a = engine.run_batch(&mut batch_a, &mut rng_a);
+        let b = engine.run_batch(&mut batch_b, &mut rng_b);
         assert_eq!(a, b);
-        assert_eq!(a, d);
-        assert_eq!(via_engine, via_shim);
-        assert_eq!(via_engine, via_oneshot);
+        assert_eq!(batch_a, batch_b);
+        assert!(a.fault_events > 0, "g = 0.1 over 2 words should fault");
     }
 
     #[test]
@@ -223,18 +136,5 @@ mod tests {
         let c = Circuit::new(3);
         let mut batch = BatchState::zeros(4, 1);
         run_ideal_batch(&c, &mut batch);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "compiled noise")]
-    fn stale_compiled_noise_panics() {
-        let mut c = Circuit::new(2);
-        c.not(w(0));
-        let compiled = CompiledNoise::compile(&c, &NoNoise);
-        c.not(w(1));
-        let mut batch = BatchState::zeros(2, 1);
-        let mut rng = SmallRng::seed_from_u64(0);
-        let _ = run_noisy_batch_with(&c, &mut batch, &compiled, &mut rng);
     }
 }

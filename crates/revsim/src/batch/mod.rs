@@ -33,8 +33,6 @@ pub mod exec;
 pub mod kernels;
 
 pub use exec::{run_ideal_batch, BatchExecReport};
-#[allow(deprecated)]
-pub use exec::{run_noisy_batch, run_noisy_batch_with, CompiledNoise};
 
 use crate::state::BitState;
 use crate::wire::Wire;

@@ -542,8 +542,7 @@ fn place_uniform<R: Rng + ?Sized>(
 }
 
 /// Executes the batch word loop for `circuit` under `table` — the single
-/// implementation behind [`Engine::run_batch`], [`BatchBackend`] and the
-/// deprecated [`crate::batch::run_noisy_batch_with`] shim.
+/// implementation behind [`Engine::run_batch`] and [`BatchBackend`].
 pub(crate) fn run_batch_words<R: Rng + ?Sized>(
     circuit: &Circuit,
     table: &FaultTable,

@@ -7,15 +7,17 @@
 //! outputs", §4). A failing initialization likewise leaves random bits
 //! instead of zeros.
 //!
-//! The noisy and planned-fault free functions here are deprecated shims:
-//! compile an [`Engine`] (or use
-//! [`PlannedFaultBackend`]) and reuse
-//! it across runs instead of re-deriving fault probabilities per call.
+//! Noisy and planned-fault execution live on the [`Engine`] facade
+//! ([`Engine::run_scalar`], [`Engine::run_scalar_observed`],
+//! [`PlannedFaultBackend`](crate::engine::PlannedFaultBackend)): compile
+//! once and reuse across runs instead of re-deriving fault probabilities
+//! per call.
+//!
+//! [`Engine`]: crate::engine::Engine
+//! [`Engine::run_scalar`]: crate::engine::Engine::run_scalar
+//! [`Engine::run_scalar_observed`]: crate::engine::Engine::run_scalar_observed
 
 use crate::circuit::Circuit;
-use crate::engine::{Engine, PlannedFaultBackend};
-use crate::fault::FaultPlan;
-use crate::noise::NoiseModel;
 use crate::state::BitState;
 use crate::wire::Wire;
 use rand::Rng;
@@ -67,55 +69,9 @@ pub fn run_ideal(circuit: &Circuit, state: &mut BitState) {
     circuit.run(state);
 }
 
-/// Runs `circuit` on `state`, failing each operation independently per
-/// `noise`. Returns which operations faulted.
-///
-/// # Panics
-///
-/// Panics if the state width does not match the circuit width.
-#[deprecated(
-    since = "0.2.0",
-    note = "use rft_revsim::engine::Engine::{compile, run_scalar}"
-)]
-pub fn run_noisy<N, R>(
-    circuit: &Circuit,
-    state: &mut BitState,
-    noise: &N,
-    rng: &mut R,
-) -> ExecReport
-where
-    N: NoiseModel + ?Sized,
-    R: Rng + ?Sized,
-{
-    Engine::compile(circuit, noise).run_scalar(state, rng)
-}
-
-/// Noisy scalar run with observer hooks.
-///
-/// # Panics
-///
-/// Panics if the state width does not match the circuit width.
-#[deprecated(
-    since = "0.2.0",
-    note = "use rft_revsim::engine::Engine::{compile, run_scalar_observed}"
-)]
-pub fn run_noisy_observed<N, R>(
-    circuit: &Circuit,
-    state: &mut BitState,
-    noise: &N,
-    rng: &mut R,
-    observer: &mut dyn ExecObserver,
-) -> ExecReport
-where
-    N: NoiseModel + ?Sized,
-    R: Rng + ?Sized,
-{
-    Engine::compile(circuit, noise).run_scalar_observed(state, rng, observer)
-}
-
 /// Runs `circuit` with a uniform fault rate `g`, skipping fault-free
 /// stretches geometrically. Statistically identical to
-/// [`Engine::run_scalar`] under
+/// [`Engine::run_scalar`](crate::engine::Engine::run_scalar) under
 /// [`UniformNoise`](crate::noise::UniformNoise) but much faster when `g`
 /// is small (the common regime: the paper's thresholds are `1/108` and
 /// below).
@@ -177,26 +133,11 @@ fn sample_gap<R: Rng + ?Sized>(rng: &mut R, log1m: f64) -> u64 {
     (u.ln() / log1m) as u64
 }
 
-/// Runs `circuit` injecting exactly the faults in `plan`.
-///
-/// A planned fault writes its pattern onto the operation's support instead
-/// of executing the operation — enumerating patterns therefore covers every
-/// outcome the random model could produce.
-///
-/// # Panics
-///
-/// Panics if the widths mismatch or a planned index is out of range.
-#[deprecated(
-    since = "0.2.0",
-    note = "use rft_revsim::engine::PlannedFaultBackend::run_state"
-)]
-pub fn run_with_plan(circuit: &Circuit, state: &mut BitState, plan: &FaultPlan) {
-    PlannedFaultBackend::new(plan).run_state(circuit, state);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{Engine, PlannedFaultBackend};
+    use crate::fault::FaultPlan;
     use crate::noise::{NoNoise, UniformNoise};
     use crate::wire::w;
     use rand::rngs::SmallRng;
@@ -216,42 +157,38 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_engine() {
-        // Same seed ⇒ identical fault sequences: the shims and the engine
-        // share one scalar implementation and RNG schedule.
+    fn engine_scalar_run_is_seed_deterministic() {
+        // Same seed ⇒ identical fault sequences and final states.
         let c = recovery_like_circuit();
         let noise = UniformNoise::new(0.2);
         let engine = Engine::compile(&c, &noise);
-        let mut s_shim = BitState::zeros(9);
-        let mut s_engine = BitState::zeros(9);
+        let mut s_a = BitState::zeros(9);
+        let mut s_b = BitState::zeros(9);
         let mut rng_a = SmallRng::seed_from_u64(17);
         let mut rng_b = SmallRng::seed_from_u64(17);
-        let a = run_noisy(&c, &mut s_shim, &noise, &mut rng_a);
-        let b = engine.run_scalar(&mut s_engine, &mut rng_b);
+        let a = engine.run_scalar(&mut s_a, &mut rng_a);
+        let b = engine.run_scalar(&mut s_b, &mut rng_b);
         assert_eq!(a, b);
-        assert_eq!(s_shim, s_engine);
+        assert_eq!(s_a, s_b);
     }
 
     #[test]
-    #[allow(deprecated)]
     fn planned_fault_overrides_one_op() {
         let mut c = Circuit::new(3);
         c.not(w(0)).not(w(1));
         let mut s = BitState::zeros(3);
         // op 0 "fails" leaving 0 on its support; op 1 runs normally.
-        run_with_plan(&c, &mut s, &FaultPlan::single(0, 0));
+        PlannedFaultBackend::new(&FaultPlan::single(0, 0)).run_state(&c, &mut s);
         assert!(!s.get(w(0)));
         assert!(s.get(w(1)));
     }
 
     #[test]
-    #[allow(deprecated)]
     fn planned_fault_pattern_maps_to_support_order() {
         let mut c = Circuit::new(3);
         c.maj(w(2), w(0), w(1)); // support order: q2, q0, q1
         let mut s = BitState::zeros(3);
-        run_with_plan(&c, &mut s, &FaultPlan::single(0, 0b011));
+        PlannedFaultBackend::new(&FaultPlan::single(0, 0b011)).run_state(&c, &mut s);
         // bit0 of pattern -> q2, bit1 -> q0, bit2 -> q1
         assert!(s.get(w(2)));
         assert!(s.get(w(0)));
@@ -320,12 +257,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     #[should_panic(expected = "state width")]
     fn width_mismatch_panics() {
         let c = Circuit::new(3);
         let mut s = BitState::zeros(4);
         let mut rng = SmallRng::seed_from_u64(0);
-        let _ = run_noisy(&c, &mut s, &NoNoise, &mut rng);
+        let _ = Engine::compile(&c, &NoNoise).run_scalar(&mut s, &mut rng);
     }
 }

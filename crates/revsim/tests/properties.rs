@@ -120,7 +120,7 @@ proptest! {
         prop_assert_eq!(composed.inverse(), pb.inverse().compose(&pa.inverse()));
     }
 
-    /// `run_with_plan` with an empty plan equals the ideal run.
+    /// A planned run with an empty plan equals the ideal run.
     #[test]
     fn empty_plan_is_ideal(c in arb_circuit(20), input in 0u64..(1 << N_WIRES)) {
         let mut a = BitState::from_u64(input, N_WIRES);

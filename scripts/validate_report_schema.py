@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Validate `repro --json` output against the documented report schema.
+
+Usage: validate_report_schema.py DIR
+
+DIR must contain manifest.json plus one <id>.json per experiment the
+manifest lists. Exits nonzero (with a message per violation) if any file
+is missing, malformed, or shaped differently from the schema documented
+in BENCH_NOTES.md (schema_version 1).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+
+def fail(errors):
+    for e in errors:
+        print(f"schema violation: {e}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path, errors):
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(f"{path}: unreadable or malformed JSON: {e}")
+        return None
+
+
+def check_type(errors, obj, key, types, where):
+    if key not in obj:
+        errors.append(f"{where}: missing key {key!r}")
+        return None
+    if not isinstance(obj[key], types):
+        errors.append(
+            f"{where}: {key!r} should be {types}, got {type(obj[key]).__name__}"
+        )
+        return None
+    return obj[key]
+
+
+def validate_report(report, where, errors):
+    if check_type(errors, report, "schema_version", int, where) != SCHEMA_VERSION:
+        errors.append(f"{where}: schema_version must be {SCHEMA_VERSION}")
+    check_type(errors, report, "id", str, where)
+    check_type(errors, report, "title", str, where)
+    tags = check_type(errors, report, "tags", list, where) or []
+    if not tags:
+        errors.append(f"{where}: tags must be non-empty")
+    for t in check_type(errors, report, "tables", list, where) or []:
+        headers = check_type(errors, t, "headers", list, f"{where}/table")
+        for row in check_type(errors, t, "rows", list, f"{where}/table") or []:
+            if headers is not None and len(row) != len(headers):
+                errors.append(f"{where}/table {t.get('title')!r}: ragged row")
+    for s in check_type(errors, report, "series", list, where) or []:
+        for key in ("name", "x_label", "y_label"):
+            check_type(errors, s, key, str, f"{where}/series")
+        for pt in check_type(errors, s, "points", list, f"{where}/series") or []:
+            # NaN/Inf serialize as JSON null — reject them too, or the
+            # documented Report::from_json round trip breaks downstream.
+            numeric = isinstance(pt, list) and len(pt) == 2 and all(
+                isinstance(v, (int, float)) and not isinstance(v, bool) for v in pt
+            )
+            if not numeric:
+                errors.append(f"{where}/series {s.get('name')!r}: bad point {pt!r}")
+    checks = check_type(errors, report, "checks", list, where) or []
+    for c in checks:
+        check_type(errors, c, "name", str, f"{where}/check")
+        check_type(errors, c, "got", str, f"{where}/check")
+        check_type(errors, c, "want", str, f"{where}/check")
+        check_type(errors, c, "pass", bool, f"{where}/check")
+    check_type(errors, report, "notes", list, where)
+    return checks
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    out = Path(sys.argv[1])
+    errors = []
+
+    manifest_path = out / "manifest.json"
+    if not manifest_path.is_file():
+        fail([f"{manifest_path} not found"])
+    manifest = load_json(manifest_path, errors)
+    if manifest is None:
+        fail(errors)
+    where = "manifest.json"
+    if check_type(errors, manifest, "schema_version", int, where) != SCHEMA_VERSION:
+        errors.append(f"{where}: schema_version must be {SCHEMA_VERSION}")
+    config = check_type(errors, manifest, "config", dict, where) or {}
+    for key in ("trials", "seed", "threads"):
+        check_type(errors, config, key, int, f"{where}/config")
+    check_type(errors, manifest, "wall_ms", (int, float), where)
+    entries = check_type(errors, manifest, "experiments", list, where) or []
+    if not entries:
+        errors.append(f"{where}: experiments must be non-empty")
+
+    for n, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            errors.append(f"manifest experiments[{n}]: not an object: {entry!r}")
+            continue
+        eid = entry.get("id", "?")
+        where = f"manifest entry {eid!r}"
+        check_type(errors, entry, "id", str, where)
+        check_type(errors, entry, "title", str, where)
+        check_type(errors, entry, "passed", bool, where)
+        check_type(errors, entry, "checks", int, where)
+        check_type(errors, entry, "wall_ms", (int, float), where)
+        file = check_type(errors, entry, "file", str, where)
+        if file is None:
+            continue
+        path = out / file
+        if not path.is_file():
+            errors.append(f"{where}: report file {file} not found")
+            continue
+        report = load_json(path, errors)
+        if not isinstance(report, dict):
+            if report is not None:
+                errors.append(f"{file}: top level is not an object")
+            continue
+        checks = validate_report(report, file, errors)
+        if report.get("id") != entry.get("id"):
+            errors.append(f"{file}: id {report.get('id')!r} != manifest {eid!r}")
+        if len(checks) != entry.get("checks"):
+            errors.append(f"{file}: {len(checks)} checks != manifest {entry.get('checks')}")
+        if entry.get("passed") != all(c.get("pass") for c in checks):
+            errors.append(f"{file}: manifest 'passed' disagrees with checks")
+
+    if errors:
+        fail(errors)
+    print(f"validated manifest + {len(entries)} report file(s) in {out}/: schema OK")
+
+
+if __name__ == "__main__":
+    main()
