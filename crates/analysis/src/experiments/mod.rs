@@ -36,7 +36,7 @@ pub mod table1;
 pub mod table2;
 pub mod threshold;
 
-use rft_revsim::engine::{BackendKind, Estimator, McOptions};
+use rft_revsim::engine::{BackendKind, Estimator, McOptions, WordWidth};
 use serde::{Deserialize, Serialize};
 
 /// Monte-Carlo budget shared by the experiments — the experiment-facing
@@ -57,6 +57,9 @@ pub struct RunConfig {
     /// Estimator selection policy (auto routes deep-sub-threshold points
     /// to the fault-count-stratified rare-event estimator).
     pub estimator: Estimator,
+    /// Wide-word width of the batch word loops (pure throughput: results
+    /// are bit-identical at any width).
+    pub width: WordWidth,
     /// Optional adaptive early stopping at this target relative error.
     pub target_rel_error: Option<f64>,
 }
@@ -70,6 +73,7 @@ impl RunConfig {
             threads: default_threads(),
             backend: BackendKind::Auto,
             estimator: Estimator::Auto,
+            width: WordWidth::Auto,
             target_rel_error: None,
         }
     }
@@ -89,7 +93,8 @@ impl RunConfig {
             .seed(self.seed)
             .threads(self.threads)
             .backend(self.backend)
-            .estimator(self.estimator);
+            .estimator(self.estimator)
+            .width(self.width);
         match self.target_rel_error {
             Some(target) => opts.target_rel_error(target),
             None => opts,

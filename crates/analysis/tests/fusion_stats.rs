@@ -1,0 +1,95 @@
+//! Compile-pipeline guarantees on the real concatenated streams — the CI
+//! gate against fusion silently regressing to the raw op stream, plus
+//! width-invariance of the production estimators.
+
+use rft_analysis::prelude::*;
+use rft_revsim::engine::WordWidth;
+use rft_revsim::prelude::*;
+
+fn toffoli() -> Gate {
+    Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    }
+}
+
+/// The CI fusion assertion: the 585-op level-2 stream must compile to
+/// multi-op fused segments (if this fails, the fusion pass has been
+/// accidentally disabled and the fused_vs_raw bench numbers are
+/// meaningless).
+#[test]
+fn level2_stream_compiles_to_fused_segments() {
+    let mc = ConcatMc::new(2, toffoli(), 1);
+    let engine = mc.engine(&UniformNoise::new(1e-3));
+    let stats = engine.compile_stats();
+    assert_eq!(stats.ops, 585);
+    assert!(
+        stats.fused_segments > 0 && stats.max_segment_len > 1,
+        "fusion disabled on the level-2 stream: {stats:?}"
+    );
+    assert!(
+        stats.micro_ops < stats.ops,
+        "fusion did not shrink the op stream: {stats:?}"
+    );
+    // Deep below threshold the recovery blocks (INIT pairs + MAJ⁻¹
+    // fan-out on fresh ancillas) specialize.
+    assert!(
+        stats.specialized_ops > 100,
+        "known-constant MAJ⁻¹ specialization missing: {stats:?}"
+    );
+    // Histogram is consistent with the segment counts.
+    let hist_total: usize = stats.segment_len_hist.iter().map(|&(_, n)| n).sum();
+    assert_eq!(hist_total, stats.fused_segments);
+    let hist_ops: usize = stats.segment_len_hist.iter().map(|&(l, n)| l * n).sum();
+    assert_eq!(hist_ops, stats.fused_ops);
+}
+
+/// The 27-op Figure-2 stream fuses its INIT runs even at the classic
+/// benchmark noise (where MAJ⁻¹ specialization is gated off).
+#[test]
+fn fig2_stream_fuses_at_bench_noise() {
+    let mc = ConcatMc::new(1, toffoli(), 1);
+    let engine = mc.engine(&UniformNoise::new(1.0 / 165.0));
+    let stats = engine.compile_stats();
+    assert_eq!(stats.ops, 27);
+    assert!(stats.max_segment_len > 1, "no fusion on fig2: {stats:?}");
+}
+
+/// Level-1 and level-2 estimates are bit-identical at every wide-word
+/// width, across estimators — through the full ConcatMc production path.
+#[test]
+fn concat_estimates_are_width_invariant() {
+    let mc = ConcatMc::new(1, toffoli(), 1);
+    let noise = UniformNoise::new(0.01);
+    for estimator in [Estimator::Plain, Estimator::Auto] {
+        let base = McOptions::new(4_096).seed(7).estimator(estimator);
+        let w1 = mc.estimate_outcome(&noise, &base.width(WordWidth::W1));
+        let w2 = mc.estimate_outcome(&noise, &base.width(WordWidth::W2));
+        let w4 = mc.estimate_outcome(&noise, &base.width(WordWidth::W4));
+        let auto = mc.estimate_outcome(&noise, &base.width(WordWidth::Auto));
+        assert_eq!(w1, w2, "{estimator}: W2 differs");
+        assert_eq!(w1, w4, "{estimator}: W4 differs");
+        assert_eq!(w1, auto, "{estimator}: Auto differs");
+    }
+    // Stratified rare-event path, wide vs narrow and vs scalar.
+    let deep = UniformNoise::new(1e-3);
+    let base = McOptions::new(8_192).seed(11).stratified(2, 4);
+    let w1 = mc.estimate_outcome(&deep, &base.width(WordWidth::W1));
+    let w4 = mc.estimate_outcome(&deep, &base.width(WordWidth::W4));
+    let scalar = mc.estimate_outcome(&deep, &base.backend(BackendKind::Scalar));
+    assert_eq!(w1, w4, "stratified: W4 differs");
+    assert_eq!(w1.failures, scalar.failures, "stratified: scalar differs");
+    assert_eq!(w1.strata, scalar.strata);
+}
+
+/// Width is thread-count independent too (chunk grouping never crosses
+/// word boundaries' RNG streams).
+#[test]
+fn width_and_threads_commute() {
+    let mc = ConcatMc::new(1, toffoli(), 1);
+    let noise = UniformNoise::new(0.02);
+    let base = McOptions::new(4_096).seed(3).width(WordWidth::W4);
+    let t1 = mc.estimate_outcome(&noise, &base.threads(1));
+    let t3 = mc.estimate_outcome(&noise, &base.threads(3));
+    assert_eq!(t1, t3);
+}

@@ -1,0 +1,156 @@
+//! Compiled micro-op word loops vs the raw op-at-a-time loops.
+//!
+//! The `fused_vs_raw` group is the PR 5 headline, on the two op streams
+//! the reproduction actually runs hot (27-op Figure-2 recovery cycle,
+//! 585-op level-2 concatenated Toffoli):
+//!
+//! - `run_*` — the **sampled** word loop (`batch_raw_exec`-equivalent,
+//!   same `g = 1/165` noise as BENCH_batch.json): `run_raw_w1` is the
+//!   pre-IR [`Engine::run_batch`]; `run_fused_w1`/`run_fused_w4` is the
+//!   compiled program via [`Engine::run_batch_fused`]. This loop is
+//!   bounded by the pinned RNG stream (one mask draw per op per word,
+//!   plus every fault's placement and plane draws), so the win here is
+//!   the kernel/dispatch share only.
+//! - `masked_*` — the **masked** word loop (the stratified rare-event
+//!   executor, [`Engine::run_batch_masked`] vs the raw reference):
+//!   `clean` runs an all-clear schedule (the fused floor — what a
+//!   schedule-clean word costs), `sparse` a plain-MC-like `g = 10⁻³`
+//!   schedule. This is where fusion + wide words pay ≥ 2×.
+//!
+//! Throughput is lanes (trials) per iteration so criterion's elements/s
+//! are comparable across widths. `stratified_width` times the full
+//! stratified estimate (mask building included) at widths 1 and 4.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rft_analysis::prelude::*;
+use rft_core::ftcheck::transversal_cycle;
+use rft_revsim::engine::WordWidth;
+use rft_revsim::prelude::*;
+use std::hint::black_box;
+
+fn toffoli() -> Gate {
+    Gate::Toffoli {
+        controls: [w(0), w(1)],
+        target: w(2),
+    }
+}
+
+fn streams() -> Vec<(&'static str, Circuit)> {
+    let fig2 = transversal_cycle(&toffoli()).circuit().clone();
+    let level2 = ConcatMc::new(2, toffoli(), 1).program().circuit().clone();
+    vec![("fig2_27_ops", fig2), ("level2_585_ops", level2)]
+}
+
+/// Raw vs fused word execution, sampled and masked paths.
+fn fused_vs_raw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_vs_raw");
+    group.sample_size(20);
+    for (name, circuit) in streams() {
+        let n = circuit.n_wires();
+
+        // Sampled loop at the BENCH_batch.json noise.
+        let engine = Engine::compile(&circuit, &UniformNoise::new(1.0 / 165.0));
+        let stats = engine.compile_stats();
+        assert!(
+            stats.max_segment_len > 1,
+            "{name}: fusion disabled (no >1-op segments)"
+        );
+        group.throughput(Throughput::Elements(64));
+        group.bench_function(format!("run_raw_w1/{name}"), |b| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            let mut batch = BatchState::zeros(n, 1);
+            b.iter(|| black_box(engine.run_batch(&mut batch, &mut rng).fault_events));
+        });
+        group.bench_function(format!("run_fused_w1/{name}"), |b| {
+            let mut rngs = [SmallRng::seed_from_u64(3)];
+            let mut batch = BatchState::zeros(n, 1);
+            b.iter(|| black_box(engine.run_batch_fused(&mut batch, &mut rngs).fault_events));
+        });
+        group.throughput(Throughput::Elements(256));
+        group.bench_function(format!("run_fused_w4/{name}"), |b| {
+            let mut rngs: [SmallRng; 4] =
+                std::array::from_fn(|k| SmallRng::seed_from_u64(3 + k as u64));
+            let mut batch = BatchState::zeros(n, 4);
+            b.iter(|| {
+                black_box(
+                    engine
+                        .run_batch_fused(&mut batch, &mut rngs[..])
+                        .fault_events,
+                )
+            });
+        });
+
+        // Masked (rare-event) loop at the BENCH_rare_event.json noise.
+        let engine = Engine::compile(&circuit, &UniformNoise::new(1e-3));
+        let n_ops = circuit.len();
+        let clean = vec![0u64; n_ops];
+        let mut seeder = SmallRng::seed_from_u64(99);
+        let sparse: Vec<u64> = (0..n_ops)
+            .map(|_| {
+                (0..64).fold(0u64, |v, _| {
+                    (v << 1) | u64::from(seeder.random::<f64>() < 1e-3)
+                })
+            })
+            .collect();
+        for (sched, masks) in [("clean", &clean), ("sparse_g1e-3", &sparse)] {
+            group.throughput(Throughput::Elements(64));
+            group.bench_function(format!("masked_{sched}_raw_w1/{name}"), |b| {
+                let mut rng = SmallRng::seed_from_u64(5);
+                let mut batch = BatchState::zeros(n, 1);
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .run_batch_masked_raw(&mut batch, masks, &mut rng)
+                            .fault_events,
+                    )
+                });
+            });
+            group.throughput(Throughput::Elements(256));
+            group.bench_function(format!("masked_{sched}_fused_w4/{name}"), |b| {
+                let mut rngs: [SmallRng; 4] =
+                    std::array::from_fn(|k| SmallRng::seed_from_u64(5 + k as u64));
+                let mut batch = BatchState::zeros(n, 4);
+                let mut flat = vec![0u64; n_ops * 4];
+                for (i, &m) in masks.iter().enumerate() {
+                    flat[i * 4..(i + 1) * 4].fill(m);
+                }
+                b.iter(|| {
+                    black_box(
+                        engine
+                            .run_batch_masked(&mut batch, &flat, &mut rngs[..])
+                            .fault_events,
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The full stratified (masked-schedule) estimate at widths 1 and 4 —
+/// the rare-event path end to end, conditional mask building included.
+fn stratified_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stratified_width");
+    group.sample_size(10);
+    let mc = ConcatMc::new(2, toffoli(), 1);
+    let noise = UniformNoise::new(1e-3);
+    let engine = mc.engine(&noise);
+    const TRIALS: u64 = 16_384;
+    group.throughput(Throughput::Elements(TRIALS));
+    for width in [WordWidth::W1, WordWidth::W4] {
+        group.bench_function(format!("level2_g1e-3_w{width}"), |b| {
+            let opts = McOptions::new(TRIALS)
+                .seed(1)
+                .threads(1)
+                .stratified(4, 4)
+                .width(width);
+            b.iter(|| black_box(engine.estimate(&mc.trial(), &opts).failures));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fused_vs_raw, stratified_width);
+criterion_main!(benches);

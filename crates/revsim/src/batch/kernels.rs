@@ -125,6 +125,122 @@ pub fn apply_word_masked(
     }
 }
 
+/// Applies `op` to the full `W`-word wide word of every wire it touches —
+/// the [`crate::microop`] fast path. Requires `state.words_per_wire() ==
+/// W`; the element-wise `[u64; W]` logic autovectorizes (a wide word is
+/// `W` consecutive 64-lane logical words).
+#[inline]
+pub(crate) fn apply_wide<const W: usize>(state: &mut BatchState, op: &Op) {
+    if W == 1 {
+        // The single-word kernels index planes directly — slightly
+        // better codegen than the degenerate `[u64; 1]` slice ops.
+        apply_word(state, op, 0);
+        return;
+    }
+    #[inline]
+    fn xor<const W: usize>(mut a: [u64; W], b: [u64; W]) -> [u64; W] {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x ^= y;
+        }
+        a
+    }
+    #[inline]
+    fn and<const W: usize>(mut a: [u64; W], b: [u64; W]) -> [u64; W] {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x &= y;
+        }
+        a
+    }
+    let gate = match op {
+        Op::Gate(g) => g,
+        Op::Init(init) => {
+            for &wire in init.wires() {
+                state.set_wide(wire, [0u64; W]);
+            }
+            return;
+        }
+    };
+    match *gate {
+        Gate::Not(a) => {
+            let mut va = state.wide::<W>(a);
+            for x in va.iter_mut() {
+                *x = !*x;
+            }
+            state.set_wide(a, va);
+        }
+        Gate::Cnot { control, target } => {
+            let c = state.wide::<W>(control);
+            state.xor_wide(target, c);
+        }
+        Gate::Toffoli {
+            controls: [c0, c1],
+            target,
+        } => {
+            let c = and(state.wide::<W>(c0), state.wide::<W>(c1));
+            state.xor_wide(target, c);
+        }
+        Gate::Swap(a, b) => {
+            let (va, vb) = (state.wide::<W>(a), state.wide::<W>(b));
+            state.set_wide(a, vb);
+            state.set_wide(b, va);
+        }
+        Gate::Swap3(a, b, c) => {
+            let (va, vb, vc) = (state.wide::<W>(a), state.wide::<W>(b), state.wide::<W>(c));
+            state.set_wide(a, vb);
+            state.set_wide(b, vc);
+            state.set_wide(c, va);
+        }
+        Gate::Fredkin {
+            control,
+            targets: [t0, t1],
+        } => {
+            let d = and(
+                xor(state.wide::<W>(t0), state.wide::<W>(t1)),
+                state.wide::<W>(control),
+            );
+            state.xor_wide(t0, d);
+            state.xor_wide(t1, d);
+        }
+        Gate::Maj(a, b, c) => {
+            let va = state.wide::<W>(a);
+            let vb = xor(state.wide::<W>(b), va);
+            let vc = xor(state.wide::<W>(c), va);
+            state.set_wide(b, vb);
+            state.set_wide(c, vc);
+            state.set_wide(a, xor(va, and(vb, vc)));
+        }
+        Gate::MajInv(a, b, c) => {
+            let vb = state.wide::<W>(b);
+            let vc = state.wide::<W>(c);
+            let va = xor(state.wide::<W>(a), and(vb, vc));
+            state.set_wide(a, va);
+            state.set_wide(b, xor(vb, va));
+            state.set_wide(c, xor(vc, va));
+        }
+    }
+}
+
+/// Blends the fault action of `op` into plane word `word`, assuming the
+/// *ideal* kernel has already been applied there: lanes in `fault` take
+/// the random bits `rand[k]` on the k-th support wire, other lanes keep
+/// the kernel output. Exactly [`apply_word_masked`]'s lane action,
+/// factored out so the wide runners can apply one vectorized ideal
+/// kernel across all words and pay the blend only on faulted words.
+#[inline]
+pub(crate) fn blend_faulted(
+    state: &mut BatchState,
+    op: &Op,
+    word: usize,
+    fault: u64,
+    rand: &[u64; 3],
+) {
+    let support = op.support();
+    for (k, &wire) in support.as_slice().iter().enumerate() {
+        let out = state.w(wire, word);
+        state.set_w(wire, word, (out & !fault) | (rand[k] & fault));
+    }
+}
+
 /// Applies `op` across every plane word (convenience for full-batch use).
 #[inline]
 pub fn apply(state: &mut BatchState, op: &Op) {

@@ -237,6 +237,66 @@ impl BatchState {
     pub(crate) fn xor_w(&mut self, wire: Wire, word: usize, value: u64) {
         self.planes[wire.index() * self.words + word] ^= value;
     }
+
+    // -- wide-word accessors (compiled micro-op path) ----------------------
+    //
+    // A *wide word* is `W` consecutive 64-lane plane words of one wire,
+    // loaded and stored as a `[u64; W]` value. Because the layout is
+    // wire-major and contiguous (`planes[wire * words + word]`), these
+    // compile to straight vector loads/stores and the element-wise logic
+    // in the wide kernels autovectorizes (W ∈ {1, 2, 4}).
+
+    /// Loads the wide word of `wire`. Requires `words_per_wire() == W`
+    /// (checked once per run by the callers, debug-asserted here).
+    #[inline]
+    pub(crate) fn wide<const W: usize>(&self, wire: Wire) -> [u64; W] {
+        debug_assert_eq!(self.words, W);
+        let base = wire.index() * W;
+        let mut out = [0u64; W];
+        out.copy_from_slice(&self.planes[base..base + W]);
+        out
+    }
+
+    /// Stores the wide word of `wire`.
+    #[inline]
+    pub(crate) fn set_wide<const W: usize>(&mut self, wire: Wire, value: [u64; W]) {
+        debug_assert_eq!(self.words, W);
+        let base = wire.index() * W;
+        self.planes[base..base + W].copy_from_slice(&value);
+    }
+
+    /// XORs into the wide word of `wire`.
+    #[inline]
+    pub(crate) fn xor_wide<const W: usize>(&mut self, wire: Wire, value: [u64; W]) {
+        debug_assert_eq!(self.words, W);
+        let base = wire.index() * W;
+        for (p, v) in self.planes[base..base + W].iter_mut().zip(value) {
+            *p ^= v;
+        }
+    }
+
+    /// Copies plane word 0 of every wire of single-word `src` into plane
+    /// word `word` of `self` (the wide word loops stage per-word trial
+    /// inputs this way).
+    pub(crate) fn load_column(&mut self, word: usize, src: &BatchState) {
+        debug_assert_eq!(src.words, 1);
+        debug_assert_eq!(src.n_wires, self.n_wires);
+        debug_assert!(word < self.words);
+        for wire in 0..self.n_wires {
+            self.planes[wire * self.words + word] = src.planes[wire];
+        }
+    }
+
+    /// Copies plane word `word` of every wire of `self` into plane word 0
+    /// of single-word `dst` (staging a finished column for judging).
+    pub(crate) fn store_column(&self, word: usize, dst: &mut BatchState) {
+        debug_assert_eq!(dst.words, 1);
+        debug_assert_eq!(dst.n_wires, self.n_wires);
+        debug_assert!(word < self.words);
+        for wire in 0..self.n_wires {
+            dst.planes[wire] = self.planes[wire * self.words + word];
+        }
+    }
 }
 
 impl fmt::Debug for BatchState {

@@ -131,6 +131,7 @@ use crate::batch::{kernels, BatchExecReport, BatchState};
 use crate::circuit::Circuit;
 use crate::exec::{ExecObserver, ExecReport, NullObserver};
 use crate::fault::FaultPlan;
+use crate::microop::{self, CompileStats, CompiledOps, ExecScratch};
 use crate::noise::NoiseModel;
 use crate::op::Op;
 use crate::state::BitState;
@@ -139,7 +140,7 @@ use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Trial count at which [`BackendKind::Auto`] switches from the scalar to
 /// the batch backend (four 64-lane words).
@@ -178,7 +179,7 @@ const ADAPTIVE_ROUND_WORDS: u64 = 32;
 const WORD_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Marker for operations that never fault.
-const NEVER: usize = usize::MAX;
+pub(crate) const NEVER: usize = usize::MAX;
 
 // ---------------------------------------------------------------------------
 // Fault table: per-op probabilities + exact binomial mask samplers
@@ -233,12 +234,15 @@ impl MaskSampler {
             k += 1;
         }
         // Choose k distinct lane positions uniformly. For k > 32 place the
-        // complement instead (fewer rejections).
+        // complement instead (fewer rejections). The draw is the exact
+        // `random_range(0..64)` stream — for a power-of-two span Lemire's
+        // rejection zone is empty and the map is the top six bits — spelt
+        // out to keep the hardware division out of this hot path.
         let (count, invert) = if k <= 32 { (k, false) } else { (64 - k, true) };
         let mut mask = 0u64;
         let mut placed = 0usize;
         while placed < count {
-            let bit = 1u64 << rng.random_range(0..64u32);
+            let bit = 1u64 << (rng.random::<u64>() >> 58);
             if mask & bit == 0 {
                 mask |= bit;
                 placed += 1;
@@ -257,10 +261,10 @@ impl MaskSampler {
 #[derive(Debug, Clone)]
 pub(crate) struct FaultTable {
     /// Fault probability per operation.
-    probs: Vec<f64>,
+    pub(crate) probs: Vec<f64>,
     /// Sampler index per operation ([`NEVER`] = never faults).
-    sampler_of: Vec<usize>,
-    samplers: Vec<MaskSampler>,
+    pub(crate) sampler_of: Vec<usize>,
+    pub(crate) samplers: Vec<MaskSampler>,
     /// Fault probability per sampler (one per distinct nonzero rate).
     sampler_rates: Vec<f64>,
     /// `Π (1 − p_i)`: probability that one trial executes fault-free.
@@ -522,9 +526,20 @@ fn place_uniform<R: Rng + ?Sized>(
     } else {
         (n - t, true)
     };
+    // Inlined `random_range(0..n)` (Lemire widening multiply with a
+    // rejection zone) with the threshold modulo hoisted out of the
+    // placement loop — the draw stream and outputs are bit-identical to
+    // the `rand` call, without one hardware division per placement.
+    let span = n as u64;
+    let threshold = span.wrapping_neg() % span;
     scratch.clear();
     while scratch.len() < count {
-        let i = rng.random_range(0..n);
+        let i = loop {
+            let wide = (rng.random::<u64>() as u128) * (span as u128);
+            if (wide as u64) >= threshold {
+                break (wide >> 64) as usize;
+            }
+        };
         if !scratch.contains(&i) {
             scratch.push(i);
         }
@@ -642,7 +657,12 @@ pub(crate) fn run_masked_word_batch(
 /// plane per support wire is drawn. Part of the shared backend schedule:
 /// both masked runners call this in the same op order.
 #[inline]
-fn fill_fault_planes(arity: usize, fault: u64, rng: &mut SmallRng, rand_planes: &mut [u64; 3]) {
+pub(crate) fn fill_fault_planes(
+    arity: usize,
+    fault: u64,
+    rng: &mut SmallRng,
+    rand_planes: &mut [u64; 3],
+) {
     if fault.count_ones() == 1 {
         let lane = fault.trailing_zeros();
         let bits = rng.random::<u64>();
@@ -733,6 +753,14 @@ pub struct Engine {
     /// Fault-count distribution, built on first stratified use (compiling
     /// stays a single cheap pass for plain-only consumers).
     dist: OnceLock<FaultCountDist>,
+    /// Micro-op program (linear-segment fusion + wide kernels), built on
+    /// first word-loop use — [`Engine::compile`] itself stays a single
+    /// cheap pass.
+    compiled: OnceLock<CompiledOps>,
+    /// Memoized stratified-estimator layouts, keyed by
+    /// `(min_faults, strata_cap)` (derived from the fault-count PMF once
+    /// instead of on every estimate call).
+    plans: Mutex<Vec<Arc<StrataPlan>>>,
 }
 
 impl Clone for Engine {
@@ -741,10 +769,16 @@ impl Clone for Engine {
         if let Some(d) = self.dist.get() {
             let _ = dist.set(d.clone());
         }
+        let compiled = OnceLock::new();
+        if let Some(c) = self.compiled.get() {
+            let _ = compiled.set(c.clone());
+        }
         Engine {
             circuit: self.circuit.clone(),
             table: self.table.clone(),
             dist,
+            compiled,
+            plans: Mutex::new(self.plans.lock().map(|g| g.clone()).unwrap_or_default()),
         }
     }
 }
@@ -760,7 +794,22 @@ impl Engine {
             circuit: circuit.clone(),
             table: FaultTable::compile(circuit, noise),
             dist: OnceLock::new(),
+            compiled: OnceLock::new(),
+            plans: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The lazily compiled micro-op program (see [`crate::microop`]).
+    pub(crate) fn compiled(&self) -> &CompiledOps {
+        self.compiled
+            .get_or_init(|| microop::compile(&self.circuit, &self.table))
+    }
+
+    /// Statistics of the micro-op compile pass — ops before/after fusion
+    /// and the fused-segment histogram. Forces the (lazy, memoized)
+    /// micro-op compilation.
+    pub fn compile_stats(&self) -> &CompileStats {
+        &self.compiled().stats
     }
 
     /// The compiled circuit.
@@ -885,6 +934,136 @@ impl Engine {
         run_batch_words(&self.circuit, &self.table, batch, rng)
     }
 
+    /// Runs the **compiled micro-op program** (linear-segment fusion +
+    /// wide kernels) over a `W`-word wide batch, where `W =
+    /// batch.words_per_wire() = rngs.len() ∈ {1, 2, 4}` and logical word
+    /// `w` draws all of its randomness from `rngs[w]`.
+    ///
+    /// Per logical word the RNG stream is identical to [`Engine::run_batch`]
+    /// on a single-word batch — one fault-mask draw per fallible op, then
+    /// one random plane per support wire of faulting ops — so lanes are
+    /// bit-identical to `W` independent raw runs at the same seeds. This
+    /// is the word loop behind [`Engine::estimate`] on the batch backend;
+    /// it is public so benches can compare it against the raw path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths disagree, `rngs.len() != words_per_wire()`,
+    /// or the width is not 1, 2 or 4.
+    pub fn run_batch_fused(
+        &self,
+        batch: &mut BatchState,
+        rngs: &mut [SmallRng],
+    ) -> BatchExecReport {
+        assert_eq!(
+            batch.n_wires(),
+            self.circuit.n_wires(),
+            "batch width must match circuit width"
+        );
+        assert_eq!(
+            batch.words_per_wire(),
+            rngs.len(),
+            "need exactly one RNG per logical word"
+        );
+        let compiled = self.compiled();
+        let mut scratch = ExecScratch::default();
+        fn go<const W: usize>(
+            compiled: &CompiledOps,
+            table: &FaultTable,
+            batch: &mut BatchState,
+            rngs: &mut [SmallRng],
+            scratch: &mut ExecScratch,
+        ) -> BatchExecReport {
+            let rngs: &mut [SmallRng; W] = rngs.try_into().expect("len checked");
+            let out = microop::run_sampled_wide::<W>(compiled, table, batch, rngs, scratch);
+            BatchExecReport {
+                fault_events: out.fault_events,
+                faulted_lanes: out.faulted.to_vec(),
+            }
+        }
+        match rngs.len() {
+            1 => go::<1>(compiled, &self.table, batch, rngs, &mut scratch),
+            2 => go::<2>(compiled, &self.table, batch, rngs, &mut scratch),
+            4 => go::<4>(compiled, &self.table, batch, rngs, &mut scratch),
+            w => panic!("unsupported word width {w} (expected 1, 2 or 4)"),
+        }
+    }
+
+    /// Runs one `W`-wide word under a **precomputed** fault-mask
+    /// schedule through the compiled micro-op program — the stratified
+    /// rare-event estimator's execution path, public so benches can
+    /// measure it against [`Engine::run_batch_masked_raw`].
+    ///
+    /// `masks` uses the flat wide layout `masks[i * W + w]` = lanes in
+    /// which op `i` faults in logical word `w` (for `W = 1` this is the
+    /// plain per-op schedule of [`Backend::run_masked`]). Logical word
+    /// `w` draws its fault planes from `rngs[w]` in op order via the
+    /// shared sparse schedule, so results are bit-identical to `W`
+    /// single-word [`Backend::run_masked`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths disagree, `rngs.len() != words_per_wire()`, the
+    /// width is not 1, 2 or 4, or `masks.len() != n_ops × W`.
+    pub fn run_batch_masked(
+        &self,
+        batch: &mut BatchState,
+        masks: &[u64],
+        rngs: &mut [SmallRng],
+    ) -> BatchExecReport {
+        assert_eq!(
+            batch.n_wires(),
+            self.circuit.n_wires(),
+            "batch width must match circuit width"
+        );
+        let w = batch.words_per_wire();
+        assert_eq!(w, rngs.len(), "need exactly one RNG per logical word");
+        assert_eq!(
+            masks.len(),
+            self.circuit.len() * w,
+            "mask schedule does not match this circuit (expected n_ops × width)"
+        );
+        let compiled = self.compiled();
+        let mut scratch = ExecScratch::default();
+        fn go<const W: usize>(
+            compiled: &CompiledOps,
+            batch: &mut BatchState,
+            masks: &[u64],
+            rngs: &mut [SmallRng],
+            scratch: &mut ExecScratch,
+        ) -> BatchExecReport {
+            let rngs: &mut [SmallRng; W] = rngs.try_into().expect("len checked");
+            let out = microop::run_masked_wide::<W>(compiled, batch, masks, rngs, scratch);
+            BatchExecReport {
+                fault_events: out.fault_events,
+                faulted_lanes: out.faulted.to_vec(),
+            }
+        }
+        match w {
+            1 => go::<1>(compiled, batch, masks, rngs, &mut scratch),
+            2 => go::<2>(compiled, batch, masks, rngs, &mut scratch),
+            4 => go::<4>(compiled, batch, masks, rngs, &mut scratch),
+            other => panic!("unsupported word width {other} (expected 1, 2 or 4)"),
+        }
+    }
+
+    /// The retired op-at-a-time masked word loop, kept as the raw
+    /// reference the compiled path is benchmarked and property-tested
+    /// against (`fused_vs_raw`); not part of any estimator path.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Backend::run_masked`] on width/schedule mismatches.
+    #[doc(hidden)]
+    pub fn run_batch_masked_raw(
+        &self,
+        batch: &mut BatchState,
+        masks: &[u64],
+        rng: &mut SmallRng,
+    ) -> BatchExecReport {
+        run_masked_word_batch(&self.circuit, batch, masks, rng)
+    }
+
     /// Runs the compiled circuit injecting exactly the faults in `plan`
     /// (the noise binding is ignored; see [`PlannedFaultBackend`]).
     ///
@@ -920,9 +1099,11 @@ impl Engine {
             "trial width must match circuit width"
         );
         let kind = opts.backend.resolve(opts.trials, opts.batch_threshold);
-        let backend: &dyn Backend = match kind {
-            BackendKind::Batch => &BatchBackend,
-            _ => &ScalarBackend,
+        let path = match kind {
+            BackendKind::Batch => ExecPath::Batch {
+                width: opts.width.resolve(kind),
+            },
+            _ => ExecPath::Scalar,
         };
         let resolved = match opts.estimator {
             Estimator::Auto => {
@@ -954,16 +1135,16 @@ impl Engine {
                      faults, but this trial reports that fault-free words can fail \
                      (WordTrial::fault_free_can_fail); use min_faults = 0 or Estimator::Plain"
                 );
-                self.estimate_stratified(backend, trial, opts, min_faults, strata_cap)
+                self.estimate_stratified(path, trial, opts, min_faults, strata_cap)
             }
-            _ => self.estimate_plain(backend, trial, opts),
+            _ => self.estimate_plain(path, trial, opts),
         }
     }
 
     /// The classic estimator: every requested trial is executed.
     fn estimate_plain<T: WordTrial + ?Sized>(
         &self,
-        backend: &dyn Backend,
+        backend: ExecPath,
         trial: &T,
         opts: &McOptions,
     ) -> McOutcome {
@@ -1010,7 +1191,7 @@ impl Engine {
     /// returning `(failures, executed_trials)`.
     fn run_word_span<T: WordTrial + ?Sized>(
         &self,
-        backend: &dyn Backend,
+        backend: ExecPath,
         trial: &T,
         opts: &McOptions,
         start: u64,
@@ -1042,12 +1223,31 @@ impl Engine {
         })
     }
 
-    /// Runs words `[start, end)` sequentially. The word batch and the
-    /// input buffer are allocated once and reused across the loop (the
-    /// per-word cost is then dominated by the kernels, not setup).
+    /// Runs words `[start, end)` sequentially, dispatching to the legacy
+    /// scalar reference loop or the compiled wide word loop.
     fn run_word_range<T: WordTrial + ?Sized>(
         &self,
-        backend: &dyn Backend,
+        backend: ExecPath,
+        trial: &T,
+        opts: &McOptions,
+        start: u64,
+        end: u64,
+    ) -> (u64, u64) {
+        match backend {
+            ExecPath::Scalar => self.run_word_range_scalar(trial, opts, start, end),
+            ExecPath::Batch { width: 2 } => {
+                self.run_word_range_wide::<T, 2>(trial, opts, start, end)
+            }
+            ExecPath::Batch { width: 4 } => {
+                self.run_word_range_wide::<T, 4>(trial, opts, start, end)
+            }
+            ExecPath::Batch { .. } => self.run_word_range_wide::<T, 1>(trial, opts, start, end),
+        }
+    }
+
+    /// The scalar reference word loop (one [`BitState`] per lane).
+    fn run_word_range_scalar<T: WordTrial + ?Sized>(
+        &self,
         trial: &T,
         opts: &McOptions,
         start: u64,
@@ -1066,7 +1266,7 @@ impl Engine {
                 SmallRng::seed_from_u64(opts.seed ^ WORD_SEED_STRIDE.wrapping_mul(word + 1));
             batch.clear();
             trial.prepare_into(&mut batch, &mut rng, &mut inputs);
-            let report = backend.run(self, &mut batch, &mut rng);
+            let report = ScalarBackend.run(self, &mut batch, &mut rng);
             let valid = valid_lanes(opts.trials, word);
             let candidates = if judge_faulted_only {
                 report.faulted_lanes[0] & valid
@@ -1079,43 +1279,90 @@ impl Engine {
         (failures, executed)
     }
 
+    /// The compiled word loop: `W` logical words per iteration through
+    /// the fused micro-op program, each word on its own seed-derived RNG
+    /// stream (so results are bit-identical to the `W = 1` loop and to
+    /// the scalar reference, at any width and thread count).
+    fn run_word_range_wide<T: WordTrial + ?Sized, const W: usize>(
+        &self,
+        trial: &T,
+        opts: &McOptions,
+        start: u64,
+        end: u64,
+    ) -> (u64, u64) {
+        let compiled = self.compiled();
+        let n_wires = self.circuit.n_wires();
+        let mut wide = BatchState::zeros(n_wires, W);
+        let mut col = BatchState::zeros(n_wires, 1);
+        let mut inputs: [Vec<u64>; W] = std::array::from_fn(|_| Vec::new());
+        let mut scratch = ExecScratch::default();
+        let judge_faulted_only = !trial.fault_free_can_fail();
+        let mut failures = 0u64;
+        let mut executed = 0u64;
+        let mut word = start;
+        while word < end {
+            if (end - word) < W as u64 {
+                // Remainder words run at width 1 — bit-identical, since
+                // every word owns its RNG stream regardless of grouping.
+                let (f, e) = self.run_word_range_wide::<T, 1>(trial, opts, word, end);
+                return (failures + f, executed + e);
+            }
+            let mut rngs: [SmallRng; W] = std::array::from_fn(|k| {
+                SmallRng::seed_from_u64(
+                    opts.seed ^ WORD_SEED_STRIDE.wrapping_mul(word + k as u64 + 1),
+                )
+            });
+            for k in 0..W {
+                col.clear();
+                trial.prepare_into(&mut col, &mut rngs[k], &mut inputs[k]);
+                wide.load_column(k, &col);
+            }
+            let outcome = microop::run_sampled_wide::<W>(
+                compiled,
+                &self.table,
+                &mut wide,
+                &mut rngs,
+                &mut scratch,
+            );
+            for (k, word_inputs) in inputs.iter().enumerate() {
+                let valid = valid_lanes(opts.trials, word + k as u64);
+                let candidates = if judge_faulted_only {
+                    outcome.faulted[k] & valid
+                } else {
+                    valid
+                };
+                if candidates != 0 {
+                    wide.store_column(k, &mut col);
+                    failures += trial
+                        .judge_masked(&col, word_inputs, candidates)
+                        .count_ones() as u64;
+                }
+                executed += valid.count_ones() as u64;
+            }
+            word += W as u64;
+        }
+        (failures, executed)
+    }
+
     /// The fault-count-stratified rare-event estimator (see the module
     /// docs for the derivation). Words are generated *conditioned on their
     /// stratum's fault count*; strata below `min_faults` contribute
     /// analytically as exact zeros.
     fn estimate_stratified<T: WordTrial + ?Sized>(
         &self,
-        backend: &dyn Backend,
+        backend: ExecPath,
         trial: &T,
         opts: &McOptions,
         min_faults: u32,
         strata_cap: u32,
     ) -> McOutcome {
-        let strata_cap = strata_cap.max(1) as usize;
-        let min_faults = min_faults as usize;
-        let dist = self.fault_dist();
-
-        // Stratum layout: explicit counts m, m+1, … plus an unbounded
-        // tail; weights come straight off the Poisson-binomial PMF.
-        let mut strata: Vec<StratumOutcome> = (0..strata_cap)
-            .map(|i| {
-                let k = min_faults + i;
-                let (k_hi, weight) = if i + 1 == strata_cap {
-                    (None, dist.mass_at_least(k))
-                } else {
-                    (Some(k as u32), dist.pmf_at(k))
-                };
-                StratumOutcome {
-                    k_lo: k as u32,
-                    k_hi,
-                    weight,
-                    failures: 0,
-                    trials: 0,
-                }
-            })
-            .collect();
-        let sample_weight: f64 = strata.iter().map(|s| s.weight).sum();
-        if strata.iter().all(|s| s.weight <= 0.0) {
+        // Stratum layout + tail CDF are pure functions of the compiled
+        // fault-count PMF — derived once per (min_faults, strata_cap)
+        // and memoized on the engine.
+        let plan = self.strata_plan(min_faults, strata_cap);
+        let mut strata: Vec<StratumOutcome> = plan.strata.clone();
+        let sample_weight = plan.sample_weight;
+        if plan.all_elided {
             // Everything below `min_faults`: the whole budget resolves
             // analytically (e.g. a noiseless model) — nothing to execute.
             return McOutcome {
@@ -1130,23 +1377,8 @@ impl Engine {
                 strata,
             };
         }
-
-        // Conditional CDF of the tail stratum's fault count (top bin
-        // absorbs the truncated mass).
-        let tail_lo = min_faults + strata_cap - 1;
-        let tail_cdf: Vec<f64> = {
-            let mut acc = 0.0;
-            let mut cdf: Vec<f64> = (tail_lo..=dist.max_k().max(tail_lo))
-                .map(|k| {
-                    acc += dist.pmf_at(k);
-                    acc
-                })
-                .collect();
-            if let Some(last) = cdf.last_mut() {
-                *last += dist.tail_beyond;
-            }
-            cdf
-        };
+        let tail_cdf = &plan.tail_cdf;
+        let tail_lo = plan.tail_lo;
 
         let threads = opts.threads.max(1);
         let total_words = opts.trials.div_ceil(64);
@@ -1196,7 +1428,7 @@ impl Engine {
                 trial,
                 opts,
                 &strata,
-                &tail_cdf,
+                tail_cdf,
                 tail_lo,
                 next_word,
                 &assignment,
@@ -1238,7 +1470,7 @@ impl Engine {
     #[allow(clippy::too_many_arguments)]
     fn run_stratified_span<T: WordTrial + ?Sized>(
         &self,
-        backend: &dyn Backend,
+        backend: ExecPath,
         trial: &T,
         opts: &McOptions,
         strata: &[StratumOutcome],
@@ -1291,11 +1523,41 @@ impl Engine {
         })
     }
 
-    /// Sequential stratified word loop with per-thread scratch buffers.
+    /// Sequential stratified word loop with per-thread scratch buffers,
+    /// dispatched by execution path.
     #[allow(clippy::too_many_arguments)]
     fn run_stratified_range<T: WordTrial + ?Sized>(
         &self,
-        backend: &dyn Backend,
+        backend: ExecPath,
+        trial: &T,
+        opts: &McOptions,
+        strata: &[StratumOutcome],
+        tail_cdf: &[f64],
+        tail_lo: usize,
+        base_word: u64,
+        assignment: &[u32],
+    ) -> Vec<(u64, u64)> {
+        match backend {
+            ExecPath::Scalar => self.run_stratified_range_scalar(
+                trial, opts, strata, tail_cdf, tail_lo, base_word, assignment,
+            ),
+            ExecPath::Batch { width: 2 } => self.run_stratified_range_wide::<T, 2>(
+                trial, opts, strata, tail_cdf, tail_lo, base_word, assignment,
+            ),
+            ExecPath::Batch { width: 4 } => self.run_stratified_range_wide::<T, 4>(
+                trial, opts, strata, tail_cdf, tail_lo, base_word, assignment,
+            ),
+            ExecPath::Batch { .. } => self.run_stratified_range_wide::<T, 1>(
+                trial, opts, strata, tail_cdf, tail_lo, base_word, assignment,
+            ),
+        }
+    }
+
+    /// Scalar reference stratified loop (per-lane replay of the shared
+    /// conditional mask schedule).
+    #[allow(clippy::too_many_arguments)]
+    fn run_stratified_range_scalar<T: WordTrial + ?Sized>(
+        &self,
         trial: &T,
         opts: &McOptions,
         strata: &[StratumOutcome],
@@ -1345,7 +1607,7 @@ impl Engine {
                     masks[op as usize] |= 1u64 << lane;
                 }
             }
-            let report = backend.run_masked(self, &mut batch, &masks, &mut rng);
+            let report = ScalarBackend.run_masked(self, &mut batch, &masks, &mut rng);
             let valid = valid_lanes(opts.trials, word);
             // With `min_faults = 0` on an elision-ineligible trial, clean
             // lanes can still fail and must be judged.
@@ -1360,6 +1622,192 @@ impl Engine {
         }
         tallies
     }
+
+    /// Compiled stratified word loop: `W` conditioned logical words per
+    /// iteration through the fused micro-op program. Per word, the RNG
+    /// stream (prepare → conditional count/placement draws → fault
+    /// planes in op order) matches the scalar reference exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn run_stratified_range_wide<T: WordTrial + ?Sized, const W: usize>(
+        &self,
+        trial: &T,
+        opts: &McOptions,
+        strata: &[StratumOutcome],
+        tail_cdf: &[f64],
+        tail_lo: usize,
+        base_word: u64,
+        assignment: &[u32],
+    ) -> Vec<(u64, u64)> {
+        let compiled = self.compiled();
+        let dist = self.fault_dist();
+        let n_ops = self.circuit.len();
+        let n_wires = self.circuit.n_wires();
+        let mut wide = BatchState::zeros(n_wires, W);
+        let mut col = BatchState::zeros(n_wires, 1);
+        let mut inputs: [Vec<u64>; W] = std::array::from_fn(|_| Vec::new());
+        // Flat wide mask layout: masks[op * W + w].
+        let mut masks: Vec<u64> = vec![0u64; n_ops * W];
+        let mut touched: [Vec<u32>; W] = std::array::from_fn(|_| Vec::new());
+        let mut scratch = ExecScratch::default();
+        let mut chosen: Vec<u32> = Vec::new();
+        let mut place_scratch: Vec<usize> = Vec::new();
+        let mut tallies = vec![(0u64, 0u64); strata.len()];
+        let mut i = 0usize;
+        while i < assignment.len() {
+            if assignment.len() - i < W {
+                // Remainder words at width 1 (bit-identical per word).
+                let rest = self.run_stratified_range_wide::<T, 1>(
+                    trial,
+                    opts,
+                    strata,
+                    tail_cdf,
+                    tail_lo,
+                    base_word + i as u64,
+                    &assignment[i..],
+                );
+                for (t, r) in tallies.iter_mut().zip(&rest) {
+                    t.0 += r.0;
+                    t.1 += r.1;
+                }
+                return tallies;
+            }
+            let mut rngs: [SmallRng; W] = std::array::from_fn(|k| {
+                SmallRng::seed_from_u64(
+                    opts.seed ^ WORD_SEED_STRIDE.wrapping_mul(base_word + (i + k) as u64 + 1),
+                )
+            });
+            for k in 0..W {
+                col.clear();
+                trial.prepare_into(&mut col, &mut rngs[k], &mut inputs[k]);
+                wide.load_column(k, &col);
+                // Conditional mask schedule for this word's stratum.
+                for &t in &touched[k] {
+                    masks[t as usize * W + k] = 0;
+                }
+                touched[k].clear();
+                let stratum = &strata[assignment[i + k] as usize];
+                for lane in 0..64u32 {
+                    let count = match stratum.k_hi {
+                        Some(kk) => kk as usize,
+                        None => {
+                            let total = tail_cdf.last().copied().unwrap_or(0.0);
+                            let u = rngs[k].random::<f64>() * total;
+                            let pos = tail_cdf.partition_point(|&c| c <= u);
+                            tail_lo + pos.min(tail_cdf.len() - 1)
+                        }
+                    };
+                    dist.sample_exact(count, &mut rngs[k], &mut chosen, &mut place_scratch);
+                    for &op in &chosen {
+                        let slot = op as usize * W + k;
+                        if masks[slot] == 0 {
+                            touched[k].push(op);
+                        }
+                        masks[slot] |= 1u64 << lane;
+                    }
+                }
+            }
+            let outcome =
+                microop::run_masked_wide::<W>(compiled, &mut wide, &masks, &mut rngs, &mut scratch);
+            for k in 0..W {
+                let word = base_word + (i + k) as u64;
+                let valid = valid_lanes(opts.trials, word);
+                let candidates = if trial.fault_free_can_fail() {
+                    valid
+                } else {
+                    outcome.faulted[k] & valid
+                };
+                let si = assignment[i + k] as usize;
+                if candidates != 0 {
+                    wide.store_column(k, &mut col);
+                    tallies[si].0 += trial
+                        .judge_masked(&col, &inputs[k], candidates)
+                        .count_ones() as u64;
+                }
+                tallies[si].1 += valid.count_ones() as u64;
+            }
+            i += W;
+        }
+        tallies
+    }
+
+    /// The memoized stratified-estimator layout for
+    /// `(min_faults, strata_cap)`: stratum template (weights off the
+    /// Poisson-binomial PMF) plus the tail stratum's conditional CDF.
+    fn strata_plan(&self, min_faults: u32, strata_cap: u32) -> Arc<StrataPlan> {
+        let mut plans = self.plans.lock().expect("strata plan cache poisoned");
+        if let Some(plan) = plans
+            .iter()
+            .find(|p| p.min_faults == min_faults && p.strata_cap == strata_cap)
+        {
+            return Arc::clone(plan);
+        }
+        let cap = strata_cap.max(1) as usize;
+        let min = min_faults as usize;
+        let dist = self.fault_dist();
+        let strata: Vec<StratumOutcome> = (0..cap)
+            .map(|i| {
+                let k = min + i;
+                let (k_hi, weight) = if i + 1 == cap {
+                    (None, dist.mass_at_least(k))
+                } else {
+                    (Some(k as u32), dist.pmf_at(k))
+                };
+                StratumOutcome {
+                    k_lo: k as u32,
+                    k_hi,
+                    weight,
+                    failures: 0,
+                    trials: 0,
+                }
+            })
+            .collect();
+        let sample_weight: f64 = strata.iter().map(|s| s.weight).sum();
+        let all_elided = strata.iter().all(|s| s.weight <= 0.0);
+        // Conditional CDF of the tail stratum's fault count (top bin
+        // absorbs the truncated mass).
+        let tail_lo = min + cap - 1;
+        let tail_cdf: Vec<f64> = {
+            let mut acc = 0.0;
+            let mut cdf: Vec<f64> = (tail_lo..=dist.max_k().max(tail_lo))
+                .map(|k| {
+                    acc += dist.pmf_at(k);
+                    acc
+                })
+                .collect();
+            if let Some(last) = cdf.last_mut() {
+                *last += dist.tail_beyond;
+            }
+            cdf
+        };
+        let plan = Arc::new(StrataPlan {
+            min_faults,
+            strata_cap,
+            strata,
+            sample_weight,
+            all_elided,
+            tail_cdf,
+            tail_lo,
+        });
+        plans.push(Arc::clone(&plan));
+        plan
+    }
+}
+
+/// A memoized stratified-estimator layout (see [`Engine::strata_plan`]).
+#[derive(Debug)]
+struct StrataPlan {
+    min_faults: u32,
+    strata_cap: u32,
+    /// Zero-tally stratum template with exact weights.
+    strata: Vec<StratumOutcome>,
+    /// Total executable probability mass.
+    sample_weight: f64,
+    /// Every stratum weight is zero — the run resolves analytically.
+    all_elided: bool,
+    /// Conditional CDF of the tail stratum's fault count.
+    tail_cdf: Vec<f64>,
+    /// Smallest fault count in the tail stratum.
+    tail_lo: usize,
 }
 
 /// Lanes of global word `word` that lie inside the trial budget (the
@@ -1494,6 +1942,28 @@ fn converged(failures: u64, executed: u64, target: f64) -> bool {
 // ---------------------------------------------------------------------------
 // Backends
 // ---------------------------------------------------------------------------
+
+/// Resolved execution strategy of one estimation run: the scalar
+/// reference loop, or the compiled micro-op word loop at a fixed wide
+/// width. (The [`Backend`] trait remains the public, object-safe face;
+/// the word loops dispatch on this enum so the batch path can use the
+/// concrete fused runners.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExecPath {
+    /// The scalar reference backend.
+    Scalar,
+    /// The compiled batch backend at wide width `width ∈ {1, 2, 4}`.
+    Batch { width: usize },
+}
+
+impl ExecPath {
+    fn name(self) -> &'static str {
+        match self {
+            ExecPath::Scalar => "scalar",
+            ExecPath::Batch { .. } => "batch",
+        }
+    }
+}
 
 /// An execution strategy over 64-lane words.
 ///
@@ -1649,7 +2119,36 @@ impl Backend for BatchBackend {
         masks: &[u64],
         rng: &mut SmallRng,
     ) -> BatchExecReport {
-        run_masked_word_batch(&engine.circuit, batch, masks, rng)
+        // Routed through the compiled micro-op program: fused linear
+        // segments skip their kernels entirely when the schedule leaves
+        // them clean, and faults are pushed to the segment boundary by
+        // the precomputed propagation pairs — bit-identical to the raw
+        // op-at-a-time loop (see `tests/microop_fusion.rs`).
+        assert_eq!(
+            batch.words_per_wire(),
+            1,
+            "masked execution drives single-word batches"
+        );
+        assert_eq!(
+            batch.n_wires(),
+            engine.circuit.n_wires(),
+            "batch width must match circuit width"
+        );
+        assert_eq!(
+            masks.len(),
+            engine.circuit.len(),
+            "mask schedule does not match this circuit"
+        );
+        let mut scratch = ExecScratch::default();
+        let rngs: &mut [SmallRng; 1] = std::slice::from_mut(rng)
+            .try_into()
+            .expect("one RNG for one word");
+        let out =
+            microop::run_masked_wide::<1>(engine.compiled(), batch, masks, rngs, &mut scratch);
+        BatchExecReport {
+            fault_events: out.fault_events,
+            faulted_lanes: out.faulted.to_vec(),
+        }
     }
 }
 
@@ -1931,6 +2430,69 @@ impl FromStr for BackendKind {
     }
 }
 
+/// Wide-word width of the batch word loops: how many consecutive 64-lane
+/// logical words one pass of the compiled micro-op program executes
+/// (`[u64; W]` planes, autovectorization-friendly).
+///
+/// Width never changes results: every logical word derives its RNG
+/// stream from `(seed, global word index)` alone, so estimates are
+/// **bit-identical at any width** (pinned by tests) — this knob trades
+/// nothing but throughput.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WordWidth {
+    /// Full width (4) on the batch backend, 1 on the scalar reference.
+    #[default]
+    Auto,
+    /// One 64-lane word per pass.
+    W1,
+    /// Two 64-lane words per pass.
+    W2,
+    /// Four 64-lane words per pass.
+    W4,
+}
+
+impl WordWidth {
+    /// Resolves to a concrete width for `backend` (the scalar reference
+    /// always runs one word at a time).
+    pub fn resolve(self, backend: BackendKind) -> usize {
+        if !matches!(backend, BackendKind::Batch) {
+            return 1;
+        }
+        match self {
+            WordWidth::Auto | WordWidth::W4 => 4,
+            WordWidth::W1 => 1,
+            WordWidth::W2 => 2,
+        }
+    }
+}
+
+impl fmt::Display for WordWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WordWidth::Auto => "auto",
+            WordWidth::W1 => "1",
+            WordWidth::W2 => "2",
+            WordWidth::W4 => "4",
+        })
+    }
+}
+
+impl FromStr for WordWidth {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(WordWidth::Auto),
+            "1" => Ok(WordWidth::W1),
+            "2" => Ok(WordWidth::W2),
+            "4" => Ok(WordWidth::W4),
+            other => Err(format!(
+                "unknown word width {other:?} (expected auto, 1, 2 or 4)"
+            )),
+        }
+    }
+}
+
 /// Typed Monte-Carlo run options for [`Engine::estimate`].
 ///
 /// Fields are public for direct construction; the consuming builder
@@ -1963,6 +2525,9 @@ pub struct McOptions {
     /// Estimator selection policy ([`Estimator::Auto`] routes eligible
     /// deep-sub-threshold runs to the stratified rare-event estimator).
     pub estimator: Estimator,
+    /// Wide-word width of the batch word loops (never changes results;
+    /// see [`WordWidth`]).
+    pub width: WordWidth,
     /// Target relative standard error of the failure-rate estimate; when
     /// set, estimation stops early once reached (adaptive sampling).
     pub target_rel_error: Option<f64>,
@@ -1980,6 +2545,7 @@ impl McOptions {
             backend: BackendKind::Auto,
             batch_threshold: DEFAULT_BATCH_THRESHOLD,
             estimator: Estimator::Auto,
+            width: WordWidth::Auto,
             target_rel_error: None,
         }
     }
@@ -2024,6 +2590,12 @@ impl McOptions {
     /// Sets the estimator selection policy.
     pub fn estimator(mut self, estimator: Estimator) -> Self {
         self.estimator = estimator;
+        self
+    }
+
+    /// Sets the wide-word width policy.
+    pub fn width(mut self, width: WordWidth) -> Self {
+        self.width = width;
         self
     }
 
@@ -2853,6 +3425,30 @@ mod tests {
         );
         // Dead strata get nothing.
         assert_eq!(apportion_words(&[1.0, 0.0], &[1.0, 0.0], 7), vec![7, 0]);
+    }
+
+    #[test]
+    fn fused_masked_run_matches_raw_masked_reference() {
+        // `BatchBackend::run_masked` routes through the compiled
+        // micro-op program; the retired op-at-a-time loop stays as the
+        // raw reference it must match bit for bit.
+        let c = recovery_like_circuit();
+        let engine = Engine::compile(&c, &UniformNoise::new(0.05));
+        for seed in 0..10u64 {
+            let mut masks = vec![0u64; c.len()];
+            let mut seeder = SmallRng::seed_from_u64(seed.wrapping_mul(31));
+            for m in masks.iter_mut() {
+                *m = seeder.random::<u64>() & seeder.random::<u64>() & seeder.random::<u64>();
+            }
+            let mut raw = BatchState::zeros(9, 1);
+            let mut fused = BatchState::zeros(9, 1);
+            let mut rng_r = SmallRng::seed_from_u64(seed);
+            let mut rng_f = SmallRng::seed_from_u64(seed);
+            let rr = run_masked_word_batch(&c, &mut raw, &masks, &mut rng_r);
+            let rf = BatchBackend.run_masked(&engine, &mut fused, &masks, &mut rng_f);
+            assert_eq!(rr, rf, "seed {seed}: reports differ");
+            assert_eq!(raw, fused, "seed {seed}: states differ");
+        }
     }
 
     #[test]

@@ -68,6 +68,7 @@ mod error;
 pub mod exec;
 pub mod fault;
 pub mod gate;
+pub mod microop;
 pub mod noise;
 pub mod op;
 pub mod permutation;
@@ -83,12 +84,13 @@ pub mod prelude {
     pub use crate::diagram::render;
     pub use crate::engine::{
         Backend, BackendKind, BatchBackend, Engine, Estimator, McOptions, McOutcome,
-        PlannedFaultBackend, ScalarBackend, Simulation, StratumOutcome, WordTrial,
+        PlannedFaultBackend, ScalarBackend, Simulation, StratumOutcome, WordTrial, WordWidth,
         DEFAULT_BATCH_THRESHOLD, DEFAULT_STRATA_CAP, STRATIFIED_ROUTING_THRESHOLD,
     };
     pub use crate::exec::{run_ideal, run_noisy_geometric, ExecObserver, ExecReport};
     pub use crate::fault::{double_fault_plans, single_fault_plans, FaultPlan, PlannedFault};
     pub use crate::gate::{Gate, OpKind};
+    pub use crate::microop::CompileStats;
     pub use crate::noise::{fault_free_probability, NoNoise, NoiseModel, SplitNoise, UniformNoise};
     pub use crate::op::Op;
     pub use crate::state::BitState;

@@ -3,8 +3,8 @@
 
 Usage:
     check_bench_regression.py BASELINE.json FRESH.json \
-        --group engine_estimate [--max-ratio 1.25] \
-        [--normalize-group engine_compile]
+        --group engine_estimate [--group fused_vs_raw ...] \
+        [--max-ratio 1.25] [--normalize-group engine_compile]
 
 Both files are JSON-lines as written by the vendored criterion shim's
 ``CRITERION_JSON`` hook: one object per line with at least ``group``,
@@ -55,7 +55,12 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
     ap.add_argument("fresh")
-    ap.add_argument("--group", required=True, help="bench group to gate on")
+    ap.add_argument(
+        "--group",
+        required=True,
+        action="append",
+        help="bench group to gate on (repeatable)",
+    )
     ap.add_argument(
         "--max-ratio",
         type=float,
@@ -92,11 +97,12 @@ def main():
                 file=sys.stderr,
             )
 
-    gated = [k for k in baseline if k[0] == args.group]
-    if not gated:
-        sys.exit(f"error: baseline has no benches in group {args.group!r}")
-
     failed = False
+    gated = [k for k in baseline if k[0] in args.group]
+    for group in args.group:
+        if not any(k[0] == group for k in gated):
+            sys.exit(f"error: baseline has no benches in group {group!r}")
+
     for key in sorted(gated):
         if key not in fresh:
             print(f"warning: {key[0]}/{key[1]} missing from fresh run", file=sys.stderr)
@@ -112,7 +118,8 @@ def main():
             failed = True
 
     if failed:
-        sys.exit(f"bench regression: group {args.group!r} exceeded {args.max_ratio}x")
+        groups = ", ".join(args.group)
+        sys.exit(f"bench regression: groups [{groups}] exceeded {args.max_ratio}x")
     print("no regression detected")
 
 
