@@ -36,6 +36,7 @@ use crate::report::{Report, SCHEMA_VERSION};
 use crate::stats::ErrorEstimate;
 use crate::sweep::SweepPoint;
 use rft_core::ftcheck::CycleSpec;
+use rft_obs::{Collector, Hist, Metric};
 use rft_revsim::circuit::Circuit;
 use rft_revsim::engine::{Engine, McOptions};
 use rft_revsim::gate::Gate;
@@ -43,7 +44,7 @@ use rft_revsim::noise::NoiseModel;
 use rft_revsim::op::Op;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -78,12 +79,18 @@ pub trait Experiment: Sync {
 /// to it — the two inputs that fully determine an engine). Both
 /// are behind mutexes taken only around map lookup/insert; the artifacts
 /// themselves are shared via [`Arc`] and used lock-free.
+///
+/// Hit/miss accounting goes through the shared metrics registry
+/// ([`rft_obs`]): lookups bump `cache.hits` / `cache.misses` on the
+/// caller's [`Collector`] (defaulting to the cache's own), so
+/// per-experiment child collectors attribute cache traffic to the
+/// experiment that caused it while the cache-level [`CompileCache::hits`]
+/// / [`CompileCache::misses`] read the aggregate.
 #[derive(Debug, Default)]
 pub struct CompileCache {
     programs: Mutex<HashMap<(u8, Gate, usize), Arc<ConcatMc>>>,
     engines: Mutex<HashMap<EngineKey, Arc<Engine>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    obs: Collector,
 }
 
 /// Cache key of an engine: the circuit contents and the per-op fault
@@ -114,9 +121,23 @@ impl EngineKey {
 }
 
 impl CompileCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with its own live metrics collector.
     pub fn new() -> Self {
         CompileCache::default()
+    }
+
+    /// Creates an empty cache recording into `obs` (how the runner wires
+    /// every cache into the run-wide collector).
+    pub fn with_collector(obs: Collector) -> Self {
+        CompileCache {
+            obs,
+            ..CompileCache::default()
+        }
+    }
+
+    /// The collector cache-level lookups record into.
+    pub fn collector(&self) -> &Collector {
+        &self.obs
     }
 
     /// The compiled `cycles`-cycle program of `gate` at concatenation
@@ -126,22 +147,44 @@ impl CompileCache {
     ///
     /// Panics on the same invalid inputs as [`ConcatMc::new`].
     pub fn concat(&self, level: u8, gate: Gate, cycles: usize) -> Arc<ConcatMc> {
+        self.concat_with(&self.obs, level, gate, cycles)
+    }
+
+    /// [`CompileCache::concat`] recording the lookup into `obs` (pass a
+    /// per-experiment child collector for attribution; bumps propagate
+    /// to the cache-wide aggregate through the parent chain).
+    pub fn concat_with(
+        &self,
+        obs: &Collector,
+        level: u8,
+        gate: Gate,
+        cycles: usize,
+    ) -> Arc<ConcatMc> {
         let key = (level, gate, cycles);
         if let Some(mc) = self.programs.lock().expect("cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            obs.incr(Metric::CacheHits);
             return Arc::clone(mc);
         }
         // Compile outside the lock (level-2 programs are thousands of ops);
         // a racing duplicate compile is tolerated — the first insert wins
         // and the loser's artifact is dropped.
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let mc = Arc::new(ConcatMc::new(level, gate, cycles));
-        self.programs
+        obs.incr(Metric::CacheMisses);
+        let mc = {
+            let _span = obs.span_metric("cache.compile", Metric::CompileNanos);
+            Arc::new(ConcatMc::new(level, gate, cycles))
+        };
+        let shared = self
+            .programs
             .lock()
             .expect("cache poisoned")
             .entry(key)
             .or_insert_with(|| Arc::clone(&mc))
-            .clone()
+            .clone();
+        obs.set_gauge(
+            rft_obs::Gauge::CachedPrograms,
+            self.programs_cached() as f64,
+        );
+        shared
     }
 
     /// The [`Engine`] of `circuit` bound to `noise`, compiling on first
@@ -153,29 +196,46 @@ impl CompileCache {
     ///
     /// Panics if the model reports a probability outside `[0, 1]`.
     pub fn engine<N: NoiseModel + ?Sized>(&self, circuit: &Circuit, noise: &N) -> Arc<Engine> {
+        self.engine_with(&self.obs, circuit, noise)
+    }
+
+    /// [`CompileCache::engine`] recording the lookup into `obs`.
+    pub fn engine_with<N: NoiseModel + ?Sized>(
+        &self,
+        obs: &Collector,
+        circuit: &Circuit,
+        noise: &N,
+    ) -> Arc<Engine> {
         let key = EngineKey::new(circuit, noise);
         if let Some(e) = self.engines.lock().expect("cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            obs.incr(Metric::CacheHits);
             return Arc::clone(e);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let engine = Arc::new(Engine::compile(circuit, noise));
-        self.engines
+        obs.incr(Metric::CacheMisses);
+        obs.incr(Metric::EngineCompiles);
+        let engine = {
+            let _span = obs.span_metric("cache.compile", Metric::CompileNanos);
+            Arc::new(Engine::compile(circuit, noise))
+        };
+        let shared = self
+            .engines
             .lock()
             .expect("cache poisoned")
             .entry(key)
             .or_insert_with(|| Arc::clone(&engine))
-            .clone()
+            .clone();
+        obs.set_gauge(rft_obs::Gauge::CachedEngines, self.engines_cached() as f64);
+        shared
     }
 
-    /// Cache hits so far.
+    /// Cache hits so far (read from the metrics registry: `cache.hits`).
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.obs.get(Metric::CacheHits)
     }
 
-    /// Cache misses (i.e. compiles) so far.
+    /// Cache misses (i.e. compiles) so far (`cache.misses`).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.obs.get(Metric::CacheMisses)
     }
 
     /// Number of distinct compiled programs currently cached.
@@ -194,26 +254,45 @@ impl CompileCache {
 // ---------------------------------------------------------------------------
 
 /// Everything an [`Experiment`] needs at run time: the budget, the shared
-/// compile cache, and the cross-point scheduler.
+/// compile cache, the instrumentation collector, and the cross-point
+/// scheduler.
 #[derive(Debug, Clone)]
 pub struct ExperimentContext {
     cfg: RunConfig,
     cache: Arc<CompileCache>,
+    obs: Collector,
 }
 
 impl ExperimentContext {
-    /// A context over `cfg` with its own fresh compile cache.
+    /// A context over `cfg` with its own fresh compile cache and
+    /// collector.
     pub fn new(cfg: RunConfig) -> Self {
+        let obs = Collector::default();
         ExperimentContext {
             cfg,
-            cache: Arc::new(CompileCache::new()),
+            cache: Arc::new(CompileCache::with_collector(obs.clone())),
+            obs,
         }
     }
 
     /// A context over `cfg` sharing an existing `cache` (how the runner
-    /// lets concurrent experiments reuse each other's artifacts).
+    /// lets concurrent experiments reuse each other's artifacts). The
+    /// context records into the cache's collector.
     pub fn with_cache(cfg: RunConfig, cache: Arc<CompileCache>) -> Self {
-        ExperimentContext { cfg, cache }
+        let obs = cache.collector().clone();
+        ExperimentContext { cfg, cache, obs }
+    }
+
+    /// [`ExperimentContext::with_cache`] recording into an explicit
+    /// collector — typically a [`Collector::child`] of the cache's, so
+    /// the experiment gets its own attribution while aggregates still
+    /// flow up.
+    pub fn with_cache_and_collector(
+        cfg: RunConfig,
+        cache: Arc<CompileCache>,
+        obs: Collector,
+    ) -> Self {
+        ExperimentContext { cfg, cache, obs }
     }
 
     /// The Monte-Carlo budget.
@@ -231,9 +310,14 @@ impl ExperimentContext {
         &self.cache
     }
 
+    /// This context's instrumentation collector.
+    pub fn obs(&self) -> &Collector {
+        &self.obs
+    }
+
     /// Cached [`CompileCache::concat`].
     pub fn concat(&self, level: u8, gate: Gate, cycles: usize) -> Arc<ConcatMc> {
-        self.cache.concat(level, gate, cycles)
+        self.cache.concat_with(&self.obs, level, gate, cycles)
     }
 
     /// [`ConcatMc::estimate`] through the cached engine.
@@ -244,8 +328,8 @@ impl ExperimentContext {
         opts: &McOptions,
     ) -> ErrorEstimate {
         self.cache
-            .engine(mc.program().circuit(), noise)
-            .estimate(&mc.trial(), opts)
+            .engine_with(&self.obs, mc.program().circuit(), noise)
+            .estimate_obs(&mc.trial(), opts, &self.obs)
             .into()
     }
 
@@ -258,8 +342,8 @@ impl ExperimentContext {
         opts: &McOptions,
     ) -> ErrorEstimate {
         self.cache
-            .engine(spec.circuit(), noise)
-            .estimate(spec, opts)
+            .engine_with(&self.obs, spec.circuit(), noise)
+            .estimate_obs(spec, opts, &self.obs)
             .into()
     }
 
@@ -285,9 +369,23 @@ impl ExperimentContext {
     {
         let threads = self.cfg.threads.max(1);
         let outer = threads.min(n.max(1));
+        let obs = &self.obs;
         if outer <= 1 || n <= 1 {
             let inner = self.cfg;
-            return (0..n).map(|i| f(i, &inner)).collect();
+            let out = (0..n)
+                .map(|i| {
+                    obs.incr(Metric::SchedItems);
+                    obs.observe(Hist::QueueDepth, (n - i - 1) as u64);
+                    let _sp = obs.labeled_span_metric("sched.point", Metric::PointNanos, || {
+                        format!("item {i}")
+                    });
+                    f(i, &inner)
+                })
+                .collect();
+            if n > 0 {
+                obs.observe(Hist::ItemsPerWorker, n as u64);
+            }
+            return out;
         }
         let next = AtomicUsize::new(0);
         let live = AtomicUsize::new(outer);
@@ -295,19 +393,34 @@ impl ExperimentContext {
         std::thread::scope(|scope| {
             for _ in 0..outer {
                 scope.spawn(|| {
+                    let mut pulled = 0u64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
+                        obs.incr(Metric::SchedItems);
+                        if pulled > 0 {
+                            // Every pull past a worker's first is a steal:
+                            // the worker finished its item and grabbed the
+                            // next unstarted one instead of idling.
+                            obs.incr(Metric::SchedSteals);
+                        }
+                        pulled += 1;
+                        obs.observe(Hist::QueueDepth, n.saturating_sub(i + 1) as u64);
                         let share = RunConfig {
                             threads: (threads / live.load(Ordering::Relaxed).max(1)).max(1),
                             ..self.cfg
                         };
+                        let _sp =
+                            obs.labeled_span_metric("sched.point", Metric::PointNanos, || {
+                                format!("item {i}")
+                            });
                         let out = f(i, &share);
                         *results[i].lock().expect("result slot poisoned") = Some(out);
                     }
                     live.fetch_sub(1, Ordering::Relaxed);
+                    obs.observe(Hist::ItemsPerWorker, pulled);
                 });
             }
         });
@@ -373,8 +486,8 @@ pub fn find(id: &str) -> Option<&'static dyn Experiment> {
 // ---------------------------------------------------------------------------
 
 /// One experiment's outcome under [`run_experiments`]: the deterministic
-/// [`Report`] plus per-run facts (wall time) that stay out of the
-/// artifact.
+/// [`Report`] plus per-run facts (wall time, executed words) that stay
+/// out of the artifact.
 #[derive(Debug)]
 pub struct ExperimentRun {
     /// The experiment's registry id.
@@ -385,6 +498,36 @@ pub struct ExperimentRun {
     pub report: Report,
     /// Wall-clock time this experiment took.
     pub wall: Duration,
+    /// Monte-Carlo words this experiment executed (0 when the runner has
+    /// no live collector).
+    pub executed_words: u64,
+}
+
+/// How [`run_experiments_with`] observes and narrates a run.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// The run-wide collector. Every experiment gets a
+    /// [`Collector::child`] of this for attribution; the shared compile
+    /// cache records into it directly. Defaults to disabled (record
+    /// nothing).
+    pub obs: Collector,
+    /// Print per-experiment start/finish lines to stderr.
+    pub progress: bool,
+    /// Attach a [`crate::report::ResourceUsage`] section to every
+    /// report, built from the experiment's child collector. Off by
+    /// default: resources are non-deterministic (wall times), so golden
+    /// artifacts are produced without them.
+    pub attach_resources: bool,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            obs: Collector::disabled(),
+            progress: false,
+            attach_resources: false,
+        }
+    }
 }
 
 /// Runs `experiments` under one shared compile cache, concurrently up to
@@ -400,18 +543,55 @@ pub fn run_experiments(
     experiments: &[&'static dyn Experiment],
     cfg: &RunConfig,
 ) -> Vec<ExperimentRun> {
-    let cache = Arc::new(CompileCache::new());
-    let outer_ctx = ExperimentContext::with_cache(*cfg, Arc::clone(&cache));
+    run_experiments_with(experiments, cfg, &RunnerOptions::default())
+}
+
+/// [`run_experiments`] with explicit [`RunnerOptions`]: a run-wide
+/// collector (spans land on one shared timeline, counters aggregate at
+/// the root with per-experiment children), optional stderr progress
+/// lines, and optional per-report resource sections.
+pub fn run_experiments_with(
+    experiments: &[&'static dyn Experiment],
+    cfg: &RunConfig,
+    opts: &RunnerOptions,
+) -> Vec<ExperimentRun> {
+    let cache = Arc::new(CompileCache::with_collector(opts.obs.clone()));
+    let outer_ctx =
+        ExperimentContext::with_cache_and_collector(*cfg, Arc::clone(&cache), opts.obs.clone());
     outer_ctx.run_parallel(experiments.len(), |i, share| {
         let exp = experiments[i];
-        let mut ctx = ExperimentContext::with_cache(*share, Arc::clone(&cache));
+        if opts.progress {
+            eprintln!("[repro] {} ...", exp.id());
+        }
+        let child = opts.obs.child();
+        let mut ctx =
+            ExperimentContext::with_cache_and_collector(*share, Arc::clone(&cache), child.clone());
         let start = Instant::now();
-        let report = exp.run(&mut ctx);
+        let mut report = {
+            let _span = child.labeled_span("experiment", || exp.id().to_string());
+            exp.run(&mut ctx)
+        };
+        let wall = start.elapsed();
+        let snapshot = child.snapshot();
+        let executed_words = snapshot.counter(Metric::ExecutedWords);
+        if opts.progress {
+            eprintln!(
+                "[repro] {} done in {:.2}s ({executed_words} words)",
+                exp.id(),
+                wall.as_secs_f64(),
+            );
+        }
+        if opts.attach_resources {
+            report.resources = Some(crate::report::ResourceUsage::from_observations(
+                &snapshot, wall,
+            ));
+        }
         ExperimentRun {
             id: exp.id(),
             title: exp.title(),
             report,
-            wall: start.elapsed(),
+            wall,
+            executed_words,
         }
     })
 }
@@ -568,6 +748,7 @@ mod tests {
                 title: "Demo",
                 report: Report::new("demo", "Demo", &[]),
                 wall: Duration::from_millis(5),
+                executed_words: 0,
             },
             "demo.json",
         );

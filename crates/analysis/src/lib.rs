@@ -44,15 +44,15 @@ pub mod sweep;
 pub mod prelude {
     pub use crate::entropy_meas::{measure_reset_entropy, EntropyMeasurement};
     pub use crate::experiment::{
-        find, registry, run_experiments, CompileCache, Experiment, ExperimentContext,
-        ExperimentRun, ManifestEntry, RunManifest,
+        find, registry, run_experiments, run_experiments_with, CompileCache, Experiment,
+        ExperimentContext, ExperimentRun, ManifestEntry, RunManifest, RunnerOptions,
     };
     pub use crate::experiments::RunConfig;
     pub use crate::montecarlo::{
         estimate_cycle_error, estimate_cycle_error_outcome, unprotected_error, ConcatMc,
         ConcatTrial, BATCH_TRIAL_THRESHOLD,
     };
-    pub use crate::report::{Check, Report, Series, Table, SCHEMA_VERSION};
+    pub use crate::report::{Check, Report, ResourceUsage, Series, Table, SCHEMA_VERSION};
     pub use crate::stats::{linear_slope, stratified_estimate, wilson_interval, ErrorEstimate};
     pub use crate::sweep::{find_crossing, log_grid, sweep, SweepPoint};
     pub use rft_revsim::engine::{BackendKind, Engine, Estimator, McOptions, McOutcome};

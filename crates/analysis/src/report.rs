@@ -13,10 +13,14 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// Version of the `Report`/manifest JSON schema emitted by `--json`.
 ///
 /// History: 1 — initial schema (id/title/tags/tables/series/checks/notes).
+/// The optional `resources` section added later is **additive**: it is
+/// omitted entirely when absent and ignored-if-missing when parsing, so
+/// it does not bump the version.
 pub const SCHEMA_VERSION: u32 = 1;
 
 /// A simple aligned text table.
@@ -216,15 +220,94 @@ impl Check {
     }
 }
 
+/// Resource profile of one experiment run, attached to a [`Report`] only
+/// on request (`repro --metrics`): wall-clock facts are **not**
+/// deterministic, so golden artifacts are produced without this section.
+///
+/// All figures come from the experiment's child
+/// [`Collector`](rft_obs::Collector) plus the runner's wall clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// Wall-clock milliseconds for the whole experiment.
+    pub wall_ms: f64,
+    /// Milliseconds spent compiling programs/engines (`cache.compile_ns`).
+    pub compile_ms: f64,
+    /// Milliseconds inside `Engine` estimates (`engine.estimate_ns`).
+    pub execute_ms: f64,
+    /// Monte-Carlo words executed (`engine.executed_words`).
+    pub executed_words: u64,
+    /// Trials (lanes) executed (`engine.executed_trials`).
+    pub executed_trials: u64,
+    /// Executed words per wall-clock second.
+    pub words_per_sec: f64,
+    /// Compile-cache hits attributed to this experiment (`cache.hits`).
+    pub cache_hits: u64,
+    /// Compile-cache misses, i.e. compiles (`cache.misses`).
+    pub cache_misses: u64,
+    /// Stratified-estimator rounds executed (`estimator.rounds`).
+    pub stratified_rounds: u64,
+    /// Probability mass the stratified estimator resolved analytically
+    /// (`estimator.elided_mass`, last run wins).
+    pub elided_mass: f64,
+}
+
+impl ResourceUsage {
+    /// Builds the section from a collector snapshot and the measured wall
+    /// time. With the obs feature off (or a disabled collector) every
+    /// counter-derived field is zero.
+    pub fn from_observations(snapshot: &rft_obs::Snapshot, wall: Duration) -> Self {
+        use rft_obs::{Gauge, Metric};
+        let wall_s = wall.as_secs_f64();
+        let executed_words = snapshot.counter(Metric::ExecutedWords);
+        ResourceUsage {
+            wall_ms: wall_s * 1e3,
+            compile_ms: snapshot.counter(Metric::CompileNanos) as f64 / 1e6,
+            execute_ms: snapshot.counter(Metric::EstimateNanos) as f64 / 1e6,
+            executed_words,
+            executed_trials: snapshot.counter(Metric::ExecutedTrials),
+            words_per_sec: if wall_s > 0.0 {
+                executed_words as f64 / wall_s
+            } else {
+                0.0
+            },
+            cache_hits: snapshot.counter(Metric::CacheHits),
+            cache_misses: snapshot.counter(Metric::CacheMisses),
+            stratified_rounds: snapshot.counter(Metric::StratifiedRounds),
+            elided_mass: snapshot.gauge(Gauge::ElidedMass),
+        }
+    }
+
+    /// Renders the section as an aligned two-column table.
+    pub fn render(&self, id: &str) -> String {
+        let mut t = Table::new(format!("{id} — resources"), &["fact", "value"]);
+        t.row(&["wall".into(), format!("{:.2} ms", self.wall_ms)]);
+        t.row(&["compile".into(), format!("{:.2} ms", self.compile_ms)]);
+        t.row(&["execute".into(), format!("{:.2} ms", self.execute_ms)]);
+        t.row(&["words".into(), self.executed_words.to_string()]);
+        t.row(&["trials".into(), self.executed_trials.to_string()]);
+        t.row(&["words/sec".into(), format!("{:.0}", self.words_per_sec)]);
+        t.row(&[
+            "cache hit/miss".into(),
+            format!("{}/{}", self.cache_hits, self.cache_misses),
+        ]);
+        t.row(&["strat rounds".into(), self.stratified_rounds.to_string()]);
+        t.row(&["elided mass".into(), format!("{:.6}", self.elided_mass)]);
+        t.render()
+    }
+}
+
 /// The schema-versioned result artifact of one experiment run.
 ///
 /// A `Report` is pure data: deterministic for a given [`RunConfig`]
 /// (wall-clock and host facts live in the run manifest, not here), so a
 /// fixed seed produces bit-identical reports regardless of thread count
-/// or experiment schedule.
+/// or experiment schedule. The one exception is the opt-in
+/// [`ResourceUsage`] section, which is omitted from JSON entirely when
+/// `None` — serialization is hand-written below so golden artifacts stay
+/// byte-identical.
 ///
 /// [`RunConfig`]: crate::experiments::RunConfig
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// JSON schema version ([`SCHEMA_VERSION`] at creation).
     pub schema_version: u32,
@@ -242,6 +325,53 @@ pub struct Report {
     pub checks: Vec<Check>,
     /// Free-form notes printed after the tables.
     pub notes: Vec<String>,
+    /// Optional resource profile (see [`ResourceUsage`]); never attached
+    /// to golden artifacts.
+    pub resources: Option<ResourceUsage>,
+}
+
+// The derive serializes every field unconditionally and requires every
+// key when parsing; `resources` must instead vanish when `None` (golden
+// byte-identity) and default when missing (old artifacts parse), so both
+// impls are written out.
+impl Serialize for Report {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("schema_version".to_string(), self.schema_version.to_value()),
+            ("id".to_string(), self.id.to_value()),
+            ("title".to_string(), self.title.to_value()),
+            ("tags".to_string(), self.tags.to_value()),
+            ("tables".to_string(), self.tables.to_value()),
+            ("series".to_string(), self.series.to_value()),
+            ("checks".to_string(), self.checks.to_value()),
+            ("notes".to_string(), self.notes.to_value()),
+        ];
+        if let Some(r) = &self.resources {
+            fields.push(("resources".to_string(), r.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for Report {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let m = serde::as_map(v, "Report")?;
+        let field = |key| serde::map_get(m, key, "Report");
+        Ok(Report {
+            schema_version: Deserialize::from_value(field("schema_version")?)?,
+            id: Deserialize::from_value(field("id")?)?,
+            title: Deserialize::from_value(field("title")?)?,
+            tags: Deserialize::from_value(field("tags")?)?,
+            tables: Deserialize::from_value(field("tables")?)?,
+            series: Deserialize::from_value(field("series")?)?,
+            checks: Deserialize::from_value(field("checks")?)?,
+            notes: Deserialize::from_value(field("notes")?)?,
+            resources: match m.iter().find(|(k, _)| k == "resources") {
+                Some((_, v)) => Deserialize::from_value(v)?,
+                None => None,
+            },
+        })
+    }
 }
 
 impl Report {
@@ -256,6 +386,7 @@ impl Report {
             series: Vec::new(),
             checks: Vec::new(),
             notes: Vec::new(),
+            resources: None,
         }
     }
 
@@ -317,6 +448,9 @@ impl Report {
                 ]);
             }
             out.push_str(&t.render());
+        }
+        if let Some(r) = &self.resources {
+            out.push_str(&r.render(&self.id));
         }
         out
     }
@@ -437,6 +571,35 @@ mod tests {
         assert!(r.render().contains("FAILED"));
         let approx = Check::approx("ratio", 0.77, 0.8, 0.05);
         assert!(approx.pass);
+    }
+
+    #[test]
+    fn resources_are_omitted_when_none_and_round_trip_when_some() {
+        let mut r = Report::new("demo", "Demo", &[]);
+        let without = r.to_json();
+        // The additive section leaves resource-free artifacts untouched:
+        // no key, not even a null.
+        assert!(!without.contains("resources"));
+        assert_eq!(Report::from_json(&without).expect("parse"), r);
+
+        r.resources = Some(ResourceUsage {
+            wall_ms: 12.5,
+            compile_ms: 3.0,
+            execute_ms: 8.0,
+            executed_words: 1024,
+            executed_trials: 65536,
+            words_per_sec: 81920.0,
+            cache_hits: 7,
+            cache_misses: 2,
+            stratified_rounds: 4,
+            elided_mass: 0.75,
+        });
+        let with = r.to_json();
+        assert!(with.contains("\"resources\""));
+        assert!(with.contains("\"executed_words\": 1024"));
+        let back = Report::from_json(&with).expect("round trip");
+        assert_eq!(back, r);
+        assert!(r.render().contains("demo — resources"));
     }
 
     #[test]

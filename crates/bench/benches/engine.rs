@@ -76,5 +76,44 @@ fn engine_estimate_roundtrip(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, engine_compile_overhead, engine_estimate_roundtrip);
+/// Instrumented vs disabled collection on the same `engine_estimate`
+/// workload.
+///
+/// The two benches differ **only** in the collector handed to
+/// [`Engine::estimate_obs`]: `disabled_4k_trials` passes
+/// `Collector::disabled()` (the branch-only fast path `Engine::estimate`
+/// takes), `enabled_4k_trials` passes a live collector recording every
+/// counter, histogram and span. CI gates their within-run ratio at ≤2%
+/// (`check_bench_regression.py --pair`), pinning the "zero-cost when
+/// watched" claim: word-loop tallies are plain integers flushed once per
+/// run, so collection must stay in the noise.
+fn obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    let spec = transversal_cycle(&toffoli());
+    let noise = UniformNoise::new(1.0 / 165.0);
+    const TRIALS: u64 = 4_096;
+    group.throughput(Throughput::Elements(TRIALS));
+    let engine = Engine::compile(spec.circuit(), &noise);
+    let opts = McOptions::new(TRIALS)
+        .seed(1)
+        .threads(1)
+        .estimator(Estimator::Plain);
+    let off = rft_obs::Collector::disabled();
+    group.bench_function("disabled_4k_trials", |b| {
+        b.iter(|| black_box(engine.estimate_obs(&spec, &opts, &off).failures));
+    });
+    let live = rft_obs::Collector::new();
+    group.bench_function("enabled_4k_trials", |b| {
+        b.iter(|| black_box(engine.estimate_obs(&spec, &opts, &live).failures));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    engine_compile_overhead,
+    engine_estimate_roundtrip,
+    obs_overhead
+);
 criterion_main!(benches);

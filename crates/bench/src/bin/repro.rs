@@ -5,7 +5,8 @@
 //! repro [list] [--quick] [--trials N] [--seed S] [--threads N]
 //!       [--backend auto|scalar|batch]
 //!       [--estimator plain|stratified[:MIN[:STRATA]]|auto]
-//!       [--rel-error E] [--json DIR] [--check] [EXPERIMENT ...]
+//!       [--rel-error E] [--json DIR] [--check] [--quiet]
+//!       [--trace FILE] [--metrics] [EXPERIMENT ...]
 //! ```
 //!
 //! Experiments are discovered through the
@@ -23,11 +24,24 @@
 //! stratified rare-event sampling); `--rel-error` enables adaptive early
 //! stopping at the given target relative standard error.
 //!
+//! Observability: per-experiment progress lines go to stderr by default
+//! (`--quiet` silences them); `--trace FILE` records spans from the
+//! instrumentation layer and writes a Chrome-trace-event JSON viewable in
+//! Perfetto or `chrome://tracing`; `--metrics` prints the aggregate
+//! counter/gauge/histogram table after the run and attaches a `resources`
+//! section to each report. Collection never perturbs results: reports are
+//! byte-identical with or without `--trace`/`--metrics` (the `resources`
+//! section is additive, and `--json` goldens are written without it
+//! unless `--metrics` is given).
+//!
 //! Exit codes: 0 success, 1 failed self-check under `--check` (or an I/O
 //! failure), 2 usage error.
 
-use rft_analysis::experiment::{find, registry, run_experiments, Experiment, RunManifest};
+use rft_analysis::experiment::{
+    find, registry, run_experiments_with, Experiment, RunManifest, RunnerOptions,
+};
 use rft_analysis::experiments::RunConfig;
+use rft_obs::Collector;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -37,6 +51,9 @@ struct Cli {
     json_dir: Option<String>,
     check: bool,
     list: bool,
+    quiet: bool,
+    trace_file: Option<String>,
+    metrics: bool,
 }
 
 fn usage() -> String {
@@ -45,11 +62,15 @@ fn usage() -> String {
         "usage: repro [list] [--quick] [--trials N] [--seed S] [--threads N]\n\
          \x20            [--backend auto|scalar|batch] [--width auto|1|2|4]\n\
          \x20            [--estimator plain|stratified[:MIN[:STRATA]]|auto]\n\
-         \x20            [--rel-error E] [--json DIR] [--check] [EXPERIMENT ...]\n\
+         \x20            [--rel-error E] [--json DIR] [--check] [--quiet]\n\
+         \x20            [--trace FILE] [--metrics] [EXPERIMENT ...]\n\
          experiments: {}\n\
          `repro list` prints the registry (id, title, tags); `--json DIR` writes\n\
          one <id>.json report per experiment plus manifest.json; `--check` exits\n\
-         nonzero if any experiment self-check fails.",
+         nonzero if any experiment self-check fails; `--quiet` silences the\n\
+         per-experiment stderr progress lines; `--trace FILE` writes a\n\
+         Chrome-trace-event JSON of the run; `--metrics` prints the counter\n\
+         table and attaches resource sections to reports.",
         ids.join(" ")
     )
 }
@@ -61,6 +82,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         json_dir: None,
         check: false,
         list: false,
+        quiet: false,
+        trace_file: None,
+        metrics: false,
     };
     let raw: Vec<String> = args.collect();
     let mut i = 0usize;
@@ -129,6 +153,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                 cli.json_dir = Some(v);
             }
             "--check" => cli.check = true,
+            "--quiet" => cli.quiet = true,
+            "--trace" => {
+                let v = next_value(&mut i, "--trace", &raw)?;
+                cli.trace_file = Some(v);
+            }
+            "--metrics" => cli.metrics = true,
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with('-') => {
                 return Err(format!("unknown flag {flag:?}"));
@@ -232,8 +262,23 @@ fn main() -> ExitCode {
         }
     );
 
+    // One live collector feeds every observability surface; when none is
+    // requested the runner gets a disabled handle and collection costs a
+    // single branch per call site. Either way the Monte-Carlo results are
+    // identical — instrumentation never touches an RNG stream.
+    let watch = cli.trace_file.is_some() || cli.metrics;
+    let opts = RunnerOptions {
+        obs: if watch {
+            Collector::new()
+        } else {
+            Collector::disabled()
+        },
+        progress: !cli.quiet,
+        attach_resources: cli.metrics,
+    };
+
     let start = Instant::now();
-    let runs = run_experiments(&cli.chosen, &cli.cfg);
+    let runs = run_experiments_with(&cli.chosen, &cli.cfg, &opts);
     let total = start.elapsed();
 
     let mut all_passed = true;
@@ -255,6 +300,21 @@ fn main() -> ExitCode {
         total,
         cli.cfg.threads
     );
+
+    if cli.metrics {
+        println!();
+        print!("{}", opts.obs.snapshot().render_table());
+    }
+    if let Some(file) = &cli.trace_file {
+        if let Err(e) = std::fs::write(file, opts.obs.trace_json()) {
+            eprintln!("repro: cannot write trace {file:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[repro] wrote {} trace span(s) to {file}",
+            opts.obs.span_events().len()
+        );
+    }
 
     if let Some(dir) = &cli.json_dir {
         let mut manifest = RunManifest::new(cli.cfg, git_describe(), total);

@@ -1,0 +1,271 @@
+//! The metric catalog: every counter, gauge and histogram the workspace
+//! records, as fixed enums.
+//!
+//! A fixed catalog (instead of string-keyed maps) is what keeps the hot
+//! path cheap — a counter bump is one indexed atomic add, no hashing, no
+//! allocation — and what makes the set of observables documentable: the
+//! table in `BENCH_NOTES.md` is generated from these `name`/`unit`/
+//! `subsystem` projections, and a unit test pins their uniqueness.
+
+/// A monotonic counter. Names are `subsystem.metric`, dot-separated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Metric {
+    /// Engines compiled (fault-table lowering passes).
+    EngineCompiles,
+    /// Micro-op programs lowered (lazy IR compilation passes).
+    IrLowerings,
+    /// Nanoseconds spent compiling engines and concatenated programs.
+    CompileNanos,
+    /// Nanoseconds spent lowering micro-op programs.
+    LowerNanos,
+    /// Monte-Carlo estimation calls entered.
+    EstimateCalls,
+    /// Nanoseconds spent inside estimation calls.
+    EstimateNanos,
+    /// 64-lane words executed by the word loops.
+    ExecutedWords,
+    /// Trials (lanes) executed inside the budget.
+    ExecutedTrials,
+    /// Lanes judged as logical failures.
+    LaneFailures,
+    /// Lanes that experienced at least one fault.
+    FaultedLanes,
+    /// Individual `(op, lane)` fault injections.
+    FaultEvents,
+    /// Fused-segment executions that stayed on the affine fast path
+    /// (clean or exact-propagation patch).
+    FusedSegments,
+    /// Fused-segment executions that fell back to native replay.
+    ReplayedSegments,
+    /// Words executed under a conditional (stratified) mask schedule.
+    MaskedWords,
+    /// Plain-estimator runs.
+    PlainRuns,
+    /// Stratified-estimator runs.
+    StratifiedRuns,
+    /// Stratified Neyman-reallocation rounds executed.
+    StratifiedRounds,
+    /// Words allocated across strata by the round planner.
+    AllocatedWords,
+    /// Runs that stopped early at their target relative error.
+    EarlyStops,
+    /// Compile-cache lookups that found an artifact.
+    CacheHits,
+    /// Compile-cache lookups that had to compile.
+    CacheMisses,
+    /// Work items executed by the cross-point scheduler.
+    SchedItems,
+    /// Items a worker pulled beyond its first (work stolen from the
+    /// shared queue tail).
+    SchedSteals,
+    /// Nanoseconds of per-point work under the scheduler.
+    PointNanos,
+}
+
+impl Metric {
+    /// Number of counters in the catalog.
+    pub const COUNT: usize = 24;
+
+    /// Every counter, in catalog order.
+    pub const ALL: [Metric; Metric::COUNT] = [
+        Metric::EngineCompiles,
+        Metric::IrLowerings,
+        Metric::CompileNanos,
+        Metric::LowerNanos,
+        Metric::EstimateCalls,
+        Metric::EstimateNanos,
+        Metric::ExecutedWords,
+        Metric::ExecutedTrials,
+        Metric::LaneFailures,
+        Metric::FaultedLanes,
+        Metric::FaultEvents,
+        Metric::FusedSegments,
+        Metric::ReplayedSegments,
+        Metric::MaskedWords,
+        Metric::PlainRuns,
+        Metric::StratifiedRuns,
+        Metric::StratifiedRounds,
+        Metric::AllocatedWords,
+        Metric::EarlyStops,
+        Metric::CacheHits,
+        Metric::CacheMisses,
+        Metric::SchedItems,
+        Metric::SchedSteals,
+        Metric::PointNanos,
+    ];
+
+    /// Stable dotted name (`subsystem.metric`).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Metric::EngineCompiles => "engine.compiles",
+            Metric::IrLowerings => "engine.ir_lowerings",
+            Metric::CompileNanos => "engine.compile_ns",
+            Metric::LowerNanos => "engine.lower_ns",
+            Metric::EstimateCalls => "engine.estimates",
+            Metric::EstimateNanos => "engine.estimate_ns",
+            Metric::ExecutedWords => "engine.executed_words",
+            Metric::ExecutedTrials => "engine.executed_trials",
+            Metric::LaneFailures => "engine.lane_failures",
+            Metric::FaultedLanes => "engine.faulted_lanes",
+            Metric::FaultEvents => "engine.fault_events",
+            Metric::FusedSegments => "engine.fused_segments",
+            Metric::ReplayedSegments => "engine.replayed_segments",
+            Metric::MaskedWords => "engine.masked_words",
+            Metric::PlainRuns => "estimator.plain_runs",
+            Metric::StratifiedRuns => "estimator.stratified_runs",
+            Metric::StratifiedRounds => "estimator.rounds",
+            Metric::AllocatedWords => "estimator.allocated_words",
+            Metric::EarlyStops => "estimator.early_stops",
+            Metric::CacheHits => "cache.hits",
+            Metric::CacheMisses => "cache.misses",
+            Metric::SchedItems => "sched.items",
+            Metric::SchedSteals => "sched.steals",
+            Metric::PointNanos => "sched.point_ns",
+        }
+    }
+
+    /// Unit of the counted quantity.
+    pub const fn unit(self) -> &'static str {
+        match self {
+            Metric::EngineCompiles => "engines",
+            Metric::IrLowerings => "programs",
+            Metric::CompileNanos | Metric::LowerNanos | Metric::EstimateNanos => "ns",
+            Metric::PointNanos => "ns",
+            Metric::EstimateCalls => "calls",
+            Metric::ExecutedWords | Metric::MaskedWords | Metric::AllocatedWords => "words",
+            Metric::ExecutedTrials | Metric::LaneFailures | Metric::FaultedLanes => "lanes",
+            Metric::FaultEvents => "events",
+            Metric::FusedSegments | Metric::ReplayedSegments => "segments",
+            Metric::PlainRuns | Metric::StratifiedRuns | Metric::EarlyStops => "runs",
+            Metric::StratifiedRounds => "rounds",
+            Metric::CacheHits => "lookups",
+            Metric::CacheMisses => "compiles",
+            Metric::SchedItems | Metric::SchedSteals => "items",
+        }
+    }
+
+    /// Owning subsystem (the prefix of [`Metric::name`]).
+    pub const fn subsystem(self) -> &'static str {
+        match self {
+            Metric::EngineCompiles
+            | Metric::IrLowerings
+            | Metric::CompileNanos
+            | Metric::LowerNanos
+            | Metric::EstimateCalls
+            | Metric::EstimateNanos
+            | Metric::ExecutedWords
+            | Metric::ExecutedTrials
+            | Metric::LaneFailures
+            | Metric::FaultedLanes
+            | Metric::FaultEvents
+            | Metric::FusedSegments
+            | Metric::ReplayedSegments
+            | Metric::MaskedWords => "engine",
+            Metric::PlainRuns
+            | Metric::StratifiedRuns
+            | Metric::StratifiedRounds
+            | Metric::AllocatedWords
+            | Metric::EarlyStops => "estimator",
+            Metric::CacheHits | Metric::CacheMisses => "cache",
+            Metric::SchedItems | Metric::SchedSteals | Metric::PointNanos => "sched",
+        }
+    }
+}
+
+/// A last-write-wins `f64` gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Probability mass the stratified estimator resolved analytically
+    /// (elided strata) in the most recent stratified run.
+    ElidedMass,
+    /// Distinct concatenated programs currently cached.
+    CachedPrograms,
+    /// Distinct compiled engines currently cached.
+    CachedEngines,
+}
+
+impl Gauge {
+    /// Number of gauges in the catalog.
+    pub const COUNT: usize = 3;
+
+    /// Every gauge, in catalog order.
+    pub const ALL: [Gauge; Gauge::COUNT] = [
+        Gauge::ElidedMass,
+        Gauge::CachedPrograms,
+        Gauge::CachedEngines,
+    ];
+
+    /// Stable dotted name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Gauge::ElidedMass => "estimator.elided_mass",
+            Gauge::CachedPrograms => "cache.programs",
+            Gauge::CachedEngines => "cache.engines",
+        }
+    }
+
+    /// Unit of the gauged quantity.
+    pub const fn unit(self) -> &'static str {
+        match self {
+            Gauge::ElidedMass => "probability",
+            Gauge::CachedPrograms => "programs",
+            Gauge::CachedEngines => "engines",
+        }
+    }
+
+    /// Owning subsystem.
+    pub const fn subsystem(self) -> &'static str {
+        match self {
+            Gauge::ElidedMass => "estimator",
+            Gauge::CachedPrograms | Gauge::CachedEngines => "cache",
+        }
+    }
+}
+
+/// A power-of-two-bucketed histogram of `u64` observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Hist {
+    /// Items left in the scheduler queue when a worker pulled one.
+    QueueDepth,
+    /// Words a single stratum was allocated in one stratified round.
+    RoundWords,
+    /// Items one scheduler worker executed over its lifetime.
+    ItemsPerWorker,
+}
+
+impl Hist {
+    /// Number of histograms in the catalog.
+    pub const COUNT: usize = 3;
+
+    /// Every histogram, in catalog order.
+    pub const ALL: [Hist; Hist::COUNT] = [Hist::QueueDepth, Hist::RoundWords, Hist::ItemsPerWorker];
+
+    /// Stable dotted name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Hist::QueueDepth => "sched.queue_depth",
+            Hist::RoundWords => "estimator.round_words",
+            Hist::ItemsPerWorker => "sched.items_per_worker",
+        }
+    }
+
+    /// Unit of the observed quantity.
+    pub const fn unit(self) -> &'static str {
+        match self {
+            Hist::QueueDepth => "items",
+            Hist::RoundWords => "words",
+            Hist::ItemsPerWorker => "items",
+        }
+    }
+
+    /// Owning subsystem.
+    pub const fn subsystem(self) -> &'static str {
+        match self {
+            Hist::QueueDepth | Hist::ItemsPerWorker => "sched",
+            Hist::RoundWords => "estimator",
+        }
+    }
+}

@@ -137,6 +137,7 @@ use crate::op::Op;
 use crate::state::BitState;
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
+use rft_obs::{Collector, Gauge, Hist, Metric};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
@@ -805,6 +806,20 @@ impl Engine {
             .get_or_init(|| microop::compile(&self.circuit, &self.table))
     }
 
+    /// [`Engine::compiled`] with the lazy IR lowering instrumented: when
+    /// this call performs the lowering, the time lands in
+    /// `engine.lower_ns` under an `engine.lower` span. Subsequent calls
+    /// hit the memoized program and record nothing.
+    fn compiled_obs(&self, obs: &Collector) -> &CompiledOps {
+        if let Some(compiled) = self.compiled.get() {
+            return compiled;
+        }
+        let _span = obs.span_metric("engine.lower", Metric::LowerNanos);
+        let compiled = self.compiled();
+        obs.incr(Metric::IrLowerings);
+        compiled
+    }
+
     /// Statistics of the micro-op compile pass — ops before/after fusion
     /// and the fused-segment histogram. Forces the (lazy, memoized)
     /// micro-op compilation.
@@ -1092,12 +1107,36 @@ impl Engine {
     /// Panics if `opts.trials == 0` or the trial's width disagrees with
     /// the compiled circuit.
     pub fn estimate<T: WordTrial + ?Sized>(&self, trial: &T, opts: &McOptions) -> McOutcome {
+        self.estimate_obs(trial, opts, &Collector::disabled())
+    }
+
+    /// [`Engine::estimate`] with instrumentation: counters, histograms
+    /// and spans land in `obs` (see the `rft-obs` catalog for the metric
+    /// names). Collection is strictly observational — it never touches an
+    /// RNG stream or a scheduling decision, so the outcome is
+    /// byte-identical to [`Engine::estimate`] for the same inputs. Word
+    /// tallies are accumulated as plain integers inside the hot loops and
+    /// flushed to the collector once per run, so the enabled path stays
+    /// within noise of the disabled one (gated ≤ 2% by the
+    /// `obs_overhead` bench group).
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Engine::estimate`].
+    pub fn estimate_obs<T: WordTrial + ?Sized>(
+        &self,
+        trial: &T,
+        opts: &McOptions,
+        obs: &Collector,
+    ) -> McOutcome {
         assert!(opts.trials > 0, "need at least one trial");
         assert_eq!(
             trial.n_wires(),
             self.circuit.n_wires(),
             "trial width must match circuit width"
         );
+        let _span = obs.span_metric("engine.estimate", Metric::EstimateNanos);
+        obs.incr(Metric::EstimateCalls);
         let kind = opts.backend.resolve(opts.trials, opts.batch_threshold);
         let path = match kind {
             BackendKind::Batch => ExecPath::Batch {
@@ -1105,6 +1144,11 @@ impl Engine {
             },
             _ => ExecPath::Scalar,
         };
+        if matches!(path, ExecPath::Batch { .. }) {
+            // Force the lazy IR lowering here so its cost is attributed
+            // to `engine.lower` instead of bleeding into the word loops.
+            self.compiled_obs(obs);
+        }
         let resolved = match opts.estimator {
             Estimator::Auto => {
                 let m = trial.min_failing_faults();
@@ -1135,9 +1179,9 @@ impl Engine {
                      faults, but this trial reports that fault-free words can fail \
                      (WordTrial::fault_free_can_fail); use min_faults = 0 or Estimator::Plain"
                 );
-                self.estimate_stratified(path, trial, opts, min_faults, strata_cap)
+                self.estimate_stratified(path, trial, opts, min_faults, strata_cap, obs)
             }
-            _ => self.estimate_plain(path, trial, opts),
+            _ => self.estimate_plain(path, trial, opts, obs),
         }
     }
 
@@ -1147,7 +1191,9 @@ impl Engine {
         backend: ExecPath,
         trial: &T,
         opts: &McOptions,
+        obs: &Collector,
     ) -> McOutcome {
+        obs.incr(Metric::PlainRuns);
         let threads = opts.threads.max(1);
         let total_words = opts.trials.div_ceil(64);
         let round_words = match opts.target_rel_error {
@@ -1157,12 +1203,14 @@ impl Engine {
         let mut done = 0u64;
         let mut failures = 0u64;
         let mut executed = 0u64;
+        let mut extras = WordExtras::default();
         let mut early_stopped = false;
         while done < total_words {
             let n = round_words.min(total_words - done);
-            let (f, e) = self.run_word_span(backend, trial, opts, done, done + n, threads);
+            let (f, e, x) = self.run_word_span(backend, trial, opts, done, done + n, threads, obs);
             failures += f;
             executed += e;
+            extras.merge(x);
             done += n;
             if done >= total_words {
                 break;
@@ -1174,7 +1222,7 @@ impl Engine {
                 }
             }
         }
-        McOutcome {
+        let outcome = McOutcome {
             failures,
             trials: executed,
             requested: opts.trials,
@@ -1184,11 +1232,17 @@ impl Engine {
             sample_weight: 1.0,
             executed_words: done,
             strata: Vec::new(),
-        }
+        };
+        flush_run(obs, &outcome, &extras);
+        outcome
     }
 
     /// Runs words `[start, end)` split contiguously across `threads`,
-    /// returning `(failures, executed_trials)`.
+    /// returning `(failures, executed_trials, extras)`. Each worker opens
+    /// an `engine.words` span on its own thread so the trace attributes
+    /// word-loop time to the thread that spent it; the split itself never
+    /// consults the collector.
+    #[allow(clippy::too_many_arguments)]
     fn run_word_span<T: WordTrial + ?Sized>(
         &self,
         backend: ExecPath,
@@ -1197,9 +1251,11 @@ impl Engine {
         start: u64,
         end: u64,
         threads: usize,
-    ) -> (u64, u64) {
+        obs: &Collector,
+    ) -> (u64, u64, WordExtras) {
         let span = end - start;
         if threads <= 1 || span <= 1 {
+            let _s = obs.span("engine.words");
             return self.run_word_range(backend, trial, opts, start, end);
         }
         let threads = (threads as u64).min(span);
@@ -1212,14 +1268,18 @@ impl Engine {
                 let n = per + u64::from(t < extra);
                 let lo = first;
                 first += n;
-                handles.push(
-                    scope.spawn(move || self.run_word_range(backend, trial, opts, lo, lo + n)),
-                );
+                handles.push(scope.spawn(move || {
+                    let _s = obs.span("engine.words");
+                    self.run_word_range(backend, trial, opts, lo, lo + n)
+                }));
             }
-            handles.into_iter().fold((0, 0), |(f, e), h| {
-                let (df, de) = h.join().expect("trial thread panicked");
-                (f + df, e + de)
-            })
+            handles
+                .into_iter()
+                .fold((0, 0, WordExtras::default()), |(f, e, mut x), h| {
+                    let (df, de, dx) = h.join().expect("trial thread panicked");
+                    x.merge(dx);
+                    (f + df, e + de, x)
+                })
         })
     }
 
@@ -1232,7 +1292,7 @@ impl Engine {
         opts: &McOptions,
         start: u64,
         end: u64,
-    ) -> (u64, u64) {
+    ) -> (u64, u64, WordExtras) {
         match backend {
             ExecPath::Scalar => self.run_word_range_scalar(trial, opts, start, end),
             ExecPath::Batch { width: 2 } => {
@@ -1252,7 +1312,7 @@ impl Engine {
         opts: &McOptions,
         start: u64,
         end: u64,
-    ) -> (u64, u64) {
+    ) -> (u64, u64, WordExtras) {
         let n_wires = self.circuit.n_wires();
         let mut batch = BatchState::zeros(n_wires, 1);
         let mut inputs: Vec<u64> = Vec::new();
@@ -1261,6 +1321,7 @@ impl Engine {
         let judge_faulted_only = !trial.fault_free_can_fail();
         let mut failures = 0u64;
         let mut executed = 0u64;
+        let mut extras = WordExtras::default();
         for word in start..end {
             let mut rng =
                 SmallRng::seed_from_u64(opts.seed ^ WORD_SEED_STRIDE.wrapping_mul(word + 1));
@@ -1268,6 +1329,8 @@ impl Engine {
             trial.prepare_into(&mut batch, &mut rng, &mut inputs);
             let report = ScalarBackend.run(self, &mut batch, &mut rng);
             let valid = valid_lanes(opts.trials, word);
+            extras.fault_events += report.fault_events;
+            extras.faulted_lanes += (report.faulted_lanes[0] & valid).count_ones() as u64;
             let candidates = if judge_faulted_only {
                 report.faulted_lanes[0] & valid
             } else {
@@ -1276,7 +1339,7 @@ impl Engine {
             failures += trial.judge_masked(&batch, &inputs, candidates).count_ones() as u64;
             executed += valid.count_ones() as u64;
         }
-        (failures, executed)
+        (failures, executed, extras)
     }
 
     /// The compiled word loop: `W` logical words per iteration through
@@ -1289,7 +1352,7 @@ impl Engine {
         opts: &McOptions,
         start: u64,
         end: u64,
-    ) -> (u64, u64) {
+    ) -> (u64, u64, WordExtras) {
         let compiled = self.compiled();
         let n_wires = self.circuit.n_wires();
         let mut wide = BatchState::zeros(n_wires, W);
@@ -1299,13 +1362,15 @@ impl Engine {
         let judge_faulted_only = !trial.fault_free_can_fail();
         let mut failures = 0u64;
         let mut executed = 0u64;
+        let mut extras = WordExtras::default();
         let mut word = start;
         while word < end {
             if (end - word) < W as u64 {
                 // Remainder words run at width 1 — bit-identical, since
                 // every word owns its RNG stream regardless of grouping.
-                let (f, e) = self.run_word_range_wide::<T, 1>(trial, opts, word, end);
-                return (failures + f, executed + e);
+                let (f, e, x) = self.run_word_range_wide::<T, 1>(trial, opts, word, end);
+                extras.merge(x);
+                return (failures + f, executed + e, extras);
             }
             let mut rngs: [SmallRng; W] = std::array::from_fn(|k| {
                 SmallRng::seed_from_u64(
@@ -1324,8 +1389,12 @@ impl Engine {
                 &mut rngs,
                 &mut scratch,
             );
+            extras.fault_events += outcome.fault_events;
+            extras.fused_segments += outcome.fused_segments;
+            extras.replayed_segments += outcome.replayed_segments;
             for (k, word_inputs) in inputs.iter().enumerate() {
                 let valid = valid_lanes(opts.trials, word + k as u64);
+                extras.faulted_lanes += (outcome.faulted[k] & valid).count_ones() as u64;
                 let candidates = if judge_faulted_only {
                     outcome.faulted[k] & valid
                 } else {
@@ -1341,13 +1410,14 @@ impl Engine {
             }
             word += W as u64;
         }
-        (failures, executed)
+        (failures, executed, extras)
     }
 
     /// The fault-count-stratified rare-event estimator (see the module
     /// docs for the derivation). Words are generated *conditioned on their
     /// stratum's fault count*; strata below `min_faults` contribute
     /// analytically as exact zeros.
+    #[allow(clippy::too_many_arguments)]
     fn estimate_stratified<T: WordTrial + ?Sized>(
         &self,
         backend: ExecPath,
@@ -1355,17 +1425,20 @@ impl Engine {
         opts: &McOptions,
         min_faults: u32,
         strata_cap: u32,
+        obs: &Collector,
     ) -> McOutcome {
+        obs.incr(Metric::StratifiedRuns);
         // Stratum layout + tail CDF are pure functions of the compiled
         // fault-count PMF — derived once per (min_faults, strata_cap)
         // and memoized on the engine.
         let plan = self.strata_plan(min_faults, strata_cap);
         let mut strata: Vec<StratumOutcome> = plan.strata.clone();
         let sample_weight = plan.sample_weight;
+        obs.set_gauge(Gauge::ElidedMass, (1.0 - sample_weight).max(0.0));
         if plan.all_elided {
             // Everything below `min_faults`: the whole budget resolves
             // analytically (e.g. a noiseless model) — nothing to execute.
-            return McOutcome {
+            let outcome = McOutcome {
                 failures: 0,
                 trials: opts.trials,
                 requested: opts.trials,
@@ -1376,6 +1449,8 @@ impl Engine {
                 executed_words: 0,
                 strata,
             };
+            flush_run(obs, &outcome, &WordExtras::default());
+            return outcome;
         }
         let tail_cdf = &plan.tail_cdf;
         let tail_lo = plan.tail_lo;
@@ -1386,8 +1461,12 @@ impl Engine {
         let mut round_size = ADAPTIVE_ROUND_WORDS;
         let mut early_stopped = false;
         let mut assignment: Vec<u32> = Vec::new();
+        let mut extras = WordExtras::default();
         while next_word < total_words {
+            let _round_span = obs.span("estimator.round");
+            obs.incr(Metric::StratifiedRounds);
             let round = round_size.min(total_words - next_word);
+            obs.add(Metric::AllocatedWords, round);
             // Neyman scores from the *observed* per-stratum variance
             // `wₖ·√(q̂ₖ(1−q̂ₖ))`. A stratum that has never failed is
             // scored by its rule-of-three uncertainty `wₖ·√(1.5/nₖ)` —
@@ -1421,9 +1500,12 @@ impl Engine {
             let alloc = apportion_words(&scores, &weights, round);
             assignment.clear();
             for (si, &n) in alloc.iter().enumerate() {
+                if n > 0 {
+                    obs.observe(Hist::RoundWords, n);
+                }
                 assignment.extend(std::iter::repeat_n(si as u32, n as usize));
             }
-            let tallies = self.run_stratified_span(
+            let (tallies, round_extras) = self.run_stratified_span(
                 backend,
                 trial,
                 opts,
@@ -1433,7 +1515,10 @@ impl Engine {
                 next_word,
                 &assignment,
                 threads,
+                obs,
             );
+            extras.merge(round_extras);
+            extras.masked_words += round;
             for (s, (f, n)) in strata.iter_mut().zip(&tallies) {
                 s.failures += f;
                 s.trials += n;
@@ -1451,7 +1536,7 @@ impl Engine {
             }
         }
 
-        McOutcome {
+        let outcome = McOutcome {
             failures: strata.iter().map(|s| s.failures).sum(),
             trials: strata.iter().map(|s| s.trials).sum(),
             requested: opts.trials,
@@ -1461,7 +1546,9 @@ impl Engine {
             sample_weight,
             executed_words: next_word,
             strata,
-        }
+        };
+        flush_run(obs, &outcome, &extras);
+        outcome
     }
 
     /// Runs one stratified round: `assignment[i]` names the stratum of
@@ -1479,9 +1566,11 @@ impl Engine {
         base_word: u64,
         assignment: &[u32],
         threads: usize,
-    ) -> Vec<(u64, u64)> {
+        obs: &Collector,
+    ) -> (Vec<(u64, u64)>, WordExtras) {
         let span = assignment.len();
         if threads <= 1 || span <= 1 {
+            let _s = obs.span("engine.words");
             return self.run_stratified_range(
                 backend, trial, opts, strata, tail_cdf, tail_lo, base_word, assignment,
             );
@@ -1498,6 +1587,7 @@ impl Engine {
                 first += n;
                 let slice = &assignment[lo..lo + n];
                 handles.push(scope.spawn(move || {
+                    let _s = obs.span("engine.words");
                     self.run_stratified_range(
                         backend,
                         trial,
@@ -1510,16 +1600,18 @@ impl Engine {
                     )
                 }));
             }
-            handles
-                .into_iter()
-                .fold(vec![(0u64, 0u64); strata.len()], |mut acc, h| {
-                    let part = h.join().expect("trial thread panicked");
+            handles.into_iter().fold(
+                (vec![(0u64, 0u64); strata.len()], WordExtras::default()),
+                |(mut acc, mut x), h| {
+                    let (part, px) = h.join().expect("trial thread panicked");
                     for (a, p) in acc.iter_mut().zip(&part) {
                         a.0 += p.0;
                         a.1 += p.1;
                     }
-                    acc
-                })
+                    x.merge(px);
+                    (acc, x)
+                },
+            )
         })
     }
 
@@ -1536,7 +1628,7 @@ impl Engine {
         tail_lo: usize,
         base_word: u64,
         assignment: &[u32],
-    ) -> Vec<(u64, u64)> {
+    ) -> (Vec<(u64, u64)>, WordExtras) {
         match backend {
             ExecPath::Scalar => self.run_stratified_range_scalar(
                 trial, opts, strata, tail_cdf, tail_lo, base_word, assignment,
@@ -1565,7 +1657,7 @@ impl Engine {
         tail_lo: usize,
         base_word: u64,
         assignment: &[u32],
-    ) -> Vec<(u64, u64)> {
+    ) -> (Vec<(u64, u64)>, WordExtras) {
         let dist = self.fault_dist();
         let n_wires = self.circuit.n_wires();
         let mut batch = BatchState::zeros(n_wires, 1);
@@ -1575,6 +1667,7 @@ impl Engine {
         let mut chosen: Vec<u32> = Vec::new();
         let mut scratch: Vec<usize> = Vec::new();
         let mut tallies = vec![(0u64, 0u64); strata.len()];
+        let mut extras = WordExtras::default();
         for (i, &si) in assignment.iter().enumerate() {
             let word = base_word + i as u64;
             let mut rng =
@@ -1609,6 +1702,8 @@ impl Engine {
             }
             let report = ScalarBackend.run_masked(self, &mut batch, &masks, &mut rng);
             let valid = valid_lanes(opts.trials, word);
+            extras.fault_events += report.fault_events;
+            extras.faulted_lanes += (report.faulted_lanes[0] & valid).count_ones() as u64;
             // With `min_faults = 0` on an elision-ineligible trial, clean
             // lanes can still fail and must be judged.
             let candidates = if trial.fault_free_can_fail() {
@@ -1620,7 +1715,7 @@ impl Engine {
             tallies[si as usize].0 += failed.count_ones() as u64;
             tallies[si as usize].1 += valid.count_ones() as u64;
         }
-        tallies
+        (tallies, extras)
     }
 
     /// Compiled stratified word loop: `W` conditioned logical words per
@@ -1637,7 +1732,7 @@ impl Engine {
         tail_lo: usize,
         base_word: u64,
         assignment: &[u32],
-    ) -> Vec<(u64, u64)> {
+    ) -> (Vec<(u64, u64)>, WordExtras) {
         let compiled = self.compiled();
         let dist = self.fault_dist();
         let n_ops = self.circuit.len();
@@ -1652,11 +1747,12 @@ impl Engine {
         let mut chosen: Vec<u32> = Vec::new();
         let mut place_scratch: Vec<usize> = Vec::new();
         let mut tallies = vec![(0u64, 0u64); strata.len()];
+        let mut extras = WordExtras::default();
         let mut i = 0usize;
         while i < assignment.len() {
             if assignment.len() - i < W {
                 // Remainder words at width 1 (bit-identical per word).
-                let rest = self.run_stratified_range_wide::<T, 1>(
+                let (rest, rest_extras) = self.run_stratified_range_wide::<T, 1>(
                     trial,
                     opts,
                     strata,
@@ -1669,7 +1765,8 @@ impl Engine {
                     t.0 += r.0;
                     t.1 += r.1;
                 }
-                return tallies;
+                extras.merge(rest_extras);
+                return (tallies, extras);
             }
             let mut rngs: [SmallRng; W] = std::array::from_fn(|k| {
                 SmallRng::seed_from_u64(
@@ -1708,9 +1805,13 @@ impl Engine {
             }
             let outcome =
                 microop::run_masked_wide::<W>(compiled, &mut wide, &masks, &mut rngs, &mut scratch);
+            extras.fault_events += outcome.fault_events;
+            extras.fused_segments += outcome.fused_segments;
+            extras.replayed_segments += outcome.replayed_segments;
             for k in 0..W {
                 let word = base_word + (i + k) as u64;
                 let valid = valid_lanes(opts.trials, word);
+                extras.faulted_lanes += (outcome.faulted[k] & valid).count_ones() as u64;
                 let candidates = if trial.fault_free_can_fail() {
                     valid
                 } else {
@@ -1727,7 +1828,7 @@ impl Engine {
             }
             i += W;
         }
-        tallies
+        (tallies, extras)
     }
 
     /// The memoized stratified-estimator layout for
@@ -1808,6 +1909,49 @@ struct StrataPlan {
     tail_cdf: Vec<f64>,
     /// Smallest fault count in the tail stratum.
     tail_lo: usize,
+}
+
+/// Plain-integer tallies gathered inside the word loops and flushed to
+/// the [`Collector`] exactly once per estimate — the hot loops never
+/// touch an atomic, so fully-enabled instrumentation costs a handful of
+/// register adds per word.
+#[derive(Debug, Clone, Copy, Default)]
+struct WordExtras {
+    /// Lanes that saw ≥1 fault, summed over valid lanes of every word.
+    faulted_lanes: u64,
+    /// Individual fault injections across all lanes and ops.
+    fault_events: u64,
+    /// Segment executions that stayed on the fused fast path.
+    fused_segments: u64,
+    /// Segment executions that fell back to native replay.
+    replayed_segments: u64,
+    /// Words executed under a conditional (stratified) mask schedule.
+    masked_words: u64,
+}
+
+impl WordExtras {
+    fn merge(&mut self, o: WordExtras) {
+        self.faulted_lanes += o.faulted_lanes;
+        self.fault_events += o.fault_events;
+        self.fused_segments += o.fused_segments;
+        self.replayed_segments += o.replayed_segments;
+        self.masked_words += o.masked_words;
+    }
+}
+
+/// Folds one finished estimate's tallies into the collector.
+fn flush_run(obs: &Collector, outcome: &McOutcome, extras: &WordExtras) {
+    obs.add(Metric::ExecutedWords, outcome.executed_words);
+    obs.add(Metric::ExecutedTrials, outcome.trials);
+    obs.add(Metric::LaneFailures, outcome.failures);
+    if outcome.early_stopped {
+        obs.incr(Metric::EarlyStops);
+    }
+    obs.add(Metric::FaultedLanes, extras.faulted_lanes);
+    obs.add(Metric::FaultEvents, extras.fault_events);
+    obs.add(Metric::FusedSegments, extras.fused_segments);
+    obs.add(Metric::ReplayedSegments, extras.replayed_segments);
+    obs.add(Metric::MaskedWords, extras.masked_words);
 }
 
 /// Lanes of global word `word` that lie inside the trial budget (the
@@ -3013,6 +3157,50 @@ mod tests {
         assert_eq!(auto.backend, "batch");
         assert_eq!(scalar.backend, "scalar");
         assert!(batch.failures > 0, "heavy noise must produce failures");
+    }
+
+    #[test]
+    fn instrumentation_never_perturbs_an_estimate() {
+        // The hard invariant of the obs layer: a live collector observes
+        // the run without touching any RNG stream or scheduling decision,
+        // so the outcome is identical to the uninstrumented call — plain
+        // and stratified, across thread counts.
+        let c = permutation_circuit();
+        let engine = Engine::compile(&c, &UniformNoise::new(0.05));
+        let trial = PermTrial::new(&c);
+        let plain = McOptions::new(5_000).seed(7).threads(3);
+        let strat = plain.estimator(Estimator::Stratified {
+            min_faults: 1,
+            strata_cap: 4,
+        });
+        for opts in [&plain, &strat] {
+            let bare = engine.estimate(&trial, opts);
+            let obs = Collector::new();
+            let watched = engine.estimate_obs(&trial, opts, &obs);
+            assert_eq!(bare, watched);
+            let snap = obs.snapshot();
+            assert_eq!(snap.counter(Metric::EstimateCalls), 1);
+            assert_eq!(snap.counter(Metric::ExecutedTrials), watched.trials);
+            assert_eq!(snap.counter(Metric::ExecutedWords), watched.executed_words);
+            assert_eq!(snap.counter(Metric::LaneFailures), watched.failures);
+            assert!(snap.counter(Metric::FaultedLanes) > 0);
+        }
+        // Stratified bookkeeping: rounds ran, every executed word was
+        // masked, and the elided mass gauge reflects the plan.
+        let obs = Collector::new();
+        let out = engine.estimate_obs(&trial, &strat, &obs);
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter(Metric::StratifiedRuns), 1);
+        assert!(snap.counter(Metric::StratifiedRounds) >= 1);
+        assert_eq!(snap.counter(Metric::MaskedWords), out.executed_words);
+        assert_eq!(snap.counter(Metric::AllocatedWords), out.executed_words);
+        assert!(snap.gauge(Gauge::ElidedMass) > 0.0);
+        // The trace saw the estimate span plus at least one round and one
+        // per-worker word-loop span.
+        let events = obs.span_events();
+        assert!(events.iter().any(|e| e.name == "engine.estimate"));
+        assert!(events.iter().any(|e| e.name == "estimator.round"));
+        assert!(events.iter().any(|e| e.name == "engine.words"));
     }
 
     #[test]

@@ -77,6 +77,10 @@ pub mod wire;
 
 pub use error::{Error, Result};
 
+// The instrumentation layer, re-exported so downstream crates name the
+// exact `Collector` the engine entry points accept.
+pub use rft_obs as obs;
+
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::batch::{run_ideal_batch, BatchExecReport, BatchState};

@@ -791,6 +791,13 @@ pub(crate) struct WideOutcome<const W: usize> {
     pub faulted: [u64; W],
     /// Total `(op, lane)` fault events across all `W` words.
     pub fault_events: u64,
+    /// Segment executions that stayed on the affine fast path (clean
+    /// one-pass transform or exact-propagation patch). Plain tallies —
+    /// the engine folds them into its instrumentation outside the loop.
+    pub fused_segments: u64,
+    /// Segment executions that fell back to native replay of the
+    /// original ops.
+    pub replayed_segments: u64,
 }
 
 /// Runs the compiled program over a `W`-word wide batch, **sampling**
@@ -810,6 +817,8 @@ pub(crate) fn run_sampled_wide<const W: usize>(
     let mut out = WideOutcome {
         faulted: [0u64; W],
         fault_events: 0,
+        fused_segments: 0,
+        replayed_segments: 0,
     };
     for mop in &compiled.micro {
         match mop {
@@ -896,6 +905,8 @@ pub(crate) fn run_masked_wide<const W: usize>(
     let mut out = WideOutcome {
         faulted: [0u64; W],
         fault_events: 0,
+        fused_segments: 0,
+        replayed_segments: 0,
     };
     for mop in &compiled.micro {
         match mop {
@@ -928,6 +939,7 @@ pub(crate) fn run_masked_wide<const W: usize>(
                         // A schedule left the ideal trajectory: run the
                         // original ops natively (wide kernel + blend) —
                         // plane draws stay in op order per word.
+                        out.replayed_segments += 1;
                         for (site, op) in seg.sites.iter().zip(ops) {
                             masked_native::<W>(
                                 op,
@@ -1021,6 +1033,7 @@ fn apply_segment<const W: usize>(
         // Fast path: snapshot the planes the rows read (rows may
         // overwrite wires they read), then emit the non-identity rows
         // straight into the batch.
+        out.fused_segments += 1;
         snapshot::<W>(seg, batch, scratch);
         for (p, row) in seg.rows.iter().enumerate() {
             if row.identity {
@@ -1036,6 +1049,7 @@ fn apply_segment<const W: usize>(
             // Materialize the projected boundary for every wire, patch it
             // per event, then store it back. Identity rows read their
             // (still unwritten) planes directly.
+            out.fused_segments += 1;
             snapshot::<W>(seg, batch, scratch);
             scratch.boundary.resize(n * W, 0);
             for (p, row) in seg.rows.iter().enumerate() {
@@ -1089,6 +1103,7 @@ fn apply_segment<const W: usize>(
             // the per-lane fault blend on its scheduled words. The batch
             // still holds the pre-segment planes — the fast path never
             // ran — so no snapshot or restore is needed.
+            out.replayed_segments += 1;
             scratch.replay.clear();
             scratch
                 .replay

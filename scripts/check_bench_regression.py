@@ -4,7 +4,8 @@
 Usage:
     check_bench_regression.py BASELINE.json FRESH.json \
         --group engine_estimate [--group fused_vs_raw ...] \
-        [--max-ratio 1.25] [--normalize-group engine_compile]
+        [--max-ratio 1.25] [--normalize-group engine_compile] \
+        [--pair obs_overhead:enabled_4k_trials:disabled_4k_trials:1.02 ...]
 
 Both files are JSON-lines as written by the vendored criterion shim's
 ``CRITERION_JSON`` hook: one object per line with at least ``group``,
@@ -19,6 +20,18 @@ light, insensitive to the changes under test). Each gated bench's ratio
 is divided by that factor before comparison, so "25% regression" means
 25% relative to what this machine would have scored on the baseline
 commit.
+
+``--pair GROUP:NUMERATOR:DENOMINATOR:MAX_RATIO`` gates a ratio taken
+**within the fresh file alone** — two benches of the same group measured
+back-to-back on the same machine, so no baseline or normalization is
+involved. This is how the ≤2% instrumentation-overhead invariant is
+enforced: ``obs_overhead/enabled_4k_trials`` may cost at most 1.02× of
+``obs_overhead/disabled_4k_trials``. Repeatable; may be combined with
+``--group`` gating or used on its own.
+
+On failure the exit message names every offending group/bench with its
+baseline, current, and delta percentage, so the offender is identifiable
+from the last line of a CI log alone.
 """
 
 import argparse
@@ -57,9 +70,17 @@ def main():
     ap.add_argument("fresh")
     ap.add_argument(
         "--group",
-        required=True,
         action="append",
-        help="bench group to gate on (repeatable)",
+        default=[],
+        help="bench group to gate on against the baseline (repeatable)",
+    )
+    ap.add_argument(
+        "--pair",
+        action="append",
+        default=[],
+        metavar="GROUP:NUM:DEN:MAX_RATIO",
+        help="gate fresh[GROUP/NUM] / fresh[GROUP/DEN] <= MAX_RATIO, "
+        "measured within the fresh file only (repeatable)",
     )
     ap.add_argument(
         "--max-ratio",
@@ -73,6 +94,8 @@ def main():
         help="group whose median fresh/baseline ratio estimates machine speed",
     )
     args = ap.parse_args()
+    if not args.group and not args.pair:
+        ap.error("nothing to gate: pass --group and/or --pair")
 
     baseline = load(args.baseline)
     fresh = load(args.fresh)
@@ -97,7 +120,10 @@ def main():
                 file=sys.stderr,
             )
 
-    failed = False
+    # Each failure is recorded as a full sentence so the final exit
+    # message — often the only line a CI summary shows — names the
+    # offending group/bench with baseline, current, and delta.
+    failures = []
     gated = [k for k in baseline if k[0] in args.group]
     for group in args.group:
         if not any(k[0] == group for k in gated):
@@ -108,18 +134,55 @@ def main():
             print(f"warning: {key[0]}/{key[1]} missing from fresh run", file=sys.stderr)
             continue
         ratio = fresh[key] / baseline[key] / factor
+        delta_pct = (ratio - 1.0) * 100.0
         status = "OK " if ratio <= args.max_ratio else "FAIL"
         print(
             f"{status} {key[0]}/{key[1]}: baseline {baseline[key]:.1f} ns, "
-            f"fresh {fresh[key]:.1f} ns, normalized ratio {ratio:.3f} "
-            f"(limit {args.max_ratio})"
+            f"current {fresh[key]:.1f} ns, normalized ratio {ratio:.3f} "
+            f"({delta_pct:+.1f}%, limit {args.max_ratio})"
         )
         if ratio > args.max_ratio:
-            failed = True
+            failures.append(
+                f"{key[0]}/{key[1]} baseline {baseline[key]:.1f} ns -> "
+                f"current {fresh[key]:.1f} ns ({delta_pct:+.1f}%, "
+                f"limit {(args.max_ratio - 1.0) * 100.0:+.1f}%)"
+            )
 
-    if failed:
-        groups = ", ".join(args.group)
-        sys.exit(f"bench regression: groups [{groups}] exceeded {args.max_ratio}x")
+    for spec in args.pair:
+        parts = spec.split(":")
+        if len(parts) != 4:
+            sys.exit(f"error: --pair wants GROUP:NUM:DEN:MAX_RATIO, got {spec!r}")
+        group, num, den, limit = parts
+        try:
+            limit = float(limit)
+        except ValueError:
+            sys.exit(f"error: --pair max ratio must be a number, got {parts[3]!r}")
+        missing = [b for b in (num, den) if (group, b) not in fresh]
+        if missing:
+            sys.exit(
+                f"error: fresh run has no bench "
+                f"{', '.join(f'{group}/{b}' for b in missing)} (needed by --pair)"
+            )
+        den_ns = fresh[(group, den)]
+        if den_ns <= 0:
+            sys.exit(f"error: {group}/{den} measured {den_ns} ns; cannot form a ratio")
+        num_ns = fresh[(group, num)]
+        ratio = num_ns / den_ns
+        delta_pct = (ratio - 1.0) * 100.0
+        status = "OK " if ratio <= limit else "FAIL"
+        print(
+            f"{status} {group}: {num} {num_ns:.1f} ns vs {den} {den_ns:.1f} ns, "
+            f"ratio {ratio:.3f} ({delta_pct:+.1f}%, limit {limit})"
+        )
+        if ratio > limit:
+            failures.append(
+                f"{group}/{num} costs {ratio:.3f}x of {group}/{den} "
+                f"({num_ns:.1f} ns vs {den_ns:.1f} ns, {delta_pct:+.1f}%, "
+                f"limit {(limit - 1.0) * 100.0:+.1f}%)"
+            )
+
+    if failures:
+        sys.exit("bench regression: " + "; ".join(failures))
     print("no regression detected")
 
 

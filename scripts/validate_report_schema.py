@@ -73,6 +73,24 @@ def validate_report(report, where, errors):
         check_type(errors, c, "want", str, f"{where}/check")
         check_type(errors, c, "pass", bool, f"{where}/check")
     check_type(errors, report, "notes", list, where)
+    # Optional, additive (still schema_version 1): the observability
+    # layer's resource section, attached by `repro --metrics`. Reports
+    # written without it must not carry the key at all.
+    if "resources" in report:
+        res = check_type(errors, report, "resources", dict, where) or {}
+        rwhere = f"{where}/resources"
+        for key in ("wall_ms", "compile_ms", "execute_ms", "words_per_sec", "elided_mass"):
+            check_type(errors, res, key, (int, float), rwhere)
+        for key in (
+            "executed_words",
+            "executed_trials",
+            "cache_hits",
+            "cache_misses",
+            "stratified_rounds",
+        ):
+            v = check_type(errors, res, key, int, rwhere)
+            if isinstance(v, int) and v < 0:
+                errors.append(f"{rwhere}: {key} must be non-negative, got {v}")
     return checks
 
 

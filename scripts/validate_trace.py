@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate a `repro --trace FILE` Chrome-trace-event JSON.
+
+Usage: validate_trace.py TRACE.json [--threads N]
+
+Checks the shape Perfetto / chrome://tracing expect:
+
+- top level is ``{"traceEvents": [...]}``;
+- every event has ``ph`` either ``"X"`` (complete span: name, cat, ts,
+  dur, pid, tid, all non-negative, optional ``args.label``) or ``"M"``
+  (metadata: exactly one ``thread_name`` record per tid that appears in
+  any span);
+- spans on one thread nest properly — two spans either share no interior
+  or one contains the other; a partial overlap means the span stack was
+  corrupted;
+- with ``--threads N``, at most N distinct span tids appear (the runner
+  never spawns more workers than the thread budget).
+
+Exits nonzero with one message per violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace")
+    ap.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="upper bound on distinct span thread ids",
+    )
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot parse {args.trace}: {e}")
+
+    errors = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        sys.exit(f"error: {args.trace}: top level must be {{'traceEvents': [...]}}")
+
+    spans = []
+    named_tids = set()
+    for n, e in enumerate(events):
+        where = f"event[{n}]"
+        if not isinstance(e, dict):
+            errors.append(f"{where}: not an object: {e!r}")
+            continue
+        ph = e.get("ph")
+        if ph == "X":
+            for key, types in (
+                ("name", str),
+                ("cat", str),
+                ("ts", (int, float)),
+                ("dur", (int, float)),
+                ("pid", int),
+                ("tid", int),
+            ):
+                if not isinstance(e.get(key), types):
+                    errors.append(f"{where}: bad or missing {key!r}: {e.get(key)!r}")
+            if isinstance(e.get("ts"), (int, float)) and e["ts"] < 0:
+                errors.append(f"{where}: negative ts {e['ts']}")
+            if isinstance(e.get("dur"), (int, float)) and e["dur"] < 0:
+                errors.append(f"{where}: negative dur {e['dur']}")
+            if "args" in e and not isinstance(e["args"].get("label"), str):
+                errors.append(f"{where}: span args must carry a string label")
+            spans.append(e)
+        elif ph == "M":
+            if e.get("name") != "thread_name":
+                errors.append(f"{where}: unknown metadata record {e.get('name')!r}")
+                continue
+            tid = e.get("tid")
+            if not isinstance(tid, int):
+                errors.append(f"{where}: thread_name without integer tid")
+                continue
+            if tid in named_tids:
+                errors.append(f"{where}: duplicate thread_name for tid {tid}")
+            named_tids.add(tid)
+            if not isinstance(e.get("args", {}).get("name"), str):
+                errors.append(f"{where}: thread_name without args.name")
+        else:
+            errors.append(f"{where}: unknown phase {ph!r}")
+
+    span_tids = {e["tid"] for e in spans if isinstance(e.get("tid"), int)}
+    for tid in sorted(span_tids - named_tids):
+        errors.append(f"tid {tid} has spans but no thread_name metadata")
+    if args.threads is not None and len(span_tids) > args.threads:
+        errors.append(
+            f"{len(span_tids)} distinct span tids exceed --threads {args.threads}"
+        )
+
+    # Nesting: on each thread, sort by (start, -end); with that order a
+    # stack discipline holds iff every span fits inside the innermost
+    # open span. Quadratic scan per thread kept simple — traces from the
+    # smoke run are a few hundred events.
+    by_tid = {}
+    for e in spans:
+        if isinstance(e.get("tid"), int) and isinstance(e.get("ts"), (int, float)):
+            by_tid.setdefault(e["tid"], []).append((e["ts"], e["ts"] + e["dur"], e["name"]))
+    for tid, intervals in sorted(by_tid.items()):
+        intervals.sort(key=lambda iv: (iv[0], -iv[1]))
+        stack = []
+        for start, end, name in intervals:
+            while stack and stack[-1][1] <= start:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                errors.append(
+                    f"tid {tid}: span {name!r} [{start}, {end}] partially overlaps "
+                    f"{stack[-1][2]!r} [{stack[-1][0]}, {stack[-1][1]}]"
+                )
+                continue
+            stack.append((start, end, name))
+
+    if errors:
+        for e in errors:
+            print(f"trace violation: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(
+        f"validated {len(spans)} span(s) on {len(span_tids)} thread(s) "
+        f"in {args.trace}: trace OK"
+    )
+
+
+if __name__ == "__main__":
+    main()
