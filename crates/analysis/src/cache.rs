@@ -1,0 +1,299 @@
+//! Bounded, cost-aware caching: the eviction policy behind the process-wide
+//! [`CompileCache`](crate::experiment::CompileCache).
+//!
+//! A long-lived server process cannot cache compiled artifacts unboundedly
+//! — every distinct `(circuit, noise)` point a client ever asked about
+//! would stay resident forever. [`CostLru`] bounds the cache by **bytes**
+//! and evicts by the *GreedyDual-Size* policy, which weighs the two
+//! quantities the obs layer already measures per artifact: its resident
+//! size in bytes and the nanoseconds it took to compile. Every entry
+//! carries a priority
+//!
+//! ```text
+//! H(e) = L + recompile_nanos(e) / bytes(e)
+//! ```
+//!
+//! where `L` is a monotone "inflation clock" that jumps to the priority of
+//! each victim as it is evicted. Touching an entry (hit or insert)
+//! recomputes its `H` against the current clock, so recently used entries
+//! float above the clock while untouched ones sink toward it — the LRU
+//! component. Among comparably stale entries the one that is *cheapest to
+//! recompute per byte retained* is evicted first — the cost component: a
+//! large artifact that recompiles in microseconds yields its bytes before
+//! a small one that took milliseconds to build.
+//!
+//! The policy is deterministic given the sequence of `(bytes, cost)`
+//! inputs: priority ties break toward the least recently touched entry
+//! (then the oldest insertion), never on map iteration order.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// One cached entry's bookkeeping.
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    bytes: usize,
+    cost_nanos: u64,
+    /// GreedyDual-Size priority `H` at the last touch.
+    priority: f64,
+    /// Logical tick of the last touch (tie-break: LRU).
+    last_used: u64,
+}
+
+/// A byte-bounded map with cost-based (GreedyDual-Size) LRU eviction.
+///
+/// Values are expected to be cheaply clonable handles (`Arc`s): a `get`
+/// hit clones the value out, so an evicted artifact stays alive for
+/// whoever still holds it — eviction only drops the cache's reference.
+#[derive(Debug)]
+pub struct CostLru<K, V> {
+    entries: HashMap<K, Entry<V>>,
+    byte_budget: Option<usize>,
+    total_bytes: usize,
+    /// GreedyDual-Size inflation clock `L`.
+    clock: f64,
+    /// Logical touch counter.
+    tick: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> CostLru<K, V> {
+    /// An empty cache bounded to `byte_budget` bytes (`None` =
+    /// unbounded — the pre-server behaviour).
+    pub fn new(byte_budget: Option<usize>) -> Self {
+        CostLru {
+            entries: HashMap::new(),
+            byte_budget,
+            total_bytes: 0,
+            clock: 0.0,
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configured byte budget (`None` = unbounded).
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.byte_budget
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate bytes currently held.
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// Entries evicted over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Whether `key` is currently cached (does not touch the entry).
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Iterates over the cached keys (no touch).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.keys()
+    }
+
+    /// Looks `key` up, refreshing its priority on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let (clock, tick) = (self.clock, self.tick);
+        self.entries.get_mut(key).map(|e| {
+            e.priority = clock + value_density(e.cost_nanos, e.bytes);
+            e.last_used = tick;
+            e.value.clone()
+        })
+    }
+
+    /// Inserts `value` under `key` with its measured size and recompile
+    /// cost, evicting lower-priority entries if the byte budget is now
+    /// exceeded, and returns the cached value plus how many entries were
+    /// evicted.
+    ///
+    /// If `key` is already present the **existing** value is returned
+    /// untouched (first insert wins — the semantics racing duplicate
+    /// compiles rely on). The just-inserted entry is never its own
+    /// victim, so a single artifact larger than the whole budget still
+    /// caches (and evicts everything else).
+    pub fn insert(&mut self, key: K, value: V, bytes: usize, cost_nanos: u64) -> (V, usize) {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.priority = self.clock + value_density(e.cost_nanos, e.bytes);
+            e.last_used = self.tick;
+            return (e.value.clone(), 0);
+        }
+        self.entries.insert(
+            key.clone(),
+            Entry {
+                value: value.clone(),
+                bytes,
+                cost_nanos,
+                priority: self.clock + value_density(cost_nanos, bytes),
+                last_used: self.tick,
+            },
+        );
+        self.total_bytes += bytes;
+        let evicted = self.evict_over_budget(&key);
+        (value, evicted)
+    }
+
+    /// Evicts minimum-priority entries (never `keep`) until the budget
+    /// holds; returns how many were evicted.
+    fn evict_over_budget(&mut self, keep: &K) -> usize {
+        let Some(budget) = self.byte_budget else {
+            return 0;
+        };
+        let mut evicted = 0;
+        while self.total_bytes > budget && self.entries.len() > 1 {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| *k != keep)
+                .min_by(|(_, a), (_, b)| {
+                    a.priority
+                        .total_cmp(&b.priority)
+                        .then(a.last_used.cmp(&b.last_used))
+                })
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            let entry = self
+                .entries
+                .remove(&victim)
+                .expect("victim chosen from live entries");
+            self.total_bytes -= entry.bytes;
+            // The clock inflates to the victim's priority: everything
+            // cached before this point must be re-touched to outrank
+            // future insertions.
+            self.clock = self.clock.max(entry.priority);
+            self.evictions += 1;
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// Recompile nanoseconds per byte retained — the GreedyDual-Size value
+/// density. Zero-byte or zero-cost measurements are clamped so a bogus
+/// input can never produce an un-evictable (infinite-priority) entry.
+fn value_density(cost_nanos: u64, bytes: usize) -> f64 {
+    (cost_nanos.max(1) as f64) / (bytes.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// KiB-sized synthetic entries: (bytes, cost) chosen so the value
+    /// densities are wide apart and the eviction order is unambiguous.
+    fn filled() -> CostLru<&'static str, u64> {
+        // Budget 10_000 bytes.
+        let mut lru = CostLru::new(Some(10_000));
+        // density 1000/4000 = 0.25 ns/byte — cheapest to recompute.
+        lru.insert("cheap_big", 1, 4_000, 1_000);
+        // density 1_000_000/4000 = 250 ns/byte.
+        lru.insert("dear_big", 2, 4_000, 1_000_000);
+        // density 50_000/1000 = 50 ns/byte.
+        lru.insert("mid_small", 3, 1_000, 50_000);
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.total_bytes(), 9_000);
+        lru
+    }
+
+    #[test]
+    fn eviction_prefers_cheap_per_byte_entries() {
+        let mut lru = filled();
+        // +4000 bytes → 13_000 > 10_000: must evict. "cheap_big" has by
+        // far the lowest priority (lowest recompile-nanos per byte).
+        lru.insert("newcomer", 4, 4_000, 100_000);
+        assert!(!lru.contains(&"cheap_big"), "lowest-density entry evicted");
+        assert!(lru.contains(&"dear_big"));
+        assert!(lru.contains(&"mid_small"));
+        assert!(lru.contains(&"newcomer"));
+        assert_eq!(lru.evictions(), 1);
+        assert_eq!(lru.total_bytes(), 9_000);
+    }
+
+    #[test]
+    fn recency_outranks_density_after_a_touch() {
+        // Densities 500 < 600 < 700 < 800 ns/byte, all 1000-byte entries,
+        // budget 3 entries.
+        let mut lru = CostLru::new(Some(3_000));
+        lru.insert("sacrifice", 1, 1_000, 500_000);
+        lru.insert("low", 2, 1_000, 600_000);
+        lru.insert("high", 3, 1_000, 700_000);
+        // Overflow: "sacrifice" (H = 500) is evicted and the clock
+        // inflates to 500, stranding the untouched survivors at
+        // H = 600 ("low") and H = 700 ("high").
+        lru.insert("pump", 4, 1_000, 800_000);
+        assert_eq!(lru.evictions(), 1);
+        assert!(!lru.contains(&"sacrifice"));
+        // Touch "low": rebuilt against the inflated clock, H = 500 + 600
+        // = 1100 — now *above* the stale, denser "high" (700).
+        assert_eq!(lru.get(&"low"), Some(2));
+        lru.insert("late", 5, 1_000, 650_000);
+        assert!(
+            !lru.contains(&"high"),
+            "stale entry evicted despite density"
+        );
+        assert!(lru.contains(&"low"), "recently touched entry kept");
+    }
+
+    #[test]
+    fn priority_ties_break_least_recently_used() {
+        let mut lru = CostLru::new(Some(2_000));
+        // Identical density and size: pure LRU.
+        lru.insert("a", 1, 1_000, 10_000);
+        lru.insert("b", 2, 1_000, 10_000);
+        assert_eq!(lru.get(&"a"), Some(1)); // "b" is now the LRU entry
+        lru.insert("c", 3, 1_000, 10_000);
+        assert!(!lru.contains(&"b"));
+        assert!(lru.contains(&"a"));
+        assert!(lru.contains(&"c"));
+    }
+
+    #[test]
+    fn oversized_single_entry_still_caches() {
+        let mut lru = CostLru::new(Some(100));
+        lru.insert("huge", 1, 1_000_000, 5);
+        assert!(lru.contains(&"huge"), "sole entry is never its own victim");
+        // The next insert evicts it (it is the only candidate).
+        lru.insert("tiny", 2, 10, 5);
+        assert!(!lru.contains(&"huge"));
+        assert!(lru.contains(&"tiny"));
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_the_first_value() {
+        let mut lru: CostLru<&str, u64> = CostLru::new(None);
+        let (v, _) = lru.insert("k", 1, 100, 100);
+        assert_eq!(v, 1);
+        let (v, evicted) = lru.insert("k", 2, 100, 100);
+        assert_eq!(v, 1, "racing duplicate compile: first insert wins");
+        assert_eq!(evicted, 0);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.total_bytes(), 100, "duplicate adds no bytes");
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut lru = CostLru::new(None);
+        for i in 0..1_000u64 {
+            lru.insert(i, i, 1_000_000, 1);
+        }
+        assert_eq!(lru.len(), 1_000);
+        assert_eq!(lru.evictions(), 0);
+    }
+}

@@ -30,6 +30,7 @@
 //! results are collected by item index. The
 //! `tests/experiment_api.rs` suite pins this.
 
+use crate::cache::CostLru;
 use crate::experiments::RunConfig;
 use crate::montecarlo::ConcatMc;
 use crate::report::{Report, SCHEMA_VERSION};
@@ -43,7 +44,6 @@ use rft_revsim::gate::Gate;
 use rft_revsim::noise::NoiseModel;
 use rft_revsim::op::Op;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -70,15 +70,26 @@ pub trait Experiment: Sync {
 // Compile cache
 // ---------------------------------------------------------------------------
 
-/// Keyed cache of compile-once artifacts, shared across experiments and
-/// sweep points.
+/// Keyed cache of compile-once artifacts, shared across experiments,
+/// sweep points and served estimation jobs.
 ///
-/// Two maps: concatenated programs ([`ConcatMc`], keyed by
-/// `(level, gate, cycles)`) and [`Engine`]s (keyed by the circuit
-/// contents plus the per-op fault probabilities the noise model assigns
-/// to it — the two inputs that fully determine an engine). Both
-/// are behind mutexes taken only around map lookup/insert; the artifacts
-/// themselves are shared via [`Arc`] and used lock-free.
+/// One bounded store holds both artifact kinds: concatenated programs
+/// ([`ConcatMc`], keyed by `(level, gate, cycles)`) and [`Engine`]s
+/// (keyed by the circuit contents plus the per-op fault probabilities the
+/// noise model assigns to it — the two inputs that fully determine an
+/// engine). The store is behind a mutex taken only around lookup/insert;
+/// the artifacts themselves are shared via [`Arc`] and used lock-free.
+///
+/// **Bounding.** By default the cache is unbounded (the short-lived
+/// `repro` behaviour). A long-lived server constructs it with
+/// [`CompileCache::bounded`]: entries then carry their approximate
+/// resident bytes ([`Engine::approx_bytes`], [`ConcatMc::approx_bytes`])
+/// and measured compile nanoseconds (the same quantity the obs layer's
+/// `cache.compile` span records), and the [`CostLru`] GreedyDual-Size
+/// policy evicts the entries cheapest to recompile per byte retained once
+/// the byte budget is exceeded. Eviction only drops the cache's
+/// reference — in-flight users of an evicted `Arc` are unaffected — and
+/// the monotonic hit/miss/eviction counters survive it.
 ///
 /// Hit/miss accounting goes through the shared metrics registry
 /// ([`rft_obs`]): lookups bump `cache.hits` / `cache.misses` on the
@@ -86,11 +97,33 @@ pub trait Experiment: Sync {
 /// per-experiment child collectors attribute cache traffic to the
 /// experiment that caused it while the cache-level [`CompileCache::hits`]
 /// / [`CompileCache::misses`] read the aggregate.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CompileCache {
-    programs: Mutex<HashMap<(u8, Gate, usize), Arc<ConcatMc>>>,
-    engines: Mutex<HashMap<EngineKey, Arc<Engine>>>,
+    store: Mutex<CostLru<CacheKey, CacheValue>>,
     obs: Collector,
+}
+
+impl Default for CompileCache {
+    fn default() -> Self {
+        CompileCache {
+            store: Mutex::new(CostLru::new(None)),
+            obs: Collector::default(),
+        }
+    }
+}
+
+/// Unified key over both cached artifact kinds.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CacheKey {
+    Program(u8, Gate, usize),
+    Engine(EngineKey),
+}
+
+/// Unified value: cheap-to-clone shared handles.
+#[derive(Debug, Clone)]
+enum CacheValue {
+    Program(Arc<ConcatMc>),
+    Engine(Arc<Engine>),
 }
 
 /// Cache key of an engine: the circuit contents and the per-op fault
@@ -121,23 +154,46 @@ impl EngineKey {
 }
 
 impl CompileCache {
-    /// Creates an empty cache with its own live metrics collector.
+    /// Creates an empty unbounded cache with its own live metrics
+    /// collector.
     pub fn new() -> Self {
         CompileCache::default()
     }
 
-    /// Creates an empty cache recording into `obs` (how the runner wires
-    /// every cache into the run-wide collector).
-    pub fn with_collector(obs: Collector) -> Self {
+    /// Creates an empty cache bounded to approximately `byte_budget`
+    /// bytes of compiled artifacts (cost-based LRU eviction past it),
+    /// with its own live metrics collector.
+    pub fn bounded(byte_budget: usize) -> Self {
         CompileCache {
+            store: Mutex::new(CostLru::new(Some(byte_budget))),
+            obs: Collector::default(),
+        }
+    }
+
+    /// Creates an empty unbounded cache recording into `obs` (how the
+    /// runner wires every cache into the run-wide collector).
+    pub fn with_collector(obs: Collector) -> Self {
+        CompileCache::with_collector_and_budget(obs, None)
+    }
+
+    /// Creates an empty cache recording into `obs`, bounded to
+    /// `byte_budget` bytes when given (how the serve daemon constructs
+    /// its process-wide cache).
+    pub fn with_collector_and_budget(obs: Collector, byte_budget: Option<usize>) -> Self {
+        CompileCache {
+            store: Mutex::new(CostLru::new(byte_budget)),
             obs,
-            ..CompileCache::default()
         }
     }
 
     /// The collector cache-level lookups record into.
     pub fn collector(&self) -> &Collector {
         &self.obs
+    }
+
+    /// The configured byte budget (`None` = unbounded).
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.store.lock().expect("cache poisoned").byte_budget()
     }
 
     /// The compiled `cycles`-cycle program of `gate` at concatenation
@@ -160,31 +216,34 @@ impl CompileCache {
         gate: Gate,
         cycles: usize,
     ) -> Arc<ConcatMc> {
-        let key = (level, gate, cycles);
-        if let Some(mc) = self.programs.lock().expect("cache poisoned").get(&key) {
+        let key = CacheKey::Program(level, gate, cycles);
+        if let Some(CacheValue::Program(mc)) = self.store.lock().expect("cache poisoned").get(&key)
+        {
             obs.incr(Metric::CacheHits);
-            return Arc::clone(mc);
+            return mc;
         }
         // Compile outside the lock (level-2 programs are thousands of ops);
         // a racing duplicate compile is tolerated — the first insert wins
         // and the loser's artifact is dropped.
         obs.incr(Metric::CacheMisses);
+        let start = Instant::now();
         let mc = {
             let _span = obs.span_metric("cache.compile", Metric::CompileNanos);
             Arc::new(ConcatMc::new(level, gate, cycles))
         };
-        let shared = self
-            .programs
-            .lock()
-            .expect("cache poisoned")
-            .entry(key)
-            .or_insert_with(|| Arc::clone(&mc))
-            .clone();
-        obs.set_gauge(
-            rft_obs::Gauge::CachedPrograms,
-            self.programs_cached() as f64,
+        let cost_nanos = start.elapsed().as_nanos() as u64;
+        let bytes = mc.approx_bytes();
+        let (value, evicted) = self.store.lock().expect("cache poisoned").insert(
+            key,
+            CacheValue::Program(mc),
+            bytes,
+            cost_nanos,
         );
-        shared
+        self.publish_store_stats(obs, evicted);
+        match value {
+            CacheValue::Program(mc) => mc,
+            CacheValue::Engine(_) => unreachable!("program key always maps to a program"),
+        }
     }
 
     /// The [`Engine`] of `circuit` bound to `noise`, compiling on first
@@ -206,26 +265,51 @@ impl CompileCache {
         circuit: &Circuit,
         noise: &N,
     ) -> Arc<Engine> {
-        let key = EngineKey::new(circuit, noise);
-        if let Some(e) = self.engines.lock().expect("cache poisoned").get(&key) {
+        let key = CacheKey::Engine(EngineKey::new(circuit, noise));
+        if let Some(CacheValue::Engine(e)) = self.store.lock().expect("cache poisoned").get(&key) {
             obs.incr(Metric::CacheHits);
-            return Arc::clone(e);
+            return e;
         }
         obs.incr(Metric::CacheMisses);
         obs.incr(Metric::EngineCompiles);
+        let start = Instant::now();
         let engine = {
             let _span = obs.span_metric("cache.compile", Metric::CompileNanos);
             Arc::new(Engine::compile(circuit, noise))
         };
-        let shared = self
-            .engines
-            .lock()
-            .expect("cache poisoned")
-            .entry(key)
-            .or_insert_with(|| Arc::clone(&engine))
-            .clone();
-        obs.set_gauge(rft_obs::Gauge::CachedEngines, self.engines_cached() as f64);
-        shared
+        let cost_nanos = start.elapsed().as_nanos() as u64;
+        let bytes = engine.approx_bytes();
+        let (value, evicted) = self.store.lock().expect("cache poisoned").insert(
+            key,
+            CacheValue::Engine(engine),
+            bytes,
+            cost_nanos,
+        );
+        self.publish_store_stats(obs, evicted);
+        match value {
+            CacheValue::Engine(e) => e,
+            CacheValue::Program(_) => unreachable!("engine key always maps to an engine"),
+        }
+    }
+
+    /// Publishes the store-level gauges (and eviction count) after an
+    /// insert changed them.
+    fn publish_store_stats(&self, obs: &Collector, evicted: usize) {
+        if evicted > 0 {
+            obs.add(Metric::CacheEvictions, evicted as u64);
+        }
+        let store = self.store.lock().expect("cache poisoned");
+        let mut programs = 0usize;
+        let mut engines = 0usize;
+        for key in store.keys() {
+            match key {
+                CacheKey::Program(..) => programs += 1,
+                CacheKey::Engine(_) => engines += 1,
+            }
+        }
+        obs.set_gauge(rft_obs::Gauge::CachedPrograms, programs as f64);
+        obs.set_gauge(rft_obs::Gauge::CachedEngines, engines as f64);
+        obs.set_gauge(rft_obs::Gauge::CacheBytes, store.total_bytes() as f64);
     }
 
     /// Cache hits so far (read from the metrics registry: `cache.hits`).
@@ -238,14 +322,34 @@ impl CompileCache {
         self.obs.get(Metric::CacheMisses)
     }
 
+    /// Entries evicted by the byte-budget policy so far.
+    pub fn evictions(&self) -> u64 {
+        self.store.lock().expect("cache poisoned").evictions()
+    }
+
+    /// Approximate bytes of compiled artifacts currently cached.
+    pub fn cached_bytes(&self) -> usize {
+        self.store.lock().expect("cache poisoned").total_bytes()
+    }
+
     /// Number of distinct compiled programs currently cached.
     pub fn programs_cached(&self) -> usize {
-        self.programs.lock().expect("cache poisoned").len()
+        self.store
+            .lock()
+            .expect("cache poisoned")
+            .keys()
+            .filter(|k| matches!(k, CacheKey::Program(..)))
+            .count()
     }
 
     /// Number of distinct compiled engines currently cached.
     pub fn engines_cached(&self) -> usize {
-        self.engines.lock().expect("cache poisoned").len()
+        self.store
+            .lock()
+            .expect("cache poisoned")
+            .keys()
+            .filter(|k| matches!(k, CacheKey::Engine(_)))
+            .count()
     }
 }
 
@@ -707,6 +811,58 @@ mod tests {
         assert_eq!(cache.engines_cached(), 2);
         assert!(cache.hits() >= 2);
         assert!(cache.misses() >= 4);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_recompiles() {
+        // A budget far below one compiled artifact: every insert evicts
+        // its predecessor, so distinct keys never coexist.
+        let cache = CompileCache::bounded(1);
+        let a = cache.concat(1, toffoli(), 1);
+        let b = cache.concat(1, toffoli(), 2);
+        assert!(cache.evictions() >= 1, "second insert evicted the first");
+        assert_eq!(
+            cache.programs_cached(),
+            1,
+            "byte budget holds one artifact at a time"
+        );
+        // Re-asking for the evicted key recompiles: a fresh allocation.
+        let a2 = cache.concat(1, toffoli(), 1);
+        assert!(!Arc::ptr_eq(&a, &a2), "evicted artifact was recompiled");
+        // Evicted handles stay alive for their holders.
+        assert_eq!(a.program().circuit().len(), b.program().circuit().len() / 2);
+    }
+
+    #[test]
+    fn cache_counters_survive_eviction() {
+        let cache = CompileCache::bounded(1);
+        assert_eq!(cache.byte_budget(), Some(1));
+        cache.concat(1, toffoli(), 1); // miss
+        cache.concat(1, toffoli(), 1); // hit (still resident)
+        cache.concat(1, toffoli(), 2); // miss, evicts cycles=1
+        cache.concat(1, toffoli(), 1); // miss again (was evicted), evicts cycles=2
+        assert_eq!(cache.misses(), 3, "evicted keys recompile as misses");
+        assert_eq!(cache.hits(), 1, "hit count unaffected by later eviction");
+        assert_eq!(cache.evictions(), 2);
+        let evictions_metric = cache.collector().get(Metric::CacheEvictions);
+        assert_eq!(
+            evictions_metric, 2,
+            "cache.evictions metric tracks the store"
+        );
+        // Gauges reflect the post-eviction store.
+        assert_eq!(cache.programs_cached(), 1);
+        assert!(cache.cached_bytes() > 0);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts_artifacts() {
+        let cache = CompileCache::new();
+        assert_eq!(cache.byte_budget(), None);
+        for cycles in 1..=4 {
+            cache.concat(1, toffoli(), cycles);
+        }
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.programs_cached(), 4);
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   the shared [`CompileCache`](experiment::CompileCache), and the
 //!   cross-point parallel runner
 //!   ([`run_experiments`](experiment::run_experiments));
+//! - [`cache`] — the byte-bounded, cost-based (GreedyDual-Size) LRU the
+//!   compile cache evicts through when given a byte budget;
+//! - [`job`] — replayable estimation-job records and the round-streaming
+//!   runner behind the `rft-serve` daemon and `repro replay`;
 //! - [`experiments`] — one module per table/figure of the paper, each a
 //!   registered [`Experiment`](experiment::Experiment) with a typed
 //!   result convertible to a [`Report`](report::Report). The `repro`
@@ -32,9 +36,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod entropy_meas;
 pub mod experiment;
 pub mod experiments;
+pub mod job;
 pub mod montecarlo;
 pub mod report;
 pub mod stats;
@@ -48,6 +54,10 @@ pub mod prelude {
         ExperimentContext, ExperimentRun, ManifestEntry, RunManifest, RunnerOptions,
     };
     pub use crate::experiments::RunConfig;
+    pub use crate::job::{
+        run_job, run_job_streaming, CircuitSpec, IntervalUpdate, JobControl, JobRecord, JobResult,
+        JobSpec, NoiseSpec, JOB_SCHEMA_VERSION,
+    };
     pub use crate::montecarlo::{
         estimate_cycle_error, estimate_cycle_error_outcome, unprotected_error, ConcatMc,
         ConcatTrial, BATCH_TRIAL_THRESHOLD,

@@ -150,6 +150,16 @@ impl ConcatMc {
         self.cycles
     }
 
+    /// Approximate resident size in bytes (the op stream plus the ideal
+    /// permutation table) — the size input of the compile cache's
+    /// cost-based eviction policy; only relative magnitudes matter.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<ConcatMc>()
+            + self.program.circuit().len() * size_of::<Op>()
+            + (1usize << self.ideal.n_bits()) * size_of::<u64>()
+    }
+
     /// Compiles this program against `noise` into a reusable [`Engine`]
     /// (the compile-once artifact behind [`ConcatMc::estimate`]).
     pub fn engine<N: NoiseModel + ?Sized>(&self, noise: &N) -> Engine {

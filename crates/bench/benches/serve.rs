@@ -1,0 +1,120 @@
+//! Served-request throughput: what one quick job costs end to end over
+//! loopback HTTP, next to the same job run as a plain library call.
+//!
+//! `serve_throughput/quick_job_http_roundtrip` is the daemon's headline
+//! number — connect, POST, stream, read the final line — and its
+//! checked-in BENCH_serve.json baseline documents the ≥100 req/s floor
+//! (ns_per_iter ≤ 10⁷). `serve_yardstick/offline_quick_job` runs the
+//! identical job through [`run_job`] with no server, socket, or thread
+//! budget in the path: it is the normalization yardstick for the CI
+//! regression gate (machine-speed factor), and the gap between the two
+//! numbers *is* the serving overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rft_analysis::experiment::CompileCache;
+use rft_analysis::job::{run_job, CircuitSpec, JobRecord, JobSpec, NoiseSpec};
+use rft_obs::Collector;
+use rft_revsim::engine::{BackendKind, Estimator, WordWidth};
+use rft_revsim::gate::Gate;
+use rft_revsim::wire::w;
+use rft_serve::{Server, ServerConfig};
+use std::hint::black_box;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// The quick job both benches run: one 4096-trial round at level 1.
+fn quick_record(seed: u64) -> JobRecord {
+    JobRecord::new(JobSpec {
+        circuit: CircuitSpec::Concat {
+            level: 1,
+            gate: Gate::Toffoli {
+                controls: [w(0), w(1)],
+                target: w(2),
+            },
+            cycles: 1,
+        },
+        noise: NoiseSpec::Uniform { g: 1.0 / 165.0 },
+        seed,
+        estimator: Estimator::Plain,
+        backend: BackendKind::Auto,
+        width: WordWidth::Auto,
+        trials_per_round: 4096,
+        max_rounds: 1,
+        target_rel_half_width: None,
+    })
+}
+
+fn start_server() -> SocketAddr {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        threads_per_job: 1,
+        drain_timeout: Duration::from_secs(1),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    std::thread::spawn(move || server.run().expect("accept loop"));
+    addr
+}
+
+/// One full HTTP round trip; returns the response length as the
+/// black-box value.
+fn roundtrip(addr: SocketAddr, body: &str) -> usize {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST /jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .expect("request");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("response");
+    assert!(response.starts_with(b"HTTP/1.1 200"), "job accepted");
+    let text = String::from_utf8_lossy(&response);
+    assert!(
+        text.contains("\"kind\":\"final\""),
+        "stream carries the final line"
+    );
+    response.len()
+}
+
+fn serve_benches(c: &mut Criterion) {
+    // Yardstick first: pure library execution of the identical job.
+    let mut group = c.benchmark_group("serve_yardstick");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(4096));
+    let cache = CompileCache::new();
+    let obs = Collector::disabled();
+    let record = quick_record(1);
+    group.bench_function("offline_quick_job", |b| {
+        b.iter(|| {
+            black_box(
+                run_job(&cache, &obs, &record, 1)
+                    .expect("valid job")
+                    .result
+                    .estimate
+                    .trials,
+            )
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(1));
+    let addr = start_server();
+    // Warm the server's compile cache so the measured iterations see the
+    // steady state (first request pays the one-time compile).
+    let body = serde_json::to_string(&quick_record(2)).expect("record JSON");
+    roundtrip(addr, &body);
+    group.bench_function("quick_job_http_roundtrip", |b| {
+        b.iter(|| black_box(roundtrip(addr, &body)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, serve_benches);
+criterion_main!(benches);

@@ -7,6 +7,7 @@
 //!       [--estimator plain|stratified[:MIN[:STRATA]]|auto]
 //!       [--rel-error E] [--json DIR] [--check] [--quiet]
 //!       [--trace FILE] [--metrics] [EXPERIMENT ...]
+//! repro replay JOB.json [--threads N] [--stream]
 //! ```
 //!
 //! Experiments are discovered through the
@@ -33,6 +34,14 @@
 //! byte-identical with or without `--trace`/`--metrics` (the `resources`
 //! section is additive, and `--json` goldens are written without it
 //! unless `--metrics` is given).
+//!
+//! `repro replay JOB.json` reproduces an `rft-serve` answer offline: the
+//! file (or stdin via `-`) holds the job record every served final line
+//! embeds (or a bare spec), and the command prints the identical final
+//! NDJSON line — byte-for-byte, at any `--threads` — to stdout.
+//! `--stream` also prints the per-round interval lines, reproducing the
+//! full served stream. This is the determinism contract's offline half;
+//! `scripts/serve_smoke.py` diffs the two in CI.
 //!
 //! Exit codes: 0 success, 1 failed self-check under `--check` (or an I/O
 //! failure), 2 usage error.
@@ -64,6 +73,7 @@ fn usage() -> String {
          \x20            [--estimator plain|stratified[:MIN[:STRATA]]|auto]\n\
          \x20            [--rel-error E] [--json DIR] [--check] [--quiet]\n\
          \x20            [--trace FILE] [--metrics] [EXPERIMENT ...]\n\
+         \x20      repro replay JOB.json [--threads N] [--stream]\n\
          experiments: {}\n\
          `repro list` prints the registry (id, title, tags); `--json DIR` writes\n\
          one <id>.json report per experiment plus manifest.json; `--check` exits\n\
@@ -222,8 +232,115 @@ fn git_describe() -> Option<String> {
     (!s.is_empty()).then(|| s.to_string())
 }
 
+/// `repro replay JOB.json [--threads N] [--stream]` — reproduce a served
+/// job offline and print the canonical final line (plus, with
+/// `--stream`, every interval line the daemon streamed).
+fn run_replay(args: &[String]) -> ExitCode {
+    use rft_analysis::experiment::CompileCache;
+    use rft_analysis::job::{run_job_streaming, JobControl, JobRecord, JobSpec};
+
+    let mut file: Option<&str> = None;
+    let mut threads = 1usize;
+    let mut stream = false;
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => threads = n,
+                    _ => {
+                        eprintln!("repro replay: --threads needs a positive integer");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--stream" => stream = true,
+            "--help" | "-h" => {
+                println!("usage: repro replay JOB.json [--threads N] [--stream]");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') && flag != "-" => {
+                eprintln!("repro replay: unknown flag {flag:?}");
+                return ExitCode::from(2);
+            }
+            path if file.is_none() => file = Some(path),
+            extra => {
+                eprintln!("repro replay: unexpected argument {extra:?}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = file else {
+        eprintln!("usage: repro replay JOB.json [--threads N] [--stream]");
+        return ExitCode::from(2);
+    };
+    let body = if path == "-" {
+        use std::io::Read;
+        let mut s = String::new();
+        match std::io::stdin().read_to_string(&mut s) {
+            Ok(_) => s,
+            Err(e) => {
+                eprintln!("repro replay: cannot read stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("repro replay: cannot read {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    // Accept the same shapes the daemon does: a full record, a bare
+    // spec, or — for one-command replays — a served final line (whose
+    // embedded record is extracted through the same deserializer).
+    let record = match serde_json::from_str::<rft_analysis::job::FinalUpdate>(&body) {
+        Ok(final_update) => final_update.record,
+        Err(_) => match serde_json::from_str::<JobRecord>(&body) {
+            Ok(r) => r,
+            Err(_) => match serde_json::from_str::<JobSpec>(&body) {
+                Ok(spec) => JobRecord::new(spec),
+                Err(e) => {
+                    eprintln!("repro replay: {path:?} is not a job record: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        },
+    };
+    let cache = CompileCache::new();
+    let obs = Collector::disabled();
+    let outcome = run_job_streaming(&cache, &obs, &record, threads, |update| {
+        if stream {
+            match serde_json::to_string(update) {
+                Ok(line) => println!("{line}"),
+                Err(e) => eprintln!("repro replay: cannot serialize update: {e}"),
+            }
+        }
+        JobControl::Continue
+    });
+    match outcome {
+        Ok(Some(final_update)) => {
+            println!("{}", final_update.to_line());
+            ExitCode::SUCCESS
+        }
+        Ok(None) => unreachable!("offline replay is never cancelled"),
+        Err(msg) => {
+            eprintln!("repro replay: invalid job: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let cli = match parse_args(std::env::args().skip(1)) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("replay") {
+        return run_replay(&argv[1..]);
+    }
+    let cli = match parse_args(argv.into_iter()) {
         Ok(cli) => cli,
         Err(msg) if msg.is_empty() => {
             println!("{}", usage());

@@ -54,6 +54,15 @@ pub enum Metric {
     CacheHits,
     /// Compile-cache lookups that had to compile.
     CacheMisses,
+    /// Compile-cache entries evicted by the cost-based LRU policy.
+    CacheEvictions,
+    /// HTTP requests the serve daemon accepted a connection for.
+    ServeRequests,
+    /// Requests the daemon refused (draining, over capacity, malformed).
+    ServeRejected,
+    /// Streamed jobs whose client disconnected before the final interval
+    /// (the job was cancelled and its budget freed).
+    ServeEarlyDisconnects,
     /// Work items executed by the cross-point scheduler.
     SchedItems,
     /// Items a worker pulled beyond its first (work stolen from the
@@ -65,7 +74,7 @@ pub enum Metric {
 
 impl Metric {
     /// Number of counters in the catalog.
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 28;
 
     /// Every counter, in catalog order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -90,6 +99,10 @@ impl Metric {
         Metric::EarlyStops,
         Metric::CacheHits,
         Metric::CacheMisses,
+        Metric::CacheEvictions,
+        Metric::ServeRequests,
+        Metric::ServeRejected,
+        Metric::ServeEarlyDisconnects,
         Metric::SchedItems,
         Metric::SchedSteals,
         Metric::PointNanos,
@@ -119,6 +132,10 @@ impl Metric {
             Metric::EarlyStops => "estimator.early_stops",
             Metric::CacheHits => "cache.hits",
             Metric::CacheMisses => "cache.misses",
+            Metric::CacheEvictions => "cache.evictions",
+            Metric::ServeRequests => "serve.requests",
+            Metric::ServeRejected => "serve.rejected",
+            Metric::ServeEarlyDisconnects => "serve.early_disconnects",
             Metric::SchedItems => "sched.items",
             Metric::SchedSteals => "sched.steals",
             Metric::PointNanos => "sched.point_ns",
@@ -141,6 +158,9 @@ impl Metric {
             Metric::StratifiedRounds => "rounds",
             Metric::CacheHits => "lookups",
             Metric::CacheMisses => "compiles",
+            Metric::CacheEvictions => "entries",
+            Metric::ServeRequests | Metric::ServeRejected => "requests",
+            Metric::ServeEarlyDisconnects => "jobs",
             Metric::SchedItems | Metric::SchedSteals => "items",
         }
     }
@@ -167,7 +187,10 @@ impl Metric {
             | Metric::StratifiedRounds
             | Metric::AllocatedWords
             | Metric::EarlyStops => "estimator",
-            Metric::CacheHits | Metric::CacheMisses => "cache",
+            Metric::CacheHits | Metric::CacheMisses | Metric::CacheEvictions => "cache",
+            Metric::ServeRequests | Metric::ServeRejected | Metric::ServeEarlyDisconnects => {
+                "serve"
+            }
             Metric::SchedItems | Metric::SchedSteals | Metric::PointNanos => "sched",
         }
     }
@@ -184,17 +207,23 @@ pub enum Gauge {
     CachedPrograms,
     /// Distinct compiled engines currently cached.
     CachedEngines,
+    /// Approximate bytes held by the compile cache (programs + engines).
+    CacheBytes,
+    /// Estimation jobs currently running in the serve daemon.
+    JobsActive,
 }
 
 impl Gauge {
     /// Number of gauges in the catalog.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 5;
 
     /// Every gauge, in catalog order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
         Gauge::ElidedMass,
         Gauge::CachedPrograms,
         Gauge::CachedEngines,
+        Gauge::CacheBytes,
+        Gauge::JobsActive,
     ];
 
     /// Stable dotted name.
@@ -203,6 +232,8 @@ impl Gauge {
             Gauge::ElidedMass => "estimator.elided_mass",
             Gauge::CachedPrograms => "cache.programs",
             Gauge::CachedEngines => "cache.engines",
+            Gauge::CacheBytes => "cache.bytes",
+            Gauge::JobsActive => "serve.jobs_active",
         }
     }
 
@@ -212,6 +243,8 @@ impl Gauge {
             Gauge::ElidedMass => "probability",
             Gauge::CachedPrograms => "programs",
             Gauge::CachedEngines => "engines",
+            Gauge::CacheBytes => "bytes",
+            Gauge::JobsActive => "jobs",
         }
     }
 
@@ -219,7 +252,8 @@ impl Gauge {
     pub const fn subsystem(self) -> &'static str {
         match self {
             Gauge::ElidedMass => "estimator",
-            Gauge::CachedPrograms | Gauge::CachedEngines => "cache",
+            Gauge::CachedPrograms | Gauge::CachedEngines | Gauge::CacheBytes => "cache",
+            Gauge::JobsActive => "serve",
         }
     }
 }
@@ -234,14 +268,22 @@ pub enum Hist {
     RoundWords,
     /// Items one scheduler worker executed over its lifetime.
     ItemsPerWorker,
+    /// Wall-clock microseconds one serve-daemon request took, end to end
+    /// (connection accepted to response flushed).
+    RequestMicros,
 }
 
 impl Hist {
     /// Number of histograms in the catalog.
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// Every histogram, in catalog order.
-    pub const ALL: [Hist; Hist::COUNT] = [Hist::QueueDepth, Hist::RoundWords, Hist::ItemsPerWorker];
+    pub const ALL: [Hist; Hist::COUNT] = [
+        Hist::QueueDepth,
+        Hist::RoundWords,
+        Hist::ItemsPerWorker,
+        Hist::RequestMicros,
+    ];
 
     /// Stable dotted name.
     pub const fn name(self) -> &'static str {
@@ -249,6 +291,7 @@ impl Hist {
             Hist::QueueDepth => "sched.queue_depth",
             Hist::RoundWords => "estimator.round_words",
             Hist::ItemsPerWorker => "sched.items_per_worker",
+            Hist::RequestMicros => "serve.request_us",
         }
     }
 
@@ -258,6 +301,7 @@ impl Hist {
             Hist::QueueDepth => "items",
             Hist::RoundWords => "words",
             Hist::ItemsPerWorker => "items",
+            Hist::RequestMicros => "us",
         }
     }
 
@@ -266,6 +310,7 @@ impl Hist {
         match self {
             Hist::QueueDepth | Hist::ItemsPerWorker => "sched",
             Hist::RoundWords => "estimator",
+            Hist::RequestMicros => "serve",
         }
     }
 }

@@ -403,6 +403,26 @@ fn convolve_pmf(a: &[f64], b: &[f64]) -> Vec<f64> {
 }
 
 impl FaultCountDist {
+    /// Approximate heap footprint (size input of cache eviction).
+    fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let groups: usize = self
+            .groups
+            .iter()
+            .map(|g| {
+                size_of::<FaultGroup>()
+                    + g.ops.len() * size_of::<u32>()
+                    + g.pmf.len() * size_of::<f64>()
+            })
+            .sum();
+        let suffix: usize = self
+            .suffix
+            .iter()
+            .map(|row| size_of::<Vec<f64>>() + row.len() * size_of::<f64>())
+            .sum();
+        size_of::<FaultCountDist>() + groups + suffix
+    }
+
     fn build(table: &FaultTable) -> Self {
         let mut groups: Vec<FaultGroup> = table
             .sampler_rates
@@ -825,6 +845,30 @@ impl Engine {
     /// micro-op compilation.
     pub fn compile_stats(&self) -> &CompileStats {
         &self.compiled().stats
+    }
+
+    /// Approximate resident size of this compiled engine in bytes: the
+    /// op stream, the fault table, and whatever lazy artifacts (fault-
+    /// count distribution, micro-op program) have been built so far.
+    ///
+    /// An estimate, not an allocator census — it is the size input of the
+    /// compile cache's cost-based eviction policy, where only relative
+    /// magnitudes matter (a level-2 engine weighs ~20× a level-1 one).
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<Engine>();
+        bytes += std::mem::size_of_val::<[Op]>(self.circuit.ops());
+        bytes += self.table.probs.len() * size_of::<f64>();
+        bytes += self.table.sampler_of.len() * size_of::<usize>();
+        bytes += self.table.samplers.len() * 65 * size_of::<f64>();
+        bytes += self.table.sampler_rates.len() * size_of::<f64>();
+        if let Some(dist) = self.dist.get() {
+            bytes += dist.approx_bytes();
+        }
+        if let Some(ops) = self.compiled.get() {
+            bytes += ops.approx_bytes();
+        }
+        bytes
     }
 
     /// The compiled circuit.

@@ -223,6 +223,21 @@ pub(crate) struct CompiledOps {
     pub stats: CompileStats,
 }
 
+impl CompiledOps {
+    /// Approximate heap footprint (size input of cache eviction).
+    pub(crate) fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<CompiledOps>() + self.micro.len() * size_of::<MicroOp>();
+        for seg in &self.segments {
+            bytes += size_of::<AffineSegment>()
+                + seg.wires.len() * size_of::<u32>()
+                + seg.rows.len() * size_of::<Row>()
+                + seg.sites.len() * size_of::<FaultSite>();
+        }
+        bytes
+    }
+}
+
 /// What the fusion pass did to one op stream — exposed on the compiled
 /// artifact via
 /// [`Engine::compile_stats`](crate::engine::Engine::compile_stats).

@@ -1,0 +1,422 @@
+//! A minimal, allocation-bounded HTTP/1.1 server protocol layer.
+//!
+//! The daemon speaks just enough HTTP for `curl` and any stock client:
+//! request-line + headers + `Content-Length` bodies in, fixed-length or
+//! `Transfer-Encoding: chunked` responses out. Everything is hand-rolled
+//! on `std::io` — the build environment is offline, so no HTTP dependency
+//! is available (or needed: the grammar subset below is ~100 lines).
+//!
+//! **Robustness contract** (pinned by the proptest suite in
+//! `tests/protocol.rs`): [`read_request`] never panics on any byte
+//! sequence — malformed request lines, truncated bodies, oversized heads
+//! or bodies, and non-UTF-8 all map to typed [`HttpError`]s that the
+//! server turns into clean 4xx responses.
+
+use std::io::{self, Read, Write};
+
+/// Parsing limits: every buffer the parser grows is bounded up front.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum bytes of request body.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target as sent (path + optional query).
+    pub path: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of lowercased header `name`, if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. [`HttpError::status`] maps each to
+/// the response the server sends before closing the connection.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed before a full request arrived.
+    Closed,
+    /// Transport error (includes read timeouts).
+    Io(io::Error),
+    /// Grammar violation: bad request line, header, or length field.
+    Malformed(&'static str),
+    /// Head grew past [`Limits::max_head_bytes`].
+    HeadTooLarge,
+    /// Declared `Content-Length` past [`Limits::max_body_bytes`].
+    BodyTooLarge,
+    /// The client sent `Transfer-Encoding` (unsupported for requests).
+    UnsupportedEncoding,
+}
+
+impl HttpError {
+    /// The HTTP status code this error answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Closed | HttpError::Io(_) => 400,
+            HttpError::Malformed(_) => 400,
+            HttpError::HeadTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+            HttpError::UnsupportedEncoding => 501,
+        }
+    }
+
+    /// A short client-facing reason.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            HttpError::Closed => "connection closed mid-request",
+            HttpError::Io(_) => "read error",
+            HttpError::Malformed(m) => m,
+            HttpError::HeadTooLarge => "request head too large",
+            HttpError::BodyTooLarge => "request body too large",
+            HttpError::UnsupportedEncoding => "request transfer-encoding unsupported",
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from `r` under `limits`.
+///
+/// Generic over [`Read`] so the proptest suite can drive the parser from
+/// in-memory byte slices; the server passes a `TcpStream` with a read
+/// timeout installed.
+///
+/// # Errors
+///
+/// Any malformed, truncated, or over-limit input returns an
+/// [`HttpError`]; this function never panics.
+pub fn read_request<R: Read>(r: &mut R, limits: &Limits) -> Result<Request, HttpError> {
+    let head = read_head(r, limits)?;
+    let head_str =
+        std::str::from_utf8(&head).map_err(|_| HttpError::Malformed("head is not UTF-8"))?;
+    let mut lines = head_str.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().ok_or(HttpError::Malformed("missing path"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing HTTP version"))?;
+    if parts.next().is_some() {
+        return Err(HttpError::Malformed("extra tokens in request line"));
+    }
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::Malformed("bad method"));
+    }
+    if !path.starts_with('/') {
+        return Err(HttpError::Malformed("path must start with '/'"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue; // trailing empty split after final CRLF
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without ':'"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed("bad header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let req = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if req.header("transfer-encoding").is_some() {
+        return Err(HttpError::UnsupportedEncoding);
+    }
+    let content_length = match req.header("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("bad content-length"))?,
+    };
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    read_exact_or_closed(r, &mut body)?;
+    Ok(Request { body, ..req })
+}
+
+/// Reads bytes until the `\r\n\r\n` head terminator (exclusive),
+/// enforcing the head limit. Reads one byte at a time — heads are small
+/// and this must not consume body bytes.
+fn read_head<R: Read>(r: &mut R, limits: &Limits) -> Result<Vec<u8>, HttpError> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => return Err(HttpError::Closed),
+            Ok(_) => head.push(byte[0]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            head.truncate(head.len() - 4);
+            return Ok(head);
+        }
+        if head.len() > limits.max_head_bytes {
+            return Err(HttpError::HeadTooLarge);
+        }
+    }
+}
+
+/// `read_exact` that reports EOF as [`HttpError::Closed`].
+fn read_exact_or_closed<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), HttpError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(HttpError::Closed),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// The standard reason phrase of `status` (subset this server sends).
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete fixed-length response (always `Connection: close` —
+/// the daemon is one-request-per-connection by design: job streams own
+/// the socket until they end).
+///
+/// # Errors
+///
+/// Propagates transport errors (a closed peer is not an error the caller
+/// can act on beyond dropping the connection).
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        status,
+        reason_phrase(status),
+        content_type,
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes a JSON error body `{"error": reason}` with `status`.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_error<W: Write>(w: &mut W, status: u16, reason: &str) -> io::Result<()> {
+    let body = format!(
+        "{{\"error\":{}}}",
+        serde_json::to_string(reason).unwrap_or_else(|_| "\"error\"".to_string())
+    );
+    write_response(w, status, "application/json", body.as_bytes())
+}
+
+/// A `Transfer-Encoding: chunked` response writer: one [`Self::send`]
+/// per NDJSON line, [`Self::finish`] for the terminating chunk. A send
+/// failing means the client went away — the caller cancels the job.
+#[derive(Debug)]
+pub struct ChunkedWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Writes the status line + headers and returns the chunk writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn start(mut w: W, status: u16, content_type: &str) -> io::Result<Self> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+            status,
+            reason_phrase(status),
+            content_type,
+        )?;
+        w.flush()?;
+        Ok(ChunkedWriter { w })
+    }
+
+    /// Sends one chunk (the daemon sends exactly one JSON line, newline
+    /// included, per chunk) and flushes so the client sees it *now*.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors — the signal that the client
+    /// disconnected early.
+    pub fn send(&mut self, chunk: &[u8]) -> io::Result<()> {
+        if chunk.is_empty() {
+            return Ok(()); // an empty chunk would terminate the stream
+        }
+        write!(self.w, "{:x}\r\n", chunk.len())?;
+        self.w.write_all(chunk)?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+
+    /// Sends the terminating zero chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+/// Parses a complete chunked-encoded body back into the concatenated
+/// payload — the client-side half, used by the loopback tests and kept
+/// here so the encoder and decoder stay in one reviewed place.
+///
+/// # Errors
+///
+/// Returns a description of the first grammar violation.
+pub fn decode_chunked(mut data: &[u8]) -> Result<Vec<u8>, String> {
+    let mut out = Vec::new();
+    loop {
+        let line_end = find_crlf(data).ok_or("missing chunk-size CRLF")?;
+        let size_str =
+            std::str::from_utf8(&data[..line_end]).map_err(|_| "chunk size not UTF-8")?;
+        // Ignore chunk extensions (";..." suffix) per RFC 9112.
+        let size_str = size_str.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16).map_err(|_| "bad chunk size")?;
+        data = &data[line_end + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if data.len() < size + 2 {
+            return Err("truncated chunk".into());
+        }
+        out.extend_from_slice(&data[..size]);
+        if &data[size..size + 2] != b"\r\n" {
+            return Err("chunk data not CRLF-terminated".into());
+        }
+        data = &data[size + 2..];
+    }
+}
+
+fn find_crlf(data: &[u8]) -> Option<usize> {
+    data.windows(2).position(|w| w == b"\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(bytes), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_get() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n").expect("valid");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /jobs HTTP/1.1\r\ncontent-length: 4\r\n\r\n{\"a\"").expect("valid");
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn rejects_bad_grammar() {
+        assert!(parse(b"").is_err());
+        assert!(parse(b"GET\r\n\r\n").is_err());
+        assert!(parse(b"GET noslash HTTP/1.1\r\n\r\n").is_err());
+        assert!(parse(b"GET / HTTP/2.0\r\n\r\n").is_err());
+        assert!(parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").is_err());
+        assert!(parse(b"POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_body_without_reading_it() {
+        let err = parse(b"POST / HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let err = parse(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort").unwrap_err();
+        assert!(matches!(err, HttpError::Closed));
+    }
+
+    #[test]
+    fn chunked_round_trip() {
+        let mut buf = Vec::new();
+        {
+            let mut w = ChunkedWriter::start(&mut buf, 200, "application/x-ndjson").expect("start");
+            w.send(b"{\"kind\":\"interval\"}\n").expect("send");
+            w.send(b"{\"kind\":\"final\"}\n").expect("send");
+            w.finish().expect("finish");
+        }
+        let head_end = buf
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("head terminator")
+            + 4;
+        let body = decode_chunked(&buf[head_end..]).expect("decode");
+        assert_eq!(body, b"{\"kind\":\"interval\"}\n{\"kind\":\"final\"}\n");
+    }
+}

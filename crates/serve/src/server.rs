@@ -1,0 +1,419 @@
+//! The daemon: accept loop, routing, job streaming, and graceful drain.
+//!
+//! One thread per connection, one request per connection. `POST /jobs`
+//! turns the connection into an NDJSON stream: one chunk per completed
+//! estimator round (an [`rft_analysis::job::IntervalUpdate`] line), then
+//! one `"final"` line
+//! carrying the replayable [`JobRecord`] and pooled result — the line
+//! `repro replay` reproduces byte-for-byte. A failed chunk write means
+//! the client went away; the job is cancelled at the next round boundary
+//! and its threads return to the budget.
+//!
+//! Shutdown is two-phase: [`ShutdownHandle::shutdown`] (the signal
+//! handler's lever) stops the accept loop, then in-flight jobs get
+//! [`ServerConfig::drain_timeout`] to finish before they are
+//! force-cancelled and the process exits.
+
+use crate::fair::ThreadBudget;
+use crate::http::{self, ChunkedWriter, Limits, Request};
+use rft_analysis::experiment::CompileCache;
+use rft_analysis::job::{run_job_streaming, JobControl, JobRecord, JobSpec};
+use rft_obs::{Collector, Gauge, Hist, Metric};
+use serde::Serialize;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything tunable about a daemon instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Global worker-thread budget shared by all jobs.
+    pub threads: usize,
+    /// Threads one job holds per round (clamped to `threads`).
+    pub threads_per_job: usize,
+    /// Compile-cache byte budget (`None` = unbounded).
+    pub cache_bytes: Option<usize>,
+    /// How long in-flight jobs may run after shutdown begins.
+    pub drain_timeout: Duration,
+    /// HTTP parsing limits.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            threads_per_job: 2,
+            cache_bytes: Some(256 * 1024 * 1024),
+            drain_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Shared server state: the process-wide cache, metrics, budget, and
+/// shutdown flags.
+#[derive(Debug)]
+struct State {
+    config: ServerConfig,
+    /// The resolved bind address (shutdown wakes the accept loop by
+    /// connecting to it).
+    local_addr: SocketAddr,
+    cache: CompileCache,
+    obs: Collector,
+    budget: ThreadBudget,
+    /// Set once: stop accepting, begin the drain.
+    shutdown: AtomicBool,
+    /// Set at the drain deadline: cancel jobs at their next round.
+    force_cancel: AtomicBool,
+    /// Connections currently being handled (jobs included).
+    connections_active: AtomicU64,
+    /// Jobs currently streaming.
+    jobs_active: AtomicU64,
+}
+
+/// A clonable lever that begins graceful shutdown (signal handlers and
+/// tests hold one).
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    state: Arc<State>,
+}
+
+impl ShutdownHandle {
+    /// Begins the drain: the accept loop stops and `run` returns once
+    /// in-flight jobs finish or the drain timeout expires.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; a throwaway connection
+        // wakes it so it observes the flag without polling.
+        let _ = TcpStream::connect_timeout(&self.state.local_addr, Duration::from_millis(200));
+    }
+}
+
+/// A bound, not-yet-running daemon.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<State>,
+}
+
+/// The `GET /stats` payload.
+#[derive(Debug, Clone, Serialize)]
+struct Stats {
+    jobs_active: u64,
+    requests: u64,
+    rejected: u64,
+    early_disconnects: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evictions: u64,
+    cache_bytes: u64,
+    cache_programs: u64,
+    cache_engines: u64,
+    budget_capacity: u64,
+    budget_available: u64,
+}
+
+impl Server {
+    /// Binds `config.addr` and builds the shared state (cache bounded to
+    /// `config.cache_bytes`, budget of `config.threads`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let obs = Collector::new();
+        let cache = CompileCache::with_collector_and_budget(obs.clone(), config.cache_bytes);
+        let budget = ThreadBudget::new(config.threads);
+        Ok(Server {
+            listener,
+            state: Arc::new(State {
+                config,
+                local_addr,
+                cache,
+                obs,
+                budget,
+                shutdown: AtomicBool::new(false),
+                force_cancel: AtomicBool::new(false),
+                connections_active: AtomicU64::new(0),
+                jobs_active: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A shutdown lever for this server.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Runs the accept loop until shutdown, then drains. Connection
+    /// handling never takes this thread down: each connection runs on
+    /// its own thread with panics caught at the job boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop transport errors (not per-connection ones).
+    pub fn run(self) -> io::Result<()> {
+        loop {
+            // Blocking accept: zero added latency per connection and no
+            // idle polling. `ShutdownHandle::shutdown` wakes it with a
+            // throwaway connection, dropped by the flag check below.
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let state = Arc::clone(&self.state);
+                    state.connections_active.fetch_add(1, Ordering::SeqCst);
+                    std::thread::spawn(move || {
+                        handle_connection(&state, stream);
+                        state.connections_active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    if self.state.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.drain();
+        Ok(())
+    }
+
+    /// Waits out in-flight connections up to the drain timeout, then
+    /// force-cancels remaining jobs and gives them a short grace period
+    /// to notice at their next round boundary.
+    fn drain(&self) {
+        let deadline = Instant::now() + self.state.config.drain_timeout;
+        while self.state.connections_active.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                self.state.force_cancel.store(true, Ordering::SeqCst);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let grace = Instant::now() + Duration::from_secs(2);
+        while self.state.connections_active.load(Ordering::SeqCst) > 0 && Instant::now() < grace {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+/// Reads, routes, and answers one connection; all errors end in a
+/// best-effort response and a closed socket.
+fn handle_connection(state: &State, mut stream: TcpStream) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let obs = &state.obs;
+    obs.incr(Metric::ServeRequests);
+
+    let outcome = match http::read_request(&mut stream, &state.config.limits) {
+        Err(e) => {
+            obs.incr(Metric::ServeRejected);
+            reject(&mut stream, e.status(), e.reason())
+        }
+        Ok(req) => route(state, &mut stream, &req),
+    };
+    if outcome.is_err() {
+        // The peer is gone; nothing left to tell it.
+    }
+    // Lingering close: a request rejected at the head (oversized body,
+    // unsupported encoding) leaves unread bytes in our receive buffer,
+    // and closing then makes the kernel send RST — which can destroy
+    // the response before the peer reads it. Drain briefly so the close
+    // is a clean FIN.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 1024];
+    while matches!(io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
+    obs.observe(Hist::RequestMicros, started.elapsed().as_micros() as u64);
+}
+
+/// Routes a parsed request.
+fn route(state: &State, stream: &mut TcpStream, req: &Request) -> io::Result<()> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            http::write_response(stream, 200, "application/json", b"{\"status\":\"ok\"}")
+        }
+        ("GET", "/stats") => {
+            let stats = snapshot_stats(state);
+            let body = serde_json::to_string(&stats).unwrap_or_else(|_| "{}".into());
+            http::write_response(stream, 200, "application/json", body.as_bytes())
+        }
+        ("POST", "/jobs") => handle_job(state, stream, req),
+        ("POST", _) | ("GET", _) => {
+            state.obs.incr(Metric::ServeRejected);
+            reject(stream, 404, "no such endpoint")
+        }
+        _ => {
+            state.obs.incr(Metric::ServeRejected);
+            reject(stream, 405, "method not allowed")
+        }
+    }
+}
+
+/// Counts and writes a rejection.
+fn reject(stream: &mut TcpStream, status: u16, reason: &str) -> io::Result<()> {
+    http::write_error(stream, status, reason)
+}
+
+/// Builds the `/stats` snapshot.
+fn snapshot_stats(state: &State) -> Stats {
+    Stats {
+        jobs_active: state.jobs_active.load(Ordering::SeqCst),
+        requests: state.obs.get(Metric::ServeRequests),
+        rejected: state.obs.get(Metric::ServeRejected),
+        early_disconnects: state.obs.get(Metric::ServeEarlyDisconnects),
+        cache_hits: state.cache.hits(),
+        cache_misses: state.cache.misses(),
+        cache_evictions: state.cache.evictions(),
+        cache_bytes: state.cache.cached_bytes() as u64,
+        cache_programs: state.cache.programs_cached() as u64,
+        cache_engines: state.cache.engines_cached() as u64,
+        budget_capacity: state.budget.capacity() as u64,
+        budget_available: state.budget.available() as u64,
+    }
+}
+
+/// Why a streaming job ended without a final line.
+enum StreamEnd {
+    /// Ran to completion; final line sent.
+    Completed,
+    /// A chunk write failed: the client disconnected early.
+    Disconnected,
+    /// The drain deadline force-cancelled it.
+    Drained,
+}
+
+/// `POST /jobs`: validate, admit, stream rounds, finish with the
+/// replayable final line.
+fn handle_job(state: &State, stream: &mut TcpStream, req: &Request) -> io::Result<()> {
+    let obs = &state.obs;
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => {
+            obs.incr(Metric::ServeRejected);
+            return reject(stream, 400, "body is not UTF-8");
+        }
+    };
+    // Accept a full record or (for curl ergonomics) a bare spec.
+    let record = match serde_json::from_str::<JobRecord>(body) {
+        Ok(r) => r,
+        Err(_) => match serde_json::from_str::<JobSpec>(body) {
+            Ok(spec) => JobRecord::new(spec),
+            Err(e) => {
+                obs.incr(Metric::ServeRejected);
+                return reject(stream, 400, &format!("bad job JSON: {e}"));
+            }
+        },
+    };
+    if let Err(msg) = record.validate() {
+        obs.incr(Metric::ServeRejected);
+        return reject(stream, 400, &msg);
+    }
+    if state.shutdown.load(Ordering::SeqCst) {
+        obs.incr(Metric::ServeRejected);
+        return reject(stream, 503, "server is draining");
+    }
+
+    let active = state.jobs_active.fetch_add(1, Ordering::SeqCst) + 1;
+    obs.set_gauge(Gauge::JobsActive, active as f64);
+    let result = catch_unwind(AssertUnwindSafe(|| stream_job(state, stream, &record)));
+    let active = state.jobs_active.fetch_sub(1, Ordering::SeqCst) - 1;
+    obs.set_gauge(Gauge::JobsActive, active as f64);
+
+    match result {
+        Ok(end) => {
+            if matches!(end, Ok(StreamEnd::Disconnected)) {
+                obs.incr(Metric::ServeEarlyDisconnects);
+            }
+            end.map(|_| ())
+        }
+        // A panic past validation would be an engine bug; the stream is
+        // already committed, so all we can do is drop the connection —
+        // truncated chunked encoding tells the client the job died.
+        Err(_panic) => Ok(()),
+    }
+}
+
+/// Runs the job rounds under the fairness discipline, streaming a line
+/// per round. Returns how the stream ended.
+fn stream_job(state: &State, stream: &mut TcpStream, record: &JobRecord) -> io::Result<StreamEnd> {
+    let obs = &state.obs;
+    let mut out = ChunkedWriter::start(&mut *stream, 200, "application/x-ndjson")?;
+
+    // Round-robin fairness: hold a budget permit only per round,
+    // re-queueing (strict FIFO) between rounds so concurrent jobs
+    // interleave instead of the first admission monopolizing the budget.
+    let want = state.config.threads_per_job;
+    let mut permit = Some(state.budget.acquire(want));
+    let threads = permit.as_ref().map_or(1, |p| p.threads());
+    let mut end = StreamEnd::Completed;
+
+    let outcome = run_job_streaming(&state.cache, obs, record, threads, |update| {
+        if state.force_cancel.load(Ordering::SeqCst) {
+            end = StreamEnd::Drained;
+            return JobControl::Cancel;
+        }
+        let mut line = serde_json::to_string(update).unwrap_or_default();
+        line.push('\n');
+        if out.send(line.as_bytes()).is_err() {
+            end = StreamEnd::Disconnected;
+            return JobControl::Cancel;
+        }
+        if !update.done {
+            permit = None; // release before re-queueing
+            permit = Some(state.budget.acquire(want));
+        }
+        JobControl::Continue
+    });
+    drop(permit);
+
+    match outcome {
+        // Validation already passed, so Err is unreachable; treat it
+        // like a completed-with-error stream for robustness.
+        Err(msg) => {
+            let _ = out.send(
+                format!(
+                    "{{\"kind\":\"error\",\"error\":{}}}\n",
+                    serde_json::to_string(&msg).unwrap_or_else(|_| "\"error\"".into())
+                )
+                .as_bytes(),
+            );
+            out.finish()?;
+            Ok(StreamEnd::Completed)
+        }
+        Ok(None) => Ok(end), // cancelled: no terminating chunk — truncation is the signal
+        Ok(Some(final_update)) => {
+            let mut line = final_update.to_line();
+            line.push('\n');
+            if out.send(line.as_bytes()).is_err() {
+                return Ok(StreamEnd::Disconnected);
+            }
+            out.finish()?;
+            Ok(StreamEnd::Completed)
+        }
+    }
+}

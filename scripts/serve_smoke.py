@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the rft-serve daemon (CI gate).
+
+Drives the real binaries over a real socket:
+
+1. start ``rft-serve`` on an ephemeral loopback port and wait for its
+   ``listening on <addr>`` line;
+2. ``GET /healthz`` must answer ``{"status":"ok"}``;
+3. ``POST /jobs`` with a small deterministic job; validate the NDJSON
+   stream (monotone interval lines, one terminal ``final`` line embedding
+   the submitted record);
+4. extract the job record from the final line, run
+   ``repro replay job.json`` offline, and require the replayed final line
+   to be **byte-identical** to the served one — the determinism contract;
+5. malformed and oversized requests must answer 4xx (daemon survives);
+6. SIGTERM must drain and exit 0 within the drain timeout.
+
+Artifacts (stream transcript, job record, replay output) are written to
+``--out`` for CI upload. Exit code 0 = all checks passed.
+
+Usage:
+    serve_smoke.py [--bin-dir target/release] [--out serve-smoke-out]
+"""
+
+import argparse
+import http.client
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+JOB_SPEC = {
+    "circuit": {
+        "Concat": {
+            "level": 1,
+            "gate": {"Toffoli": {"controls": [0, 1], "target": 2}},
+            "cycles": 1,
+        }
+    },
+    "noise": {"Uniform": {"g": 1.0 / 165.0}},
+    "seed": 20050628,
+    "estimator": "Plain",
+    "backend": "Auto",
+    "width": "Auto",
+    "trials_per_round": 4096,
+    "max_rounds": 3,
+    "target_rel_half_width": None,
+}
+
+CHECKS = []
+
+
+def check(name, ok, detail=""):
+    CHECKS.append((name, ok))
+    print(f"  {'PASS' if ok else 'FAIL'}  {name}" + (f" ({detail})" if detail else ""))
+    if not ok:
+        sys.exit(f"serve_smoke: check failed: {name} {detail}")
+
+
+def start_daemon(bin_dir, out_dir):
+    exe = pathlib.Path(bin_dir) / "rft-serve"
+    if not exe.exists():
+        sys.exit(f"serve_smoke: {exe} not found (build with `cargo build --release`)")
+    log = open(out_dir / "daemon.log", "w", encoding="utf-8")
+    proc = subprocess.Popen(
+        [str(exe), "--addr", "127.0.0.1:0", "--threads", "2", "--drain-timeout", "5"],
+        stdout=subprocess.PIPE,
+        stderr=log,
+        text=True,
+    )
+    line = proc.stdout.readline().strip()
+    if not line.startswith("listening on "):
+        proc.kill()
+        sys.exit(f"serve_smoke: unexpected startup line: {line!r}")
+    addr = line.removeprefix("listening on ")
+    host, _, port = addr.rpartition(":")
+    return proc, host, int(port)
+
+
+def request(host, port, method, path, body=None, timeout=60):
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(method, path, body=body)
+        resp = conn.getresponse()
+        return resp.status, resp.read()
+    finally:
+        conn.close()
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bin-dir", default="target/release")
+    ap.add_argument("--out", default="serve-smoke-out")
+    args = ap.parse_args()
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    proc, host, port = start_daemon(args.bin_dir, out_dir)
+    print(f"serve_smoke: daemon on {host}:{port} (pid {proc.pid})")
+    try:
+        status, body = request(host, port, "GET", "/healthz", timeout=10)
+        check("healthz answers 200 ok", status == 200 and b'"status":"ok"' in body)
+
+        # --- the streamed job --------------------------------------------
+        job_body = json.dumps({"schema_version": 1, "spec": JOB_SPEC})
+        status, stream = request(host, port, "POST", "/jobs", body=job_body)
+        (out_dir / "stream.ndjson").write_bytes(stream)
+        check("job answers 200", status == 200, f"status {status}")
+        lines = stream.decode("utf-8").splitlines()
+        check(
+            "stream has interval lines + final line",
+            len(lines) == JOB_SPEC["max_rounds"] + 1,
+            f"{len(lines)} lines",
+        )
+        updates = [json.loads(line) for line in lines]
+        check(
+            "interval lines are monotone in round and trials",
+            all(
+                u["kind"] == "interval"
+                and u["round"] == i + 1
+                and u["estimate"]["trials"] == (i + 1) * JOB_SPEC["trials_per_round"]
+                for i, u in enumerate(updates[:-1])
+            ),
+        )
+        final = updates[-1]
+        check("final line is terminal", final["kind"] == "final")
+        check(
+            "final line embeds the submitted record",
+            final["record"]["spec"] == json.loads(job_body)["spec"],
+        )
+
+        # --- offline replay: byte-identical ------------------------------
+        served_final_line = lines[-1]
+        job_path = out_dir / "job.json"
+        job_path.write_text(json.dumps(final["record"]), encoding="utf-8")
+        repro = pathlib.Path(args.bin_dir) / "repro"
+        replayed = subprocess.run(
+            [str(repro), "replay", str(job_path), "--threads", "3"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            check=True,
+        ).stdout.strip()
+        (out_dir / "replay.json").write_text(replayed + "\n", encoding="utf-8")
+        check(
+            "repro replay reproduces the served final line byte-identically",
+            replayed == served_final_line,
+        )
+
+        # --- cache visibility --------------------------------------------
+        status, body = request(host, port, "GET", "/stats", timeout=10)
+        stats = json.loads(body)
+        (out_dir / "stats.json").write_bytes(body)
+        check(
+            "stats shows the compiled artifacts",
+            status == 200 and stats["cache_programs"] >= 1 and stats["cache_engines"] >= 1,
+        )
+
+        # --- robustness ---------------------------------------------------
+        status, _ = request(host, port, "POST", "/jobs", body="{not json", timeout=10)
+        check("malformed JSON answers 400", status == 400, f"status {status}")
+        status, _ = request(
+            host, port, "POST", "/jobs", body=json.dumps({"seed": 1}), timeout=10
+        )
+        check("incomplete spec answers 400", status == 400, f"status {status}")
+        status, _ = request(host, port, "GET", "/no-such", timeout=10)
+        check("unknown path answers 404", status == 404, f"status {status}")
+        status, body = request(host, port, "GET", "/healthz", timeout=10)
+        check("daemon survives garbage", status == 200)
+
+        # --- graceful shutdown -------------------------------------------
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=15)
+        check("SIGTERM drains and exits 0", rc == 0, f"exit code {rc}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    print(f"serve_smoke: all {len(CHECKS)} checks passed; artifacts in {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()
