@@ -560,7 +560,7 @@ impl ExperimentContext {
 
 /// Every registered experiment, in the order `repro` runs them by
 /// default: structural/exact reproductions first, Monte-Carlo sweeps last.
-pub static REGISTRY: [&dyn Experiment; 12] = [
+pub static REGISTRY: [&dyn Experiment; 16] = [
     &crate::experiments::table1::Table1Experiment,
     &crate::experiments::fig2::Fig2Experiment,
     &crate::experiments::blowup::BlowupExperiment,
@@ -568,11 +568,15 @@ pub static REGISTRY: [&dyn Experiment; 12] = [
     &crate::experiments::table2::Table2Experiment,
     &crate::experiments::nand::NandExperiment,
     &crate::experiments::advantage::AdvantageExperiment,
+    &crate::experiments::detect::DetectCovExperiment,
+    &crate::experiments::detect::DetectOverheadExperiment,
     &crate::experiments::ablation::AblationExperiment,
     &crate::experiments::local::LocalExperiment,
     &crate::experiments::entropy::EntropyExperiment,
     &crate::experiments::threshold::ThresholdExperiment,
     &crate::experiments::suppression::SuppressionExperiment,
+    &crate::experiments::detect::DetectWidthExperiment,
+    &crate::experiments::detect::DetectHybridExperiment,
 ];
 
 /// The experiment registry.

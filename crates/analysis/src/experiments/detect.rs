@@ -1,0 +1,841 @@
+//! `detectcov`, `detectoverhead`, `detectwidth`, `detecthybrid`: the
+//! online fault-*detection* design point, built on the parity-preserving
+//! gate library (`rft-detect`).
+//!
+//! Where the paper's multiplexing scheme pays 3× wires plus a recovery
+//! network to *correct* faults, the parity-preserving constructions pay
+//! one rail and a comparator scan to *detect* them. These experiments
+//! measure both sides of that trade: exhaustive single-fault coverage
+//! (100% of bit-flips, exactly half of the paper's random-pattern
+//! faults), gate-count overhead against a level-1 majority lower bound,
+//! scaling across adder constructions and widths, and the hybrid
+//! retry/discard policy whose residual undetected-and-wrong rate the
+//! rare-event machinery resolves at deep-sub-threshold fault rates.
+
+use crate::experiment::{Experiment, ExperimentContext};
+use crate::report::{rate_ci, sci, Check, Report, Series, Table};
+use crate::stats::ErrorEstimate;
+use rft_core::recovery::E_WITH_INIT;
+use rft_detect::{
+    exhaustive_coverage, Adder, AdderKind, AdderTrial, CheckedAdder, Coverage, CoverageReport,
+    TrialMode,
+};
+use rft_obs::Metric;
+use rft_revsim::engine::McOutcome;
+use rft_revsim::noise::UniformNoise;
+use serde::{Deserialize, Serialize};
+
+/// The fault rate the fixed-rate detection experiments run at.
+const DETECT_G: f64 = 1e-3;
+
+/// Estimates one trial mode on a cached engine, salted per point. `cfg`
+/// is the (possibly per-item) budget the options derive from; the engine
+/// comes from `ctx`'s shared compile cache.
+fn sample(
+    ctx: &ExperimentContext,
+    cfg: &crate::experiments::RunConfig,
+    checked: &CheckedAdder,
+    g: f64,
+    mode: TrialMode,
+    salt: u64,
+) -> McOutcome {
+    let noise = UniformNoise::new(g);
+    let engine = ctx
+        .cache()
+        .engine_with(ctx.obs(), &checked.checked.circuit, &noise);
+    ctx.obs().incr(Metric::DetectEstimates);
+    engine.estimate_obs(&checked.trial(mode), &cfg.options().salt(salt), ctx.obs())
+}
+
+/// Synthesizes and wraps an adder, accounting the synthesis in the obs
+/// catalog's `detect` subsystem.
+fn synth(ctx: &ExperimentContext, kind: AdderKind, width: usize) -> CheckedAdder {
+    ctx.obs().incr(Metric::DetectSyntheses);
+    CheckedAdder::new(kind, width)
+}
+
+/// Accounts an exhaustive coverage enumeration: one count per evaluated
+/// `(op, pattern, input)` case (the odd/even classes partition them).
+fn account_coverage(ctx: &ExperimentContext, r: &CoverageReport) {
+    let cases = r.body_odd.cases + r.body_even.cases + r.checker_odd.cases + r.checker_even.cases;
+    ctx.obs().add(Metric::DetectCoverageCases, cases);
+}
+
+/// Lower bound on the op count of protecting `plain` with one level of
+/// majority multiplexing: every gate becomes a transversal triple and
+/// every wire becomes an encoded bit that pays one recovery network
+/// (`E = 8` ops, Figure 2) per cycle. Encoders and any routing are not
+/// counted — the bound only strengthens the comparison.
+fn majority_level1_ops(plain: &Adder) -> usize {
+    3 * plain.circuit.stats().gate_ops() + E_WITH_INIT * plain.circuit.n_wires()
+}
+
+fn coverage_rows(t: &mut Table, label: &str, c: &Coverage) {
+    t.row(&[
+        label.to_string(),
+        c.cases.to_string(),
+        c.harmful.to_string(),
+        c.detected.to_string(),
+        c.harmful_undetected.to_string(),
+        c.false_alarms.to_string(),
+    ]);
+}
+
+// ---------------------------------------------------------------------------
+// detectcov
+// ---------------------------------------------------------------------------
+
+/// Results of the single-fault detection-coverage reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectCovResult {
+    /// Adder width the exhaustive pass ran at.
+    pub width: usize,
+    /// Exhaustive classification of every `(op, pattern, input)` triple.
+    pub coverage: CoverageReport,
+    /// Fault rate of the sampled cross-check.
+    pub g: f64,
+    /// Sampled raw wrong rate (flag ignored).
+    pub wrong: ErrorEstimate,
+    /// Sampled undetected-and-wrong rate (the residual).
+    pub undetected: ErrorEstimate,
+    /// Sampled detection/retry rate.
+    pub detected: ErrorEstimate,
+}
+
+/// Registry entry: the `detectcov` experiment.
+pub struct DetectCovExperiment;
+
+impl Experiment for DetectCovExperiment {
+    fn id(&self) -> &'static str {
+        "detectcov"
+    }
+
+    fn title(&self) -> &'static str {
+        "Parity detection — exhaustive single-fault coverage + sampled cross-check"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["detect", "exact", "mc"]
+    }
+
+    fn run(&self, ctx: &mut ExperimentContext) -> Report {
+        run_cov(ctx).to_report()
+    }
+}
+
+/// Runs the coverage experiment under `ctx`'s budget.
+pub fn run_cov(ctx: &ExperimentContext) -> DetectCovResult {
+    let width = 2;
+    let checked = synth(ctx, AdderKind::Ripple, width);
+    let coverage = exhaustive_coverage(
+        &checked.checked,
+        &checked.adder.input_wires(),
+        &checked.adder.output_wires(),
+    );
+    account_coverage(ctx, &coverage);
+    // Identical salt across modes: the three estimates see the same
+    // inputs and fault realizations, so undetected ⊆ wrong holds
+    // count-exactly, not just in distribution.
+    const SALT: u64 = 0xc0;
+    let cfg = *ctx.cfg();
+    DetectCovResult {
+        width,
+        coverage,
+        g: DETECT_G,
+        wrong: sample(ctx, &cfg, &checked, DETECT_G, TrialMode::Wrong, SALT).into(),
+        undetected: sample(
+            ctx,
+            &cfg,
+            &checked,
+            DETECT_G,
+            TrialMode::UndetectedWrong,
+            SALT,
+        )
+        .into(),
+        detected: sample(ctx, &cfg, &checked, DETECT_G, TrialMode::Detected, SALT).into(),
+    }
+}
+
+impl DetectCovResult {
+    /// The [`Report`] artifact.
+    pub fn to_report(&self) -> Report {
+        let exp = &DetectCovExperiment;
+        let mut r = Report::new(exp.id(), exp.title(), exp.tags());
+        let c = &self.coverage;
+        let mut t = Table::new(
+            format!(
+                "exhaustive single-fault classification — checked ripple adder, width {} \
+                 ({} inputs × {} ops)",
+                self.width, c.inputs, c.ops
+            )
+            .as_str(),
+            &[
+                "site / deviation",
+                "cases",
+                "harmful",
+                "detected",
+                "harmful∧undetected",
+                "false alarms",
+            ],
+        );
+        coverage_rows(&mut t, "body, weight 1 (bit-flip)", &c.body_weight1);
+        coverage_rows(&mut t, "body, odd weight", &c.body_odd);
+        coverage_rows(&mut t, "body, even weight", &c.body_even);
+        coverage_rows(&mut t, "checker, weight 1", &c.checker_weight1);
+        coverage_rows(&mut t, "checker, even weight", &c.checker_even);
+        r.table(t);
+        let mut s = Table::new(
+            format!("sampled cross-check at g = {}", sci(self.g)).as_str(),
+            &["rate", "estimate"],
+        );
+        for (name, est) in [
+            ("wrong (flag ignored)", &self.wrong),
+            ("undetected ∧ wrong", &self.undetected),
+            ("detected (retry)", &self.detected),
+        ] {
+            s.row(&[name.to_string(), rate_ci(est.rate, est.low, est.high)]);
+        }
+        r.table(s);
+        r.note(
+            "the paper's fault model replaces a faulted op's support with a uniform \
+             pattern; deviations are odd-weight (parity-visible) exactly half the \
+             time, so random-pattern coverage sits at 1/2 while bit-flip coverage \
+             is 100%",
+        );
+        r.check(Check::eq(
+            "every body-site bit-flip detected",
+            c.body_weight1.detected,
+            c.body_weight1.cases,
+        ))
+        .check(Check::eq(
+            "no harmful-undetected bit-flip at body sites",
+            c.body_weight1.harmful_undetected,
+            0,
+        ))
+        .check(Check::eq(
+            "odd-weight body deviations all detected",
+            c.body_odd.detected,
+            c.body_odd.cases,
+        ))
+        .check(Check::eq(
+            "even-weight body deviations all invisible",
+            c.body_even.detected,
+            0,
+        ))
+        .check(Check::bool(
+            "sampled residual ≤ sampled wrong (same fault stream)",
+            self.undetected.failures <= self.wrong.failures,
+        ))
+        .check(Check::bool(
+            "sampled detection rate positive",
+            self.detected.failures > 0,
+        ));
+        r
+    }
+
+    /// Prints the rendered report.
+    pub fn print(&self) {
+        self.to_report().print();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// detectoverhead
+// ---------------------------------------------------------------------------
+
+/// One width's cost/benefit row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverheadRow {
+    /// Operand width.
+    pub width: usize,
+    /// Plain (unprotected) adder ops.
+    pub plain_ops: usize,
+    /// Checked parity-preserving ripple ops (body + rail + comparator).
+    pub checked_ops: usize,
+    /// Lower bound on level-1 majority ops for the plain adder.
+    pub majority_ops: usize,
+    /// Sampled wrong rate of the plain adder at the matched fault rate.
+    pub plain_wrong: ErrorEstimate,
+    /// Sampled wrong rate of the checked adder (flag ignored).
+    pub checked_wrong: ErrorEstimate,
+    /// Sampled undetected-and-wrong (residual) rate of the checked adder.
+    pub checked_undetected: ErrorEstimate,
+}
+
+/// Results of the overhead comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectOverheadResult {
+    /// Matched fault rate of the sampled columns.
+    pub g: f64,
+    /// One row per width.
+    pub rows: Vec<OverheadRow>,
+    /// Exhaustive bit-flip coverage at the smallest width (body sites).
+    pub bitflip_coverage: f64,
+}
+
+/// Registry entry: the `detectoverhead` experiment.
+pub struct DetectOverheadExperiment;
+
+impl Experiment for DetectOverheadExperiment {
+    fn id(&self) -> &'static str {
+        "detectoverhead"
+    }
+
+    fn title(&self) -> &'static str {
+        "Detection vs correction — gate-count overhead against level-1 majority"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["detect", "mc"]
+    }
+
+    fn run(&self, ctx: &mut ExperimentContext) -> Report {
+        run_overhead(ctx).to_report()
+    }
+}
+
+/// Runs the overhead comparison under `ctx`'s budget.
+pub fn run_overhead(ctx: &ExperimentContext) -> DetectOverheadResult {
+    let widths = [2usize, 4, 8];
+    let rows = ctx.run_parallel(widths.len(), |i, share| {
+        let width = widths[i];
+        let plain = Adder::new(AdderKind::PlainRipple, width);
+        let checked = synth(ctx, AdderKind::Ripple, width);
+        let salt = 0xdead + i as u64;
+        let noise = UniformNoise::new(DETECT_G);
+        let plain_engine = ctx.cache().engine_with(ctx.obs(), &plain.circuit, &noise);
+        let plain_wrong = plain_engine
+            .estimate_obs(
+                &AdderTrial::unchecked(&plain, TrialMode::Wrong),
+                &share.options().salt(salt),
+                ctx.obs(),
+            )
+            .into();
+        DetectOverheadResult::row(ctx, share, width, plain, checked, plain_wrong, salt)
+    });
+    let ca = synth(ctx, AdderKind::Ripple, 2);
+    let cov = exhaustive_coverage(
+        &ca.checked,
+        &ca.adder.input_wires(),
+        &ca.adder.output_wires(),
+    );
+    account_coverage(ctx, &cov);
+    DetectOverheadResult {
+        g: DETECT_G,
+        rows,
+        bitflip_coverage: cov.body_weight1.detection_rate(),
+    }
+}
+
+impl DetectOverheadResult {
+    fn row(
+        ctx: &ExperimentContext,
+        cfg: &crate::experiments::RunConfig,
+        width: usize,
+        plain: Adder,
+        checked: CheckedAdder,
+        plain_wrong: ErrorEstimate,
+        salt: u64,
+    ) -> OverheadRow {
+        OverheadRow {
+            width,
+            plain_ops: plain.circuit.len(),
+            checked_ops: checked.checked.circuit.len(),
+            majority_ops: majority_level1_ops(&plain),
+            plain_wrong,
+            checked_wrong: sample(ctx, cfg, &checked, DETECT_G, TrialMode::Wrong, salt).into(),
+            checked_undetected: sample(
+                ctx,
+                cfg,
+                &checked,
+                DETECT_G,
+                TrialMode::UndetectedWrong,
+                salt,
+            )
+            .into(),
+        }
+    }
+
+    /// The [`Report`] artifact.
+    pub fn to_report(&self) -> Report {
+        let exp = &DetectOverheadExperiment;
+        let mut r = Report::new(exp.id(), exp.title(), exp.tags());
+        let mut t = Table::new(
+            format!(
+                "gate count and sampled rates at matched g = {} (majority column is a \
+                 lower bound: 3× transversal + E = {} recovery ops per wire)",
+                sci(self.g),
+                E_WITH_INIT
+            )
+            .as_str(),
+            &[
+                "width",
+                "plain ops",
+                "checked ops",
+                "majority-1 ops (≥)",
+                "plain wrong",
+                "checked wrong",
+                "checked residual",
+            ],
+        );
+        for row in &self.rows {
+            t.row(&[
+                row.width.to_string(),
+                row.plain_ops.to_string(),
+                row.checked_ops.to_string(),
+                row.majority_ops.to_string(),
+                rate_ci(
+                    row.plain_wrong.rate,
+                    row.plain_wrong.low,
+                    row.plain_wrong.high,
+                ),
+                rate_ci(
+                    row.checked_wrong.rate,
+                    row.checked_wrong.low,
+                    row.checked_wrong.high,
+                ),
+                rate_ci(
+                    row.checked_undetected.rate,
+                    row.checked_undetected.low,
+                    row.checked_undetected.high,
+                ),
+            ]);
+        }
+        r.table(t);
+        r.series(Series::new(
+            "ops vs width",
+            "width",
+            "ops",
+            self.rows
+                .iter()
+                .map(|row| (row.width as f64, row.checked_ops as f64))
+                .collect(),
+        ));
+        r.check(Check::approx(
+            "body-site bit-flip coverage is 100%",
+            self.bitflip_coverage,
+            1.0,
+            0.0,
+        ));
+        for row in &self.rows {
+            r.check(Check::bool(
+                format!(
+                    "width {}: checked ops ({}) strictly below majority-1 lower bound ({})",
+                    row.width, row.checked_ops, row.majority_ops
+                ),
+                row.checked_ops < row.majority_ops,
+            ))
+            .check(Check::bool(
+                format!("width {}: residual ≤ wrong (same fault stream)", row.width),
+                row.checked_undetected.failures <= row.checked_wrong.failures,
+            ));
+        }
+        r
+    }
+
+    /// Prints the rendered report.
+    pub fn print(&self) {
+        self.to_report().print();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// detectwidth
+// ---------------------------------------------------------------------------
+
+/// One `(construction, width)` scaling point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WidthPoint {
+    /// Construction name (stable, lowercase).
+    pub kind: String,
+    /// Operand width.
+    pub width: usize,
+    /// Wrapped circuit ops.
+    pub ops: usize,
+    /// Wrapped circuit wires.
+    pub wires: usize,
+    /// Wrapped circuit depth (ASAP schedule).
+    pub depth: usize,
+    /// Sampled wrong rate at the fixed fault rate.
+    pub wrong: ErrorEstimate,
+    /// Sampled residual (undetected ∧ wrong) rate.
+    pub undetected: ErrorEstimate,
+    /// Sampled detection/retry rate.
+    pub detected: ErrorEstimate,
+}
+
+/// Results of the width-scaling sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectWidthResult {
+    /// The fixed fault rate.
+    pub g: f64,
+    /// All `(construction, width)` points, kinds-major.
+    pub points: Vec<WidthPoint>,
+}
+
+/// Registry entry: the `detectwidth` experiment.
+pub struct DetectWidthExperiment;
+
+impl Experiment for DetectWidthExperiment {
+    fn id(&self) -> &'static str {
+        "detectwidth"
+    }
+
+    fn title(&self) -> &'static str {
+        "Checked-adder scaling — ripple vs carry-skip vs lookahead across widths"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["detect", "mc", "sweep"]
+    }
+
+    fn run(&self, ctx: &mut ExperimentContext) -> Report {
+        run_width(ctx).to_report()
+    }
+}
+
+const WIDTH_KINDS: [AdderKind; 4] = [
+    AdderKind::Ripple,
+    AdderKind::CarrySkip { block: 2 },
+    AdderKind::CarrySkip { block: 4 },
+    AdderKind::Cla,
+];
+const WIDTHS: [usize; 4] = [2, 4, 8, 16];
+
+/// Runs the width-scaling sweep under `ctx`'s budget.
+pub fn run_width(ctx: &ExperimentContext) -> DetectWidthResult {
+    let grid: Vec<(AdderKind, usize)> = WIDTH_KINDS
+        .iter()
+        .flat_map(|&kind| WIDTHS.iter().map(move |&wd| (kind, wd)))
+        .collect();
+    let points = ctx.run_parallel(grid.len(), |i, share| {
+        let (kind, width) = grid[i];
+        let checked = synth(ctx, kind, width);
+        let salt = 0x71d + i as u64;
+        WidthPoint {
+            kind: kind.name(),
+            width,
+            ops: checked.checked.circuit.len(),
+            wires: checked.checked.circuit.n_wires(),
+            depth: checked.checked.circuit.depth(),
+            wrong: sample(ctx, share, &checked, DETECT_G, TrialMode::Wrong, salt).into(),
+            undetected: sample(
+                ctx,
+                share,
+                &checked,
+                DETECT_G,
+                TrialMode::UndetectedWrong,
+                salt,
+            )
+            .into(),
+            detected: sample(ctx, share, &checked, DETECT_G, TrialMode::Detected, salt).into(),
+        }
+    });
+    DetectWidthResult {
+        g: DETECT_G,
+        points,
+    }
+}
+
+impl DetectWidthResult {
+    fn point(&self, kind: &str, width: usize) -> &WidthPoint {
+        self.points
+            .iter()
+            .find(|p| p.kind == kind && p.width == width)
+            .expect("grid covers all (kind, width) pairs")
+    }
+
+    /// The [`Report`] artifact.
+    pub fn to_report(&self) -> Report {
+        let exp = &DetectWidthExperiment;
+        let mut r = Report::new(exp.id(), exp.title(), exp.tags());
+        let mut t = Table::new(
+            format!("checked adders at g = {}", sci(self.g)).as_str(),
+            &[
+                "construction",
+                "width",
+                "ops",
+                "wires",
+                "depth",
+                "wrong",
+                "residual",
+                "retry rate",
+            ],
+        );
+        for p in &self.points {
+            t.row(&[
+                p.kind.clone(),
+                p.width.to_string(),
+                p.ops.to_string(),
+                p.wires.to_string(),
+                p.depth.to_string(),
+                rate_ci(p.wrong.rate, p.wrong.low, p.wrong.high),
+                rate_ci(p.undetected.rate, p.undetected.low, p.undetected.high),
+                rate_ci(p.detected.rate, p.detected.low, p.detected.high),
+            ]);
+        }
+        r.table(t);
+        for kind in ["ripple", "carry-skip/4", "cla"] {
+            r.series(Series::new(
+                format!("{kind} ops"),
+                "width",
+                "ops",
+                self.points
+                    .iter()
+                    .filter(|p| p.kind == kind)
+                    .map(|p| (p.width as f64, p.ops as f64))
+                    .collect(),
+            ));
+            r.series(Series::new(
+                format!("{kind} residual"),
+                "width",
+                "undetected ∧ wrong rate",
+                self.points
+                    .iter()
+                    .filter(|p| p.kind == kind)
+                    .map(|p| (p.width as f64, p.undetected.rate))
+                    .collect(),
+            ));
+        }
+        r.check(Check::bool(
+            "ripple is the cheapest construction at width 8",
+            self.point("ripple", 8).ops < self.point("carry-skip/4", 8).ops
+                && self.point("carry-skip/4", 8).ops < self.point("cla", 8).ops,
+        ))
+        .check(Check::bool(
+            "residual ≤ wrong at every point (same fault stream)",
+            self.points
+                .iter()
+                .all(|p| p.undetected.failures <= p.wrong.failures),
+        ))
+        .check(Check::bool(
+            "wider adders expose more fault surface: ripple wrong rate grows 2→16",
+            self.point("ripple", 16).wrong.rate >= self.point("ripple", 2).wrong.rate,
+        ));
+        r
+    }
+
+    /// Prints the rendered report.
+    pub fn print(&self) {
+        self.to_report().print();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// detecthybrid
+// ---------------------------------------------------------------------------
+
+/// One fault-rate point of the hybrid retry/discard policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HybridPoint {
+    /// Per-op fault rate.
+    pub g: f64,
+    /// Raw wrong rate (no policy).
+    pub wrong: ErrorEstimate,
+    /// Residual undetected-and-wrong rate (what the policy ships).
+    pub undetected: ErrorEstimate,
+    /// Detection/retry rate (the policy's rerun cost).
+    pub detected: ErrorEstimate,
+    /// Which estimator resolved the residual (`"plain"`/`"stratified"`).
+    pub estimator: String,
+}
+
+impl HybridPoint {
+    /// Expected attempts per accepted result: `1 / (1 - retry rate)`.
+    pub fn expected_attempts(&self) -> f64 {
+        1.0 / (1.0 - self.detected.rate).max(f64::EPSILON)
+    }
+
+    /// Error rate among *accepted* results:
+    /// `residual / (1 - retry rate)`.
+    pub fn accepted_error(&self) -> f64 {
+        self.undetected.rate / (1.0 - self.detected.rate).max(f64::EPSILON)
+    }
+}
+
+/// Results of the hybrid retry/discard experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectHybridResult {
+    /// Checked-adder width the policy runs on.
+    pub width: usize,
+    /// One point per fault rate, ascending.
+    pub points: Vec<HybridPoint>,
+}
+
+/// Registry entry: the `detecthybrid` experiment.
+pub struct DetectHybridExperiment;
+
+impl Experiment for DetectHybridExperiment {
+    fn id(&self) -> &'static str {
+        "detecthybrid"
+    }
+
+    fn title(&self) -> &'static str {
+        "Hybrid retry/discard — residual error of parity-gated acceptance"
+    }
+
+    fn tags(&self) -> &'static [&'static str] {
+        &["detect", "mc", "rare"]
+    }
+
+    fn run(&self, ctx: &mut ExperimentContext) -> Report {
+        run_hybrid(ctx).to_report()
+    }
+}
+
+const HYBRID_GRID: [f64; 5] = [1e-4, 3e-4, 1e-3, 3e-3, 1e-2];
+
+/// Runs the hybrid policy sweep under `ctx`'s budget.
+pub fn run_hybrid(ctx: &ExperimentContext) -> DetectHybridResult {
+    let width = 4;
+    let points = ctx.run_parallel(HYBRID_GRID.len(), |i, share| {
+        let g = HYBRID_GRID[i];
+        let checked = synth(ctx, AdderKind::Ripple, width);
+        let salt = 0x4b1d + i as u64;
+        let undetected = sample(ctx, share, &checked, g, TrialMode::UndetectedWrong, salt);
+        HybridPoint {
+            g,
+            wrong: sample(ctx, share, &checked, g, TrialMode::Wrong, salt).into(),
+            detected: sample(ctx, share, &checked, g, TrialMode::Detected, salt).into(),
+            estimator: undetected.estimator.to_string(),
+            undetected: undetected.into(),
+        }
+    });
+    DetectHybridResult { width, points }
+}
+
+impl DetectHybridResult {
+    /// The [`Report`] artifact.
+    pub fn to_report(&self) -> Report {
+        let exp = &DetectHybridExperiment;
+        let mut r = Report::new(exp.id(), exp.title(), exp.tags());
+        let mut t = Table::new(
+            format!(
+                "parity-gated retry/discard on the checked ripple adder, width {}",
+                self.width
+            )
+            .as_str(),
+            &[
+                "g",
+                "raw wrong",
+                "residual (ships)",
+                "retry rate",
+                "E[attempts]",
+                "accepted error",
+                "estimator",
+            ],
+        );
+        for p in &self.points {
+            t.row(&[
+                sci(p.g),
+                rate_ci(p.wrong.rate, p.wrong.low, p.wrong.high),
+                rate_ci(p.undetected.rate, p.undetected.low, p.undetected.high),
+                rate_ci(p.detected.rate, p.detected.low, p.detected.high),
+                format!("{:.4}", p.expected_attempts()),
+                sci(p.accepted_error()),
+                p.estimator.clone(),
+            ]);
+        }
+        r.table(t);
+        r.series(Series::new(
+            "raw wrong",
+            "g",
+            "rate",
+            self.points.iter().map(|p| (p.g, p.wrong.rate)).collect(),
+        ));
+        r.series(Series::new(
+            "residual",
+            "g",
+            "rate",
+            self.points
+                .iter()
+                .map(|p| (p.g, p.undetected.rate))
+                .collect(),
+        ));
+        r.note(
+            "the residual column is the rare event the stratified estimator \
+             exists for: at the lowest rates almost every word is fault-free \
+             and elided analytically",
+        );
+        r.check(Check::bool(
+            "residual ≤ raw wrong at every rate (same fault stream)",
+            self.points
+                .iter()
+                .all(|p| p.undetected.failures <= p.wrong.failures),
+        ))
+        .check(Check::bool(
+            "policy measurably bites at the highest rate",
+            self.points.last().is_some_and(|p| p.detected.failures > 0),
+        ))
+        .check(Check::bool(
+            "raw wrong rate is monotone in g",
+            self.points
+                .windows(2)
+                .all(|w| w[0].wrong.rate <= w[1].wrong.rate),
+        ));
+        r
+    }
+
+    /// Prints the rendered report.
+    pub fn print(&self) {
+        self.to_report().print();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::RunConfig;
+
+    fn quick_ctx() -> ExperimentContext {
+        ExperimentContext::new(RunConfig {
+            threads: 2,
+            ..RunConfig::quick()
+        })
+    }
+
+    #[test]
+    fn cov_report_passes_all_checks() {
+        let r = run_cov(&quick_ctx()).to_report();
+        assert!(r.passed(), "failed: {:?}", r.failed_checks());
+    }
+
+    #[test]
+    fn overhead_beats_majority_everywhere() {
+        let res = run_overhead(&quick_ctx());
+        for row in &res.rows {
+            assert!(row.checked_ops < row.majority_ops, "width {}", row.width);
+        }
+        assert_eq!(res.bitflip_coverage, 1.0);
+        assert!(res.to_report().passed());
+    }
+
+    #[test]
+    fn width_sweep_covers_the_grid_and_passes() {
+        let res = run_width(&quick_ctx());
+        assert_eq!(res.points.len(), WIDTH_KINDS.len() * WIDTHS.len());
+        assert!(res.to_report().passed());
+    }
+
+    #[test]
+    fn hybrid_policy_reduces_shipped_error() {
+        let res = run_hybrid(&quick_ctx());
+        assert_eq!(res.points.len(), HYBRID_GRID.len());
+        let report = res.to_report();
+        assert!(report.passed(), "failed: {:?}", report.failed_checks());
+    }
+
+    #[test]
+    fn reports_are_deterministic_across_thread_budgets() {
+        let serial = ExperimentContext::new(RunConfig {
+            threads: 1,
+            ..RunConfig::quick()
+        });
+        let parallel = ExperimentContext::new(RunConfig {
+            threads: 8,
+            ..RunConfig::quick()
+        });
+        assert_eq!(run_hybrid(&serial), run_hybrid(&parallel));
+        assert_eq!(run_width(&serial), run_width(&parallel));
+    }
+}

@@ -22,10 +22,12 @@
 //! | `entropy` | §4 bounds vs measured | [`entropy`] |
 //! | `nand` | §4 footnote 4 (3/2-bit NAND) | [`nand`] |
 //! | `advantage` | §1/§4 design space | [`advantage`] |
+//! | `detectcov`, `detectoverhead`, `detectwidth`, `detecthybrid` | parity-preserving detection subsystem | [`detect`] |
 
 pub mod ablation;
 pub mod advantage;
 pub mod blowup;
+pub mod detect;
 pub mod entropy;
 pub mod fig2;
 pub mod levelreq;

@@ -27,6 +27,7 @@ use crate::experiment::CompileCache;
 use crate::stats::ErrorEstimate;
 use rft_core::concat::FtBuilder;
 use rft_core::ftcheck::transversal_cycle;
+use rft_detect::{AdderKind, CheckedAdder, TrialMode};
 use rft_obs::Collector;
 use rft_revsim::engine::{BackendKind, Estimator, McOptions, StratumOutcome, WordWidth};
 use rft_revsim::gate::Gate;
@@ -62,6 +63,21 @@ pub enum CircuitSpec {
     Cycle {
         /// Logical gate on wires 0, 1, 2.
         gate: Gate,
+    },
+    /// A parity-checked adder from the detection subsystem
+    /// (`rft-detect`): the `width`-bit construction `kind`, wrapped with
+    /// the ancilla-parity invariant checker, judged per `mode`. A
+    /// [`TrialMode::Detected`] job streams live detection-coverage
+    /// intervals; [`TrialMode::UndetectedWrong`] streams the residual
+    /// error a retry/discard policy cannot see.
+    DetectAdder {
+        /// Operand width in bits (1..=32).
+        width: usize,
+        /// Which synthesis; must be parity-preserving (every kind except
+        /// [`AdderKind::PlainRipple`], which has no checker to wrap).
+        kind: AdderKind,
+        /// What counts as a failure for the streamed interval.
+        mode: TrialMode,
     },
 }
 
@@ -201,6 +217,22 @@ impl JobSpec {
                     || !(0..3).all(|i| support.contains(w(i)))
                 {
                     return Err("cycle gate must act on distinct logical wires 0, 1, 2".into());
+                }
+            }
+            CircuitSpec::DetectAdder { width, kind, .. } => {
+                if *width == 0 || *width > 32 {
+                    return Err(format!("adder width must be in 1..=32, got {width}"));
+                }
+                if *kind == AdderKind::PlainRipple {
+                    return Err(
+                        "detect adder kind must be parity-preserving; plain ripple has no checker"
+                            .into(),
+                    );
+                }
+                if let AdderKind::CarrySkip { block } = kind {
+                    if *block == 0 {
+                        return Err("carry-skip block size must be >= 1".into());
+                    }
                 }
             }
         }
@@ -382,6 +414,7 @@ where
     enum Compiled {
         Concat(std::sync::Arc<crate::montecarlo::ConcatMc>),
         Cycle(rft_core::ftcheck::CycleSpec),
+        Detect(Box<CheckedAdder>, TrialMode),
     }
     let compiled = match &spec.circuit {
         CircuitSpec::Concat {
@@ -390,10 +423,15 @@ where
             cycles,
         } => Compiled::Concat(cache.concat_with(obs, *level, *gate, *cycles)),
         CircuitSpec::Cycle { gate } => Compiled::Cycle(transversal_cycle(gate)),
+        CircuitSpec::DetectAdder { width, kind, mode } => {
+            obs.incr(rft_obs::Metric::DetectSyntheses);
+            Compiled::Detect(Box::new(CheckedAdder::new(*kind, *width)), *mode)
+        }
     };
     let engine = match &compiled {
         Compiled::Concat(mc) => cache.engine_with(obs, mc.program().circuit(), &noise),
         Compiled::Cycle(cycle) => cache.engine_with(obs, cycle.circuit(), &noise),
+        Compiled::Detect(ca, _) => cache.engine_with(obs, &ca.checked.circuit, &noise),
     };
 
     let mut pooled_failures = 0u64;
@@ -416,6 +454,10 @@ where
         let outcome = match &compiled {
             Compiled::Concat(mc) => engine.estimate_obs(&mc.trial(), &opts, obs),
             Compiled::Cycle(cycle) => engine.estimate_obs(cycle, &opts, obs),
+            Compiled::Detect(ca, mode) => {
+                obs.incr(rft_obs::Metric::DetectEstimates);
+                engine.estimate_obs(&ca.trial(*mode), &opts, obs)
+            }
         };
         rounds_run = round;
         executed_words += outcome.executed_words;
@@ -543,6 +585,30 @@ mod tests {
         bad.target_rel_half_width = Some(0.0);
         assert!(bad.validate().is_err());
 
+        let mut bad = JobSpec::quick();
+        bad.circuit = CircuitSpec::DetectAdder {
+            width: 0,
+            kind: AdderKind::Ripple,
+            mode: TrialMode::Detected,
+        };
+        assert!(bad.validate().is_err(), "zero-width adder");
+
+        let mut bad = JobSpec::quick();
+        bad.circuit = CircuitSpec::DetectAdder {
+            width: 4,
+            kind: AdderKind::PlainRipple,
+            mode: TrialMode::Wrong,
+        };
+        assert!(bad.validate().is_err(), "plain ripple has no checker");
+
+        let mut bad = JobSpec::quick();
+        bad.circuit = CircuitSpec::DetectAdder {
+            width: 4,
+            kind: AdderKind::CarrySkip { block: 0 },
+            mode: TrialMode::Detected,
+        };
+        assert!(bad.validate().is_err(), "zero carry-skip block");
+
         let mut rec = record(JobSpec::quick());
         rec.schema_version = 99;
         assert!(rec.validate().is_err());
@@ -622,6 +688,47 @@ mod tests {
         assert_eq!(a.result.estimator, "stratified");
         let b = run_job(&CompileCache::new(), &Collector::disabled(), &rec, 3).expect("run");
         assert_eq!(a.to_line(), b.to_line());
+    }
+
+    #[test]
+    fn detect_jobs_stream_coverage_and_replay_identically() {
+        // A Detected-mode job streams the retry/coverage rate; an
+        // UndetectedWrong-mode job at the same seed streams the residual.
+        // Both replay bit-identically at any thread count, and the
+        // residual never exceeds the raw wrong rate.
+        let job = |mode| {
+            let mut spec = JobSpec::quick();
+            spec.circuit = CircuitSpec::DetectAdder {
+                width: 4,
+                kind: AdderKind::CarrySkip { block: 2 },
+                mode,
+            };
+            spec.noise = NoiseSpec::Uniform { g: 2e-3 };
+            spec.trials_per_round = 2048;
+            spec.max_rounds = 2;
+            record(spec)
+        };
+        let detected = job(TrialMode::Detected);
+        let a = run_job(&CompileCache::new(), &Collector::disabled(), &detected, 1).expect("run");
+        let b = run_job(&CompileCache::new(), &Collector::disabled(), &detected, 4).expect("run");
+        assert_eq!(a.to_line(), b.to_line(), "replay is thread-invariant");
+        assert!(a.result.estimate.failures > 0, "noise must trip the flag");
+
+        let wrong = run_job(
+            &CompileCache::new(),
+            &Collector::disabled(),
+            &job(TrialMode::Wrong),
+            1,
+        )
+        .expect("run");
+        let resid = run_job(
+            &CompileCache::new(),
+            &Collector::disabled(),
+            &job(TrialMode::UndetectedWrong),
+            1,
+        )
+        .expect("run");
+        assert!(resid.result.estimate.failures <= wrong.result.estimate.failures);
     }
 
     #[test]

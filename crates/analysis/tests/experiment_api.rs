@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 /// The experiment ids of the `DESIGN.md` table (one per module under
 /// `experiments/`), in the registry's canonical run order.
-const EXPECTED_IDS: [&str; 12] = [
+const EXPECTED_IDS: [&str; 16] = [
     "table1",
     "fig2",
     "blowup",
@@ -19,11 +19,15 @@ const EXPECTED_IDS: [&str; 12] = [
     "table2",
     "nand",
     "advantage",
+    "detectcov",
+    "detectoverhead",
     "ablation",
     "local",
     "entropy",
     "threshold",
     "suppression",
+    "detectwidth",
+    "detecthybrid",
 ];
 
 fn tiny() -> RunConfig {
@@ -156,6 +160,7 @@ fn reports_render_and_pass_at_tiny_budget() {
         "table2",
         "nand",
         "advantage",
+        "detectcov",
     ] {
         let report = find(id).unwrap().run(&mut ExperimentContext::new(cfg));
         assert!(report.passed(), "{id}: {:?}", report.failed_checks());

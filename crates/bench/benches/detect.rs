@@ -1,0 +1,66 @@
+//! Detection-subsystem throughput: what a parity-checked adder costs to
+//! synthesize and to estimate, next to its unchecked baseline.
+//!
+//! `detect_estimate/checked_w8_4k_trials` is the subsystem's headline
+//! number — a width-8 checked ripple adder, 4096 Monte-Carlo trials of
+//! the undetected-and-wrong judge at `g = 10⁻³` — and
+//! `detect_estimate/plain_w8_4k_trials` is the same budget over the bare
+//! (Toffoli/CNOT) ripple adder, so the gap between the two *is* the
+//! runtime cost of parity protection: the checker rail's CNOT scan plus
+//! the wider parity-preserving gate set. `detect_synthesis` measures
+//! circuit construction + invariant-checker wrapping alone (no Monte
+//! Carlo); it is tiny and allocation-dominated, which makes it the
+//! machine-speed yardstick the CI regression gate normalizes by (see
+//! `scripts/check_bench_regression.py` and `BENCH_detect.json`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rft_detect::{Adder, AdderKind, AdderTrial, CheckedAdder, TrialMode};
+use rft_revsim::engine::{Engine, McOptions};
+use rft_revsim::noise::UniformNoise;
+use std::hint::black_box;
+
+const TRIALS: u64 = 4096;
+const G: f64 = 1e-3;
+
+fn detect_benches(c: &mut Criterion) {
+    // Yardstick: synthesis + wrap, no Monte Carlo.
+    let mut group = c.benchmark_group("detect_synthesis");
+    group.bench_function("checked_cla_w16", |b| {
+        b.iter(|| black_box(CheckedAdder::new(AdderKind::Cla, 16).checked.circuit.len()));
+    });
+    group.bench_function("checked_ripple_w8", |b| {
+        b.iter(|| {
+            black_box(
+                CheckedAdder::new(AdderKind::Ripple, 8)
+                    .checked
+                    .circuit
+                    .len(),
+            )
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("detect_estimate");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(TRIALS));
+    let noise = UniformNoise::new(G);
+
+    let ca = CheckedAdder::new(AdderKind::Ripple, 8);
+    let engine = Engine::compile(&ca.checked.circuit, &noise);
+    let trial = ca.trial(TrialMode::UndetectedWrong);
+    let opts = McOptions::new(TRIALS).seed(2005);
+    group.bench_function("checked_w8_4k_trials", |b| {
+        b.iter(|| black_box(engine.estimate(&trial, &opts).failures));
+    });
+
+    let plain = Adder::new(AdderKind::PlainRipple, 8);
+    let plain_engine = Engine::compile(&plain.circuit, &noise);
+    let plain_trial = AdderTrial::unchecked(&plain, TrialMode::Wrong);
+    group.bench_function("plain_w8_4k_trials", |b| {
+        b.iter(|| black_box(plain_engine.estimate(&plain_trial, &opts).failures));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, detect_benches);
+criterion_main!(benches);

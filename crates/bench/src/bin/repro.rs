@@ -6,15 +6,19 @@
 //!       [--backend auto|scalar|batch]
 //!       [--estimator plain|stratified[:MIN[:STRATA]]|auto]
 //!       [--rel-error E] [--json DIR] [--check] [--quiet]
-//!       [--trace FILE] [--metrics] [EXPERIMENT ...]
+//!       [--trace FILE] [--metrics] [--tag TAG] [EXPERIMENT ...]
 //! repro replay JOB.json [--threads N] [--stream]
 //! ```
 //!
 //! Experiments are discovered through the
 //! [`rft_analysis::experiment::registry`] (run `repro list` to print it)
 //! and executed by the cross-point parallel runner under one shared
-//! compile cache; with no experiment IDs, everything runs. Reports are
-//! deterministic per seed regardless of `--threads`.
+//! compile cache; with no experiment IDs, everything runs. `--tag TAG`
+//! (repeatable) keeps only experiments carrying every given tag, for
+//! both `list` and the run set — `repro list --tag detect` prints the
+//! detection-subsystem slice of the registry, `repro --quick --tag
+//! detect` runs it. Reports are deterministic per seed regardless of
+//! `--threads`.
 //!
 //! `--json DIR` writes one schema-versioned `<id>.json` report per
 //! experiment plus a `manifest.json` (config, git describe, wall times);
@@ -57,12 +61,18 @@ use std::time::Instant;
 struct Cli {
     cfg: RunConfig,
     chosen: Vec<&'static dyn Experiment>,
+    tags: Vec<String>,
     json_dir: Option<String>,
     check: bool,
     list: bool,
     quiet: bool,
     trace_file: Option<String>,
     metrics: bool,
+}
+
+/// Does `exp` carry every requested tag? (No tags requested = match.)
+fn matches_tags(exp: &dyn Experiment, tags: &[String]) -> bool {
+    tags.iter().all(|t| exp.tags().contains(&t.as_str()))
 }
 
 fn usage() -> String {
@@ -72,10 +82,12 @@ fn usage() -> String {
          \x20            [--backend auto|scalar|batch] [--width auto|1|2|4]\n\
          \x20            [--estimator plain|stratified[:MIN[:STRATA]]|auto]\n\
          \x20            [--rel-error E] [--json DIR] [--check] [--quiet]\n\
-         \x20            [--trace FILE] [--metrics] [EXPERIMENT ...]\n\
+         \x20            [--trace FILE] [--metrics] [--tag TAG] [EXPERIMENT ...]\n\
          \x20      repro replay JOB.json [--threads N] [--stream]\n\
          experiments: {}\n\
-         `repro list` prints the registry (id, title, tags); `--json DIR` writes\n\
+         `repro list` prints the registry (id, title, tags); `--tag TAG` keeps\n\
+         only experiments carrying TAG (repeatable; filters both `list` and the\n\
+         run set, e.g. `repro list --tag detect`); `--json DIR` writes\n\
          one <id>.json report per experiment plus manifest.json; `--check` exits\n\
          nonzero if any experiment self-check fails; `--quiet` silences the\n\
          per-experiment stderr progress lines; `--trace FILE` writes a\n\
@@ -89,6 +101,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
     let mut cli = Cli {
         cfg: RunConfig::full(),
         chosen: Vec::new(),
+        tags: Vec::new(),
         json_dir: None,
         check: false,
         list: false,
@@ -162,6 +175,17 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                 let v = next_value(&mut i, "--json", &raw)?;
                 cli.json_dir = Some(v);
             }
+            "--tag" => {
+                let v = next_value(&mut i, "--tag", &raw)?;
+                if !registry().iter().any(|e| e.tags().contains(&v.as_str())) {
+                    let mut known: Vec<&str> =
+                        registry().iter().flat_map(|e| e.tags()).copied().collect();
+                    known.sort_unstable();
+                    known.dedup();
+                    return Err(format!("unknown tag {v:?}; known: {}", known.join(" ")));
+                }
+                cli.tags.push(v);
+            }
             "--check" => cli.check = true,
             "--quiet" => cli.quiet = true,
             "--trace" => {
@@ -203,13 +227,25 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Cli, String> {
     if cli.chosen.is_empty() {
         cli.chosen = registry().to_vec();
     }
+    if !cli.tags.is_empty() {
+        cli.chosen.retain(|e| matches_tags(*e, &cli.tags));
+        if cli.chosen.is_empty() {
+            return Err(format!(
+                "no selected experiment carries all of: {}",
+                cli.tags.join(", ")
+            ));
+        }
+    }
     Ok(cli)
 }
 
-fn print_registry() {
+fn print_registry(tags: &[String]) {
     let mut table =
         rft_analysis::report::Table::new("experiment registry", &["id", "title", "tags"]);
     for exp in registry() {
+        if !matches_tags(*exp, tags) {
+            continue;
+        }
         table.row(&[
             exp.id().to_string(),
             exp.title().to_string(),
@@ -353,7 +389,7 @@ fn main() -> ExitCode {
         }
     };
     if cli.list {
-        print_registry();
+        print_registry(&cli.tags);
         return ExitCode::SUCCESS;
     }
     // Probe the output directory before spending minutes of Monte-Carlo:

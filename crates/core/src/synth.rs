@@ -114,6 +114,33 @@ pub fn placements(kinds: &[rft_revsim::gate::OpKind]) -> Vec<Gate> {
                 gates.push(Gate::Swap3(w(0), w(1), w(2)));
                 gates.push(Gate::Swap3(w(2), w(1), w(0)));
             }
+            OpKind::F2g => {
+                // F2G(a,b,c) is symmetric in its targets: one placement
+                // per choice of shared control.
+                for a in 0..3 {
+                    let others: Vec<_> = (0..3).filter(|&i| i != a).collect();
+                    gates.push(Gate::F2g(wires[a], wires[others[0]], wires[others[1]]));
+                }
+            }
+            OpKind::Nft | OpKind::NftInv => {
+                for a in 0..3 {
+                    let others: Vec<_> = (0..3).filter(|&i| i != a).collect();
+                    for flip in [false, true] {
+                        let (b, c) = if flip {
+                            (others[1], others[0])
+                        } else {
+                            (others[0], others[1])
+                        };
+                        gates.push(match kind {
+                            OpKind::Nft => Gate::Nft(wires[a], wires[b], wires[c]),
+                            _ => Gate::NftInv(wires[a], wires[b], wires[c]),
+                        });
+                    }
+                }
+            }
+            // IG is a four-wire gate: no placement on the three-wire
+            // synthesis lattice.
+            OpKind::Ig | OpKind::IgInv => {}
             OpKind::Init => {}
         }
     }

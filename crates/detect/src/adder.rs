@@ -1,0 +1,421 @@
+//! Parameterized-width adders synthesized from the parity-preserving
+//! gate library, plus the plain Toffoli/CNOT baseline they are compared
+//! against.
+//!
+//! Every parity-preserving construction keeps its ancilla `Init` ops in a
+//! prefix of the op list (the invariant-checker wrap requires it) and
+//! uses only F2G, Fredkin and IG gates after that prefix, so
+//! [`crate::checker::is_parity_transparent`] admits all of them.
+//!
+//! The per-bit cell shared by all three parity-preserving variants is the
+//! two-IG full adder: with `IG(a,b,c,d) = (a, a⊕b, ab⊕c, a¬b⊕d)`,
+//!
+//! ```text
+//! IG(a, b, 0, 0)        = (a, p, g, a¬b)        p = a⊕b, g = ab
+//! IG(p, cin, g, a¬b)    = (p, sum, carry, ...)  sum = p⊕cin,
+//!                                               carry = p·cin ⊕ g
+//! ```
+//!
+//! i.e. the second IG lands the sum on the carry-in wire and the carry
+//! out on the first ancilla — two gates and two ancillas per bit.
+
+use rft_revsim::circuit::Circuit;
+use rft_revsim::state::BitState;
+use rft_revsim::wire::{w, Wire};
+use serde::{Deserialize, Serialize};
+
+/// Which adder construction to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AdderKind {
+    /// Ripple-carry from two IG gates per bit (the minimal
+    /// parity-preserving construction: `2n` gates, `2n` ancillas).
+    Ripple,
+    /// Ripple core plus per-block propagate rails (Fredkin AND chain)
+    /// and a Fredkin carry-skip mux, with a configurable block size.
+    /// Functionally identical to ripple — the skip path mirrors the
+    /// hardware construction and adds its fault surface.
+    CarrySkip {
+        /// Bits per skip block (≥ 1; blocks at the tail may be smaller).
+        block: usize,
+    },
+    /// Manchester-style carry-lookahead chain: per bit one IG computes
+    /// (propagate, generate) and a Fredkin mux selects
+    /// `carry = p ? cin : g`, with F2G fan-outs feeding the sum.
+    Cla,
+    /// Plain (non-parity-preserving) Toffoli/CNOT ripple adder: the
+    /// unprotected baseline for overhead and coverage comparisons. Not
+    /// admissible to [`crate::checker::with_parity_check`].
+    PlainRipple,
+}
+
+impl AdderKind {
+    /// Stable lowercase name used in reports and job specs.
+    pub fn name(&self) -> String {
+        match self {
+            AdderKind::Ripple => "ripple".into(),
+            AdderKind::CarrySkip { block } => format!("carry-skip/{block}"),
+            AdderKind::Cla => "cla".into(),
+            AdderKind::PlainRipple => "plain".into(),
+        }
+    }
+}
+
+/// A synthesized `width`-bit adder: the circuit plus the wire roles
+/// needed to drive and judge it (`sum = a + b + cin`, with `sum[i]` on
+/// `sum[i]` wires and the final carry on `cout`).
+#[derive(Debug, Clone)]
+pub struct Adder {
+    /// The synthesized circuit (ancilla `Init` ops form a prefix).
+    pub circuit: Circuit,
+    /// Which construction this is.
+    pub kind: AdderKind,
+    /// Operand width in bits.
+    pub width: usize,
+    /// Wires carrying operand `a`, LSB first.
+    pub a: Vec<Wire>,
+    /// Wires carrying operand `b`, LSB first.
+    pub b: Vec<Wire>,
+    /// The carry-in wire.
+    pub cin: Wire,
+    /// Output wires holding the sum bits after the run, LSB first.
+    pub sum: Vec<Wire>,
+    /// Output wire holding the final carry after the run.
+    pub cout: Wire,
+}
+
+impl Adder {
+    /// Synthesizes a `width`-bit adder of the given construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width == 0`, or for [`AdderKind::CarrySkip`] with a
+    /// zero block size.
+    pub fn new(kind: AdderKind, width: usize) -> Adder {
+        assert!(width > 0, "adder width must be at least 1");
+        match kind {
+            AdderKind::Ripple => ripple(width),
+            AdderKind::CarrySkip { block } => carry_skip(width, block),
+            AdderKind::Cla => cla(width),
+            AdderKind::PlainRipple => plain_ripple(width),
+        }
+    }
+
+    /// All externally-driven input wires: `a`, `b`, then `cin`. Every
+    /// other wire is an ancilla the circuit initializes itself.
+    pub fn input_wires(&self) -> Vec<Wire> {
+        let mut wires = self.a.clone();
+        wires.extend_from_slice(&self.b);
+        wires.push(self.cin);
+        wires
+    }
+
+    /// The output wires the correctness judgement reads: `sum` then
+    /// `cout`.
+    pub fn output_wires(&self) -> Vec<Wire> {
+        let mut wires = self.sum.clone();
+        wires.push(self.cout);
+        wires
+    }
+
+    /// Runs the adder fault-free on concrete operands, returning
+    /// `(sum, carry_out)`.
+    pub fn compute(&self, a: u64, b: u64, cin: bool) -> (u64, bool) {
+        let mut state = BitState::zeros(self.circuit.n_wires());
+        for i in 0..self.width {
+            state.set(self.a[i], (a >> i) & 1 == 1);
+            state.set(self.b[i], (b >> i) & 1 == 1);
+        }
+        state.set(self.cin, cin);
+        self.circuit.run(&mut state);
+        let mut sum = 0u64;
+        for i in 0..self.width {
+            if state.get(self.sum[i]) {
+                sum |= 1 << i;
+            }
+        }
+        (sum, state.get(self.cout))
+    }
+}
+
+/// The shared ripple wire plan: `a_i = i`, `b_i = n + i`, `cin = 2n`,
+/// ancilla pair `(k_i, l_i) = (2n+1+2i, 2n+2+2i)`. The IG2 chain leaves
+/// `sum_0` on the `cin` wire, `sum_i` (`i ≥ 1`) on `k_{i-1}`, and the
+/// carry out on `k_{n-1}`.
+struct RipplePlan {
+    n: usize,
+}
+
+impl RipplePlan {
+    fn a(&self, i: usize) -> Wire {
+        w(i as u32)
+    }
+    fn b(&self, i: usize) -> Wire {
+        w((self.n + i) as u32)
+    }
+    fn cin(&self) -> Wire {
+        w(2 * self.n as u32)
+    }
+    /// First ancilla of bit `i` (receives the generate, then the carry).
+    fn k(&self, i: usize) -> Wire {
+        w((2 * self.n + 1 + 2 * i) as u32)
+    }
+    /// Second ancilla of bit `i` (garbage rail).
+    fn l(&self, i: usize) -> Wire {
+        w((2 * self.n + 2 + 2 * i) as u32)
+    }
+    /// The wire feeding carry into bit `i`.
+    fn carry_in(&self, i: usize) -> Wire {
+        if i == 0 {
+            self.cin()
+        } else {
+            self.k(i - 1)
+        }
+    }
+    fn wires(&self) -> usize {
+        4 * self.n + 1
+    }
+    fn roles(&self, kind: AdderKind, circuit: Circuit) -> Adder {
+        Adder {
+            circuit,
+            kind,
+            width: self.n,
+            a: (0..self.n).map(|i| self.a(i)).collect(),
+            b: (0..self.n).map(|i| self.b(i)).collect(),
+            cin: self.cin(),
+            // sum_i lands on bit i's carry-in wire.
+            sum: (0..self.n).map(|i| self.carry_in(i)).collect(),
+            cout: self.k(self.n - 1),
+        }
+    }
+}
+
+fn ripple(n: usize) -> Adder {
+    let plan = RipplePlan { n };
+    let mut c = Circuit::new(plan.wires());
+    for i in 0..n {
+        c.init(&[plan.k(i), plan.l(i)]);
+    }
+    for i in 0..n {
+        c.ig(plan.a(i), plan.b(i), plan.k(i), plan.l(i));
+        c.ig(plan.b(i), plan.carry_in(i), plan.k(i), plan.l(i));
+    }
+    plan.roles(AdderKind::Ripple, c)
+}
+
+fn carry_skip(n: usize, block: usize) -> Adder {
+    assert!(block > 0, "carry-skip block size must be at least 1");
+    let plan = RipplePlan { n };
+    let blocks: Vec<(usize, usize)> = (0..n)
+        .step_by(block)
+        .map(|lo| (lo, (lo + block).min(n)))
+        .collect();
+    // Per block: a carry-in copy pair (cpy, dup), a propagate seed pair
+    // (q, q2), and one AND-chain ancilla per bit past the first.
+    let mut base = plan.wires();
+    let mut extra: Vec<Vec<Wire>> = Vec::new();
+    for &(lo, hi) in &blocks {
+        let m = hi - lo;
+        let wires: Vec<Wire> = (0..4 + (m - 1)).map(|j| w((base + j) as u32)).collect();
+        base += wires.len();
+        extra.push(wires);
+    }
+    let mut c = Circuit::new(base);
+    for i in 0..n {
+        c.init(&[plan.k(i), plan.l(i)]);
+    }
+    for wires in &extra {
+        for chunk in wires.chunks(3) {
+            c.init(chunk);
+        }
+    }
+    for (j, &(lo, hi)) in blocks.iter().enumerate() {
+        let [cpy, dup, q, q2] = [extra[j][0], extra[j][1], extra[j][2], extra[j][3]];
+        // Snapshot the block carry-in before the ripple consumes it.
+        c.f2g(plan.carry_in(lo), cpy, dup);
+        for i in lo..hi {
+            c.ig(plan.a(i), plan.b(i), plan.k(i), plan.l(i));
+        }
+        // Block propagate P = ∧ p_i via a Fredkin AND chain: each link
+        // moves `acc ∧ p_i` onto a fresh zero ancilla.
+        c.f2g(plan.b(lo), q, q2);
+        let mut acc = q;
+        for (t, i) in (lo + 1..hi).enumerate() {
+            let link = extra[j][4 + t];
+            c.fredkin(plan.b(i), acc, link);
+            acc = link;
+        }
+        for i in lo..hi {
+            c.ig(plan.b(i), plan.carry_in(i), plan.k(i), plan.l(i));
+        }
+        // Skip mux: when the whole block propagates, the ripple carry
+        // out equals the snapshotted carry-in, so the swap is a
+        // functional no-op — it models the hardware skip path (and its
+        // fault sites) exactly.
+        c.fredkin(acc, plan.k(hi - 1), cpy);
+    }
+    plan.roles(AdderKind::CarrySkip { block }, c)
+}
+
+fn cla(n: usize) -> Adder {
+    // Wire plan: a_i = i, b_i = n+i, cin = 2n, then per bit the quintet
+    // (g_i, y_i, u_i, v_i, m_i) at 2n+1+5i. The carry into bit i lives
+    // on g_{i-1} after bit i-1's mux.
+    let a = |i: usize| w(i as u32);
+    let b = |i: usize| w((n + i) as u32);
+    let cin = w(2 * n as u32);
+    let quint = |i: usize, j: usize| w((2 * n + 1 + 5 * i + j) as u32);
+    let (g, y, u, v, m) = (
+        |i| quint(i, 0),
+        |i| quint(i, 1),
+        |i| quint(i, 2),
+        |i| quint(i, 3),
+        |i| quint(i, 4),
+    );
+    let carry_in = |i: usize| if i == 0 { cin } else { g(i - 1) };
+    let mut c = Circuit::new(2 * n + 1 + 5 * n);
+    for i in 0..n {
+        c.init(&[g(i), y(i), u(i)]);
+        c.init(&[v(i), m(i)]);
+    }
+    for i in 0..n {
+        // (p, g) from one IG; two F2G fan-outs of the incoming carry;
+        // the Fredkin mux computes carry_out = p ? carry_in : g on g_i.
+        c.ig(a(i), b(i), g(i), y(i));
+        c.f2g(carry_in(i), u(i), v(i));
+        c.fredkin(b(i), g(i), v(i));
+        c.f2g(u(i), b(i), m(i));
+    }
+    Adder {
+        circuit: c,
+        kind: AdderKind::Cla,
+        width: n,
+        a: (0..n).map(a).collect(),
+        b: (0..n).map(b).collect(),
+        cin,
+        sum: (0..n).map(b).collect(),
+        cout: g(n - 1),
+    }
+}
+
+fn plain_ripple(n: usize) -> Adder {
+    // a_i = i, b_i = n+i, cin = 2n, carry ancilla k_i = 2n+1+i.
+    let a = |i: usize| w(i as u32);
+    let b = |i: usize| w((n + i) as u32);
+    let cin = w(2 * n as u32);
+    let k = |i: usize| w((2 * n + 1 + i) as u32);
+    let carry_in = |i: usize| if i == 0 { cin } else { k(i - 1) };
+    let mut c = Circuit::new(3 * n + 1);
+    for chunk in (0..n).collect::<Vec<_>>().chunks(3) {
+        let wires: Vec<Wire> = chunk.iter().map(|&i| k(i)).collect();
+        c.init(&wires);
+    }
+    for i in 0..n {
+        c.toffoli(a(i), b(i), k(i)); // generate
+        c.cnot(a(i), b(i)); // propagate
+        c.toffoli(b(i), carry_in(i), k(i)); // carry out
+        c.cnot(carry_in(i), b(i)); // sum
+    }
+    Adder {
+        circuit: c,
+        kind: AdderKind::PlainRipple,
+        width: n,
+        a: (0..n).map(a).collect(),
+        b: (0..n).map(b).collect(),
+        cin,
+        sum: (0..n).map(b).collect(),
+        cout: k(n - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KINDS: [AdderKind; 4] = [
+        AdderKind::Ripple,
+        AdderKind::CarrySkip { block: 2 },
+        AdderKind::Cla,
+        AdderKind::PlainRipple,
+    ];
+
+    #[test]
+    fn every_kind_adds_exhaustively_at_small_widths() {
+        for kind in KINDS {
+            for width in 1..=3 {
+                let adder = Adder::new(kind, width);
+                for a in 0..(1u64 << width) {
+                    for b in 0..(1u64 << width) {
+                        for cin in [false, true] {
+                            let (sum, cout) = adder.compute(a, b, cin);
+                            let want = a + b + cin as u64;
+                            assert_eq!(
+                                sum | ((cout as u64) << width),
+                                want,
+                                "{} width {width}: {a}+{b}+{}",
+                                kind.name(),
+                                cin as u64
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wider_adders_spot_check() {
+        for kind in KINDS {
+            let adder = Adder::new(kind, 16);
+            for (a, b, cin) in [
+                (0xffff, 0x0001, false),
+                (0x1234, 0x0f0f, true),
+                (0x8000, 0x8000, false),
+                (0xffff, 0xffff, true),
+            ] {
+                let (sum, cout) = adder.compute(a, b, cin);
+                let want = a + b + cin as u64;
+                assert_eq!(sum | ((cout as u64) << 16), want, "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn inits_form_a_prefix_and_parity_kinds_are_transparent() {
+        for kind in KINDS {
+            let adder = Adder::new(kind, 4);
+            let first_gate = adder
+                .circuit
+                .ops()
+                .iter()
+                .position(|op| op.as_gate().is_some())
+                .unwrap();
+            assert!(
+                adder.circuit.ops()[..first_gate]
+                    .iter()
+                    .all(|op| op.as_gate().is_none()),
+                "{}: inits must precede all gates",
+                kind.name()
+            );
+            let transparent = crate::checker::is_parity_transparent(&adder.circuit);
+            assert_eq!(
+                transparent,
+                kind != AdderKind::PlainRipple,
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn gate_cost_ordering_is_stable() {
+        let ops = |kind| Adder::new(kind, 8).circuit.len();
+        assert!(ops(AdderKind::Ripple) < ops(AdderKind::CarrySkip { block: 4 }));
+        assert!(ops(AdderKind::CarrySkip { block: 4 }) < ops(AdderKind::Cla));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be at least 1")]
+    fn zero_width_rejected() {
+        Adder::new(AdderKind::Ripple, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! The Alves-style invariant-checker wrap: a parity rail plus an output
+//! comparator turn any parity-transparent circuit into an online
+//! fault-*detecting* one.
+//!
+//! The wrapped circuit snapshots the parity of the declared input wires
+//! onto a fresh ancilla rail (`rail ← ⊕ inputs`), runs the body, then
+//! re-scans **every** body wire into the rail. Fault-free, the body's
+//! parity-preserving gates keep the register parity equal to the input
+//! parity, so the rail cancels back to 0. Any odd-weight deviation —
+//! in particular every single bit-flip — flips the register parity once,
+//! and nothing downstream can unflip it, so the rail reads 1: the flag.
+//!
+//! Even-weight deviations are invisible to a single rail by the same
+//! argument; [`crate::coverage::exhaustive_coverage`] measures that
+//! residual exactly.
+
+use rft_revsim::circuit::Circuit;
+use rft_revsim::gate::OpKind;
+use rft_revsim::op::Op;
+use rft_revsim::state::BitState;
+use rft_revsim::wire::{w, Wire};
+use std::ops::Range;
+
+/// Whether `circuit` is admissible to [`with_parity_check`]: every gate
+/// preserves the parity of its support. `Init` ops are allowed — they
+/// are parity-neutral as long as the wires they reset are still 0 when
+/// they run, which holds for circuits (like the [`crate::adder`]
+/// constructions) that keep their ancilla inits in a prefix and receive
+/// zeroed ancillas.
+pub fn is_parity_transparent(circuit: &Circuit) -> bool {
+    circuit.ops().iter().all(|op| match op.as_gate() {
+        Some(gate) => gate.is_parity_preserving(),
+        None => op.kind() == OpKind::Init,
+    })
+}
+
+/// A circuit wrapped with the parity rail and comparator.
+#[derive(Debug, Clone)]
+pub struct CheckedCircuit {
+    /// The wrapped circuit: body wires `0..n` plus the rail at wire `n`.
+    pub circuit: Circuit,
+    /// The rail/flag wire: reads 1 after the run iff a parity-visible
+    /// fault occurred.
+    pub flag: Wire,
+    /// Index range of the body's ops inside [`CheckedCircuit::circuit`]
+    /// (everything outside it is checker infrastructure: the rail init,
+    /// the input scan and the output comparator scan).
+    pub body_ops: Range<usize>,
+}
+
+impl CheckedCircuit {
+    /// Reads the detection flag off a finished state.
+    pub fn detected(&self, state: &BitState) -> bool {
+        state.get(self.flag)
+    }
+
+    /// Number of checker-infrastructure ops (total minus body).
+    pub fn checker_ops(&self) -> usize {
+        self.circuit.len() - self.body_ops.len()
+    }
+}
+
+/// Wraps `body` with the invariant checker.
+///
+/// `inputs` declares the externally-driven wires; every other body wire
+/// must be 0 at entry (ancillas the body initializes itself). The input
+/// scan covers only `inputs` — the zero ancillas contribute nothing to
+/// the initial parity — while the output comparator re-scans all body
+/// wires, garbage rails included.
+///
+/// # Panics
+///
+/// Panics if `body` is not [`is_parity_transparent`] or an input wire is
+/// out of range.
+pub fn with_parity_check(body: &Circuit, inputs: &[Wire]) -> CheckedCircuit {
+    assert!(
+        is_parity_transparent(body),
+        "invariant-checker wrap requires a parity-transparent body"
+    );
+    let n = body.n_wires();
+    let rail = w(n as u32);
+    let mut circuit = Circuit::new(n + 1);
+    circuit.push(Op::init(&[rail]));
+    for &wire in inputs {
+        assert!((wire.index()) < n, "input wire out of body range");
+        circuit.cnot(wire, rail);
+    }
+    let body_start = circuit.len();
+    for op in body.ops() {
+        circuit.push(*op);
+    }
+    let body_end = circuit.len();
+    for i in 0..n {
+        circuit.cnot(w(i as u32), rail);
+    }
+    CheckedCircuit {
+        circuit,
+        flag: rail,
+        body_ops: body_start..body_end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adder::{Adder, AdderKind};
+
+    #[test]
+    fn wrapped_adder_is_silent_fault_free_and_still_adds() {
+        let adder = Adder::new(AdderKind::Ripple, 3);
+        let checked = with_parity_check(&adder.circuit, &adder.input_wires());
+        for a in 0..8u64 {
+            for b in 0..8u64 {
+                let mut s = BitState::zeros(checked.circuit.n_wires());
+                for i in 0..3 {
+                    s.set(adder.a[i], (a >> i) & 1 == 1);
+                    s.set(adder.b[i], (b >> i) & 1 == 1);
+                }
+                checked.circuit.run(&mut s);
+                assert!(!checked.detected(&s), "false alarm on {a}+{b}");
+                let sum: u64 = (0..3).map(|i| (s.get(adder.sum[i]) as u64) << i).sum();
+                assert_eq!(sum | ((s.get(adder.cout) as u64) << 3), a + b);
+            }
+        }
+    }
+
+    #[test]
+    fn plain_adder_is_rejected() {
+        let adder = Adder::new(AdderKind::PlainRipple, 2);
+        assert!(!is_parity_transparent(&adder.circuit));
+    }
+
+    #[test]
+    #[should_panic(expected = "parity-transparent")]
+    fn wrap_panics_on_inadmissible_body() {
+        let adder = Adder::new(AdderKind::PlainRipple, 2);
+        with_parity_check(&adder.circuit, &adder.input_wires());
+    }
+
+    #[test]
+    fn checker_overhead_is_linear_in_wires() {
+        let adder = Adder::new(AdderKind::Ripple, 4);
+        let checked = with_parity_check(&adder.circuit, &adder.input_wires());
+        // rail init + input scan + full-register comparator scan.
+        let n = adder.circuit.n_wires();
+        assert_eq!(checked.checker_ops(), 1 + adder.input_wires().len() + n);
+        assert_eq!(checked.body_ops.len(), adder.circuit.len());
+    }
+}

@@ -1,0 +1,48 @@
+//! Online fault *detection* built on the parity-preserving gate library.
+//!
+//! The paper's multiplexing scheme masks faults by majority *correction*,
+//! paying a 3× wire blowup plus a recovery network per encoded bit per
+//! cycle. This crate reproduces the complementary, cheaper point in the
+//! design space explored by the parity-preserving synthesis literature
+//! (Parhami; Islam et al.; Alves et al.): build the datapath exclusively
+//! from gates that preserve the parity of their support — [`F2G`], the
+//! Fredkin gate, [`NFT`] and [`IG`] — so any odd-weight deviation
+//! anywhere in the network flips the register parity, and a single rail
+//! that snapshots input parity and is re-scanned at the output *detects*
+//! the fault instead of correcting it. A detected fault gates a
+//! retry/discard policy; only even-weight deviations (which a single
+//! parity rail provably cannot see) contribute to the residual
+//! undetected-and-wrong rate.
+//!
+//! The crate provides three layers:
+//!
+//! - [`adder`]: parameterized-width parity-preserving arithmetic —
+//!   ripple-carry (two IG gates per bit), variable-block carry-skip and a
+//!   Manchester-style carry-lookahead chain — plus a plain
+//!   Toffoli/CNOT ripple adder as the unprotected baseline.
+//! - [`checker`]: the Alves-style invariant-checker wrap
+//!   ([`checker::with_parity_check`]): ancilla parity rail, input scan,
+//!   output comparator scan, and the [`checker::is_parity_transparent`]
+//!   admission test.
+//! - [`coverage`] / [`trial`]: exhaustive single-fault coverage
+//!   accounting over the planned-fault backend, and
+//!   [`rft_revsim::engine::WordTrial`] implementations so the Monte-Carlo
+//!   engine (plain or rare-event stratified) estimates detected /
+//!   wrong / undetected-and-wrong rates on 64-lane plane words.
+//!
+//! [`F2G`]: rft_revsim::gate::Gate::F2g
+//! [`NFT`]: rft_revsim::gate::Gate::Nft
+//! [`IG`]: rft_revsim::gate::Gate::Ig
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adder;
+pub mod checker;
+pub mod coverage;
+pub mod trial;
+
+pub use adder::{Adder, AdderKind};
+pub use checker::{is_parity_transparent, with_parity_check, CheckedCircuit};
+pub use coverage::{exhaustive_coverage, Coverage, CoverageReport};
+pub use trial::{AdderTrial, CheckedAdder, TrialMode};

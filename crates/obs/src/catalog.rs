@@ -63,6 +63,14 @@ pub enum Metric {
     /// Streamed jobs whose client disconnected before the final interval
     /// (the job was cancelled and its budget freed).
     ServeEarlyDisconnects,
+    /// Parity-checked circuits synthesized and wrapped by the detection
+    /// subsystem (adder constructions + invariant-checker wraps).
+    DetectSyntheses,
+    /// Planned single-fault cases evaluated by exhaustive detection-
+    /// coverage enumeration.
+    DetectCoverageCases,
+    /// Monte-Carlo estimation calls over parity-checked circuits.
+    DetectEstimates,
     /// Work items executed by the cross-point scheduler.
     SchedItems,
     /// Items a worker pulled beyond its first (work stolen from the
@@ -74,7 +82,7 @@ pub enum Metric {
 
 impl Metric {
     /// Number of counters in the catalog.
-    pub const COUNT: usize = 28;
+    pub const COUNT: usize = 31;
 
     /// Every counter, in catalog order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -103,6 +111,9 @@ impl Metric {
         Metric::ServeRequests,
         Metric::ServeRejected,
         Metric::ServeEarlyDisconnects,
+        Metric::DetectSyntheses,
+        Metric::DetectCoverageCases,
+        Metric::DetectEstimates,
         Metric::SchedItems,
         Metric::SchedSteals,
         Metric::PointNanos,
@@ -136,6 +147,9 @@ impl Metric {
             Metric::ServeRequests => "serve.requests",
             Metric::ServeRejected => "serve.rejected",
             Metric::ServeEarlyDisconnects => "serve.early_disconnects",
+            Metric::DetectSyntheses => "detect.syntheses",
+            Metric::DetectCoverageCases => "detect.coverage_cases",
+            Metric::DetectEstimates => "detect.estimates",
             Metric::SchedItems => "sched.items",
             Metric::SchedSteals => "sched.steals",
             Metric::PointNanos => "sched.point_ns",
@@ -161,6 +175,9 @@ impl Metric {
             Metric::CacheEvictions => "entries",
             Metric::ServeRequests | Metric::ServeRejected => "requests",
             Metric::ServeEarlyDisconnects => "jobs",
+            Metric::DetectSyntheses => "circuits",
+            Metric::DetectCoverageCases => "cases",
+            Metric::DetectEstimates => "calls",
             Metric::SchedItems | Metric::SchedSteals => "items",
         }
     }
@@ -190,6 +207,9 @@ impl Metric {
             Metric::CacheHits | Metric::CacheMisses | Metric::CacheEvictions => "cache",
             Metric::ServeRequests | Metric::ServeRejected | Metric::ServeEarlyDisconnects => {
                 "serve"
+            }
+            Metric::DetectSyntheses | Metric::DetectCoverageCases | Metric::DetectEstimates => {
+                "detect"
             }
             Metric::SchedItems | Metric::SchedSteals | Metric::PointNanos => "sched",
         }

@@ -83,6 +83,37 @@ pub fn apply_gate_word(state: &mut BatchState, gate: &Gate, word: usize) {
             state.set_w(b, word, vb ^ va);
             state.set_w(c, word, vc ^ va);
         }
+        Gate::F2g(a, b, c) => {
+            let va = state.w(a, word);
+            state.xor_w(b, word, va);
+            state.xor_w(c, word, va);
+        }
+        Gate::Nft(a, b, c) => {
+            let (va, vb, vc) = (state.w(a, word), state.w(b, word), state.w(c, word));
+            state.set_w(a, word, va ^ vb);
+            state.set_w(b, word, (!vb & vc) ^ (va & !vc));
+            state.set_w(c, word, (vb & vc) ^ (va & !vc));
+        }
+        Gate::NftInv(a, b, c) => {
+            let (p, q, r) = (state.w(a, word), state.w(b, word), state.w(c, word));
+            let vc = q ^ r;
+            let vb = (vc & !q) | (!vc & (p ^ q));
+            state.set_w(a, word, p ^ vb);
+            state.set_w(b, word, vb);
+            state.set_w(c, word, vc);
+        }
+        Gate::Ig(a, b, c, d) => {
+            let (va, vb) = (state.w(a, word), state.w(b, word));
+            state.set_w(b, word, va ^ vb);
+            state.xor_w(c, word, va & vb);
+            state.xor_w(d, word, va & !vb);
+        }
+        Gate::IgInv(a, b, c, d) => {
+            let (p, q) = (state.w(a, word), state.w(b, word));
+            state.set_w(b, word, p ^ q);
+            state.xor_w(c, word, p & !q);
+            state.xor_w(d, word, p & q);
+        }
     }
 }
 
@@ -98,7 +129,7 @@ pub fn apply_word_masked(
     op: &Op,
     word: usize,
     fault: u64,
-    rand: &[u64; 3],
+    rand: &[u64; 4],
 ) {
     if fault == 0 {
         apply_word(state, op, word);
@@ -217,6 +248,60 @@ pub(crate) fn apply_wide<const W: usize>(state: &mut BatchState, op: &Op) {
             state.set_wide(b, xor(vb, va));
             state.set_wide(c, xor(vc, va));
         }
+        Gate::F2g(a, b, c) => {
+            let va = state.wide::<W>(a);
+            state.xor_wide(b, va);
+            state.xor_wide(c, va);
+        }
+        Gate::Nft(a, b, c) => {
+            let (va, vb, vc) = (state.wide::<W>(a), state.wide::<W>(b), state.wide::<W>(c));
+            let mut nb = va;
+            let mut nc = vb;
+            for k in 0..W {
+                nb[k] = (!vb[k] & vc[k]) ^ (va[k] & !vc[k]);
+                nc[k] = (vb[k] & vc[k]) ^ (va[k] & !vc[k]);
+            }
+            state.set_wide(a, xor(va, vb));
+            state.set_wide(b, nb);
+            state.set_wide(c, nc);
+        }
+        Gate::NftInv(a, b, c) => {
+            let (p, q, r) = (state.wide::<W>(a), state.wide::<W>(b), state.wide::<W>(c));
+            let mut na = p;
+            let mut nb = p;
+            let nc = xor(q, r);
+            for k in 0..W {
+                nb[k] = (nc[k] & !q[k]) | (!nc[k] & (p[k] ^ q[k]));
+                na[k] = p[k] ^ nb[k];
+            }
+            state.set_wide(a, na);
+            state.set_wide(b, nb);
+            state.set_wide(c, nc);
+        }
+        Gate::Ig(a, b, c, d) => {
+            let (va, vb) = (state.wide::<W>(a), state.wide::<W>(b));
+            let mut rc = va;
+            let mut rd = va;
+            for k in 0..W {
+                rc[k] = va[k] & vb[k];
+                rd[k] = va[k] & !vb[k];
+            }
+            state.set_wide(b, xor(va, vb));
+            state.xor_wide(c, rc);
+            state.xor_wide(d, rd);
+        }
+        Gate::IgInv(a, b, c, d) => {
+            let (p, q) = (state.wide::<W>(a), state.wide::<W>(b));
+            let mut rc = p;
+            let mut rd = p;
+            for k in 0..W {
+                rc[k] = p[k] & !q[k];
+                rd[k] = p[k] & q[k];
+            }
+            state.set_wide(b, xor(p, q));
+            state.xor_wide(c, rc);
+            state.xor_wide(d, rd);
+        }
     }
 }
 
@@ -232,7 +317,7 @@ pub(crate) fn blend_faulted(
     op: &Op,
     word: usize,
     fault: u64,
-    rand: &[u64; 3],
+    rand: &[u64; 4],
 ) {
     let support = op.support();
     for (k, &wire) in support.as_slice().iter().enumerate() {
@@ -315,6 +400,16 @@ mod tests {
         check_gate(Gate::Maj(w(2), w(0), w(1)), 3);
         check_gate(Gate::MajInv(w(0), w(1), w(2)), 3);
         check_gate(Gate::MajInv(w(1), w(2), w(0)), 3);
+        check_gate(Gate::F2g(w(0), w(1), w(2)), 3);
+        check_gate(Gate::F2g(w(1), w(2), w(0)), 3);
+        check_gate(Gate::Nft(w(0), w(1), w(2)), 3);
+        check_gate(Gate::Nft(w(2), w(0), w(1)), 3);
+        check_gate(Gate::NftInv(w(0), w(1), w(2)), 3);
+        check_gate(Gate::NftInv(w(2), w(0), w(1)), 3);
+        check_gate(Gate::Ig(w(0), w(1), w(2), w(3)), 4);
+        check_gate(Gate::Ig(w(3), w(1), w(0), w(2)), 4);
+        check_gate(Gate::IgInv(w(0), w(1), w(2), w(3)), 4);
+        check_gate(Gate::IgInv(w(3), w(1), w(0), w(2)), 4);
     }
 
     #[test]
@@ -338,7 +433,7 @@ mod tests {
             control: w(0),
             target: w(1),
         });
-        let rand = [0b00, 0b00, 0b00]; // fault writes zeros
+        let rand = [0b00, 0b00, 0b00, 0b00]; // fault writes zeros
         apply_word_masked(&mut batch, &op, 0, 0b10, &rand);
         // Lane 0: CNOT fired (target 1). Lane 1: fault replaced both
         // support bits with the random bits (0).
@@ -356,7 +451,7 @@ mod tests {
         b.set_word(w(0), 0, 0xABCD);
         let op = Op::Gate(Gate::Maj(w(0), w(1), w(2)));
         apply_word(&mut a, &op, 0);
-        apply_word_masked(&mut b, &op, 0, 0, &[u64::MAX; 3]);
+        apply_word_masked(&mut b, &op, 0, 0, &[u64::MAX; 4]);
         assert_eq!(a, b);
     }
 }

@@ -175,6 +175,31 @@ impl Circuit {
         self.push(Op::Gate(Gate::MajInv(a, b, c)))
     }
 
+    /// Appends a double Feynman gate F2G. See [`Circuit::push`] for panics.
+    pub fn f2g(&mut self, a: Wire, b: Wire, c: Wire) -> &mut Self {
+        self.push(Op::Gate(Gate::F2g(a, b, c)))
+    }
+
+    /// Appends an NFT gate. See [`Circuit::push`] for panics.
+    pub fn nft(&mut self, a: Wire, b: Wire, c: Wire) -> &mut Self {
+        self.push(Op::Gate(Gate::Nft(a, b, c)))
+    }
+
+    /// Appends an inverse NFT gate. See [`Circuit::push`] for panics.
+    pub fn nft_inv(&mut self, a: Wire, b: Wire, c: Wire) -> &mut Self {
+        self.push(Op::Gate(Gate::NftInv(a, b, c)))
+    }
+
+    /// Appends a four-wire IG gate. See [`Circuit::push`] for panics.
+    pub fn ig(&mut self, a: Wire, b: Wire, c: Wire, d: Wire) -> &mut Self {
+        self.push(Op::Gate(Gate::Ig(a, b, c, d)))
+    }
+
+    /// Appends an inverse IG gate. See [`Circuit::push`] for panics.
+    pub fn ig_inv(&mut self, a: Wire, b: Wire, c: Wire, d: Wire) -> &mut Self {
+        self.push(Op::Gate(Gate::IgInv(a, b, c, d)))
+    }
+
     /// Appends an ancilla reset of 1–3 wires. See [`Circuit::push`] for panics.
     pub fn init(&mut self, wires: &[Wire]) -> &mut Self {
         self.push(Op::init(wires))
@@ -563,6 +588,25 @@ mod tests {
         assert!(text.contains("circuit on 3 wires"));
         assert!(text.contains("CNOT(q0,q1)"));
         assert!(text.contains("TOFFOLI(q1,q2,q0)"));
+    }
+
+    #[test]
+    fn parity_gate_builders_and_inversion() {
+        let mut c = Circuit::new(4);
+        c.f2g(w(0), w(1), w(2))
+            .nft(w(1), w(2), w(3))
+            .ig(w(0), w(1), w(2), w(3))
+            .ig_inv(w(0), w(1), w(2), w(3))
+            .nft_inv(w(1), w(2), w(3));
+        assert_eq!(c.stats().count(OpKind::Ig), 1);
+        assert_eq!(c.stats().count(OpKind::IgInv), 1);
+        let inv = c.inverted().unwrap();
+        for input in 0..16u64 {
+            let mut s = BitState::from_u64(input, 4);
+            c.run(&mut s);
+            inv.run(&mut s);
+            assert_eq!(s.to_u64(), input);
+        }
     }
 
     #[test]

@@ -613,7 +613,7 @@ pub(crate) fn run_batch_words<R: Rng + ?Sized>(
             if fault == 0 {
                 kernels::apply_word(batch, op, word);
             } else {
-                let mut rand_planes = [0u64; 3];
+                let mut rand_planes = [0u64; 4];
                 for plane in rand_planes.iter_mut().take(op.arity()) {
                     *plane = rng.random::<u64>();
                 }
@@ -663,7 +663,7 @@ pub(crate) fn run_masked_word_batch(
             kernels::apply_word(batch, op, 0);
             continue;
         }
-        let mut rand_planes = [0u64; 3];
+        let mut rand_planes = [0u64; 4];
         fill_fault_planes(op.arity(), fault, rng, &mut rand_planes);
         kernels::apply_word_masked(batch, op, 0, fault, &rand_planes);
         report.fault_events += fault.count_ones() as u64;
@@ -682,7 +682,7 @@ pub(crate) fn fill_fault_planes(
     arity: usize,
     fault: u64,
     rng: &mut SmallRng,
-    rand_planes: &mut [u64; 3],
+    rand_planes: &mut [u64; 4],
 ) {
     if fault.count_ones() == 1 {
         let lane = fault.trailing_zeros();
@@ -733,7 +733,7 @@ pub(crate) fn run_masked_word_scalar(
             }
             continue;
         }
-        let mut rand_planes = [0u64; 3];
+        let mut rand_planes = [0u64; 4];
         fill_fault_planes(op.arity(), fault, rng, &mut rand_planes);
         let support = op.support();
         let wires = support.as_slice();
@@ -2245,7 +2245,7 @@ impl Backend for ScalarBackend {
                     }
                     continue;
                 }
-                let mut rand_planes = [0u64; 3];
+                let mut rand_planes = [0u64; 4];
                 for plane in rand_planes.iter_mut().take(op.arity()) {
                     *plane = rng.random::<u64>();
                 }

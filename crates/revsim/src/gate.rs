@@ -12,6 +12,13 @@
 //! `CNOT(a→b)`, `CNOT(a→c)`, `Toffoli(b,c→a)`. Its first output bit is the
 //! majority of the three inputs, and `MAJ⁻¹(b,0,0) = (b,b,b)` encodes the
 //! three-bit repetition code.
+//!
+//! The *parity-preserving* subset — [`F2g`](Gate::F2g) (double Feynman),
+//! [`Nft`](Gate::Nft), the four-wire [`Ig`](Gate::Ig), and the conservative
+//! Fredkin — satisfies `a⊕b⊕… = P⊕Q⊕…` on every input, the invariant the
+//! online fault-detection constructions of Islam et al. (arXiv:1009.3819)
+//! build on: any single bit-flip fault flips the input↔output parity and is
+//! caught by a parity rail.
 
 use crate::state::BitState;
 use crate::wire::{Support, Wire};
@@ -72,6 +79,29 @@ pub enum Gate {
     /// On `(b, 0, 0)` this produces `(b, b, b)` — the repetition-code
     /// encoder of Figure 2.
     MajInv(Wire, Wire, Wire),
+    /// Double Feynman gate (F2G): `(a, b, c) → (a, a⊕b, a⊕c)`.
+    ///
+    /// Parity-preserving and GF(2)-linear (two CNOTs sharing a control),
+    /// hence self-inverse and fusable into affine micro-op segments.
+    F2g(Wire, Wire, Wire),
+    /// New fault-tolerant gate (NFT): `(a, b, c) → (a⊕b, (¬b∧c)⊕(a∧¬c),
+    /// (b∧c)⊕(a∧¬c))`.
+    ///
+    /// Parity-preserving (`Q⊕R = c`, so `P⊕Q⊕R = a⊕b⊕c`) but nonlinear
+    /// and *not* self-inverse — see [`Gate::NftInv`].
+    Nft(Wire, Wire, Wire),
+    /// Inverse of [`Gate::Nft`]: `c = Q⊕R`, `b = c ? ¬Q : P⊕Q`, `a = P⊕b`.
+    NftInv(Wire, Wire, Wire),
+    /// Islam gate (IG), four wires: `(a, b, c, d) → (a, a⊕b, (a∧b)⊕c,
+    /// (a∧¬b)⊕d)`.
+    ///
+    /// Parity-preserving; the first two outputs are affine but the last two
+    /// are not, so IG splits affine micro-op segments. Not self-inverse —
+    /// see [`Gate::IgInv`].
+    Ig(Wire, Wire, Wire, Wire),
+    /// Inverse of [`Gate::Ig`]: `a = P`, `b = P⊕Q`, `c = R⊕(P∧¬Q)`,
+    /// `d = S⊕(P∧Q)`.
+    IgInv(Wire, Wire, Wire, Wire),
 }
 
 /// Discriminant of a [`Gate`] (or ancilla reset), used for op accounting.
@@ -93,13 +123,23 @@ pub enum OpKind {
     Maj,
     /// Inverse majority.
     MajInv,
+    /// Double Feynman (parity-preserving, GF(2)-linear).
+    F2g,
+    /// New fault-tolerant gate (parity-preserving).
+    Nft,
+    /// Inverse NFT.
+    NftInv,
+    /// Islam gate (parity-preserving, four wires).
+    Ig,
+    /// Inverse IG.
+    IgInv,
     /// Ancilla reset (the only irreversible operation).
     Init,
 }
 
 impl OpKind {
     /// All gate kinds plus `Init`, in a stable order.
-    pub const ALL: [OpKind; 9] = [
+    pub const ALL: [OpKind; 14] = [
         OpKind::Not,
         OpKind::Cnot,
         OpKind::Toffoli,
@@ -108,6 +148,11 @@ impl OpKind {
         OpKind::Fredkin,
         OpKind::Maj,
         OpKind::MajInv,
+        OpKind::F2g,
+        OpKind::Nft,
+        OpKind::NftInv,
+        OpKind::Ig,
+        OpKind::IgInv,
         OpKind::Init,
     ];
 }
@@ -123,6 +168,11 @@ impl fmt::Display for OpKind {
             OpKind::Fredkin => "FREDKIN",
             OpKind::Maj => "MAJ",
             OpKind::MajInv => "MAJ⁻¹",
+            OpKind::F2g => "F2G",
+            OpKind::Nft => "NFT",
+            OpKind::NftInv => "NFT⁻¹",
+            OpKind::Ig => "IG",
+            OpKind::IgInv => "IG⁻¹",
             OpKind::Init => "INIT",
         };
         f.write_str(name)
@@ -183,6 +233,46 @@ impl Gate {
                     state.flip(c);
                 }
             }
+            Gate::F2g(a, b, c) => {
+                if state.get(a) {
+                    state.flip(b);
+                    state.flip(c);
+                }
+            }
+            Gate::Nft(a, b, c) => {
+                let (va, vb, vc) = (state.get(a), state.get(b), state.get(c));
+                state.set(a, va ^ vb);
+                state.set(b, (!vb & vc) ^ (va & !vc));
+                state.set(c, (vb & vc) ^ (va & !vc));
+            }
+            Gate::NftInv(a, b, c) => {
+                let (p, q, r) = (state.get(a), state.get(b), state.get(c));
+                let vc = q ^ r;
+                let vb = if vc { !q } else { p ^ q };
+                state.set(a, p ^ vb);
+                state.set(b, vb);
+                state.set(c, vc);
+            }
+            Gate::Ig(a, b, c, d) => {
+                let (va, vb) = (state.get(a), state.get(b));
+                state.set(b, va ^ vb);
+                if va & vb {
+                    state.flip(c);
+                }
+                if va & !vb {
+                    state.flip(d);
+                }
+            }
+            Gate::IgInv(a, b, c, d) => {
+                let (p, q) = (state.get(a), state.get(b));
+                state.set(b, p ^ q);
+                if p & !q {
+                    state.flip(c);
+                }
+                if p & q {
+                    state.flip(d);
+                }
+            }
         }
     }
 
@@ -204,6 +294,11 @@ impl Gate {
             } => Support::three(control, t0, t1),
             Gate::Maj(a, b, c) => Support::three(a, b, c),
             Gate::MajInv(a, b, c) => Support::three(a, b, c),
+            Gate::F2g(a, b, c) => Support::three(a, b, c),
+            Gate::Nft(a, b, c) => Support::three(a, b, c),
+            Gate::NftInv(a, b, c) => Support::three(a, b, c),
+            Gate::Ig(a, b, c, d) => Support::four(a, b, c, d),
+            Gate::IgInv(a, b, c, d) => Support::four(a, b, c, d),
         }
     }
 
@@ -215,14 +310,18 @@ impl Gate {
 
     /// Returns the inverse gate, such that `g.inverse()` undoes `g`.
     ///
-    /// Every gate in the set is its own inverse except [`Gate::Swap3`]
-    /// (inverted by reversing its arguments) and the MAJ pair (inverses of
-    /// each other).
+    /// Most gates in the set are their own inverses; the exceptions are
+    /// [`Gate::Swap3`] (inverted by reversing its arguments) and the
+    /// MAJ, NFT and IG pairs (inverses of each other).
     pub fn inverse(&self) -> Gate {
         match *self {
             Gate::Swap3(a, b, c) => Gate::Swap3(c, b, a),
             Gate::Maj(a, b, c) => Gate::MajInv(a, b, c),
             Gate::MajInv(a, b, c) => Gate::Maj(a, b, c),
+            Gate::Nft(a, b, c) => Gate::NftInv(a, b, c),
+            Gate::NftInv(a, b, c) => Gate::Nft(a, b, c),
+            Gate::Ig(a, b, c, d) => Gate::IgInv(a, b, c, d),
+            Gate::IgInv(a, b, c, d) => Gate::Ig(a, b, c, d),
             g => g,
         }
     }
@@ -238,6 +337,11 @@ impl Gate {
             Gate::Fredkin { .. } => OpKind::Fredkin,
             Gate::Maj(..) => OpKind::Maj,
             Gate::MajInv(..) => OpKind::MajInv,
+            Gate::F2g(..) => OpKind::F2g,
+            Gate::Nft(..) => OpKind::Nft,
+            Gate::NftInv(..) => OpKind::NftInv,
+            Gate::Ig(..) => OpKind::Ig,
+            Gate::IgInv(..) => OpKind::IgInv,
         }
     }
 
@@ -269,6 +373,11 @@ impl Gate {
             },
             Gate::Maj(a, b, c) => Gate::Maj(f(a), f(b), f(c)),
             Gate::MajInv(a, b, c) => Gate::MajInv(f(a), f(b), f(c)),
+            Gate::F2g(a, b, c) => Gate::F2g(f(a), f(b), f(c)),
+            Gate::Nft(a, b, c) => Gate::Nft(f(a), f(b), f(c)),
+            Gate::NftInv(a, b, c) => Gate::NftInv(f(a), f(b), f(c)),
+            Gate::Ig(a, b, c, d) => Gate::Ig(f(a), f(b), f(c), f(d)),
+            Gate::IgInv(a, b, c, d) => Gate::IgInv(f(a), f(b), f(c), f(d)),
         }
     }
 
@@ -303,7 +412,28 @@ impl Gate {
             },
             Gate::Maj(a, b, c) => Gate::Maj(f(a), f(b), f(c)),
             Gate::MajInv(a, b, c) => Gate::MajInv(f(a), f(b), f(c)),
+            Gate::F2g(a, b, c) => Gate::F2g(f(a), f(b), f(c)),
+            Gate::Nft(a, b, c) => Gate::Nft(f(a), f(b), f(c)),
+            Gate::NftInv(a, b, c) => Gate::NftInv(f(a), f(b), f(c)),
+            Gate::Ig(a, b, c, d) => Gate::Ig(f(a), f(b), f(c), f(d)),
+            Gate::IgInv(a, b, c, d) => Gate::IgInv(f(a), f(b), f(c), f(d)),
         }
+    }
+
+    /// Whether the gate preserves the parity `⊕` of its support bits on
+    /// every input — the invariant online fault detection checks.
+    pub fn is_parity_preserving(&self) -> bool {
+        matches!(
+            self,
+            Gate::Fredkin { .. }
+                | Gate::Swap(..)
+                | Gate::Swap3(..)
+                | Gate::F2g(..)
+                | Gate::Nft(..)
+                | Gate::NftInv(..)
+                | Gate::Ig(..)
+                | Gate::IgInv(..)
+        )
     }
 }
 
@@ -486,9 +616,9 @@ mod tests {
         }
     }
 
-    #[test]
-    fn all_gates_are_bijections() {
-        let gates = [
+    /// One canonical instance of every gate kind, on dense wires.
+    fn all_gate_instances() -> Vec<Gate> {
+        vec![
             Gate::Not(w(0)),
             Gate::Cnot {
                 control: w(0),
@@ -506,7 +636,79 @@ mod tests {
             },
             Gate::Maj(w(0), w(1), w(2)),
             Gate::MajInv(w(0), w(1), w(2)),
-        ];
+            Gate::F2g(w(0), w(1), w(2)),
+            Gate::Nft(w(0), w(1), w(2)),
+            Gate::NftInv(w(0), w(1), w(2)),
+            Gate::Ig(w(0), w(1), w(2), w(3)),
+            Gate::IgInv(w(0), w(1), w(2), w(3)),
+        ]
+    }
+
+    #[test]
+    fn f2g_is_double_feynman() {
+        // (a, b, c) → (a, a⊕b, a⊕c), little-endian packing.
+        let t = table(Gate::F2g(w(0), w(1), w(2)), 3);
+        for input in 0..8u64 {
+            let a = input & 1;
+            let b = (input >> 1) & 1;
+            let c = (input >> 2) & 1;
+            let expect = a | ((a ^ b) << 1) | ((a ^ c) << 2);
+            assert_eq!(t[input as usize], expect, "input {input:03b}");
+        }
+    }
+
+    #[test]
+    fn nft_truth_table_matches_definition() {
+        let t = table(Gate::Nft(w(0), w(1), w(2)), 3);
+        for input in 0..8u64 {
+            let a = input & 1 == 1;
+            let b = (input >> 1) & 1 == 1;
+            let c = (input >> 2) & 1 == 1;
+            let p = a ^ b;
+            let q = (!b & c) ^ (a & !c);
+            let r = (b & c) ^ (a & !c);
+            let expect = (p as u64) | ((q as u64) << 1) | ((r as u64) << 2);
+            assert_eq!(t[input as usize], expect, "input {input:03b}");
+        }
+    }
+
+    #[test]
+    fn ig_truth_table_matches_definition() {
+        let t = table(Gate::Ig(w(0), w(1), w(2), w(3)), 4);
+        for input in 0..16u64 {
+            let a = input & 1 == 1;
+            let b = (input >> 1) & 1 == 1;
+            let c = (input >> 2) & 1 == 1;
+            let d = (input >> 3) & 1 == 1;
+            let q = a ^ b;
+            let r = (a & b) ^ c;
+            let s = (a & !b) ^ d;
+            let expect = (a as u64) | ((q as u64) << 1) | ((r as u64) << 2) | ((s as u64) << 3);
+            assert_eq!(t[input as usize], expect, "input {input:04b}");
+        }
+    }
+
+    #[test]
+    fn parity_preserving_gates_preserve_parity_exhaustively() {
+        for gate in all_gate_instances() {
+            let n = gate.support().max_index() + 1;
+            for (input, output) in table(gate, n).into_iter().enumerate() {
+                let preserved = (input as u64).count_ones() % 2 == output.count_ones() % 2;
+                if gate.is_parity_preserving() {
+                    assert!(preserved, "{gate} breaks parity on {input:b}");
+                }
+            }
+        }
+        // And the flag is not vacuous: the new gates carry it.
+        assert!(Gate::F2g(w(0), w(1), w(2)).is_parity_preserving());
+        assert!(Gate::Nft(w(0), w(1), w(2)).is_parity_preserving());
+        assert!(Gate::Ig(w(0), w(1), w(2), w(3)).is_parity_preserving());
+        assert!(!Gate::Maj(w(0), w(1), w(2)).is_parity_preserving());
+    }
+
+    #[test]
+    fn all_gates_are_bijections() {
+        let gates = all_gate_instances();
         for gate in gates {
             let n = gate.support().max_index() + 1;
             let mut seen = vec![false; 1 << n];
@@ -519,26 +721,7 @@ mod tests {
 
     #[test]
     fn inverses_cancel() {
-        let gates = [
-            Gate::Not(w(0)),
-            Gate::Cnot {
-                control: w(0),
-                target: w(1),
-            },
-            Gate::Toffoli {
-                controls: [w(0), w(1)],
-                target: w(2),
-            },
-            Gate::Swap(w(0), w(1)),
-            Gate::Swap3(w(0), w(1), w(2)),
-            Gate::Fredkin {
-                control: w(0),
-                targets: [w(1), w(2)],
-            },
-            Gate::Maj(w(0), w(1), w(2)),
-            Gate::MajInv(w(0), w(1), w(2)),
-        ];
-        for gate in gates {
+        for gate in all_gate_instances() {
             let n = gate.support().max_index() + 1;
             for input in 0..(1u64 << n) {
                 let mut s = BitState::from_u64(input, n);
@@ -546,6 +729,13 @@ mod tests {
                 gate.inverse().apply(&mut s);
                 assert_eq!(s.to_u64(), input, "{gate} then inverse on {input:b}");
             }
+        }
+    }
+
+    #[test]
+    fn inverse_is_involutive_on_kinds() {
+        for gate in all_gate_instances() {
+            assert_eq!(gate.inverse().inverse(), gate);
         }
     }
 
@@ -582,5 +772,24 @@ mod tests {
         let gate = Gate::Maj(w(0), w(1), w(2));
         assert_eq!(gate.to_string(), "MAJ(q0,q1,q2)");
         assert_eq!(OpKind::MajInv.to_string(), "MAJ⁻¹");
+        assert_eq!(
+            Gate::Ig(w(0), w(1), w(2), w(3)).to_string(),
+            "IG(q0,q1,q2,q3)"
+        );
+        assert_eq!(OpKind::F2g.to_string(), "F2G");
+        assert_eq!(OpKind::NftInv.to_string(), "NFT⁻¹");
+    }
+
+    #[test]
+    fn op_kind_all_is_complete_and_unique() {
+        assert_eq!(OpKind::ALL.len(), 14);
+        for (i, a) in OpKind::ALL.iter().enumerate() {
+            for b in &OpKind::ALL[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        for gate in all_gate_instances() {
+            assert!(OpKind::ALL.contains(&gate.kind()));
+        }
     }
 }

@@ -175,10 +175,10 @@ pub(crate) struct FaultSite {
     pub arity: u8,
     /// Per support wire: the would-be ideal post-op value as a function
     /// of the boundary (`Suf_t⁻¹` rows; patch mode only).
-    pub gathers: [Gather; 3],
+    pub gathers: [Gather; 4],
     /// Per support wire: boundary wires an injected flip reaches
     /// (`Suf_t` columns; patch mode only).
-    pub scatters: [u64; 3],
+    pub scatters: [u64; 4],
 }
 
 /// How a segment restores exact fault semantics (see the module docs).
@@ -286,7 +286,7 @@ fn is_always_affine(op: &Op) -> bool {
         Op::Init(_) => true,
         Op::Gate(g) => matches!(
             g,
-            Gate::Not(_) | Gate::Cnot { .. } | Gate::Swap(..) | Gate::Swap3(..)
+            Gate::Not(_) | Gate::Cnot { .. } | Gate::Swap(..) | Gate::Swap3(..) | Gate::F2g(..)
         ),
     }
 }
@@ -436,6 +436,20 @@ impl Scan {
                     };
                     let c = self.s[pc];
                     self.s[pt].xor_in(c);
+                    true
+                }
+                Gate::F2g(a, b, c) => {
+                    // Two CNOTs sharing control `a`: b ^= a, c ^= a.
+                    let (Some(pa), Some(pb), Some(pc)) = (
+                        self.pos(pos_of, a),
+                        self.pos(pos_of, b),
+                        self.pos(pos_of, c),
+                    ) else {
+                        return false;
+                    };
+                    let va = self.s[pa];
+                    self.s[pb].xor_in(va);
+                    self.s[pc].xor_in(va);
                     true
                 }
                 Gate::Swap(a, b) => {
@@ -606,8 +620,8 @@ fn scan_segment(
                 op_index: (start + i) as u32,
                 sampler: sampler_u32(table.sampler_of[start + i]),
                 arity: op.arity() as u8,
-                gathers: [Gather::default(); 3],
-                scatters: [0u64; 3],
+                gathers: [Gather::default(); 4],
+                scatters: [0u64; 4],
             })
             .collect();
 
@@ -736,6 +750,26 @@ fn backward_pass(
                     };
                     c[pc] ^= c[pt];
                 }
+                Gate::F2g(a, b, c3) => {
+                    // Un-apply b ^= a and c ^= a (self-inverse): two CNOT
+                    // inversions sharing the control column.
+                    let pa = pos(pos_of, a);
+                    for pt in [pos(pos_of, b), pos(pos_of, c3)] {
+                        v[pt] = match (v[pt], v[pa]) {
+                            (Some(mut vt), Some(vc)) => {
+                                vt.xor_in(vc);
+                                Some(vt)
+                            }
+                            _ => {
+                                if v[pt].is_some() {
+                                    none_src[pt] = none_src[pa];
+                                }
+                                None
+                            }
+                        };
+                        c[pa] ^= c[pt];
+                    }
+                }
                 Gate::Swap(a, b) => {
                     let (pa, pb) = (pos(pos_of, a), pos(pos_of, b));
                     v.swap(pa, pb);
@@ -783,7 +817,7 @@ struct FaultEvent {
     /// 64-lane fault mask.
     mask: u64,
     /// Random planes (one per support wire).
-    planes: [u64; 3],
+    planes: [u64; 4],
 }
 
 /// Reusable buffers for the wide runners (allocated once per word range).
@@ -796,7 +830,7 @@ pub(crate) struct ExecScratch {
     /// Faults collected while sampling the current segment.
     events: Vec<FaultEvent>,
     /// Per-site `(mask, planes)` of the word being replayed.
-    replay: Vec<(u64, [u64; 3])>,
+    replay: Vec<(u64, [u64; 4])>,
 }
 
 /// Per-word outcome of a wide run.
@@ -858,7 +892,7 @@ pub(crate) fn run_sampled_wide<const W: usize>(
                 let arity = nat.arity as usize;
                 for (w, rng) in rngs.iter_mut().enumerate() {
                     if masks[w] != 0 {
-                        let mut rand_planes = [0u64; 3];
+                        let mut rand_planes = [0u64; 4];
                         for plane in rand_planes.iter_mut().take(arity) {
                             *plane = rng.random::<u64>();
                         }
@@ -882,7 +916,7 @@ pub(crate) fn run_sampled_wide<const W: usize>(
                         if mask == 0 {
                             continue;
                         }
-                        let mut planes = [0u64; 3];
+                        let mut planes = [0u64; 4];
                         for plane in planes.iter_mut().take(arity) {
                             *plane = rng.random::<u64>();
                         }
@@ -977,7 +1011,7 @@ pub(crate) fn run_masked_wide<const W: usize>(
                                 if mask == 0 {
                                     continue;
                                 }
-                                let mut planes = [0u64; 3];
+                                let mut planes = [0u64; 4];
                                 fill_fault_planes(arity, mask, rng, &mut planes);
                                 scratch.events.push(FaultEvent {
                                     word: w as u8,
@@ -1023,7 +1057,7 @@ fn masked_native<const W: usize>(
     let arity = arity as usize;
     for (w, rng) in rngs.iter_mut().enumerate() {
         if fmasks[w] != 0 {
-            let mut rand_planes = [0u64; 3];
+            let mut rand_planes = [0u64; 4];
             fill_fault_planes(arity, fmasks[w], rng, &mut rand_planes);
             kernels::blend_faulted(batch, op, w, fmasks[w], &rand_planes);
             out.fault_events += fmasks[w].count_ones() as u64;
@@ -1079,7 +1113,7 @@ fn apply_segment<const W: usize>(
                 let site = &seg.sites[e.site as usize];
                 let w = e.word as usize;
                 let arity = site.arity as usize;
-                let mut d = [0u64; 3];
+                let mut d = [0u64; 4];
                 // Gather all would-be ideal values before scattering any
                 // delta: within one site they are all defined pre-fault.
                 for (k, dk) in d.iter_mut().enumerate().take(arity) {
@@ -1122,7 +1156,7 @@ fn apply_segment<const W: usize>(
             scratch.replay.clear();
             scratch
                 .replay
-                .resize(seg.sites.len() * W, (0u64, [0u64; 3]));
+                .resize(seg.sites.len() * W, (0u64, [0u64; 4]));
             for e in &scratch.events {
                 scratch.replay[e.site as usize * W + e.word as usize] = (e.mask, e.planes);
             }

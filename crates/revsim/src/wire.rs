@@ -100,14 +100,15 @@ pub const fn w(index: u32) -> Wire {
     Wire::new(index)
 }
 
-/// A fixed-capacity set of up to three wires: the support of a gate.
+/// A fixed-capacity set of up to four wires: the support of a gate.
 ///
-/// Every primitive operation in the paper's model touches at most three bits
-/// (the error model charges a three-bit operation with failure probability
-/// *g*), so supports never exceed three wires.
+/// The paper's primitives touch at most three bits (the error model charges
+/// a three-bit operation with failure probability *g*); the parity-preserving
+/// gate library (IG) adds one four-bit permutation, so supports hold up to
+/// four wires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Support {
-    wires: [Wire; 3],
+    wires: [Wire; 4],
     len: u8,
 }
 
@@ -116,7 +117,7 @@ impl Support {
     #[inline]
     pub const fn one(a: Wire) -> Self {
         Support {
-            wires: [a, a, a],
+            wires: [a, a, a, a],
             len: 1,
         }
     }
@@ -125,7 +126,7 @@ impl Support {
     #[inline]
     pub const fn two(a: Wire, b: Wire) -> Self {
         Support {
-            wires: [a, b, b],
+            wires: [a, b, b, b],
             len: 2,
         }
     }
@@ -134,22 +135,32 @@ impl Support {
     #[inline]
     pub const fn three(a: Wire, b: Wire, c: Wire) -> Self {
         Support {
-            wires: [a, b, c],
+            wires: [a, b, c, c],
             len: 3,
         }
     }
 
-    /// Builds a support from a slice of 1..=3 wires.
+    /// Support of a four-wire operation.
+    #[inline]
+    pub const fn four(a: Wire, b: Wire, c: Wire, d: Wire) -> Self {
+        Support {
+            wires: [a, b, c, d],
+            len: 4,
+        }
+    }
+
+    /// Builds a support from a slice of 1..=4 wires.
     ///
     /// # Panics
     ///
-    /// Panics if `wires` is empty or has more than three elements.
+    /// Panics if `wires` is empty or has more than four elements.
     pub fn from_slice(wires: &[Wire]) -> Self {
         match *wires {
             [a] => Support::one(a),
             [a, b] => Support::two(a, b),
             [a, b, c] => Support::three(a, b, c),
-            _ => panic!("support must contain 1..=3 wires, got {}", wires.len()),
+            [a, b, c, d] => Support::four(a, b, c, d),
+            _ => panic!("support must contain 1..=4 wires, got {}", wires.len()),
         }
     }
 
@@ -267,12 +278,22 @@ mod tests {
         assert_eq!(Support::from_slice(&[w(1)]).len(), 1);
         assert_eq!(Support::from_slice(&[w(1), w(2)]).len(), 2);
         assert_eq!(Support::from_slice(&[w(1), w(2), w(3)]).len(), 3);
+        assert_eq!(Support::from_slice(&[w(1), w(2), w(3), w(4)]).len(), 4);
     }
 
     #[test]
-    #[should_panic(expected = "1..=3")]
-    fn support_from_slice_rejects_four() {
-        let _ = Support::from_slice(&[w(1), w(2), w(3), w(4)]);
+    fn support_four_slices_and_distinctness() {
+        let s = Support::four(w(1), w(2), w(3), w(4));
+        assert_eq!(s.as_slice(), &[w(1), w(2), w(3), w(4)]);
+        assert!(s.is_distinct());
+        assert!(!Support::four(w(1), w(2), w(3), w(1)).is_distinct());
+        assert_eq!(s.max_index(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4")]
+    fn support_from_slice_rejects_five() {
+        let _ = Support::from_slice(&[w(1), w(2), w(3), w(4), w(5)]);
     }
 
     #[test]

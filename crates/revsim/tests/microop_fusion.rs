@@ -28,6 +28,10 @@ fn arb_op() -> impl Strategy<Value = Op> {
         });
     let distinct2 =
         (wire.clone(), wire.clone()).prop_filter("wires must be distinct", |(a, b)| a != b);
+    let distinct4 = (wire.clone(), wire.clone(), wire.clone(), wire.clone())
+        .prop_filter("wires must be distinct", |(a, b, c, d)| {
+            a != b && a != c && a != d && b != c && b != d && c != d
+        });
     prop_oneof![
         wire.clone().prop_map(|a| Op::Gate(Gate::Not(w(a)))),
         distinct2.clone().prop_map(|(a, b)| Op::Gate(Gate::Cnot {
@@ -58,6 +62,19 @@ fn arb_op() -> impl Strategy<Value = Op> {
         distinct3
             .clone()
             .prop_map(|(a, b, c)| Op::Gate(Gate::MajInv(w(a), w(b), w(c)))),
+        distinct3
+            .clone()
+            .prop_map(|(a, b, c)| Op::Gate(Gate::F2g(w(a), w(b), w(c)))),
+        distinct3
+            .clone()
+            .prop_map(|(a, b, c)| Op::Gate(Gate::Nft(w(a), w(b), w(c)))),
+        distinct3
+            .clone()
+            .prop_map(|(a, b, c)| Op::Gate(Gate::NftInv(w(a), w(b), w(c)))),
+        distinct4
+            .clone()
+            .prop_map(|(a, b, c, d)| Op::Gate(Gate::Ig(w(a), w(b), w(c), w(d)))),
+        distinct4.prop_map(|(a, b, c, d)| Op::Gate(Gate::IgInv(w(a), w(b), w(c), w(d)))),
         wire.clone().prop_map(|a| Op::init(&[w(a)])),
         distinct3.prop_map(|(a, b, c)| Op::init(&[w(a), w(b), w(c)])),
     ]
@@ -287,6 +304,47 @@ fn compile_stats_report_fusion_on_structured_streams() {
     assert_eq!(stats.max_segment_len, 5, "inits + specialized MAJ⁻¹s fuse");
     assert_eq!(stats.specialized_ops, 3);
     assert_eq!(stats.segment_len_hist, vec![(5, 1)]);
+}
+
+#[test]
+fn f2g_fuses_into_affine_segments_and_ig_splits_them() {
+    // F2G is GF(2)-linear (two CNOTs sharing a control): a run of F2Gs
+    // and other linear gates must compile to ONE patch segment.
+    let mut c = Circuit::new(6);
+    c.f2g(w(0), w(1), w(2))
+        .f2g(w(3), w(4), w(5))
+        .cnot(w(0), w(3))
+        .f2g(w(2), w(1), w(0))
+        .not(w(4));
+    let engine = Engine::compile(&c, &UniformNoise::new(0.01));
+    let stats = engine.compile_stats();
+    assert_eq!(stats.ops, 5);
+    assert_eq!(stats.fused_segments, 1, "F2G run must fuse");
+    assert_eq!(stats.max_segment_len, 5);
+    assert_eq!(stats.micro_ops, 1);
+    assert_eq!(stats.specialized_ops, 0, "F2G fuses unconditionally");
+
+    // IG's mixed-affine structure (AND terms in its last two outputs)
+    // must split a would-be segment in two, with the IG native between.
+    let mut c = Circuit::new(6);
+    c.f2g(w(0), w(1), w(2))
+        .cnot(w(3), w(4))
+        .ig(w(0), w(1), w(2), w(3))
+        .f2g(w(3), w(4), w(5))
+        .swap(w(0), w(1));
+    let engine = Engine::compile(&c, &UniformNoise::new(0.01));
+    let stats = engine.compile_stats();
+    assert_eq!(stats.ops, 5);
+    assert_eq!(stats.fused_segments, 2, "IG splits the affine run");
+    assert_eq!(stats.micro_ops, 3, "segment, native IG, segment");
+    assert_eq!(stats.segment_len_hist, vec![(2, 2)]);
+
+    // NFT is nonlinear throughout: it likewise stays native.
+    let mut c = Circuit::new(4);
+    c.cnot(w(0), w(1)).nft(w(0), w(1), w(2)).cnot(w(2), w(3));
+    let engine = Engine::compile(&c, &UniformNoise::new(0.01));
+    assert_eq!(engine.compile_stats().fused_segments, 0);
+    assert_eq!(engine.compile_stats().micro_ops, 3);
 }
 
 #[test]

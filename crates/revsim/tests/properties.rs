@@ -36,8 +36,27 @@ fn arb_gate() -> impl Strategy<Value = Gate> {
         distinct3
             .clone()
             .prop_map(|(a, b, c)| Gate::Maj(w(a), w(b), w(c))),
-        distinct3.prop_map(|(a, b, c)| Gate::MajInv(w(a), w(b), w(c))),
+        distinct3
+            .clone()
+            .prop_map(|(a, b, c)| Gate::MajInv(w(a), w(b), w(c))),
+        distinct3
+            .clone()
+            .prop_map(|(a, b, c)| Gate::F2g(w(a), w(b), w(c))),
+        distinct3
+            .clone()
+            .prop_map(|(a, b, c)| Gate::Nft(w(a), w(b), w(c))),
+        distinct3.prop_map(|(a, b, c)| Gate::NftInv(w(a), w(b), w(c))),
+        arb_distinct4().prop_map(|(a, b, c, d)| Gate::Ig(w(a), w(b), w(c), w(d))),
+        arb_distinct4().prop_map(|(a, b, c, d)| Gate::IgInv(w(a), w(b), w(c), w(d))),
     ]
+}
+
+fn arb_distinct4() -> impl Strategy<Value = (u32, u32, u32, u32)> {
+    let wire = 0..N_WIRES as u32;
+    (wire.clone(), wire.clone(), wire.clone(), wire)
+        .prop_filter("wires must be distinct", |(a, b, c, d)| {
+            a != b && a != c && a != d && b != c && b != d && c != d
+        })
 }
 
 fn arb_circuit(max_len: usize) -> impl Strategy<Value = Circuit> {
@@ -128,5 +147,46 @@ proptest! {
         c.run(&mut a);
         PlannedFaultBackend::new(&FaultPlan::none()).run_state(&c, &mut b);
         prop_assert_eq!(a, b);
+    }
+
+    /// Every gate is a bijection on its full register: applying it to all
+    /// 2^n inputs hits all 2^n outputs (old and new gate kinds alike).
+    #[test]
+    fn every_gate_is_a_bijection(g in arb_gate()) {
+        let mut seen = [false; 1 << N_WIRES];
+        for input in 0..(1u64 << N_WIRES) {
+            let mut s = BitState::from_u64(input, N_WIRES);
+            g.apply(&mut s);
+            let out = s.to_u64() as usize;
+            prop_assert!(!seen[out], "{} maps two inputs to {}", g, out);
+            seen[out] = true;
+        }
+    }
+
+    /// Gates flagged parity-preserving (F2G, FRG/Fredkin, NFT, IG and the
+    /// wire permutations) preserve input⊕output parity on ALL 2^n inputs.
+    #[test]
+    fn parity_preserving_gates_hold_their_invariant(g in arb_gate()) {
+        prop_assume!(g.is_parity_preserving());
+        for input in 0..(1u64 << N_WIRES) {
+            let mut s = BitState::from_u64(input, N_WIRES);
+            g.apply(&mut s);
+            prop_assert_eq!(
+                input.count_ones() % 2,
+                s.to_u64().count_ones() % 2,
+                "{} breaks parity on {:b}", g, input
+            );
+        }
+    }
+
+    /// Gate inversion is exact for every gate kind: g then g⁻¹ is the
+    /// identity on all inputs, and (g⁻¹)⁻¹ = g.
+    #[test]
+    fn gate_inverses_are_exact(g in arb_gate(), input in 0u64..(1 << N_WIRES)) {
+        let mut s = BitState::from_u64(input, N_WIRES);
+        g.apply(&mut s);
+        g.inverse().apply(&mut s);
+        prop_assert_eq!(s.to_u64(), input);
+        prop_assert_eq!(g.inverse().inverse(), g);
     }
 }

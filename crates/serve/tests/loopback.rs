@@ -163,6 +163,42 @@ fn bare_spec_bodies_are_accepted() {
 }
 
 #[test]
+fn detect_jobs_stream_coverage_intervals_and_replay() {
+    use rft_detect::{AdderKind, TrialMode};
+
+    let (addr, handle) = start_server(2, 1);
+    // A detection-coverage job: the streamed interval is the retry/flag
+    // rate of a parity-checked carry-lookahead adder.
+    let mut s = spec(2025, 2048, 2);
+    s.circuit = CircuitSpec::DetectAdder {
+        width: 4,
+        kind: AdderKind::Cla,
+        mode: TrialMode::Detected,
+    };
+    s.noise = NoiseSpec::Uniform { g: 2e-3 };
+    let record = JobRecord::new(s);
+
+    let lines = read_stream_lines(post_job(addr, &record));
+    assert_eq!(lines.len(), 3, "2 interval lines + 1 final: {lines:?}");
+    for line in &lines[..2] {
+        assert!(line.contains("\"kind\":\"interval\""), "line: {line}");
+    }
+    let served_final = lines.last().expect("final line");
+    let offline =
+        run_job(&CompileCache::new(), &Collector::disabled(), &record, 3).expect("offline replay");
+    assert_eq!(
+        served_final,
+        &offline.to_line(),
+        "served detect job replays byte-identically offline"
+    );
+    assert!(
+        offline.result.estimate.failures > 0,
+        "noise at this rate must trip the parity flag"
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn early_disconnect_cancels_the_job() {
     let (addr, handle) = start_server(2, 1);
     // A job that would run for a very long time: many small rounds.
