@@ -102,7 +102,7 @@ impl NoiseSpec {
 
 /// Everything that determines a served answer. See the module docs for
 /// the round/streaming semantics of the budget fields.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// The circuit to estimate.
     pub circuit: CircuitSpec,
@@ -126,6 +126,66 @@ pub struct JobSpec {
     /// half-width `(high − low) / (2 · rate)` is at or below this.
     /// `None` always runs `max_rounds` rounds.
     pub target_rel_half_width: Option<f64>,
+    /// Wall-clock deadline in milliseconds for a *served* job. The
+    /// daemon cancels a deadline-exceeded job at the next round boundary
+    /// and streams a `cancelled` final line; offline replay ignores the
+    /// field entirely (a completed record carries the rounds it actually
+    /// ran, so its answer replays byte-identically regardless of how
+    /// long the replay takes). `None` leaves only the server-side cap.
+    pub deadline_ms: Option<u64>,
+}
+
+// An additive schema field: records written before `deadline_ms` existed
+// must keep parsing, and a spec without a deadline must serialize
+// byte-identically to what it produced before the field existed (served
+// final lines embed the record). The derive can do neither — it emits
+// every field and requires every key — so both impls are written out.
+impl Serialize for JobSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("circuit".to_string(), self.circuit.to_value()),
+            ("noise".to_string(), self.noise.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("estimator".to_string(), self.estimator.to_value()),
+            ("backend".to_string(), self.backend.to_value()),
+            ("width".to_string(), self.width.to_value()),
+            (
+                "trials_per_round".to_string(),
+                self.trials_per_round.to_value(),
+            ),
+            ("max_rounds".to_string(), self.max_rounds.to_value()),
+            (
+                "target_rel_half_width".to_string(),
+                self.target_rel_half_width.to_value(),
+            ),
+        ];
+        if let Some(d) = self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), d.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for JobSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let m = serde::as_map(v, "JobSpec")?;
+        let field = |key| serde::map_get(m, key, "JobSpec");
+        Ok(JobSpec {
+            circuit: Deserialize::from_value(field("circuit")?)?,
+            noise: Deserialize::from_value(field("noise")?)?,
+            seed: Deserialize::from_value(field("seed")?)?,
+            estimator: Deserialize::from_value(field("estimator")?)?,
+            backend: Deserialize::from_value(field("backend")?)?,
+            width: Deserialize::from_value(field("width")?)?,
+            trials_per_round: Deserialize::from_value(field("trials_per_round")?)?,
+            max_rounds: Deserialize::from_value(field("max_rounds")?)?,
+            target_rel_half_width: Deserialize::from_value(field("target_rel_half_width")?)?,
+            deadline_ms: match m.iter().find(|(k, _)| k == "deadline_ms") {
+                Some((_, v)) => Deserialize::from_value(v)?,
+                None => None,
+            },
+        })
+    }
 }
 
 impl JobSpec {
@@ -150,6 +210,7 @@ impl JobSpec {
             trials_per_round: 4096,
             max_rounds: 1,
             target_rel_half_width: None,
+            deadline_ms: None,
         }
     }
 
@@ -178,6 +239,9 @@ impl JobSpec {
                     "target_rel_half_width must be positive and finite, got {t}"
                 ));
             }
+        }
+        if self.deadline_ms == Some(0) {
+            return Err("deadline_ms must be >= 1 when present".into());
         }
         let NoiseSpec::Uniform { g } = self.noise;
         if !(0.0..=1.0).contains(&g) || !g.is_finite() {
@@ -297,6 +361,39 @@ pub struct IntervalUpdate {
     /// Whether this is the job's last round (converged, budget
     /// exhausted, or the server is draining).
     pub done: bool,
+}
+
+/// The terminal line of a job the daemon cancelled instead of completed
+/// — today only for a wall-clock deadline hit. The stream stays
+/// well-formed (this line, then a clean chunked terminator), so a client
+/// always learns *why* it got no final answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CancelledUpdate {
+    /// Line discriminator, always `"cancelled"`.
+    pub kind: String,
+    /// Client-facing cause, e.g. `"deadline exceeded"`.
+    pub reason: String,
+    /// Rounds that completed (and streamed intervals) before the cancel.
+    pub round: u32,
+    /// The job's round budget, for context.
+    pub max_rounds: u32,
+}
+
+impl CancelledUpdate {
+    /// Builds a cancellation line.
+    pub fn new(reason: impl Into<String>, round: u32, max_rounds: u32) -> Self {
+        CancelledUpdate {
+            kind: "cancelled".into(),
+            reason: reason.into(),
+            round,
+            max_rounds,
+        }
+    }
+
+    /// The canonical single-line JSON of this payload.
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("cancelled update serialization is infallible")
+    }
 }
 
 /// The final payload of a completed job: the replayable record plus the
@@ -554,6 +651,64 @@ mod tests {
     }
 
     #[test]
+    fn deadline_field_is_additive() {
+        // A spec without a deadline serializes exactly as it did before
+        // the field existed: no `deadline_ms` key at all.
+        let rec = record(JobSpec::quick());
+        let json = serde_json::to_string(&rec).expect("serialize");
+        assert!(
+            !json.contains("deadline_ms"),
+            "no-deadline records must not mention the field: {json}"
+        );
+
+        // Old-shaped JSON (no deadline_ms key) still parses.
+        let back: JobRecord = serde_json::from_str(&json).expect("old shape parses");
+        assert_eq!(back, rec);
+
+        // A spec with a deadline round-trips.
+        let mut spec = JobSpec::quick();
+        spec.deadline_ms = Some(2500);
+        let rec = record(spec);
+        rec.validate().expect("valid");
+        let json = serde_json::to_string(&rec).expect("serialize");
+        assert!(json.contains("\"deadline_ms\":2500"), "json: {json}");
+        let back: JobRecord = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, rec);
+
+        // A completed record with a deadline replays identically to the
+        // same job without one: replay ignores wall-clock entirely.
+        let mut with = JobSpec::quick();
+        with.deadline_ms = Some(60_000);
+        let mut without = JobSpec::quick();
+        without.deadline_ms = None;
+        let a = run_job(
+            &CompileCache::new(),
+            &Collector::disabled(),
+            &record(with),
+            1,
+        )
+        .expect("run");
+        let b = run_job(
+            &CompileCache::new(),
+            &Collector::disabled(),
+            &record(without),
+            1,
+        )
+        .expect("run");
+        assert_eq!(a.result, b.result, "deadline never changes the answer");
+    }
+
+    #[test]
+    fn cancelled_update_serializes_with_reason() {
+        let line = CancelledUpdate::new("deadline exceeded", 3, 8).to_line();
+        assert!(line.contains("\"kind\":\"cancelled\""), "line: {line}");
+        assert!(line.contains("\"reason\":\"deadline exceeded\""), "{line}");
+        assert!(line.contains("\"round\":3"), "line: {line}");
+        let back: CancelledUpdate = serde_json::from_str(&line).expect("round-trip");
+        assert_eq!(back.to_line(), line);
+    }
+
+    #[test]
     fn validation_rejects_bad_specs() {
         let mut bad = JobSpec::quick();
         bad.trials_per_round = 0;
@@ -584,6 +739,10 @@ mod tests {
         let mut bad = JobSpec::quick();
         bad.target_rel_half_width = Some(0.0);
         assert!(bad.validate().is_err());
+
+        let mut bad = JobSpec::quick();
+        bad.deadline_ms = Some(0);
+        assert!(bad.validate().is_err(), "zero deadline");
 
         let mut bad = JobSpec::quick();
         bad.circuit = CircuitSpec::DetectAdder {

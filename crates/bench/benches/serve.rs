@@ -9,6 +9,14 @@
 //! budget in the path: it is the normalization yardstick for the CI
 //! regression gate (machine-speed factor), and the gap between the two
 //! numbers *is* the serving overhead.
+//!
+//! `serve_concurrent` measures per-request latency under sustained
+//! keep-alive load: N client threads each hold one connection and post
+//! jobs back to back; every request's wall-clock is recorded and the
+//! group reports p50/p99 at 10 and 100 concurrent streams. The vendored
+//! criterion shim has no percentile support, so this group measures by
+//! hand and emits lines in the same stdout / `CRITERION_JSON` format,
+//! which feeds the same CI regression gate.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rft_analysis::experiment::CompileCache;
@@ -19,9 +27,10 @@ use rft_revsim::gate::Gate;
 use rft_revsim::wire::w;
 use rft_serve::{Server, ServerConfig};
 use std::hint::black_box;
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 /// The quick job both benches run: one 4096-trial round at level 1.
 fn quick_record(seed: u64) -> JobRecord {
@@ -42,6 +51,7 @@ fn quick_record(seed: u64) -> JobRecord {
         trials_per_round: 4096,
         max_rounds: 1,
         target_rel_half_width: None,
+        deadline_ms: None,
     })
 }
 
@@ -65,7 +75,7 @@ fn roundtrip(addr: SocketAddr, body: &str) -> usize {
     let mut stream = TcpStream::connect(addr).expect("connect");
     write!(
         stream,
-        "POST /jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+        "POST /jobs HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{}",
         body.len(),
         body
     )
@@ -114,6 +124,146 @@ fn serve_benches(c: &mut Criterion) {
         b.iter(|| black_box(roundtrip(addr, &body)));
     });
     group.finish();
+
+    concurrent_benches();
+}
+
+/// Reads one framed response off a keep-alive connection: status line,
+/// headers, then the chunked body to the zero chunk. Returns the body.
+fn read_framed(reader: &mut BufReader<TcpStream>) -> Vec<u8> {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    assert!(line.starts_with("HTTP/1.1 200"), "job accepted: {line}");
+    loop {
+        line.clear();
+        reader.read_line(&mut line).expect("header line");
+        if line == "\r\n" {
+            break;
+        }
+    }
+    let mut body = Vec::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).expect("chunk size");
+        let size = usize::from_str_radix(line.trim(), 16).expect("hex chunk size");
+        let mut chunk = vec![0u8; size + 2];
+        reader.read_exact(&mut chunk).expect("chunk payload");
+        if size == 0 {
+            return body;
+        }
+        body.extend_from_slice(&chunk[..size]);
+    }
+}
+
+/// One client stream: a single keep-alive connection posting `requests`
+/// jobs back to back, recording each request's wall-clock nanoseconds.
+fn stream_latencies(
+    addr: SocketAddr,
+    body: Arc<String>,
+    requests: usize,
+    start: Arc<Barrier>,
+) -> Vec<u64> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone for writer");
+    let mut reader = BufReader::new(stream);
+    let request = format!(
+        "POST /jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    start.wait();
+    let mut latencies = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let begun = Instant::now();
+        writer.write_all(request.as_bytes()).expect("request");
+        let payload = read_framed(&mut reader);
+        assert!(
+            payload.windows(14).any(|w| w == b"\"kind\":\"final\""),
+            "stream carries the final line"
+        );
+        latencies.push(begun.elapsed().as_nanos() as u64);
+    }
+    latencies
+}
+
+/// Runs `streams` concurrent keep-alive clients and returns the pooled
+/// per-request (p50, p99) in nanoseconds.
+fn concurrent_load(addr: SocketAddr, body: &str, streams: usize, requests: usize) -> (f64, f64) {
+    let body = Arc::new(body.to_string());
+    let start = Arc::new(Barrier::new(streams));
+    let handles: Vec<_> = (0..streams)
+        .map(|_| {
+            let (body, start) = (Arc::clone(&body), Arc::clone(&start));
+            std::thread::spawn(move || stream_latencies(addr, body, requests, start))
+        })
+        .collect();
+    let mut all: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client stream"))
+        .collect();
+    all.sort_unstable();
+    let pick = |q: f64| all[((all.len() - 1) as f64 * q) as usize] as f64;
+    (pick(0.50), pick(0.99))
+}
+
+/// Emits one result in the vendored criterion shim's stdout and
+/// `CRITERION_JSON` formats so the CI regression gate ingests it like
+/// any other bench.
+fn report(group: &str, bench: &str, ns: f64, samples: usize) {
+    println!(
+        "bench {:<48} {ns:>14.1} ns/iter ({samples} iters)",
+        format!("{group}/{bench}")
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        use std::io::Write as _;
+        let line = format!("{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"ns_per_iter\":{ns:.2},\"throughput_elems\":1}}\n");
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// The `serve_concurrent` group: p50/p99 request latency at 10 and 100
+/// keep-alive streams against a pool sized to hold them all (a
+/// keep-alive connection pins its worker, so `workers` must cover the
+/// stream count; job concurrency is still throttled by the shared
+/// trial-thread budget, which is what the tail latencies measure).
+fn concurrent_benches() {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        threads_per_job: 1,
+        workers: 128,
+        accept_queue: 128,
+        max_jobs: 128,
+        drain_timeout: Duration::from_secs(1),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    std::thread::spawn(move || server.run().expect("accept loop"));
+    let body = serde_json::to_string(&quick_record(3)).expect("record JSON");
+    // Warm the compile cache so measured requests see the steady state.
+    roundtrip(addr, &body);
+    for (streams, requests) in [(10, 40), (100, 10)] {
+        let (p50, p99) = concurrent_load(addr, &body, streams, requests);
+        report(
+            "serve_concurrent",
+            &format!("p50_{streams}_streams"),
+            p50,
+            streams * requests,
+        );
+        report(
+            "serve_concurrent",
+            &format!("p99_{streams}_streams"),
+            p99,
+            streams * requests,
+        );
+    }
 }
 
 criterion_group!(benches, serve_benches);

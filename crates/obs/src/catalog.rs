@@ -63,6 +63,12 @@ pub enum Metric {
     /// Streamed jobs whose client disconnected before the final interval
     /// (the job was cancelled and its budget freed).
     ServeEarlyDisconnects,
+    /// Requests shed by admission control (accept queue or job cap full);
+    /// each was answered `503` with `Retry-After`.
+    ServeShed,
+    /// Requests or jobs ended by a timeout: slow-loris/stalled reads
+    /// answered `408`, and jobs cancelled at their wall-clock deadline.
+    ServeTimeouts,
     /// Parity-checked circuits synthesized and wrapped by the detection
     /// subsystem (adder constructions + invariant-checker wraps).
     DetectSyntheses,
@@ -82,7 +88,7 @@ pub enum Metric {
 
 impl Metric {
     /// Number of counters in the catalog.
-    pub const COUNT: usize = 31;
+    pub const COUNT: usize = 33;
 
     /// Every counter, in catalog order.
     pub const ALL: [Metric; Metric::COUNT] = [
@@ -111,6 +117,8 @@ impl Metric {
         Metric::ServeRequests,
         Metric::ServeRejected,
         Metric::ServeEarlyDisconnects,
+        Metric::ServeShed,
+        Metric::ServeTimeouts,
         Metric::DetectSyntheses,
         Metric::DetectCoverageCases,
         Metric::DetectEstimates,
@@ -147,6 +155,8 @@ impl Metric {
             Metric::ServeRequests => "serve.requests",
             Metric::ServeRejected => "serve.rejected",
             Metric::ServeEarlyDisconnects => "serve.early_disconnects",
+            Metric::ServeShed => "serve.shed",
+            Metric::ServeTimeouts => "serve.timeouts",
             Metric::DetectSyntheses => "detect.syntheses",
             Metric::DetectCoverageCases => "detect.coverage_cases",
             Metric::DetectEstimates => "detect.estimates",
@@ -174,6 +184,7 @@ impl Metric {
             Metric::CacheMisses => "compiles",
             Metric::CacheEvictions => "entries",
             Metric::ServeRequests | Metric::ServeRejected => "requests",
+            Metric::ServeShed | Metric::ServeTimeouts => "requests",
             Metric::ServeEarlyDisconnects => "jobs",
             Metric::DetectSyntheses => "circuits",
             Metric::DetectCoverageCases => "cases",
@@ -205,9 +216,11 @@ impl Metric {
             | Metric::AllocatedWords
             | Metric::EarlyStops => "estimator",
             Metric::CacheHits | Metric::CacheMisses | Metric::CacheEvictions => "cache",
-            Metric::ServeRequests | Metric::ServeRejected | Metric::ServeEarlyDisconnects => {
-                "serve"
-            }
+            Metric::ServeRequests
+            | Metric::ServeRejected
+            | Metric::ServeEarlyDisconnects
+            | Metric::ServeShed
+            | Metric::ServeTimeouts => "serve",
             Metric::DetectSyntheses | Metric::DetectCoverageCases | Metric::DetectEstimates => {
                 "detect"
             }
@@ -231,11 +244,19 @@ pub enum Gauge {
     CacheBytes,
     /// Estimation jobs currently running in the serve daemon.
     JobsActive,
+    /// Accepted connections waiting in the serve daemon's bounded accept
+    /// queue for a free pool worker.
+    ServeQueueDepth,
+    /// Connections a serve-daemon pool worker is currently handling.
+    ServeConnectionsActive,
+    /// Age in milliseconds of the oldest job currently streaming
+    /// (refreshed on each `/stats` snapshot; 0 when idle).
+    ServeOldestJobMs,
 }
 
 impl Gauge {
     /// Number of gauges in the catalog.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 8;
 
     /// Every gauge, in catalog order.
     pub const ALL: [Gauge; Gauge::COUNT] = [
@@ -244,6 +265,9 @@ impl Gauge {
         Gauge::CachedEngines,
         Gauge::CacheBytes,
         Gauge::JobsActive,
+        Gauge::ServeQueueDepth,
+        Gauge::ServeConnectionsActive,
+        Gauge::ServeOldestJobMs,
     ];
 
     /// Stable dotted name.
@@ -254,6 +278,9 @@ impl Gauge {
             Gauge::CachedEngines => "cache.engines",
             Gauge::CacheBytes => "cache.bytes",
             Gauge::JobsActive => "serve.jobs_active",
+            Gauge::ServeQueueDepth => "serve.queue_depth",
+            Gauge::ServeConnectionsActive => "serve.connections_active",
+            Gauge::ServeOldestJobMs => "serve.oldest_job_ms",
         }
     }
 
@@ -265,6 +292,8 @@ impl Gauge {
             Gauge::CachedEngines => "engines",
             Gauge::CacheBytes => "bytes",
             Gauge::JobsActive => "jobs",
+            Gauge::ServeQueueDepth | Gauge::ServeConnectionsActive => "connections",
+            Gauge::ServeOldestJobMs => "ms",
         }
     }
 
@@ -273,7 +302,10 @@ impl Gauge {
         match self {
             Gauge::ElidedMass => "estimator",
             Gauge::CachedPrograms | Gauge::CachedEngines | Gauge::CacheBytes => "cache",
-            Gauge::JobsActive => "serve",
+            Gauge::JobsActive
+            | Gauge::ServeQueueDepth
+            | Gauge::ServeConnectionsActive
+            | Gauge::ServeOldestJobMs => "serve",
         }
     }
 }

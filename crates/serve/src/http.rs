@@ -2,8 +2,10 @@
 //!
 //! The daemon speaks just enough HTTP for `curl` and any stock client:
 //! request-line + headers + `Content-Length` bodies in, fixed-length or
-//! `Transfer-Encoding: chunked` responses out. Everything is hand-rolled
-//! on `std::io` — the build environment is offline, so no HTTP dependency
+//! `Transfer-Encoding: chunked` responses out, HTTP/1.1 keep-alive
+//! connection reuse (the parser computes [`Request::keep_alive`]; the
+//! writers take [`ResponseOpts`]). Everything is hand-rolled on
+//! `std::io` — the build environment is offline, so no HTTP dependency
 //! is available (or needed: the grammar subset below is ~100 lines).
 //!
 //! **Robustness contract** (pinned by the proptest suite in
@@ -43,6 +45,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the client may reuse the connection: HTTP/1.1 unless it
+    /// sent `Connection: close`, HTTP/1.0 only with
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -61,7 +67,10 @@ impl Request {
 pub enum HttpError {
     /// The peer closed before a full request arrived.
     Closed,
-    /// Transport error (includes read timeouts).
+    /// A read timed out before a full request arrived (slow-loris heads,
+    /// byte-dribble bodies, or a stalled peer).
+    Timeout,
+    /// Transport error.
     Io(io::Error),
     /// Grammar violation: bad request line, header, or length field.
     Malformed(&'static str),
@@ -78,6 +87,7 @@ impl HttpError {
     pub fn status(&self) -> u16 {
         match self {
             HttpError::Closed | HttpError::Io(_) => 400,
+            HttpError::Timeout => 408,
             HttpError::Malformed(_) => 400,
             HttpError::HeadTooLarge => 431,
             HttpError::BodyTooLarge => 413,
@@ -89,6 +99,7 @@ impl HttpError {
     pub fn reason(&self) -> &'static str {
         match self {
             HttpError::Closed => "connection closed mid-request",
+            HttpError::Timeout => "request timed out",
             HttpError::Io(_) => "read error",
             HttpError::Malformed(m) => m,
             HttpError::HeadTooLarge => "request head too large",
@@ -100,8 +111,22 @@ impl HttpError {
 
 impl From<io::Error> for HttpError {
     fn from(e: io::Error) -> Self {
-        HttpError::Io(e)
+        if is_timeout(&e) {
+            HttpError::Timeout
+        } else {
+            HttpError::Io(e)
+        }
     }
+}
+
+/// Whether an I/O error is a read/write timeout (both kinds appear
+/// depending on platform: `WouldBlock` on Unix socket timeouts,
+/// `TimedOut` elsewhere and from [`crate::server`]'s deadline wrapper).
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 /// Reads one request from `r` under `limits`.
@@ -153,11 +178,17 @@ pub fn read_request<R: Read>(r: &mut R, limits: &Limits) -> Result<Request, Http
         headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let req = Request {
+    let mut req = Request {
         method: method.to_string(),
         path: path.to_string(),
         headers,
         body: Vec::new(),
+        keep_alive: false,
+    };
+    let connection = req.header("connection").map(str::to_ascii_lowercase);
+    req.keep_alive = match version {
+        "HTTP/1.0" => connection.as_deref() == Some("keep-alive"),
+        _ => connection.as_deref() != Some("close"),
     };
     if req.header("transfer-encoding").is_some() {
         return Err(HttpError::UnsupportedEncoding);
@@ -171,9 +202,8 @@ pub fn read_request<R: Read>(r: &mut R, limits: &Limits) -> Result<Request, Http
     if content_length > limits.max_body_bytes {
         return Err(HttpError::BodyTooLarge);
     }
-    let mut body = vec![0u8; content_length];
-    read_exact_or_closed(r, &mut body)?;
-    Ok(Request { body, ..req })
+    req.body = read_body(r, content_length)?;
+    Ok(req)
 }
 
 /// Reads bytes until the `\r\n\r\n` head terminator (exclusive),
@@ -187,7 +217,7 @@ fn read_head<R: Read>(r: &mut R, limits: &Limits) -> Result<Vec<u8>, HttpError> 
             Ok(0) => return Err(HttpError::Closed),
             Ok(_) => head.push(byte[0]),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(HttpError::Io(e)),
+            Err(e) => return Err(e.into()),
         }
         if head.ends_with(b"\r\n\r\n") {
             head.truncate(head.len() - 4);
@@ -199,18 +229,25 @@ fn read_head<R: Read>(r: &mut R, limits: &Limits) -> Result<Vec<u8>, HttpError> 
     }
 }
 
-/// `read_exact` that reports EOF as [`HttpError::Closed`].
-fn read_exact_or_closed<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<(), HttpError> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
+/// Reads an already-limit-checked body of `len` bytes. The buffer grows
+/// with the bytes that actually arrive (8 KiB steps) instead of being
+/// sized to the advertised length up front, so a peer that declares a
+/// large body and dribbles — or never sends — costs one small allocation,
+/// not `Content-Length` bytes.
+fn read_body<R: Read>(r: &mut R, len: usize) -> Result<Vec<u8>, HttpError> {
+    const STEP: usize = 8 * 1024;
+    let mut body = Vec::with_capacity(len.min(STEP));
+    let mut chunk = [0u8; STEP];
+    while body.len() < len {
+        let want = (len - body.len()).min(STEP);
+        match r.read(&mut chunk[..want]) {
             Ok(0) => return Err(HttpError::Closed),
-            Ok(n) => filled += n,
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(HttpError::Io(e)),
+            Err(e) => return Err(e.into()),
         }
     }
-    Ok(())
+    Ok(body)
 }
 
 /// The standard reason phrase of `status` (subset this server sends).
@@ -220,6 +257,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         501 => "Not Implemented",
@@ -228,43 +266,107 @@ pub fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete fixed-length response (always `Connection: close` —
-/// the daemon is one-request-per-connection by design: job streams own
-/// the socket until they end).
+/// Per-response header options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResponseOpts {
+    /// `Connection: keep-alive` instead of `Connection: close`.
+    pub keep_alive: bool,
+    /// Adds `Retry-After: <seconds>` (shed/overload responses).
+    pub retry_after_s: Option<u32>,
+}
+
+impl ResponseOpts {
+    /// Options for a connection that stays open afterwards.
+    pub fn keep_alive() -> Self {
+        ResponseOpts {
+            keep_alive: true,
+            retry_after_s: None,
+        }
+    }
+
+    fn connection(&self) -> &'static str {
+        if self.keep_alive {
+            "keep-alive"
+        } else {
+            "close"
+        }
+    }
+
+    fn extra_headers(&self) -> String {
+        match self.retry_after_s {
+            Some(s) => format!("retry-after: {s}\r\n"),
+            None => String::new(),
+        }
+    }
+}
+
+/// Writes a complete fixed-length response with explicit header options.
 ///
 /// # Errors
 ///
 /// Propagates transport errors (a closed peer is not an error the caller
 /// can act on beyond dropping the connection).
+pub fn write_response_opts<W: Write>(
+    w: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    opts: ResponseOpts,
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{}connection: {}\r\n\r\n",
+        status,
+        reason_phrase(status),
+        content_type,
+        body.len(),
+        opts.extra_headers(),
+        opts.connection(),
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes a complete fixed-length `Connection: close` response.
+///
+/// # Errors
+///
+/// Propagates transport errors.
 pub fn write_response<W: Write>(
     w: &mut W,
     status: u16,
     content_type: &str,
     body: &[u8],
 ) -> io::Result<()> {
-    write!(
-        w,
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-        status,
-        reason_phrase(status),
-        content_type,
-        body.len()
-    )?;
-    w.write_all(body)?;
-    w.flush()
+    write_response_opts(w, status, content_type, body, ResponseOpts::default())
 }
 
-/// Writes a JSON error body `{"error": reason}` with `status`.
+/// Writes a JSON error body `{"error": reason}` with `status` and
+/// explicit header options.
+///
+/// # Errors
+///
+/// Propagates transport errors.
+pub fn write_error_opts<W: Write>(
+    w: &mut W,
+    status: u16,
+    reason: &str,
+    opts: ResponseOpts,
+) -> io::Result<()> {
+    let body = format!(
+        "{{\"error\":{}}}",
+        serde_json::to_string(reason).unwrap_or_else(|_| "\"error\"".to_string())
+    );
+    write_response_opts(w, status, "application/json", body.as_bytes(), opts)
+}
+
+/// Writes a JSON error body `{"error": reason}` with `status`, closing.
 ///
 /// # Errors
 ///
 /// Propagates transport errors.
 pub fn write_error<W: Write>(w: &mut W, status: u16, reason: &str) -> io::Result<()> {
-    let body = format!(
-        "{{\"error\":{}}}",
-        serde_json::to_string(reason).unwrap_or_else(|_| "\"error\"".to_string())
-    );
-    write_response(w, status, "application/json", body.as_bytes())
+    write_error_opts(w, status, reason, ResponseOpts::default())
 }
 
 /// A `Transfer-Encoding: chunked` response writer: one [`Self::send`]
@@ -276,21 +378,39 @@ pub struct ChunkedWriter<W: Write> {
 }
 
 impl<W: Write> ChunkedWriter<W> {
-    /// Writes the status line + headers and returns the chunk writer.
+    /// Writes the status line + headers with explicit connection
+    /// semantics and returns the chunk writer.
     ///
     /// # Errors
     ///
     /// Propagates transport errors.
-    pub fn start(mut w: W, status: u16, content_type: &str) -> io::Result<Self> {
+    pub fn start_opts(
+        mut w: W,
+        status: u16,
+        content_type: &str,
+        opts: ResponseOpts,
+    ) -> io::Result<Self> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ntransfer-encoding: chunked\r\n{}connection: {}\r\n\r\n",
             status,
             reason_phrase(status),
             content_type,
+            opts.extra_headers(),
+            opts.connection(),
         )?;
         w.flush()?;
         Ok(ChunkedWriter { w })
+    }
+
+    /// Writes the status line + headers (`Connection: close`) and
+    /// returns the chunk writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn start(w: W, status: u16, content_type: &str) -> io::Result<Self> {
+        Self::start_opts(w, status, content_type, ResponseOpts::default())
     }
 
     /// Sends one chunk (the daemon sends exactly one JSON line, newline
@@ -400,6 +520,81 @@ mod tests {
     fn rejects_truncated_body() {
         let err = parse(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort").unwrap_err();
         assert!(matches!(err, HttpError::Closed));
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        let req = parse(b"GET / HTTP/1.1\r\n\r\n").expect("valid");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        let req = parse(b"GET / HTTP/1.1\r\nconnection: close\r\n\r\n").expect("valid");
+        assert!(!req.keep_alive);
+        let req = parse(b"GET / HTTP/1.1\r\nconnection: Close\r\n\r\n").expect("valid");
+        assert!(!req.keep_alive, "connection value is case-insensitive");
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").expect("valid");
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        let req = parse(b"GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n").expect("valid");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn timeouts_map_to_408() {
+        struct Stall;
+        impl Read for Stall {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::TimedOut, "stalled"))
+            }
+        }
+        let err = read_request(&mut Stall, &Limits::default()).unwrap_err();
+        assert!(matches!(err, HttpError::Timeout), "got {err:?}");
+        assert_eq!(err.status(), 408);
+
+        // A dribbled body that stalls times out too, not 400.
+        struct StallAfter(Vec<u8>, usize);
+        impl Read for StallAfter {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.1 >= self.0.len() {
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"));
+                }
+                buf[0] = self.0[self.1];
+                self.1 += 1;
+                Ok(1)
+            }
+        }
+        let head = b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nab".to_vec();
+        let err = read_request(&mut StallAfter(head, 0), &Limits::default()).unwrap_err();
+        assert_eq!(err.status(), 408, "got {err:?}");
+    }
+
+    #[test]
+    fn response_opts_control_connection_and_retry_after() {
+        let mut buf = Vec::new();
+        write_response_opts(
+            &mut buf,
+            503,
+            "application/json",
+            b"{}",
+            ResponseOpts {
+                keep_alive: false,
+                retry_after_s: Some(2),
+            },
+        )
+        .expect("write");
+        let text = String::from_utf8(buf).expect("ascii");
+        assert!(text.contains("retry-after: 2\r\n"), "head: {text}");
+        assert!(text.contains("connection: close\r\n"), "head: {text}");
+
+        let mut buf = Vec::new();
+        write_response_opts(
+            &mut buf,
+            200,
+            "application/json",
+            b"{}",
+            ResponseOpts::keep_alive(),
+        )
+        .expect("write");
+        let text = String::from_utf8(buf).expect("ascii");
+        assert!(text.contains("connection: keep-alive\r\n"), "head: {text}");
+        assert!(!text.contains("retry-after"), "head: {text}");
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! rft-serve [--addr HOST:PORT] [--threads N] [--threads-per-job N]
-//!           [--cache-mb MB] [--drain-timeout SECS]
+//!           [--workers N] [--accept-queue N] [--max-jobs N]
+//!           [--request-timeout-ms MS] [--idle-timeout-ms MS]
+//!           [--job-deadline-ms MS] [--cache-mb MB]
+//!           [--drain-timeout SECS]
 //! ```
 //!
 //! Prints `listening on <addr>` once bound (the smoke script parses this
@@ -41,7 +44,9 @@ fn install_signal_handlers() {}
 fn usage() -> ! {
     eprintln!(
         "usage: rft-serve [--addr HOST:PORT] [--threads N] [--threads-per-job N] \
-         [--cache-mb MB] [--drain-timeout SECS]"
+         [--workers N] [--accept-queue N] [--max-jobs N] [--request-timeout-ms MS] \
+         [--idle-timeout-ms MS] [--job-deadline-ms MS] [--cache-mb MB] \
+         [--drain-timeout SECS]"
     );
     std::process::exit(2);
 }
@@ -68,6 +73,31 @@ fn parse_config() -> ServerConfig {
             "--threads-per-job" => match value("--threads-per-job").parse() {
                 Ok(n) if n >= 1 => config.threads_per_job = n,
                 _ => usage(),
+            },
+            "--workers" => match value("--workers").parse() {
+                Ok(n) if n >= 1 => config.workers = n,
+                _ => usage(),
+            },
+            "--accept-queue" => match value("--accept-queue").parse() {
+                Ok(n) if n >= 1 => config.accept_queue = n,
+                _ => usage(),
+            },
+            "--max-jobs" => match value("--max-jobs").parse() {
+                Ok(n) if n >= 1 => config.max_jobs = n,
+                _ => usage(),
+            },
+            "--request-timeout-ms" => match value("--request-timeout-ms").parse::<u64>() {
+                Ok(ms) if ms >= 1 => config.request_timeout = Duration::from_millis(ms),
+                _ => usage(),
+            },
+            "--idle-timeout-ms" => match value("--idle-timeout-ms").parse::<u64>() {
+                Ok(ms) if ms >= 1 => config.idle_timeout = Duration::from_millis(ms),
+                _ => usage(),
+            },
+            "--job-deadline-ms" => match value("--job-deadline-ms").parse::<u64>() {
+                Ok(0) => config.job_deadline = None,
+                Ok(ms) => config.job_deadline = Some(Duration::from_millis(ms)),
+                Err(_) => usage(),
             },
             "--cache-mb" => match value("--cache-mb").parse::<usize>() {
                 Ok(0) => config.cache_bytes = None,

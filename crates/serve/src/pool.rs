@@ -1,0 +1,157 @@
+//! The bounded accept queue behind the daemon's worker pool.
+//!
+//! The accept loop pushes each accepted connection into a [`ConnQueue`];
+//! a fixed set of worker threads pops and serves them. The queue is
+//! bounded: when it is full, [`ConnQueue::push`] hands the connection
+//! back instead of growing, and the accept loop sheds it with
+//! `503` + `Retry-After`. That turns overload into backpressure the
+//! client can act on, instead of an unbounded pile of OS threads — the
+//! serving-layer version of the paper's trade of detection for graceful
+//! degradation.
+
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct Inner {
+    queue: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue of accepted connections (mutex + condvar — the
+/// producer is one accept loop, consumers are the pool workers).
+#[derive(Debug)]
+pub struct ConnQueue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    /// A queue holding at most `capacity` waiting connections
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        ConnQueue {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The bound this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Connections currently waiting for a worker.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").queue.len()
+    }
+
+    /// Enqueues a connection; returns the new depth. When the queue is
+    /// full or closed the connection comes back as `Err` so the caller
+    /// can shed it with a response instead of silently dropping it.
+    pub fn push(&self, conn: TcpStream) -> Result<usize, TcpStream> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed || inner.queue.len() >= self.capacity {
+            return Err(conn);
+        }
+        inner.queue.push_back(conn);
+        let depth = inner.queue.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until a connection is available and pops it. Returns
+    /// `None` once the queue is closed and empty — the workers' exit
+    /// signal.
+    pub fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(conn) = inner.queue.pop_front() {
+                return Some(conn);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: wakes every blocked worker and drops the
+    /// connections still waiting (shutdown never serves them). Returns
+    /// how many were dropped.
+    pub fn close(&self) -> usize {
+        let mut inner = self.inner.lock().expect("queue lock");
+        inner.closed = true;
+        let dropped = inner.queue.len();
+        inner.queue.clear();
+        drop(inner);
+        self.ready.notify_all();
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// A connected socket pair for queue plumbing (contents never read).
+    fn conn(listener: &TcpListener) -> TcpStream {
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let _ = listener.accept().expect("accept");
+        client
+    }
+
+    #[test]
+    fn push_pop_is_fifo_and_bounded() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let q = ConnQueue::new(2);
+        let a = conn(&listener);
+        let a_addr = a.local_addr().expect("addr");
+        assert_eq!(q.push(a).expect("fits"), 1);
+        assert_eq!(q.push(conn(&listener)).expect("fits"), 2);
+        assert_eq!(q.depth(), 2);
+        // Full: the third connection comes back for shedding.
+        assert!(q.push(conn(&listener)).is_err());
+        let popped = q.pop().expect("nonempty");
+        assert_eq!(popped.local_addr().expect("addr"), a_addr, "FIFO order");
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers_and_rejects_pushes() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let q = Arc::new(ConnQueue::new(4));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // Let the worker block on the empty queue, then close it.
+        std::thread::sleep(Duration::from_millis(50));
+        q.push(conn(&listener)).expect("fits");
+        assert!(waiter.join().expect("worker").is_some());
+        assert_eq!(q.close(), 0);
+        assert!(q.push(conn(&listener)).is_err(), "closed queues shed");
+        assert!(q.pop().is_none(), "closed and empty");
+    }
+
+    #[test]
+    fn close_drops_waiting_connections() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let q = ConnQueue::new(4);
+        q.push(conn(&listener)).expect("fits");
+        q.push(conn(&listener)).expect("fits");
+        assert_eq!(q.close(), 2);
+        assert_eq!(q.depth(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Shared test-side HTTP client: framed reads that work on keep-alive
+//! connections (where `read_to_end` would block until the idle timeout).
+
+use std::io::Read;
+use std::net::TcpStream;
+
+/// Reads one framed response without consuming past it: head, then a
+/// `Content-Length` body or chunked body to the zero chunk. Returns
+/// `(head, body)`. Panics on malformed framing — tests want loud
+/// failures.
+pub fn read_framed(stream: &mut TcpStream) -> (String, Vec<u8>) {
+    let head = read_until(stream, b"\r\n\r\n");
+    let head = String::from_utf8(head).expect("UTF-8 head");
+    let lower = head.to_ascii_lowercase();
+    let mut body = Vec::new();
+    if lower.contains("transfer-encoding: chunked") {
+        loop {
+            let size_line = read_until(stream, b"\r\n");
+            let size_str = std::str::from_utf8(&size_line[..size_line.len() - 2])
+                .expect("chunk size UTF-8")
+                .trim()
+                .to_string();
+            let size = usize::from_str_radix(&size_str, 16).expect("hex chunk size");
+            if size == 0 {
+                let crlf = read_exact(stream, 2);
+                assert_eq!(crlf, b"\r\n", "terminating chunk CRLF");
+                break;
+            }
+            let chunk = read_exact(stream, size + 2);
+            assert_eq!(&chunk[size..], b"\r\n", "chunk CRLF");
+            body.extend_from_slice(&chunk[..size]);
+        }
+    } else if let Some(at) = lower.find("content-length:") {
+        let rest = &lower[at + "content-length:".len()..];
+        let len: usize = rest
+            .split("\r\n")
+            .next()
+            .expect("header line")
+            .trim()
+            .parse()
+            .expect("numeric content-length");
+        body = read_exact(stream, len);
+    }
+    (head, body)
+}
+
+/// The NDJSON lines of a framed body.
+pub fn body_lines(body: &[u8]) -> Vec<String> {
+    String::from_utf8(body.to_vec())
+        .expect("UTF-8 NDJSON")
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+fn read_until(stream: &mut TcpStream, terminator: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut byte = [0u8; 1];
+    while !out.ends_with(terminator) {
+        let n = stream.read(&mut byte).expect("read byte");
+        assert!(n > 0, "EOF before terminator; got {:?}", out);
+        out.push(byte[0]);
+        assert!(out.len() < 1 << 20, "unbounded frame");
+    }
+    out
+}
+
+fn read_exact(stream: &mut TcpStream, len: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf).expect("framed read");
+    buf
+}

@@ -1,7 +1,11 @@
 //! End-to-end loopback tests: the streamed answer is byte-identical to
-//! the offline replay, early disconnects cancel, concurrent jobs share
-//! the cache, and shutdown drains.
+//! the offline replay, keep-alive connections serve many requests,
+//! early disconnects cancel, concurrent jobs share the cache, and
+//! shutdown drains.
 
+mod common;
+
+use common::{body_lines, read_framed};
 use rft_analysis::experiment::CompileCache;
 use rft_analysis::job::{run_job, CircuitSpec, JobRecord, JobSpec, NoiseSpec};
 use rft_obs::Collector;
@@ -48,6 +52,7 @@ fn spec(seed: u64, trials_per_round: u64, max_rounds: u32) -> JobSpec {
         trials_per_round,
         max_rounds,
         target_rel_half_width: None,
+        deadline_ms: None,
     }
 }
 
@@ -59,7 +64,7 @@ fn post_job(addr: SocketAddr, record: &JobRecord) -> TcpStream {
         .expect("timeout");
     write!(
         stream,
-        "POST /jobs HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{}",
+        "POST /jobs HTTP/1.1\r\ncontent-type: application/json\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{}",
         body.len(),
         body
     )
@@ -91,7 +96,7 @@ fn get(addr: SocketAddr, path: &str) -> String {
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
         .expect("timeout");
-    write!(stream, "GET {path} HTTP/1.1\r\n\r\n").expect("request");
+    write!(stream, "GET {path} HTTP/1.1\r\nconnection: close\r\n\r\n").expect("request");
     let mut response = Vec::new();
     stream.read_to_end(&mut response).expect("read");
     String::from_utf8_lossy(&response).to_string()
@@ -145,7 +150,7 @@ fn bare_spec_bodies_are_accepted() {
         .expect("timeout");
     write!(
         stream,
-        "POST /jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+        "POST /jobs HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{}",
         body.len(),
         body
     )
@@ -194,6 +199,78 @@ fn detect_jobs_stream_coverage_intervals_and_replay() {
     assert!(
         offline.result.estimate.failures > 0,
         "noise at this rate must trip the parity flag"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_connection_serves_probes_and_jobs() {
+    let (addr, handle) = start_server(2, 1);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+
+    // Probes and two full job streams, all on one connection.
+    for _ in 0..2 {
+        write!(stream, "GET /healthz HTTP/1.1\r\n\r\n").expect("request");
+        let (head, body) = read_framed(&mut stream);
+        assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+        assert!(
+            head.to_lowercase().contains("connection: keep-alive"),
+            "head: {head}"
+        );
+        assert!(String::from_utf8_lossy(&body).contains("\"status\":\"ok\""));
+    }
+    for seed in [555u64, 556] {
+        let record = JobRecord::new(spec(seed, 2048, 2));
+        let body = serde_json::to_string(&record).expect("record JSON");
+        write!(
+            stream,
+            "POST /jobs HTTP/1.1\r\ncontent-length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .expect("request");
+        let (head, resp) = read_framed(&mut stream);
+        assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+        let offline = run_job(&CompileCache::new(), &Collector::disabled(), &record, 1)
+            .expect("offline replay");
+        assert_eq!(
+            body_lines(&resp).last().expect("final"),
+            &offline.to_line(),
+            "keep-alive streamed job replays byte-identically"
+        );
+    }
+
+    // All five requests rode one connection.
+    let stats = get(addr, "/stats");
+    assert!(stat_field(&stats, "requests") >= 5, "stats: {stats}");
+    handle.shutdown();
+}
+
+#[test]
+fn stats_report_pool_and_queue_gauges() {
+    let (addr, handle) = start_server(2, 1);
+    let stats = get(addr, "/stats");
+    // The pool/queue gauges and overload counters are all present; the
+    // stats request itself holds a worker, so at least one connection is
+    // active.
+    assert!(stat_field(&stats, "connections_active") >= 1, "{stats}");
+    for field in [
+        "queued_connections",
+        "oldest_job_ms",
+        "shed",
+        "timeouts",
+        "workers",
+        "max_jobs",
+    ] {
+        let _ = stat_field(&stats, field);
+    }
+    assert_eq!(
+        stat_field(&stats, "workers"),
+        16,
+        "default pool size: {stats}"
     );
     handle.shutdown();
 }
